@@ -1,0 +1,37 @@
+//! Criterion microbenchmark for the Table 5 block-size study: the L2 PDX
+//! kernel with vector-group sizes 16…512.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdx::prelude::*;
+use std::hint::black_box;
+
+fn bench_block_size(c: &mut Criterion) {
+    let n = 16_384usize;
+    let d = 384usize;
+    let spec = DatasetSpec { name: "bs", dims: d, distribution: Distribution::Normal, paper_size: 0 };
+    let ds = generate(&spec, n, 1, 9);
+    let q = ds.query(0).to_vec();
+    let mut out = vec![0.0f32; n];
+    let mut group = c.benchmark_group("block_size/L2");
+    group.throughput(Throughput::Elements((n * d) as u64));
+    for g in [16usize, 32, 64, 128, 256, 512] {
+        let block = PdxBlock::from_rows(&ds.data, n, d, g);
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
+            b.iter(|| {
+                pdx_scan(Metric::L2, &block, black_box(&q), &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_block_size
+}
+criterion_main!(benches);

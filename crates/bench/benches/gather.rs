@@ -1,0 +1,51 @@
+//! Criterion microbenchmark for the Figure 12 gather study: on-the-fly
+//! transposition + PDX kernel vs the stored layouts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdx::prelude::*;
+use std::hint::black_box;
+
+fn bench_gather(c: &mut Criterion) {
+    let d = 128usize;
+    let mut group = c.benchmark_group("gather/L2");
+    for n in [512usize, 32_768] {
+        let spec = DatasetSpec { name: "g", dims: d, distribution: Distribution::Normal, paper_size: 0 };
+        let ds = generate(&spec, n, 1, n as u64);
+        let q = ds.query(0).to_vec();
+        let nary = NaryMatrix::from_rows(&ds.data, n, d);
+        let block = PdxBlock::from_rows(&ds.data, n, d, DEFAULT_GROUP_SIZE);
+        let mut out = vec![0.0f32; n];
+        group.throughput(Throughput::Elements((n * d) as u64));
+        group.bench_with_input(BenchmarkId::new("nary_gather", n), &n, |b, _| {
+            b.iter(|| {
+                gather_scan(Metric::L2, &nary, black_box(&q), &mut out);
+                black_box(&out);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nary_simd", n), &n, |b, _| {
+            b.iter(|| {
+                for (i, row) in nary.rows().enumerate() {
+                    out[i] = nary_distance(Metric::L2, KernelVariant::Simd, black_box(&q), row);
+                }
+                black_box(&out);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pdx", n), &n, |b, _| {
+            b.iter(|| {
+                pdx_scan(Metric::L2, &block, black_box(&q), &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_gather
+}
+criterion_main!(benches);

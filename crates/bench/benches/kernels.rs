@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks for the Table 4 kernel comparison:
+//! PDX auto-vectorized vs N-ary explicit-SIMD vs N-ary scalar, for
+//! L2 / IP / L1 at representative dimensionalities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdx::prelude::*;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 16_384usize;
+    for metric in [Metric::L2, Metric::NegativeIp, Metric::L1] {
+        let mut group = c.benchmark_group(format!("kernels/{}", metric.name()));
+        for d in [8usize, 32, 128, 768] {
+            let spec =
+                DatasetSpec { name: "bench", dims: d, distribution: Distribution::Normal, paper_size: 0 };
+            let ds = generate(&spec, n, 1, d as u64);
+            let q = ds.query(0).to_vec();
+            let block = PdxBlock::from_rows(&ds.data, n, d, DEFAULT_GROUP_SIZE);
+            let nary = NaryMatrix::from_rows(&ds.data, n, d);
+            let mut out = vec![0.0f32; n];
+            group.throughput(Throughput::Elements((n * d) as u64));
+            group.bench_with_input(BenchmarkId::new("pdx", d), &d, |b, _| {
+                b.iter(|| {
+                    pdx_scan(metric, &block, black_box(&q), &mut out);
+                    black_box(&out);
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("nary_simd", d), &d, |b, _| {
+                b.iter(|| {
+                    for (i, row) in nary.rows().enumerate() {
+                        out[i] = nary_distance(metric, KernelVariant::Simd, black_box(&q), row);
+                    }
+                    black_box(&out);
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("nary_scalar", d), &d, |b, _| {
+                b.iter(|| {
+                    for (i, row) in nary.rows().enumerate() {
+                        out[i] = nary_distance(metric, KernelVariant::Scalar, black_box(&q), row);
+                    }
+                    black_box(&out);
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion end-to-end search benchmarks: PDX-BOND and the PDX linear
+//! scan on exact search, PDX-ADS on an IVF index (the Figures 6/9
+//! operating points at microbenchmark scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdx::prelude::*;
+use std::hint::black_box;
+
+fn bench_exact(c: &mut Criterion) {
+    let spec = *spec_by_name("sift").unwrap();
+    let n = 20_000;
+    let ds = generate(&spec, n, 16, 3);
+    let d = ds.dims();
+    let flat = FlatPdx::with_defaults(&ds.data, n, d);
+    let nary = NaryMatrix::from_rows(&ds.data, n, d);
+    let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+    let params = SearchParams::new(10);
+
+    let mut group = c.benchmark_group("exact_search/sift20k");
+    let mut qi = 0usize;
+    group.bench_function("pdx_bond", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % ds.n_queries;
+            black_box(flat.search(&bond, ds.query(qi), &params));
+        })
+    });
+    group.bench_function("pdx_linear", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % ds.n_queries;
+            black_box(flat.linear_search(ds.query(qi), 10, Metric::L2));
+        })
+    });
+    group.bench_function("nary_simd", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % ds.n_queries;
+            black_box(linear_scan_nary(&nary, ds.query(qi), 10, Metric::L2, KernelVariant::Simd));
+        })
+    });
+    group.finish();
+}
+
+fn bench_ivf(c: &mut Criterion) {
+    let spec = *spec_by_name("deep").unwrap();
+    let n = 20_000;
+    let ds = generate(&spec, n, 16, 4);
+    let d = ds.dims();
+    let nlist = IvfIndex::default_nlist(n);
+    let index = IvfIndex::build(&ds.data, n, d, nlist, 10, 3);
+    let ads = AdSampling::fit(d, 7);
+    let rotated = ads.transform_collection(&ds.data, n, 0);
+    let ivf = IvfPdx::new(&rotated, d, &index.assignments, DEFAULT_GROUP_SIZE);
+    let ivf_hor = IvfHorizontal::new(&ds.data, d, &index.assignments, 24);
+    let params = SearchParams::new(10);
+    let nprobe = (nlist / 2).max(1);
+
+    let mut group = c.benchmark_group("ivf_search/deep20k");
+    let mut qi = 0usize;
+    group.bench_function("pdx_ads", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % ds.n_queries;
+            black_box(ivf.search(&ads, ds.query(qi), nprobe, &params));
+        })
+    });
+    group.bench_function("ivfflat_simd", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % ds.n_queries;
+            black_box(ivf_hor.linear_search(ds.query(qi), 10, nprobe, Metric::L2, KernelVariant::Simd));
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_exact, bench_ivf
+}
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! # pdx-bench — shared helpers for the experiment harness
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper's evaluation (see DESIGN.md for the index); this library holds
+//! the pieces they share: timing utilities, dataset loading and
+//! competitor construction.
+
+pub mod harness;

@@ -1,0 +1,227 @@
+//! `pdx-cli` — operate the PDX vector-search stack from the shell.
+//!
+//! ```text
+//! pdx-cli generate --dataset=sift --n=100000 --out=base.fvecs \
+//!                  --queries=1000 --queries-out=queries.fvecs
+//! pdx-cli build    --data=base.fvecs --out=index.pdx [--block-size=10240 --group=64]
+//! pdx-cli query    --index=index.pdx --queries=queries.fvecs --k=10 [--order=means]
+//! pdx-cli ground-truth --data=base.fvecs --queries=queries.fvecs --k=10 --out=gt.ivecs
+//! pdx-cli evaluate --index=index.pdx --queries=queries.fvecs --gt=gt.ivecs --k=10
+//! ```
+
+use pdx::prelude::*;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(rest: &[String]) -> Self {
+        let mut values = HashMap::new();
+        for arg in rest {
+            if let Some((k, v)) = arg.strip_prefix("--").and_then(|r| r.split_once('=')) {
+                values.insert(k.to_string(), v.to_string());
+            }
+        }
+        Self { values }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.values.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing required --{key}=…"))
+    }
+
+    fn path(&self, key: &str) -> Result<PathBuf, String> {
+        Ok(PathBuf::from(self.require(key)?))
+    }
+
+    fn usize(&self, key: &str, default: usize) -> usize {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn str_or(&self, key: &str, default: &'static str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+const USAGE: &str = "\
+pdx-cli <command> [--key=value …]
+
+commands:
+  generate      synthesize a Table 1-shaped collection into .fvecs
+                  --dataset=<name> --n=<count> --out=<file>
+                  [--queries=<count> --queries-out=<file> --seed=…]
+  build         convert an .fvecs collection into a PDX container
+                  --data=<file> --out=<file> [--block-size=10240 --group=64]
+  query         run exact PDX-BOND queries against a PDX container
+                  --index=<file> --queries=<file> [--k=10 --order=means|zones|decreasing|seq]
+  ground-truth  exact k-NN ids for a query set, saved as .ivecs
+                  --data=<file> --queries=<file> --out=<file> [--k=10]
+  evaluate      recall of PDX-BOND results against stored ground truth
+                  --index=<file> --queries=<file> --gt=<file> [--k=10]
+  datasets      list the built-in Table 1 dataset shapes
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&argv[1..]);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "build" => cmd_build(&args),
+        "query" => cmd_query(&args),
+        "ground-truth" => cmd_ground_truth(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "datasets" => cmd_datasets(),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_datasets() -> Result<(), String> {
+    println!("{:<12} {:>6} {:>12} {:>12}", "name", "dims", "distribution", "paper size");
+    for spec in TABLE1.iter() {
+        println!(
+            "{:<12} {:>6} {:>12} {:>12}",
+            spec.name,
+            spec.dims,
+            format!("{:?}", spec.distribution),
+            spec.paper_size
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let name = args.require("dataset")?;
+    let spec = *spec_by_name(name).ok_or_else(|| format!("unknown dataset '{name}' (see `pdx-cli datasets`)"))?;
+    let n = args.usize("n", 100_000);
+    let nq = args.usize("queries", 0);
+    let seed = args.usize("seed", 42) as u64;
+    let out = args.path("out")?;
+    eprintln!("generating {}/{} (n = {n}, queries = {nq})…", spec.name, spec.dims);
+    let ds = generate(&spec, n, nq, seed);
+    write_fvecs(&out, &ds.data, ds.dims())?;
+    eprintln!("wrote {}", out.display());
+    if nq > 0 {
+        let qout = args.path("queries-out")?;
+        write_fvecs(&qout, &ds.queries, ds.dims())?;
+        eprintln!("wrote {}", qout.display());
+    }
+    Ok(())
+}
+
+fn cmd_build(args: &Args) -> Result<(), String> {
+    let data = read_fvecs(&args.path("data")?)?;
+    let block_size = args.usize("block-size", DEFAULT_EXACT_BLOCK);
+    let group = args.usize("group", DEFAULT_GROUP_SIZE);
+    let out = args.path("out")?;
+    let coll = PdxCollection::from_rows_partitioned(&data.data, data.len, data.dims, block_size, group);
+    pdx::datasets::persist::write_pdx_path(&out, &coll).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} ({} vectors × {} dims in {} blocks)",
+        out.display(),
+        data.len,
+        data.dims,
+        coll.blocks.len()
+    );
+    Ok(())
+}
+
+fn parse_order(name: &str) -> Result<VisitOrder, String> {
+    Ok(match name {
+        "means" => VisitOrder::DistanceToMeans,
+        "zones" => VisitOrder::DimensionZones { zone_size: 16 },
+        "decreasing" => VisitOrder::Decreasing,
+        "seq" | "sequential" => VisitOrder::Sequential,
+        other => return Err(format!("unknown visit order '{other}'")),
+    })
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let coll = pdx::datasets::persist::read_pdx_path(&args.path("index")?).map_err(|e| e.to_string())?;
+    let queries = read_fvecs(&args.path("queries")?)?;
+    if queries.dims != coll.dims {
+        return Err(format!("query dims {} != index dims {}", queries.dims, coll.dims));
+    }
+    let k = args.usize("k", 10);
+    let order = parse_order(&args.str_or("order", "means"))?;
+    let bond = PdxBond::new(Metric::L2, order);
+    let params = SearchParams::new(k);
+    let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+    let t0 = Instant::now();
+    for qi in 0..queries.len {
+        let q = &queries.data[qi * coll.dims..(qi + 1) * coll.dims];
+        let res = pdx::core::search::pdxearch(&bond, &blocks, q, &params);
+        let ids: Vec<String> = res.iter().map(|r| format!("{}:{:.3}", r.id, r.distance)).collect();
+        println!("query {qi}: {}", ids.join(" "));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    eprintln!("{} queries in {secs:.3}s ({:.1} QPS)", queries.len, queries.len as f64 / secs);
+    Ok(())
+}
+
+fn cmd_ground_truth(args: &Args) -> Result<(), String> {
+    let data = read_fvecs(&args.path("data")?)?;
+    let queries = read_fvecs(&args.path("queries")?)?;
+    if queries.dims != data.dims {
+        return Err(format!("query dims {} != data dims {}", queries.dims, data.dims));
+    }
+    let k = args.usize("k", 10);
+    let out = args.path("out")?;
+    eprintln!("computing exact top-{k} for {} queries…", queries.len);
+    let gt = ground_truth(&data.data, &queries.data, data.dims, k, Metric::L2, 0);
+    let flat: Vec<i32> = gt.iter().flat_map(|ids| ids.iter().map(|&i| i as i32)).collect();
+    let file = std::fs::File::create(&out).map_err(|e| e.to_string())?;
+    pdx::datasets::io::write_ivecs(std::io::BufWriter::new(file), &flat, k).map_err(|e| e.to_string())?;
+    eprintln!("wrote {}", out.display());
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let coll = pdx::datasets::persist::read_pdx_path(&args.path("index")?).map_err(|e| e.to_string())?;
+    let queries = read_fvecs(&args.path("queries")?)?;
+    let gt_file = std::fs::File::open(args.path("gt")?).map_err(|e| e.to_string())?;
+    let gt = pdx::datasets::io::read_ivecs(std::io::BufReader::new(gt_file)).map_err(|e| e.to_string())?;
+    let k = args.usize("k", 10).min(gt.dims);
+    let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+    let params = SearchParams::new(k);
+    let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+    let mut total = 0.0;
+    let t0 = Instant::now();
+    for qi in 0..queries.len {
+        let q = &queries.data[qi * coll.dims..(qi + 1) * coll.dims];
+        let res = pdx::core::search::pdxearch(&bond, &blocks, q, &params);
+        let ids: Vec<u64> = res.iter().map(|r| r.id).collect();
+        let truth: Vec<u64> = gt.data[qi * gt.dims..qi * gt.dims + k].iter().map(|&i| i as u64).collect();
+        total += recall_at_k(&truth, &ids, k);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "recall@{k} = {:.4} over {} queries ({:.1} QPS)",
+        total / queries.len.max(1) as f64,
+        queries.len,
+        queries.len as f64 / secs
+    );
+    Ok(())
+}
+
+fn read_fvecs(path: &Path) -> Result<pdx::datasets::io::VecsFile<f32>, String> {
+    pdx::datasets::io::read_fvecs_path(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn write_fvecs(path: &Path, data: &[f32], dims: usize) -> Result<(), String> {
+    pdx::datasets::io::write_fvecs_path(path, data, dims).map_err(|e| format!("{}: {e}", path.display()))
+}

@@ -1,0 +1,141 @@
+//! PDX-BOND (§5): the exact, transformation-free DCO optimizer.
+//!
+//! PDX-BOND prunes with the *partially computed distance itself* — the
+//! cheapest possible lower bound, valid because L2 and L1 partial sums
+//! only grow. It needs no preprocessing of the collection (works on raw
+//! floats, making it plug-and-play for frequently updated stores) and
+//! never trades recall: a pruned vector provably cannot enter the k-NN.
+//!
+//! What makes it fast despite the weak bound is the PDXearch START phase
+//! (a tight threshold from the first block) plus a query-aware dimension
+//! visit order ([`VisitOrder`]) that grows the partial distance as fast
+//! as possible.
+
+use crate::distance::Metric;
+use crate::pruning::Pruner;
+use crate::stats::BlockStats;
+use crate::visit_order::{dimension_permutation, VisitOrder};
+
+/// The PDX-BOND pruner.
+///
+/// ```
+/// use pdx_core::{PdxBond, Metric, VisitOrder, SearchParams};
+/// use pdx_core::collection::PdxCollection;
+/// use pdx_core::search::pdxearch;
+///
+/// // Eight 4-dim vectors in two PDX blocks; query equals vector 5.
+/// let rows: Vec<f32> = (0..32).map(|i| (i % 7) as f32).collect();
+/// let coll = PdxCollection::from_rows_partitioned(&rows, 8, 4, 4, 64);
+/// let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+/// let blocks: Vec<_> = coll.blocks.iter().collect();
+/// let hits = pdxearch(&bond, &blocks, &rows[20..24], &SearchParams::new(1));
+/// assert_eq!(hits[0].id, 5);
+/// assert_eq!(hits[0].distance, 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PdxBond {
+    metric: Metric,
+    order: VisitOrder,
+}
+
+/// Query state: PDX-BOND uses the raw query unchanged.
+#[derive(Debug, Clone)]
+pub struct BondQuery {
+    query: Vec<f32>,
+}
+
+impl PdxBond {
+    /// Creates a PDX-BOND pruner.
+    ///
+    /// # Panics
+    /// Panics if `metric` is not monotonic (partial-distance pruning is
+    /// unsound for inner product).
+    pub fn new(metric: Metric, order: VisitOrder) -> Self {
+        assert!(
+            metric.is_monotonic(),
+            "PDX-BOND requires a monotonic metric (L2/L1); {metric:?} is not"
+        );
+        Self { metric, order }
+    }
+
+    /// The configured visit order.
+    pub fn order(&self) -> VisitOrder {
+        self.order
+    }
+}
+
+impl Pruner for PdxBond {
+    type Query = BondQuery;
+    type Checkpoint = f32;
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn prepare_query(&self, query: &[f32]) -> BondQuery {
+        BondQuery { query: query.to_vec() }
+    }
+
+    fn query_vector<'q>(&self, q: &'q BondQuery) -> &'q [f32] {
+        &q.query
+    }
+
+    fn dim_order(&self, q: &BondQuery, stats: Option<&BlockStats>) -> Option<Vec<u32>> {
+        dimension_permutation(self.order, &q.query, stats.map(|s| s.means.as_slice()))
+    }
+
+    fn checkpoint(&self, _q: &BondQuery, _dims_scanned: usize, _dims_total: usize, threshold: f32) -> f32 {
+        threshold
+    }
+
+    #[inline(always)]
+    fn survives(cp: &f32, partial: f32, _aux: f32) -> bool {
+        partial <= *cp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survives_is_partial_vs_threshold() {
+        assert!(PdxBond::survives(&10.0, 9.9, 0.0));
+        assert!(PdxBond::survives(&10.0, 10.0, 0.0));
+        assert!(!PdxBond::survives(&10.0, 10.1, 0.0));
+    }
+
+    #[test]
+    fn infinite_threshold_never_prunes() {
+        assert!(PdxBond::survives(&f32::INFINITY, f32::MAX, 0.0));
+    }
+
+    #[test]
+    fn query_passes_through_unchanged() {
+        let bond = PdxBond::new(Metric::L2, VisitOrder::Sequential);
+        let q = bond.prepare_query(&[1.0, 2.0, 3.0]);
+        assert_eq!(bond.query_vector(&q), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sequential_order_yields_no_permutation() {
+        let bond = PdxBond::new(Metric::L2, VisitOrder::Sequential);
+        let q = bond.prepare_query(&[1.0, 2.0]);
+        assert!(bond.dim_order(&q, None).is_none());
+    }
+
+    #[test]
+    fn means_order_uses_block_stats() {
+        let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+        let q = bond.prepare_query(&[0.0, 0.0, 0.0]);
+        let stats = BlockStats { means: vec![1.0, 5.0, 3.0], variances: vec![0.0; 3] };
+        let perm = bond.dim_order(&q, Some(&stats)).unwrap();
+        assert_eq!(perm, vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn rejects_inner_product() {
+        let _ = PdxBond::new(Metric::NegativeIp, VisitOrder::Sequential);
+    }
+}

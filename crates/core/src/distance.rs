@@ -1,0 +1,132 @@
+//! Distance metrics and scalar reference implementations.
+//!
+//! Every kernel in this crate accumulates *distance-like* values that are
+//! **minimized** by nearest-neighbour search. For inner product (a
+//! similarity), the kernels accumulate the negated dot product, so a
+//! smaller value always means a closer vector.
+
+/// Distance metric of a scan or search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Squared Euclidean distance `Σ (qᵢ − vᵢ)²`.
+    L2,
+    /// Manhattan distance `Σ |qᵢ − vᵢ|`.
+    L1,
+    /// Negated inner product `−Σ qᵢ·vᵢ` (so that minimizing it maximizes
+    /// the dot product).
+    NegativeIp,
+}
+
+impl Metric {
+    /// Human-readable short name (as used in the paper's tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::L2 => "L2",
+            Metric::L1 => "L1",
+            Metric::NegativeIp => "IP",
+        }
+    }
+
+    /// Whether partial sums of this metric only grow as more dimensions
+    /// are accumulated — the property exact pruning (PDX-BOND) relies on.
+    pub fn is_monotonic(self) -> bool {
+        matches!(self, Metric::L2 | Metric::L1)
+    }
+
+    /// One accumulation term. The building block of every kernel.
+    #[inline(always)]
+    pub fn term(self, q: f32, v: f32) -> f32 {
+        match self {
+            Metric::L2 => {
+                let d = q - v;
+                d * d
+            }
+            Metric::L1 => (q - v).abs(),
+            Metric::NegativeIp => -(q * v),
+        }
+    }
+}
+
+/// Scalar reference distance over full vectors. Used for testing and as
+/// the "vanilla / Scikit-learn" baseline (single accumulator, carries a
+/// loop-carried dependency).
+pub fn distance_scalar(metric: Metric, q: &[f32], v: &[f32]) -> f32 {
+    debug_assert_eq!(q.len(), v.len());
+    let mut acc = 0.0f32;
+    for (a, b) in q.iter().zip(v) {
+        acc += metric.term(*a, *b);
+    }
+    acc
+}
+
+/// Scalar reference distance over a dimension range.
+pub fn distance_scalar_range(metric: Metric, q: &[f32], v: &[f32], range: std::ops::Range<usize>) -> f32 {
+    distance_scalar(metric, &q[range.clone()], &v[range])
+}
+
+/// Normalizes a vector to unit L2 norm in place; returns the original
+/// norm. Cosine similarity search is inner-product search on normalized
+/// vectors, so this is the only cosine helper the crate needs.
+pub fn normalize(v: &mut [f32]) -> f32 {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_matches_manual() {
+        let d = distance_scalar(Metric::L2, &[1.0, 2.0], &[4.0, 6.0]);
+        assert_eq!(d, 9.0 + 16.0);
+    }
+
+    #[test]
+    fn l1_matches_manual() {
+        let d = distance_scalar(Metric::L1, &[1.0, 2.0], &[4.0, -6.0]);
+        assert_eq!(d, 3.0 + 8.0);
+    }
+
+    #[test]
+    fn ip_is_negated_dot() {
+        let d = distance_scalar(Metric::NegativeIp, &[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(d, -11.0);
+    }
+
+    #[test]
+    fn monotonicity_flags() {
+        assert!(Metric::L2.is_monotonic());
+        assert!(Metric::L1.is_monotonic());
+        assert!(!Metric::NegativeIp.is_monotonic());
+    }
+
+    #[test]
+    fn range_distance_is_partial() {
+        let q = [1.0, 2.0, 3.0];
+        let v = [0.0, 0.0, 0.0];
+        assert_eq!(distance_scalar_range(Metric::L2, &q, &v, 0..2), 5.0);
+        assert_eq!(distance_scalar_range(Metric::L2, &q, &v, 2..3), 9.0);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        let n = normalize(&mut v);
+        assert_eq!(n, 5.0);
+        assert!((v[0] - 0.6).abs() < 1e-7);
+        assert!((v[1] - 0.8).abs() < 1e-7);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut v), 0.0);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+}

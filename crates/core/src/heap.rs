@@ -1,0 +1,203 @@
+//! Bounded max-heap for k-nearest-neighbour candidates.
+//!
+//! The heap keeps the `k` smallest distances seen so far; its root (the
+//! current k-th best distance) is the pruning threshold that PDXearch
+//! propagates from block to block (§4).
+
+/// One search result: a vector id and its distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Collection-level vector id.
+    pub id: u64,
+    /// Distance (metric-dependent; always minimized).
+    pub distance: f32,
+}
+
+/// Bounded max-heap of the `k` best (smallest-distance) candidates.
+///
+/// ```
+/// use pdx_core::heap::KnnHeap;
+/// let mut heap = KnnHeap::new(2);
+/// assert_eq!(heap.threshold(), f32::INFINITY); // nothing can be pruned yet
+/// heap.push(7, 4.0);
+/// heap.push(3, 1.0);
+/// heap.push(9, 9.0); // rejected: worse than the current best-2
+/// assert_eq!(heap.threshold(), 4.0);
+/// let ids: Vec<u64> = heap.into_sorted().iter().map(|n| n.id).collect();
+/// assert_eq!(ids, vec![3, 7]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnHeap {
+    k: usize,
+    /// Binary max-heap ordered by distance; `entries[0]` is the worst of
+    /// the current best-k.
+    entries: Vec<Neighbor>,
+}
+
+impl KnnHeap {
+    /// Creates an empty heap that retains the best `k` candidates.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, entries: Vec::with_capacity(k) }
+    }
+
+    /// Capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of candidates currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no candidate has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The pruning threshold: the k-th best distance, or `+∞` while the
+    /// heap holds fewer than `k` candidates (nothing can be pruned yet).
+    pub fn threshold(&self) -> f32 {
+        if self.entries.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.entries[0].distance
+        }
+    }
+
+    /// Offers a candidate; keeps it only if it improves the best-k.
+    /// Returns `true` if the candidate was retained.
+    pub fn push(&mut self, id: u64, distance: f32) -> bool {
+        if self.entries.len() < self.k {
+            self.entries.push(Neighbor { id, distance });
+            self.sift_up(self.entries.len() - 1);
+            true
+        } else if distance < self.entries[0].distance {
+            self.entries[0] = Neighbor { id, distance };
+            self.sift_down(0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the heap, returning neighbours sorted by ascending
+    /// distance (ties broken by id for determinism).
+    pub fn into_sorted(mut self) -> Vec<Neighbor> {
+        self.entries.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("NaN distance in heap")
+                .then(a.id.cmp(&b.id))
+        });
+        self.entries
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.entries[i].distance > self.entries[parent].distance {
+                self.entries.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.entries.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < n && self.entries[l].distance > self.entries[largest].distance {
+                largest = l;
+            }
+            if r < n && self.entries[r].distance > self.entries[largest].distance {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.entries.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut h = KnnHeap::new(3);
+        for (id, d) in [(0u64, 5.0f32), (1, 1.0), (2, 4.0), (3, 2.0), (4, 3.0)] {
+            h.push(id, d);
+        }
+        let r = h.into_sorted();
+        assert_eq!(r.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 3, 4]);
+        assert_eq!(r[0].distance, 1.0);
+    }
+
+    #[test]
+    fn threshold_is_infinite_until_full() {
+        let mut h = KnnHeap::new(2);
+        assert_eq!(h.threshold(), f32::INFINITY);
+        h.push(0, 1.0);
+        assert_eq!(h.threshold(), f32::INFINITY);
+        h.push(1, 2.0);
+        assert_eq!(h.threshold(), 2.0);
+        h.push(2, 0.5);
+        assert_eq!(h.threshold(), 1.0);
+    }
+
+    #[test]
+    fn rejects_worse_candidates_when_full() {
+        let mut h = KnnHeap::new(1);
+        assert!(h.push(0, 1.0));
+        assert!(!h.push(1, 2.0));
+        assert!(h.push(2, 0.1));
+        assert_eq!(h.into_sorted()[0].id, 2);
+    }
+
+    #[test]
+    fn ties_sorted_by_id() {
+        let mut h = KnnHeap::new(3);
+        h.push(9, 1.0);
+        h.push(4, 1.0);
+        h.push(7, 1.0);
+        let ids: Vec<u64> = h.into_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![4, 7, 9]);
+    }
+
+    #[test]
+    fn random_streams_match_sorting() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let n = rng.random_range(1..200);
+            let k = rng.random_range(1..=20);
+            let dists: Vec<f32> = (0..n).map(|_| rng.random::<f32>()).collect();
+            let mut h = KnnHeap::new(k);
+            for (i, &d) in dists.iter().enumerate() {
+                h.push(i as u64, d);
+            }
+            let got: Vec<f32> = h.into_sorted().iter().map(|x| x.distance).collect();
+            let mut want = dists.clone();
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            want.truncate(k);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = KnnHeap::new(0);
+    }
+}

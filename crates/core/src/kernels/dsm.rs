@@ -1,0 +1,72 @@
+//! The DSM (fully decomposed) kernel.
+//!
+//! One pass per dimension over the *whole* collection: `out[v] +=
+//! term(q_d, column_d[v])`. Sequential access is maximal, but the
+//! collection-sized accumulator array cannot stay in registers, so every
+//! dimension pays a full load+store sweep of `out` — the §7 explanation
+//! for why PDX (register-resident 64-wide accumulators) wins in memory.
+
+use crate::distance::Metric;
+use crate::layout::DsmMatrix;
+
+/// Computes distances of `query` to every vector of a DSM collection.
+///
+/// # Panics
+/// Panics if `out.len() != dsm.len()` or the query width differs.
+pub fn dsm_scan(metric: Metric, dsm: &DsmMatrix, query: &[f32], out: &mut [f32]) {
+    assert_eq!(out.len(), dsm.len(), "one output per vector required");
+    assert_eq!(query.len(), dsm.dims(), "query dimensionality mismatch");
+    out.fill(0.0);
+    for (d, &q) in query.iter().enumerate() {
+        let col = dsm.column(d);
+        match metric {
+            Metric::L2 => {
+                for (acc, v) in out.iter_mut().zip(col) {
+                    let diff = q - v;
+                    *acc += diff * diff;
+                }
+            }
+            Metric::L1 => {
+                for (acc, v) in out.iter_mut().zip(col) {
+                    *acc += (q - v).abs();
+                }
+            }
+            Metric::NegativeIp => {
+                for (acc, v) in out.iter_mut().zip(col) {
+                    *acc -= q * v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::distance_scalar;
+
+    #[test]
+    fn matches_scalar_reference() {
+        let n = 37;
+        let d = 11;
+        let rows: Vec<f32> = (0..n * d).map(|i| ((i * 13 % 29) as f32) - 14.0).collect();
+        let dsm = DsmMatrix::from_rows(&rows, n, d);
+        let q: Vec<f32> = (0..d).map(|i| i as f32 * 0.5).collect();
+        for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
+            let mut out = vec![0.0; n];
+            dsm_scan(metric, &dsm, &q, &mut out);
+            for v in 0..n {
+                let want = distance_scalar(metric, &q, &rows[v * d..(v + 1) * d]);
+                assert!((out[v] - want).abs() <= want.abs().max(1.0) * 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_collection() {
+        let dsm = DsmMatrix::from_rows(&[], 0, 4);
+        let mut out = vec![];
+        dsm_scan(Metric::L2, &dsm, &[0.0; 4], &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! Distance kernels for every layout the paper evaluates.
+//!
+//! * [`pdx`] — the multiple-vectors-at-a-time kernels on PDX groups
+//!   (Algorithm 1): plain scalar Rust whose inner loop auto-vectorizes,
+//!   with per-lane independent accumulators and no reduction step.
+//! * [`nary`] — horizontal kernels: the single-accumulator scalar
+//!   baseline, the unrolled multi-accumulator variant, and the explicit
+//!   AVX2+FMA SIMD kernels that stand in for SimSIMD/FAISS (Table 4's
+//!   competitor), selected at runtime.
+//! * [`dsm`] — the full-column kernel (distance array updated once per
+//!   dimension across the whole collection).
+//! * [`gather`] — on-the-fly transposition of the horizontal layout into
+//!   a PDX tile followed by the PDX kernel (Figure 3 rightmost /
+//!   Figure 12): shows why PDX must be the *stored* layout.
+
+pub mod dsm;
+pub mod gather;
+pub mod nary;
+pub mod pdx;
+
+pub use dsm::dsm_scan;
+pub use gather::{gather_scan, gather_scan_split_timing};
+pub use nary::{nary_distance, simd_available, KernelVariant};
+pub use pdx::{
+    pdx_accumulate, pdx_accumulate_permuted, pdx_accumulate_positions,
+    pdx_accumulate_positions_permuted, pdx_scan,
+};

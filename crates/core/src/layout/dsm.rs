@@ -1,0 +1,89 @@
+//! The fully decomposed (DSM) layout: one contiguous array per dimension
+//! across the *entire* collection — the BOND (de Vries et al., 2002)
+//! storage model. The paper's §7 shows it maximizes sequential access but
+//! forces the distance accumulator array (one slot per collection vector)
+//! through loads/stores on every dimension, which is why group-tiled PDX
+//! beats it in memory.
+
+/// Column-major collection: `data[dim * n_vectors + vector]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsmMatrix {
+    n_vectors: usize,
+    n_dims: usize,
+    data: Vec<f32>,
+}
+
+impl DsmMatrix {
+    /// Builds from row-major data.
+    ///
+    /// # Panics
+    /// Panics if the buffer size disagrees with the dimensions.
+    pub fn from_rows(rows: &[f32], n_vectors: usize, n_dims: usize) -> Self {
+        assert_eq!(rows.len(), n_vectors * n_dims, "row buffer does not match dimensions");
+        let mut data = vec![0.0f32; rows.len()];
+        for v in 0..n_vectors {
+            for d in 0..n_dims {
+                data[d * n_vectors + v] = rows[v * n_dims + d];
+            }
+        }
+        Self { n_vectors, n_dims, data }
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.n_vectors
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_vectors == 0
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.n_dims
+    }
+
+    /// All values of dimension `d`, one per vector.
+    pub fn column(&self, d: usize) -> &[f32] {
+        &self.data[d * self.n_vectors..(d + 1) * self.n_vectors]
+    }
+
+    /// Value of dimension `d` of vector `v`.
+    pub fn value(&self, v: usize, d: usize) -> f32 {
+        self.data[d * self.n_vectors + v]
+    }
+
+    /// Converts back to row-major form.
+    pub fn to_rows(&self) -> Vec<f32> {
+        let mut rows = vec![0.0f32; self.data.len()];
+        for d in 0..self.n_dims {
+            for v in 0..self.n_vectors {
+                rows[v * self.n_dims + d] = self.data[d * self.n_vectors + v];
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let rows: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let m = DsmMatrix::from_rows(&rows, 3, 4);
+        assert_eq!(m.to_rows(), rows);
+    }
+
+    #[test]
+    fn columns_are_contiguous_dimensions() {
+        let rows = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let m = DsmMatrix::from_rows(&rows, 2, 3);
+        assert_eq!(m.column(0), &[1.0, 4.0]);
+        assert_eq!(m.column(1), &[2.0, 5.0]);
+        assert_eq!(m.column(2), &[3.0, 6.0]);
+        assert_eq!(m.value(1, 2), 6.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! ADSampling's dual-block horizontal layout.
+//!
+//! ADSampling (Gao & Long, 2023) splits every vector at dimension `Δd`:
+//! the first `Δd` dimensions of *all* vectors are stored together (they
+//! are always scanned, so they cache well), and the remaining dimensions
+//! live in a second segment that is touched only for vectors that survive
+//! the first hypothesis test. The paper's SIMD-ADS / SCALAR-ADS baselines
+//! run on this layout (§6.1 "we adopt the dual-block layout").
+
+use super::NaryMatrix;
+
+/// Two-segment horizontal layout split at `split` dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualBlockMatrix {
+    split: usize,
+    n_dims: usize,
+    /// `n × split`: the always-scanned head segment.
+    head: NaryMatrix,
+    /// `n × (n_dims − split)`: the rest, touched only for survivors.
+    tail: NaryMatrix,
+}
+
+impl DualBlockMatrix {
+    /// Builds from row-major data, splitting each vector at `split`.
+    ///
+    /// # Panics
+    /// Panics if `split == 0` or `split > n_dims`, or on a size mismatch.
+    pub fn from_rows(rows: &[f32], n_vectors: usize, n_dims: usize, split: usize) -> Self {
+        assert!(split > 0 && split <= n_dims, "split must be in 1..=n_dims");
+        assert_eq!(rows.len(), n_vectors * n_dims, "row buffer does not match dimensions");
+        let tail_dims = n_dims - split;
+        let mut head = Vec::with_capacity(n_vectors * split);
+        let mut tail = Vec::with_capacity(n_vectors * tail_dims);
+        for v in 0..n_vectors {
+            let row = &rows[v * n_dims..(v + 1) * n_dims];
+            head.extend_from_slice(&row[..split]);
+            tail.extend_from_slice(&row[split..]);
+        }
+        Self {
+            split,
+            n_dims,
+            head: NaryMatrix::from_vec(n_vectors, split, head),
+            tail: NaryMatrix::from_vec(n_vectors, tail_dims, tail),
+        }
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Full dimensionality.
+    pub fn dims(&self) -> usize {
+        self.n_dims
+    }
+
+    /// The split point (head segment width).
+    pub fn split(&self) -> usize {
+        self.split
+    }
+
+    /// First `split` dimensions of vector `v`.
+    pub fn head_row(&self, v: usize) -> &[f32] {
+        self.head.row(v)
+    }
+
+    /// Remaining dimensions of vector `v` (empty when `split == dims`).
+    pub fn tail_row(&self, v: usize) -> &[f32] {
+        self.tail.row(v)
+    }
+
+    /// Reassembles vector `v` in row form (test/debug path).
+    pub fn vector(&self, v: usize) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.n_dims);
+        out.extend_from_slice(self.head_row(v));
+        out.extend_from_slice(self.tail_row(v));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_reassemble() {
+        let rows: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let m = DualBlockMatrix::from_rows(&rows, 3, 4, 1);
+        assert_eq!(m.head_row(1), &[4.0]);
+        assert_eq!(m.tail_row(1), &[5.0, 6.0, 7.0]);
+        for v in 0..3 {
+            assert_eq!(m.vector(v), rows[v * 4..(v + 1) * 4].to_vec());
+        }
+    }
+
+    #[test]
+    fn full_split_has_empty_tail() {
+        let rows = [1.0, 2.0, 3.0, 4.0];
+        let m = DualBlockMatrix::from_rows(&rows, 2, 2, 2);
+        assert!(m.tail_row(0).is_empty());
+        assert_eq!(m.vector(1), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "split must be")]
+    fn zero_split_panics() {
+        let _ = DualBlockMatrix::from_rows(&[1.0, 2.0], 1, 2, 0);
+    }
+}

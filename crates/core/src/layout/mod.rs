@@ -1,0 +1,25 @@
+//! Vector storage layouts.
+//!
+//! The paper compares four physical layouts (its Figures 1 and 3):
+//!
+//! * [`PdxBlock`] — the proposed **PDX** layout: vectors are tiled into
+//!   groups of `G` (default 64) and each group stores its values
+//!   dimension-major, so a distance kernel sweeps one dimension across
+//!   `G` vectors in a tight, dependence-free loop.
+//! * [`NaryMatrix`] — the conventional horizontal (vector-by-vector)
+//!   layout used by FAISS/USearch/Milvus and the `.fvecs` format.
+//! * [`DsmMatrix`] — full vertical decomposition (one array per
+//!   dimension over the *whole* collection), the BOND/DSM layout.
+//! * [`DualBlockMatrix`] — ADSampling's two-segment horizontal layout
+//!   (first Δd dimensions of all vectors stored together, remainder in a
+//!   second segment).
+
+mod dsm;
+mod dual;
+mod nary;
+mod pdx;
+
+pub use dsm::DsmMatrix;
+pub use dual::DualBlockMatrix;
+pub use nary::NaryMatrix;
+pub use pdx::{PdxBlock, PdxGroup};

@@ -1,0 +1,103 @@
+//! The horizontal (vector-by-vector / N-ary) layout — the de-facto
+//! standard the paper compares against (`.fvecs`, FAISS, USearch, …).
+
+/// Row-major collection of vectors: row `i` is vector `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaryMatrix {
+    n_vectors: usize,
+    n_dims: usize,
+    data: Vec<f32>,
+}
+
+impl NaryMatrix {
+    /// Wraps a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n_vectors * n_dims`.
+    pub fn from_vec(n_vectors: usize, n_dims: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), n_vectors * n_dims, "buffer does not match dimensions");
+        Self { n_vectors, n_dims, data }
+    }
+
+    /// Copies a row-major slice.
+    pub fn from_rows(rows: &[f32], n_vectors: usize, n_dims: usize) -> Self {
+        Self::from_vec(n_vectors, n_dims, rows.to_vec())
+    }
+
+    /// Gathers the given row ids out of a larger row-major collection.
+    pub fn from_row_ids(all_rows: &[f32], n_dims: usize, ids: &[u32]) -> Self {
+        let mut data = Vec::with_capacity(ids.len() * n_dims);
+        for &id in ids {
+            let row = id as usize;
+            data.extend_from_slice(&all_rows[row * n_dims..(row + 1) * n_dims]);
+        }
+        Self { n_vectors: ids.len(), n_dims, data }
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.n_vectors
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_vectors == 0
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.n_dims
+    }
+
+    /// Vector `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.n_dims..(i + 1) * self.n_dims]
+    }
+
+    /// Mutable vector `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.n_dims..(i + 1) * self.n_dims]
+    }
+
+    /// The full row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consumes into the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterator over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.n_dims.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_round_trip() {
+        let m = NaryMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.rows().count(), 2);
+    }
+
+    #[test]
+    fn gather_by_ids() {
+        let all = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let m = NaryMatrix::from_row_ids(&all, 2, &[2, 0]);
+        assert_eq!(m.row(0), &[4.0, 5.0]);
+        assert_eq!(m.row(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer does not match")]
+    fn bad_buffer_panics() {
+        let _ = NaryMatrix::from_vec(2, 2, vec![1.0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! # pdx-core — the PDX data layout and the PDXearch framework
+//!
+//! From-scratch Rust implementation of *"PDX: A Data Layout for Vector
+//! Similarity Search"* (Kuffo, Krippner, Boncz; SIGMOD 2025).
+//!
+//! ## What lives here
+//!
+//! * [`layout`] — the **PDX** (Partition Dimensions Across) block layout
+//!   that stores groups of vectors dimension-major, plus the competing
+//!   layouts the paper evaluates against: the horizontal/N-ary layout
+//!   ([`layout::NaryMatrix`]), the fully decomposed DSM layout
+//!   ([`layout::DsmMatrix`]) and ADSampling's dual-block layout
+//!   ([`layout::DualBlockMatrix`]).
+//! * [`kernels`] — multi-vector-at-a-time distance kernels on PDX blocks
+//!   (scalar code that auto-vectorizes; Algorithm 1 of the paper), the
+//!   explicit-SIMD and scalar horizontal kernels used as baselines, the
+//!   DSM kernel, and the on-the-fly gather/transpose kernel of Figure 12.
+//! * [`search`] — the **PDXearch** framework (§4): block-by-block search
+//!   with START / WARMUP / PRUNE phases, adaptive dimension stepping and
+//!   branchless bound evaluation, generic over a dimension [`pruning`]
+//!   strategy; plus linear-scan searchers for every layout and the
+//!   vector-at-a-time horizontal pruned search used by the paper's
+//!   SIMD-ADS / SCALAR-ADS baselines.
+//! * [`bond`] — **PDX-BOND** (§5), the exact, transformation-free pruner
+//!   with query-aware dimension visit orders ([`visit_order`]).
+//!
+//! Distances are *minimized* everywhere; inner product is exposed as the
+//! negated dot product so that one k-nearest-neighbour heap serves all
+//! metrics.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pdx_core::layout::PdxBlock;
+//! use pdx_core::kernels::pdx_scan;
+//! use pdx_core::distance::Metric;
+//!
+//! // Four 3-dimensional vectors, stored dimension-major in one block.
+//! let rows = [
+//!     1.0, 0.0, 0.0,
+//!     0.0, 1.0, 0.0,
+//!     0.0, 0.0, 1.0,
+//!     1.0, 1.0, 1.0f32,
+//! ];
+//! let block = PdxBlock::from_rows(&rows, 4, 3, 64);
+//! let mut distances = vec![0.0; 4];
+//! pdx_scan(Metric::L2, &block, &[1.0, 0.0, 0.0], &mut distances);
+//! assert_eq!(distances, vec![0.0, 2.0, 2.0, 2.0]);
+//! ```
+
+pub mod bond;
+pub mod collection;
+pub mod distance;
+pub mod heap;
+pub mod kernels;
+pub mod layout;
+pub mod profile;
+pub mod pruning;
+pub mod search;
+pub mod stats;
+pub mod visit_order;
+
+pub use bond::PdxBond;
+pub use collection::{PdxCollection, SearchBlock};
+pub use distance::Metric;
+pub use heap::{KnnHeap, Neighbor};
+pub use layout::{DsmMatrix, DualBlockMatrix, NaryMatrix, PdxBlock};
+pub use profile::SearchProfile;
+pub use pruning::{checkpoints, BlockAux, Pruner, StepPolicy};
+pub use search::{
+    horizontal_pruned_search, linear_scan_dsm, linear_scan_nary, linear_scan_pdx, pdxearch,
+    KernelVariant, SearchParams,
+};
+pub use stats::BlockStats;
+pub use visit_order::VisitOrder;
+
+/// Default number of vectors per PDX group: the paper's Table 5 sweet
+/// spot, where one group's distance accumulators fit in the SIMD register
+/// file on AVX2/AVX-512/NEON alike.
+pub const DEFAULT_GROUP_SIZE: usize = 64;
+
+/// Default flat-partition block size for index-less exact search (§6.5).
+pub const DEFAULT_EXACT_BLOCK: usize = 10_240;

@@ -1,0 +1,70 @@
+//! Phase timers for the Table 7 query-runtime breakdown.
+//!
+//! The paper splits an IVF query into four components: query
+//! preprocessing, finding the nearest buckets, bound evaluation and
+//! distance calculation. [`SearchProfile`] accumulates nanoseconds per
+//! phase; the profiled search path is a separate monomorphization so the
+//! unprofiled hot path carries zero timer overhead.
+
+/// Accumulated per-phase runtime of one or more queries, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchProfile {
+    /// Query transformation (rotation) + visit-order computation.
+    pub preprocess_ns: u64,
+    /// Distance of the query to IVF centroids + bucket ranking.
+    pub find_buckets_ns: u64,
+    /// Pruning-bound evaluation (the survival-test loops).
+    pub bounds_ns: u64,
+    /// Distance-kernel accumulation.
+    pub distance_ns: u64,
+}
+
+impl SearchProfile {
+    /// Total across phases.
+    pub fn total_ns(&self) -> u64 {
+        self.preprocess_ns + self.find_buckets_ns + self.bounds_ns + self.distance_ns
+    }
+
+    /// Adds another profile's counters into this one.
+    pub fn merge(&mut self, other: &SearchProfile) {
+        self.preprocess_ns += other.preprocess_ns;
+        self.find_buckets_ns += other.find_buckets_ns;
+        self.bounds_ns += other.bounds_ns;
+        self.distance_ns += other.distance_ns;
+    }
+
+    /// Percentage share of one phase (0–100), for table rendering.
+    pub fn share(&self, phase_ns: u64) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            phase_ns as f64 * 100.0 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_shares() {
+        let p = SearchProfile { preprocess_ns: 10, find_buckets_ns: 20, bounds_ns: 30, distance_ns: 40 };
+        assert_eq!(p.total_ns(), 100);
+        assert_eq!(p.share(p.distance_ns), 40.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SearchProfile { preprocess_ns: 1, find_buckets_ns: 2, bounds_ns: 3, distance_ns: 4 };
+        a.merge(&a.clone());
+        assert_eq!(a.total_ns(), 20);
+    }
+
+    #[test]
+    fn empty_profile_has_zero_share() {
+        let p = SearchProfile::default();
+        assert_eq!(p.share(0), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The pruning abstraction PDXearch is generic over, plus the adaptive
+//! checkpoint schedule (§4) and per-block auxiliary pruner data.
+//!
+//! A [`Pruner`] supplies three things:
+//!
+//! 1. a query transformation into the space the collection is stored in
+//!    (identity for PDX-BOND, a rotation for ADSampling/BSA);
+//! 2. an optional query-aware dimension visit order (PDX-BOND);
+//! 3. a **branchless survival test**: per checkpoint, a small `Copy`
+//!    state is computed once, and `survives(state, partial, aux)` is a
+//!    pure comparison evaluated in a tight loop over all candidates —
+//!    never interleaved with distance accumulation (Issue #3 of §2.4).
+
+use crate::distance::Metric;
+use crate::stats::BlockStats;
+
+/// How many dimensions PDXearch fetches between bound evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepPolicy {
+    /// Exponentially growing steps: fetch `start`, then `2·start`, then
+    /// `4·start`, … dimensions (the paper's adaptive schedule, §4 and
+    /// Figure 7).
+    Adaptive {
+        /// First step size (the paper starts at 2).
+        start: usize,
+    },
+    /// Fixed-size steps (ADSampling/BSA's original Δd = 32 schedule).
+    Fixed {
+        /// Step size Δd.
+        step: usize,
+    },
+}
+
+impl Default for StepPolicy {
+    fn default() -> Self {
+        StepPolicy::Adaptive { start: 2 }
+    }
+}
+
+/// Cumulative dimensions scanned at each bound evaluation, ending exactly
+/// at `dims`.
+///
+/// ```
+/// use pdx_core::pruning::{checkpoints, StepPolicy};
+/// assert_eq!(checkpoints(StepPolicy::Adaptive { start: 2 }, 30), vec![2, 6, 14, 30]);
+/// assert_eq!(checkpoints(StepPolicy::Fixed { step: 32 }, 96), vec![32, 64, 96]);
+/// ```
+pub fn checkpoints(policy: StepPolicy, dims: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    match policy {
+        StepPolicy::Adaptive { start } => {
+            let mut step = start.max(1);
+            let mut at = 0usize;
+            while at < dims {
+                at = (at + step).min(dims);
+                out.push(at);
+                step *= 2;
+            }
+        }
+        StepPolicy::Fixed { step } => {
+            let step = step.max(1);
+            let mut at = 0usize;
+            while at < dims {
+                at = (at + step).min(dims);
+                out.push(at);
+            }
+        }
+    }
+    out
+}
+
+/// Per-block auxiliary pruner data, laid out checkpoint-major so the
+/// survival loop reads one contiguous row per checkpoint (e.g. BSA's
+/// per-vector residual norms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockAux {
+    /// The `dims_scanned` value of each stored checkpoint, ascending.
+    pub checkpoint_dims: Vec<u32>,
+    /// Vectors per checkpoint row (= block length).
+    pub lanes: usize,
+    /// `data[ckpt * lanes + vector]`.
+    pub data: Vec<f32>,
+}
+
+impl BlockAux {
+    /// Creates aux storage for the given checkpoint schedule.
+    pub fn new(checkpoint_dims: Vec<u32>, lanes: usize) -> Self {
+        let data = vec![0.0f32; checkpoint_dims.len() * lanes];
+        Self { checkpoint_dims, lanes, data }
+    }
+
+    /// The per-vector row for checkpoint index `ci`.
+    pub fn row(&self, ci: usize) -> &[f32] {
+        &self.data[ci * self.lanes..(ci + 1) * self.lanes]
+    }
+
+    /// Mutable row for checkpoint index `ci`.
+    pub fn row_mut(&mut self, ci: usize) -> &mut [f32] {
+        &mut self.data[ci * self.lanes..(ci + 1) * self.lanes]
+    }
+
+    /// Index of the checkpoint whose `dims_scanned` equals `dims`, if any.
+    pub fn index_of(&self, dims: usize) -> Option<usize> {
+        self.checkpoint_dims.binary_search(&(dims as u32)).ok()
+    }
+}
+
+/// A dimension-pruning strategy pluggable into PDXearch (§4) and the
+/// horizontal baseline search.
+pub trait Pruner {
+    /// Per-query state (transformed query plus any derived terms).
+    type Query;
+
+    /// Per-(block, checkpoint) state for the survival test. Kept `Copy`
+    /// and tiny so it lives in registers during the test loop.
+    type Checkpoint: Copy;
+
+    /// Whether [`Pruner::survives`] consumes per-vector auxiliary data
+    /// (BSA's residual norms). When `false`, PDXearch skips aux lookups.
+    const NEEDS_AUX: bool = false;
+
+    /// The metric whose distances this pruner bounds.
+    fn metric(&self) -> Metric;
+
+    /// Transforms a raw query into collection space.
+    fn prepare_query(&self, query: &[f32]) -> Self::Query;
+
+    /// The query vector to feed the distance kernels.
+    fn query_vector<'q>(&self, q: &'q Self::Query) -> &'q [f32];
+
+    /// Query-aware dimension visit order for a block (`None` = storage
+    /// order). `stats` carries the block's per-dimension means.
+    fn dim_order(&self, _q: &Self::Query, _stats: Option<&BlockStats>) -> Option<Vec<u32>> {
+        None
+    }
+
+    /// Computes the survival-test state for one checkpoint.
+    ///
+    /// `dims_scanned` counts dimensions accumulated so far, `dims_total`
+    /// is the full dimensionality, `threshold` the current k-th best
+    /// distance.
+    fn checkpoint(
+        &self,
+        q: &Self::Query,
+        dims_scanned: usize,
+        dims_total: usize,
+        threshold: f32,
+    ) -> Self::Checkpoint;
+
+    /// Branch-free survival test: `true` keeps the candidate. `aux` is
+    /// this vector's value from the block's [`BlockAux`] row (0.0 when
+    /// [`Pruner::NEEDS_AUX`] is `false`).
+    fn survives(cp: &Self::Checkpoint, partial: f32, aux: f32) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_checkpoints_double() {
+        assert_eq!(checkpoints(StepPolicy::Adaptive { start: 2 }, 30), vec![2, 6, 14, 30]);
+        assert_eq!(checkpoints(StepPolicy::Adaptive { start: 2 }, 100), vec![2, 6, 14, 30, 62, 100]);
+        assert_eq!(checkpoints(StepPolicy::Adaptive { start: 1 }, 7), vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn fixed_checkpoints_step() {
+        assert_eq!(checkpoints(StepPolicy::Fixed { step: 32 }, 96), vec![32, 64, 96]);
+        assert_eq!(checkpoints(StepPolicy::Fixed { step: 32 }, 100), vec![32, 64, 96, 100]);
+    }
+
+    #[test]
+    fn last_checkpoint_is_always_dims() {
+        for dims in [1usize, 2, 5, 31, 32, 33, 960, 1536] {
+            for policy in [
+                StepPolicy::Adaptive { start: 2 },
+                StepPolicy::Adaptive { start: 4 },
+                StepPolicy::Fixed { step: 32 },
+                StepPolicy::Fixed { step: 7 },
+            ] {
+                let cps = checkpoints(policy, dims);
+                assert_eq!(*cps.last().unwrap(), dims, "{policy:?} dims={dims}");
+                assert!(cps.windows(2).all(|w| w[0] < w[1]), "not strictly increasing");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_start_is_clamped() {
+        assert_eq!(checkpoints(StepPolicy::Adaptive { start: 0 }, 4), vec![1, 3, 4]);
+        assert_eq!(checkpoints(StepPolicy::Fixed { step: 0 }, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn aux_rows_are_isolated() {
+        let mut aux = BlockAux::new(vec![2, 6], 3);
+        aux.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        aux.row_mut(1).copy_from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(aux.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(aux.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(aux.index_of(6), Some(1));
+        assert_eq!(aux.index_of(5), None);
+    }
+}

@@ -1,0 +1,321 @@
+//! Vector-at-a-time pruned search on the horizontal dual-block layout —
+//! the paper's SIMD-ADS / SCALAR-ADS / N-ary-BSA baselines.
+//!
+//! This is how ADSampling and BSA were originally deployed: for each
+//! vector, accumulate Δd dimensions, evaluate the bound, branch. The
+//! interleaving of distance work and bound checks is exactly what §6.3
+//! blames for the 4× branch-misprediction overhead that lets plain SIMD
+//! linear scans win — the effect PDXearch removes.
+
+use crate::distance::Metric;
+use crate::heap::{KnnHeap, Neighbor};
+use crate::kernels::nary::{nary_distance, KernelVariant};
+use crate::layout::DualBlockMatrix;
+use crate::pruning::{BlockAux, Pruner};
+
+/// One horizontal search unit (an IVF bucket or a whole collection) in
+/// ADSampling's dual-block layout.
+#[derive(Debug, Clone)]
+pub struct HorizontalBucket {
+    /// The vectors, split at Δd.
+    pub dual: DualBlockMatrix,
+    /// Global id of each vector.
+    pub row_ids: Vec<u64>,
+    /// Optional per-vector, per-checkpoint pruner data (BSA residual
+    /// norms), with checkpoints at `split, split+Δd, split+2Δd, …`.
+    pub aux: Option<BlockAux>,
+}
+
+impl HorizontalBucket {
+    /// Builds a bucket from row-major data, splitting at `delta_d`
+    /// (clamped to the dimensionality).
+    pub fn new(rows: &[f32], ids: Vec<u64>, n_dims: usize, delta_d: usize) -> Self {
+        let split = delta_d.clamp(1, n_dims);
+        let dual = DualBlockMatrix::from_rows(rows, ids.len(), n_dims, split);
+        Self { dual, row_ids: ids, aux: None }
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.dual.len()
+    }
+
+    /// Whether the bucket is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dual.is_empty()
+    }
+}
+
+/// The fixed checkpoint schedule of the horizontal search: dimensions
+/// scanned after the head segment and after each Δd tail step.
+pub fn horizontal_checkpoints(dims: usize, split: usize, delta_d: usize) -> Vec<usize> {
+    let mut out = vec![split.min(dims)];
+    let step = delta_d.max(1);
+    let mut at = split;
+    while at < dims {
+        at = (at + step).min(dims);
+        out.push(at);
+    }
+    out.dedup();
+    out
+}
+
+/// Pruned vector-at-a-time k-NN over dual-block buckets.
+///
+/// `delta_d` is the bound-evaluation period on the tail segment; the
+/// first bucket effectively gets a linear scan because the heap threshold
+/// is infinite until `k` candidates exist.
+pub fn horizontal_pruned_search<P: Pruner>(
+    pruner: &P,
+    buckets: &[&HorizontalBucket],
+    query: &[f32],
+    k: usize,
+    delta_d: usize,
+    variant: KernelVariant,
+) -> Vec<Neighbor> {
+    let q = pruner.prepare_query(query);
+    horizontal_pruned_search_prepared(pruner, &q, buckets, k, delta_d, variant)
+}
+
+/// Prepared-query variant of [`horizontal_pruned_search`] (the IVF layer
+/// prepares once and probes centroids with the transformed vector).
+pub fn horizontal_pruned_search_prepared<P: Pruner>(
+    pruner: &P,
+    q: &P::Query,
+    buckets: &[&HorizontalBucket],
+    k: usize,
+    delta_d: usize,
+    variant: KernelVariant,
+) -> Vec<Neighbor> {
+    let qvec = pruner.query_vector(q);
+    let metric = pruner.metric();
+    let mut heap = KnnHeap::new(k);
+    for bucket in buckets {
+        if bucket.is_empty() {
+            continue;
+        }
+        let dims = bucket.dual.dims();
+        assert_eq!(qvec.len(), dims, "query dimensionality mismatch");
+        let split = bucket.dual.split();
+        let sched = horizontal_checkpoints(dims, split, delta_d);
+        // Resolve aux rows per checkpoint once per bucket.
+        let aux_rows: Vec<Option<&[f32]>> = sched
+            .iter()
+            .map(|&scanned| {
+                if !P::NEEDS_AUX || scanned == dims {
+                    None
+                } else {
+                    let aux = bucket
+                        .aux
+                        .as_ref()
+                        .expect("pruner requires aux data, but the bucket has none");
+                    let ci = aux.index_of(scanned).unwrap_or_else(|| {
+                        panic!("no aux checkpoint at dims_scanned = {scanned}")
+                    });
+                    Some(aux.row(ci))
+                }
+            })
+            .collect();
+
+        let q_head = &qvec[..split];
+        let q_tail = &qvec[split..];
+        'vectors: for v in 0..bucket.len() {
+            // Head segment: always scanned (the dual-block design).
+            let mut partial = nary_distance(metric, variant, q_head, bucket.dual.head_row(v));
+            let mut scanned = split;
+            let tail = bucket.dual.tail_row(v);
+            for (ci, &ck) in sched.iter().enumerate() {
+                if ck > scanned {
+                    let lo = scanned - split;
+                    let hi = ck - split;
+                    partial +=
+                        nary_distance(metric, variant, &q_tail[lo..hi], &tail[lo..hi]);
+                    scanned = ck;
+                }
+                if scanned == dims {
+                    break;
+                }
+                // Interleaved bound evaluation (the branchy baseline).
+                let cp = pruner.checkpoint(q, scanned, dims, heap.threshold());
+                let a = aux_rows[ci].map_or(0.0, |r| r[v]);
+                if !P::survives(&cp, partial, a) {
+                    continue 'vectors;
+                }
+            }
+            heap.push(bucket.row_ids[v], partial);
+        }
+    }
+    heap.into_sorted()
+}
+
+/// Profiled variant of [`horizontal_pruned_search_prepared`]: splits
+/// wall time into distance work and bound evaluation for the Table 7
+/// breakdown. Timer calls sit inside the per-vector loop (that
+/// interleaving *is* the baseline's design), so absolute numbers carry
+/// some timer overhead; the phase shares are what the table reports.
+pub fn horizontal_pruned_search_profiled<P: Pruner>(
+    pruner: &P,
+    q: &P::Query,
+    buckets: &[&HorizontalBucket],
+    k: usize,
+    delta_d: usize,
+    variant: KernelVariant,
+    profile: &mut crate::profile::SearchProfile,
+) -> Vec<Neighbor> {
+    use std::time::Instant;
+    let qvec = pruner.query_vector(q);
+    let metric = pruner.metric();
+    let mut heap = KnnHeap::new(k);
+    for bucket in buckets {
+        if bucket.is_empty() {
+            continue;
+        }
+        let dims = bucket.dual.dims();
+        let split = bucket.dual.split();
+        let sched = horizontal_checkpoints(dims, split, delta_d);
+        let aux_rows: Vec<Option<&[f32]>> = sched
+            .iter()
+            .map(|&scanned| {
+                if !P::NEEDS_AUX || scanned == dims {
+                    None
+                } else {
+                    let aux = bucket.aux.as_ref().expect("pruner requires aux data");
+                    Some(aux.row(aux.index_of(scanned).expect("aux checkpoint missing")))
+                }
+            })
+            .collect();
+        let q_head = &qvec[..split];
+        let q_tail = &qvec[split..];
+        'vectors: for v in 0..bucket.len() {
+            let t0 = Instant::now();
+            let mut partial = nary_distance(metric, variant, q_head, bucket.dual.head_row(v));
+            let mut scanned = split;
+            let tail = bucket.dual.tail_row(v);
+            profile.distance_ns += t0.elapsed().as_nanos() as u64;
+            for (ci, &ck) in sched.iter().enumerate() {
+                if ck > scanned {
+                    let t1 = Instant::now();
+                    let lo = scanned - split;
+                    let hi = ck - split;
+                    partial += nary_distance(metric, variant, &q_tail[lo..hi], &tail[lo..hi]);
+                    scanned = ck;
+                    profile.distance_ns += t1.elapsed().as_nanos() as u64;
+                }
+                if scanned == dims {
+                    break;
+                }
+                let t2 = Instant::now();
+                let cp = pruner.checkpoint(q, scanned, dims, heap.threshold());
+                let a = aux_rows[ci].map_or(0.0, |r| r[v]);
+                let keep = P::survives(&cp, partial, a);
+                profile.bounds_ns += t2.elapsed().as_nanos() as u64;
+                if !keep {
+                    continue 'vectors;
+                }
+            }
+            heap.push(bucket.row_ids[v], partial);
+        }
+    }
+    heap.into_sorted()
+}
+
+/// Non-pruning linear scan over dual-block buckets (the FAISS/Milvus
+/// IVF_FLAT stand-ins run on plain horizontal data; this entry point
+/// exists so every competitor shares identical bucket contents).
+pub fn horizontal_linear_scan(
+    buckets: &[&HorizontalBucket],
+    query: &[f32],
+    k: usize,
+    metric: Metric,
+    variant: KernelVariant,
+) -> Vec<Neighbor> {
+    let mut heap = KnnHeap::new(k);
+    for bucket in buckets {
+        let dims = bucket.dual.dims();
+        assert_eq!(query.len(), dims, "query dimensionality mismatch");
+        let split = bucket.dual.split();
+        let q_head = &query[..split];
+        let q_tail = &query[split..];
+        for v in 0..bucket.len() {
+            let d = nary_distance(metric, variant, q_head, bucket.dual.head_row(v))
+                + nary_distance(metric, variant, q_tail, bucket.dual.tail_row(v));
+            heap.push(bucket.row_ids[v], d);
+        }
+    }
+    heap.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bond::PdxBond;
+    use crate::distance::distance_scalar;
+    use crate::visit_order::VisitOrder;
+
+    fn rows(n: usize, d: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n * d)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 6.0 - 3.0
+            })
+            .collect()
+    }
+
+    fn brute(data: &[f32], d: usize, q: &[f32], k: usize) -> Vec<u64> {
+        let mut heap = KnnHeap::new(k);
+        for (i, row) in data.chunks_exact(d).enumerate() {
+            heap.push(i as u64, distance_scalar(Metric::L2, q, row));
+        }
+        heap.into_sorted().iter().map(|n| n.id).collect()
+    }
+
+    #[test]
+    fn checkpoints_cover_head_and_tail() {
+        assert_eq!(horizontal_checkpoints(100, 32, 32), vec![32, 64, 96, 100]);
+        assert_eq!(horizontal_checkpoints(32, 32, 32), vec![32]);
+        assert_eq!(horizontal_checkpoints(8, 4, 2), vec![4, 6, 8]);
+    }
+
+    #[test]
+    fn pruned_search_with_exact_bound_equals_brute_force() {
+        let (n, d, k, dd) = (350, 30, 8, 8);
+        let data = rows(n, d, 5);
+        // Two buckets sharing the collection.
+        let b0 = HorizontalBucket::new(&data[..150 * d], (0..150).collect(), d, dd);
+        let b1 = HorizontalBucket::new(&data[150 * d..], (150..n as u64).collect(), d, dd);
+        let q = rows(1, d, 50);
+        // PDX-BOND's bound (partial ≤ threshold) is exact, so the
+        // horizontal searcher must return the true k-NN.
+        let bond = PdxBond::new(Metric::L2, VisitOrder::Sequential);
+        for variant in [KernelVariant::Scalar, KernelVariant::Simd] {
+            let got = horizontal_pruned_search(&bond, &[&b0, &b1], &q, k, dd, variant);
+            let ids: Vec<u64> = got.iter().map(|x| x.id).collect();
+            assert_eq!(ids, brute(&data, d, &q, k), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn linear_scan_matches_brute_force() {
+        let (n, d, k) = (200, 17, 6);
+        let data = rows(n, d, 9);
+        let b = HorizontalBucket::new(&data, (0..n as u64).collect(), d, 4);
+        let q = rows(1, d, 77);
+        let got = horizontal_linear_scan(&[&b], &q, k, Metric::L2, KernelVariant::Unrolled);
+        let ids: Vec<u64> = got.iter().map(|x| x.id).collect();
+        assert_eq!(ids, brute(&data, d, &q, k));
+    }
+
+    #[test]
+    fn split_larger_than_dims_is_clamped() {
+        let data = rows(10, 6, 2);
+        let b = HorizontalBucket::new(&data, (0..10).collect(), 6, 100);
+        assert_eq!(b.dual.split(), 6);
+        let q = rows(1, 6, 3);
+        let bond = PdxBond::new(Metric::L2, VisitOrder::Sequential);
+        let got = horizontal_pruned_search(&bond, &[&b], &q, 3, 100, KernelVariant::Scalar);
+        assert_eq!(got.len(), 3);
+    }
+}

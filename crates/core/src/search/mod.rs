@@ -1,0 +1,25 @@
+//! Search algorithms over every layout.
+//!
+//! * [`pdxearch`] — the PDXearch framework (§4): block-by-block,
+//!   dimension-by-dimension pruned search with START/WARMUP/PRUNE phases.
+//! * [`linear`] — exhaustive linear scans on the PDX, horizontal and DSM
+//!   layouts (the paper's FAISS-like / Scikit-learn-like / DSM baselines).
+//! * [`horizontal`] — the vector-at-a-time pruned search on ADSampling's
+//!   dual-block horizontal layout (the SIMD-ADS / SCALAR-ADS baselines,
+//!   with bound evaluation interleaved every Δd dimensions).
+
+mod horizontal;
+mod linear;
+#[allow(clippy::module_inception)]
+mod pdxearch;
+
+pub use horizontal::{
+    horizontal_checkpoints, horizontal_linear_scan, horizontal_pruned_search,
+    horizontal_pruned_search_prepared, horizontal_pruned_search_profiled, HorizontalBucket,
+};
+pub use linear::{linear_scan_blocks, linear_scan_dsm, linear_scan_nary, linear_scan_pdx};
+pub use pdxearch::{
+    pdxearch, pdxearch_prepared, pdxearch_prepared_profiled, pdxearch_profiled, SearchParams,
+};
+
+pub use crate::kernels::KernelVariant;

@@ -1,0 +1,546 @@
+//! The PDXearch framework (§4): adaptive, dimension-by-dimension pruned
+//! search over PDX blocks.
+//!
+//! A query walks the blocks in caller-decided order (IVF: by centroid
+//! distance; exact search: storage order). The phases:
+//!
+//! * **START** — while the heap holds fewer than `k` candidates there is
+//!   no threshold, so blocks are scanned linearly (all dimensions, all
+//!   vectors). In practice this is just the first block.
+//! * **WARMUP** — partial distances are accumulated for *all* vectors of
+//!   the block at exponentially growing dimension steps; after each step
+//!   the pruning bound is evaluated in a separate branch-free pass that
+//!   only *counts* survivors (computing distances for pruned vectors is
+//!   still cheaper than random access while many survive).
+//! * **PRUNE** — once the surviving fraction drops below the selection
+//!   threshold (default 20 %, Figure 10), survivor positions are
+//!   compacted and further distance accumulation touches only them.
+//!
+//! The framework preserves the underlying pruner's guarantees: it never
+//! drops a vector the pruner would have kept, it only chooses *when*
+//! bounds are evaluated and *which* vectors still get distance work.
+
+use crate::collection::SearchBlock;
+use crate::heap::{KnnHeap, Neighbor};
+use crate::kernels::pdx::{
+    pdx_accumulate, pdx_accumulate_permuted, pdx_accumulate_positions,
+    pdx_accumulate_positions_permuted,
+};
+use crate::profile::SearchProfile;
+use crate::pruning::{checkpoints, Pruner, StepPolicy};
+use std::time::Instant;
+
+/// Tuning knobs of a PDXearch run.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchParams {
+    /// Number of neighbours to return.
+    pub k: usize,
+    /// Fraction of not-yet-pruned vectors below which the PRUNE phase
+    /// starts (the paper's sweet spot is 0.20).
+    pub selection_fraction: f32,
+    /// Dimension fetching schedule.
+    pub step: StepPolicy,
+}
+
+impl SearchParams {
+    /// Paper-default parameters for a given `k`.
+    pub fn new(k: usize) -> Self {
+        Self { k, selection_fraction: 0.20, step: StepPolicy::default() }
+    }
+
+    /// Replaces the step policy.
+    pub fn with_step(mut self, step: StepPolicy) -> Self {
+        self.step = step;
+        self
+    }
+
+    /// Replaces the selection fraction.
+    pub fn with_selection_fraction(mut self, f: f32) -> Self {
+        self.selection_fraction = f;
+        self
+    }
+}
+
+/// Runs PDXearch over `blocks` in the given order.
+///
+/// # Panics
+/// Panics if `query.len()` differs from the blocks' dimensionality or if
+/// `params.k == 0`.
+pub fn pdxearch<P: Pruner>(
+    pruner: &P,
+    blocks: &[&SearchBlock],
+    query: &[f32],
+    params: &SearchParams,
+) -> Vec<Neighbor> {
+    let mut profile = SearchProfile::default();
+    let t0 = Instant::now();
+    let q = pruner.prepare_query(query);
+    profile.preprocess_ns += t0.elapsed().as_nanos() as u64;
+    run::<P, false>(pruner, &q, blocks, params, &mut profile)
+}
+
+/// Like [`pdxearch`] but accumulates per-phase timings into `profile`
+/// (Table 7). A separate monomorphization, so the unprofiled path pays no
+/// timer cost.
+pub fn pdxearch_profiled<P: Pruner>(
+    pruner: &P,
+    blocks: &[&SearchBlock],
+    query: &[f32],
+    params: &SearchParams,
+    profile: &mut SearchProfile,
+) -> Vec<Neighbor> {
+    let t0 = Instant::now();
+    let q = pruner.prepare_query(query);
+    profile.preprocess_ns += t0.elapsed().as_nanos() as u64;
+    run::<P, true>(pruner, &q, blocks, params, profile)
+}
+
+/// Runs PDXearch with an already-prepared query (the IVF layer prepares
+/// once, probes centroids with the transformed vector, then searches —
+/// avoiding a second rotation).
+pub fn pdxearch_prepared<P: Pruner>(
+    pruner: &P,
+    q: &P::Query,
+    blocks: &[&SearchBlock],
+    params: &SearchParams,
+) -> Vec<Neighbor> {
+    let mut profile = SearchProfile::default();
+    run::<P, false>(pruner, q, blocks, params, &mut profile)
+}
+
+/// Prepared-query variant with per-phase timings.
+pub fn pdxearch_prepared_profiled<P: Pruner>(
+    pruner: &P,
+    q: &P::Query,
+    blocks: &[&SearchBlock],
+    params: &SearchParams,
+    profile: &mut SearchProfile,
+) -> Vec<Neighbor> {
+    run::<P, true>(pruner, q, blocks, params, profile)
+}
+
+/// Reusable per-query buffers.
+#[derive(Default)]
+struct Scratch {
+    /// WARMUP partial distances, one per block vector.
+    partials: Vec<f32>,
+    /// PRUNE-phase survivor positions (block-relative).
+    positions: Vec<u32>,
+    /// PRUNE-phase compacted partial distances (parallel to positions).
+    compact: Vec<f32>,
+    /// Group-relative lane ids for the positions kernel.
+    lane_ids: Vec<u32>,
+}
+
+#[inline(always)]
+fn timer<const PROFILE: bool>() -> Option<Instant> {
+    if PROFILE {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+#[inline(always)]
+fn lap(slot: &mut u64, t: Option<Instant>) {
+    if let Some(t0) = t {
+        *slot += t0.elapsed().as_nanos() as u64;
+    }
+}
+
+fn run<P: Pruner, const PROFILE: bool>(
+    pruner: &P,
+    q: &P::Query,
+    blocks: &[&SearchBlock],
+    params: &SearchParams,
+    profile: &mut SearchProfile,
+) -> Vec<Neighbor> {
+    assert!(params.k > 0, "k must be positive");
+    let qdims = pruner.query_vector(q).len();
+    let mut heap = KnnHeap::new(params.k);
+    let mut scratch = Scratch::default();
+    let mut ckpts: Vec<usize> = Vec::new();
+    let mut ckpt_dims = usize::MAX;
+
+    for block in blocks {
+        if block.is_empty() {
+            continue;
+        }
+        let dims = block.pdx.dims();
+        assert_eq!(qdims, dims, "query dimensionality mismatch");
+        if heap.len() < params.k {
+            // START: no threshold yet — full linear scan of this block.
+            scan_block_linear::<P, PROFILE>(pruner, q, block, &mut heap, &mut scratch, profile);
+            continue;
+        }
+        if ckpt_dims != dims {
+            ckpts = checkpoints(params.step, dims);
+            ckpt_dims = dims;
+        }
+        let t1 = timer::<PROFILE>();
+        let perm = pruner.dim_order(q, Some(&block.stats));
+        lap(&mut profile.preprocess_ns, t1);
+        scan_block_pruned::<P, PROFILE>(
+            pruner,
+            q,
+            block,
+            perm.as_deref(),
+            &ckpts,
+            params,
+            &mut heap,
+            &mut scratch,
+            profile,
+        );
+    }
+    heap.into_sorted()
+}
+
+/// Full linear scan of one block; every distance is offered to the heap.
+fn scan_block_linear<P: Pruner, const PROFILE: bool>(
+    pruner: &P,
+    q: &P::Query,
+    block: &SearchBlock,
+    heap: &mut KnnHeap,
+    scratch: &mut Scratch,
+    profile: &mut SearchProfile,
+) {
+    let metric = pruner.metric();
+    let qvec = pruner.query_vector(q);
+    let dims = block.pdx.dims();
+    let n = block.len();
+    let t0 = timer::<PROFILE>();
+    scratch.partials.clear();
+    scratch.partials.resize(n, 0.0);
+    for g in block.pdx.groups() {
+        let acc = &mut scratch.partials[g.start_vector..g.start_vector + g.lanes];
+        pdx_accumulate(metric, &g, qvec, 0..dims, acc);
+    }
+    for (i, &d) in scratch.partials.iter().enumerate() {
+        heap.push(block.row_ids[i], d);
+    }
+    lap(&mut profile.distance_ns, t0);
+}
+
+/// WARMUP + PRUNE scan of one block.
+#[allow(clippy::too_many_arguments)]
+fn scan_block_pruned<P: Pruner, const PROFILE: bool>(
+    pruner: &P,
+    q: &P::Query,
+    block: &SearchBlock,
+    perm: Option<&[u32]>,
+    ckpts: &[usize],
+    params: &SearchParams,
+    heap: &mut KnnHeap,
+    scratch: &mut Scratch,
+    profile: &mut SearchProfile,
+) {
+    let metric = pruner.metric();
+    let qvec = pruner.query_vector(q);
+    let dims = block.pdx.dims();
+    let n = block.len();
+    let sel_limit = ((n as f32) * params.selection_fraction).ceil() as usize;
+
+    scratch.partials.clear();
+    scratch.partials.resize(n, 0.0);
+    let mut scanned = 0usize;
+    let mut pruning = false;
+
+    for &ck in ckpts {
+        if !pruning {
+            // WARMUP: distance work for every vector.
+            let t0 = timer::<PROFILE>();
+            for g in block.pdx.groups() {
+                let acc = &mut scratch.partials[g.start_vector..g.start_vector + g.lanes];
+                match perm {
+                    None => pdx_accumulate(metric, &g, qvec, scanned..ck, acc),
+                    Some(p) => pdx_accumulate_permuted(metric, &g, qvec, &p[scanned..ck], acc),
+                }
+            }
+            lap(&mut profile.distance_ns, t0);
+            scanned = ck;
+            if scanned == dims {
+                let t1 = timer::<PROFILE>();
+                for (i, &d) in scratch.partials.iter().enumerate() {
+                    heap.push(block.row_ids[i], d);
+                }
+                lap(&mut profile.distance_ns, t1);
+                return;
+            }
+            // Bound evaluation: branch-free survivor count.
+            let t2 = timer::<PROFILE>();
+            let cp = pruner.checkpoint(q, scanned, dims, heap.threshold());
+            let aux_row = aux_row::<P>(block, scanned);
+            let survivors = match aux_row {
+                Some(aux) => scratch
+                    .partials
+                    .iter()
+                    .zip(aux)
+                    .map(|(&p, &a)| P::survives(&cp, p, a) as usize)
+                    .sum::<usize>(),
+                None => scratch.partials.iter().map(|&p| P::survives(&cp, p, 0.0) as usize).sum::<usize>(),
+            };
+            if survivors <= sel_limit {
+                // Switch to PRUNE: compact survivor positions + partials.
+                scratch.positions.clear();
+                scratch.compact.clear();
+                match aux_row {
+                    Some(aux) => {
+                        for (i, (&p, &a)) in scratch.partials.iter().zip(aux).enumerate() {
+                            if P::survives(&cp, p, a) {
+                                scratch.positions.push(i as u32);
+                                scratch.compact.push(p);
+                            }
+                        }
+                    }
+                    None => {
+                        for (i, &p) in scratch.partials.iter().enumerate() {
+                            if P::survives(&cp, p, 0.0) {
+                                scratch.positions.push(i as u32);
+                                scratch.compact.push(p);
+                            }
+                        }
+                    }
+                }
+                pruning = true;
+            }
+            lap(&mut profile.bounds_ns, t2);
+            if pruning && scratch.positions.is_empty() {
+                return;
+            }
+        } else {
+            // PRUNE: distance work only at survivor positions.
+            let t0 = timer::<PROFILE>();
+            accumulate_survivors(metric, block, qvec, perm, scanned, ck, scratch);
+            lap(&mut profile.distance_ns, t0);
+            scanned = ck;
+            if scanned == dims {
+                let t1 = timer::<PROFILE>();
+                for (j, &pos) in scratch.positions.iter().enumerate() {
+                    heap.push(block.row_ids[pos as usize], scratch.compact[j]);
+                }
+                lap(&mut profile.distance_ns, t1);
+                return;
+            }
+            let t2 = timer::<PROFILE>();
+            let cp = pruner.checkpoint(q, scanned, dims, heap.threshold());
+            let aux_row = aux_row::<P>(block, scanned);
+            let mut w = 0usize;
+            for j in 0..scratch.positions.len() {
+                let pos = scratch.positions[j];
+                let a = aux_row.map_or(0.0, |r| r[pos as usize]);
+                let keep = P::survives(&cp, scratch.compact[j], a);
+                scratch.positions[w] = pos;
+                scratch.compact[w] = scratch.compact[j];
+                w += keep as usize;
+            }
+            scratch.positions.truncate(w);
+            scratch.compact.truncate(w);
+            lap(&mut profile.bounds_ns, t2);
+            if scratch.positions.is_empty() {
+                return;
+            }
+        }
+    }
+}
+
+/// The aux row for a checkpoint, when the pruner consumes one.
+#[inline]
+fn aux_row<P: Pruner>(block: &SearchBlock, scanned: usize) -> Option<&[f32]> {
+    if !P::NEEDS_AUX {
+        return None;
+    }
+    let aux = block
+        .aux
+        .as_ref()
+        .expect("pruner requires per-block aux data, but the block has none");
+    let ci = aux.index_of(scanned).unwrap_or_else(|| {
+        panic!("no aux checkpoint for dims_scanned = {scanned}; was the block preprocessed with the same step policy?")
+    });
+    Some(aux.row(ci))
+}
+
+/// PRUNE-phase accumulation: walks the (sorted) survivor positions one
+/// group run at a time so the kernel gathers lanes within a cached group.
+fn accumulate_survivors(
+    metric: crate::distance::Metric,
+    block: &SearchBlock,
+    qvec: &[f32],
+    perm: Option<&[u32]>,
+    scanned: usize,
+    ck: usize,
+    scratch: &mut Scratch,
+) {
+    let gsize = block.pdx.group_size();
+    let positions = &scratch.positions;
+    let compact = &mut scratch.compact;
+    let lane_ids = &mut scratch.lane_ids;
+    let mut j0 = 0usize;
+    while j0 < positions.len() {
+        let g_idx = positions[j0] as usize / gsize;
+        let mut j1 = j0 + 1;
+        while j1 < positions.len() && positions[j1] as usize / gsize == g_idx {
+            j1 += 1;
+        }
+        let g = block.pdx.group(g_idx);
+        lane_ids.clear();
+        lane_ids.extend(positions[j0..j1].iter().map(|&p| p - g.start_vector as u32));
+        let acc = &mut compact[j0..j1];
+        match perm {
+            None => pdx_accumulate_positions(metric, &g, qvec, scanned..ck, lane_ids, acc),
+            Some(p) => pdx_accumulate_positions_permuted(metric, &g, qvec, &p[scanned..ck], lane_ids, acc),
+        }
+        j0 = j1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bond::PdxBond;
+    use crate::collection::PdxCollection;
+    use crate::distance::{distance_scalar, Metric};
+    use crate::visit_order::VisitOrder;
+
+    fn make_rows(n: usize, d: usize, seed: u64) -> Vec<f32> {
+        // Deterministic pseudo-random data without pulling rand into the
+        // unit test (integration tests use rand).
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n * d)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    fn brute_force(rows: &[f32], d: usize, q: &[f32], k: usize, metric: Metric) -> Vec<Neighbor> {
+        let mut heap = KnnHeap::new(k);
+        for (i, row) in rows.chunks_exact(d).enumerate() {
+            heap.push(i as u64, distance_scalar(metric, q, row));
+        }
+        heap.into_sorted()
+    }
+
+    fn ids(r: &[Neighbor]) -> Vec<u64> {
+        r.iter().map(|n| n.id).collect()
+    }
+
+    #[test]
+    fn bond_sequential_equals_brute_force() {
+        let (n, d, k) = (500, 24, 10);
+        let rows = make_rows(n, d, 3);
+        let coll = PdxCollection::from_rows_partitioned(&rows, n, d, 100, 64);
+        let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+        let bond = PdxBond::new(Metric::L2, VisitOrder::Sequential);
+        let q = &rows[7 * d..8 * d].to_vec(); // a query near vector 7
+        let got = pdxearch(&bond, &blocks, q, &SearchParams::new(k));
+        let want = brute_force(&rows, d, q, k, Metric::L2);
+        assert_eq!(ids(&got), ids(&want));
+    }
+
+    #[test]
+    fn bond_all_visit_orders_are_exact() {
+        let (n, d, k) = (400, 32, 5);
+        let rows = make_rows(n, d, 11);
+        let coll = PdxCollection::from_rows_partitioned(&rows, n, d, 64, 16);
+        let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+        let q = make_rows(1, d, 99);
+        let want = brute_force(&rows, d, &q, k, Metric::L2);
+        for order in [
+            VisitOrder::Sequential,
+            VisitOrder::Decreasing,
+            VisitOrder::DistanceToMeans,
+            VisitOrder::DimensionZones { zone_size: 8 },
+        ] {
+            let bond = PdxBond::new(Metric::L2, order);
+            let got = pdxearch(&bond, &blocks, &q, &SearchParams::new(k));
+            assert_eq!(ids(&got), ids(&want), "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn bond_l1_is_exact() {
+        let (n, d, k) = (300, 16, 7);
+        let rows = make_rows(n, d, 21);
+        let coll = PdxCollection::from_rows_partitioned(&rows, n, d, 50, 64);
+        let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+        let q = make_rows(1, d, 5);
+        let bond = PdxBond::new(Metric::L1, VisitOrder::DistanceToMeans);
+        let got = pdxearch(&bond, &blocks, &q, &SearchParams::new(k));
+        let want = brute_force(&rows, d, &q, k, Metric::L1);
+        assert_eq!(ids(&got), ids(&want));
+    }
+
+    #[test]
+    fn fixed_step_policy_is_exact_too() {
+        let (n, d, k) = (256, 40, 3);
+        let rows = make_rows(n, d, 8);
+        let coll = PdxCollection::from_rows_partitioned(&rows, n, d, 64, 64);
+        let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+        let q = make_rows(1, d, 77);
+        let bond = PdxBond::new(Metric::L2, VisitOrder::Sequential);
+        let params = SearchParams::new(k).with_step(StepPolicy::Fixed { step: 10 });
+        let got = pdxearch(&bond, &blocks, &q, &params);
+        let want = brute_force(&rows, d, &q, k, Metric::L2);
+        assert_eq!(ids(&got), ids(&want));
+    }
+
+    #[test]
+    fn extreme_selection_fractions_are_exact() {
+        let (n, d, k) = (300, 20, 9);
+        let rows = make_rows(n, d, 15);
+        let coll = PdxCollection::from_rows_partitioned(&rows, n, d, 75, 32);
+        let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+        let q = make_rows(1, d, 1);
+        let want = brute_force(&rows, d, &q, k, Metric::L2);
+        for frac in [0.0f32, 0.01, 0.5, 1.0] {
+            let bond = PdxBond::new(Metric::L2, VisitOrder::Sequential);
+            let params = SearchParams::new(k).with_selection_fraction(frac);
+            let got = pdxearch(&bond, &blocks, &q, &params);
+            assert_eq!(ids(&got), ids(&want), "selection fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_collection_returns_everything() {
+        let (n, d) = (12, 6);
+        let rows = make_rows(n, d, 2);
+        let coll = PdxCollection::from_rows_partitioned(&rows, n, d, 5, 4);
+        let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+        let q = make_rows(1, d, 3);
+        let bond = PdxBond::new(Metric::L2, VisitOrder::Sequential);
+        let got = pdxearch(&bond, &blocks, &q, &SearchParams::new(50));
+        assert_eq!(got.len(), n);
+    }
+
+    #[test]
+    fn single_block_collection_works() {
+        let (n, d, k) = (80, 10, 4);
+        let rows = make_rows(n, d, 31);
+        let coll = PdxCollection::from_rows_partitioned(&rows, n, d, 1000, 64);
+        let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+        let q = make_rows(1, d, 4);
+        let bond = PdxBond::new(Metric::L2, VisitOrder::Sequential);
+        let got = pdxearch(&bond, &blocks, &q, &SearchParams::new(k));
+        let want = brute_force(&rows, d, &q, k, Metric::L2);
+        assert_eq!(ids(&got), ids(&want));
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_and_records_time() {
+        let (n, d, k) = (400, 28, 6);
+        let rows = make_rows(n, d, 44);
+        let coll = PdxCollection::from_rows_partitioned(&rows, n, d, 64, 64);
+        let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+        let q = make_rows(1, d, 12);
+        let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+        let params = SearchParams::new(k);
+        let plain = pdxearch(&bond, &blocks, &q, &params);
+        let mut profile = SearchProfile::default();
+        let profiled = pdxearch_profiled(&bond, &blocks, &q, &params, &mut profile);
+        assert_eq!(ids(&plain), ids(&profiled));
+        assert!(profile.distance_ns > 0, "distance phase must be timed");
+    }
+}

@@ -1,0 +1,179 @@
+//! Query-aware dimension visit orders (§5, Figure 5).
+//!
+//! A pruner that relies on partial distances wants to visit the
+//! dimensions that grow the distance fastest *for this query*. The paper
+//! compares three criteria plus storage order:
+//!
+//! * **Decreasing** — BOND's original criterion: highest query value
+//!   first. Only effective when query values are outliers w.r.t. the
+//!   collection.
+//! * **Distance to means** — dimensions whose block mean is farthest
+//!   from the query value first; the highest pruning power.
+//! * **Dimension zones** — ranks *zones* of consecutive dimensions by
+//!   their aggregate distance-to-means, preserving sequential stretches
+//!   inside each zone (the memory-friendly compromise used on small IVF
+//!   blocks).
+
+/// How PDX-BOND orders dimension visits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisitOrder {
+    /// Storage order (maximally sequential, no query awareness).
+    Sequential,
+    /// BOND's criterion: highest query value first.
+    Decreasing,
+    /// Largest `|query − block mean|` first.
+    DistanceToMeans,
+    /// Zones of `zone_size` consecutive dims ranked by aggregate
+    /// `|query − mean|`; dims inside a zone stay in storage order.
+    DimensionZones {
+        /// Consecutive dimensions per zone.
+        zone_size: usize,
+    },
+}
+
+/// Default zone width: long enough for hardware prefetching to engage,
+/// short enough to retain most of the distance-to-means pruning power.
+pub const DEFAULT_ZONE_SIZE: usize = 16;
+
+/// Computes the visit permutation for a query, or `None` for storage
+/// order. `means` is required by the mean-based criteria; when absent
+/// those fall back to `Decreasing` semantics on the query alone.
+pub fn dimension_permutation(order: VisitOrder, query: &[f32], means: Option<&[f32]>) -> Option<Vec<u32>> {
+    let d = query.len();
+    match order {
+        VisitOrder::Sequential => None,
+        VisitOrder::Decreasing => {
+            let mut perm: Vec<u32> = (0..d as u32).collect();
+            perm.sort_by(|&a, &b| {
+                query[b as usize].partial_cmp(&query[a as usize]).expect("NaN in query").then(a.cmp(&b))
+            });
+            Some(perm)
+        }
+        VisitOrder::DistanceToMeans => {
+            let score = |i: usize| -> f32 {
+                match means {
+                    Some(m) => (query[i] - m[i]).abs(),
+                    None => query[i],
+                }
+            };
+            let mut perm: Vec<u32> = (0..d as u32).collect();
+            perm.sort_by(|&a, &b| {
+                score(b as usize).partial_cmp(&score(a as usize)).expect("NaN score").then(a.cmp(&b))
+            });
+            Some(perm)
+        }
+        VisitOrder::DimensionZones { zone_size } => {
+            let zone_size = zone_size.max(1);
+            let n_zones = d.div_ceil(zone_size);
+            if n_zones <= 1 {
+                return None;
+            }
+            let score = |i: usize| -> f32 {
+                match means {
+                    Some(m) => (query[i] - m[i]).abs(),
+                    None => query[i],
+                }
+            };
+            let mut zones: Vec<(u32, f32)> = (0..n_zones as u32)
+                .map(|z| {
+                    let lo = z as usize * zone_size;
+                    let hi = (lo + zone_size).min(d);
+                    let total: f32 = (lo..hi).map(score).sum();
+                    (z, total / (hi - lo) as f32)
+                })
+                .collect();
+            zones.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN zone score").then(a.0.cmp(&b.0)));
+            let mut perm = Vec::with_capacity(d);
+            for (z, _) in zones {
+                let lo = z as usize * zone_size;
+                let hi = (lo + zone_size).min(d);
+                perm.extend((lo as u32)..(hi as u32));
+            }
+            Some(perm)
+        }
+    }
+}
+
+/// Checks that a permutation covers every dimension exactly once
+/// (debug/test helper).
+pub fn is_valid_permutation(perm: &[u32], dims: usize) -> bool {
+    if perm.len() != dims {
+        return false;
+    }
+    let mut seen = vec![false; dims];
+    for &p in perm {
+        let p = p as usize;
+        if p >= dims || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_none() {
+        assert!(dimension_permutation(VisitOrder::Sequential, &[1.0, 2.0], None).is_none());
+    }
+
+    #[test]
+    fn decreasing_sorts_by_query_value() {
+        let perm = dimension_permutation(VisitOrder::Decreasing, &[0.5, 3.0, -1.0, 2.0], None).unwrap();
+        assert_eq!(perm, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn distance_to_means_uses_means() {
+        let q = [1.0, 1.0, 1.0];
+        let means = [1.0, 5.0, -2.0];
+        // |q-m| = [0, 4, 3] → order 1, 2, 0.
+        let perm = dimension_permutation(VisitOrder::DistanceToMeans, &q, Some(&means)).unwrap();
+        assert_eq!(perm, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn zones_keep_internal_storage_order() {
+        let q = [0.0, 0.0, 9.0, 9.0, 1.0, 1.0];
+        let means = [0.0; 6];
+        let perm =
+            dimension_permutation(VisitOrder::DimensionZones { zone_size: 2 }, &q, Some(&means)).unwrap();
+        // Zone scores: z0=0, z1=9, z2=1 → visit z1, z2, z0; dims inside zones ascend.
+        assert_eq!(perm, vec![2, 3, 4, 5, 0, 1]);
+    }
+
+    #[test]
+    fn zone_of_whole_vector_is_sequential() {
+        let q = [1.0, 2.0, 3.0];
+        assert!(dimension_permutation(VisitOrder::DimensionZones { zone_size: 10 }, &q, None).is_none());
+    }
+
+    #[test]
+    fn partial_final_zone_is_handled() {
+        let q = [0.0, 0.0, 0.0, 7.0, 7.0];
+        let means = [0.0; 5];
+        let perm =
+            dimension_permutation(VisitOrder::DimensionZones { zone_size: 3 }, &q, Some(&means)).unwrap();
+        assert!(is_valid_permutation(&perm, 5));
+        // Tail zone {3,4} has average 7 > zone {0,1,2} average 0.
+        assert_eq!(&perm[..2], &[3, 4]);
+    }
+
+    #[test]
+    fn all_orders_produce_valid_permutations() {
+        let q: Vec<f32> = (0..33).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+        let means: Vec<f32> = (0..33).map(|i| (i % 5) as f32).collect();
+        for order in [
+            VisitOrder::Decreasing,
+            VisitOrder::DistanceToMeans,
+            VisitOrder::DimensionZones { zone_size: 4 },
+            VisitOrder::DimensionZones { zone_size: 1 },
+        ] {
+            let perm = dimension_permutation(order, &q, Some(&means)).unwrap();
+            assert!(is_valid_permutation(&perm, 33), "{order:?}");
+        }
+    }
+}

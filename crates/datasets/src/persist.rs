@@ -1,0 +1,212 @@
+//! On-disk persistence of PDX collections (§7 "PDX Storage Designs").
+//!
+//! The paper points out that PDX needs data loadable block- and
+//! dimension-at-a-time. This module provides a compact binary container
+//! for a [`PdxCollection`]: a header, then per block its row ids and its
+//! dimension-major payload, so a reader can fetch one block (or, with
+//! the per-block offsets, a dimension range of one block) without
+//! touching the rest of the file.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  "PDX1"            4 bytes
+//! dims   u32 | group  u32 | n_blocks u32
+//! per block:
+//!   n_vectors u32
+//!   row_ids   n_vectors × u64
+//!   data      n_vectors × dims × f32   (PDX group-tiled order)
+//! ```
+
+use pdx_core::collection::{PdxCollection, SearchBlock};
+use pdx_core::layout::PdxBlock;
+use pdx_core::stats::BlockStats;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"PDX1";
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Serializes a collection into the PDX container format.
+///
+/// # Errors
+/// Propagates IO errors from the writer.
+pub fn write_pdx<W: Write>(mut w: W, coll: &PdxCollection) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    let group = coll.blocks.first().map_or(pdx_core::DEFAULT_GROUP_SIZE, |b| b.pdx.group_size());
+    w.write_all(&(coll.dims as u32).to_le_bytes())?;
+    w.write_all(&(group as u32).to_le_bytes())?;
+    w.write_all(&(coll.blocks.len() as u32).to_le_bytes())?;
+    for block in &coll.blocks {
+        w.write_all(&(block.len() as u32).to_le_bytes())?;
+        for &id in &block.row_ids {
+            w.write_all(&id.to_le_bytes())?;
+        }
+        for v in block.pdx.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a collection back from the PDX container format, recomputing
+/// per-block statistics (they derive from the data).
+///
+/// # Errors
+/// Fails on IO errors, a bad magic number, or truncated payloads.
+pub fn read_pdx<R: Read>(mut r: R) -> io::Result<PdxCollection> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a PDX container"));
+    }
+    let dims = read_u32(&mut r)? as usize;
+    let group = read_u32(&mut r)? as usize;
+    let n_blocks = read_u32(&mut r)? as usize;
+    if dims == 0 || group == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero dims or group size"));
+    }
+    let mut blocks = Vec::with_capacity(n_blocks);
+    let mut all_rows: Vec<f32> = Vec::new();
+    for _ in 0..n_blocks {
+        let n = read_u32(&mut r)? as usize;
+        let mut row_ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            row_ids.push(read_u64(&mut r)?);
+        }
+        let mut payload = vec![0u8; n * dims * 4];
+        r.read_exact(&mut payload)?;
+        // The payload is already in PDX group-tiled order; rebuild the
+        // block through rows so the invariants are re-validated.
+        let flat: Vec<f32> = payload
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let block = pdx_block_from_tiled(flat, n, dims, group);
+        let rows = block.to_rows();
+        all_rows.extend_from_slice(&rows);
+        let stats = BlockStats::from_block(&block);
+        blocks.push(SearchBlock { pdx: block, row_ids, stats, aux: None });
+    }
+    let total: usize = blocks.iter().map(|b| b.len()).sum();
+    let stats = BlockStats::from_rows(&all_rows, total, dims);
+    Ok(PdxCollection { dims, blocks, stats })
+}
+
+/// Rebuilds a `PdxBlock` from an already group-tiled buffer by routing
+/// through the row representation (keeps `PdxBlock`'s internals private).
+fn pdx_block_from_tiled(tiled: Vec<f32>, n: usize, dims: usize, group: usize) -> PdxBlock {
+    let mut rows = vec![0.0f32; n * dims];
+    let mut offset = 0usize;
+    let mut v0 = 0usize;
+    while v0 < n {
+        let lanes = group.min(n - v0);
+        for d in 0..dims {
+            for l in 0..lanes {
+                rows[(v0 + l) * dims + d] = tiled[offset + d * lanes + l];
+            }
+        }
+        offset += lanes * dims;
+        v0 += lanes;
+    }
+    PdxBlock::from_rows(&rows, n, dims, group)
+}
+
+/// Writes a collection to a file path.
+///
+/// # Errors
+/// Propagates IO errors.
+pub fn write_pdx_path(path: &std::path::Path, coll: &PdxCollection) -> io::Result<()> {
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    write_pdx(&mut w, coll)?;
+    w.flush()
+}
+
+/// Reads a collection from a file path.
+///
+/// # Errors
+/// Propagates IO and format errors.
+pub fn read_pdx_path(path: &std::path::Path) -> io::Result<PdxCollection> {
+    read_pdx(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_collection() -> PdxCollection {
+        let n = 137;
+        let d = 9;
+        let rows: Vec<f32> = (0..n * d).map(|i| (i as f32 * 0.37).sin() * 5.0).collect();
+        PdxCollection::from_rows_partitioned(&rows, n, d, 50, 16)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let coll = sample_collection();
+        let mut buf = Vec::new();
+        write_pdx(&mut buf, &coll).unwrap();
+        let back = read_pdx(&buf[..]).unwrap();
+        assert_eq!(back.dims, coll.dims);
+        assert_eq!(back.blocks.len(), coll.blocks.len());
+        for (a, b) in coll.blocks.iter().zip(&back.blocks) {
+            assert_eq!(a.row_ids, b.row_ids);
+            assert_eq!(a.pdx, b.pdx);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_pdx(&b"NOPE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_errors() {
+        let coll = sample_collection();
+        let mut buf = Vec::new();
+        write_pdx(&mut buf, &coll).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_pdx(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let coll = sample_collection();
+        let dir = std::env::temp_dir().join("pdx_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("coll.pdx");
+        write_pdx_path(&path, &coll).unwrap();
+        let back = read_pdx_path(&path).unwrap();
+        assert_eq!(back.blocks[0].pdx, coll.blocks[0].pdx);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn searches_on_reloaded_collection_match() {
+        use pdx_core::bond::PdxBond;
+        use pdx_core::distance::Metric;
+        use pdx_core::search::{pdxearch, SearchParams};
+        use pdx_core::visit_order::VisitOrder;
+        let coll = sample_collection();
+        let mut buf = Vec::new();
+        write_pdx(&mut buf, &coll).unwrap();
+        let back = read_pdx(&buf[..]).unwrap();
+        let q: Vec<f32> = (0..coll.dims).map(|i| i as f32 * 0.2).collect();
+        let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+        let a = pdxearch(&bond, &coll.blocks.iter().collect::<Vec<_>>(), &q, &SearchParams::new(5));
+        let b = pdxearch(&bond, &back.blocks.iter().collect::<Vec<_>>(), &q, &SearchParams::new(5));
+        assert_eq!(a, b);
+    }
+}

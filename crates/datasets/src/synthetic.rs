@@ -1,0 +1,274 @@
+//! Synthetic stand-ins for the paper's Table 1 collections.
+//!
+//! Each generated collection is a Gaussian mixture (so IVF bucketing has
+//! real structure) whose per-dimension marginals follow the paper's
+//! classification:
+//!
+//! * **Normal** (NYTimes, GloVe, DEEP, Contriever, arXiv): symmetric
+//!   per-dimension distributions with dimension-dependent scales (like
+//!   real embeddings, the energy is unevenly spread across dimensions —
+//!   which is what PCA/BSA exploits).
+//! * **Skewed** (SIFT, MSong, GIST, OpenAI): right-skewed (log-normal)
+//!   marginals with non-negative support, the shape that makes
+//!   query-aware dimension ordering (BOND) effective.
+//!
+//! Queries are drawn from the same mixture, mirroring how benchmark query
+//! sets are held-out samples of the corpus distribution.
+
+use pdx_linalg::Gaussian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-dimension marginal shape class (§2.2, Table 1 last column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Symmetric, roughly Gaussian marginals.
+    Normal,
+    /// Right-skewed, non-negative marginals (log-normal).
+    Skewed,
+}
+
+/// Descriptor of one Table 1 collection.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Short name, e.g. `"sift"`.
+    pub name: &'static str,
+    /// Dimensionality from Table 1.
+    pub dims: usize,
+    /// Marginal shape class.
+    pub distribution: Distribution,
+    /// Collection size in the paper (for reference; generators scale
+    /// down by default).
+    pub paper_size: usize,
+}
+
+/// The ten collections of Table 1.
+pub const TABLE1: [DatasetSpec; 10] = [
+    DatasetSpec { name: "nytimes", dims: 16, distribution: Distribution::Normal, paper_size: 290_000 },
+    DatasetSpec { name: "glove50", dims: 50, distribution: Distribution::Normal, paper_size: 1_183_514 },
+    DatasetSpec { name: "deep", dims: 96, distribution: Distribution::Normal, paper_size: 9_990_000 },
+    DatasetSpec { name: "sift", dims: 128, distribution: Distribution::Skewed, paper_size: 1_000_000 },
+    DatasetSpec { name: "glove200", dims: 200, distribution: Distribution::Normal, paper_size: 1_183_514 },
+    DatasetSpec { name: "msong", dims: 420, distribution: Distribution::Skewed, paper_size: 983_185 },
+    DatasetSpec {
+        name: "contriever",
+        dims: 768,
+        distribution: Distribution::Normal,
+        paper_size: 990_000,
+    },
+    DatasetSpec { name: "arxiv", dims: 768, distribution: Distribution::Normal, paper_size: 2_253_000 },
+    DatasetSpec { name: "gist", dims: 960, distribution: Distribution::Skewed, paper_size: 1_000_000 },
+    DatasetSpec { name: "openai", dims: 1536, distribution: Distribution::Skewed, paper_size: 999_000 },
+];
+
+/// Looks a spec up by name.
+pub fn spec_by_name(name: &str) -> Option<&'static DatasetSpec> {
+    TABLE1.iter().find(|s| s.name == name)
+}
+
+/// A generated collection plus its query set.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Spec this dataset was generated from.
+    pub spec: DatasetSpec,
+    /// Row-major base vectors (`len × dims`).
+    pub data: Vec<f32>,
+    /// Row-major queries (`n_queries × dims`).
+    pub queries: Vec<f32>,
+    /// Number of base vectors.
+    pub len: usize,
+    /// Number of queries.
+    pub n_queries: usize,
+}
+
+impl Dataset {
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.spec.dims
+    }
+
+    /// Base vector `i`.
+    pub fn vector(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dims()..(i + 1) * self.dims()]
+    }
+
+    /// Query `i`.
+    pub fn query(&self, i: usize) -> &[f32] {
+        &self.queries[i * self.dims()..(i + 1) * self.dims()]
+    }
+}
+
+/// Generates a dataset of `n` base vectors and `n_queries` queries.
+///
+/// The mixture has `max(4, √n / 2)` clusters. Per-dimension scales decay
+/// with a mild power law (shuffled across dimensions) so that energy is
+/// unevenly distributed — matching real embeddings and giving PCA-based
+/// pruning its expected advantage.
+pub fn generate(spec: &DatasetSpec, n: usize, n_queries: usize, seed: u64) -> Dataset {
+    let d = spec.dims;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD5);
+    let mut g = Gaussian::new();
+    let n_clusters = ((n as f64).sqrt() as usize / 2).max(4);
+
+    // Dimension-dependent scales, shuffled so "important" dims are spread
+    // through the storage order (otherwise sequential order would already
+    // be optimal and the visit-order comparison degenerate).
+    let mut scales: Vec<f32> = (0..d).map(|j| (1.0 + j as f32).powf(-0.4) * 2.0).collect();
+    for j in (1..d).rev() {
+        let k = rng.random_range(0..=j);
+        scales.swap(j, k);
+    }
+
+    // Cluster centres. Skewed collections (SIFT-like features) live on
+    // non-negative support with right tails, so their centres come from a
+    // folded normal and their noise from an (unshifted) log-normal.
+    let spread = 3.0f32;
+    let centres: Vec<f32> = (0..n_clusters * d)
+        .map(|_| {
+            let z = g.sample_f32(&mut rng) * spread;
+            match spec.distribution {
+                Distribution::Normal => z,
+                Distribution::Skewed => z.abs(),
+            }
+        })
+        .collect();
+
+    let sample_row = |rng: &mut StdRng, g: &mut Gaussian, out: &mut Vec<f32>| {
+        let c = rng.random_range(0..n_clusters);
+        let centre = &centres[c * d..(c + 1) * d];
+        for j in 0..d {
+            let noise = match spec.distribution {
+                Distribution::Normal => g.sample_f32(rng),
+                Distribution::Skewed => g.sample_f32(rng).exp(),
+            };
+            out.push(centre[j] + scales[j] * noise);
+        }
+    };
+
+    let mut data = Vec::with_capacity(n * d);
+    for _ in 0..n {
+        sample_row(&mut rng, &mut g, &mut data);
+    }
+    let mut queries = Vec::with_capacity(n_queries * d);
+    for _ in 0..n_queries {
+        sample_row(&mut rng, &mut g, &mut queries);
+    }
+    Dataset { spec: *spec, data, queries, len: n, n_queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_dimensionalities() {
+        let dims: Vec<usize> = TABLE1.iter().map(|s| s.dims).collect();
+        assert_eq!(dims, vec![16, 50, 96, 128, 200, 420, 768, 768, 960, 1536]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = spec_by_name("nytimes").unwrap();
+        let a = generate(spec, 100, 5, 42);
+        let b = generate(spec, 100, 5, 42);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.queries, b.queries);
+        let c = generate(spec, 100, 5, 43);
+        assert_ne!(a.data, c.data);
+    }
+
+    #[test]
+    fn sizes_and_accessors() {
+        let spec = spec_by_name("glove50").unwrap();
+        let ds = generate(spec, 64, 8, 1);
+        assert_eq!(ds.data.len(), 64 * 50);
+        assert_eq!(ds.queries.len(), 8 * 50);
+        assert_eq!(ds.vector(63).len(), 50);
+        assert_eq!(ds.query(7).len(), 50);
+    }
+
+    #[test]
+    fn skewed_marginals_are_right_skewed() {
+        let spec = spec_by_name("sift").unwrap();
+        let ds = generate(spec, 3000, 1, 7);
+        let d = ds.dims();
+        // Pooled, centre-removed skewness proxy: third moment of the
+        // per-dimension residuals should be clearly positive.
+        let mut m2 = 0.0f64;
+        let mut m3 = 0.0f64;
+        // Use per-dimension means as centre estimate.
+        let mut means = vec![0.0f64; d];
+        for row in ds.data.chunks_exact(d) {
+            for (j, &v) in row.iter().enumerate() {
+                means[j] += v as f64;
+            }
+        }
+        for m in &mut means {
+            *m /= ds.len as f64;
+        }
+        for row in ds.data.chunks_exact(d) {
+            for (j, &v) in row.iter().enumerate() {
+                let e = v as f64 - means[j];
+                m2 += e * e;
+                m3 += e * e * e;
+            }
+        }
+        let n_total = (ds.len * d) as f64;
+        let skew = (m3 / n_total) / (m2 / n_total).powf(1.5);
+        assert!(skew > 0.5, "expected strong right skew, got {skew}");
+    }
+
+    #[test]
+    fn normal_marginals_are_roughly_symmetric() {
+        let spec = spec_by_name("deep").unwrap();
+        let ds = generate(spec, 3000, 1, 8);
+        let d = ds.dims();
+        let mut means = vec![0.0f64; d];
+        for row in ds.data.chunks_exact(d) {
+            for (j, &v) in row.iter().enumerate() {
+                means[j] += v as f64;
+            }
+        }
+        for m in &mut means {
+            *m /= ds.len as f64;
+        }
+        let mut m2 = 0.0f64;
+        let mut m3 = 0.0f64;
+        for row in ds.data.chunks_exact(d) {
+            for (j, &v) in row.iter().enumerate() {
+                let e = v as f64 - means[j];
+                m2 += e * e;
+                m3 += e * e * e;
+            }
+        }
+        let n_total = (ds.len * d) as f64;
+        let skew = (m3 / n_total) / (m2 / n_total).powf(1.5);
+        assert!(skew.abs() < 0.3, "expected near-symmetric marginals, got {skew}");
+    }
+
+    #[test]
+    fn data_is_clustered() {
+        // Nearest-neighbour distances within the collection should be
+        // much smaller than distances between random pairs (cluster
+        // structure), otherwise IVF indexes would be meaningless.
+        let spec = spec_by_name("nytimes").unwrap();
+        let ds = generate(spec, 500, 1, 3);
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        let mut nn_sum = 0.0f64;
+        let mut rand_sum = 0.0f64;
+        for i in 0..50 {
+            let vi = ds.vector(i);
+            let mut best = f32::INFINITY;
+            for j in 0..ds.len {
+                if i != j {
+                    best = best.min(dist(vi, ds.vector(j)));
+                }
+            }
+            nn_sum += best as f64;
+            rand_sum += dist(vi, ds.vector(ds.len - 1 - i)) as f64;
+        }
+        assert!(nn_sum * 2.0 < rand_sum, "no cluster structure: nn {nn_sum} vs random {rand_sum}");
+    }
+}

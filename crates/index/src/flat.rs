@@ -1,0 +1,156 @@
+//! Flat partitions for index-less exact search (§6.5).
+//!
+//! The collection is split into equally sized horizontal partitions (at
+//! most 10 240 vectors each in the paper) and stored in PDX. The larger
+//! blocks sacrifice the tight 64-wide loops' register residency on the
+//! accumulator array but give each dimension a long sequential stretch,
+//! which lets PDX-BOND use the full "distance to means" order (the
+//! highest-pruning-power criterion).
+
+use pdx_core::collection::{PdxCollection, SearchBlock};
+use pdx_core::distance::Metric;
+use pdx_core::heap::Neighbor;
+use pdx_core::pruning::Pruner;
+use pdx_core::search::{linear_scan_pdx, pdxearch_prepared, SearchParams};
+use pdx_core::DEFAULT_EXACT_BLOCK;
+
+/// Flat PDX deployment of a collection for exact search.
+#[derive(Debug, Clone)]
+pub struct FlatPdx {
+    /// The partitioned collection.
+    pub collection: PdxCollection,
+}
+
+impl FlatPdx {
+    /// Partitions `rows` into blocks of at most `block_size` vectors.
+    pub fn new(rows: &[f32], n_vectors: usize, dims: usize, block_size: usize, group_size: usize) -> Self {
+        Self {
+            collection: PdxCollection::from_rows_partitioned(rows, n_vectors, dims, block_size, group_size),
+        }
+    }
+
+    /// Paper-default partitioning (blocks of 10 240, groups of 64).
+    pub fn with_defaults(rows: &[f32], n_vectors: usize, dims: usize) -> Self {
+        Self::new(rows, n_vectors, dims, DEFAULT_EXACT_BLOCK, pdx_core::DEFAULT_GROUP_SIZE)
+    }
+
+    /// Exact (or pruner-approximate) k-NN over all partitions in storage
+    /// order.
+    pub fn search<P: Pruner>(&self, pruner: &P, query: &[f32], params: &SearchParams) -> Vec<Neighbor> {
+        let q = pruner.prepare_query(query);
+        let blocks: Vec<&SearchBlock> = self.collection.blocks.iter().collect();
+        pdxearch_prepared(pruner, &q, &blocks, params)
+    }
+
+
+    /// Searches a batch of queries in parallel with scoped threads (one
+    /// band of queries per thread). Each individual query still runs the
+    /// single-threaded PDXearch — this parallelizes *across* queries, the
+    /// way vector databases serve concurrent load.
+    pub fn search_batch<P: pdx_core::pruning::Pruner + Sync>(
+        &self,
+        pruner: &P,
+        queries: &[f32],
+        params: &SearchParams,
+        threads: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        let dims = self.collection.dims;
+        assert_eq!(queries.len() % dims.max(1), 0, "queries must be whole vectors");
+        let nq = queries.len() / dims.max(1);
+        let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+        let threads = threads.max(1).min(nq.max(1));
+        let band = nq.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [Vec<Neighbor>] = &mut out;
+            let mut q0 = 0usize;
+            while q0 < nq {
+                let here = band.min(nq - q0);
+                let (chunk, tail) = rest.split_at_mut(here);
+                rest = tail;
+                let start = q0;
+                scope.spawn(move || {
+                    for (slot, qi) in chunk.iter_mut().zip(start..start + here) {
+                        *slot = self.search(pruner, &queries[qi * dims..(qi + 1) * dims], params);
+                    }
+                });
+                q0 += here;
+            }
+        });
+        out
+    }
+
+    /// Non-pruning PDX linear scan (the PDX-LINEAR-SCAN competitor).
+    pub fn linear_search(&self, query: &[f32], k: usize, metric: Metric) -> Vec<Neighbor> {
+        linear_scan_pdx(&self.collection, query, k, metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdx_core::bond::PdxBond;
+    use pdx_core::visit_order::VisitOrder;
+
+    fn rows(n: usize, d: usize) -> Vec<f32> {
+        (0..n * d).map(|i| ((i * 131 % 997) as f32) * 0.01).collect()
+    }
+
+    #[test]
+    fn bond_search_is_exact_over_partitions() {
+        let (n, d, k) = (2500, 12, 10);
+        let data = rows(n, d);
+        let flat = FlatPdx::new(&data, n, d, 700, 64);
+        assert_eq!(flat.collection.blocks.len(), 4);
+        let q: Vec<f32> = (0..d).map(|i| (i as f32).sin() * 3.0).collect();
+        let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+        let got = flat.search(&bond, &q, &SearchParams::new(k));
+        let want = flat.linear_search(&q, k, Metric::L2);
+        // The periodic test data produces exactly tied distances whose
+        // order depends on FP accumulation order — compare sets.
+        let mut got_ids: Vec<u64> = got.iter().map(|x| x.id).collect();
+        let mut want_ids: Vec<u64> = want.iter().map(|x| x.id).collect();
+        got_ids.sort_unstable();
+        want_ids.sort_unstable();
+        assert_eq!(got_ids, want_ids);
+    }
+
+    #[test]
+    fn defaults_build_expected_block_count() {
+        let (n, d) = (25_000, 4);
+        let data = rows(n, d);
+        let flat = FlatPdx::with_defaults(&data, n, d);
+        assert_eq!(flat.collection.blocks.len(), 25_000usize.div_ceil(10_240));
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use pdx_core::bond::PdxBond;
+    use pdx_core::visit_order::VisitOrder;
+
+    #[test]
+    fn batch_matches_sequential() {
+        let (n, d, k) = (1200, 8, 5);
+        let data: Vec<f32> = (0..n * d).map(|i| ((i * 37 % 113) as f32) * 0.1).collect();
+        let queries: Vec<f32> = (0..7 * d).map(|i| ((i * 53 % 97) as f32) * 0.1).collect();
+        let flat = FlatPdx::new(&data, n, d, 300, 32);
+        let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+        let params = SearchParams::new(k);
+        let batch = flat.search_batch(&bond, &queries, &params, 4);
+        for (qi, got) in batch.iter().enumerate() {
+            let want = flat.search(&bond, &queries[qi * d..(qi + 1) * d], &params);
+            assert_eq!(got, &want, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn batch_with_more_threads_than_queries() {
+        let data: Vec<f32> = (0..40).map(|i| i as f32).collect();
+        let flat = FlatPdx::new(&data, 10, 4, 5, 4);
+        let bond = PdxBond::new(Metric::L2, VisitOrder::Sequential);
+        let res = flat.search_batch(&bond, &data[..4], &SearchParams::new(2), 64);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].len(), 2);
+    }
+}

@@ -1,0 +1,298 @@
+//! Lloyd's k-means with k-means++ initialization — the IVF trainer.
+//!
+//! The paper uses a "non-optimized Lloyd algorithm" (§2.1) to build IVF
+//! buckets; this implementation mirrors that: full-assignment iterations
+//! with the SIMD horizontal kernel, k-means++ seeding for stability, and
+//! re-seeding of emptied clusters to the farthest-assigned point.
+
+use pdx_core::distance::Metric;
+use pdx_core::kernels::{nary_distance, KernelVariant};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Row-major centroids (`k × dims`).
+    pub centroids: Vec<f32>,
+    /// Number of clusters.
+    pub k: usize,
+    /// Dimensionality.
+    pub dims: usize,
+    /// Sum of squared distances to assigned centroids after fitting.
+    pub inertia: f64,
+}
+
+impl KMeans {
+    /// Fits `k` clusters with at most `max_iters` Lloyd iterations.
+    ///
+    /// # Panics
+    /// Panics if the collection is empty, `k == 0`, or buffers mismatch.
+    pub fn fit(rows: &[f32], n_vectors: usize, dims: usize, k: usize, max_iters: usize, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(n_vectors > 0, "cannot cluster an empty collection");
+        assert_eq!(rows.len(), n_vectors * dims, "row buffer does not match dimensions");
+        let k = k.min(n_vectors);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centroids = plus_plus_init(rows, n_vectors, dims, k, &mut rng);
+        let mut assign = vec![0u32; n_vectors];
+        let mut inertia = f64::INFINITY;
+        for _ in 0..max_iters.max(1) {
+            // Assignment step (parallel over vectors).
+            let new_inertia = assign_all(rows, n_vectors, dims, &centroids, k, &mut assign);
+            // Update step.
+            let mut counts = vec![0usize; k];
+            let mut sums = vec![0.0f64; k * dims];
+            for (v, &c) in assign.iter().enumerate() {
+                counts[c as usize] += 1;
+                let row = &rows[v * dims..(v + 1) * dims];
+                let sum = &mut sums[c as usize * dims..(c as usize + 1) * dims];
+                for (s, &x) in sum.iter_mut().zip(row) {
+                    *s += x as f64;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster to the point farthest from
+                    // its current centroid.
+                    let far = farthest_point(rows, n_vectors, dims, &centroids, &assign);
+                    centroids[c * dims..(c + 1) * dims]
+                        .copy_from_slice(&rows[far * dims..(far + 1) * dims]);
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f64;
+                for d in 0..dims {
+                    centroids[c * dims + d] = (sums[c * dims + d] * inv) as f32;
+                }
+            }
+            // Converged when inertia stops improving meaningfully.
+            if new_inertia >= inertia * (1.0 - 1e-4) {
+                break;
+            }
+            inertia = new_inertia;
+        }
+        // Final assignment for the reported inertia.
+        let final_inertia = assign_all(rows, n_vectors, dims, &centroids, k, &mut assign);
+        Self { centroids, k, dims, inertia: final_inertia }
+    }
+
+    /// Index of the nearest centroid to `row`.
+    pub fn assign(&self, row: &[f32]) -> usize {
+        nearest(row, &self.centroids, self.k, self.dims).0
+    }
+
+    /// Groups all vectors into per-cluster id lists (the IVF buckets).
+    pub fn assignments(&self, rows: &[f32], n_vectors: usize) -> Vec<Vec<u32>> {
+        let mut assign = vec![0u32; n_vectors];
+        assign_all(rows, n_vectors, self.dims, &self.centroids, self.k, &mut assign);
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.k];
+        for (v, &c) in assign.iter().enumerate() {
+            buckets[c as usize].push(v as u32);
+        }
+        buckets
+    }
+}
+
+fn nearest(row: &[f32], centroids: &[f32], k: usize, dims: usize) -> (usize, f32) {
+    let mut best = (0usize, f32::INFINITY);
+    for c in 0..k {
+        let d = nary_distance(Metric::L2, KernelVariant::Simd, row, &centroids[c * dims..(c + 1) * dims]);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// Assigns every vector to its nearest centroid; returns total inertia.
+fn assign_all(
+    rows: &[f32],
+    n_vectors: usize,
+    dims: usize,
+    centroids: &[f32],
+    k: usize,
+    assign: &mut [u32],
+) -> f64 {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n_vectors.max(1));
+    let band = n_vectors.div_ceil(threads);
+    let inertia = std::sync::atomic::AtomicU64::new(0f64.to_bits());
+    std::thread::scope(|scope| {
+        let mut rest: &mut [u32] = assign;
+        let mut v0 = 0usize;
+        while v0 < n_vectors {
+            let here = band.min(n_vectors - v0);
+            let (chunk, tail) = rest.split_at_mut(here);
+            rest = tail;
+            let start = v0;
+            let inertia = &inertia;
+            scope.spawn(move || {
+                let mut local = 0.0f64;
+                for (slot, v) in chunk.iter_mut().zip(start..start + here) {
+                    let (c, d) = nearest(&rows[v * dims..(v + 1) * dims], centroids, k, dims);
+                    *slot = c as u32;
+                    local += d as f64;
+                }
+                // Atomic f64 accumulation via CAS on the bit pattern.
+                let mut cur = inertia.load(std::sync::atomic::Ordering::Relaxed);
+                loop {
+                    let next = (f64::from_bits(cur) + local).to_bits();
+                    match inertia.compare_exchange_weak(
+                        cur,
+                        next,
+                        std::sync::atomic::Ordering::Relaxed,
+                        std::sync::atomic::Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            });
+            v0 += here;
+        }
+    });
+    f64::from_bits(inertia.load(std::sync::atomic::Ordering::Relaxed))
+}
+
+/// k-means++ seeding: each next seed is drawn with probability
+/// proportional to its squared distance to the nearest existing seed.
+fn plus_plus_init(rows: &[f32], n_vectors: usize, dims: usize, k: usize, rng: &mut StdRng) -> Vec<f32> {
+    let mut centroids = Vec::with_capacity(k * dims);
+    let first = rng.random_range(0..n_vectors);
+    centroids.extend_from_slice(&rows[first * dims..(first + 1) * dims]);
+    let mut d2: Vec<f32> = (0..n_vectors)
+        .map(|v| {
+            nary_distance(
+                Metric::L2,
+                KernelVariant::Simd,
+                &rows[v * dims..(v + 1) * dims],
+                &centroids[..dims],
+            )
+        })
+        .collect();
+    while centroids.len() < k * dims {
+        let total: f64 = d2.iter().map(|&x| x as f64).sum();
+        let pick = if total <= 0.0 {
+            rng.random_range(0..n_vectors)
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut chosen = n_vectors - 1;
+            for (v, &x) in d2.iter().enumerate() {
+                target -= x as f64;
+                if target <= 0.0 {
+                    chosen = v;
+                    break;
+                }
+            }
+            chosen
+        };
+        let new = &rows[pick * dims..(pick + 1) * dims];
+        centroids.extend_from_slice(new);
+        for (v, slot) in d2.iter_mut().enumerate() {
+            let d = nary_distance(Metric::L2, KernelVariant::Simd, &rows[v * dims..(v + 1) * dims], new);
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// The point farthest from its assigned centroid (empty-cluster rescue).
+fn farthest_point(rows: &[f32], n_vectors: usize, dims: usize, centroids: &[f32], assign: &[u32]) -> usize {
+    let mut best = (0usize, -1.0f32);
+    for v in 0..n_vectors {
+        let c = assign[v] as usize;
+        let d = nary_distance(
+            Metric::L2,
+            KernelVariant::Simd,
+            &rows[v * dims..(v + 1) * dims],
+            &centroids[c * dims..(c + 1) * dims],
+        );
+        if d > best.1 {
+            best = (v, d);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight, well-separated blobs.
+    fn two_blobs(n_per: usize) -> Vec<f32> {
+        let mut rows = Vec::with_capacity(n_per * 2 * 2);
+        for i in 0..n_per {
+            rows.extend_from_slice(&[0.0 + (i % 3) as f32 * 0.01, 0.0]);
+        }
+        for i in 0..n_per {
+            rows.extend_from_slice(&[100.0 + (i % 3) as f32 * 0.01, 100.0]);
+        }
+        rows
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let rows = two_blobs(50);
+        let km = KMeans::fit(&rows, 100, 2, 2, 20, 1);
+        let buckets = km.assignments(&rows, 100);
+        assert_eq!(buckets.len(), 2);
+        let sizes: Vec<usize> = buckets.iter().map(|b| b.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert_eq!(*sizes.iter().max().unwrap(), 50, "blobs must split evenly: {sizes:?}");
+        // Members of one bucket must all be from the same blob.
+        for b in &buckets {
+            let first_blob = b[0] < 50;
+            assert!(b.iter().all(|&v| (v < 50) == first_blob));
+        }
+    }
+
+    #[test]
+    fn inertia_is_small_for_tight_blobs() {
+        let rows = two_blobs(30);
+        let km = KMeans::fit(&rows, 60, 2, 2, 25, 3);
+        assert!(km.inertia < 1.0, "inertia {}", km.inertia);
+    }
+
+    #[test]
+    fn k_clamped_to_collection_size() {
+        let rows = vec![0.0f32, 0.0, 1.0, 1.0];
+        let km = KMeans::fit(&rows, 2, 2, 10, 5, 0);
+        assert_eq!(km.k, 2);
+    }
+
+    #[test]
+    fn every_vector_assigned_exactly_once() {
+        let rows: Vec<f32> = (0..400).map(|i| ((i * 7919 % 997) as f32) * 0.1).collect();
+        let km = KMeans::fit(&rows, 100, 4, 7, 10, 5);
+        let buckets = km.assignments(&rows, 100);
+        let mut seen = [false; 100];
+        for b in &buckets {
+            for &v in b {
+                assert!(!seen[v as usize], "vector {v} in two buckets");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn assign_matches_assignments() {
+        let rows = two_blobs(20);
+        let km = KMeans::fit(&rows, 40, 2, 2, 10, 9);
+        let buckets = km.assignments(&rows, 40);
+        for (c, b) in buckets.iter().enumerate() {
+            for &v in b {
+                assert_eq!(km.assign(&rows[v as usize * 2..(v as usize + 1) * 2]), c);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let rows: Vec<f32> = (0..600).map(|i| ((i * 31 % 173) as f32) * 0.3).collect();
+        let a = KMeans::fit(&rows, 150, 4, 5, 8, 42);
+        let b = KMeans::fit(&rows, 150, 4, 5, 8, 42);
+        assert_eq!(a.centroids, b.centroids);
+    }
+}

@@ -1,0 +1,29 @@
+//! # pdx-index — IVF and flat-partition substrates
+//!
+//! The paper evaluates PDXearch inside an IVF (inverted file) index and
+//! on index-less exact search over flat horizontal partitions:
+//!
+//! * [`kmeans`] — the non-optimized Lloyd algorithm (k-means++ init,
+//!   empty-cluster re-seeding) that IVF training uses (§2.1).
+//! * [`ivf`] — the IVF index: raw-space training producing bucket
+//!   assignments, plus two *deployments* sharing those assignments:
+//!   [`ivf::IvfPdx`] (buckets and centroids in the PDX layout, searched
+//!   with PDXearch) and [`ivf::IvfHorizontal`] (dual-block horizontal
+//!   buckets, searched vector-at-a-time — the SIMD-ADS/FAISS-style
+//!   baselines). Sharing assignments reproduces the paper's "all
+//!   competitors share the same IVF index" setup.
+//! * [`flat`] — equally sized horizontal partitions (≤ 10 240 vectors)
+//!   for exact search (§6.5).
+//! * [`hnsw`] — an HNSW graph used as the centroid router of the §2.1
+//!   hybrid index (HNSW over IVF centroids), and the §7 stepping stone
+//!   toward PDX on graph indexes.
+
+pub mod flat;
+pub mod hnsw;
+pub mod ivf;
+pub mod kmeans;
+
+pub use flat::FlatPdx;
+pub use hnsw::{Hnsw, HnswParams};
+pub use ivf::{IvfHorizontal, IvfIndex, IvfPdx};
+pub use kmeans::KMeans;

@@ -1,0 +1,287 @@
+//! Symmetric eigensolver: Householder tridiagonalisation (`tred2`)
+//! followed by the implicit-shift QL algorithm (`tql2`), the classic
+//! EISPACK pair. `O(n³)` once for the reduction, then `O(n²)` per QL
+//! iteration — fast enough for the `D ≤ 1536` covariance matrices the BSA
+//! preprocessing needs, with no external LAPACK.
+
+/// Eigendecomposition of a real symmetric matrix.
+///
+/// Produced by [`SymmetricEigen::new`]; eigenvalues are sorted in
+/// **descending** order (the order PCA wants) and `eigenvectors.row(k)`
+/// is the unit eigenvector for `eigenvalues[k]`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub eigenvalues: Vec<f64>,
+    /// Row `k` is the eigenvector paired with `eigenvalues[k]`.
+    pub eigenvectors: Vec<Vec<f64>>,
+}
+
+impl SymmetricEigen {
+    /// Decomposes a symmetric `n × n` matrix given in row-major order.
+    ///
+    /// Only the values of the full matrix are read (no symmetry repair is
+    /// attempted); callers should pass an exactly symmetric buffer.
+    ///
+    /// # Panics
+    /// Panics if `a.len() != n * n` or if QL fails to converge within 50
+    /// iterations per eigenvalue (numerically pathological input).
+    pub fn new(a: &[f64], n: usize) -> Self {
+        assert_eq!(a.len(), n * n, "matrix buffer does not match n");
+        if n == 0 {
+            return Self { eigenvalues: Vec::new(), eigenvectors: Vec::new() };
+        }
+        let mut z = a.to_vec();
+        let mut d = vec![0.0f64; n];
+        let mut e = vec![0.0f64; n];
+        tred2(&mut z, n, &mut d, &mut e);
+        tql2(&mut z, n, &mut d, &mut e);
+        // z now holds eigenvectors in its *columns*; d holds eigenvalues
+        // (ascending-ish but unordered in general). Sort descending.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("NaN eigenvalue"));
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+        let eigenvectors: Vec<Vec<f64>> = order
+            .iter()
+            .map(|&col| (0..n).map(|row| z[row * n + col]).collect())
+            .collect();
+        Self { eigenvalues, eigenvectors }
+    }
+}
+
+/// Householder reduction of a real symmetric matrix to tridiagonal form.
+/// On exit `z` holds the orthogonal transform Q (as columns), `d` the
+/// diagonal and `e` the sub-diagonal. Port of EISPACK `tred2`.
+fn tred2(z: &mut [f64], n: usize, d: &mut [f64], e: &mut [f64]) {
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += z[i * n + k].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[i * n + l];
+            } else {
+                for k in 0..=l {
+                    z[i * n + k] /= scale;
+                    h += z[i * n + k] * z[i * n + k];
+                }
+                let mut f = z[i * n + l];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[i * n + l] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[j * n + i] = z[i * n + j] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[j * n + k] * z[i * n + k];
+                    }
+                    for k in j + 1..=l {
+                        g += z[k * n + j] * z[i * n + k];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[i * n + j];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = z[i * n + j];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        z[j * n + k] -= f * e[k] + g * z[i * n + k];
+                    }
+                }
+            }
+        } else {
+            e[i] = z[i * n + l];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        let l = i;
+        if d[i] != 0.0 {
+            for j in 0..l {
+                let mut g = 0.0;
+                for k in 0..l {
+                    g += z[i * n + k] * z[k * n + j];
+                }
+                for k in 0..l {
+                    z[k * n + j] -= g * z[k * n + i];
+                }
+            }
+        }
+        d[i] = z[i * n + i];
+        z[i * n + i] = 1.0;
+        for j in 0..l {
+            z[j * n + i] = 0.0;
+            z[i * n + j] = 0.0;
+        }
+    }
+}
+
+/// Implicit-shift QL with eigenvector accumulation. Port of EISPACK
+/// `tql2`; on exit `d` holds eigenvalues and the columns of `z` the
+/// eigenvectors.
+fn tql2(z: &mut [f64], n: usize, d: &mut [f64], e: &mut [f64]) {
+    if n <= 1 {
+        return;
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small sub-diagonal element to split the problem.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tql2 failed to converge at eigenvalue {l}");
+            // Form the implicit shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    f = z[k * n + i + 1];
+                    z[k * n + i + 1] = s * z[k * n + i] + c * f;
+                    z[k * n + i] = c * z[k * n + i] - s * f;
+                }
+            }
+            if r == 0.0 && m > l {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(a: &[f64], n: usize, tol: f64) {
+        let eig = SymmetricEigen::new(a, n);
+        // A v = λ v for every pair.
+        for (k, v) in eig.eigenvectors.iter().enumerate() {
+            let lambda = eig.eigenvalues[k];
+            for i in 0..n {
+                let mut av = 0.0;
+                for j in 0..n {
+                    av += a[i * n + j] * v[j];
+                }
+                assert!(
+                    (av - lambda * v[i]).abs() < tol,
+                    "eigenpair {k}: (Av)[{i}]={av} vs λv={}",
+                    lambda * v[i]
+                );
+            }
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < tol, "eigenvector {k} norm {norm}");
+        }
+        // Descending order.
+        for w in eig.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - tol, "eigenvalues not descending: {w:?}");
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = [3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0];
+        let eig = SymmetricEigen::new(&a, 3);
+        assert!((eig.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] - 2.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[2] - 1.0).abs() < 1e-12);
+        check_decomposition(&a, 3, 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = [2.0, 1.0, 1.0, 2.0];
+        let eig = SymmetricEigen::new(&a, 2);
+        assert!((eig.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-12);
+        check_decomposition(&a, 2, 1e-10);
+    }
+
+    #[test]
+    fn random_symmetric_matrices() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 24;
+            let mut a = vec![0.0f64; n * n];
+            for i in 0..n {
+                for j in 0..=i {
+                    let v: f64 = rng.random::<f64>() - 0.5;
+                    a[i * n + j] = v;
+                    a[j * n + i] = v;
+                }
+            }
+            check_decomposition(&a, n, 1e-8);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Outer product u uᵀ has one nonzero eigenvalue = |u|².
+        let u = [1.0, 2.0, 2.0];
+        let mut a = vec![0.0f64; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                a[i * 3 + j] = u[i] * u[j];
+            }
+        }
+        let eig = SymmetricEigen::new(&a, 3);
+        assert!((eig.eigenvalues[0] - 9.0).abs() < 1e-10);
+        assert!(eig.eigenvalues[1].abs() < 1e-10);
+        assert!(eig.eigenvalues[2].abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let eig = SymmetricEigen::new(&[], 0);
+        assert!(eig.eigenvalues.is_empty());
+        let eig = SymmetricEigen::new(&[5.0], 1);
+        assert_eq!(eig.eigenvalues, vec![5.0]);
+        assert_eq!(eig.eigenvectors, vec![vec![1.0]]);
+    }
+}

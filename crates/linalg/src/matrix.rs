@@ -1,0 +1,271 @@
+//! A minimal dense row-major `f32` matrix with the handful of operations
+//! the PDX pipeline needs: transposed products for covariance, and a
+//! cache-blocked multi-threaded `A · Bᵀ` used to rotate whole vector
+//! collections (ADSampling / BSA preprocessing).
+
+/// Dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match dimensions");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element at `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// `y = self · x` for a column vector `x`.
+    ///
+    /// This is the per-query rotation of ADSampling/BSA (`D × D` matrix,
+    /// every query), so the dot product uses eight independent
+    /// accumulators to auto-vectorize.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "vector length must equal cols");
+        let mut y = vec![0.0f32; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            const U: usize = 8;
+            let mut acc = [0.0f32; U];
+            let main = row.len() / U * U;
+            for (rc, xc) in row[..main].chunks_exact(U).zip(x[..main].chunks_exact(U)) {
+                for i in 0..U {
+                    acc[i] += rc[i] * xc[i];
+                }
+            }
+            let mut tail = 0.0f32;
+            for (a, b) in row[main..].iter().zip(&x[main..]) {
+                tail += a * b;
+            }
+            *out = ((acc[0] + acc[1]) + (acc[2] + acc[3]))
+                + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+                + tail;
+        }
+        y
+    }
+
+    /// `C = self · otherᵀ`, i.e. `C[i][j] = dot(self.row(i), other.row(j))`.
+    ///
+    /// Both operands are row-major, so the inner kernel streams two rows —
+    /// the layout used when rotating a collection (`rows` = vectors) by a
+    /// transform matrix stored row-per-output-dimension. Work is split
+    /// across `threads` OS threads in row bands.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn mul_transposed(&self, other: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(self.cols, other.cols, "inner dimensions must agree");
+        let m = self.rows;
+        let n = other.rows;
+        let mut out = Matrix::zeros(m, n);
+        let threads = threads.max(1).min(m.max(1));
+        let band = m.div_ceil(threads);
+        let out_cols = n;
+        std::thread::scope(|scope| {
+            let mut rest: &mut [f32] = &mut out.data;
+            let mut row0 = 0usize;
+            while row0 < m {
+                let rows_here = band.min(m - row0);
+                let (chunk, tail) = rest.split_at_mut(rows_here * out_cols);
+                rest = tail;
+                let a = self;
+                let b = other;
+                let start = row0;
+                scope.spawn(move || {
+                    mul_transposed_band(a, b, start, rows_here, chunk);
+                });
+                row0 += rows_here;
+            }
+        });
+        out
+    }
+}
+
+/// Computes rows `[start, start + rows_here)` of `A · Bᵀ` into `chunk`.
+fn mul_transposed_band(a: &Matrix, b: &Matrix, start: usize, rows_here: usize, chunk: &mut [f32]) {
+    let n = b.rows();
+    debug_assert_eq!(chunk.len(), rows_here * n);
+    // Tile over output columns so the B rows in a tile stay cache-resident
+    // while we sweep the band of A rows.
+    const COL_TILE: usize = 64;
+    for (ri, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+        let arow = a.row(start + ri);
+        let mut c0 = 0;
+        while c0 < n {
+            let c1 = (c0 + COL_TILE).min(n);
+            for (c, out) in out_row[c0..c1].iter_mut().enumerate() {
+                let brow = b.row(c0 + c);
+                let mut acc = 0.0f32;
+                // Four independent accumulators break the FP dependency
+                // chain; LLVM vectorizes this cleanly.
+                let mut s = [0.0f32; 4];
+                let quads = arow.len() / 4 * 4;
+                for i in (0..quads).step_by(4) {
+                    s[0] += arow[i] * brow[i];
+                    s[1] += arow[i + 1] * brow[i + 1];
+                    s[2] += arow[i + 2] * brow[i + 2];
+                    s[3] += arow[i + 3] * brow[i + 3];
+                }
+                for i in quads..arow.len() {
+                    acc += arow[i] * brow[i];
+                }
+                *out = acc + (s[0] + s[1]) + (s[2] + s[3]);
+            }
+            c0 = c1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mul_transposed(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let dot: f32 = a.row(i).iter().zip(b.row(j)).map(|(x, y)| x * y).sum();
+                out.set(i, j, dot);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i3 = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i3.get(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = m.matvec(&[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn mul_transposed_matches_naive_single_thread() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0]);
+        let got = a.mul_transposed(&b, 1);
+        assert_eq!(got, naive_mul_transposed(&a, &b));
+    }
+
+    #[test]
+    fn mul_transposed_matches_naive_multi_thread() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::from_vec(37, 19, (0..37 * 19).map(|_| rng.random::<f32>()).collect());
+        let b = Matrix::from_vec(23, 19, (0..23 * 19).map(|_| rng.random::<f32>()).collect());
+        let got = a.mul_transposed(&b, 8);
+        let want = naive_mul_transposed(&a, &b);
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((g - w).abs() < 1e-4, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn mul_transposed_identity_is_noop() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let i = Matrix::identity(3);
+        assert_eq!(a.mul_transposed(&i, 2), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mul_transposed_rejects_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        let _ = a.mul_transposed(&b, 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Ordinary least squares on a small, fixed number of features.
+//!
+//! The learned BSA variant (BSA_pca in the paper) fits, per pruning
+//! checkpoint, a regression that predicts the true remaining distance
+//! from cheaply computable bound features. The feature count is tiny
+//! (≤ 4), so the normal equations with Gaussian elimination in `f64` are
+//! plenty.
+
+/// A fitted linear model `y ≈ w · x + b`.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+impl LinearRegression {
+    /// Fits `y ≈ w·x + b` by solving the normal equations.
+    ///
+    /// `xs` holds one feature row per observation. A tiny ridge term
+    /// (`1e-9 · trace/n`) keeps the system solvable for degenerate
+    /// features.
+    ///
+    /// # Panics
+    /// Panics if `xs` and `ys` disagree in length, if `xs` is empty, or
+    /// if feature rows have inconsistent lengths.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "one target per observation required");
+        assert!(!xs.is_empty(), "cannot fit on zero observations");
+        let k = xs[0].len();
+        // Augment with the intercept column: solve for [w; b].
+        let dim = k + 1;
+        let mut ata = vec![0.0f64; dim * dim];
+        let mut aty = vec![0.0f64; dim];
+        let mut row = vec![0.0f64; dim];
+        for (x, &y) in xs.iter().zip(ys) {
+            assert_eq!(x.len(), k, "inconsistent feature arity");
+            row[..k].copy_from_slice(x);
+            row[k] = 1.0;
+            for i in 0..dim {
+                aty[i] += row[i] * y;
+                for j in 0..dim {
+                    ata[i * dim + j] += row[i] * row[j];
+                }
+            }
+        }
+        // Ridge jitter for numerical safety.
+        let trace: f64 = (0..dim).map(|i| ata[i * dim + i]).sum();
+        let jitter = 1e-9 * (trace / dim as f64).max(1.0);
+        for i in 0..dim {
+            ata[i * dim + i] += jitter;
+        }
+        let sol = solve_dense(&mut ata, &mut aty, dim);
+        Self { weights: sol[..k].to_vec(), intercept: sol[k] }
+    }
+
+    /// Predicts `y` for one feature row.
+    ///
+    /// # Panics
+    /// Panics if `x.len()` differs from the fitted arity.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature arity mismatch");
+        self.intercept + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+    }
+}
+
+/// Solves `A x = b` in place with partial-pivot Gaussian elimination.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for r in col + 1..n {
+            if a[r * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = r;
+            }
+        }
+        if pivot != col {
+            for c in 0..n {
+                a.swap(col * n + c, pivot * n + c);
+            }
+            b.swap(col, pivot);
+        }
+        let p = a[col * n + col];
+        debug_assert!(p != 0.0, "singular normal-equation matrix");
+        for r in col + 1..n {
+            let factor = a[r * n + col] / p;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r * n + c] -= factor * a[col * n + c];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in col + 1..n {
+            acc -= a[col * n + c] * x[c];
+        }
+        x[col] = acc / a[col * n + col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        // y = 2x + 3
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 3.0).collect();
+        let m = LinearRegression::fit(&xs, &ys);
+        assert!((m.weights[0] - 2.0).abs() < 1e-6);
+        assert!((m.intercept - 3.0).abs() < 1e-6);
+        assert!((m.predict(&[100.0]) - 203.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn recovers_two_features() {
+        // y = 1.5a - 0.5b + 1
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..6 {
+            for b in 0..6 {
+                xs.push(vec![a as f64, b as f64]);
+                ys.push(1.5 * a as f64 - 0.5 * b as f64 + 1.0);
+            }
+        }
+        let m = LinearRegression::fit(&xs, &ys);
+        assert!((m.weights[0] - 1.5).abs() < 1e-6);
+        assert!((m.weights[1] + 0.5).abs() < 1e-6);
+        assert!((m.intercept - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..2000 {
+            let x = rng.random::<f64>() * 10.0;
+            xs.push(vec![x]);
+            ys.push(4.0 * x - 2.0 + (rng.random::<f64>() - 0.5) * 0.1);
+        }
+        let m = LinearRegression::fit(&xs, &ys);
+        assert!((m.weights[0] - 4.0).abs() < 0.01);
+        assert!((m.intercept + 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let xs: Vec<Vec<f64>> = (0..8).map(|_| vec![1.0]).collect();
+        let ys: Vec<f64> = (0..8).map(|_| 5.0).collect();
+        let m = LinearRegression::fit(&xs, &ys);
+        assert!((m.predict(&[1.0]) - 5.0).abs() < 1e-3);
+    }
+}

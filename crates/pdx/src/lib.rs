@@ -1,0 +1,60 @@
+//! # pdx — Rust reproduction of "PDX: A Data Layout for Vector Similarity Search"
+//!
+//! Facade crate re-exporting the full public API:
+//!
+//! * [`core`] ([`pdx_core`]) — the PDX layout, distance kernels, the
+//!   PDXearch framework and PDX-BOND.
+//! * [`pruners`] ([`pdx_pruners`]) — ADSampling and BSA.
+//! * [`index`] ([`pdx_index`]) — IVF and flat-partition substrates.
+//! * [`datasets`] ([`pdx_datasets`]) — synthetic Table 1 collections,
+//!   `.fvecs` IO, ground truth and recall.
+//! * [`linalg`] ([`pdx_linalg`]) — the linear-algebra substrate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pdx::prelude::*;
+//!
+//! // 1 000 vectors of 32 dims, clustered like a "DEEP"-shaped dataset.
+//! let spec = DatasetSpec { name: "demo", dims: 32, distribution: Distribution::Normal, paper_size: 0 };
+//! let ds = generate(&spec, 1_000, 1, 42);
+//!
+//! // Exact search with PDX-BOND: no preprocessing, no recall loss.
+//! let flat = FlatPdx::with_defaults(&ds.data, ds.len, ds.dims());
+//! let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+//! let hits = flat.search(&bond, ds.query(0), &SearchParams::new(10));
+//! assert_eq!(hits.len(), 10);
+//! let exact = flat.linear_search(ds.query(0), 10, Metric::L2);
+//! assert_eq!(hits[0].id, exact[0].id);
+//! ```
+
+pub use pdx_core as core;
+pub use pdx_datasets as datasets;
+pub use pdx_index as index;
+pub use pdx_linalg as linalg;
+pub use pdx_pruners as pruners;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use pdx_core::bond::PdxBond;
+    pub use pdx_core::collection::{PdxCollection, SearchBlock};
+    pub use pdx_core::distance::{normalize, Metric};
+    pub use pdx_core::heap::{KnnHeap, Neighbor};
+    pub use pdx_core::kernels::{
+        dsm_scan, gather_scan, nary_distance, pdx_scan, KernelVariant,
+    };
+    pub use pdx_core::layout::{DsmMatrix, DualBlockMatrix, NaryMatrix, PdxBlock};
+    pub use pdx_core::profile::SearchProfile;
+    pub use pdx_core::pruning::{checkpoints, BlockAux, Pruner, StepPolicy};
+    pub use pdx_core::search::{
+        horizontal_linear_scan, horizontal_pruned_search, linear_scan_dsm, linear_scan_nary,
+        linear_scan_pdx, pdxearch, HorizontalBucket, SearchParams,
+    };
+    pub use pdx_core::stats::BlockStats;
+    pub use pdx_core::visit_order::VisitOrder;
+    pub use pdx_core::{DEFAULT_EXACT_BLOCK, DEFAULT_GROUP_SIZE};
+    pub use pdx_datasets::eval::{ground_truth, mean_recall, recall_at_k};
+    pub use pdx_datasets::synthetic::{generate, spec_by_name, Dataset, DatasetSpec, Distribution, TABLE1};
+    pub use pdx_index::{FlatPdx, Hnsw, HnswParams, IvfHorizontal, IvfIndex, IvfPdx, KMeans};
+    pub use pdx_pruners::{AdSampling, Bsa, BsaLearned};
+}
