@@ -8,7 +8,12 @@ use std::hint::black_box;
 fn bench_block_size(c: &mut Criterion) {
     let n = 16_384usize;
     let d = 384usize;
-    let spec = DatasetSpec { name: "bs", dims: d, distribution: Distribution::Normal, paper_size: 0 };
+    let spec = DatasetSpec {
+        name: "bs",
+        dims: d,
+        distribution: Distribution::Normal,
+        paper_size: 0,
+    };
     let ds = generate(&spec, n, 1, 9);
     let q = ds.query(0).to_vec();
     let mut out = vec![0.0f32; n];

@@ -9,7 +9,12 @@ fn bench_gather(c: &mut Criterion) {
     let d = 128usize;
     let mut group = c.benchmark_group("gather/L2");
     for n in [512usize, 32_768] {
-        let spec = DatasetSpec { name: "g", dims: d, distribution: Distribution::Normal, paper_size: 0 };
+        let spec = DatasetSpec {
+            name: "g",
+            dims: d,
+            distribution: Distribution::Normal,
+            paper_size: 0,
+        };
         let ds = generate(&spec, n, 1, n as u64);
         let q = ds.query(0).to_vec();
         let nary = NaryMatrix::from_rows(&ds.data, n, d);

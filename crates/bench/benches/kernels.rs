@@ -11,8 +11,12 @@ fn bench_kernels(c: &mut Criterion) {
     for metric in [Metric::L2, Metric::NegativeIp, Metric::L1] {
         let mut group = c.benchmark_group(format!("kernels/{}", metric.name()));
         for d in [8usize, 32, 128, 768] {
-            let spec =
-                DatasetSpec { name: "bench", dims: d, distribution: Distribution::Normal, paper_size: 0 };
+            let spec = DatasetSpec {
+                name: "bench",
+                dims: d,
+                distribution: Distribution::Normal,
+                paper_size: 0,
+            };
             let ds = generate(&spec, n, 1, d as u64);
             let q = ds.query(0).to_vec();
             let block = PdxBlock::from_rows(&ds.data, n, d, DEFAULT_GROUP_SIZE);

@@ -33,7 +33,13 @@ fn bench_exact(c: &mut Criterion) {
     group.bench_function("nary_simd", |b| {
         b.iter(|| {
             qi = (qi + 1) % ds.n_queries;
-            black_box(linear_scan_nary(&nary, ds.query(qi), 10, Metric::L2, KernelVariant::Simd));
+            black_box(linear_scan_nary(
+                &nary,
+                ds.query(qi),
+                10,
+                Metric::L2,
+                KernelVariant::Simd,
+            ));
         })
     });
     group.finish();
@@ -64,7 +70,13 @@ fn bench_ivf(c: &mut Criterion) {
     group.bench_function("ivfflat_simd", |b| {
         b.iter(|| {
             qi = (qi + 1) % ds.n_queries;
-            black_box(ivf_hor.linear_search(ds.query(qi), 10, nprobe, Metric::L2, KernelVariant::Simd));
+            black_box(ivf_hor.linear_search(
+                ds.query(qi),
+                10,
+                nprobe,
+                Metric::L2,
+                KernelVariant::Simd,
+            ));
         })
     });
     group.finish();

@@ -34,7 +34,10 @@ fn main() {
     header.extend(thresholds.iter().map(|t| format!("{:.0}%", t * 100.0)));
     let widths = vec![16usize; header.len()];
     println!("{}", row(&header, &widths));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 3 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 3 * widths.len())
+    );
 
     let mut csv = Vec::new();
     for ds in &datasets {
@@ -69,7 +72,11 @@ fn main() {
         csv.push(csv_cells.join(","));
     }
     let mut header_csv = vec!["dataset".to_string(), "dims".to_string()];
-    header_csv.extend(thresholds.iter().map(|t| format!("speedup_at_{:.0}pct", t * 100.0)));
+    header_csv.extend(
+        thresholds
+            .iter()
+            .map(|t| format!("speedup_at_{:.0}pct", t * 100.0)),
+    );
     write_csv("fig10_selectivity.csv", &header_csv.join(","), &csv);
     println!("\nPaper shape to verify: a sweet spot near 20% with a flat region down to");
     println!("~5%; thresholds >40% hurt; low-pruning datasets (nytimes) can stay <1.0x.");

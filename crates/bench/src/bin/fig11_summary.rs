@@ -10,9 +10,9 @@
 //! cargo run --release -p pdx-bench --bin fig11_summary [--n=20000 --queries=30]
 //! ```
 
+use pdx::core::pruning::{checkpoints, StepPolicy};
 use pdx::prelude::*;
 use pdx_bench::harness::*;
-use pdx::core::pruning::{checkpoints, StepPolicy};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -34,21 +34,38 @@ fn main() {
 
         // Scikit-learn stand-in: scalar horizontal scan = baseline 1.0.
         let (qps_base, _) = time_queries(ds.n_queries, |qi| {
-            drop(linear_scan_nary(&nary, ds.query(qi), k, Metric::L2, KernelVariant::Scalar))
+            drop(linear_scan_nary(
+                &nary,
+                ds.query(qi),
+                k,
+                Metric::L2,
+                KernelVariant::Scalar,
+            ))
         });
-        let push = |map: &mut std::collections::BTreeMap<&str, Vec<f64>>, name: &'static str, qps: f64| {
-            map.entry(name).or_default().push(qps / qps_base);
-        };
-        let (qps, _) = time_queries(ds.n_queries, |qi| drop(flat.search(&bond, ds.query(qi), &params)));
+        let push =
+            |map: &mut std::collections::BTreeMap<&str, Vec<f64>>, name: &'static str, qps: f64| {
+                map.entry(name).or_default().push(qps / qps_base);
+            };
+        let (qps, _) = time_queries(ds.n_queries, |qi| {
+            drop(flat.search(&bond, ds.query(qi), &params))
+        });
         push(&mut exact, "PDX-BOND", qps);
-        let (qps, _) = time_queries(ds.n_queries, |qi| drop(flat.linear_search(ds.query(qi), k, Metric::L2)));
+        let (qps, _) = time_queries(ds.n_queries, |qi| {
+            drop(flat.linear_search(ds.query(qi), k, Metric::L2))
+        });
         push(&mut exact, "PDX-LINEAR-SCAN", qps);
         let (qps, _) = time_queries(ds.n_queries, |qi| {
             drop(linear_scan_dsm(&dsm, ds.query(qi), k, Metric::L2))
         });
         push(&mut exact, "DSM-LINEAR-SCAN", qps);
         let (qps, _) = time_queries(ds.n_queries, |qi| {
-            drop(linear_scan_nary(&nary, ds.query(qi), k, Metric::L2, KernelVariant::Simd))
+            drop(linear_scan_nary(
+                &nary,
+                ds.query(qi),
+                k,
+                Metric::L2,
+                KernelVariant::Simd,
+            ))
         });
         push(&mut exact, "NARY-SIMD (FAISS-like)", qps);
 
@@ -74,7 +91,13 @@ fn main() {
 
         // IVF baseline: scalar linear scan of probed buckets.
         let (qps_ivf_base, _) = time_queries(ds.n_queries, |qi| {
-            let _ = ivf_raw_hor.linear_search(ds.query(qi), k, nprobe, Metric::L2, KernelVariant::Scalar);
+            let _ = ivf_raw_hor.linear_search(
+                ds.query(qi),
+                k,
+                nprobe,
+                Metric::L2,
+                KernelVariant::Scalar,
+            );
         });
         let push_ivf =
             |map: &mut std::collections::BTreeMap<&str, Vec<f64>>, name: &'static str, qps: f64| {
@@ -90,7 +113,9 @@ fn main() {
         push_ivf(&mut ivfb, "PDX-BSA", qps);
         let bondz = PdxBond::new(
             Metric::L2,
-            VisitOrder::DimensionZones { zone_size: pdx::core::visit_order::DEFAULT_ZONE_SIZE },
+            VisitOrder::DimensionZones {
+                zone_size: pdx::core::visit_order::DEFAULT_ZONE_SIZE,
+            },
         );
         let (qps, _) = time_queries(ds.n_queries, |qi| {
             let _ = ivf_raw_pdx.search(&bondz, ds.query(qi), nprobe, &params);
@@ -101,7 +126,8 @@ fn main() {
         });
         push_ivf(&mut ivfb, "SIMD-ADS", qps);
         let (qps, _) = time_queries(ds.n_queries, |qi| {
-            let _ = ivf_raw_hor.linear_search(ds.query(qi), k, nprobe, Metric::L2, KernelVariant::Simd);
+            let _ =
+                ivf_raw_hor.linear_search(ds.query(qi), k, nprobe, Metric::L2, KernelVariant::Simd);
         });
         push_ivf(&mut ivfb, "IVF-FLAT-SIMD (FAISS-like)", qps);
     }
@@ -118,7 +144,11 @@ fn main() {
         println!("  {name:<26} {:.2}x", geomean(speeds));
         csv.push(format!("ivf,{name},{:.3}", geomean(speeds)));
     }
-    write_csv("fig11_summary.csv", "setting,competitor,geomean_speedup", &csv);
+    write_csv(
+        "fig11_summary.csv",
+        "setting,competitor,geomean_speedup",
+        &csv,
+    );
     println!("\nPaper shape to verify: PDX-BOND and PDX-LINEAR-SCAN lead exact search;");
     println!("PDX-ADS/PDX-BSA lead IVF search with PDX-BOND still above the non-PDX");
     println!("competitors.");

@@ -37,14 +37,27 @@ fn main() {
     println!(
         "{}",
         row(
-            &["n", "bytes", "gather", "nary-simd", "pdx", "gather transpose%"].map(String::from),
+            &[
+                "n",
+                "bytes",
+                "gather",
+                "nary-simd",
+                "pdx",
+                "gather transpose%"
+            ]
+            .map(String::from),
             &[8, 10, 8, 10, 8, 18],
         )
     );
     println!("{}", "-".repeat(72));
     let mut csv = Vec::new();
     for &n in &sizes {
-        let spec = DatasetSpec { name: "f12", dims: d, distribution: Distribution::Normal, paper_size: 0 };
+        let spec = DatasetSpec {
+            name: "f12",
+            dims: d,
+            distribution: Distribution::Normal,
+            paper_size: 0,
+        };
         let ds = generate(&spec, n, 1, n as u64);
         let q = ds.query(0);
         let nary = NaryMatrix::from_rows(&ds.data, n, d);

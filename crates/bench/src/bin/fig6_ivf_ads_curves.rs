@@ -36,12 +36,22 @@ fn main() {
         let ivf_hor = IvfHorizontal::new(&rotated, d, &index.assignments, delta_d);
         let ivf_raw = IvfHorizontal::new(&ds.data, d, &index.assignments, delta_d);
 
-        println!("\nFigure 6 [{}/{d}] — IVF QPS vs recall (K={k})", ds.spec.name);
+        println!(
+            "\nFigure 6 [{}/{d}] — IVF QPS vs recall (K={k})",
+            ds.spec.name
+        );
         println!(
             "{}",
             row(
-                &["nprobe", "PDX-ADS", "SIMD-ADS", "SCALAR-ADS", "FAISS-like", "recall(PDX-ADS)"]
-                    .map(String::from),
+                &[
+                    "nprobe",
+                    "PDX-ADS",
+                    "SIMD-ADS",
+                    "SCALAR-ADS",
+                    "FAISS-like",
+                    "recall(PDX-ADS)"
+                ]
+                .map(String::from),
                 &[7, 12, 12, 12, 12, 16],
             )
         );
@@ -63,7 +73,8 @@ fn main() {
                 let _ = ivf_hor.search(&ads, ds.query(qi), k, nprobe, KernelVariant::Scalar);
             });
             let (qps_flat, _) = time_queries(ds.n_queries, |qi| {
-                let _ = ivf_raw.linear_search(ds.query(qi), k, nprobe, Metric::L2, KernelVariant::Simd);
+                let _ =
+                    ivf_raw.linear_search(ds.query(qi), k, nprobe, Metric::L2, KernelVariant::Simd);
             });
             println!(
                 "{}",

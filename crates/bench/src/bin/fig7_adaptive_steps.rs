@@ -6,9 +6,9 @@
 //!     [--n=20000 --queries=100 --datasets=gist]
 //! ```
 
+use pdx::core::pruning::StepPolicy;
 use pdx::prelude::*;
 use pdx_bench::harness::*;
-use pdx::core::pruning::StepPolicy;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -54,11 +54,27 @@ fn main() {
         let faster = speedups.iter().filter(|&&s| s > 1.0).count();
         let much_faster = speedups.iter().filter(|&&s| s >= 1.5).count();
         let slower = speedups.iter().filter(|&&s| s < 0.9).count();
-        println!("\nFigure 7 [{}/{d}] — adaptive vs fixed Δd=32 (per-query speedups)", ds.spec.name);
-        println!("  queries faster with adaptive steps: {:.0}%", faster as f64 * 100.0 / speedups.len() as f64);
-        println!("  queries ≥1.5x faster:               {:.0}%", much_faster as f64 * 100.0 / speedups.len() as f64);
-        println!("  queries >10% slower:                {:.0}%", slower as f64 * 100.0 / speedups.len() as f64);
-        println!("  median speedup: {:.3}x | p90: {:.3}x", percentile(&speedups, 50.0), percentile(&speedups, 90.0));
+        println!(
+            "\nFigure 7 [{}/{d}] — adaptive vs fixed Δd=32 (per-query speedups)",
+            ds.spec.name
+        );
+        println!(
+            "  queries faster with adaptive steps: {:.0}%",
+            faster as f64 * 100.0 / speedups.len() as f64
+        );
+        println!(
+            "  queries ≥1.5x faster:               {:.0}%",
+            much_faster as f64 * 100.0 / speedups.len() as f64
+        );
+        println!(
+            "  queries >10% slower:                {:.0}%",
+            slower as f64 * 100.0 / speedups.len() as f64
+        );
+        println!(
+            "  median speedup: {:.3}x | p90: {:.3}x",
+            percentile(&speedups, 50.0),
+            percentile(&speedups, 90.0)
+        );
         // Histogram, paper-style.
         println!("  histogram (speedup buckets):");
         let edges = [0.0, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, f64::INFINITY];
@@ -71,7 +87,11 @@ fn main() {
             csv.push(format!("{},{qi},{s:.4}", ds.spec.name));
         }
     }
-    write_csv("fig7_adaptive_steps.csv", "dataset,query,speedup_adaptive_over_fixed32", &csv);
+    write_csv(
+        "fig7_adaptive_steps.csv",
+        "dataset,query,speedup_adaptive_over_fixed32",
+        &csv,
+    );
     println!("\nPaper shape to verify: roughly half the queries improve, a small tail");
     println!("≥1.5x, and <~1% regress beyond 10% — even on GIST where Δd=32 was tuned.");
 }

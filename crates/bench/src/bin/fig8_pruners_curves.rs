@@ -7,9 +7,9 @@
 //!     [--n=20000 --queries=50 --datasets=deep,openai]
 //! ```
 
+use pdx::core::pruning::{checkpoints, StepPolicy};
 use pdx::prelude::*;
 use pdx_bench::harness::*;
-use pdx::core::pruning::{checkpoints, StepPolicy};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -22,7 +22,10 @@ fn main() {
         let n = ds.len;
         eprintln!("[{}] ground truth…", ds.spec.name);
         let gt = ground_truth(&ds.data, &ds.queries, d, k, Metric::L2, 0);
-        eprintln!("[{}] IVF + preprocessing (ADS rotation, BSA PCA)…", ds.spec.name);
+        eprintln!(
+            "[{}] IVF + preprocessing (ADS rotation, BSA PCA)…",
+            ds.spec.name
+        );
         let nlist = IvfIndex::default_nlist(n);
         let index = IvfIndex::build(&ds.data, n, d, nlist, 10, 3);
 
@@ -42,15 +45,28 @@ fn main() {
         let ivf_flat = IvfHorizontal::new(&ds.data, d, &index.assignments, 32.min(d));
         let bond = PdxBond::new(
             Metric::L2,
-            VisitOrder::DimensionZones { zone_size: pdx::core::visit_order::DEFAULT_ZONE_SIZE },
+            VisitOrder::DimensionZones {
+                zone_size: pdx::core::visit_order::DEFAULT_ZONE_SIZE,
+            },
         );
 
-        println!("\nFigure 8 [{}/{d}] — IVF QPS vs recall (K={k})", ds.spec.name);
+        println!(
+            "\nFigure 8 [{}/{d}] — IVF QPS vs recall (K={k})",
+            ds.spec.name
+        );
         println!(
             "{}",
             row(
-                &["nprobe", "PDX-ADS", "PDX-BSA", "PDX-BOND", "FAISS-like", "recall(ADS)", "recall(BSA)"]
-                    .map(String::from),
+                &[
+                    "nprobe",
+                    "PDX-ADS",
+                    "PDX-BSA",
+                    "PDX-BOND",
+                    "FAISS-like",
+                    "recall(ADS)",
+                    "recall(BSA)"
+                ]
+                .map(String::from),
                 &[7, 11, 11, 11, 11, 12, 12],
             )
         );
@@ -72,7 +88,13 @@ fn main() {
                 let _ = ivf_raw.search(&bond, ds.query(qi), nprobe, &params);
             });
             let (qps_flat, _) = time_queries(ds.n_queries, |qi| {
-                let _ = ivf_flat.linear_search(ds.query(qi), k, nprobe, Metric::L2, KernelVariant::Simd);
+                let _ = ivf_flat.linear_search(
+                    ds.query(qi),
+                    k,
+                    nprobe,
+                    Metric::L2,
+                    KernelVariant::Simd,
+                );
             });
             let r_ads = mean_recall(&gt, &ads_ids, k);
             let r_bsa = mean_recall(&gt, &bsa_ids, k);

@@ -20,14 +20,30 @@ fn main() {
     let datasets = select_datasets(&args, 20_000, 50);
     let mut csv = Vec::new();
 
-    let mut header = vec!["dataset/D", "PDX-BOND", "PDX-LINEAR", "DSM", "N-ary-SIMD", "scalar"];
+    let mut header = vec![
+        "dataset/D",
+        "PDX-BOND",
+        "PDX-LINEAR",
+        "DSM",
+        "N-ary-SIMD",
+        "scalar",
+    ];
     if orders {
         header.extend(["BOND-decr", "BOND-seq"]);
     }
     let widths = vec![16usize; header.len()];
     println!("\nFigure 9 — exact search QPS (K={k})");
-    println!("{}", row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 3 * widths.len()));
+    println!(
+        "{}",
+        row(
+            &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 3 * widths.len())
+    );
 
     for ds in &datasets {
         let d = ds.dims();
@@ -38,18 +54,32 @@ fn main() {
         let params = SearchParams::new(k);
 
         let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
-        let (qps_bond, _) =
-            time_queries(ds.n_queries, |qi| drop(flat.search(&bond, ds.query(qi), &params)));
-        let (qps_pdx, _) =
-            time_queries(ds.n_queries, |qi| drop(flat.linear_search(ds.query(qi), k, Metric::L2)));
+        let (qps_bond, _) = time_queries(ds.n_queries, |qi| {
+            drop(flat.search(&bond, ds.query(qi), &params))
+        });
+        let (qps_pdx, _) = time_queries(ds.n_queries, |qi| {
+            drop(flat.linear_search(ds.query(qi), k, Metric::L2))
+        });
         let (qps_dsm, _) = time_queries(ds.n_queries, |qi| {
             drop(linear_scan_dsm(&dsm, ds.query(qi), k, Metric::L2))
         });
         let (qps_simd, _) = time_queries(ds.n_queries, |qi| {
-            drop(linear_scan_nary(&nary, ds.query(qi), k, Metric::L2, KernelVariant::Simd))
+            drop(linear_scan_nary(
+                &nary,
+                ds.query(qi),
+                k,
+                Metric::L2,
+                KernelVariant::Simd,
+            ))
         });
         let (qps_scalar, _) = time_queries(ds.n_queries, |qi| {
-            drop(linear_scan_nary(&nary, ds.query(qi), k, Metric::L2, KernelVariant::Scalar))
+            drop(linear_scan_nary(
+                &nary,
+                ds.query(qi),
+                k,
+                Metric::L2,
+                KernelVariant::Scalar,
+            ))
         });
 
         let mut cells = vec![
@@ -63,11 +93,13 @@ fn main() {
         let mut extra = String::new();
         if orders {
             let bond_decr = PdxBond::new(Metric::L2, VisitOrder::Decreasing);
-            let (qps_decr, _) =
-                time_queries(ds.n_queries, |qi| drop(flat.search(&bond_decr, ds.query(qi), &params)));
+            let (qps_decr, _) = time_queries(ds.n_queries, |qi| {
+                drop(flat.search(&bond_decr, ds.query(qi), &params))
+            });
             let bond_seq = PdxBond::new(Metric::L2, VisitOrder::Sequential);
-            let (qps_seq, _) =
-                time_queries(ds.n_queries, |qi| drop(flat.search(&bond_seq, ds.query(qi), &params)));
+            let (qps_seq, _) = time_queries(ds.n_queries, |qi| {
+                drop(flat.search(&bond_seq, ds.query(qi), &params))
+            });
             cells.push(format!("{qps_decr:.0}"));
             cells.push(format!("{qps_seq:.0}"));
             extra = format!(",{qps_decr:.1},{qps_seq:.1}");

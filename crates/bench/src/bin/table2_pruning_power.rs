@@ -34,7 +34,13 @@ fn main() {
     };
 
     println!("\nTable 2 — ADSampling pruning power at Δd=1 (percent of values avoided), K={k}");
-    println!("{}", row(&["dataset/D", "best", "p50", "p25", "worst"].map(String::from), &[16, 8, 8, 8, 8]));
+    println!(
+        "{}",
+        row(
+            &["dataset/D", "best", "p50", "p25", "worst"].map(String::from),
+            &[16, 8, 8, 8, 8]
+        )
+    );
     println!("{}", "-".repeat(60));
     let mut csv = Vec::new();
     for ds in &datasets {
@@ -44,8 +50,9 @@ fn main() {
         let nlist = IvfIndex::default_nlist(ds.len);
         let index = IvfIndex::build(&ds.data, ds.len, d, nlist, 10, 3);
         let ivf = IvfPdx::new(&rotated, d, &index.assignments, DEFAULT_GROUP_SIZE);
-        let powers: Vec<f64> =
-            (0..ds.n_queries).map(|qi| pruning_power(&ads, &ivf, ds.query(qi), k) * 100.0).collect();
+        let powers: Vec<f64> = (0..ds.n_queries)
+            .map(|qi| pruning_power(&ads, &ivf, ds.query(qi), k) * 100.0)
+            .collect();
         let best = percentile(&powers, 100.0);
         let p50 = percentile(&powers, 50.0);
         let p25 = percentile(&powers, 25.0);
@@ -63,9 +70,16 @@ fn main() {
                 &[16, 8, 8, 8, 8],
             )
         );
-        csv.push(format!("{},{},{best:.2},{p50:.2},{p25:.2},{worst:.2}", ds.spec.name, d));
+        csv.push(format!(
+            "{},{},{best:.2},{p50:.2},{p25:.2},{worst:.2}",
+            ds.spec.name, d
+        ));
     }
-    write_csv("table2_pruning_power.csv", "dataset,dims,best,p50,p25,worst", &csv);
+    write_csv(
+        "table2_pruning_power.csv",
+        "dataset,dims,best,p50,p25,worst",
+        &csv,
+    );
     println!("\nPaper shape to verify: skewed datasets (gist, msong, sift, openai) prune");
     println!("more than normal ones (nytimes, glove50, deep, contriever); best-vs-worst");
     println!("spread is large (pruning is query-dependent).");

@@ -29,9 +29,15 @@ fn main() {
     let dims_list: Vec<usize> = if quick {
         vec![8, 16, 32, 128, 768, 1536]
     } else {
-        vec![8, 16, 32, 64, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 4096, 8192]
+        vec![
+            8, 16, 32, 64, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 4096, 8192,
+        ]
     };
-    let sizes: Vec<usize> = if quick { vec![1024, 65_536] } else { vec![64, 1024, 16_384, 131_072] };
+    let sizes: Vec<usize> = if quick {
+        vec![1024, 65_536]
+    } else {
+        vec![64, 1024, 16_384, 131_072]
+    };
     // Cap the working set at ~512 MiB of floats.
     let max_floats = 128 * 1024 * 1024usize;
 
@@ -39,7 +45,10 @@ fn main() {
     println!("\nTable 4 — PDX (auto-vectorized) vs N-ary (explicit SIMD) kernel speedup");
     println!(
         "{}",
-        row(&["metric", "D=8", "D=16,32", "D>32", "All"].map(String::from), &[8, 8, 8, 8, 8])
+        row(
+            &["metric", "D=8", "D=16,32", "D>32", "All"].map(String::from),
+            &[8, 8, 8, 8, 8]
+        )
     );
     println!("{}", "-".repeat(48));
     let mut csv = Vec::new();

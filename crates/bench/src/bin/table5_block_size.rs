@@ -24,13 +24,22 @@ fn main() {
     let args = BenchArgs::parse();
     let quick = args.flag("quick");
     let group_sizes = [16usize, 32, 64, 128, 256, 512];
-    let dims_list: Vec<usize> = if quick { vec![64, 768] } else { vec![16, 64, 128, 384, 768, 1536] };
-    let sizes: Vec<usize> = if quick { vec![16_384] } else { vec![1024, 16_384, 131_072] };
+    let dims_list: Vec<usize> = if quick {
+        vec![64, 768]
+    } else {
+        vec![16, 64, 128, 384, 768, 1536]
+    };
+    let sizes: Vec<usize> = if quick {
+        vec![16_384]
+    } else {
+        vec![1024, 16_384, 131_072]
+    };
     let max_floats = 128 * 1024 * 1024usize;
 
     println!("\nTable 5 — L2 PDX-vs-N-ary speedup by PDX vector-group size");
-    let header: Vec<String> =
-        std::iter::once("group".to_string()).chain(group_sizes.iter().map(|g| g.to_string())).collect();
+    let header: Vec<String> = std::iter::once("group".to_string())
+        .chain(group_sizes.iter().map(|g| g.to_string()))
+        .collect();
     let widths = vec![8usize; header.len()];
     println!("{}", row(&header, &widths));
     println!("{}", "-".repeat(64));
@@ -42,8 +51,12 @@ fn main() {
             if n * d > max_floats {
                 continue;
             }
-            let spec =
-                DatasetSpec { name: "blk", dims: d, distribution: Distribution::Normal, paper_size: 0 };
+            let spec = DatasetSpec {
+                name: "blk",
+                dims: d,
+                distribution: Distribution::Normal,
+                paper_size: 0,
+            };
             let ds = generate(&spec, n, 1, (d + n) as u64);
             let q = ds.query(0);
             let nary = NaryMatrix::from_rows(&ds.data, n, d);

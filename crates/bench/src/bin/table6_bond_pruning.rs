@@ -12,8 +12,16 @@
 use pdx::prelude::*;
 use pdx_bench::harness::*;
 
-const EIGHT: [&str; 8] =
-    ["gist", "msong", "nytimes", "glove50", "deep", "contriever", "openai", "sift"];
+const EIGHT: [&str; 8] = [
+    "gist",
+    "msong",
+    "nytimes",
+    "glove50",
+    "deep",
+    "contriever",
+    "openai",
+    "sift",
+];
 
 fn main() {
     let args = BenchArgs::parse();
@@ -24,7 +32,13 @@ fn main() {
     let orders_ablation = args.flag("orders");
 
     println!("\nTable 6 — PDX-BOND pruning power at Δd=1 (percent of values avoided), K={k}");
-    println!("{}", row(&["dataset/D", "best", "p50", "p25", "worst"].map(String::from), &[16, 8, 8, 8, 8]));
+    println!(
+        "{}",
+        row(
+            &["dataset/D", "best", "p50", "p25", "worst"].map(String::from),
+            &[16, 8, 8, 8, 8]
+        )
+    );
     println!("{}", "-".repeat(60));
     let mut csv = Vec::new();
     for name in EIGHT {
@@ -41,15 +55,26 @@ fn main() {
                 ("seq", VisitOrder::Sequential),
                 ("decr", VisitOrder::Decreasing),
                 ("means", VisitOrder::DistanceToMeans),
-                ("zones", VisitOrder::DimensionZones { zone_size: pdx::core::visit_order::DEFAULT_ZONE_SIZE }),
+                (
+                    "zones",
+                    VisitOrder::DimensionZones {
+                        zone_size: pdx::core::visit_order::DEFAULT_ZONE_SIZE,
+                    },
+                ),
             ]
         } else {
-            vec![("zones", VisitOrder::DimensionZones { zone_size: pdx::core::visit_order::DEFAULT_ZONE_SIZE })]
+            vec![(
+                "zones",
+                VisitOrder::DimensionZones {
+                    zone_size: pdx::core::visit_order::DEFAULT_ZONE_SIZE,
+                },
+            )]
         };
         for (oname, order) in orders {
             let bond = PdxBond::new(Metric::L2, order);
-            let powers: Vec<f64> =
-                (0..ds.n_queries).map(|qi| pruning_power(&bond, &ivf, ds.query(qi), k) * 100.0).collect();
+            let powers: Vec<f64> = (0..ds.n_queries)
+                .map(|qi| pruning_power(&bond, &ivf, ds.query(qi), k) * 100.0)
+                .collect();
             let best = percentile(&powers, 100.0);
             let p50 = percentile(&powers, 50.0);
             let p25 = percentile(&powers, 25.0);
@@ -72,10 +97,17 @@ fn main() {
                     &[22, 8, 8, 8, 8],
                 )
             );
-            csv.push(format!("{},{d},{oname},{best:.2},{p50:.2},{p25:.2},{worst:.2}", ds.spec.name));
+            csv.push(format!(
+                "{},{d},{oname},{best:.2},{p50:.2},{p25:.2},{worst:.2}",
+                ds.spec.name
+            ));
         }
     }
-    write_csv("table6_bond_pruning.csv", "dataset,dims,order,best,p50,p25,worst", &csv);
+    write_csv(
+        "table6_bond_pruning.csv",
+        "dataset,dims,order,best,p50,p25,worst",
+        &csv,
+    );
     println!("\nPaper shape to verify: same power-law shape as Table 2 but slightly lower");
     println!("totals than ADSampling, strongest on skewed datasets.");
 }

@@ -6,19 +6,35 @@
 //! cargo run --release -p pdx-bench --bin table7_breakdown [--n=20000 --queries=30]
 //! ```
 
-use pdx::prelude::*;
-use pdx_bench::harness::*;
 use pdx::core::pruning::{checkpoints, StepPolicy};
 use pdx::core::search::horizontal_checkpoints;
+use pdx::prelude::*;
+use pdx_bench::harness::*;
 
 fn print_row(name: &str, p: &SearchProfile, n_queries: usize) {
     let total_ms = p.total_ns() as f64 / 1e6 / n_queries as f64;
     println!(
         "{name:<12} {total_ms:>9.2} {:>18} {:>18} {:>18} {:>18}",
-        format!("{:.1}% ({:.2}ms)", p.share(p.distance_ns), p.distance_ns as f64 / 1e6 / n_queries as f64),
-        format!("{:.1}% ({:.2}ms)", p.share(p.find_buckets_ns), p.find_buckets_ns as f64 / 1e6 / n_queries as f64),
-        format!("{:.1}% ({:.2}ms)", p.share(p.bounds_ns), p.bounds_ns as f64 / 1e6 / n_queries as f64),
-        format!("{:.1}% ({:.2}ms)", p.share(p.preprocess_ns), p.preprocess_ns as f64 / 1e6 / n_queries as f64),
+        format!(
+            "{:.1}% ({:.2}ms)",
+            p.share(p.distance_ns),
+            p.distance_ns as f64 / 1e6 / n_queries as f64
+        ),
+        format!(
+            "{:.1}% ({:.2}ms)",
+            p.share(p.find_buckets_ns),
+            p.find_buckets_ns as f64 / 1e6 / n_queries as f64
+        ),
+        format!(
+            "{:.1}% ({:.2}ms)",
+            p.share(p.bounds_ns),
+            p.bounds_ns as f64 / 1e6 / n_queries as f64
+        ),
+        format!(
+            "{:.1}% ({:.2}ms)",
+            p.share(p.preprocess_ns),
+            p.preprocess_ns as f64 / 1e6 / n_queries as f64
+        ),
     );
 }
 
@@ -62,11 +78,16 @@ fn main() {
     let ivf_raw = IvfPdx::new(&ds.data, d, &index.assignments, DEFAULT_GROUP_SIZE);
     let bond = PdxBond::new(
         Metric::L2,
-        VisitOrder::DimensionZones { zone_size: pdx::core::visit_order::DEFAULT_ZONE_SIZE },
+        VisitOrder::DimensionZones {
+            zone_size: pdx::core::visit_order::DEFAULT_ZONE_SIZE,
+        },
     );
     let params = SearchParams::new(k);
 
-    println!("\nTable 7 — IVF query runtime breakdown, {}/{d}, nprobe={nprobe}, K={k}", spec.name);
+    println!(
+        "\nTable 7 — IVF query runtime breakdown, {}/{d}, nprobe={nprobe}, K={k}",
+        spec.name
+    );
     println!(
         "{:<12} {:>9} {:>18} {:>18} {:>18} {:>18}",
         "algorithm", "ms/query", "distance", "find buckets", "bounds eval", "preprocessing"
@@ -89,7 +110,8 @@ fn main() {
     // N-ary ADS (SIMD-ADS on dual-block horizontal).
     let mut p = SearchProfile::default();
     for qi in 0..nq {
-        let _ = ivf_ads_hor.search_profiled(&ads, ds.query(qi), k, nprobe, KernelVariant::Simd, &mut p);
+        let _ =
+            ivf_ads_hor.search_profiled(&ads, ds.query(qi), k, nprobe, KernelVariant::Simd, &mut p);
     }
     record("N-ary ADS", &p);
 
@@ -103,7 +125,8 @@ fn main() {
     // N-ary BSA.
     let mut p = SearchProfile::default();
     for qi in 0..nq {
-        let _ = ivf_bsa_hor.search_profiled(&bsa, ds.query(qi), k, nprobe, KernelVariant::Simd, &mut p);
+        let _ =
+            ivf_bsa_hor.search_profiled(&bsa, ds.query(qi), k, nprobe, KernelVariant::Simd, &mut p);
     }
     record("N-ary BSA", &p);
 

@@ -2,8 +2,8 @@
 //! timing, statistics, dataset preparation and the Δd = 1 pruning-power
 //! replay used by Tables 2 and 6.
 
-use pdx::prelude::*;
 use pdx::core::pruning::Pruner;
+use pdx::prelude::*;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -31,12 +31,18 @@ impl BenchArgs {
 
     /// Integer option with default.
     pub fn usize(&self, key: &str, default: usize) -> usize {
-        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Float option with default.
     pub fn f32(&self, key: &str, default: f32) -> f32 {
-        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Boolean flag (`--flag` or `--flag=true`).
@@ -46,7 +52,9 @@ impl BenchArgs {
 
     /// Comma-separated list option.
     pub fn list(&self, key: &str) -> Option<Vec<String>> {
-        self.values.get(key).map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+        self.values
+            .get(key)
+            .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
     }
 }
 
@@ -60,7 +68,11 @@ pub fn select_datasets(args: &BenchArgs, n_default: usize, nq_default: usize) ->
     let seed = args.usize("seed", 42) as u64;
     TABLE1
         .iter()
-        .filter(|spec| wanted.as_ref().is_none_or(|w| w.iter().any(|x| x == spec.name)))
+        .filter(|spec| {
+            wanted
+                .as_ref()
+                .is_none_or(|w| w.iter().any(|x| x == spec.name))
+        })
         .map(|spec| {
             eprintln!("  generating {}/{} (n = {n})…", spec.name, spec.dims);
             generate(spec, n, nq, seed)
@@ -107,7 +119,10 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
 /// touched. Mirrors the paper's measurement (K of the k-NN heap, first
 /// block scanned fully to seed the threshold).
 pub fn pruning_power<P: Pruner>(pruner: &P, ivf: &IvfPdx, query: &[f32], k: usize) -> f64 {
-    assert!(!P::NEEDS_AUX, "the replay evaluates at every dimension; aux pruners unsupported");
+    assert!(
+        !P::NEEDS_AUX,
+        "the replay evaluates at every dimension; aux pruners unsupported"
+    );
     let dims = ivf.dims;
     let q = pruner.prepare_query(query);
     let qvec = pruner.query_vector(&q);

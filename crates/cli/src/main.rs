@@ -31,7 +31,10 @@ impl Args {
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
-        self.values.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing required --{key}=…"))
+        self.values
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required --{key}=…"))
     }
 
     fn path(&self, key: &str) -> Result<PathBuf, String> {
@@ -39,11 +42,17 @@ impl Args {
     }
 
     fn usize(&self, key: &str, default: usize) -> usize {
-        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     fn str_or(&self, key: &str, default: &'static str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 }
 
@@ -91,7 +100,10 @@ fn main() -> ExitCode {
 }
 
 fn cmd_datasets() -> Result<(), String> {
-    println!("{:<12} {:>6} {:>12} {:>12}", "name", "dims", "distribution", "paper size");
+    println!(
+        "{:<12} {:>6} {:>12} {:>12}",
+        "name", "dims", "distribution", "paper size"
+    );
     for spec in TABLE1.iter() {
         println!(
             "{:<12} {:>6} {:>12} {:>12}",
@@ -106,12 +118,16 @@ fn cmd_datasets() -> Result<(), String> {
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let name = args.require("dataset")?;
-    let spec = *spec_by_name(name).ok_or_else(|| format!("unknown dataset '{name}' (see `pdx-cli datasets`)"))?;
+    let spec = *spec_by_name(name)
+        .ok_or_else(|| format!("unknown dataset '{name}' (see `pdx-cli datasets`)"))?;
     let n = args.usize("n", 100_000);
     let nq = args.usize("queries", 0);
     let seed = args.usize("seed", 42) as u64;
     let out = args.path("out")?;
-    eprintln!("generating {}/{} (n = {n}, queries = {nq})…", spec.name, spec.dims);
+    eprintln!(
+        "generating {}/{} (n = {n}, queries = {nq})…",
+        spec.name, spec.dims
+    );
     let ds = generate(&spec, n, nq, seed);
     write_fvecs(&out, &ds.data, ds.dims())?;
     eprintln!("wrote {}", out.display());
@@ -128,7 +144,8 @@ fn cmd_build(args: &Args) -> Result<(), String> {
     let block_size = args.usize("block-size", DEFAULT_EXACT_BLOCK);
     let group = args.usize("group", DEFAULT_GROUP_SIZE);
     let out = args.path("out")?;
-    let coll = PdxCollection::from_rows_partitioned(&data.data, data.len, data.dims, block_size, group);
+    let coll =
+        PdxCollection::from_rows_partitioned(&data.data, data.len, data.dims, block_size, group);
     pdx::datasets::persist::write_pdx_path(&out, &coll).map_err(|e| e.to_string())?;
     eprintln!(
         "wrote {} ({} vectors × {} dims in {} blocks)",
@@ -151,10 +168,14 @@ fn parse_order(name: &str) -> Result<VisitOrder, String> {
 }
 
 fn cmd_query(args: &Args) -> Result<(), String> {
-    let coll = pdx::datasets::persist::read_pdx_path(&args.path("index")?).map_err(|e| e.to_string())?;
+    let coll =
+        pdx::datasets::persist::read_pdx_path(&args.path("index")?).map_err(|e| e.to_string())?;
     let queries = read_fvecs(&args.path("queries")?)?;
     if queries.dims != coll.dims {
-        return Err(format!("query dims {} != index dims {}", queries.dims, coll.dims));
+        return Err(format!(
+            "query dims {} != index dims {}",
+            queries.dims, coll.dims
+        ));
     }
     let k = args.usize("k", 10);
     let order = parse_order(&args.str_or("order", "means"))?;
@@ -165,11 +186,18 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     for qi in 0..queries.len {
         let q = &queries.data[qi * coll.dims..(qi + 1) * coll.dims];
         let res = pdx::core::search::pdxearch(&bond, &blocks, q, &params);
-        let ids: Vec<String> = res.iter().map(|r| format!("{}:{:.3}", r.id, r.distance)).collect();
+        let ids: Vec<String> = res
+            .iter()
+            .map(|r| format!("{}:{:.3}", r.id, r.distance))
+            .collect();
         println!("query {qi}: {}", ids.join(" "));
     }
     let secs = t0.elapsed().as_secs_f64();
-    eprintln!("{} queries in {secs:.3}s ({:.1} QPS)", queries.len, queries.len as f64 / secs);
+    eprintln!(
+        "{} queries in {secs:.3}s ({:.1} QPS)",
+        queries.len,
+        queries.len as f64 / secs
+    );
     Ok(())
 }
 
@@ -177,24 +205,33 @@ fn cmd_ground_truth(args: &Args) -> Result<(), String> {
     let data = read_fvecs(&args.path("data")?)?;
     let queries = read_fvecs(&args.path("queries")?)?;
     if queries.dims != data.dims {
-        return Err(format!("query dims {} != data dims {}", queries.dims, data.dims));
+        return Err(format!(
+            "query dims {} != data dims {}",
+            queries.dims, data.dims
+        ));
     }
     let k = args.usize("k", 10);
     let out = args.path("out")?;
     eprintln!("computing exact top-{k} for {} queries…", queries.len);
     let gt = ground_truth(&data.data, &queries.data, data.dims, k, Metric::L2, 0);
-    let flat: Vec<i32> = gt.iter().flat_map(|ids| ids.iter().map(|&i| i as i32)).collect();
+    let flat: Vec<i32> = gt
+        .iter()
+        .flat_map(|ids| ids.iter().map(|&i| i as i32))
+        .collect();
     let file = std::fs::File::create(&out).map_err(|e| e.to_string())?;
-    pdx::datasets::io::write_ivecs(std::io::BufWriter::new(file), &flat, k).map_err(|e| e.to_string())?;
+    pdx::datasets::io::write_ivecs(std::io::BufWriter::new(file), &flat, k)
+        .map_err(|e| e.to_string())?;
     eprintln!("wrote {}", out.display());
     Ok(())
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    let coll = pdx::datasets::persist::read_pdx_path(&args.path("index")?).map_err(|e| e.to_string())?;
+    let coll =
+        pdx::datasets::persist::read_pdx_path(&args.path("index")?).map_err(|e| e.to_string())?;
     let queries = read_fvecs(&args.path("queries")?)?;
     let gt_file = std::fs::File::open(args.path("gt")?).map_err(|e| e.to_string())?;
-    let gt = pdx::datasets::io::read_ivecs(std::io::BufReader::new(gt_file)).map_err(|e| e.to_string())?;
+    let gt = pdx::datasets::io::read_ivecs(std::io::BufReader::new(gt_file))
+        .map_err(|e| e.to_string())?;
     let k = args.usize("k", 10).min(gt.dims);
     let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
     let params = SearchParams::new(k);
@@ -205,7 +242,10 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
         let q = &queries.data[qi * coll.dims..(qi + 1) * coll.dims];
         let res = pdx::core::search::pdxearch(&bond, &blocks, q, &params);
         let ids: Vec<u64> = res.iter().map(|r| r.id).collect();
-        let truth: Vec<u64> = gt.data[qi * gt.dims..qi * gt.dims + k].iter().map(|&i| i as u64).collect();
+        let truth: Vec<u64> = gt.data[qi * gt.dims..qi * gt.dims + k]
+            .iter()
+            .map(|&i| i as u64)
+            .collect();
         total += recall_at_k(&truth, &ids, k);
     }
     let secs = t0.elapsed().as_secs_f64();
@@ -223,5 +263,6 @@ fn read_fvecs(path: &Path) -> Result<pdx::datasets::io::VecsFile<f32>, String> {
 }
 
 fn write_fvecs(path: &Path, data: &[f32], dims: usize) -> Result<(), String> {
-    pdx::datasets::io::write_fvecs_path(path, data, dims).map_err(|e| format!("{}: {e}", path.display()))
+    pdx::datasets::io::write_fvecs_path(path, data, dims)
+        .map_err(|e| format!("{}: {e}", path.display()))
 }

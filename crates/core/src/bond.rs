@@ -73,7 +73,9 @@ impl Pruner for PdxBond {
     }
 
     fn prepare_query(&self, query: &[f32]) -> BondQuery {
-        BondQuery { query: query.to_vec() }
+        BondQuery {
+            query: query.to_vec(),
+        }
     }
 
     fn query_vector<'q>(&self, q: &'q BondQuery) -> &'q [f32] {
@@ -84,7 +86,13 @@ impl Pruner for PdxBond {
         dimension_permutation(self.order, &q.query, stats.map(|s| s.means.as_slice()))
     }
 
-    fn checkpoint(&self, _q: &BondQuery, _dims_scanned: usize, _dims_total: usize, threshold: f32) -> f32 {
+    fn checkpoint(
+        &self,
+        _q: &BondQuery,
+        _dims_scanned: usize,
+        _dims_total: usize,
+        threshold: f32,
+    ) -> f32 {
         threshold
     }
 
@@ -128,7 +136,10 @@ mod tests {
     fn means_order_uses_block_stats() {
         let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
         let q = bond.prepare_query(&[0.0, 0.0, 0.0]);
-        let stats = BlockStats { means: vec![1.0, 5.0, 3.0], variances: vec![0.0; 3] };
+        let stats = BlockStats {
+            means: vec![1.0, 5.0, 3.0],
+            variances: vec![0.0; 3],
+        };
         let perm = bond.dim_order(&q, Some(&stats)).unwrap();
         assert_eq!(perm, vec![1, 2, 0]);
     }

@@ -27,7 +27,12 @@ impl SearchBlock {
     pub fn new(rows: &[f32], ids: Vec<u64>, n_dims: usize, group_size: usize) -> Self {
         let pdx = PdxBlock::from_rows(rows, ids.len(), n_dims, group_size);
         let stats = BlockStats::from_block(&pdx);
-        Self { pdx, row_ids: ids, stats, aux: None }
+        Self {
+            pdx,
+            row_ids: ids,
+            stats,
+            aux: None,
+        }
     }
 
     /// Number of vectors in the block.
@@ -68,17 +73,30 @@ impl PdxCollection {
         group_size: usize,
     ) -> Self {
         assert!(block_size > 0, "block size must be positive");
-        assert_eq!(rows.len(), n_vectors * n_dims, "row buffer does not match dimensions");
+        assert_eq!(
+            rows.len(),
+            n_vectors * n_dims,
+            "row buffer does not match dimensions"
+        );
         let mut blocks = Vec::with_capacity(n_vectors.div_ceil(block_size.max(1)));
         let mut v0 = 0usize;
         while v0 < n_vectors {
             let n = block_size.min(n_vectors - v0);
             let ids: Vec<u64> = (v0 as u64..(v0 + n) as u64).collect();
-            blocks.push(SearchBlock::new(&rows[v0 * n_dims..(v0 + n) * n_dims], ids, n_dims, group_size));
+            blocks.push(SearchBlock::new(
+                &rows[v0 * n_dims..(v0 + n) * n_dims],
+                ids,
+                n_dims,
+                group_size,
+            ));
             v0 += n;
         }
         let stats = BlockStats::from_rows(rows, n_vectors, n_dims);
-        Self { dims: n_dims, blocks, stats }
+        Self {
+            dims: n_dims,
+            blocks,
+            stats,
+        }
     }
 
     /// Builds blocks from an explicit assignment of row ids (IVF bucket
@@ -104,7 +122,11 @@ impl PdxCollection {
             })
             .collect();
         let stats = BlockStats::from_rows(rows, n_vectors, n_dims);
-        Self { dims: n_dims, blocks, stats }
+        Self {
+            dims: n_dims,
+            blocks,
+            stats,
+        }
     }
 
     /// Total number of vectors across blocks.

@@ -60,7 +60,12 @@ pub fn distance_scalar(metric: Metric, q: &[f32], v: &[f32]) -> f32 {
 }
 
 /// Scalar reference distance over a dimension range.
-pub fn distance_scalar_range(metric: Metric, q: &[f32], v: &[f32], range: std::ops::Range<usize>) -> f32 {
+pub fn distance_scalar_range(
+    metric: Metric,
+    q: &[f32],
+    v: &[f32],
+    range: std::ops::Range<usize>,
+) -> f32 {
     distance_scalar(metric, &q[range.clone()], &v[range])
 }
 

@@ -41,7 +41,10 @@ impl KnnHeap {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        Self { k, entries: Vec::with_capacity(k) }
+        Self {
+            k,
+            entries: Vec::with_capacity(k),
+        }
     }
 
     /// Capacity `k`.
@@ -199,5 +202,93 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         let _ = KnnHeap::new(0);
+    }
+
+    #[test]
+    fn k_at_least_stream_length_keeps_everything() {
+        // k == n and k > n: nothing is ever evicted and the threshold
+        // stays +inf (an underfull heap can never prune).
+        for k in [5usize, 8, 100] {
+            let mut h = KnnHeap::new(k);
+            for (id, d) in [(0u64, 3.0f32), (1, 1.0), (2, 2.0), (3, 5.0), (4, 4.0)] {
+                assert!(h.push(id, d), "k={k}: push into underfull heap must retain");
+            }
+            assert_eq!(h.len(), 5);
+            if k > 5 {
+                assert_eq!(h.threshold(), f32::INFINITY, "k={k}");
+            } else {
+                assert_eq!(h.threshold(), 5.0);
+            }
+            let r = h.into_sorted();
+            assert_eq!(
+                r.iter().map(|n| n.id).collect::<Vec<_>>(),
+                vec![1, 2, 0, 4, 3]
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_distances_do_not_evict_on_ties() {
+        // A candidate equal to the current threshold must be rejected
+        // (strict improvement only), and a full heap of identical
+        // distances behaves like any other full heap.
+        let mut h = KnnHeap::new(3);
+        for id in 0..3u64 {
+            assert!(h.push(id, 2.0));
+        }
+        assert_eq!(h.threshold(), 2.0);
+        assert!(!h.push(99, 2.0), "tie with threshold must not be retained");
+        assert!(h.push(100, 1.5), "strictly better must evict a duplicate");
+        let r = h.into_sorted();
+        assert_eq!(r.len(), 3);
+        assert_eq!(
+            r[0],
+            Neighbor {
+                id: 100,
+                distance: 1.5
+            }
+        );
+        assert!(r[1..].iter().all(|n| n.distance == 2.0 && n.id < 3));
+    }
+
+    #[test]
+    fn single_candidate_heap() {
+        // n == 1 stream into any k: result is exactly that neighbor.
+        let mut h = KnnHeap::new(4);
+        h.push(42, 0.25);
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+        let r = h.into_sorted();
+        assert_eq!(
+            r,
+            vec![Neighbor {
+                id: 42,
+                distance: 0.25
+            }]
+        );
+    }
+
+    #[test]
+    fn neighbor_is_copy_and_compares_by_value() {
+        let a = Neighbor {
+            id: 1,
+            distance: 0.5,
+        };
+        let b = a; // Copy
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            Neighbor {
+                id: 2,
+                distance: 0.5
+            }
+        );
+        assert_ne!(
+            a,
+            Neighbor {
+                id: 1,
+                distance: 0.75
+            }
+        );
     }
 }

@@ -45,7 +45,11 @@ pub fn gather_scan(metric: Metric, nary: &NaryMatrix, query: &[f32], out: &mut [
     while v0 < nary.len() {
         let lanes = GATHER_TILE.min(nary.len() - v0);
         transpose_tile(nary, v0, lanes, &mut tile);
-        let group = PdxGroup { data: &tile[..d * lanes], lanes, start_vector: v0 };
+        let group = PdxGroup {
+            data: &tile[..d * lanes],
+            lanes,
+            start_vector: v0,
+        };
         let acc = &mut out[v0..v0 + lanes];
         acc.fill(0.0);
         super::pdx::pdx_accumulate(metric, &group, query, 0..d, acc);
@@ -72,7 +76,11 @@ pub fn gather_scan_split_timing(
         let t0 = Instant::now();
         transpose_tile(nary, v0, lanes, &mut tile);
         t_ns += t0.elapsed().as_nanos() as u64;
-        let group = PdxGroup { data: &tile[..d * lanes], lanes, start_vector: v0 };
+        let group = PdxGroup {
+            data: &tile[..d * lanes],
+            lanes,
+            start_vector: v0,
+        };
         let acc = &mut out[v0..v0 + lanes];
         acc.fill(0.0);
         let t1 = Instant::now();
@@ -91,7 +99,9 @@ mod tests {
     #[test]
     fn gather_scan_matches_reference() {
         let (n, d) = (130, 24);
-        let rows: Vec<f32> = (0..n * d).map(|i| ((i * 31 % 47) as f32) * 0.5 - 10.0).collect();
+        let rows: Vec<f32> = (0..n * d)
+            .map(|i| ((i * 31 % 47) as f32) * 0.5 - 10.0)
+            .collect();
         let nary = NaryMatrix::from_rows(&rows, n, d);
         let q: Vec<f32> = (0..d).map(|i| (i as f32).cos()).collect();
         for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
@@ -99,7 +109,10 @@ mod tests {
             gather_scan(metric, &nary, &q, &mut out);
             for v in 0..n {
                 let want = distance_scalar(metric, &q, &rows[v * d..(v + 1) * d]);
-                assert!((out[v] - want).abs() <= want.abs().max(1.0) * 1e-5, "{metric:?} v={v}");
+                assert!(
+                    (out[v] - want).abs() <= want.abs().max(1.0) * 1e-5,
+                    "{metric:?} v={v}"
+                );
             }
         }
     }

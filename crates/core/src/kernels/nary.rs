@@ -113,7 +113,8 @@ fn unrolled(metric: Metric, q: &[f32], v: &[f32]) -> f32 {
             }
         }
     }
-    let mut total = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    let mut total =
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
     for (a, b) in qt.iter().zip(vt) {
         total += metric.term(*a, *b);
     }
@@ -225,11 +226,17 @@ mod tests {
     #[test]
     fn all_variants_match_reference_across_lengths() {
         // Lengths chosen to hit every tail path: <8, 8..32 remainder, 32k+r.
-        for d in [1usize, 3, 7, 8, 9, 15, 16, 31, 32, 33, 40, 64, 100, 131, 768] {
+        for d in [
+            1usize, 3, 7, 8, 9, 15, 16, 31, 32, 33, 40, 64, 100, 131, 768,
+        ] {
             let (q, v) = vecs(d);
             for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
                 let want = distance_scalar(metric, &q, &v);
-                for variant in [KernelVariant::Scalar, KernelVariant::Unrolled, KernelVariant::Simd] {
+                for variant in [
+                    KernelVariant::Scalar,
+                    KernelVariant::Unrolled,
+                    KernelVariant::Simd,
+                ] {
                     let got = nary_distance(metric, variant, &q, &v);
                     assert!(
                         (got - want).abs() <= want.abs().max(1.0) * 1e-4,
@@ -251,7 +258,11 @@ mod tests {
 
     #[test]
     fn zero_length_is_zero() {
-        for variant in [KernelVariant::Scalar, KernelVariant::Unrolled, KernelVariant::Simd] {
+        for variant in [
+            KernelVariant::Scalar,
+            KernelVariant::Unrolled,
+            KernelVariant::Simd,
+        ] {
             assert_eq!(nary_distance(Metric::L2, variant, &[], &[]), 0.0);
         }
     }

@@ -66,11 +66,18 @@ impl Accum for IpAccum {
 /// LLVM keep the whole accumulator array in vector registers across the
 /// dimension loop (the "tight loop" requirement of §3).
 #[inline]
-fn accum_fixed<A: Accum, const L: usize>(data: &[f32], query: &[f32], dims: Range<usize>, acc: &mut [f32]) {
+fn accum_fixed<A: Accum, const L: usize>(
+    data: &[f32],
+    query: &[f32],
+    dims: Range<usize>,
+    acc: &mut [f32],
+) {
     let acc: &mut [f32; L] = acc.try_into().expect("accumulator width mismatch");
     for d in dims {
         let q = query[d];
-        let row: &[f32; L] = data[d * L..d * L + L].try_into().expect("group row width mismatch");
+        let row: &[f32; L] = data[d * L..d * L + L]
+            .try_into()
+            .expect("group row width mismatch");
         for l in 0..L {
             acc[l] = A::accum(acc[l], q, row[l]);
         }
@@ -79,7 +86,13 @@ fn accum_fixed<A: Accum, const L: usize>(data: &[f32], query: &[f32], dims: Rang
 
 /// Dynamic-width fallback for irregular lane counts (partial tail groups).
 #[inline]
-fn accum_dyn<A: Accum>(data: &[f32], lanes: usize, query: &[f32], dims: Range<usize>, acc: &mut [f32]) {
+fn accum_dyn<A: Accum>(
+    data: &[f32],
+    lanes: usize,
+    query: &[f32],
+    dims: Range<usize>,
+    acc: &mut [f32],
+) {
     for d in dims {
         let q = query[d];
         let row = &data[d * lanes..(d + 1) * lanes];
@@ -90,7 +103,13 @@ fn accum_dyn<A: Accum>(data: &[f32], lanes: usize, query: &[f32], dims: Range<us
 }
 
 #[inline]
-fn accum_dispatch<A: Accum>(data: &[f32], lanes: usize, query: &[f32], dims: Range<usize>, acc: &mut [f32]) {
+fn accum_dispatch<A: Accum>(
+    data: &[f32],
+    lanes: usize,
+    query: &[f32],
+    dims: Range<usize>,
+    acc: &mut [f32],
+) {
     match lanes {
         16 => accum_fixed::<A, 16>(data, query, dims, acc),
         32 => accum_fixed::<A, 32>(data, query, dims, acc),
@@ -107,9 +126,18 @@ fn accum_dispatch<A: Accum>(data: &[f32], lanes: usize, query: &[f32], dims: Ran
 ///
 /// # Panics
 /// Panics if `acc.len() != group.lanes` or `dims.end > query.len()`.
-pub fn pdx_accumulate(metric: Metric, group: &PdxGroup<'_>, query: &[f32], dims: Range<usize>, acc: &mut [f32]) {
+pub fn pdx_accumulate(
+    metric: Metric,
+    group: &PdxGroup<'_>,
+    query: &[f32],
+    dims: Range<usize>,
+    acc: &mut [f32],
+) {
     assert_eq!(acc.len(), group.lanes, "one accumulator per lane required");
-    assert!(dims.end <= query.len(), "dimension range exceeds query length");
+    assert!(
+        dims.end <= query.len(),
+        "dimension range exceeds query length"
+    );
     match metric {
         Metric::L2 => accum_dispatch::<L2Accum>(group.data, group.lanes, query, dims, acc),
         Metric::L1 => accum_dispatch::<L1Accum>(group.data, group.lanes, query, dims, acc),
@@ -159,7 +187,11 @@ pub fn pdx_accumulate_positions(
     positions: &[u32],
     acc: &mut [f32],
 ) {
-    assert_eq!(acc.len(), positions.len(), "one accumulator per survivor required");
+    assert_eq!(
+        acc.len(),
+        positions.len(),
+        "one accumulator per survivor required"
+    );
     #[inline]
     fn run<A: Accum>(
         data: &[f32],
@@ -193,9 +225,20 @@ pub fn pdx_accumulate_positions_permuted(
     positions: &[u32],
     acc: &mut [f32],
 ) {
-    assert_eq!(acc.len(), positions.len(), "one accumulator per survivor required");
+    assert_eq!(
+        acc.len(),
+        positions.len(),
+        "one accumulator per survivor required"
+    );
     #[inline]
-    fn run<A: Accum>(data: &[f32], lanes: usize, query: &[f32], dim_ids: &[u32], positions: &[u32], acc: &mut [f32]) {
+    fn run<A: Accum>(
+        data: &[f32],
+        lanes: usize,
+        query: &[f32],
+        dim_ids: &[u32],
+        positions: &[u32],
+        acc: &mut [f32],
+    ) {
         for &d in dim_ids {
             let d = d as usize;
             let q = query[d];
@@ -208,7 +251,9 @@ pub fn pdx_accumulate_positions_permuted(
     match metric {
         Metric::L2 => run::<L2Accum>(group.data, group.lanes, query, dim_ids, positions, acc),
         Metric::L1 => run::<L1Accum>(group.data, group.lanes, query, dim_ids, positions, acc),
-        Metric::NegativeIp => run::<IpAccum>(group.data, group.lanes, query, dim_ids, positions, acc),
+        Metric::NegativeIp => {
+            run::<IpAccum>(group.data, group.lanes, query, dim_ids, positions, acc)
+        }
     }
 }
 
@@ -233,7 +278,9 @@ mod tests {
     use crate::distance::distance_scalar;
 
     fn block_and_rows(n: usize, d: usize, group: usize) -> (PdxBlock, Vec<f32>) {
-        let rows: Vec<f32> = (0..n * d).map(|i| ((i * 37 % 101) as f32) * 0.25 - 12.0).collect();
+        let rows: Vec<f32> = (0..n * d)
+            .map(|i| ((i * 37 % 101) as f32) * 0.25 - 12.0)
+            .collect();
         (PdxBlock::from_rows(&rows, n, d, group), rows)
     }
 
@@ -269,7 +316,10 @@ mod tests {
             pdx_scan(Metric::L2, &block, &q, &mut out);
             for v in (0..n).step_by(53) {
                 let want = distance_scalar(Metric::L2, &q, &rows[v * 9..(v + 1) * 9]);
-                assert!((out[v] - want).abs() <= want.max(1.0) * 1e-5, "group {group} vector {v}");
+                assert!(
+                    (out[v] - want).abs() <= want.max(1.0) * 1e-5,
+                    "group {group} vector {v}"
+                );
             }
         }
     }

@@ -19,14 +19,22 @@ impl DsmMatrix {
     /// # Panics
     /// Panics if the buffer size disagrees with the dimensions.
     pub fn from_rows(rows: &[f32], n_vectors: usize, n_dims: usize) -> Self {
-        assert_eq!(rows.len(), n_vectors * n_dims, "row buffer does not match dimensions");
+        assert_eq!(
+            rows.len(),
+            n_vectors * n_dims,
+            "row buffer does not match dimensions"
+        );
         let mut data = vec![0.0f32; rows.len()];
         for v in 0..n_vectors {
             for d in 0..n_dims {
                 data[d * n_vectors + v] = rows[v * n_dims + d];
             }
         }
-        Self { n_vectors, n_dims, data }
+        Self {
+            n_vectors,
+            n_dims,
+            data,
+        }
     }
 
     /// Number of vectors.

@@ -27,7 +27,11 @@ impl DualBlockMatrix {
     /// Panics if `split == 0` or `split > n_dims`, or on a size mismatch.
     pub fn from_rows(rows: &[f32], n_vectors: usize, n_dims: usize, split: usize) -> Self {
         assert!(split > 0 && split <= n_dims, "split must be in 1..=n_dims");
-        assert_eq!(rows.len(), n_vectors * n_dims, "row buffer does not match dimensions");
+        assert_eq!(
+            rows.len(),
+            n_vectors * n_dims,
+            "row buffer does not match dimensions"
+        );
         let tail_dims = n_dims - split;
         let mut head = Vec::with_capacity(n_vectors * split);
         let mut tail = Vec::with_capacity(n_vectors * tail_dims);

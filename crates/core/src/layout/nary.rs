@@ -15,8 +15,16 @@ impl NaryMatrix {
     /// # Panics
     /// Panics if `data.len() != n_vectors * n_dims`.
     pub fn from_vec(n_vectors: usize, n_dims: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), n_vectors * n_dims, "buffer does not match dimensions");
-        Self { n_vectors, n_dims, data }
+        assert_eq!(
+            data.len(),
+            n_vectors * n_dims,
+            "buffer does not match dimensions"
+        );
+        Self {
+            n_vectors,
+            n_dims,
+            data,
+        }
     }
 
     /// Copies a row-major slice.
@@ -31,7 +39,11 @@ impl NaryMatrix {
             let row = id as usize;
             data.extend_from_slice(&all_rows[row * n_dims..(row + 1) * n_dims]);
         }
-        Self { n_vectors: ids.len(), n_dims, data }
+        Self {
+            n_vectors: ids.len(),
+            n_dims,
+            data,
+        }
     }
 
     /// Number of vectors.

@@ -44,7 +44,11 @@ impl PdxBlock {
     /// `group_size == 0`.
     pub fn from_rows(rows: &[f32], n_vectors: usize, n_dims: usize, group_size: usize) -> Self {
         assert!(group_size > 0, "group size must be positive");
-        assert_eq!(rows.len(), n_vectors * n_dims, "row buffer does not match dimensions");
+        assert_eq!(
+            rows.len(),
+            n_vectors * n_dims,
+            "row buffer does not match dimensions"
+        );
         let mut data = vec![0.0f32; n_vectors * n_dims];
         let mut out = 0usize;
         let mut v0 = 0usize;
@@ -59,7 +63,12 @@ impl PdxBlock {
             v0 += lanes;
         }
         debug_assert_eq!(out, data.len());
-        Self { n_vectors, n_dims, group_size, data }
+        Self {
+            n_vectors,
+            n_dims,
+            group_size,
+            data,
+        }
     }
 
     /// Builds a block by gathering the given `rows` indices out of a
@@ -84,7 +93,12 @@ impl PdxBlock {
             }
             v0 += lanes;
         }
-        Self { n_vectors, n_dims, group_size, data }
+        Self {
+            n_vectors,
+            n_dims,
+            group_size,
+            data,
+        }
     }
 
     /// Number of vectors in the block.
@@ -118,10 +132,17 @@ impl PdxBlock {
     /// Panics if `g >= group_count()`.
     pub fn group(&self, g: usize) -> PdxGroup<'_> {
         let start_vector = g * self.group_size;
-        assert!(start_vector < self.n_vectors || (self.n_vectors == 0 && g == 0), "group out of range");
+        assert!(
+            start_vector < self.n_vectors || (self.n_vectors == 0 && g == 0),
+            "group out of range"
+        );
         let lanes = self.group_size.min(self.n_vectors - start_vector);
         let base = start_vector * self.n_dims;
-        PdxGroup { data: &self.data[base..base + lanes * self.n_dims], lanes, start_vector }
+        PdxGroup {
+            data: &self.data[base..base + lanes * self.n_dims],
+            lanes,
+            start_vector,
+        }
     }
 
     /// Iterator over all groups.
@@ -171,7 +192,8 @@ impl PdxBlock {
             let new_lanes = tail_lanes + 1;
             self.data.reserve(new_lanes * self.n_dims);
             for d in 0..self.n_dims {
-                self.data.extend_from_slice(&old[d * tail_lanes..(d + 1) * tail_lanes]);
+                self.data
+                    .extend_from_slice(&old[d * tail_lanes..(d + 1) * tail_lanes]);
                 self.data.push(values[d]);
             }
         }
@@ -181,7 +203,9 @@ impl PdxBlock {
     /// Copies vector `vec` out into row form.
     pub fn vector(&self, vec: usize) -> Vec<f32> {
         let (base, lanes, lane) = self.locate(vec);
-        (0..self.n_dims).map(|d| self.data[base + d * lanes + lane]).collect()
+        (0..self.n_dims)
+            .map(|d| self.data[base + d * lanes + lane])
+            .collect()
     }
 
     /// Converts the whole block back to row-major form.
@@ -300,7 +324,6 @@ mod tests {
         assert_eq!(b.group_count(), 0);
         assert_eq!(b.to_rows(), Vec::<f32>::new());
     }
-
 
     #[test]
     fn push_onto_empty_block() {

@@ -50,14 +50,24 @@ mod tests {
 
     #[test]
     fn totals_and_shares() {
-        let p = SearchProfile { preprocess_ns: 10, find_buckets_ns: 20, bounds_ns: 30, distance_ns: 40 };
+        let p = SearchProfile {
+            preprocess_ns: 10,
+            find_buckets_ns: 20,
+            bounds_ns: 30,
+            distance_ns: 40,
+        };
         assert_eq!(p.total_ns(), 100);
         assert_eq!(p.share(p.distance_ns), 40.0);
     }
 
     #[test]
     fn merge_accumulates() {
-        let mut a = SearchProfile { preprocess_ns: 1, find_buckets_ns: 2, bounds_ns: 3, distance_ns: 4 };
+        let mut a = SearchProfile {
+            preprocess_ns: 1,
+            find_buckets_ns: 2,
+            bounds_ns: 3,
+            distance_ns: 4,
+        };
         a.merge(&a.clone());
         assert_eq!(a.total_ns(), 20);
     }

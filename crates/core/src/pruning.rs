@@ -86,7 +86,11 @@ impl BlockAux {
     /// Creates aux storage for the given checkpoint schedule.
     pub fn new(checkpoint_dims: Vec<u32>, lanes: usize) -> Self {
         let data = vec![0.0f32; checkpoint_dims.len() * lanes];
-        Self { checkpoint_dims, lanes, data }
+        Self {
+            checkpoint_dims,
+            lanes,
+            data,
+        }
     }
 
     /// The per-vector row for checkpoint index `ci`.
@@ -159,15 +163,30 @@ mod tests {
 
     #[test]
     fn adaptive_checkpoints_double() {
-        assert_eq!(checkpoints(StepPolicy::Adaptive { start: 2 }, 30), vec![2, 6, 14, 30]);
-        assert_eq!(checkpoints(StepPolicy::Adaptive { start: 2 }, 100), vec![2, 6, 14, 30, 62, 100]);
-        assert_eq!(checkpoints(StepPolicy::Adaptive { start: 1 }, 7), vec![1, 3, 7]);
+        assert_eq!(
+            checkpoints(StepPolicy::Adaptive { start: 2 }, 30),
+            vec![2, 6, 14, 30]
+        );
+        assert_eq!(
+            checkpoints(StepPolicy::Adaptive { start: 2 }, 100),
+            vec![2, 6, 14, 30, 62, 100]
+        );
+        assert_eq!(
+            checkpoints(StepPolicy::Adaptive { start: 1 }, 7),
+            vec![1, 3, 7]
+        );
     }
 
     #[test]
     fn fixed_checkpoints_step() {
-        assert_eq!(checkpoints(StepPolicy::Fixed { step: 32 }, 96), vec![32, 64, 96]);
-        assert_eq!(checkpoints(StepPolicy::Fixed { step: 32 }, 100), vec![32, 64, 96, 100]);
+        assert_eq!(
+            checkpoints(StepPolicy::Fixed { step: 32 }, 96),
+            vec![32, 64, 96]
+        );
+        assert_eq!(
+            checkpoints(StepPolicy::Fixed { step: 32 }, 100),
+            vec![32, 64, 96, 100]
+        );
     }
 
     #[test]
@@ -181,15 +200,73 @@ mod tests {
             ] {
                 let cps = checkpoints(policy, dims);
                 assert_eq!(*cps.last().unwrap(), dims, "{policy:?} dims={dims}");
-                assert!(cps.windows(2).all(|w| w[0] < w[1]), "not strictly increasing");
+                assert!(
+                    cps.windows(2).all(|w| w[0] < w[1]),
+                    "not strictly increasing"
+                );
             }
         }
     }
 
     #[test]
     fn zero_start_is_clamped() {
-        assert_eq!(checkpoints(StepPolicy::Adaptive { start: 0 }, 4), vec![1, 3, 4]);
+        assert_eq!(
+            checkpoints(StepPolicy::Adaptive { start: 0 }, 4),
+            vec![1, 3, 4]
+        );
         assert_eq!(checkpoints(StepPolicy::Fixed { step: 0 }, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_dims_yields_empty_schedule() {
+        // A degenerate 0-dimensional collection has no checkpoints at all;
+        // callers must not assume `checkpoints(..).last()` exists for it.
+        assert_eq!(
+            checkpoints(StepPolicy::Adaptive { start: 2 }, 0),
+            Vec::<usize>::new()
+        );
+        assert_eq!(
+            checkpoints(StepPolicy::Fixed { step: 32 }, 0),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn single_dimension_schedule() {
+        for policy in [
+            StepPolicy::Adaptive { start: 1 },
+            StepPolicy::Adaptive { start: 2 },
+            StepPolicy::Fixed { step: 1 },
+            StepPolicy::Fixed { step: 32 },
+        ] {
+            assert_eq!(checkpoints(policy, 1), vec![1], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn first_step_larger_than_dims_collapses_to_one_checkpoint() {
+        assert_eq!(
+            checkpoints(StepPolicy::Adaptive { start: 64 }, 12),
+            vec![12]
+        );
+        assert_eq!(checkpoints(StepPolicy::Fixed { step: 100 }, 12), vec![12]);
+    }
+
+    #[test]
+    fn default_policy_is_the_papers_adaptive_start_2() {
+        assert_eq!(StepPolicy::default(), StepPolicy::Adaptive { start: 2 });
+    }
+
+    #[test]
+    fn aux_with_single_lane_block() {
+        // Single-vector block: every checkpoint row has exactly one lane.
+        let mut aux = BlockAux::new(vec![2, 6, 14], 1);
+        aux.row_mut(0)[0] = 0.5;
+        aux.row_mut(2)[0] = 1.5;
+        assert_eq!(aux.row(0), &[0.5]);
+        assert_eq!(aux.row(1), &[0.0]);
+        assert_eq!(aux.row(2), &[1.5]);
+        assert_eq!(aux.index_of(14), Some(2));
     }
 
     #[test]

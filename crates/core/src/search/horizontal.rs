@@ -32,7 +32,11 @@ impl HorizontalBucket {
     pub fn new(rows: &[f32], ids: Vec<u64>, n_dims: usize, delta_d: usize) -> Self {
         let split = delta_d.clamp(1, n_dims);
         let dual = DualBlockMatrix::from_rows(rows, ids.len(), n_dims, split);
-        Self { dual, row_ids: ids, aux: None }
+        Self {
+            dual,
+            row_ids: ids,
+            aux: None,
+        }
     }
 
     /// Number of vectors.
@@ -109,9 +113,9 @@ pub fn horizontal_pruned_search_prepared<P: Pruner>(
                         .aux
                         .as_ref()
                         .expect("pruner requires aux data, but the bucket has none");
-                    let ci = aux.index_of(scanned).unwrap_or_else(|| {
-                        panic!("no aux checkpoint at dims_scanned = {scanned}")
-                    });
+                    let ci = aux
+                        .index_of(scanned)
+                        .unwrap_or_else(|| panic!("no aux checkpoint at dims_scanned = {scanned}"));
                     Some(aux.row(ci))
                 }
             })
@@ -128,8 +132,7 @@ pub fn horizontal_pruned_search_prepared<P: Pruner>(
                 if ck > scanned {
                     let lo = scanned - split;
                     let hi = ck - split;
-                    partial +=
-                        nary_distance(metric, variant, &q_tail[lo..hi], &tail[lo..hi]);
+                    partial += nary_distance(metric, variant, &q_tail[lo..hi], &tail[lo..hi]);
                     scanned = ck;
                 }
                 if scanned == dims {

@@ -17,14 +17,24 @@ use crate::kernels::pdx::pdx_accumulate;
 use crate::layout::{DsmMatrix, NaryMatrix};
 
 /// Exhaustive k-NN over a PDX collection.
-pub fn linear_scan_pdx(coll: &PdxCollection, query: &[f32], k: usize, metric: Metric) -> Vec<Neighbor> {
+pub fn linear_scan_pdx(
+    coll: &PdxCollection,
+    query: &[f32],
+    k: usize,
+    metric: Metric,
+) -> Vec<Neighbor> {
     let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
     linear_scan_blocks(&blocks, query, k, metric)
 }
 
 /// Exhaustive k-NN over an explicit list of PDX blocks (IVF probes a
 /// subset — this is the "IVF_FLAT with PDX kernels" baseline).
-pub fn linear_scan_blocks(blocks: &[&SearchBlock], query: &[f32], k: usize, metric: Metric) -> Vec<Neighbor> {
+pub fn linear_scan_blocks(
+    blocks: &[&SearchBlock],
+    query: &[f32],
+    k: usize,
+    metric: Metric,
+) -> Vec<Neighbor> {
     let mut heap = KnnHeap::new(k);
     let mut distances: Vec<f32> = Vec::new();
     for block in blocks {
@@ -81,7 +91,9 @@ mod tests {
     use crate::distance::distance_scalar;
 
     fn rows(n: usize, d: usize) -> Vec<f32> {
-        (0..n * d).map(|i| ((i * 29 % 83) as f32) * 0.3 - 10.0).collect()
+        (0..n * d)
+            .map(|i| ((i * 29 % 83) as f32) * 0.3 - 10.0)
+            .collect()
     }
 
     fn brute(rows: &[f32], d: usize, q: &[f32], k: usize, metric: Metric) -> Vec<u64> {
@@ -100,19 +112,30 @@ mod tests {
         for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
             let want = brute(&data, d, &q, k, metric);
             let coll = PdxCollection::from_rows_partitioned(&data, n, d, 50, 16);
-            let got_pdx: Vec<u64> =
-                linear_scan_pdx(&coll, &q, k, metric).iter().map(|x| x.id).collect();
+            let got_pdx: Vec<u64> = linear_scan_pdx(&coll, &q, k, metric)
+                .iter()
+                .map(|x| x.id)
+                .collect();
             assert_eq!(got_pdx, want, "pdx {metric:?}");
 
             let nary = NaryMatrix::from_rows(&data, n, d);
-            for variant in [KernelVariant::Scalar, KernelVariant::Unrolled, KernelVariant::Simd] {
-                let got: Vec<u64> =
-                    linear_scan_nary(&nary, &q, k, metric, variant).iter().map(|x| x.id).collect();
+            for variant in [
+                KernelVariant::Scalar,
+                KernelVariant::Unrolled,
+                KernelVariant::Simd,
+            ] {
+                let got: Vec<u64> = linear_scan_nary(&nary, &q, k, metric, variant)
+                    .iter()
+                    .map(|x| x.id)
+                    .collect();
                 assert_eq!(got, want, "nary {metric:?} {variant:?}");
             }
 
             let dsm = DsmMatrix::from_rows(&data, n, d);
-            let got_dsm: Vec<u64> = linear_scan_dsm(&dsm, &q, k, metric).iter().map(|x| x.id).collect();
+            let got_dsm: Vec<u64> = linear_scan_dsm(&dsm, &q, k, metric)
+                .iter()
+                .map(|x| x.id)
+                .collect();
             assert_eq!(got_dsm, want, "dsm {metric:?}");
         }
     }

@@ -45,7 +45,11 @@ pub struct SearchParams {
 impl SearchParams {
     /// Paper-default parameters for a given `k`.
     pub fn new(k: usize) -> Self {
-        Self { k, selection_fraction: 0.20, step: StepPolicy::default() }
+        Self {
+            k,
+            selection_fraction: 0.20,
+            step: StepPolicy::default(),
+        }
     }
 
     /// Replaces the step policy.
@@ -277,7 +281,11 @@ fn scan_block_pruned<P: Pruner, const PROFILE: bool>(
                     .zip(aux)
                     .map(|(&p, &a)| P::survives(&cp, p, a) as usize)
                     .sum::<usize>(),
-                None => scratch.partials.iter().map(|&p| P::survives(&cp, p, 0.0) as usize).sum::<usize>(),
+                None => scratch
+                    .partials
+                    .iter()
+                    .map(|&p| P::survives(&cp, p, 0.0) as usize)
+                    .sum::<usize>(),
             };
             if survivors <= sel_limit {
                 // Switch to PRUNE: compact survivor positions + partials.
@@ -387,7 +395,9 @@ fn accumulate_survivors(
         let acc = &mut compact[j0..j1];
         match perm {
             None => pdx_accumulate_positions(metric, &g, qvec, scanned..ck, lane_ids, acc),
-            Some(p) => pdx_accumulate_positions_permuted(metric, &g, qvec, &p[scanned..ck], lane_ids, acc),
+            Some(p) => {
+                pdx_accumulate_positions_permuted(metric, &g, qvec, &p[scanned..ck], lane_ids, acc)
+            }
         }
         j0 = j1;
     }
@@ -526,6 +536,51 @@ mod tests {
         let got = pdxearch(&bond, &blocks, &q, &SearchParams::new(k));
         let want = brute_force(&rows, d, &q, k, Metric::L2);
         assert_eq!(ids(&got), ids(&want));
+    }
+
+    #[test]
+    fn single_vector_blocks_are_searchable() {
+        // Degenerate partitioning: every block holds exactly one vector
+        // (and group size 1), so warm-up, pruning and the final merge all
+        // run on 1-lane blocks.
+        let (n, d, k) = (40, 12, 6);
+        let rows = make_rows(n, d, 57);
+        let coll = PdxCollection::from_rows_partitioned(&rows, n, d, 1, 1);
+        assert_eq!(coll.blocks.len(), n);
+        assert!(coll.blocks.iter().all(|b| b.len() == 1));
+        let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+        let q = make_rows(1, d, 6);
+        let bond = PdxBond::new(Metric::L2, VisitOrder::Sequential);
+        let got = pdxearch(&bond, &blocks, &q, &SearchParams::new(k));
+        let want = brute_force(&rows, d, &q, k, Metric::L2);
+        assert_eq!(ids(&got), ids(&want));
+    }
+
+    #[test]
+    fn duplicated_vectors_tie_cleanly() {
+        // Clone one vector many times: the top-k is dominated by exact
+        // duplicate distances, and the result must still be the k best by
+        // (distance, id) with no duplicates dropped or double-counted.
+        let (d, k) = (8, 5);
+        let base = make_rows(4, d, 13);
+        let mut rows = Vec::new();
+        for _ in 0..6 {
+            rows.extend_from_slice(&base);
+        }
+        let n = rows.len() / d;
+        let coll = PdxCollection::from_rows_partitioned(&rows, n, d, 7, 4);
+        let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+        let q = base[..d].to_vec(); // exact match for 6 of the vectors
+        let bond = PdxBond::new(Metric::L2, VisitOrder::Sequential);
+        let got = pdxearch(&bond, &blocks, &q, &SearchParams::new(k));
+        assert_eq!(got.len(), k);
+        let want = brute_force(&rows, d, &q, k, Metric::L2);
+        let dist = |r: &[Neighbor]| r.iter().map(|x| x.distance).collect::<Vec<_>>();
+        assert_eq!(dist(&got), dist(&want));
+        assert_eq!(got[0].distance, 0.0);
+        let mut seen = ids(&got);
+        seen.dedup();
+        assert_eq!(seen.len(), k, "duplicate ids in result");
     }
 
     #[test]

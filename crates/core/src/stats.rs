@@ -23,7 +23,10 @@ impl BlockStats {
         let d = block.dims();
         let n = block.len();
         if n == 0 {
-            return Self { means: vec![0.0; d], variances: vec![0.0; d] };
+            return Self {
+                means: vec![0.0; d],
+                variances: vec![0.0; d],
+            };
         }
         let mut sums = vec![0.0f64; d];
         let mut squares = vec![0.0f64; d];
@@ -56,9 +59,16 @@ impl BlockStats {
     /// Computes statistics from row-major data (collection-level stats
     /// for flat exact search, where one ordering serves all blocks).
     pub fn from_rows(rows: &[f32], n_vectors: usize, n_dims: usize) -> Self {
-        assert_eq!(rows.len(), n_vectors * n_dims, "row buffer does not match dimensions");
+        assert_eq!(
+            rows.len(),
+            n_vectors * n_dims,
+            "row buffer does not match dimensions"
+        );
         if n_vectors == 0 {
-            return Self { means: vec![0.0; n_dims], variances: vec![0.0; n_dims] };
+            return Self {
+                means: vec![0.0; n_dims],
+                variances: vec![0.0; n_dims],
+            };
         }
         let mut sums = vec![0.0f64; n_dims];
         let mut squares = vec![0.0f64; n_dims];

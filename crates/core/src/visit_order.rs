@@ -38,14 +38,21 @@ pub const DEFAULT_ZONE_SIZE: usize = 16;
 /// Computes the visit permutation for a query, or `None` for storage
 /// order. `means` is required by the mean-based criteria; when absent
 /// those fall back to `Decreasing` semantics on the query alone.
-pub fn dimension_permutation(order: VisitOrder, query: &[f32], means: Option<&[f32]>) -> Option<Vec<u32>> {
+pub fn dimension_permutation(
+    order: VisitOrder,
+    query: &[f32],
+    means: Option<&[f32]>,
+) -> Option<Vec<u32>> {
     let d = query.len();
     match order {
         VisitOrder::Sequential => None,
         VisitOrder::Decreasing => {
             let mut perm: Vec<u32> = (0..d as u32).collect();
             perm.sort_by(|&a, &b| {
-                query[b as usize].partial_cmp(&query[a as usize]).expect("NaN in query").then(a.cmp(&b))
+                query[b as usize]
+                    .partial_cmp(&query[a as usize])
+                    .expect("NaN in query")
+                    .then(a.cmp(&b))
             });
             Some(perm)
         }
@@ -58,7 +65,10 @@ pub fn dimension_permutation(order: VisitOrder, query: &[f32], means: Option<&[f
             };
             let mut perm: Vec<u32> = (0..d as u32).collect();
             perm.sort_by(|&a, &b| {
-                score(b as usize).partial_cmp(&score(a as usize)).expect("NaN score").then(a.cmp(&b))
+                score(b as usize)
+                    .partial_cmp(&score(a as usize))
+                    .expect("NaN score")
+                    .then(a.cmp(&b))
             });
             Some(perm)
         }
@@ -82,7 +92,11 @@ pub fn dimension_permutation(order: VisitOrder, query: &[f32], means: Option<&[f
                     (z, total / (hi - lo) as f32)
                 })
                 .collect();
-            zones.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN zone score").then(a.0.cmp(&b.0)));
+            zones.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("NaN zone score")
+                    .then(a.0.cmp(&b.0))
+            });
             let mut perm = Vec::with_capacity(d);
             for (z, _) in zones {
                 let lo = z as usize * zone_size;
@@ -122,7 +136,8 @@ mod tests {
 
     #[test]
     fn decreasing_sorts_by_query_value() {
-        let perm = dimension_permutation(VisitOrder::Decreasing, &[0.5, 3.0, -1.0, 2.0], None).unwrap();
+        let perm =
+            dimension_permutation(VisitOrder::Decreasing, &[0.5, 3.0, -1.0, 2.0], None).unwrap();
         assert_eq!(perm, vec![1, 3, 0, 2]);
     }
 
@@ -139,8 +154,12 @@ mod tests {
     fn zones_keep_internal_storage_order() {
         let q = [0.0, 0.0, 9.0, 9.0, 1.0, 1.0];
         let means = [0.0; 6];
-        let perm =
-            dimension_permutation(VisitOrder::DimensionZones { zone_size: 2 }, &q, Some(&means)).unwrap();
+        let perm = dimension_permutation(
+            VisitOrder::DimensionZones { zone_size: 2 },
+            &q,
+            Some(&means),
+        )
+        .unwrap();
         // Zone scores: z0=0, z1=9, z2=1 → visit z1, z2, z0; dims inside zones ascend.
         assert_eq!(perm, vec![2, 3, 4, 5, 0, 1]);
     }
@@ -148,15 +167,21 @@ mod tests {
     #[test]
     fn zone_of_whole_vector_is_sequential() {
         let q = [1.0, 2.0, 3.0];
-        assert!(dimension_permutation(VisitOrder::DimensionZones { zone_size: 10 }, &q, None).is_none());
+        assert!(
+            dimension_permutation(VisitOrder::DimensionZones { zone_size: 10 }, &q, None).is_none()
+        );
     }
 
     #[test]
     fn partial_final_zone_is_handled() {
         let q = [0.0, 0.0, 0.0, 7.0, 7.0];
         let means = [0.0; 5];
-        let perm =
-            dimension_permutation(VisitOrder::DimensionZones { zone_size: 3 }, &q, Some(&means)).unwrap();
+        let perm = dimension_permutation(
+            VisitOrder::DimensionZones { zone_size: 3 },
+            &q,
+            Some(&means),
+        )
+        .unwrap();
         assert!(is_valid_permutation(&perm, 5));
         // Tail zone {3,4} has average 7 > zone {0,1,2} average 0.
         assert_eq!(&perm[..2], &[3, 4]);

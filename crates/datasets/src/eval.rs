@@ -59,17 +59,30 @@ pub fn recall_at_k(truth: &[u64], result: &[u64], k: usize) -> f64 {
         return 0.0;
     }
     let truth_set: std::collections::HashSet<u64> = truth.iter().take(k).copied().collect();
-    let hits = result.iter().take(k).filter(|id| truth_set.contains(id)).count();
+    let hits = result
+        .iter()
+        .take(k)
+        .filter(|id| truth_set.contains(id))
+        .count();
     hits as f64 / k as f64
 }
 
 /// Mean recall@k over a batch of queries.
 pub fn mean_recall(truth: &[Vec<u64>], results: &[Vec<u64>], k: usize) -> f64 {
-    assert_eq!(truth.len(), results.len(), "one result list per query required");
+    assert_eq!(
+        truth.len(),
+        results.len(),
+        "one result list per query required"
+    );
     if truth.is_empty() {
         return 0.0;
     }
-    truth.iter().zip(results).map(|(t, r)| recall_at_k(t, r, k)).sum::<f64>() / truth.len() as f64
+    truth
+        .iter()
+        .zip(results)
+        .map(|(t, r)| recall_at_k(t, r, k))
+        .sum::<f64>()
+        / truth.len() as f64
 }
 
 #[cfg(test)]
@@ -118,8 +131,12 @@ mod tests {
         let dims = 8;
         let n = 200;
         let nq = 17;
-        let data: Vec<f32> = (0..n * dims).map(|i| ((i * 37 % 101) as f32) * 0.1).collect();
-        let queries: Vec<f32> = (0..nq * dims).map(|i| ((i * 53 % 89) as f32) * 0.1).collect();
+        let data: Vec<f32> = (0..n * dims)
+            .map(|i| ((i * 37 % 101) as f32) * 0.1)
+            .collect();
+        let queries: Vec<f32> = (0..nq * dims)
+            .map(|i| ((i * 53 % 89) as f32) * 0.1)
+            .collect();
         let a = ground_truth(&data, &queries, dims, 5, Metric::L2, 1);
         let b = ground_truth(&data, &queries, dims, 5, Metric::L2, 8);
         assert_eq!(a, b);

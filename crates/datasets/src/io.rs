@@ -27,7 +27,10 @@ fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
             if filled == 0 {
                 return Ok(false);
             }
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated vector record"));
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated vector record",
+            ));
         }
         filled += n;
     }
@@ -63,14 +66,21 @@ macro_rules! vecs_impl {
                 }
                 let mut payload = vec![0u8; d * $width];
                 if !read_exact_or_eof(&mut r, &mut payload)? {
-                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "missing payload"));
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "missing payload",
+                    ));
                 }
                 for chunk in payload.chunks_exact($width) {
                     data.push($from(chunk));
                 }
                 len += 1;
             }
-            Ok(VecsFile { data, len, dims: dims.unwrap_or(0) })
+            Ok(VecsFile {
+                data,
+                len,
+                dims: dims.unwrap_or(0),
+            })
         }
 
         /// Writes a row-major collection in this format.
@@ -82,7 +92,11 @@ macro_rules! vecs_impl {
         /// Propagates IO errors from the writer.
         pub fn $write_name<W: Write>(mut w: W, data: &[$ty], dims: usize) -> io::Result<()> {
             assert!(dims > 0, "dims must be positive");
-            assert_eq!(data.len() % dims, 0, "data must be a whole number of vectors");
+            assert_eq!(
+                data.len() % dims,
+                0,
+                "data must be a whole number of vectors"
+            );
             let head = (dims as u32).to_le_bytes();
             for row in data.chunks_exact(dims) {
                 w.write_all(&head)?;

@@ -43,7 +43,10 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
 /// Propagates IO errors from the writer.
 pub fn write_pdx<W: Write>(mut w: W, coll: &PdxCollection) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    let group = coll.blocks.first().map_or(pdx_core::DEFAULT_GROUP_SIZE, |b| b.pdx.group_size());
+    let group = coll
+        .blocks
+        .first()
+        .map_or(pdx_core::DEFAULT_GROUP_SIZE, |b| b.pdx.group_size());
     w.write_all(&(coll.dims as u32).to_le_bytes())?;
     w.write_all(&(group as u32).to_le_bytes())?;
     w.write_all(&(coll.blocks.len() as u32).to_le_bytes())?;
@@ -68,13 +71,19 @@ pub fn read_pdx<R: Read>(mut r: R) -> io::Result<PdxCollection> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a PDX container"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a PDX container",
+        ));
     }
     let dims = read_u32(&mut r)? as usize;
     let group = read_u32(&mut r)? as usize;
     let n_blocks = read_u32(&mut r)? as usize;
     if dims == 0 || group == 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero dims or group size"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "zero dims or group size",
+        ));
     }
     let mut blocks = Vec::with_capacity(n_blocks);
     let mut all_rows: Vec<f32> = Vec::new();
@@ -96,11 +105,20 @@ pub fn read_pdx<R: Read>(mut r: R) -> io::Result<PdxCollection> {
         let rows = block.to_rows();
         all_rows.extend_from_slice(&rows);
         let stats = BlockStats::from_block(&block);
-        blocks.push(SearchBlock { pdx: block, row_ids, stats, aux: None });
+        blocks.push(SearchBlock {
+            pdx: block,
+            row_ids,
+            stats,
+            aux: None,
+        });
     }
     let total: usize = blocks.iter().map(|b| b.len()).sum();
     let stats = BlockStats::from_rows(&all_rows, total, dims);
-    Ok(PdxCollection { dims, blocks, stats })
+    Ok(PdxCollection {
+        dims,
+        blocks,
+        stats,
+    })
 }
 
 /// Rebuilds a `PdxBlock` from an already group-tiled buffer by routing
@@ -205,8 +223,18 @@ mod tests {
         let back = read_pdx(&buf[..]).unwrap();
         let q: Vec<f32> = (0..coll.dims).map(|i| i as f32 * 0.2).collect();
         let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
-        let a = pdxearch(&bond, &coll.blocks.iter().collect::<Vec<_>>(), &q, &SearchParams::new(5));
-        let b = pdxearch(&bond, &back.blocks.iter().collect::<Vec<_>>(), &q, &SearchParams::new(5));
+        let a = pdxearch(
+            &bond,
+            &coll.blocks.iter().collect::<Vec<_>>(),
+            &q,
+            &SearchParams::new(5),
+        );
+        let b = pdxearch(
+            &bond,
+            &back.blocks.iter().collect::<Vec<_>>(),
+            &q,
+            &SearchParams::new(5),
+        );
         assert_eq!(a, b);
     }
 }

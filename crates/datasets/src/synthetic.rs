@@ -44,21 +44,66 @@ pub struct DatasetSpec {
 
 /// The ten collections of Table 1.
 pub const TABLE1: [DatasetSpec; 10] = [
-    DatasetSpec { name: "nytimes", dims: 16, distribution: Distribution::Normal, paper_size: 290_000 },
-    DatasetSpec { name: "glove50", dims: 50, distribution: Distribution::Normal, paper_size: 1_183_514 },
-    DatasetSpec { name: "deep", dims: 96, distribution: Distribution::Normal, paper_size: 9_990_000 },
-    DatasetSpec { name: "sift", dims: 128, distribution: Distribution::Skewed, paper_size: 1_000_000 },
-    DatasetSpec { name: "glove200", dims: 200, distribution: Distribution::Normal, paper_size: 1_183_514 },
-    DatasetSpec { name: "msong", dims: 420, distribution: Distribution::Skewed, paper_size: 983_185 },
+    DatasetSpec {
+        name: "nytimes",
+        dims: 16,
+        distribution: Distribution::Normal,
+        paper_size: 290_000,
+    },
+    DatasetSpec {
+        name: "glove50",
+        dims: 50,
+        distribution: Distribution::Normal,
+        paper_size: 1_183_514,
+    },
+    DatasetSpec {
+        name: "deep",
+        dims: 96,
+        distribution: Distribution::Normal,
+        paper_size: 9_990_000,
+    },
+    DatasetSpec {
+        name: "sift",
+        dims: 128,
+        distribution: Distribution::Skewed,
+        paper_size: 1_000_000,
+    },
+    DatasetSpec {
+        name: "glove200",
+        dims: 200,
+        distribution: Distribution::Normal,
+        paper_size: 1_183_514,
+    },
+    DatasetSpec {
+        name: "msong",
+        dims: 420,
+        distribution: Distribution::Skewed,
+        paper_size: 983_185,
+    },
     DatasetSpec {
         name: "contriever",
         dims: 768,
         distribution: Distribution::Normal,
         paper_size: 990_000,
     },
-    DatasetSpec { name: "arxiv", dims: 768, distribution: Distribution::Normal, paper_size: 2_253_000 },
-    DatasetSpec { name: "gist", dims: 960, distribution: Distribution::Skewed, paper_size: 1_000_000 },
-    DatasetSpec { name: "openai", dims: 1536, distribution: Distribution::Skewed, paper_size: 999_000 },
+    DatasetSpec {
+        name: "arxiv",
+        dims: 768,
+        distribution: Distribution::Normal,
+        paper_size: 2_253_000,
+    },
+    DatasetSpec {
+        name: "gist",
+        dims: 960,
+        distribution: Distribution::Skewed,
+        paper_size: 1_000_000,
+    },
+    DatasetSpec {
+        name: "openai",
+        dims: 1536,
+        distribution: Distribution::Skewed,
+        paper_size: 999_000,
+    },
 ];
 
 /// Looks a spec up by name.
@@ -153,7 +198,13 @@ pub fn generate(spec: &DatasetSpec, n: usize, n_queries: usize, seed: u64) -> Da
     for _ in 0..n_queries {
         sample_row(&mut rng, &mut g, &mut queries);
     }
-    Dataset { spec: *spec, data, queries, len: n, n_queries }
+    Dataset {
+        spec: *spec,
+        data,
+        queries,
+        len: n,
+        n_queries,
+    }
 }
 
 #[cfg(test)]
@@ -243,7 +294,10 @@ mod tests {
         }
         let n_total = (ds.len * d) as f64;
         let skew = (m3 / n_total) / (m2 / n_total).powf(1.5);
-        assert!(skew.abs() < 0.3, "expected near-symmetric marginals, got {skew}");
+        assert!(
+            skew.abs() < 0.3,
+            "expected near-symmetric marginals, got {skew}"
+        );
     }
 
     #[test]
@@ -253,9 +307,8 @@ mod tests {
         // structure), otherwise IVF indexes would be meaningless.
         let spec = spec_by_name("nytimes").unwrap();
         let ds = generate(spec, 500, 1, 3);
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
         let mut nn_sum = 0.0f64;
         let mut rand_sum = 0.0f64;
         for i in 0..50 {
@@ -269,6 +322,9 @@ mod tests {
             nn_sum += best as f64;
             rand_sum += dist(vi, ds.vector(ds.len - 1 - i)) as f64;
         }
-        assert!(nn_sum * 2.0 < rand_sum, "no cluster structure: nn {nn_sum} vs random {rand_sum}");
+        assert!(
+            nn_sum * 2.0 < rand_sum,
+            "no cluster structure: nn {nn_sum} vs random {rand_sum}"
+        );
     }
 }

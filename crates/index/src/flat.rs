@@ -23,25 +23,43 @@ pub struct FlatPdx {
 
 impl FlatPdx {
     /// Partitions `rows` into blocks of at most `block_size` vectors.
-    pub fn new(rows: &[f32], n_vectors: usize, dims: usize, block_size: usize, group_size: usize) -> Self {
+    pub fn new(
+        rows: &[f32],
+        n_vectors: usize,
+        dims: usize,
+        block_size: usize,
+        group_size: usize,
+    ) -> Self {
         Self {
-            collection: PdxCollection::from_rows_partitioned(rows, n_vectors, dims, block_size, group_size),
+            collection: PdxCollection::from_rows_partitioned(
+                rows, n_vectors, dims, block_size, group_size,
+            ),
         }
     }
 
     /// Paper-default partitioning (blocks of 10 240, groups of 64).
     pub fn with_defaults(rows: &[f32], n_vectors: usize, dims: usize) -> Self {
-        Self::new(rows, n_vectors, dims, DEFAULT_EXACT_BLOCK, pdx_core::DEFAULT_GROUP_SIZE)
+        Self::new(
+            rows,
+            n_vectors,
+            dims,
+            DEFAULT_EXACT_BLOCK,
+            pdx_core::DEFAULT_GROUP_SIZE,
+        )
     }
 
     /// Exact (or pruner-approximate) k-NN over all partitions in storage
     /// order.
-    pub fn search<P: Pruner>(&self, pruner: &P, query: &[f32], params: &SearchParams) -> Vec<Neighbor> {
+    pub fn search<P: Pruner>(
+        &self,
+        pruner: &P,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> Vec<Neighbor> {
         let q = pruner.prepare_query(query);
         let blocks: Vec<&SearchBlock> = self.collection.blocks.iter().collect();
         pdxearch_prepared(pruner, &q, &blocks, params)
     }
-
 
     /// Searches a batch of queries in parallel with scoped threads (one
     /// band of queries per thread). Each individual query still runs the
@@ -55,7 +73,11 @@ impl FlatPdx {
         threads: usize,
     ) -> Vec<Vec<Neighbor>> {
         let dims = self.collection.dims;
-        assert_eq!(queries.len() % dims.max(1), 0, "queries must be whole vectors");
+        assert_eq!(
+            queries.len() % dims.max(1),
+            0,
+            "queries must be whole vectors"
+        );
         let nq = queries.len() / dims.max(1);
         let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
         let threads = threads.max(1).min(nq.max(1));
@@ -92,7 +114,9 @@ mod tests {
     use pdx_core::visit_order::VisitOrder;
 
     fn rows(n: usize, d: usize) -> Vec<f32> {
-        (0..n * d).map(|i| ((i * 131 % 997) as f32) * 0.01).collect()
+        (0..n * d)
+            .map(|i| ((i * 131 % 997) as f32) * 0.01)
+            .collect()
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct HnswParams {
 
 impl Default for HnswParams {
     fn default() -> Self {
-        Self { m: 16, ef_construction: 100 }
+        Self {
+            m: 16,
+            ef_construction: 100,
+        }
     }
 }
 
@@ -62,7 +65,10 @@ impl PartialOrd for HeapItem {
 }
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.dist.partial_cmp(&other.dist).expect("NaN distance").then(self.node.cmp(&other.node))
+        self.dist
+            .partial_cmp(&other.dist)
+            .expect("NaN distance")
+            .then(self.node.cmp(&other.node))
     }
 }
 
@@ -118,7 +124,8 @@ impl Hnsw {
     fn insert(&mut self, node: u32, level: usize) {
         self.levels.push(level as u8);
         while self.neighbors.len() <= level {
-            self.neighbors.push(vec![Vec::new(); self.vectors.len() / self.dims]);
+            self.neighbors
+                .push(vec![Vec::new(); self.vectors.len() / self.dims]);
         }
         if node == 0 {
             self.entry = 0;
@@ -135,9 +142,12 @@ impl Hnsw {
         // Connect at each layer from min(level, entry_level) down to 0.
         for l in (0..=level.min(entry_level)).rev() {
             let found = self.search_layer(&q, ep, l, self.params.ef_construction);
-            let max_links = if l == 0 { self.params.m * 2 } else { self.params.m };
-            let selected: Vec<u32> =
-                found.iter().take(max_links).map(|item| item.node).collect();
+            let max_links = if l == 0 {
+                self.params.m * 2
+            } else {
+                self.params.m
+            };
+            let selected: Vec<u32> = found.iter().take(max_links).map(|item| item.node).collect();
             ep = selected.first().copied().unwrap_or(ep);
             for &nb in &selected {
                 self.neighbors[l][node as usize].push(nb);
@@ -158,7 +168,10 @@ impl Hnsw {
         let base = self.vector(node).to_vec();
         let mut links = std::mem::take(&mut self.neighbors[l][node as usize]);
         links.sort_by(|&a, &b| {
-            self.distance(&base, a).partial_cmp(&self.distance(&base, b)).expect("NaN").then(a.cmp(&b))
+            self.distance(&base, a)
+                .partial_cmp(&self.distance(&base, b))
+                .expect("NaN")
+                .then(a.cmp(&b))
         });
         links.dedup();
         links.truncate(max_links);
@@ -258,7 +271,10 @@ mod tests {
     fn brute(rows: &[f32], dims: usize, q: &[f32], k: usize) -> Vec<u64> {
         let mut heap = KnnHeap::new(k);
         for (i, row) in rows.chunks_exact(dims).enumerate() {
-            heap.push(i as u64, nary_distance(Metric::L2, KernelVariant::Scalar, q, row));
+            heap.push(
+                i as u64,
+                nary_distance(Metric::L2, KernelVariant::Scalar, q, row),
+            );
         }
         heap.into_sorted().iter().map(|n| n.id).collect()
     }
@@ -310,7 +326,10 @@ mod tests {
     #[test]
     fn links_respect_degree_bounds() {
         let (rows, n) = grid(10);
-        let p = HnswParams { m: 4, ef_construction: 40 };
+        let p = HnswParams {
+            m: 4,
+            ef_construction: 40,
+        };
         let hnsw = Hnsw::build(&rows, n, 2, p, 2);
         for l in 0..=hnsw.max_level() {
             let cap = if l == 0 { p.m * 2 } else { p.m };

@@ -25,8 +25,8 @@ use pdx_core::layout::NaryMatrix;
 use pdx_core::profile::SearchProfile;
 use pdx_core::pruning::Pruner;
 use pdx_core::search::{
-    horizontal_linear_scan, horizontal_pruned_search_prepared, linear_scan_blocks, pdxearch_prepared,
-    pdxearch_prepared_profiled, HorizontalBucket, SearchParams,
+    horizontal_linear_scan, horizontal_pruned_search_prepared, linear_scan_blocks,
+    pdxearch_prepared, pdxearch_prepared_profiled, HorizontalBucket, SearchParams,
 };
 use std::time::Instant;
 
@@ -55,7 +55,12 @@ impl IvfIndex {
     ) -> Self {
         let kmeans = KMeans::fit(rows, n_vectors, dims, nlist, max_iters, seed);
         let assignments = kmeans.assignments(rows, n_vectors);
-        Self { dims, nlist: kmeans.k, kmeans, assignments }
+        Self {
+            dims,
+            nlist: kmeans.k,
+            kmeans,
+            assignments,
+        }
     }
 
     /// The paper's default bucket count: `√n` (§2.1).
@@ -115,9 +120,17 @@ impl IvfPdx {
             });
         }
         let n_centroids = centroid_rows.len() / dims.max(1);
-        let centroids =
-            SearchBlock::new(&centroid_rows, (0..n_centroids as u64).collect(), dims, group_size);
-        Self { dims, centroids, blocks }
+        let centroids = SearchBlock::new(
+            &centroid_rows,
+            (0..n_centroids as u64).collect(),
+            dims,
+            group_size,
+        );
+        Self {
+            dims,
+            centroids,
+            blocks,
+        }
     }
 
     /// Ranks blocks by centroid distance to the (space-transformed)
@@ -130,7 +143,11 @@ impl IvfPdx {
     /// Builds an HNSW router over the centroids — the "hybrid index" of
     /// §2.1 (HNSW on the IVF centroids finds promising buckets quickly
     /// when `nlist` is large).
-    pub fn build_centroid_router(&self, params: crate::hnsw::HnswParams, seed: u64) -> crate::hnsw::Hnsw {
+    pub fn build_centroid_router(
+        &self,
+        params: crate::hnsw::HnswParams,
+        seed: u64,
+    ) -> crate::hnsw::Hnsw {
         let rows = self.centroids.pdx.to_rows();
         crate::hnsw::Hnsw::build(&rows, self.centroids.len(), self.dims, params, seed)
     }
@@ -145,7 +162,11 @@ impl IvfPdx {
         nprobe: usize,
         ef: usize,
     ) -> Vec<u32> {
-        router.search(query_space, nprobe.max(1), ef).iter().map(|n| n.id as u32).collect()
+        router
+            .search(query_space, nprobe.max(1), ef)
+            .iter()
+            .map(|n| n.id as u32)
+            .collect()
     }
 
     /// PDXearch query routed through a centroid HNSW instead of the
@@ -200,7 +221,13 @@ impl IvfPdx {
 
     /// Linear scan (no pruning) of the `nprobe` nearest buckets with the
     /// PDX kernels — the "PDX linear scan" competitor.
-    pub fn linear_search(&self, query: &[f32], k: usize, nprobe: usize, metric: Metric) -> Vec<Neighbor> {
+    pub fn linear_search(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        metric: Metric,
+    ) -> Vec<Neighbor> {
         let order = self.probe_order(query, nprobe, metric);
         let blocks: Vec<&SearchBlock> = order.iter().map(|&b| &self.blocks[b as usize]).collect();
         linear_scan_blocks(&blocks, query, k, metric)
@@ -233,7 +260,8 @@ impl IvfHorizontal {
             .map(|ids| {
                 let mut bucket_rows = Vec::with_capacity(ids.len() * dims);
                 for &v in ids {
-                    bucket_rows.extend_from_slice(&rows[v as usize * dims..(v as usize + 1) * dims]);
+                    bucket_rows
+                        .extend_from_slice(&rows[v as usize * dims..(v as usize + 1) * dims]);
                 }
                 HorizontalBucket::new(
                     &bucket_rows,
@@ -243,7 +271,12 @@ impl IvfHorizontal {
                 )
             })
             .collect();
-        Self { dims, centroids, buckets, delta_d }
+        Self {
+            dims,
+            centroids,
+            buckets,
+            delta_d,
+        }
     }
 
     /// Ranks buckets by centroid distance with the horizontal kernel.
@@ -339,7 +372,10 @@ mod tests {
     fn brute(data: &[f32], d: usize, q: &[f32], k: usize) -> Vec<u64> {
         let mut heap = KnnHeap::new(k);
         for (i, row) in data.chunks_exact(d).enumerate() {
-            heap.push(i as u64, nary_distance(Metric::L2, KernelVariant::Scalar, q, row));
+            heap.push(
+                i as u64,
+                nary_distance(Metric::L2, KernelVariant::Scalar, q, row),
+            );
         }
         heap.into_sorted().iter().map(|n| n.id).collect()
     }
@@ -382,8 +418,11 @@ mod tests {
         let q = random_rows(1, d, 6);
         // Results at nprobe=1 must come from the single probed bucket.
         let order = ivf.probe_order(&q, 1, Metric::L2);
-        let bucket_ids: std::collections::HashSet<u64> =
-            ivf.blocks[order[0] as usize].row_ids.iter().copied().collect();
+        let bucket_ids: std::collections::HashSet<u64> = ivf.blocks[order[0] as usize]
+            .row_ids
+            .iter()
+            .copied()
+            .collect();
         let got = ivf.linear_search(&q, k, 1, Metric::L2);
         assert!(got.iter().all(|r| bucket_ids.contains(&r.id)));
     }

@@ -28,10 +28,21 @@ impl KMeans {
     ///
     /// # Panics
     /// Panics if the collection is empty, `k == 0`, or buffers mismatch.
-    pub fn fit(rows: &[f32], n_vectors: usize, dims: usize, k: usize, max_iters: usize, seed: u64) -> Self {
+    pub fn fit(
+        rows: &[f32],
+        n_vectors: usize,
+        dims: usize,
+        k: usize,
+        max_iters: usize,
+        seed: u64,
+    ) -> Self {
         assert!(k > 0, "k must be positive");
         assert!(n_vectors > 0, "cannot cluster an empty collection");
-        assert_eq!(rows.len(), n_vectors * dims, "row buffer does not match dimensions");
+        assert_eq!(
+            rows.len(),
+            n_vectors * dims,
+            "row buffer does not match dimensions"
+        );
         let k = k.min(n_vectors);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut centroids = plus_plus_init(rows, n_vectors, dims, k, &mut rng);
@@ -73,7 +84,12 @@ impl KMeans {
         }
         // Final assignment for the reported inertia.
         let final_inertia = assign_all(rows, n_vectors, dims, &centroids, k, &mut assign);
-        Self { centroids, k, dims, inertia: final_inertia }
+        Self {
+            centroids,
+            k,
+            dims,
+            inertia: final_inertia,
+        }
     }
 
     /// Index of the nearest centroid to `row`.
@@ -84,7 +100,14 @@ impl KMeans {
     /// Groups all vectors into per-cluster id lists (the IVF buckets).
     pub fn assignments(&self, rows: &[f32], n_vectors: usize) -> Vec<Vec<u32>> {
         let mut assign = vec![0u32; n_vectors];
-        assign_all(rows, n_vectors, self.dims, &self.centroids, self.k, &mut assign);
+        assign_all(
+            rows,
+            n_vectors,
+            self.dims,
+            &self.centroids,
+            self.k,
+            &mut assign,
+        );
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.k];
         for (v, &c) in assign.iter().enumerate() {
             buckets[c as usize].push(v as u32);
@@ -96,7 +119,12 @@ impl KMeans {
 fn nearest(row: &[f32], centroids: &[f32], k: usize, dims: usize) -> (usize, f32) {
     let mut best = (0usize, f32::INFINITY);
     for c in 0..k {
-        let d = nary_distance(Metric::L2, KernelVariant::Simd, row, &centroids[c * dims..(c + 1) * dims]);
+        let d = nary_distance(
+            Metric::L2,
+            KernelVariant::Simd,
+            row,
+            &centroids[c * dims..(c + 1) * dims],
+        );
         if d < best.1 {
             best = (c, d);
         }
@@ -113,7 +141,9 @@ fn assign_all(
     k: usize,
     assign: &mut [u32],
 ) -> f64 {
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n_vectors.max(1));
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(n_vectors.max(1));
     let band = n_vectors.div_ceil(threads);
     let inertia = std::sync::atomic::AtomicU64::new(0f64.to_bits());
     std::thread::scope(|scope| {
@@ -155,7 +185,13 @@ fn assign_all(
 
 /// k-means++ seeding: each next seed is drawn with probability
 /// proportional to its squared distance to the nearest existing seed.
-fn plus_plus_init(rows: &[f32], n_vectors: usize, dims: usize, k: usize, rng: &mut StdRng) -> Vec<f32> {
+fn plus_plus_init(
+    rows: &[f32],
+    n_vectors: usize,
+    dims: usize,
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<f32> {
     let mut centroids = Vec::with_capacity(k * dims);
     let first = rng.random_range(0..n_vectors);
     centroids.extend_from_slice(&rows[first * dims..(first + 1) * dims]);
@@ -188,7 +224,12 @@ fn plus_plus_init(rows: &[f32], n_vectors: usize, dims: usize, k: usize, rng: &m
         let new = &rows[pick * dims..(pick + 1) * dims];
         centroids.extend_from_slice(new);
         for (v, slot) in d2.iter_mut().enumerate() {
-            let d = nary_distance(Metric::L2, KernelVariant::Simd, &rows[v * dims..(v + 1) * dims], new);
+            let d = nary_distance(
+                Metric::L2,
+                KernelVariant::Simd,
+                &rows[v * dims..(v + 1) * dims],
+                new,
+            );
             if d < *slot {
                 *slot = d;
             }
@@ -198,7 +239,13 @@ fn plus_plus_init(rows: &[f32], n_vectors: usize, dims: usize, k: usize, rng: &m
 }
 
 /// The point farthest from its assigned centroid (empty-cluster rescue).
-fn farthest_point(rows: &[f32], n_vectors: usize, dims: usize, centroids: &[f32], assign: &[u32]) -> usize {
+fn farthest_point(
+    rows: &[f32],
+    n_vectors: usize,
+    dims: usize,
+    centroids: &[f32],
+    assign: &[u32],
+) -> usize {
     let mut best = (0usize, -1.0f32);
     for v in 0..n_vectors {
         let c = assign[v] as usize;
@@ -239,7 +286,11 @@ mod tests {
         assert_eq!(buckets.len(), 2);
         let sizes: Vec<usize> = buckets.iter().map(|b| b.len()).collect();
         assert_eq!(sizes.iter().sum::<usize>(), 100);
-        assert_eq!(*sizes.iter().max().unwrap(), 50, "blobs must split evenly: {sizes:?}");
+        assert_eq!(
+            *sizes.iter().max().unwrap(),
+            50,
+            "blobs must split evenly: {sizes:?}"
+        );
         // Members of one bucket must all be from the same blob.
         for b in &buckets {
             let first_blob = b[0] < 50;

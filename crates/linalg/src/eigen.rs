@@ -29,7 +29,10 @@ impl SymmetricEigen {
     pub fn new(a: &[f64], n: usize) -> Self {
         assert_eq!(a.len(), n * n, "matrix buffer does not match n");
         if n == 0 {
-            return Self { eigenvalues: Vec::new(), eigenvectors: Vec::new() };
+            return Self {
+                eigenvalues: Vec::new(),
+                eigenvectors: Vec::new(),
+            };
         }
         let mut z = a.to_vec();
         let mut d = vec![0.0f64; n];
@@ -45,7 +48,10 @@ impl SymmetricEigen {
             .iter()
             .map(|&col| (0..n).map(|row| z[row * n + col]).collect())
             .collect();
-        Self { eigenvalues, eigenvectors }
+        Self {
+            eigenvalues,
+            eigenvectors,
+        }
     }
 }
 

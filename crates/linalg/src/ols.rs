@@ -52,7 +52,10 @@ impl LinearRegression {
             ata[i * dim + i] += jitter;
         }
         let sol = solve_dense(&mut ata, &mut aty, dim);
-        Self { weights: sol[..k].to_vec(), intercept: sol[k] }
+        Self {
+            weights: sol[..k].to_vec(),
+            intercept: sol[k],
+        }
     }
 
     /// Predicts `y` for one feature row.

@@ -157,9 +157,8 @@ mod tests {
         let b: Vec<f32> = (0..d).map(|i| (i as f32 * 0.3).cos()).collect();
         let ra = q.matvec(&a);
         let rb = q.matvec(&b);
-        let dist = |x: &[f32], y: &[f32]| -> f32 {
-            x.iter().zip(y).map(|(p, q)| (p - q) * (p - q)).sum()
-        };
+        let dist =
+            |x: &[f32], y: &[f32]| -> f32 { x.iter().zip(y).map(|(p, q)| (p - q) * (p - q)).sum() };
         let norm = |x: &[f32]| -> f32 { x.iter().map(|v| v * v).sum() };
         assert!((norm(&a) - norm(&ra)).abs() < 1e-3);
         assert!((dist(&a, &b) - dist(&ra, &rb)).abs() < 1e-3);

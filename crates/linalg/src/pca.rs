@@ -54,7 +54,9 @@ impl Pca {
         }
         let denom = (n.max(2) - 1) as f64;
         let mut cov = vec![0.0f64; d * d];
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(d.max(1));
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(d.max(1));
         let band = d.div_ceil(threads);
         std::thread::scope(|scope| {
             let centered_t = &centered_t;
@@ -150,7 +152,11 @@ mod tests {
         let sample = anisotropic_sample(4000, 6, 3);
         let pca = Pca::fit(&sample, usize::MAX);
         // Leading eigenvalue ≈ 9, others ≈ 1.
-        assert!((pca.explained_variance[0] - 9.0).abs() < 1.0, "{:?}", pca.explained_variance);
+        assert!(
+            (pca.explained_variance[0] - 9.0).abs() < 1.0,
+            "{:?}",
+            pca.explained_variance
+        );
         // Leading axis ≈ ±e_1.
         let axis = pca.components.row(0);
         assert!(axis[1].abs() > 0.99, "axis {axis:?}");
@@ -212,7 +218,13 @@ mod tests {
         let full = Pca::fit(&sample, usize::MAX);
         let sub = Pca::fit(&sample, 250);
         // Same dominant axis up to sign, looser tolerance for the subsample.
-        let dot: f32 = full.components.row(0).iter().zip(sub.components.row(0)).map(|(a, b)| a * b).sum();
+        let dot: f32 = full
+            .components
+            .row(0)
+            .iter()
+            .zip(sub.components.row(0))
+            .map(|(a, b)| a * b)
+            .sum();
         assert!(dot.abs() > 0.9, "dominant axes disagree: dot = {dot}");
     }
 }

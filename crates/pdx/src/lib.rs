@@ -40,9 +40,7 @@ pub mod prelude {
     pub use pdx_core::collection::{PdxCollection, SearchBlock};
     pub use pdx_core::distance::{normalize, Metric};
     pub use pdx_core::heap::{KnnHeap, Neighbor};
-    pub use pdx_core::kernels::{
-        dsm_scan, gather_scan, nary_distance, pdx_scan, KernelVariant,
-    };
+    pub use pdx_core::kernels::{dsm_scan, gather_scan, nary_distance, pdx_scan, KernelVariant};
     pub use pdx_core::layout::{DsmMatrix, DualBlockMatrix, NaryMatrix, PdxBlock};
     pub use pdx_core::profile::SearchProfile;
     pub use pdx_core::pruning::{checkpoints, BlockAux, Pruner, StepPolicy};
@@ -54,7 +52,9 @@ pub mod prelude {
     pub use pdx_core::visit_order::VisitOrder;
     pub use pdx_core::{DEFAULT_EXACT_BLOCK, DEFAULT_GROUP_SIZE};
     pub use pdx_datasets::eval::{ground_truth, mean_recall, recall_at_k};
-    pub use pdx_datasets::synthetic::{generate, spec_by_name, Dataset, DatasetSpec, Distribution, TABLE1};
+    pub use pdx_datasets::synthetic::{
+        generate, spec_by_name, Dataset, DatasetSpec, Distribution, TABLE1,
+    };
     pub use pdx_index::{FlatPdx, Hnsw, HnswParams, IvfHorizontal, IvfIndex, IvfPdx, KMeans};
     pub use pdx_pruners::{AdSampling, Bsa, BsaLearned};
 }

@@ -48,7 +48,11 @@ impl AdSampling {
     /// Draws the random rotation for a `dims`-dimensional collection.
     pub fn fit(dims: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        Self { rotation: random_orthogonal(dims, &mut rng), epsilon0: Self::DEFAULT_EPSILON0, dims }
+        Self {
+            rotation: random_orthogonal(dims, &mut rng),
+            epsilon0: Self::DEFAULT_EPSILON0,
+            dims,
+        }
     }
 
     /// Overrides ε₀ (recall/speed knob).
@@ -71,7 +75,11 @@ impl AdSampling {
     /// Rotates a whole collection (row-major) into search space,
     /// multi-threaded. One-time preprocessing.
     pub fn transform_collection(&self, rows: &[f32], n_vectors: usize, threads: usize) -> Vec<f32> {
-        assert_eq!(rows.len(), n_vectors * self.dims, "row buffer does not match dims");
+        assert_eq!(
+            rows.len(),
+            n_vectors * self.dims,
+            "row buffer does not match dims"
+        );
         let m = Matrix::from_vec(n_vectors, self.dims, rows.to_vec());
         transform_rows(&m, &self.rotation, threads).into_vec()
     }
@@ -93,7 +101,9 @@ impl Pruner for AdSampling {
 
     fn prepare_query(&self, query: &[f32]) -> AdsQuery {
         assert_eq!(query.len(), self.dims, "query dimensionality mismatch");
-        AdsQuery { rotated: self.transform_vector(query) }
+        AdsQuery {
+            rotated: self.transform_vector(query),
+        }
     }
 
     fn query_vector<'q>(&self, q: &'q AdsQuery) -> &'q [f32] {
@@ -109,7 +119,9 @@ impl Pruner for AdSampling {
     ) -> AdsCheckpoint {
         let ratio = dims_scanned as f32 / dims_total as f32;
         let conf = 1.0 + self.epsilon0 / (dims_scanned as f32).sqrt();
-        AdsCheckpoint { bound: threshold * ratio * conf * conf }
+        AdsCheckpoint {
+            bound: threshold * ratio * conf * conf,
+        }
     }
 
     #[inline(always)]
@@ -138,7 +150,11 @@ mod tests {
         let rotated = ads.transform_collection(&rows, 10, 2);
         for i in 0..10 {
             for j in (i + 1)..10 {
-                let d0 = distance_scalar(Metric::L2, &rows[i * d..(i + 1) * d], &rows[j * d..(j + 1) * d]);
+                let d0 = distance_scalar(
+                    Metric::L2,
+                    &rows[i * d..(i + 1) * d],
+                    &rows[j * d..(j + 1) * d],
+                );
                 let d1 = distance_scalar(
                     Metric::L2,
                     &rotated[i * d..(i + 1) * d],
@@ -165,10 +181,13 @@ mod tests {
     #[test]
     fn bound_grows_with_scanned_dims() {
         let ads = AdSampling::fit(8, 0);
-        let q = AdsQuery { rotated: vec![0.0; 8] };
+        let q = AdsQuery {
+            rotated: vec![0.0; 8],
+        };
         let thr = 100.0;
-        let bounds: Vec<f32> =
-            (1..=8).map(|d| ads.checkpoint(&q, d, 8, thr).bound).collect();
+        let bounds: Vec<f32> = (1..=8)
+            .map(|d| ads.checkpoint(&q, d, 8, thr).bound)
+            .collect();
         for w in bounds.windows(2) {
             assert!(w[0] < w[1], "bound must grow: {bounds:?}");
         }
@@ -181,7 +200,9 @@ mod tests {
     fn epsilon_zero_prunes_on_expectation() {
         // With ε₀ = 0 the bound is thr·d'/D exactly.
         let ads = AdSampling::fit(10, 0).with_epsilon0(0.0);
-        let q = AdsQuery { rotated: vec![0.0; 10] };
+        let q = AdsQuery {
+            rotated: vec![0.0; 10],
+        };
         let cp = ads.checkpoint(&q, 5, 10, 80.0);
         assert!((cp.bound - 40.0).abs() < 1e-5);
         assert!(AdSampling::survives(&cp, 40.0, 0.0));
@@ -204,7 +225,9 @@ mod tests {
             let ra = ads.transform_vector(&a);
             let rb = ads.transform_vector(&b);
             let full = distance_scalar(Metric::L2, &ra, &rb);
-            let q = AdsQuery { rotated: ra.clone() };
+            let q = AdsQuery {
+                rotated: ra.clone(),
+            };
             for scanned in [8usize, 32, 64] {
                 let partial = distance_scalar(Metric::L2, &ra[..scanned], &rb[..scanned]);
                 let cp = ads.checkpoint(&q, scanned, d, full);
@@ -214,7 +237,10 @@ mod tests {
             }
         }
         // ε₀ = 2.1 targets a very small false-pruning probability.
-        assert!(violations <= trials * 3 / 50, "too many violations: {violations}");
+        assert!(
+            violations <= trials * 3 / 50,
+            "too many violations: {violations}"
+        );
     }
 
     #[test]

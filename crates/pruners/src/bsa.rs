@@ -81,10 +81,18 @@ impl Bsa {
 
     /// Fits the PCA rotation on (a sample of) the collection.
     pub fn fit(rows: &[f32], n_vectors: usize, dims: usize, max_sample_rows: usize) -> Self {
-        assert_eq!(rows.len(), n_vectors * dims, "row buffer does not match dims");
+        assert_eq!(
+            rows.len(),
+            n_vectors * dims,
+            "row buffer does not match dims"
+        );
         let m = Matrix::from_vec(n_vectors, dims, rows.to_vec());
         let pca = Pca::fit(&m, max_sample_rows);
-        Self { pca, rho: Self::DEFAULT_RHO, dims }
+        Self {
+            pca,
+            rho: Self::DEFAULT_RHO,
+            dims,
+        }
     }
 
     /// Overrides the cross-term quantile ρ (1.0 = exact bound).
@@ -111,7 +119,11 @@ impl Bsa {
 
     /// Rotates a whole collection into PCA space, multi-threaded.
     pub fn transform_collection(&self, rows: &[f32], n_vectors: usize, threads: usize) -> Vec<f32> {
-        assert_eq!(rows.len(), n_vectors * self.dims, "row buffer does not match dims");
+        assert_eq!(
+            rows.len(),
+            n_vectors * self.dims,
+            "row buffer does not match dims"
+        );
         let m = Matrix::from_vec(n_vectors, self.dims, rows.to_vec());
         self.pca.rotate_rows(&m, threads).into_vec()
     }
@@ -183,7 +195,10 @@ impl Pruner for Bsa {
         let b = q.sqrt_res[dims_scanned];
         // survive ⇔ partial + a² + b² − 2ρ·a·b ≤ thr
         //         ⇔ partial + a·(a − 2ρb) ≤ thr − b²
-        BsaCheckpoint { thr_adj: threshold - b * b, c: 2.0 * self.rho * b }
+        BsaCheckpoint {
+            thr_adj: threshold - b * b,
+            c: 2.0 * self.rho * b,
+        }
     }
 
     #[inline(always)]
@@ -230,7 +245,10 @@ impl BsaLearned {
         seed: u64,
     ) -> Self {
         let dims = bsa.dims();
-        assert!(n_vectors >= 2, "need at least two vectors to form training pairs");
+        assert!(
+            n_vectors >= 2,
+            "need at least two vectors to form training pairs"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         // Draw pairs once; reuse across checkpoints.
         let pairs: Vec<(usize, usize)> = (0..n_pairs.max(8))
@@ -287,7 +305,12 @@ impl BsaLearned {
                 / ys.len() as f64;
             models.push((model, mse.sqrt()));
         }
-        Self { bsa, checkpoint_dims: checkpoint_dims.to_vec(), models, kappa: 2.0 }
+        Self {
+            bsa,
+            checkpoint_dims: checkpoint_dims.to_vec(),
+            models,
+            kappa: 2.0,
+        }
     }
 
     /// Overrides the RMSE safety multiplier κ.
@@ -341,7 +364,11 @@ impl Pruner for BsaLearned {
         let constant = (model.weights[1] * b * b + model.intercept) as f32;
         let margin = self.kappa * (*rmse as f32);
         // survive ⇔ partial + p·a² + q·a + constant − margin ≤ threshold
-        BsaLearnedCheckpoint { p, q: qq, thr_adj: threshold - constant + margin }
+        BsaLearnedCheckpoint {
+            p,
+            q: qq,
+            thr_adj: threshold - constant + margin,
+        }
     }
 
     #[inline(always)]
@@ -360,7 +387,9 @@ mod tests {
     fn random_rows(n: usize, d: usize, seed: u64) -> Vec<f32> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut g = pdx_linalg::Gaussian::new();
-        (0..n * d).map(|_| g.sample_f32(&mut rng) * (1.0 + (seed % 3) as f32)).collect()
+        (0..n * d)
+            .map(|_| g.sample_f32(&mut rng) * (1.0 + (seed % 3) as f32))
+            .collect()
     }
 
     #[test]
@@ -383,8 +412,16 @@ mod tests {
         let bsa = Bsa::fit(&rows, n, d, usize::MAX);
         let rot = bsa.transform_collection(&rows, n, 4);
         for (i, j) in [(0usize, 1usize), (5, 250), (100, 101)] {
-            let d0 = distance_scalar(Metric::L2, &rows[i * d..(i + 1) * d], &rows[j * d..(j + 1) * d]);
-            let d1 = distance_scalar(Metric::L2, &rot[i * d..(i + 1) * d], &rot[j * d..(j + 1) * d]);
+            let d0 = distance_scalar(
+                Metric::L2,
+                &rows[i * d..(i + 1) * d],
+                &rows[j * d..(j + 1) * d],
+            );
+            let d1 = distance_scalar(
+                Metric::L2,
+                &rot[i * d..(i + 1) * d],
+                &rot[j * d..(j + 1) * d],
+            );
             assert!((d0 - d1).abs() < d0.max(1.0) * 1e-3, "{d0} vs {d1}");
         }
     }
@@ -437,7 +474,10 @@ mod tests {
             pruned1 += !Bsa::survives(&cp1, partial, a) as usize;
             pruned2 += !Bsa::survives(&cp2, partial, a) as usize;
         }
-        assert!(pruned2 >= pruned1, "rho=0.2 pruned {pruned2} < rho=1.0 pruned {pruned1}");
+        assert!(
+            pruned2 >= pruned1,
+            "rho=0.2 pruned {pruned2} < rho=1.0 pruned {pruned1}"
+        );
     }
 
     #[test]

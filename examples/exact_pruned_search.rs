@@ -21,7 +21,10 @@ fn main() {
     let n = 60_000;
     let n_queries = 100;
     let k = 10;
-    println!("generating {}-dim '{}'-shaped collection (n = {n})…", spec.dims, spec.name);
+    println!(
+        "generating {}-dim '{}'-shaped collection (n = {n})…",
+        spec.dims, spec.name
+    );
     let ds = generate(&spec, n, n_queries, 21);
     let d = ds.dims();
 
@@ -41,12 +44,18 @@ fn main() {
     };
 
     let (qps, res) = time(&mut |qi| {
-        flat.search(&bond, ds.query(qi), &params).iter().map(|r| r.distance).collect()
+        flat.search(&bond, ds.query(qi), &params)
+            .iter()
+            .map(|r| r.distance)
+            .collect()
     });
     report.push(("PDX-BOND (dist-to-means)", qps, res));
 
     let (qps, res) = time(&mut |qi| {
-        flat.linear_search(ds.query(qi), k, Metric::L2).iter().map(|r| r.distance).collect()
+        flat.linear_search(ds.query(qi), k, Metric::L2)
+            .iter()
+            .map(|r| r.distance)
+            .collect()
     });
     report.push(("PDX linear scan", qps, res));
 
@@ -67,7 +76,10 @@ fn main() {
     report.push(("N-ary scalar (sklearn-like)", qps, res));
 
     let (qps, res) = time(&mut |qi| {
-        linear_scan_dsm(&dsm, ds.query(qi), k, Metric::L2).iter().map(|r| r.distance).collect()
+        linear_scan_dsm(&dsm, ds.query(qi), k, Metric::L2)
+            .iter()
+            .map(|r| r.distance)
+            .collect()
     });
     report.push(("DSM linear scan", qps, res));
 
@@ -79,11 +91,20 @@ fn main() {
     println!("{}", "-".repeat(52));
     for (name, qps, res) in &report {
         let exact = res.iter().zip(&reference).all(|(a, b)| {
-            a.iter().zip(b).all(|(x, y)| (x - y).abs() <= y.abs().max(1.0) * 1e-4)
+            a.iter()
+                .zip(b)
+                .all(|(x, y)| (x - y).abs() <= y.abs().max(1.0) * 1e-4)
         });
-        println!("{name:<28} {qps:>10.1} {:>10}", if exact { "yes" } else { "NO!" });
+        println!(
+            "{name:<28} {qps:>10.1} {:>10}",
+            if exact { "yes" } else { "NO!" }
+        );
     }
-    let baseline = report.iter().find(|r| r.0.starts_with("N-ary scalar")).unwrap().1;
+    let baseline = report
+        .iter()
+        .find(|r| r.0.starts_with("N-ary scalar"))
+        .unwrap()
+        .1;
     println!("\nspeedups over the scalar baseline:");
     for (name, qps, _) in &report {
         println!("  {name:<28} {:>6.2}x", qps / baseline);

@@ -18,7 +18,10 @@ fn main() {
     let n = 80_000;
     let n_queries = 200;
     let k = 10;
-    println!("generating {}-dim '{}'-shaped collection (n = {n})…", spec.dims, spec.name);
+    println!(
+        "generating {}-dim '{}'-shaped collection (n = {n})…",
+        spec.dims, spec.name
+    );
     let ds = generate(&spec, n, n_queries, 7);
     let d = ds.dims();
 
@@ -58,7 +61,10 @@ fn main() {
         let ads_qps = n_queries as f64 / t0.elapsed().as_secs_f64();
         let ads_recall = mean_recall(
             &gt,
-            &results.iter().map(|r| r.iter().map(|x| x.id).collect()).collect::<Vec<_>>(),
+            &results
+                .iter()
+                .map(|r| r.iter().map(|x| x.id).collect())
+                .collect::<Vec<_>>(),
             k,
         );
 
@@ -66,12 +72,21 @@ fn main() {
         let t1 = Instant::now();
         let mut results = Vec::with_capacity(n_queries);
         for qi in 0..n_queries {
-            results.push(ivf_raw.linear_search(ds.query(qi), k, nprobe, Metric::L2, KernelVariant::Simd));
+            results.push(ivf_raw.linear_search(
+                ds.query(qi),
+                k,
+                nprobe,
+                Metric::L2,
+                KernelVariant::Simd,
+            ));
         }
         let flat_qps = n_queries as f64 / t1.elapsed().as_secs_f64();
         let flat_recall = mean_recall(
             &gt,
-            &results.iter().map(|r| r.iter().map(|x| x.id).collect()).collect::<Vec<_>>(),
+            &results
+                .iter()
+                .map(|r| r.iter().map(|x| x.id).collect())
+                .collect::<Vec<_>>(),
             k,
         );
 

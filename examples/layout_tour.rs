@@ -22,7 +22,12 @@ fn time_scans(label: &str, mut scan: impl FnMut(), reps: usize) {
 fn main() {
     let (n, d) = (131_072, 96);
     println!("collection: {n} vectors × {d} dims (float32)\n");
-    let spec = DatasetSpec { name: "tour", dims: d, distribution: Distribution::Normal, paper_size: 0 };
+    let spec = DatasetSpec {
+        name: "tour",
+        dims: d,
+        distribution: Distribution::Normal,
+        paper_size: 0,
+    };
     let ds = generate(&spec, n, 1, 5);
     let q = ds.query(0);
 
@@ -33,36 +38,74 @@ fn main() {
     let dsm = DsmMatrix::from_rows(&ds.data, n, d);
     let dual = DualBlockMatrix::from_rows(&ds.data, n, d, 32);
 
-    println!("  PDX:        {} groups of ≤{} vectors, dimension-major inside groups",
-        pdx_block.group_count(), pdx_block.group_size());
-    println!("  N-ary:      {} rows of {} contiguous floats", nary.len(), nary.dims());
-    println!("  DSM:        {} full columns of {} floats", dsm.dims(), dsm.len());
-    println!("  Dual-block: head {} dims + tail {} dims per vector\n", dual.split(), d - dual.split());
+    println!(
+        "  PDX:        {} groups of ≤{} vectors, dimension-major inside groups",
+        pdx_block.group_count(),
+        pdx_block.group_size()
+    );
+    println!(
+        "  N-ary:      {} rows of {} contiguous floats",
+        nary.len(),
+        nary.dims()
+    );
+    println!(
+        "  DSM:        {} full columns of {} floats",
+        dsm.dims(),
+        dsm.len()
+    );
+    println!(
+        "  Dual-block: head {} dims + tail {} dims per vector\n",
+        dual.split(),
+        d - dual.split()
+    );
 
     // A value lives at the same logical place in all of them.
     let (v, dim) = (12_345usize, 40usize);
     assert_eq!(pdx_block.value(v, dim), nary.row(v)[dim]);
     assert_eq!(pdx_block.value(v, dim), dsm.value(v, dim));
     assert_eq!(pdx_block.value(v, dim), dual.vector(v)[dim]);
-    println!("value (vector {v}, dim {dim}) identical across layouts: {}\n", pdx_block.value(v, dim));
+    println!(
+        "value (vector {v}, dim {dim}) identical across layouts: {}\n",
+        pdx_block.value(v, dim)
+    );
 
     // --- Full-scan kernels on each layout ---------------------------------
     println!("full-collection L2 distance calculation (single thread):");
     let mut out = vec![0.0f32; n];
     let reps = 20;
-    time_scans("PDX (auto-vectorized)", || pdx_scan(Metric::L2, &pdx_block, q, &mut out), reps);
-    time_scans("N-ary explicit SIMD", || {
-        for (i, row) in nary.rows().enumerate() {
-            out[i] = nary_distance(Metric::L2, KernelVariant::Simd, q, row);
-        }
-    }, reps);
-    time_scans("N-ary scalar", || {
-        for (i, row) in nary.rows().enumerate() {
-            out[i] = nary_distance(Metric::L2, KernelVariant::Scalar, q, row);
-        }
-    }, reps);
-    time_scans("DSM column-at-a-time", || dsm_scan(Metric::L2, &dsm, q, &mut out), reps);
-    time_scans("N-ary + on-the-fly gather", || gather_scan(Metric::L2, &nary, q, &mut out), reps);
+    time_scans(
+        "PDX (auto-vectorized)",
+        || pdx_scan(Metric::L2, &pdx_block, q, &mut out),
+        reps,
+    );
+    time_scans(
+        "N-ary explicit SIMD",
+        || {
+            for (i, row) in nary.rows().enumerate() {
+                out[i] = nary_distance(Metric::L2, KernelVariant::Simd, q, row);
+            }
+        },
+        reps,
+    );
+    time_scans(
+        "N-ary scalar",
+        || {
+            for (i, row) in nary.rows().enumerate() {
+                out[i] = nary_distance(Metric::L2, KernelVariant::Scalar, q, row);
+            }
+        },
+        reps,
+    );
+    time_scans(
+        "DSM column-at-a-time",
+        || dsm_scan(Metric::L2, &dsm, q, &mut out),
+        reps,
+    );
+    time_scans(
+        "N-ary + on-the-fly gather",
+        || gather_scan(Metric::L2, &nary, q, &mut out),
+        reps,
+    );
 
     println!("\nExpected ordering (paper, Figures 3/12): PDX fastest, then N-ary SIMD,");
     println!("then DSM / scalar, with the gather kernel slowest — storing the data in");

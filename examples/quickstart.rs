@@ -14,13 +14,20 @@ use std::time::Instant;
 fn main() {
     // 1. A collection: 50 000 vectors of 128 dims (SIFT-shaped).
     let spec = *spec_by_name("sift").expect("spec exists");
-    println!("generating {}-dim '{}'-shaped collection…", spec.dims, spec.name);
+    println!(
+        "generating {}-dim '{}'-shaped collection…",
+        spec.dims, spec.name
+    );
     let ds = generate(&spec, 50_000, 100, 42);
 
     // 2. Store it in the PDX layout: flat partitions of ≤10 240 vectors,
     //    vector groups of 64 (the paper's defaults for exact search).
     let flat = FlatPdx::with_defaults(&ds.data, ds.len, ds.dims());
-    println!("stored {} vectors in {} PDX blocks", ds.len, flat.collection.blocks.len());
+    println!(
+        "stored {} vectors in {} PDX blocks",
+        ds.len,
+        flat.collection.blocks.len()
+    );
 
     // 3. An exact pruned searcher: PDX-BOND with the distance-to-means
     //    dimension order. Works on the raw floats as-is.
@@ -54,8 +61,20 @@ fn main() {
     for n in &bond_results[0] {
         println!("  id {:>6}  L2² = {:.3}", n.id, n.distance);
     }
-    println!("\nexactness: {agree}/{} queries identical to the linear scan", ds.n_queries);
-    println!("PDX-BOND:        {:>8.1} QPS", ds.n_queries as f64 / bond_time.as_secs_f64());
-    println!("PDX linear scan: {:>8.1} QPS", ds.n_queries as f64 / scan_time.as_secs_f64());
-    println!("speedup from pruning: {:.2}x", scan_time.as_secs_f64() / bond_time.as_secs_f64());
+    println!(
+        "\nexactness: {agree}/{} queries identical to the linear scan",
+        ds.n_queries
+    );
+    println!(
+        "PDX-BOND:        {:>8.1} QPS",
+        ds.n_queries as f64 / bond_time.as_secs_f64()
+    );
+    println!(
+        "PDX linear scan: {:>8.1} QPS",
+        ds.n_queries as f64 / scan_time.as_secs_f64()
+    );
+    println!(
+        "speedup from pruning: {:.2}x",
+        scan_time.as_secs_f64() / bond_time.as_secs_f64()
+    );
 }

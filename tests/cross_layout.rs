@@ -17,10 +17,17 @@ fn every_kernel_agrees_on_distances() {
     let d = ds.dims();
     let q = ds.query(0);
     for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
-        let reference: Vec<f32> =
-            ds.data.chunks_exact(d).map(|row| distance_scalar(metric, q, row)).collect();
+        let reference: Vec<f32> = ds
+            .data
+            .chunks_exact(d)
+            .map(|row| distance_scalar(metric, q, row))
+            .collect();
         // Horizontal kernels.
-        for variant in [KernelVariant::Scalar, KernelVariant::Unrolled, KernelVariant::Simd] {
+        for variant in [
+            KernelVariant::Scalar,
+            KernelVariant::Unrolled,
+            KernelVariant::Simd,
+        ] {
             for (i, row) in ds.data.chunks_exact(d).enumerate() {
                 let got = nary_distance(metric, variant, q, row);
                 let want = reference[i];
@@ -35,19 +42,28 @@ fn every_kernel_agrees_on_distances() {
         let mut out = vec![0.0f32; ds.len];
         pdx_scan(metric, &block, q, &mut out);
         for (i, (&got, &want)) in out.iter().zip(&reference).enumerate() {
-            assert!((got - want).abs() <= want.abs().max(1.0) * 1e-3, "pdx vector {i}");
+            assert!(
+                (got - want).abs() <= want.abs().max(1.0) * 1e-3,
+                "pdx vector {i}"
+            );
         }
         // DSM scan.
         let dsm = DsmMatrix::from_rows(&ds.data, ds.len, d);
         dsm_scan(metric, &dsm, q, &mut out);
         for (i, (&got, &want)) in out.iter().zip(&reference).enumerate() {
-            assert!((got - want).abs() <= want.abs().max(1.0) * 1e-3, "dsm vector {i}");
+            assert!(
+                (got - want).abs() <= want.abs().max(1.0) * 1e-3,
+                "dsm vector {i}"
+            );
         }
         // Gather scan.
         let nary = NaryMatrix::from_rows(&ds.data, ds.len, d);
         gather_scan(metric, &nary, q, &mut out);
         for (i, (&got, &want)) in out.iter().zip(&reference).enumerate() {
-            assert!((got - want).abs() <= want.abs().max(1.0) * 1e-3, "gather vector {i}");
+            assert!(
+                (got - want).abs() <= want.abs().max(1.0) * 1e-3,
+                "gather vector {i}"
+            );
         }
     }
 }
@@ -140,7 +156,9 @@ fn fvecs_disk_round_trip() {
 fn kernels_survive_adversarial_values() {
     let d = 19;
     // Largest magnitude chosen so squared differences stay finite in f32.
-    let specials = [0.0f32, -0.0, 1.0e-38, -1.0e-38, 3.0e15, -3.0e15, 1.0, -1.0, 0.5];
+    let specials = [
+        0.0f32, -0.0, 1.0e-38, -1.0e-38, 3.0e15, -3.0e15, 1.0, -1.0, 0.5,
+    ];
     let n = specials.len() * 3;
     let data: Vec<f32> = (0..n * d).map(|i| specials[i % specials.len()]).collect();
     let q: Vec<f32> = (0..d).map(|i| specials[(i * 7) % specials.len()]).collect();
@@ -162,7 +180,12 @@ fn kernels_survive_adversarial_values() {
 #[test]
 #[should_panic(expected = "aux")]
 fn missing_bsa_aux_panics() {
-    let spec = DatasetSpec { name: "t", dims: 12, distribution: Distribution::Normal, paper_size: 0 };
+    let spec = DatasetSpec {
+        name: "t",
+        dims: 12,
+        distribution: Distribution::Normal,
+        paper_size: 0,
+    };
     let ds = generate(&spec, 400, 1, 3);
     let bsa = Bsa::fit(&ds.data, ds.len, 12, 300);
     let rotated = bsa.transform_collection(&ds.data, ds.len, 2);

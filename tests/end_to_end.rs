@@ -32,7 +32,10 @@ fn flat_bond_matches_ground_truth_exactly() {
             total += recall_at_k(&gt[qi], &ids, k);
         }
         let recall = total / ds.n_queries as f64;
-        assert!(recall > 0.999, "{order:?}: exact method must have recall 1.0, got {recall}");
+        assert!(
+            recall > 0.999,
+            "{order:?}: exact method must have recall 1.0, got {recall}"
+        );
     }
 }
 
@@ -65,7 +68,10 @@ fn ivf_adsampling_recall_behaviour() {
         recalls[2] >= recalls[0] - 0.05,
         "recall should grow (roughly) with nprobe: {recalls:?}"
     );
-    assert!(recalls[2] > 0.95, "full-ish probe with ADSampling must be near-exact: {recalls:?}");
+    assert!(
+        recalls[2] > 0.95,
+        "full-ish probe with ADSampling must be near-exact: {recalls:?}"
+    );
 }
 
 /// BSA with ρ = 1 (exact Cauchy–Schwarz bound) is lossless through the
@@ -123,7 +129,10 @@ fn ivf_bsa_default_quantile_recall() {
         total += recall_at_k(&gt[qi], &ids, k);
     }
     let recall = total / ds.n_queries as f64;
-    assert!(recall > 0.9, "default-quantile BSA recall too low: {recall}");
+    assert!(
+        recall > 0.9,
+        "default-quantile BSA recall too low: {recall}"
+    );
 }
 
 /// The horizontal (SIMD-ADS style) and PDX deployments of ADSampling
@@ -152,7 +161,10 @@ fn horizontal_and_pdx_adsampling_agree() {
         let ids_a: Vec<u64> = a.iter().map(|r| r.id).collect();
         let ids_b: Vec<u64> = b.iter().map(|r| r.id).collect();
         let overlap = recall_at_k(&ids_a, &ids_b, k);
-        assert!(overlap >= 0.8, "query {qi}: deployments disagree too much ({overlap})");
+        assert!(
+            overlap >= 0.8,
+            "query {qi}: deployments disagree too much ({overlap})"
+        );
     }
 }
 
@@ -197,7 +209,12 @@ fn bsa_learned_end_to_end() {
     }
     let mut total = 0.0;
     for qi in 0..ds.n_queries {
-        let res = ivf.search(&learned, ds.query(qi), ivf.blocks.len(), &SearchParams::new(k));
+        let res = ivf.search(
+            &learned,
+            ds.query(qi),
+            ivf.blocks.len(),
+            &SearchParams::new(k),
+        );
         let ids: Vec<u64> = res.iter().map(|r| r.id).collect();
         total += recall_at_k(&gt[qi], &ids, k);
     }

@@ -13,12 +13,7 @@ fn dataset(name: &str, n: usize, nq: usize, seed: u64) -> Dataset {
 /// Measures the fraction of dimension values *avoided* by a pruner on an
 /// IVF search (the paper's "pruning power", §2.3) by replaying the
 /// pruning decisions at every checkpoint.
-fn measure_pruned_fraction<P: Pruner>(
-    pruner: &P,
-    ivf: &IvfPdx,
-    query: &[f32],
-    k: usize,
-) -> f64 {
+fn measure_pruned_fraction<P: Pruner>(pruner: &P, ivf: &IvfPdx, query: &[f32], k: usize) -> f64 {
     // Run the real search to get the final threshold trajectory — here we
     // approximate the paper's measurement by counting scanned values via
     // a shadow search with per-checkpoint accounting.
@@ -61,7 +56,10 @@ fn measure_pruned_fraction<P: Pruner>(
                 break;
             }
             let cp = pruner.checkpoint(&q, ck, dims, heap.threshold());
-            let aux = block.aux.as_ref().and_then(|a| a.index_of(ck).map(|ci| a.row(ci)));
+            let aux = block
+                .aux
+                .as_ref()
+                .and_then(|a| a.index_of(ck).map(|ci| a.row(ci)));
             alive.retain(|&v| P::survives(&cp, partials[v], aux.map_or(0.0, |r| r[v])));
         }
         for &v in &alive {
@@ -88,7 +86,10 @@ fn adsampling_prunes_most_values_on_skewed_data() {
         pruned.push(measure_pruned_fraction(&ads, &ivf, ds.query(qi), k));
     }
     let avg = pruned.iter().sum::<f64>() / pruned.len() as f64;
-    assert!(avg > 0.5, "expected >50% of values pruned on skewed 420-dim data, got {avg:.3}");
+    assert!(
+        avg > 0.5,
+        "expected >50% of values pruned on skewed 420-dim data, got {avg:.3}"
+    );
 }
 
 /// BOND-style pruning (partial distances) prunes on skewed data too, and
@@ -111,7 +112,10 @@ fn bond_order_improves_pruning_power() {
         pruned.push(measure_pruned_fraction(&bond, &ivf, ds.query(qi), k));
     }
     let avg = pruned.iter().sum::<f64>() / pruned.len() as f64;
-    assert!(avg > 0.2, "BOND should prune a meaningful fraction, got {avg:.3}");
+    assert!(
+        avg > 0.2,
+        "BOND should prune a meaningful fraction, got {avg:.3}"
+    );
 }
 
 /// Larger ε₀ (more conservative test) must never prune more than a
@@ -155,7 +159,10 @@ fn adsampling_default_epsilon_keeps_recall() {
         total += recall_at_k(&gt[qi], &ids, k);
     }
     let recall = total / ds.n_queries as f64;
-    assert!(recall > 0.95, "ADSampling ε₀=2.1 recall dropped to {recall}");
+    assert!(
+        recall > 0.95,
+        "ADSampling ε₀=2.1 recall dropped to {recall}"
+    );
 }
 
 /// The framework preserves correctness for *any* selection fraction and
@@ -167,12 +174,23 @@ fn framework_knobs_do_not_change_exact_results() {
     let k = 8;
     let flat = FlatPdx::new(&ds.data, ds.len, d, 400, 64);
     let reference: Vec<Vec<u64>> = (0..ds.n_queries)
-        .map(|qi| flat.linear_search(ds.query(qi), k, Metric::L2).iter().map(|r| r.id).collect())
+        .map(|qi| {
+            flat.linear_search(ds.query(qi), k, Metric::L2)
+                .iter()
+                .map(|r| r.id)
+                .collect()
+        })
         .collect();
     for frac in [0.05f32, 0.2, 0.6] {
-        for step in [StepPolicy::Adaptive { start: 2 }, StepPolicy::Adaptive { start: 4 }, StepPolicy::Fixed { step: 5 }] {
+        for step in [
+            StepPolicy::Adaptive { start: 2 },
+            StepPolicy::Adaptive { start: 4 },
+            StepPolicy::Fixed { step: 5 },
+        ] {
             let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
-            let params = SearchParams::new(k).with_selection_fraction(frac).with_step(step);
+            let params = SearchParams::new(k)
+                .with_selection_fraction(frac)
+                .with_step(step);
             for qi in 0..ds.n_queries {
                 let res = flat.search(&bond, ds.query(qi), &params);
                 let mut ids: Vec<u64> = res.iter().map(|r| r.id).collect();
@@ -218,7 +236,10 @@ fn pca_rotated_bond_is_exact_and_prunes_earlier() {
         total += recall_at_k(&gt[qi], &ids, k);
         pruned.push(measure_pruned_fraction(&bond, &ivf, &rq, k));
     }
-    assert!(total / ds.n_queries as f64 > 0.999, "rotation must preserve exactness");
+    assert!(
+        total / ds.n_queries as f64 > 0.999,
+        "rotation must preserve exactness"
+    );
 
     // Pruning power: better than BOND on the raw (unrotated) layout.
     let ivf_raw = IvfPdx::new(&ds.data, d, &index.assignments, 64);

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `criterion` API subset used by this
+//! workspace's benches.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! small wall-clock benchmarking harness that is source-compatible with
+//! the workspace's `benches/*.rs`: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Throughput`], [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology (simplified from the real crate): each benchmark is warmed
+//! up for `warm_up_time`, an iteration count is calibrated so one sample
+//! spans `measurement_time / sample_size`, then `sample_size` samples are
+//! timed and the median, minimum and mean per-iteration times reported.
+//! There are no plots, no statistical regression and no saved baselines —
+//! output goes to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use bencher::Bencher;
+
+/// Harness entry point and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up duration preceding the timed samples.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let config = self.clone();
+        run_benchmark(&config, &id.to_string(), None, f);
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id, for groups whose name already says it all.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Work-per-iteration declaration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let config = self.criterion.clone();
+        run_benchmark(&config, &label, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f(bencher, input)` under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (No cross-benchmark reporting in this stand-in.)
+    pub fn finish(self) {}
+}
+
+mod bencher {
+    use std::time::{Duration, Instant};
+
+    /// Passed to benchmark closures; [`iter`](Bencher::iter) times the
+    /// routine for the harness-chosen number of iterations.
+    pub struct Bencher {
+        pub(crate) iters: u64,
+        pub(crate) elapsed: Duration,
+    }
+
+    impl Bencher {
+        /// Times `iters` calls of `routine`.
+        pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                std::hint::black_box(routine());
+            }
+            self.elapsed = start.elapsed();
+        }
+    }
+}
+
+/// Runs one sample of `iters` iterations and returns its duration.
+fn sample<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    config: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm up and calibrate: grow the iteration count until one batch
+    // costs a measurable slice of the warm-up budget.
+    let mut iters = 1u64;
+    let warm_up_start = Instant::now();
+    let mut per_iter = loop {
+        let elapsed = sample(&mut f, iters);
+        if warm_up_start.elapsed() >= config.warm_up_time {
+            break elapsed.as_secs_f64() / iters as f64;
+        }
+        if elapsed < Duration::from_millis(1) {
+            iters = iters.saturating_mul(2);
+        }
+    };
+    if per_iter <= 0.0 {
+        per_iter = 1e-9;
+    }
+
+    // Size samples so the measurement phase fits the configured budget.
+    let per_sample = config.measurement_time.as_secs_f64() / config.sample_size as f64;
+    let iters = ((per_sample / per_iter) as u64).max(1);
+
+    let mut times: Vec<f64> = (0..config.sample_size)
+        .map(|_| sample(&mut f, iters).as_secs_f64() / iters as f64)
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+
+    let best = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  thrpt: {}/s", si(n as f64 / median)),
+        Some(Throughput::Bytes(n)) => format!("  thrpt: {}B/s", si(n as f64 / median)),
+        None => String::new(),
+    };
+    println!(
+        "{label:<40} time: [best {}  med {}  mean {}]{rate}",
+        fmt_time(best),
+        fmt_time(median),
+        fmt_time(mean),
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, …)`
+/// or the long form with an explicit `config = …` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(64));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran, "benchmark closure never executed");
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("pdx", 128).to_string(), "pdx/128");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

@@ -1,0 +1,318 @@
+//! Offline stand-in for the `proptest` API subset used by this workspace.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! small but real property-testing harness that is source-compatible with
+//! the `proptest!` blocks in the workspace's test suites:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, implemented
+//!   for numeric ranges, tuples and strategy unions (`a | b`);
+//! * [`collection::vec`] for fixed- and ranged-length vectors;
+//! * [`num::f32::NORMAL`] / [`num::f32::ZERO`];
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assume!`] macros.
+//!
+//! `prop_assume!` follows the real crate's semantics: a rejected input is
+//! resampled (it never counts toward `config.cases`), and a property that
+//! rejects more than [`test_runner::MAX_REJECTS`] inputs panics.
+//!
+//! Unlike the real crate there is no shrinking: a failing case reports its
+//! case number and the deterministic attempt seed, which is enough to
+//! reproduce it (generation is a pure function of test name + attempt).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Lengths accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// A strategy producing `Vec`s of values drawn from `element`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over numeric domains.
+pub mod num {
+    /// `f32`-specific strategies.
+    pub mod f32 {
+        use crate::strategy::{Strategy, Union};
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+        use std::ops::BitOr;
+
+        /// All *normal* `f32` values (finite, non-zero, non-subnormal),
+        /// built directly from sign, exponent in `1..=254` and mantissa.
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalF32;
+
+        /// Positive and negative zero.
+        #[derive(Debug, Clone, Copy)]
+        pub struct ZeroF32;
+
+        pub const NORMAL: NormalF32 = NormalF32;
+        pub const ZERO: ZeroF32 = ZeroF32;
+
+        impl Strategy for NormalF32 {
+            type Value = f32;
+
+            fn generate(&self, rng: &mut TestRng) -> f32 {
+                let sign = (rng.next_u64() & 1) << 31;
+                let exponent = rng.random_range(1u64..=254) << 23;
+                let mantissa = rng.next_u64() & 0x7F_FFFF;
+                f32::from_bits((sign | exponent | mantissa) as u32)
+            }
+        }
+
+        impl Strategy for ZeroF32 {
+            type Value = f32;
+
+            fn generate(&self, rng: &mut TestRng) -> f32 {
+                if rng.next_u64() & 1 == 0 {
+                    0.0
+                } else {
+                    -0.0
+                }
+            }
+        }
+
+        impl<B: Strategy<Value = f32>> BitOr<B> for NormalF32 {
+            type Output = Union<NormalF32, B>;
+
+            fn bitor(self, rhs: B) -> Self::Output {
+                Union::new(self, rhs)
+            }
+        }
+
+        impl<B: Strategy<Value = f32>> BitOr<B> for ZeroF32 {
+            type Output = Union<ZeroF32, B>;
+
+            fn bitor(self, rhs: B) -> Self::Output {
+                Union::new(self, rhs)
+            }
+        }
+    }
+}
+
+/// Fails the current property case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion `left == right` failed\n  left: {:?}\n right: {:?}",
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current input when its precondition does not hold; the
+/// runner resamples a fresh input for the same case (like the real
+/// proptest), so rejected inputs never count toward `config.cases`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rejects: u32 = 0;
+                for __case in 0..__config.cases {
+                    loop {
+                        // Fold the rejection count into the seed so each
+                        // resample draws a fresh deterministic input.
+                        let __attempt = (__case as u64) | ((__rejects as u64) << 32);
+                        let mut __rng = $crate::test_runner::case_rng(
+                            module_path!(),
+                            stringify!($name),
+                            __attempt,
+                        );
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                        let __outcome: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        match __outcome {
+                            ::std::result::Result::Ok(()) => break,
+                            ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Reject,
+                            ) => {
+                                __rejects += 1;
+                                if __rejects > $crate::test_runner::MAX_REJECTS {
+                                    ::std::panic!(
+                                        "property `{}` rejected too many inputs ({}): \
+                                         prop_assume! precondition is too strict",
+                                        stringify!($name), __rejects
+                                    );
+                                }
+                            }
+                            ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Fail(__msg),
+                            ) => {
+                                ::std::panic!(
+                                    "property `{}` failed at case {}/{} (attempt {:#x}): {}",
+                                    stringify!($name), __case + 1, __config.cases,
+                                    __attempt, __msg
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (1usize..10, 0.0f32..1.0), c in 5u64..6) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert_eq!(c, 5);
+        }
+
+        #[test]
+        fn vec_and_maps(v in crate::collection::vec(0i32..100, 3usize), w in crate::collection::vec(0i32..100, 1..5)) {
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!((1..5).contains(&w.len()));
+            prop_assert!(v.iter().all(|x| (0..100).contains(x)));
+        }
+
+        #[test]
+        fn flat_map_links_sizes(pair in (1usize..8).prop_flat_map(|n| {
+            crate::collection::vec(0.0f32..1.0, n).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+
+        #[test]
+        fn normal_or_zero_is_never_weird(x in crate::num::f32::NORMAL | crate::num::f32::ZERO) {
+            prop_assert!(x == 0.0 || x.is_normal());
+            prop_assert!(!x.is_nan() && !x.is_infinite());
+        }
+
+        #[test]
+        fn assume_resamples_instead_of_passing(n in 0usize..10) {
+            // Every executed body sees an input satisfying the assumption;
+            // rejected draws are resampled, not silently counted as passes.
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(1))]
+
+        #[test]
+        #[should_panic(expected = "rejected too many inputs")]
+        fn impossible_assumption_panics(_n in 0usize..10) {
+            prop_assume!(false);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0.0f32..1.0, 0..50);
+        let a = s.generate(&mut crate::test_runner::case_rng("m", "t", 3));
+        let b = s.generate(&mut crate::test_runner::case_rng("m", "t", 3));
+        assert_eq!(a, b);
+        let c = s.generate(&mut crate::test_runner::case_rng("m", "t", 4));
+        assert_ne!(a, c, "distinct cases should draw distinct inputs");
+    }
+}

@@ -1,0 +1,60 @@
+//! Test-runner configuration and the deterministic per-case RNG.
+
+use rand::SeedableRng;
+
+/// The generator used for input generation.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Runner configuration: the subset of `proptest::test_runner::ProptestConfig`
+/// this workspace uses.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Matches the real proptest default.
+        Self { cases: 256 }
+    }
+}
+
+/// How one property case ended (when it did not simply pass).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed: the property is false for this input.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold: the input is invalid
+    /// and must be resampled, not counted as a passing case.
+    Reject,
+}
+
+/// Total rejected inputs tolerated per property before giving up (the
+/// assumption is then too strict to ever fill `cases` valid inputs).
+pub const MAX_REJECTS: u32 = 65_536;
+
+/// Builds the RNG for one case attempt: a pure function of test identity,
+/// case index and rejection count, so failures replay without recording
+/// any state.
+pub fn case_rng(module: &str, test: &str, attempt: u64) -> TestRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for byte in module
+        .as_bytes()
+        .iter()
+        .chain([0xffu8].iter())
+        .chain(test.as_bytes())
+        .chain(attempt.to_le_bytes().iter())
+    {
+        seed ^= *byte as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(seed)
+}
