@@ -4,10 +4,17 @@
 //! pdx-cli generate --dataset=sift --n=100000 --out=base.fvecs \
 //!                  --queries=1000 --queries-out=queries.fvecs
 //! pdx-cli build    --data=base.fvecs --out=index.pdx [--block-size=10240 --group=64]
+//!                  [--quantize=sq8]
 //! pdx-cli query    --index=index.pdx --queries=queries.fvecs --k=10 [--order=means]
+//!                  [--refine=4]
 //! pdx-cli ground-truth --data=base.fvecs --queries=queries.fvecs --k=10 --out=gt.ivecs
 //! pdx-cli evaluate --index=index.pdx --queries=queries.fvecs --gt=gt.ivecs --k=10
 //! ```
+//!
+//! `build --quantize=sq8` writes a versioned `PDX2` container holding the
+//! SQ8 scan blocks, the quantizer, and the exact rerank payload; `query`
+//! and `evaluate` sniff the container kind and transparently use the
+//! two-phase quantized search on quantized indexes.
 
 use pdx::prelude::*;
 use std::collections::HashMap;
@@ -54,6 +61,10 @@ impl Args {
             .cloned()
             .unwrap_or_else(|| default.to_string())
     }
+
+    fn has(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
 }
 
 const USAGE: &str = "\
@@ -65,12 +76,16 @@ commands:
                   [--queries=<count> --queries-out=<file> --seed=…]
   build         convert an .fvecs collection into a PDX container
                   --data=<file> --out=<file> [--block-size=10240 --group=64]
-  query         run exact PDX-BOND queries against a PDX container
+                  [--quantize=sq8]   SQ8-quantize the scan blocks (4× smaller,
+                                     two-phase search with exact rerank)
+  query         run queries against a PDX container (exact PDX-BOND on f32
+                indexes; two-phase quantized scan + rerank on SQ8 indexes)
                   --index=<file> --queries=<file> [--k=10 --order=means|zones|decreasing|seq]
+                  [--refine=4]       SQ8 candidate factor (rerank refine·k)
   ground-truth  exact k-NN ids for a query set, saved as .ivecs
                   --data=<file> --queries=<file> --out=<file> [--k=10]
-  evaluate      recall of PDX-BOND results against stored ground truth
-                  --index=<file> --queries=<file> --gt=<file> [--k=10]
+  evaluate      recall against stored ground truth (any container kind)
+                  --index=<file> --queries=<file> --gt=<file> [--k=10 --refine=4]
   datasets      list the built-in Table 1 dataset shapes
 ";
 
@@ -144,16 +159,48 @@ fn cmd_build(args: &Args) -> Result<(), String> {
     let block_size = args.usize("block-size", DEFAULT_EXACT_BLOCK);
     let group = args.usize("group", DEFAULT_GROUP_SIZE);
     let out = args.path("out")?;
-    let coll =
-        PdxCollection::from_rows_partitioned(&data.data, data.len, data.dims, block_size, group);
-    pdx::datasets::persist::write_pdx_path(&out, &coll).map_err(|e| e.to_string())?;
-    eprintln!(
-        "wrote {} ({} vectors × {} dims in {} blocks)",
-        out.display(),
-        data.len,
-        data.dims,
-        coll.blocks.len()
-    );
+    match args.str_or("quantize", "none").as_str() {
+        "none" => {
+            let coll = PdxCollection::from_rows_partitioned(
+                &data.data, data.len, data.dims, block_size, group,
+            );
+            pdx::datasets::persist::write_pdx_path(&out, &coll).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote {} ({} vectors × {} dims in {} blocks)",
+                out.display(),
+                data.len,
+                data.dims,
+                coll.blocks.len()
+            );
+        }
+        "sq8" => {
+            let flat = FlatSq8::build(&data.data, data.len, data.dims, block_size, group);
+            pdx::datasets::persist::write_sq8_path(
+                &out,
+                &flat.quantizer,
+                &flat.blocks,
+                Some(&flat.rows),
+            )
+            .map_err(|e| e.to_string())?;
+            let f32_bytes = data.len * data.dims * std::mem::size_of::<f32>();
+            eprintln!(
+                "wrote {} ({} vectors × {} dims in {} SQ8 blocks; scan-resident \
+                 {} bytes vs {} for f32, {:.1}× smaller)",
+                out.display(),
+                data.len,
+                data.dims,
+                flat.blocks.len(),
+                flat.resident_block_bytes(),
+                f32_bytes,
+                f32_bytes as f64 / flat.resident_block_bytes().max(1) as f64,
+            );
+        }
+        other => {
+            return Err(format!(
+                "unknown quantization '{other}' (try --quantize=sq8)"
+            ))
+        }
+    }
     Ok(())
 }
 
@@ -167,25 +214,136 @@ fn parse_order(name: &str) -> Result<VisitOrder, String> {
     })
 }
 
+/// Loads an SQ8 container into a searchable flat deployment, reporting
+/// whether an exact-rerank payload is present.
+fn sq8_deployment(c: pdx::datasets::persist::Sq8Container) -> (FlatSq8, bool) {
+    let has_rows = !c.rows.is_empty();
+    if !has_rows {
+        eprintln!("note: scan-only SQ8 container (no rerank payload); results are estimates");
+    }
+    (
+        FlatSq8::from_parts(c.dims, c.quantizer, c.blocks, c.rows),
+        has_rows,
+    )
+}
+
+/// Boxed per-query search closure borrowed from a loaded [`Deployment`].
+type QueryRunner<'a> = Box<dyn Fn(&[f32]) -> Vec<Neighbor> + 'a>;
+
+/// Runs one query against either container kind, returning `k` results.
+enum Deployment {
+    F32 {
+        coll: PdxCollection,
+        bond: PdxBond,
+        params: SearchParams,
+    },
+    Sq8 {
+        flat: FlatSq8,
+        refine: usize,
+        rerank: bool,
+    },
+}
+
+impl Deployment {
+    fn load(args: &Args, k: usize) -> Result<Self, String> {
+        let container = pdx::datasets::persist::read_container_path(&args.path("index")?)
+            .map_err(|e| e.to_string())?;
+        Ok(match container {
+            pdx::datasets::persist::Container::F32(coll) => {
+                if args.has("refine") {
+                    eprintln!("note: --refine only applies to SQ8 indexes; ignored");
+                }
+                let order = parse_order(&args.str_or("order", "means"))?;
+                Deployment::F32 {
+                    coll,
+                    bond: PdxBond::new(Metric::L2, order),
+                    params: SearchParams::new(k),
+                }
+            }
+            pdx::datasets::persist::Container::Sq8(c) => {
+                if args.has("order") {
+                    eprintln!("note: --order only applies to f32 indexes; ignored");
+                }
+                let (flat, rerank) = sq8_deployment(c);
+                Deployment::Sq8 {
+                    flat,
+                    refine: args.usize("refine", DEFAULT_REFINE),
+                    rerank,
+                }
+            }
+        })
+    }
+
+    fn dims(&self) -> usize {
+        match self {
+            Deployment::F32 { coll, .. } => coll.dims,
+            Deployment::Sq8 { flat, .. } => flat.dims,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Deployment::F32 { .. } => "f32 PDX-BOND",
+            Deployment::Sq8 { .. } => "SQ8 two-phase",
+        }
+    }
+
+    /// One-query closure with the per-deployment setup (block-reference
+    /// gathering) hoisted out of the query loop.
+    fn runner(&self, k: usize) -> QueryRunner<'_> {
+        match self {
+            Deployment::F32 { coll, bond, params } => {
+                let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+                Box::new(move |q| pdx::core::search::pdxearch(bond, &blocks, q, params))
+            }
+            Deployment::Sq8 {
+                flat,
+                refine,
+                rerank,
+            } => {
+                let blocks: Vec<&Sq8Block> = flat.blocks.iter().collect();
+                if *rerank {
+                    let refine = *refine;
+                    Box::new(move |q| {
+                        sq8_two_phase(
+                            &flat.quantizer,
+                            &blocks,
+                            &flat.rows,
+                            flat.dims,
+                            Metric::L2,
+                            q,
+                            k,
+                            refine,
+                            StepPolicy::default(),
+                        )
+                    })
+                } else {
+                    Box::new(move |q| {
+                        let prepared = flat.quantizer.prepare_query(Metric::L2, q);
+                        sq8_search(&prepared, &blocks, k, StepPolicy::default())
+                    })
+                }
+            }
+        }
+    }
+}
+
 fn cmd_query(args: &Args) -> Result<(), String> {
-    let coll =
-        pdx::datasets::persist::read_pdx_path(&args.path("index")?).map_err(|e| e.to_string())?;
+    let k = args.usize("k", 10);
+    let deployment = Deployment::load(args, k)?;
     let queries = read_fvecs(&args.path("queries")?)?;
-    if queries.dims != coll.dims {
+    let dims = deployment.dims();
+    if queries.dims != dims {
         return Err(format!(
             "query dims {} != index dims {}",
-            queries.dims, coll.dims
+            queries.dims, dims
         ));
     }
-    let k = args.usize("k", 10);
-    let order = parse_order(&args.str_or("order", "means"))?;
-    let bond = PdxBond::new(Metric::L2, order);
-    let params = SearchParams::new(k);
-    let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+    let run = deployment.runner(k);
     let t0 = Instant::now();
     for qi in 0..queries.len {
-        let q = &queries.data[qi * coll.dims..(qi + 1) * coll.dims];
-        let res = pdx::core::search::pdxearch(&bond, &blocks, q, &params);
+        let q = &queries.data[qi * dims..(qi + 1) * dims];
+        let res = run(q);
         let ids: Vec<String> = res
             .iter()
             .map(|r| format!("{}:{:.3}", r.id, r.distance))
@@ -194,8 +352,9 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     }
     let secs = t0.elapsed().as_secs_f64();
     eprintln!(
-        "{} queries in {secs:.3}s ({:.1} QPS)",
+        "{} queries ({}) in {secs:.3}s ({:.1} QPS)",
         queries.len,
+        deployment.kind(),
         queries.len as f64 / secs
     );
     Ok(())
@@ -226,21 +385,25 @@ fn cmd_ground_truth(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    let coll =
-        pdx::datasets::persist::read_pdx_path(&args.path("index")?).map_err(|e| e.to_string())?;
-    let queries = read_fvecs(&args.path("queries")?)?;
     let gt_file = std::fs::File::open(args.path("gt")?).map_err(|e| e.to_string())?;
     let gt = pdx::datasets::io::read_ivecs(std::io::BufReader::new(gt_file))
         .map_err(|e| e.to_string())?;
     let k = args.usize("k", 10).min(gt.dims);
-    let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
-    let params = SearchParams::new(k);
-    let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
+    let deployment = Deployment::load(args, k)?;
+    let queries = read_fvecs(&args.path("queries")?)?;
+    let dims = deployment.dims();
+    if queries.dims != dims {
+        return Err(format!(
+            "query dims {} != index dims {}",
+            queries.dims, dims
+        ));
+    }
+    let run = deployment.runner(k);
     let mut total = 0.0;
     let t0 = Instant::now();
     for qi in 0..queries.len {
-        let q = &queries.data[qi * coll.dims..(qi + 1) * coll.dims];
-        let res = pdx::core::search::pdxearch(&bond, &blocks, q, &params);
+        let q = &queries.data[qi * dims..(qi + 1) * dims];
+        let res = run(q);
         let ids: Vec<u64> = res.iter().map(|r| r.id).collect();
         let truth: Vec<u64> = gt.data[qi * gt.dims..qi * gt.dims + k]
             .iter()
@@ -250,9 +413,10 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     }
     let secs = t0.elapsed().as_secs_f64();
     println!(
-        "recall@{k} = {:.4} over {} queries ({:.1} QPS)",
+        "recall@{k} = {:.4} over {} queries ({}, {:.1} QPS)",
         total / queries.len.max(1) as f64,
         queries.len,
+        deployment.kind(),
         queries.len as f64 / secs
     );
     Ok(())

@@ -12,11 +12,15 @@
 //! * [`gather`] — on-the-fly transposition of the horizontal layout into
 //!   a PDX tile followed by the PDX kernel (Figure 3 rightmost /
 //!   Figure 12): shows why PDX must be the *stored* layout.
+//! * [`sq8`] — the quantized mirror of the PDX kernels on SQ8 `u8`
+//!   blocks: per-dimension codec parameters hoist out of the lane loop,
+//!   plus pure-integer `u32`/`i32` code-space kernels.
 
 pub mod dsm;
 pub mod gather;
 pub mod nary;
 pub mod pdx;
+pub mod sq8;
 
 pub use dsm::dsm_scan;
 pub use gather::{gather_scan, gather_scan_split_timing};
@@ -24,4 +28,8 @@ pub use nary::{nary_distance, simd_available, KernelVariant};
 pub use pdx::{
     pdx_accumulate, pdx_accumulate_permuted, pdx_accumulate_positions,
     pdx_accumulate_positions_permuted, pdx_scan,
+};
+pub use sq8::{
+    sq8_accumulate, sq8_accumulate_positions, sq8_code_ip, sq8_code_l2, sq8_distance_scalar,
+    sq8_scan,
 };

@@ -1,0 +1,643 @@
+//! SQ8 distance kernels: Algorithm 1 on `u8`-quantized PDX groups.
+//!
+//! The shape is identical to the `f32` kernels in
+//! [`pdx`](crate::kernels::pdx): dimension-by-dimension over
+//! multiple-vectors-at-a-time, per-lane independent accumulators, no
+//! reduction step, monomorphized over the group width. Quantization makes
+//! the inner loop *better*, not messier, because the layout is
+//! dimension-major: the per-dimension codec parameters (query code `qc_d`
+//! and fold weight `w_d`) are loop-invariant scalars hoisted above the
+//! lane loop, while the data loads shrink to one byte per value — 4× more
+//! vectors per cache line than `f32`.
+//!
+//! ## Two kernel families
+//!
+//! * **Weighted kernels** ([`sq8_accumulate`], [`sq8_scan`], …) — the
+//!   production search path. They compute the exact distance between the
+//!   query and the *dequantized* vectors: for L2,
+//!   `Σ_d scale_d² · (qc_d − c_d)²` with `qc_d = (q_d − min_d)/scale_d`.
+//!   The per-dimension weight keeps per-dimension scales honest, and the
+//!   partial sums stay monotone for L2/L1 — which is what lets the
+//!   quantized PDXearch scan in
+//!   [`search::quantized`](crate::search::quantized) prune dimensions.
+//!   The `u8` code is widened and folded in `f32`; a pure-integer
+//!   accumulator is impossible here because each dimension carries its
+//!   own weight.
+//! * **Code-space kernels** ([`sq8_code_l2`], [`sq8_code_ip`]) — the
+//!   classic integer-SQ8 kernels, mirroring the [`Accum`]-trait design
+//!   with `u32`/`i32` per-lane accumulators over `u8` codes (both the
+//!   query and the data quantized). Under a *uniform* scale
+//!   ([`Sq8Quantizer::fit_uniform`](crate::layout::Sq8Quantizer::fit_uniform))
+//!   the L2 reconstruction is exact: `dist = scale² · Σ (qc_d − c_d)²`
+//!   (the per-dimension mins cancel inside the difference). With
+//!   per-dimension scales they rank in code space only — usable as a
+//!   candidate generator, but the weighted kernels are both accurate and,
+//!   in practice, just as fast.
+//!
+//! [`Accum`]: crate::kernels::pdx
+
+use crate::distance::Metric;
+use crate::layout::{QuantizedPdxBlock, QuantizedPdxGroup, Sq8Quantizer, Sq8Query};
+use std::ops::Range;
+
+/// One metric's SQ8 accumulation step, monomorphized into the kernels —
+/// the quantized mirror of the `f32` path's `Accum` trait. `qc` is the
+/// query's code-space coordinate for the dimension, `w` the dimension's
+/// fold weight, `code` the stored byte.
+trait Sq8Accum {
+    fn accum(acc: f32, qc: f32, w: f32, code: u8) -> f32;
+}
+
+struct L2Sq8;
+impl Sq8Accum for L2Sq8 {
+    #[inline(always)]
+    fn accum(acc: f32, qc: f32, w: f32, code: u8) -> f32 {
+        let d = qc - code as f32;
+        #[cfg(target_feature = "fma")]
+        {
+            (w * d).mul_add(d, acc)
+        }
+        #[cfg(not(target_feature = "fma"))]
+        {
+            acc + w * d * d
+        }
+    }
+}
+
+struct L1Sq8;
+impl Sq8Accum for L1Sq8 {
+    #[inline(always)]
+    fn accum(acc: f32, qc: f32, w: f32, code: u8) -> f32 {
+        acc + w * (qc - code as f32).abs()
+    }
+}
+
+struct IpSq8;
+impl Sq8Accum for IpSq8 {
+    #[inline(always)]
+    fn accum(acc: f32, qc: f32, _w: f32, code: u8) -> f32 {
+        #[cfg(target_feature = "fma")]
+        {
+            qc.mul_add(-(code as f32), acc)
+        }
+        #[cfg(not(target_feature = "fma"))]
+        {
+            acc - qc * code as f32
+        }
+    }
+}
+
+/// Fixed-width inner kernel: `acc[l] += term(qc[d], w[d], codes[d][l])`
+/// for every dimension in `dims`. `L` is the compile-time lane count, so
+/// the accumulator array stays in vector registers across the dimension
+/// loop.
+#[inline]
+fn sq8_accum_fixed<A: Sq8Accum, const L: usize>(
+    data: &[u8],
+    qcode: &[f32],
+    weight: &[f32],
+    dims: Range<usize>,
+    acc: &mut [f32],
+) {
+    let acc: &mut [f32; L] = acc.try_into().expect("accumulator width mismatch");
+    for d in dims {
+        let qc = qcode[d];
+        let w = weight[d];
+        let row: &[u8; L] = data[d * L..d * L + L]
+            .try_into()
+            .expect("group row width mismatch");
+        for l in 0..L {
+            acc[l] = A::accum(acc[l], qc, w, row[l]);
+        }
+    }
+}
+
+/// Dynamic-width fallback for irregular lane counts (partial tail groups).
+#[inline]
+fn sq8_accum_dyn<A: Sq8Accum>(
+    data: &[u8],
+    lanes: usize,
+    qcode: &[f32],
+    weight: &[f32],
+    dims: Range<usize>,
+    acc: &mut [f32],
+) {
+    for d in dims {
+        let qc = qcode[d];
+        let w = weight[d];
+        let row = &data[d * lanes..(d + 1) * lanes];
+        for (a, &c) in acc.iter_mut().zip(row) {
+            *a = A::accum(*a, qc, w, c);
+        }
+    }
+}
+
+#[inline]
+fn sq8_dispatch<A: Sq8Accum>(
+    data: &[u8],
+    lanes: usize,
+    qcode: &[f32],
+    weight: &[f32],
+    dims: Range<usize>,
+    acc: &mut [f32],
+) {
+    match lanes {
+        16 => sq8_accum_fixed::<A, 16>(data, qcode, weight, dims, acc),
+        32 => sq8_accum_fixed::<A, 32>(data, qcode, weight, dims, acc),
+        64 => sq8_accum_fixed::<A, 64>(data, qcode, weight, dims, acc),
+        128 => sq8_accum_fixed::<A, 128>(data, qcode, weight, dims, acc),
+        256 => sq8_accum_fixed::<A, 256>(data, qcode, weight, dims, acc),
+        512 => sq8_accum_fixed::<A, 512>(data, qcode, weight, dims, acc),
+        _ => sq8_accum_dyn::<A>(data, lanes, qcode, weight, dims, acc),
+    }
+}
+
+/// Accumulates the metric over dimensions `dims` of a quantized PDX group
+/// into the per-lane accumulator array `acc` (length = `group.lanes`).
+///
+/// The accumulated value is the distance between the query and each
+/// vector's *dequantized* reconstruction (the [`Sq8Query`] bias, if any,
+/// is **not** added here — callers add it once per finished distance).
+///
+/// # Panics
+/// Panics if `acc.len() != group.lanes` or `dims.end > q.dims()`.
+pub fn sq8_accumulate(
+    q: &Sq8Query,
+    group: &QuantizedPdxGroup<'_>,
+    dims: Range<usize>,
+    acc: &mut [f32],
+) {
+    assert_eq!(acc.len(), group.lanes, "one accumulator per lane required");
+    assert!(dims.end <= q.dims(), "dimension range exceeds query length");
+    match q.metric {
+        Metric::L2 => {
+            sq8_dispatch::<L2Sq8>(group.data, group.lanes, &q.qcode, &q.weight, dims, acc)
+        }
+        Metric::L1 => {
+            sq8_dispatch::<L1Sq8>(group.data, group.lanes, &q.qcode, &q.weight, dims, acc)
+        }
+        Metric::NegativeIp => {
+            sq8_dispatch::<IpSq8>(group.data, group.lanes, &q.qcode, &q.weight, dims, acc)
+        }
+    }
+}
+
+/// PRUNE-phase kernel: accumulates only at the surviving lanes.
+///
+/// `positions[j]` is a lane index inside this group; `acc[j]` is the
+/// compacted accumulator of that survivor — a software gather of byte
+/// lanes within a cached group.
+///
+/// # Panics
+/// Panics if `acc.len() != positions.len()`.
+pub fn sq8_accumulate_positions(
+    q: &Sq8Query,
+    group: &QuantizedPdxGroup<'_>,
+    dims: Range<usize>,
+    positions: &[u32],
+    acc: &mut [f32],
+) {
+    assert_eq!(
+        acc.len(),
+        positions.len(),
+        "one accumulator per survivor required"
+    );
+    #[inline]
+    fn run<A: Sq8Accum>(
+        data: &[u8],
+        lanes: usize,
+        qcode: &[f32],
+        weight: &[f32],
+        dims: Range<usize>,
+        positions: &[u32],
+        acc: &mut [f32],
+    ) {
+        for d in dims {
+            let qc = qcode[d];
+            let w = weight[d];
+            let row = &data[d * lanes..(d + 1) * lanes];
+            for (a, &p) in acc.iter_mut().zip(positions) {
+                *a = A::accum(*a, qc, w, row[p as usize]);
+            }
+        }
+    }
+    match q.metric {
+        Metric::L2 => run::<L2Sq8>(
+            group.data,
+            group.lanes,
+            &q.qcode,
+            &q.weight,
+            dims,
+            positions,
+            acc,
+        ),
+        Metric::L1 => run::<L1Sq8>(
+            group.data,
+            group.lanes,
+            &q.qcode,
+            &q.weight,
+            dims,
+            positions,
+            acc,
+        ),
+        Metric::NegativeIp => run::<IpSq8>(
+            group.data,
+            group.lanes,
+            &q.qcode,
+            &q.weight,
+            dims,
+            positions,
+            acc,
+        ),
+    }
+}
+
+/// Full linear scan of a quantized block: fills `out[i]` with the
+/// estimated distance of vector `i` (block order) to the prepared query,
+/// bias included.
+///
+/// ```
+/// use pdx_core::distance::Metric;
+/// use pdx_core::kernels::sq8_scan;
+/// use pdx_core::layout::{QuantizedPdxBlock, Sq8Quantizer};
+///
+/// let rows = [0.0, 0.0, 3.0, 4.0, 1.0, 1.0f32];
+/// let quantizer = Sq8Quantizer::fit(&rows, 3, 2);
+/// let block = QuantizedPdxBlock::from_rows(&rows, 3, 2, 64, &quantizer);
+/// let q = quantizer.prepare_query(Metric::L2, &[0.0, 0.0]);
+/// let mut out = vec![0.0; 3];
+/// sq8_scan(&q, &block, &mut out);
+/// // Vector 1 is (3, 4): squared distance ≈ 25, up to quantization error.
+/// assert!((out[1] - 25.0).abs() < 0.5);
+/// ```
+///
+/// # Panics
+/// Panics if `out.len() != block.len()` or the query width differs.
+pub fn sq8_scan(q: &Sq8Query, block: &QuantizedPdxBlock, out: &mut [f32]) {
+    assert_eq!(out.len(), block.len(), "one output per vector required");
+    assert_eq!(q.dims(), block.dims(), "query dimensionality mismatch");
+    out.fill(0.0);
+    for g in block.groups() {
+        let acc = &mut out[g.start_vector..g.start_vector + g.lanes];
+        sq8_accumulate(q, &g, 0..block.dims(), acc);
+    }
+    if q.bias != 0.0 {
+        for o in out.iter_mut() {
+            *o += q.bias;
+        }
+    }
+}
+
+/// Scalar reference: the estimated distance between a raw query and one
+/// row of codes, computed by explicit dequantization. This is what the
+/// vectorized kernels must agree with (used by tests and the property
+/// suite; `O(dims)` per call).
+///
+/// # Panics
+/// Panics if `codes.len()`/`query.len()` differ from the quantizer dims.
+pub fn sq8_distance_scalar(
+    quantizer: &Sq8Quantizer,
+    metric: Metric,
+    query: &[f32],
+    codes: &[u8],
+) -> f32 {
+    assert_eq!(codes.len(), quantizer.dims(), "one code per dimension");
+    assert_eq!(query.len(), quantizer.dims(), "query dimensionality");
+    let mut acc = 0.0f32;
+    for (d, (&qv, &c)) in query.iter().zip(codes).enumerate() {
+        acc += metric.term(qv, quantizer.decode_value(d, c));
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------
+// Code-space integer kernels (u32/i32 accumulators).
+// ---------------------------------------------------------------------
+
+/// One code-space accumulation step with an integer accumulator — the
+/// literal `u8` mirror of the `f32` path's `Accum` trait.
+trait Sq8CodeAccum {
+    /// Per-lane accumulator type (`u32` for L2, `i32` for IP).
+    type Acc: Copy + Default;
+    fn accum(acc: Self::Acc, qc: u8, code: u8) -> Self::Acc;
+}
+
+struct L2Code;
+impl Sq8CodeAccum for L2Code {
+    type Acc = u32;
+    #[inline(always)]
+    fn accum(acc: u32, qc: u8, code: u8) -> u32 {
+        let d = qc as i32 - code as i32;
+        acc + (d * d) as u32
+    }
+}
+
+struct IpCode;
+impl Sq8CodeAccum for IpCode {
+    type Acc = i32;
+    #[inline(always)]
+    fn accum(acc: i32, qc: u8, code: u8) -> i32 {
+        acc + qc as i32 * code as i32
+    }
+}
+
+#[inline]
+fn code_accum_fixed<A: Sq8CodeAccum, const L: usize>(
+    data: &[u8],
+    qcodes: &[u8],
+    dims: Range<usize>,
+    acc: &mut [A::Acc],
+) {
+    let acc: &mut [A::Acc; L] = acc.try_into().expect("accumulator width mismatch");
+    for d in dims {
+        let qc = qcodes[d];
+        let row: &[u8; L] = data[d * L..d * L + L]
+            .try_into()
+            .expect("group row width mismatch");
+        for l in 0..L {
+            acc[l] = A::accum(acc[l], qc, row[l]);
+        }
+    }
+}
+
+#[inline]
+fn code_accum_dyn<A: Sq8CodeAccum>(
+    data: &[u8],
+    lanes: usize,
+    qcodes: &[u8],
+    dims: Range<usize>,
+    acc: &mut [A::Acc],
+) {
+    for d in dims {
+        let qc = qcodes[d];
+        let row = &data[d * lanes..(d + 1) * lanes];
+        for (a, &c) in acc.iter_mut().zip(row) {
+            *a = A::accum(*a, qc, c);
+        }
+    }
+}
+
+#[inline]
+fn code_dispatch<A: Sq8CodeAccum>(
+    group: &QuantizedPdxGroup<'_>,
+    qcodes: &[u8],
+    dims: Range<usize>,
+    acc: &mut [A::Acc],
+) {
+    assert_eq!(acc.len(), group.lanes, "one accumulator per lane required");
+    assert!(
+        dims.end <= qcodes.len(),
+        "dimension range exceeds query length"
+    );
+    let (data, lanes) = (group.data, group.lanes);
+    match lanes {
+        16 => code_accum_fixed::<A, 16>(data, qcodes, dims, acc),
+        32 => code_accum_fixed::<A, 32>(data, qcodes, dims, acc),
+        64 => code_accum_fixed::<A, 64>(data, qcodes, dims, acc),
+        128 => code_accum_fixed::<A, 128>(data, qcodes, dims, acc),
+        256 => code_accum_fixed::<A, 256>(data, qcodes, dims, acc),
+        512 => code_accum_fixed::<A, 512>(data, qcodes, dims, acc),
+        _ => code_accum_dyn::<A>(data, lanes, qcodes, dims, acc),
+    }
+}
+
+/// Pure-integer L2 kernel in code space: `acc[l] += (qc_d − c_d[l])²`
+/// with `u32` per-lane accumulators, both sides quantized to `u8`.
+///
+/// Under a uniform-scale quantizer the exact distance to the
+/// reconstruction is `scale² · acc` (per-dimension mins cancel in the
+/// difference). With per-dimension scales the result ranks vectors in
+/// code space only. Safe for any `dims ≤ 66 049` (`255² · dims` must fit
+/// `u32`) — far above any embedding dimensionality.
+///
+/// # Panics
+/// Panics if `acc.len() != group.lanes` or `dims.end > qcodes.len()`.
+pub fn sq8_code_l2(
+    group: &QuantizedPdxGroup<'_>,
+    qcodes: &[u8],
+    dims: Range<usize>,
+    acc: &mut [u32],
+) {
+    code_dispatch::<L2Code>(group, qcodes, dims, acc);
+}
+
+/// Pure-integer dot-product kernel in code space: `acc[l] += qc_d ·
+/// c_d[l]` with `i32` per-lane accumulators — the int8-GEMM-style inner
+/// loop. The caller owns the affine reconstruction (and negation for the
+/// negative-IP convention).
+///
+/// # Panics
+/// Panics if `acc.len() != group.lanes` or `dims.end > qcodes.len()`.
+pub fn sq8_code_ip(
+    group: &QuantizedPdxGroup<'_>,
+    qcodes: &[u8],
+    dims: Range<usize>,
+    acc: &mut [i32],
+) {
+    code_dispatch::<IpCode>(group, qcodes, dims, acc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::distance_scalar;
+
+    fn rows(n: usize, d: usize) -> Vec<f32> {
+        (0..n * d)
+            .map(|i| ((i * 37 % 101) as f32) * 0.25 - 12.0)
+            .collect()
+    }
+
+    fn query(d: usize) -> Vec<f32> {
+        (0..d).map(|i| (i as f32 * 0.77).sin() * 3.0).collect()
+    }
+
+    fn setup(n: usize, d: usize, group: usize) -> (Sq8Quantizer, QuantizedPdxBlock, Vec<f32>) {
+        let r = rows(n, d);
+        let qz = Sq8Quantizer::fit(&r, n, d);
+        let b = QuantizedPdxBlock::from_rows(&r, n, d, group, &qz);
+        (qz, b, r)
+    }
+
+    #[test]
+    fn scan_matches_scalar_reference_all_metrics() {
+        for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
+            let (qz, block, _) = setup(150, 17, 64);
+            let raw_q = query(17);
+            let q = qz.prepare_query(metric, &raw_q);
+            let mut out = vec![0.0; 150];
+            sq8_scan(&q, &block, &mut out);
+            let code_rows = block.to_code_rows();
+            for v in 0..150 {
+                let want =
+                    sq8_distance_scalar(&qz, metric, &raw_q, &code_rows[v * 17..(v + 1) * 17]);
+                assert!(
+                    (out[v] - want).abs() <= want.abs().max(1.0) * 1e-4,
+                    "{metric:?} vector {v}: {} vs {want}",
+                    out[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_with_every_specialized_group_size() {
+        for group in [16usize, 32, 64, 128, 256, 512, 7] {
+            let n = 530;
+            let (qz, block, _) = setup(n, 9, group);
+            let raw_q = query(9);
+            let q = qz.prepare_query(Metric::L2, &raw_q);
+            let mut out = vec![0.0; n];
+            sq8_scan(&q, &block, &mut out);
+            let code_rows = block.to_code_rows();
+            for v in (0..n).step_by(53) {
+                let want =
+                    sq8_distance_scalar(&qz, Metric::L2, &raw_q, &code_rows[v * 9..(v + 1) * 9]);
+                assert!(
+                    (out[v] - want).abs() <= want.max(1.0) * 1e-4,
+                    "group {group} vector {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_distance_is_close_to_true_distance() {
+        let (qz, block, r) = setup(200, 24, 64);
+        let raw_q = query(24);
+        let q = qz.prepare_query(Metric::L2, &raw_q);
+        let mut out = vec![0.0; 200];
+        sq8_scan(&q, &block, &mut out);
+        for v in 0..200 {
+            let truth = distance_scalar(Metric::L2, &raw_q, &r[v * 24..(v + 1) * 24]);
+            // Analytic bound: Σ (|q_d − v̂_d|·s_d + s_d²/4).
+            let vhat = block.decode_vector(v, &qz);
+            let bound: f32 = (0..24)
+                .map(|d| {
+                    let s = qz.scale(d);
+                    (raw_q[d] - vhat[d]).abs() * s + s * s / 4.0
+                })
+                .sum();
+            assert!(
+                (out[v] - truth).abs() <= bound * (1.0 + 1e-3) + 1e-3,
+                "vector {v}: est {} true {truth} bound {bound}",
+                out[v]
+            );
+        }
+    }
+
+    #[test]
+    fn partial_ranges_compose_to_full_distance() {
+        let (qz, block, _) = setup(64, 20, 64);
+        let raw_q = query(20);
+        let q = qz.prepare_query(Metric::L2, &raw_q);
+        let g = block.group(0);
+        let mut acc = vec![0.0; 64];
+        sq8_accumulate(&q, &g, 0..5, &mut acc);
+        sq8_accumulate(&q, &g, 5..13, &mut acc);
+        sq8_accumulate(&q, &g, 13..20, &mut acc);
+        let mut full = vec![0.0; 64];
+        sq8_scan(&q, &block, &mut full);
+        for v in 0..64 {
+            assert!((acc[v] - full[v]).abs() <= full[v].max(1.0) * 1e-5);
+        }
+    }
+
+    #[test]
+    fn positions_kernel_matches_dense_kernel() {
+        let (qz, block, _) = setup(64, 16, 64);
+        let q = qz.prepare_query(Metric::L2, &query(16));
+        let g = block.group(0);
+        let mut dense = vec![0.0; 64];
+        sq8_accumulate(&q, &g, 0..16, &mut dense);
+        let positions: Vec<u32> = vec![3, 17, 18, 40, 63];
+        let mut compact = vec![0.0; positions.len()];
+        sq8_accumulate_positions(&q, &g, 0..16, &positions, &mut compact);
+        for (j, &p) in positions.iter().enumerate() {
+            assert!((compact[j] - dense[p as usize]).abs() <= dense[p as usize].max(1.0) * 1e-5);
+        }
+    }
+
+    #[test]
+    fn ip_bias_makes_estimate_track_true_dot() {
+        let (qz, block, r) = setup(100, 12, 32);
+        let raw_q = query(12);
+        let q = qz.prepare_query(Metric::NegativeIp, &raw_q);
+        let mut out = vec![0.0; 100];
+        sq8_scan(&q, &block, &mut out);
+        for v in (0..100).step_by(13) {
+            let truth = distance_scalar(Metric::NegativeIp, &raw_q, &r[v * 12..(v + 1) * 12]);
+            // |error| ≤ Σ |q_d|·s_d/2.
+            let bound: f32 = (0..12).map(|d| raw_q[d].abs() * qz.scale(d) / 2.0).sum();
+            assert!(
+                (out[v] - truth).abs() <= bound * (1.0 + 1e-3) + 1e-3,
+                "vector {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_quantizer_integer_l2_matches_weighted_kernel() {
+        // With a uniform scale and a query snapped to the code grid, the
+        // u32 code-space kernel and the weighted kernel agree exactly
+        // (mins cancel inside the code difference).
+        let n = 96;
+        let d = 10;
+        let r = rows(n, d);
+        let qz = Sq8Quantizer::fit_uniform(&r, n, d);
+        let block = QuantizedPdxBlock::from_rows(&r, n, d, 32, &qz);
+        // Snap the query onto the quantizer grid.
+        let raw: Vec<f32> = query(d)
+            .iter()
+            .enumerate()
+            .map(|(dim, &x)| qz.decode_value(dim, qz.encode_value(dim, x)))
+            .collect();
+        let qcodes: Vec<u8> = (0..d).map(|dim| qz.encode_value(dim, raw[dim])).collect();
+        let q = qz.prepare_query(Metric::L2, &raw);
+        let scale2 = qz.scale(0) * qz.scale(0);
+        for g in block.groups() {
+            let mut int_acc = vec![0u32; g.lanes];
+            sq8_code_l2(&g, &qcodes, 0..d, &mut int_acc);
+            let mut f_acc = vec![0.0f32; g.lanes];
+            sq8_accumulate(&q, &g, 0..d, &mut f_acc);
+            for l in 0..g.lanes {
+                let int_dist = int_acc[l] as f32 * scale2;
+                assert!(
+                    (int_dist - f_acc[l]).abs() <= f_acc[l].max(1.0) * 1e-4,
+                    "lane {l}: {int_dist} vs {}",
+                    f_acc[l]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn code_ip_accumulates_exact_integer_dot() {
+        let n = 40;
+        let d = 8;
+        let r = rows(n, d);
+        let qz = Sq8Quantizer::fit(&r, n, d);
+        let block = QuantizedPdxBlock::from_rows(&r, n, d, 16, &qz);
+        let qcodes: Vec<u8> = (0..d as u8).map(|x| x * 30).collect();
+        let g = block.group(0);
+        let mut acc = vec![0i32; g.lanes];
+        sq8_code_ip(&g, &qcodes, 0..d, &mut acc);
+        let code_rows = block.to_code_rows();
+        for l in 0..g.lanes {
+            let want: i32 = (0..d)
+                .map(|dim| qcodes[dim] as i32 * code_rows[l * d + dim] as i32)
+                .sum();
+            assert_eq!(acc[l], want, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn empty_dimension_range_is_noop() {
+        let (qz, block, _) = setup(10, 4, 64);
+        let q = qz.prepare_query(Metric::L2, &query(4));
+        let g = block.group(0);
+        let mut acc = vec![1.5; 10];
+        sq8_accumulate(&q, &g, 2..2, &mut acc);
+        assert!(acc.iter().all(|&x| x == 1.5));
+    }
+}

@@ -13,13 +13,18 @@
 //! * [`DualBlockMatrix`] — ADSampling's two-segment horizontal layout
 //!   (first Δd dimensions of all vectors stored together, remainder in a
 //!   second segment).
+//! * [`QuantizedPdxBlock`] — the SQ8-quantized twin of [`PdxBlock`]: the
+//!   same dimension-major groups, one byte per value, with the
+//!   per-dimension codec in [`Sq8Quantizer`].
 
 mod dsm;
 mod dual;
 mod nary;
 mod pdx;
+mod quantized;
 
 pub use dsm::DsmMatrix;
 pub use dual::DualBlockMatrix;
 pub use nary::NaryMatrix;
 pub use pdx::{PdxBlock, PdxGroup};
+pub use quantized::{QuantizedPdxBlock, QuantizedPdxGroup, Sq8Quantizer, Sq8Query};

@@ -1,0 +1,698 @@
+//! SQ8 scalar quantization and the quantized PDX block layout.
+//!
+//! Scalar quantization (SQ8) maps each `f32` value to one byte, shrinking
+//! the scan-resident data 4× and letting the distance kernels read four
+//! times as many vectors per cache line. The PDX layout is a natural fit:
+//! because a kernel visits one *dimension* of many vectors at a time, the
+//! per-dimension quantization parameters are loop-invariant scalars that
+//! hoist out of the hot lane loop — no per-element parameter lookups, the
+//! failure mode that makes quantized kernels on horizontal layouts messy.
+//!
+//! Two types live here:
+//!
+//! * [`Sq8Quantizer`] — per-dimension affine codec `value ≈ min_d +
+//!   scale_d · code`, learned from the collection at build time. Each
+//!   dimension uses its own `[min, max]` range, so dimensions with small
+//!   spread (the majority, in power-law-scaled embeddings) keep small
+//!   absolute error instead of inheriting the widest dimension's grid.
+//! * [`QuantizedPdxBlock`] — the dimension-major `u8` twin of
+//!   [`PdxBlock`](crate::layout::PdxBlock): the same vector groups, the
+//!   same `data[dim * lanes + lane]` addressing, one byte per value.
+//!
+//! The decoded value of a code is the *centre* of its quantization cell,
+//! so the reconstruction error per value is at most `scale_d / 2` for any
+//! value inside the learned range. That bound is what the SQ8 distance
+//! error analysis in [`kernels::sq8`](crate::kernels::sq8) builds on.
+
+use crate::distance::Metric;
+
+/// Number of quantization levels of the 8-bit codec.
+const LEVELS: f32 = 255.0;
+
+/// Per-dimension affine SQ8 codec: `value ≈ min_d + scale_d · code`.
+///
+/// Learned once per collection with [`Sq8Quantizer::fit`]; shared by all
+/// blocks of that collection so codes are comparable across blocks.
+///
+/// ```
+/// use pdx_core::layout::Sq8Quantizer;
+///
+/// // Two 2-dimensional vectors spanning [0, 10] × [−1, 1].
+/// let rows = [0.0, -1.0, 10.0, 1.0f32];
+/// let q = Sq8Quantizer::fit(&rows, 2, 2);
+/// let code = q.encode_value(0, 5.0);
+/// let back = q.decode_value(0, code);
+/// // The reconstruction is within half a quantization step.
+/// assert!((back - 5.0).abs() <= q.scale(0) / 2.0 + 1e-4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sq8Quantizer {
+    mins: Vec<f32>,
+    scales: Vec<f32>,
+}
+
+impl Sq8Quantizer {
+    /// Learns per-dimension `[min, max]` ranges from row-major data and
+    /// derives `scale_d = (max_d − min_d) / 255`.
+    ///
+    /// A dimension whose range is empty (constant value) gets scale 1.0:
+    /// every value encodes to code 0 and decodes back to the constant.
+    ///
+    /// # Panics
+    /// Panics if the buffer size disagrees with `n_vectors × dims` or if
+    /// `dims == 0`.
+    pub fn fit(rows: &[f32], n_vectors: usize, dims: usize) -> Self {
+        let (mins, maxs) = Self::ranges(rows, n_vectors, dims);
+        let scales = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| {
+                let range = hi - lo;
+                if range > 0.0 {
+                    range / LEVELS
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { mins, scales }
+    }
+
+    /// Like [`Sq8Quantizer::fit`] but with one *shared* scale across all
+    /// dimensions (each keeps its own min). Under a uniform scale the
+    /// pure-integer code-space kernels of
+    /// [`kernels::sq8`](crate::kernels::sq8) reconstruct the L2 distance
+    /// exactly as `scale² · Σ (q_code − v_code)²` — the trade-off is that
+    /// every dimension inherits the widest dimension's grid.
+    ///
+    /// The shared scale is the widest *actual* range over 255; constant
+    /// dimensions do not contribute (an all-constant collection gets
+    /// scale 1.0).
+    ///
+    /// # Panics
+    /// Panics as [`Sq8Quantizer::fit`] does.
+    pub fn fit_uniform(rows: &[f32], n_vectors: usize, dims: usize) -> Self {
+        let (mins, maxs) = Self::ranges(rows, n_vectors, dims);
+        let widest = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| hi - lo)
+            .fold(0.0f32, f32::max);
+        let scale = if widest > 0.0 { widest / LEVELS } else { 1.0 };
+        Self {
+            mins,
+            scales: vec![scale; dims],
+        }
+    }
+
+    /// Per-dimension `[min, max]` over row-major data (the shared first
+    /// pass of the fitters).
+    fn ranges(rows: &[f32], n_vectors: usize, dims: usize) -> (Vec<f32>, Vec<f32>) {
+        assert!(dims > 0, "dims must be positive");
+        assert_eq!(
+            rows.len(),
+            n_vectors * dims,
+            "row buffer does not match dimensions"
+        );
+        let mut mins = vec![f32::INFINITY; dims];
+        let mut maxs = vec![f32::NEG_INFINITY; dims];
+        for row in rows.chunks_exact(dims) {
+            for (d, &v) in row.iter().enumerate() {
+                mins[d] = mins[d].min(v);
+                maxs[d] = maxs[d].max(v);
+            }
+        }
+        if n_vectors == 0 {
+            mins.fill(0.0);
+            maxs.fill(0.0);
+        }
+        (mins, maxs)
+    }
+
+    /// Dimensionality the codec was learned on.
+    pub fn dims(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Lower bound of dimension `d`'s learned range.
+    pub fn min(&self, d: usize) -> f32 {
+        self.mins[d]
+    }
+
+    /// Quantization step of dimension `d`.
+    pub fn scale(&self, d: usize) -> f32 {
+        self.scales[d]
+    }
+
+    /// All per-dimension minima.
+    pub fn mins(&self) -> &[f32] {
+        &self.mins
+    }
+
+    /// All per-dimension scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Whether every dimension shares one scale (the
+    /// [`Sq8Quantizer::fit_uniform`] shape).
+    pub fn is_uniform(&self) -> bool {
+        self.scales.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Rebuilds a codec from stored parameters (the persistence path).
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length, are empty, or any scale is
+    /// not strictly positive.
+    pub fn from_params(mins: Vec<f32>, scales: Vec<f32>) -> Self {
+        assert_eq!(mins.len(), scales.len(), "one scale per min required");
+        assert!(!mins.is_empty(), "dims must be positive");
+        assert!(
+            scales.iter().all(|&s| s > 0.0),
+            "scales must be strictly positive"
+        );
+        Self { mins, scales }
+    }
+
+    /// Encodes one value of dimension `d`, clamping to the learned range.
+    pub fn encode_value(&self, d: usize, v: f32) -> u8 {
+        let code = (v - self.mins[d]) / self.scales[d];
+        code.round().clamp(0.0, LEVELS) as u8
+    }
+
+    /// Decodes one code of dimension `d` back to the cell centre.
+    pub fn decode_value(&self, d: usize, code: u8) -> f32 {
+        self.mins[d] + self.scales[d] * code as f32
+    }
+
+    /// Encodes row-major vectors into row-major codes.
+    ///
+    /// # Panics
+    /// Panics if the buffer is not whole vectors of [`Sq8Quantizer::dims`].
+    pub fn encode_rows(&self, rows: &[f32]) -> Vec<u8> {
+        let d = self.dims();
+        assert_eq!(rows.len() % d, 0, "rows must be whole vectors");
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows.chunks_exact(d) {
+            for (dim, &v) in row.iter().enumerate() {
+                out.push(self.encode_value(dim, v));
+            }
+        }
+        out
+    }
+
+    /// Decodes one row of codes back to `f32` values.
+    ///
+    /// # Panics
+    /// Panics if `codes.len()` differs from [`Sq8Quantizer::dims`].
+    pub fn decode_row(&self, codes: &[u8]) -> Vec<f32> {
+        assert_eq!(codes.len(), self.dims(), "one code per dimension");
+        codes
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| self.decode_value(d, c))
+            .collect()
+    }
+
+    /// Worst-case reconstruction error of dimension `d` for values inside
+    /// the learned range: half a quantization step.
+    pub fn max_error(&self, d: usize) -> f32 {
+        self.scales[d] / 2.0
+    }
+
+    /// Prepares a query for the SQ8 kernels: the query is lifted into
+    /// code space once, so the per-dimension affine parameters never
+    /// appear in the hot loop. See
+    /// [`kernels::sq8`](crate::kernels::sq8) for the per-metric algebra.
+    pub fn prepare_query(&self, metric: Metric, query: &[f32]) -> Sq8Query {
+        assert_eq!(query.len(), self.dims(), "query dimensionality mismatch");
+        let d = self.dims();
+        let mut qcode = Vec::with_capacity(d);
+        let mut weight = Vec::with_capacity(d);
+        let mut bias = 0.0f64;
+        for ((&q, &s), &m) in query.iter().zip(&self.scales).zip(&self.mins) {
+            match metric {
+                // L2: Σ s²·(qc − c)² with qc the query in code space.
+                Metric::L2 => {
+                    qcode.push((q - m) / s);
+                    weight.push(s * s);
+                }
+                // L1: Σ s·|qc − c|.
+                Metric::L1 => {
+                    qcode.push((q - m) / s);
+                    weight.push(s);
+                }
+                // −q·v̂ = −Σ q·(m + s·c) = −Σ q·m − Σ (q·s)·c.
+                Metric::NegativeIp => {
+                    qcode.push(q * s);
+                    weight.push(1.0);
+                    bias -= (q as f64) * (m as f64);
+                }
+            }
+        }
+        Sq8Query {
+            metric,
+            qcode,
+            weight,
+            bias: bias as f32,
+        }
+    }
+}
+
+/// A query prepared for SQ8 scanning: per-dimension code-space
+/// coordinates and fold weights, plus a per-distance constant.
+///
+/// Produced by [`Sq8Quantizer::prepare_query`]; consumed by the kernels
+/// in [`kernels::sq8`](crate::kernels::sq8). The estimated distance a
+/// kernel produces is the **exact** distance between the query and the
+/// *dequantized* vector — the only approximation is the quantization of
+/// the stored data itself.
+#[derive(Debug, Clone)]
+pub struct Sq8Query {
+    /// Metric the preparation targeted.
+    pub metric: Metric,
+    /// Per-dimension query coordinate: `(q_d − min_d) / scale_d` for
+    /// L2/L1, `q_d · scale_d` for inner product.
+    pub qcode: Vec<f32>,
+    /// Per-dimension fold weight: `scale_d²` (L2), `scale_d` (L1), unused
+    /// (1.0) for inner product.
+    pub weight: Vec<f32>,
+    /// Constant added once per distance (`−Σ q_d · min_d` for inner
+    /// product, 0 otherwise).
+    pub bias: f32,
+}
+
+impl Sq8Query {
+    /// Dimensionality of the prepared query.
+    pub fn dims(&self) -> usize {
+        self.qcode.len()
+    }
+}
+
+/// A block of SQ8-quantized vectors in the PDX layout: the `u8` twin of
+/// [`PdxBlock`](crate::layout::PdxBlock), with identical group tiling.
+///
+/// ```
+/// use pdx_core::layout::{QuantizedPdxBlock, Sq8Quantizer};
+///
+/// let rows = [0.0, 4.0, 1.0, 5.0, 2.0, 6.0, 3.0, 7.0f32];
+/// let quantizer = Sq8Quantizer::fit(&rows, 4, 2);
+/// let block = QuantizedPdxBlock::from_rows(&rows, 4, 2, 64, &quantizer);
+/// assert_eq!(block.len(), 4);
+/// // One byte per value: 4× smaller than the f32 block.
+/// assert_eq!(block.resident_bytes(), 8);
+/// // Decoding recovers each value to within half a step.
+/// let v = block.decode_vector(2, &quantizer);
+/// assert!((v[0] - 2.0).abs() <= quantizer.scale(0) / 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedPdxBlock {
+    n_vectors: usize,
+    n_dims: usize,
+    group_size: usize,
+    data: Vec<u8>,
+}
+
+/// Borrowed view of one vector group inside a [`QuantizedPdxBlock`].
+#[derive(Debug, Clone, Copy)]
+pub struct QuantizedPdxGroup<'a> {
+    /// Dimension-major codes: `data[dim * lanes + lane]`.
+    pub data: &'a [u8],
+    /// Number of vectors (lanes) in this group (= stride between dims).
+    pub lanes: usize,
+    /// Block-level index of this group's first vector.
+    pub start_vector: usize,
+}
+
+impl QuantizedPdxBlock {
+    /// Quantizes row-major `f32` data (`n_vectors × n_dims`) into a
+    /// group-tiled `u8` block.
+    ///
+    /// # Panics
+    /// Panics if the buffer size disagrees with the dimensions, the
+    /// quantizer was fit on a different dimensionality, or
+    /// `group_size == 0`.
+    pub fn from_rows(
+        rows: &[f32],
+        n_vectors: usize,
+        n_dims: usize,
+        group_size: usize,
+        quantizer: &Sq8Quantizer,
+    ) -> Self {
+        assert_eq!(
+            rows.len(),
+            n_vectors * n_dims,
+            "row buffer does not match dimensions"
+        );
+        assert_eq!(quantizer.dims(), n_dims, "quantizer dimensionality");
+        Self::from_code_rows(&quantizer.encode_rows(rows), n_vectors, n_dims, group_size)
+    }
+
+    /// Builds a block by gathering (and quantizing) the given row indices
+    /// out of a row-major collection — the IVF bucket construction path.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range or `group_size == 0`.
+    pub fn from_row_ids(
+        all_rows: &[f32],
+        n_dims: usize,
+        ids: &[u32],
+        group_size: usize,
+        quantizer: &Sq8Quantizer,
+    ) -> Self {
+        assert_eq!(quantizer.dims(), n_dims, "quantizer dimensionality");
+        let mut rows = Vec::with_capacity(ids.len() * n_dims);
+        for &v in ids {
+            rows.extend_from_slice(&all_rows[v as usize * n_dims..(v as usize + 1) * n_dims]);
+        }
+        Self::from_rows(&rows, ids.len(), n_dims, group_size, quantizer)
+    }
+
+    /// Tiles row-major codes (`n_vectors × n_dims`) into PDX groups.
+    ///
+    /// # Panics
+    /// Panics if the buffer size disagrees or `group_size == 0`.
+    pub fn from_code_rows(
+        codes: &[u8],
+        n_vectors: usize,
+        n_dims: usize,
+        group_size: usize,
+    ) -> Self {
+        assert!(group_size > 0, "group size must be positive");
+        assert_eq!(
+            codes.len(),
+            n_vectors * n_dims,
+            "code buffer does not match dimensions"
+        );
+        let mut data = vec![0u8; n_vectors * n_dims];
+        let mut out = 0usize;
+        let mut v0 = 0usize;
+        while v0 < n_vectors {
+            let lanes = group_size.min(n_vectors - v0);
+            for d in 0..n_dims {
+                for l in 0..lanes {
+                    data[out] = codes[(v0 + l) * n_dims + d];
+                    out += 1;
+                }
+            }
+            v0 += lanes;
+        }
+        Self {
+            n_vectors,
+            n_dims,
+            group_size,
+            data,
+        }
+    }
+
+    /// Rebuilds a block from an already group-tiled code buffer (the
+    /// persistence read path — [`QuantizedPdxBlock::as_slice`] is the
+    /// matching write side). Unlike `f32` blocks there is no numeric
+    /// invariant to re-validate: any byte is a valid code, so only the
+    /// buffer geometry is checked.
+    ///
+    /// # Panics
+    /// Panics if the buffer size disagrees or `group_size == 0`.
+    pub fn from_tiled(tiled: Vec<u8>, n_vectors: usize, n_dims: usize, group_size: usize) -> Self {
+        assert!(group_size > 0, "group size must be positive");
+        assert_eq!(
+            tiled.len(),
+            n_vectors * n_dims,
+            "code buffer does not match dimensions"
+        );
+        Self {
+            n_vectors,
+            n_dims,
+            group_size,
+            data: tiled,
+        }
+    }
+
+    /// Number of vectors in the block.
+    pub fn len(&self) -> usize {
+        self.n_vectors
+    }
+
+    /// Whether the block holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.n_vectors == 0
+    }
+
+    /// Dimensionality of the stored vectors.
+    pub fn dims(&self) -> usize {
+        self.n_dims
+    }
+
+    /// Configured maximum lanes per group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of vector groups (the last may be partial).
+    pub fn group_count(&self) -> usize {
+        self.n_vectors.div_ceil(self.group_size)
+    }
+
+    /// Bytes of scan-resident code data (exactly `len() · dims()`; the
+    /// f32 twin holds 4× as much).
+    pub fn resident_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Borrowed view of group `g`.
+    ///
+    /// # Panics
+    /// Panics if `g >= group_count()`.
+    pub fn group(&self, g: usize) -> QuantizedPdxGroup<'_> {
+        let start_vector = g * self.group_size;
+        assert!(
+            start_vector < self.n_vectors || (self.n_vectors == 0 && g == 0),
+            "group out of range"
+        );
+        let lanes = self.group_size.min(self.n_vectors - start_vector);
+        let base = start_vector * self.n_dims;
+        QuantizedPdxGroup {
+            data: &self.data[base..base + lanes * self.n_dims],
+            lanes,
+            start_vector,
+        }
+    }
+
+    /// Iterator over all groups.
+    pub fn groups(&self) -> impl Iterator<Item = QuantizedPdxGroup<'_>> {
+        (0..self.group_count()).map(|g| self.group(g))
+    }
+
+    /// Code of dimension `dim` of vector `vec` (random access; slow path
+    /// for tests and rerank-free decoding, not for kernels).
+    pub fn code(&self, vec: usize, dim: usize) -> u8 {
+        let (base, lanes, lane) = self.locate(vec);
+        self.data[base + dim * lanes + lane]
+    }
+
+    /// Converts the whole block back to row-major codes.
+    pub fn to_code_rows(&self) -> Vec<u8> {
+        let mut rows = vec![0u8; self.n_vectors * self.n_dims];
+        for g in self.groups() {
+            for l in 0..g.lanes {
+                let v = g.start_vector + l;
+                for d in 0..self.n_dims {
+                    rows[v * self.n_dims + d] = g.data[d * g.lanes + l];
+                }
+            }
+        }
+        rows
+    }
+
+    /// Decodes vector `vec` back into `f32` row form.
+    ///
+    /// # Panics
+    /// Panics if the quantizer dimensionality differs or `vec` is out of
+    /// range.
+    pub fn decode_vector(&self, vec: usize, quantizer: &Sq8Quantizer) -> Vec<f32> {
+        assert_eq!(quantizer.dims(), self.n_dims, "quantizer dimensionality");
+        let (base, lanes, lane) = self.locate(vec);
+        (0..self.n_dims)
+            .map(|d| quantizer.decode_value(d, self.data[base + d * lanes + lane]))
+            .collect()
+    }
+
+    /// Raw dimension-major code buffer (group-by-group).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// `(group_base_offset, group_lanes, lane_within_group)` of a vector.
+    fn locate(&self, vec: usize) -> (usize, usize, usize) {
+        assert!(vec < self.n_vectors, "vector index out of range");
+        let g = vec / self.group_size;
+        let start_vector = g * self.group_size;
+        let lanes = self.group_size.min(self.n_vectors - start_vector);
+        (start_vector * self.n_dims, lanes, vec - start_vector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize, d: usize) -> Vec<f32> {
+        (0..n * d)
+            .map(|i| ((i * 37 % 101) as f32) * 0.25 - 12.0)
+            .collect()
+    }
+
+    #[test]
+    fn fit_learns_per_dimension_ranges() {
+        let r = [0.0, -8.0, 10.0, 8.0f32];
+        let q = Sq8Quantizer::fit(&r, 2, 2);
+        assert_eq!(q.min(0), 0.0);
+        assert_eq!(q.min(1), -8.0);
+        assert!((q.scale(0) - 10.0 / 255.0).abs() < 1e-7);
+        assert!((q.scale(1) - 16.0 / 255.0).abs() < 1e-7);
+        assert!(!q.is_uniform());
+    }
+
+    #[test]
+    fn encode_decode_error_is_within_half_step() {
+        let r = rows(50, 7);
+        let q = Sq8Quantizer::fit(&r, 50, 7);
+        for (i, &v) in r.iter().enumerate() {
+            let d = i % 7;
+            let back = q.decode_value(d, q.encode_value(d, v));
+            assert!(
+                (back - v).abs() <= q.max_error(d) * (1.0 + 1e-3),
+                "dim {d}: {v} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_extremes_map_to_code_extremes() {
+        let r = [1.0f32, 3.0];
+        let q = Sq8Quantizer::fit(&r, 2, 1);
+        assert_eq!(q.encode_value(0, 1.0), 0);
+        assert_eq!(q.encode_value(0, 3.0), 255);
+        // Out-of-range values clamp.
+        assert_eq!(q.encode_value(0, -100.0), 0);
+        assert_eq!(q.encode_value(0, 100.0), 255);
+    }
+
+    #[test]
+    fn constant_dimension_round_trips() {
+        let r = [5.0f32, 5.0, 5.0];
+        let q = Sq8Quantizer::fit(&r, 3, 1);
+        assert_eq!(q.encode_value(0, 5.0), 0);
+        assert_eq!(q.decode_value(0, 0), 5.0);
+    }
+
+    #[test]
+    fn uniform_fit_shares_the_widest_scale() {
+        let r = [0.0, 0.0, 10.0, 1.0f32]; // ranges 10 and 1
+        let q = Sq8Quantizer::fit_uniform(&r, 2, 2);
+        assert!(q.is_uniform());
+        assert!((q.scale(0) - 10.0 / 255.0).abs() < 1e-7);
+        assert!((q.scale(1) - 10.0 / 255.0).abs() < 1e-7);
+        // Mins stay per-dimension.
+        assert_eq!(q.min(1), 0.0);
+    }
+
+    #[test]
+    fn uniform_fit_ignores_constant_dimension_sentinels() {
+        // Dim 1 is constant; its sentinel scale (1.0 in `fit`) must not
+        // become the shared scale and flatten dim 0's narrow range.
+        let r = [0.0, 7.0, 0.01, 7.0f32];
+        let q = Sq8Quantizer::fit_uniform(&r, 2, 2);
+        assert!((q.scale(0) - 0.01 / 255.0).abs() < 1e-9);
+        assert_eq!(q.encode_value(0, 0.01), 255);
+        // All-constant collections still fall back to scale 1.0.
+        let q = Sq8Quantizer::fit_uniform(&[3.0f32, 3.0], 2, 1);
+        assert_eq!(q.scale(0), 1.0);
+        assert_eq!(q.decode_value(0, q.encode_value(0, 3.0)), 3.0);
+    }
+
+    #[test]
+    fn from_params_round_trips() {
+        let r = rows(20, 3);
+        let q = Sq8Quantizer::fit(&r, 20, 3);
+        let q2 = Sq8Quantizer::from_params(q.mins().to_vec(), q.scales().to_vec());
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn block_layout_is_dimension_major_within_group() {
+        // 2 vectors, 2 dims: codes must tile as d0(v0 v1) d1(v0 v1).
+        let codes = [1u8, 2, 3, 4];
+        let b = QuantizedPdxBlock::from_code_rows(&codes, 2, 2, 64);
+        assert_eq!(b.as_slice(), &[1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn code_rows_round_trip_with_partial_tail_group() {
+        let codes: Vec<u8> = (0..50u8).collect();
+        let b = QuantizedPdxBlock::from_code_rows(&codes, 10, 5, 4);
+        assert_eq!(b.group_count(), 3);
+        assert_eq!(b.group(2).lanes, 2);
+        assert_eq!(b.to_code_rows(), codes);
+    }
+
+    #[test]
+    fn quantized_block_matches_scalar_codec() {
+        let r = rows(23, 6);
+        let q = Sq8Quantizer::fit(&r, 23, 6);
+        let b = QuantizedPdxBlock::from_rows(&r, 23, 6, 8, &q);
+        for v in 0..23 {
+            for d in 0..6 {
+                assert_eq!(b.code(v, d), q.encode_value(d, r[v * 6 + d]));
+            }
+        }
+    }
+
+    #[test]
+    fn from_row_ids_gathers_and_quantizes() {
+        let r = rows(9, 4);
+        let q = Sq8Quantizer::fit(&r, 9, 4);
+        let b = QuantizedPdxBlock::from_row_ids(&r, 4, &[8, 0, 3], 2, &q);
+        assert_eq!(b.len(), 3);
+        for d in 0..4 {
+            assert_eq!(b.code(0, d), q.encode_value(d, r[8 * 4 + d]));
+            assert_eq!(b.code(1, d), q.encode_value(d, r[d]));
+        }
+    }
+
+    #[test]
+    fn decode_vector_is_close_to_original() {
+        let r = rows(40, 5);
+        let q = Sq8Quantizer::fit(&r, 40, 5);
+        let b = QuantizedPdxBlock::from_rows(&r, 40, 5, 16, &q);
+        for v in [0usize, 17, 39] {
+            let back = b.decode_vector(v, &q);
+            for d in 0..5 {
+                assert!((back[d] - r[v * 5 + d]).abs() <= q.max_error(d) * (1.0 + 1e-3));
+            }
+        }
+    }
+
+    #[test]
+    fn resident_bytes_are_one_per_value() {
+        let r = rows(30, 8);
+        let q = Sq8Quantizer::fit(&r, 30, 8);
+        let b = QuantizedPdxBlock::from_rows(&r, 30, 8, 64, &q);
+        assert_eq!(b.resident_bytes(), 30 * 8);
+    }
+
+    #[test]
+    fn empty_block() {
+        let q = Sq8Quantizer::fit(&[], 0, 3);
+        let b = QuantizedPdxBlock::from_rows(&[], 0, 3, 64, &q);
+        assert!(b.is_empty());
+        assert_eq!(b.group_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "code buffer")]
+    fn mismatched_buffer_panics() {
+        let _ = QuantizedPdxBlock::from_code_rows(&[1, 2], 2, 2, 64);
+    }
+}

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # pdx-core — the PDX data layout and the PDXearch framework
 //!
 //! From-scratch Rust implementation of *"PDX: A Data Layout for Vector
@@ -23,6 +25,12 @@
 //!   SIMD-ADS / SCALAR-ADS baselines.
 //! * [`bond`] — **PDX-BOND** (§5), the exact, transformation-free pruner
 //!   with query-aware dimension visit orders ([`visit_order`]).
+//! * [`layout::QuantizedPdxBlock`] + [`kernels::sq8`] +
+//!   [`search::quantized`] — the **SQ8** path: scalar-quantized `u8`
+//!   blocks in the same dimension-major layout, integer-friendly
+//!   kernels, and a two-phase search (quantized PDXearch scan → exact
+//!   `f32` rerank) that trades 4× less scan-resident memory for a small,
+//!   rerank-recoverable accuracy loss.
 //!
 //! Distances are *minimized* everywhere; inner product is exposed as the
 //! negated dot product so that one k-nearest-neighbour heap serves all
@@ -64,12 +72,14 @@ pub use bond::PdxBond;
 pub use collection::{PdxCollection, SearchBlock};
 pub use distance::Metric;
 pub use heap::{KnnHeap, Neighbor};
-pub use layout::{DsmMatrix, DualBlockMatrix, NaryMatrix, PdxBlock};
+pub use layout::{
+    DsmMatrix, DualBlockMatrix, NaryMatrix, PdxBlock, QuantizedPdxBlock, Sq8Quantizer,
+};
 pub use profile::SearchProfile;
 pub use pruning::{checkpoints, BlockAux, Pruner, StepPolicy};
 pub use search::{
     horizontal_pruned_search, linear_scan_dsm, linear_scan_nary, linear_scan_pdx, pdxearch,
-    KernelVariant, SearchParams,
+    sq8_two_phase, KernelVariant, SearchParams, Sq8Block,
 };
 pub use stats::BlockStats;
 pub use visit_order::VisitOrder;

@@ -2,16 +2,21 @@
 //!
 //! * [`pdxearch`] — the PDXearch framework (§4): block-by-block,
 //!   dimension-by-dimension pruned search with START/WARMUP/PRUNE phases.
-//! * [`linear`] — exhaustive linear scans on the PDX, horizontal and DSM
-//!   layouts (the paper's FAISS-like / Scikit-learn-like / DSM baselines).
-//! * [`horizontal`] — the vector-at-a-time pruned search on ADSampling's
+//! * `linear` — exhaustive linear scans on the PDX, horizontal and DSM
+//!   layouts (the paper's FAISS-like / Scikit-learn-like / DSM baselines),
+//!   re-exported here as [`linear_scan_pdx`] and friends.
+//! * `horizontal` — the vector-at-a-time pruned search on ADSampling's
 //!   dual-block horizontal layout (the SIMD-ADS / SCALAR-ADS baselines,
-//!   with bound evaluation interleaved every Δd dimensions).
+//!   with bound evaluation interleaved every Δd dimensions), re-exported
+//!   as [`horizontal_pruned_search`] and friends.
+//! * [`quantized`] — the two-phase SQ8 path: a quantized PDXearch scan
+//!   producing candidates, then an exact `f32` rerank.
 
 mod horizontal;
 mod linear;
 #[allow(clippy::module_inception)]
 mod pdxearch;
+pub mod quantized;
 
 pub use horizontal::{
     horizontal_checkpoints, horizontal_linear_scan, horizontal_pruned_search,
@@ -21,5 +26,6 @@ pub use linear::{linear_scan_blocks, linear_scan_dsm, linear_scan_nary, linear_s
 pub use pdxearch::{
     pdxearch, pdxearch_prepared, pdxearch_prepared_profiled, pdxearch_profiled, SearchParams,
 };
+pub use quantized::{sq8_rerank, sq8_search, sq8_two_phase, Sq8Block, DEFAULT_REFINE};
 
 pub use crate::kernels::KernelVariant;

@@ -1,0 +1,425 @@
+//! Two-phase quantized search: an SQ8 PDXearch scan producing
+//! candidates, then an exact `f32` rerank.
+//!
+//! **Phase 1** walks quantized blocks with the PDXearch phase structure
+//! (START / WARMUP / PRUNE, §4 of the paper) and collects the top-`c`
+//! candidates by *estimated* distance — the distance to each vector's
+//! dequantized reconstruction. For the monotone metrics (L2/L1) the
+//! weighted SQ8 partial sums only grow with scanned dimensions, so the
+//! scan prunes candidates against the current c-th best estimate exactly
+//! like PDX-BOND does in `f32` — the pruning is exact *with respect to
+//! the estimate*; the estimate itself carries quantization error, which
+//! is why phase 2 exists. Inner product is not monotone, so its scan is
+//! a plain quantized linear scan.
+//!
+//! **Phase 2** recomputes the true `f32` distance of the `c` candidates
+//! against the uncompressed vectors (a per-candidate random access into
+//! the row-major rerank payload — cold data, touched `c` times per
+//! query) and returns the exact top-`k` of the candidate set. With
+//! `c = refine·k` a small refine factor (4 by default) recovers
+//! recall ≥ 0.95 while the scan reads 4× fewer bytes than `f32` PDX.
+
+use crate::distance::{distance_scalar, Metric};
+use crate::heap::{KnnHeap, Neighbor};
+use crate::kernels::sq8::{sq8_accumulate, sq8_accumulate_positions, sq8_scan};
+use crate::layout::{QuantizedPdxBlock, Sq8Quantizer, Sq8Query};
+use crate::pruning::{checkpoints, StepPolicy};
+
+/// Default candidate-refinement factor of the two-phase search: phase 1
+/// keeps `refine · k` candidates for phase 2 to rerank.
+pub const DEFAULT_REFINE: usize = 4;
+
+/// One searchable quantized block: SQ8 codes plus the global ids of its
+/// vectors (the quantized twin of
+/// [`SearchBlock`](crate::collection::SearchBlock)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sq8Block {
+    /// The codes, dimension-major in groups.
+    pub codes: QuantizedPdxBlock,
+    /// Global id of each vector (block order).
+    pub row_ids: Vec<u64>,
+}
+
+impl Sq8Block {
+    /// Quantizes row-major data into a searchable block.
+    ///
+    /// # Panics
+    /// Panics if buffer sizes disagree or `ids.len()` differs from the
+    /// number of rows.
+    pub fn new(
+        rows: &[f32],
+        ids: Vec<u64>,
+        n_dims: usize,
+        group_size: usize,
+        quantizer: &Sq8Quantizer,
+    ) -> Self {
+        let codes = QuantizedPdxBlock::from_rows(rows, ids.len(), n_dims, group_size, quantizer);
+        Self {
+            codes,
+            row_ids: ids,
+        }
+    }
+
+    /// Number of vectors in the block.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+}
+
+/// Reusable per-query buffers of the quantized scan.
+#[derive(Default)]
+struct Scratch {
+    partials: Vec<f32>,
+    positions: Vec<u32>,
+    compact: Vec<f32>,
+    lane_ids: Vec<u32>,
+}
+
+/// Phase 1: quantized PDXearch scan over `blocks` in the given order,
+/// returning the top-`c` candidates by estimated distance (ascending).
+///
+/// Dimension pruning engages for monotone metrics (L2/L1) once the
+/// candidate heap is full; inner product scans linearly. `step` is the
+/// checkpoint schedule of the WARMUP phase (the paper's adaptive
+/// doubling by default).
+///
+/// # Panics
+/// Panics if `c == 0` or a block's dimensionality differs from the
+/// query's.
+pub fn sq8_search(q: &Sq8Query, blocks: &[&Sq8Block], c: usize, step: StepPolicy) -> Vec<Neighbor> {
+    assert!(c > 0, "candidate count must be positive");
+    let dims = q.dims();
+    let mut heap = KnnHeap::new(c);
+    let mut scratch = Scratch::default();
+    let prune = q.metric.is_monotonic();
+    let ckpts = checkpoints(step, dims);
+
+    for block in blocks {
+        if block.is_empty() {
+            continue;
+        }
+        assert_eq!(block.codes.dims(), dims, "query dimensionality mismatch");
+        if !prune || heap.len() < c {
+            // START (or a non-monotone metric): full linear scan.
+            scratch.partials.clear();
+            scratch.partials.resize(block.len(), 0.0);
+            sq8_scan(q, &block.codes, &mut scratch.partials);
+            for (i, &d) in scratch.partials.iter().enumerate() {
+                heap.push(block.row_ids[i], d);
+            }
+            continue;
+        }
+        scan_block_pruned(q, block, &ckpts, &mut heap, &mut scratch);
+    }
+    heap.into_sorted()
+}
+
+/// WARMUP + PRUNE scan of one quantized block against the candidate
+/// heap's threshold. Mirrors the `f32` PDXearch block scan with the
+/// trivial monotone-bound survival test `partial ≤ threshold`.
+fn scan_block_pruned(
+    q: &Sq8Query,
+    block: &Sq8Block,
+    ckpts: &[usize],
+    heap: &mut KnnHeap,
+    scratch: &mut Scratch,
+) {
+    let dims = block.codes.dims();
+    let n = block.len();
+    // The paper's selection threshold: drop to position-gather mode once
+    // at most 20 % of the block survives.
+    let sel_limit = ((n as f32) * 0.20).ceil() as usize;
+
+    scratch.partials.clear();
+    scratch.partials.resize(n, 0.0);
+    let mut scanned = 0usize;
+    let mut pruning = false;
+
+    for &ck in ckpts {
+        if !pruning {
+            for g in block.codes.groups() {
+                let acc = &mut scratch.partials[g.start_vector..g.start_vector + g.lanes];
+                sq8_accumulate(q, &g, scanned..ck, acc);
+            }
+            scanned = ck;
+            if scanned == dims {
+                for (i, &d) in scratch.partials.iter().enumerate() {
+                    heap.push(block.row_ids[i], d + q.bias);
+                }
+                return;
+            }
+            let threshold = heap.threshold() - q.bias;
+            let survivors = scratch
+                .partials
+                .iter()
+                .map(|&p| (p <= threshold) as usize)
+                .sum::<usize>();
+            if survivors <= sel_limit {
+                scratch.positions.clear();
+                scratch.compact.clear();
+                for (i, &p) in scratch.partials.iter().enumerate() {
+                    if p <= threshold {
+                        scratch.positions.push(i as u32);
+                        scratch.compact.push(p);
+                    }
+                }
+                pruning = true;
+                if scratch.positions.is_empty() {
+                    return;
+                }
+            }
+        } else {
+            accumulate_survivors(q, block, scanned, ck, scratch);
+            scanned = ck;
+            if scanned == dims {
+                for (j, &pos) in scratch.positions.iter().enumerate() {
+                    heap.push(block.row_ids[pos as usize], scratch.compact[j] + q.bias);
+                }
+                return;
+            }
+            let threshold = heap.threshold() - q.bias;
+            let mut w = 0usize;
+            for j in 0..scratch.positions.len() {
+                let keep = scratch.compact[j] <= threshold;
+                scratch.positions[w] = scratch.positions[j];
+                scratch.compact[w] = scratch.compact[j];
+                w += keep as usize;
+            }
+            scratch.positions.truncate(w);
+            scratch.compact.truncate(w);
+            if scratch.positions.is_empty() {
+                return;
+            }
+        }
+    }
+}
+
+/// PRUNE-phase accumulation over survivor positions, one group run at a
+/// time (same group-locality walk as the `f32` path).
+fn accumulate_survivors(
+    q: &Sq8Query,
+    block: &Sq8Block,
+    scanned: usize,
+    ck: usize,
+    scratch: &mut Scratch,
+) {
+    let gsize = block.codes.group_size();
+    let positions = &scratch.positions;
+    let compact = &mut scratch.compact;
+    let lane_ids = &mut scratch.lane_ids;
+    let mut j0 = 0usize;
+    while j0 < positions.len() {
+        let g_idx = positions[j0] as usize / gsize;
+        let mut j1 = j0 + 1;
+        while j1 < positions.len() && positions[j1] as usize / gsize == g_idx {
+            j1 += 1;
+        }
+        let g = block.codes.group(g_idx);
+        lane_ids.clear();
+        lane_ids.extend(positions[j0..j1].iter().map(|&p| p - g.start_vector as u32));
+        sq8_accumulate_positions(q, &g, scanned..ck, lane_ids, &mut compact[j0..j1]);
+        j0 = j1;
+    }
+}
+
+/// Phase 2: exact rerank of `candidates` against the uncompressed
+/// row-major `rows` (indexed by the candidates' global ids); returns the
+/// true top-`k` of the candidate set, ascending by distance.
+///
+/// # Panics
+/// Panics if a candidate id lies outside `rows` or `k == 0`.
+pub fn sq8_rerank(
+    metric: Metric,
+    rows: &[f32],
+    dims: usize,
+    query: &[f32],
+    candidates: &[Neighbor],
+    k: usize,
+) -> Vec<Neighbor> {
+    assert_eq!(query.len(), dims, "query dimensionality mismatch");
+    let mut heap = KnnHeap::new(k);
+    for cand in candidates {
+        let i = cand.id as usize;
+        let row = &rows[i * dims..(i + 1) * dims];
+        heap.push(cand.id, distance_scalar(metric, query, row));
+    }
+    heap.into_sorted()
+}
+
+/// The full two-phase search: quantized scan for `refine · k`
+/// candidates, exact `f32` rerank to `k`.
+///
+/// # Panics
+/// Panics if `k == 0` (a zero `refine` is clamped to 1).
+#[allow(clippy::too_many_arguments)]
+pub fn sq8_two_phase(
+    quantizer: &Sq8Quantizer,
+    blocks: &[&Sq8Block],
+    rows: &[f32],
+    dims: usize,
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+    refine: usize,
+    step: StepPolicy,
+) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    let q = quantizer.prepare_query(metric, query);
+    let candidates = sq8_search(&q, blocks, k * refine.max(1), step);
+    sq8_rerank(metric, rows, dims, query, &candidates, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_rows(n: usize, d: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n * d)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    fn make_blocks(
+        rows: &[f32],
+        n: usize,
+        d: usize,
+        block_size: usize,
+        group: usize,
+        quantizer: &Sq8Quantizer,
+    ) -> Vec<Sq8Block> {
+        let mut blocks = Vec::new();
+        let mut v0 = 0usize;
+        while v0 < n {
+            let here = block_size.min(n - v0);
+            let ids: Vec<u64> = (v0 as u64..(v0 + here) as u64).collect();
+            blocks.push(Sq8Block::new(
+                &rows[v0 * d..(v0 + here) * d],
+                ids,
+                d,
+                group,
+                quantizer,
+            ));
+            v0 += here;
+        }
+        blocks
+    }
+
+    fn brute(rows: &[f32], d: usize, q: &[f32], k: usize, metric: Metric) -> Vec<u64> {
+        let mut heap = KnnHeap::new(k);
+        for (i, row) in rows.chunks_exact(d).enumerate() {
+            heap.push(i as u64, distance_scalar(metric, q, row));
+        }
+        heap.into_sorted().iter().map(|n| n.id).collect()
+    }
+
+    #[test]
+    fn pruned_scan_equals_linear_scan_of_estimates() {
+        // The quantized PDXearch must return exactly the top-c of the
+        // estimated distances — pruning is exact w.r.t. the estimate.
+        let (n, d, c) = (600, 24, 20);
+        let rows = make_rows(n, d, 3);
+        let qz = Sq8Quantizer::fit(&rows, n, d);
+        let blocks = make_blocks(&rows, n, d, 100, 64, &qz);
+        let refs: Vec<&Sq8Block> = blocks.iter().collect();
+        let raw_q = make_rows(1, d, 99);
+        for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
+            let q = qz.prepare_query(metric, &raw_q);
+            let got = sq8_search(&q, &refs, c, StepPolicy::default());
+            // Reference: scan every block fully.
+            let mut heap = KnnHeap::new(c);
+            for b in &blocks {
+                let mut out = vec![0.0; b.len()];
+                sq8_scan(&q, &b.codes, &mut out);
+                for (i, &dist) in out.iter().enumerate() {
+                    heap.push(b.row_ids[i], dist);
+                }
+            }
+            let want = heap.into_sorted();
+            let gd: Vec<f32> = got.iter().map(|x| x.distance).collect();
+            let wd: Vec<f32> = want.iter().map(|x| x.distance).collect();
+            for (a, b) in gd.iter().zip(&wd) {
+                assert!((a - b).abs() <= b.abs().max(1.0) * 1e-4, "{metric:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_phase_recovers_exact_top_k() {
+        // With enough refinement the two-phase result matches brute force
+        // on the raw f32 data.
+        let (n, d, k) = (800, 16, 10);
+        let rows = make_rows(n, d, 7);
+        let qz = Sq8Quantizer::fit(&rows, n, d);
+        let blocks = make_blocks(&rows, n, d, 128, 32, &qz);
+        let refs: Vec<&Sq8Block> = blocks.iter().collect();
+        let raw_q = make_rows(1, d, 5);
+        let got = sq8_two_phase(
+            &qz,
+            &refs,
+            &rows,
+            d,
+            Metric::L2,
+            &raw_q,
+            k,
+            8,
+            StepPolicy::default(),
+        );
+        let ids: Vec<u64> = got.iter().map(|x| x.id).collect();
+        assert_eq!(ids, brute(&rows, d, &raw_q, k, Metric::L2));
+    }
+
+    #[test]
+    fn rerank_distances_are_exact() {
+        let (n, d) = (50, 8);
+        let rows = make_rows(n, d, 11);
+        let q = make_rows(1, d, 2);
+        let candidates: Vec<Neighbor> = (0..n as u64)
+            .map(|id| Neighbor {
+                id,
+                distance: 999.0, // estimates are ignored by the rerank
+            })
+            .collect();
+        let got = sq8_rerank(Metric::L2, &rows, d, &q, &candidates, 5);
+        let want = brute(&rows, d, &q, 5, Metric::L2);
+        assert_eq!(got.iter().map(|x| x.id).collect::<Vec<_>>(), want);
+        for x in &got {
+            let row = &rows[x.id as usize * d..(x.id as usize + 1) * d];
+            assert_eq!(x.distance, distance_scalar(Metric::L2, &q, row));
+        }
+    }
+
+    #[test]
+    fn empty_blocks_are_skipped() {
+        let d = 6;
+        let rows = make_rows(20, d, 1);
+        let qz = Sq8Quantizer::fit(&rows, 20, d);
+        let empty = Sq8Block::new(&[], Vec::new(), d, 16, &qz);
+        let full = Sq8Block::new(&rows, (0..20).collect(), d, 16, &qz);
+        let q = qz.prepare_query(Metric::L2, &make_rows(1, d, 4));
+        let got = sq8_search(&q, &[&empty, &full, &empty], 5, StepPolicy::default());
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn candidate_count_larger_than_collection_returns_everything() {
+        let d = 4;
+        let rows = make_rows(9, d, 8);
+        let qz = Sq8Quantizer::fit(&rows, 9, d);
+        let blocks = make_blocks(&rows, 9, d, 4, 4, &qz);
+        let refs: Vec<&Sq8Block> = blocks.iter().collect();
+        let q = qz.prepare_query(Metric::L2, &make_rows(1, d, 3));
+        let got = sq8_search(&q, &refs, 50, StepPolicy::default());
+        assert_eq!(got.len(), 9);
+    }
+}

@@ -1,13 +1,24 @@
 //! On-disk persistence of PDX collections (§7 "PDX Storage Designs").
 //!
 //! The paper points out that PDX needs data loadable block- and
-//! dimension-at-a-time. This module provides a compact binary container
-//! for a [`PdxCollection`]: a header, then per block its row ids and its
-//! dimension-major payload, so a reader can fetch one block (or, with
-//! the per-block offsets, a dimension range of one block) without
-//! touching the rest of the file.
+//! dimension-at-a-time. This module provides compact binary containers
+//! with a versioned magic number:
 //!
-//! Layout (all integers little-endian):
+//! * **`PDX1`** — a plain `f32` [`PdxCollection`]: a header, then per
+//!   block its row ids and its dimension-major payload, so a reader can
+//!   fetch one block (or, with the per-block offsets, a dimension range
+//!   of one block) without touching the rest of the file.
+//! * **`PDX2`** — an SQ8-quantized collection ([`Sq8Container`]): the
+//!   same block structure with one *byte* per value, preceded by the
+//!   quantization metadata (per-dimension min/scale), and followed by an
+//!   optional row-major `f32` rerank payload. The split mirrors how the
+//!   index serves queries: the quantized blocks are the hot scan data,
+//!   the `f32` rows are cold data touched only for rerank candidates.
+//!
+//! [`read_container`] sniffs the magic and returns whichever kind the
+//! file holds, so callers (the CLI) stay format-agnostic.
+//!
+//! `PDX1` layout (all integers little-endian):
 //!
 //! ```text
 //! magic  "PDX1"            4 bytes
@@ -17,13 +28,30 @@
 //!   row_ids   n_vectors × u64
 //!   data      n_vectors × dims × f32   (PDX group-tiled order)
 //! ```
+//!
+//! `PDX2` layout:
+//!
+//! ```text
+//! magic  "PDX2"            4 bytes
+//! dims   u32 | group  u32 | n_blocks u32 | flags u32 (bit 0: rerank rows)
+//! mins   dims × f32 | scales dims × f32
+//! per block:
+//!   n_vectors u32
+//!   row_ids   n_vectors × u64
+//!   codes     n_vectors × dims × u8    (PDX group-tiled order)
+//! if flags bit 0:
+//!   n_rows u64
+//!   rows   n_rows × dims × f32          (row-major, by global id)
+//! ```
 
 use pdx_core::collection::{PdxCollection, SearchBlock};
-use pdx_core::layout::PdxBlock;
+use pdx_core::layout::{PdxBlock, QuantizedPdxBlock, Sq8Quantizer};
+use pdx_core::search::quantized::Sq8Block;
 use pdx_core::stats::BlockStats;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"PDX1";
+const MAGIC_SQ8: &[u8; 4] = b"PDX2";
 
 fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
@@ -76,6 +104,11 @@ pub fn read_pdx<R: Read>(mut r: R) -> io::Result<PdxCollection> {
             "not a PDX container",
         ));
     }
+    read_pdx_body(r)
+}
+
+/// Reads the `PDX1` payload after the magic has been consumed.
+fn read_pdx_body<R: Read>(mut r: R) -> io::Result<PdxCollection> {
     let dims = read_u32(&mut r)? as usize;
     let group = read_u32(&mut r)? as usize;
     let n_blocks = read_u32(&mut r)? as usize;
@@ -158,6 +191,243 @@ pub fn read_pdx_path(path: &std::path::Path) -> io::Result<PdxCollection> {
     read_pdx(io::BufReader::new(std::fs::File::open(path)?))
 }
 
+/// An SQ8-quantized collection as stored in a `PDX2` container.
+#[derive(Debug, Clone)]
+pub struct Sq8Container {
+    /// Dimensionality.
+    pub dims: usize,
+    /// Group size the blocks were tiled with.
+    pub group: usize,
+    /// The per-dimension codec.
+    pub quantizer: Sq8Quantizer,
+    /// Quantized blocks, in storage order.
+    pub blocks: Vec<Sq8Block>,
+    /// Row-major `f32` rerank payload by global id (empty when the
+    /// container was written without one).
+    pub rows: Vec<f32>,
+}
+
+/// Either kind of on-disk container, as sniffed by [`read_container`].
+#[derive(Debug, Clone)]
+pub enum Container {
+    /// A plain `f32` collection (`PDX1`).
+    F32(PdxCollection),
+    /// An SQ8-quantized collection (`PDX2`).
+    Sq8(Sq8Container),
+}
+
+/// Serializes a quantized collection into the `PDX2` container format.
+/// Pass the original row-major vectors as `rows` to make the container
+/// self-contained for exact rerank; pass `None` for a scan-only file.
+///
+/// # Errors
+/// Propagates IO errors from the writer.
+///
+/// # Panics
+/// Panics if `rows` is not whole vectors of the quantizer's
+/// dimensionality, or if the blocks disagree among themselves (group
+/// size, dimensionality) — the container stores those once in its
+/// header.
+pub fn write_sq8<W: Write>(
+    mut w: W,
+    quantizer: &Sq8Quantizer,
+    blocks: &[Sq8Block],
+    rows: Option<&[f32]>,
+) -> io::Result<()> {
+    let dims = quantizer.dims();
+    if let Some(rows) = rows {
+        assert_eq!(rows.len() % dims.max(1), 0, "rows must be whole vectors");
+    }
+    w.write_all(MAGIC_SQ8)?;
+    let group = blocks
+        .first()
+        .map_or(pdx_core::DEFAULT_GROUP_SIZE, |b| b.codes.group_size());
+    // The header stores one group size and one dimensionality for the
+    // whole container; the reader de-tiles every block with them, so a
+    // mismatched block would round-trip silently permuted.
+    for (i, b) in blocks.iter().enumerate() {
+        assert_eq!(b.codes.group_size(), group, "block {i} group size differs");
+        assert_eq!(b.codes.dims(), dims, "block {i} dimensionality differs");
+        assert_eq!(b.row_ids.len(), b.len(), "block {i} id count differs");
+    }
+    w.write_all(&(dims as u32).to_le_bytes())?;
+    w.write_all(&(group as u32).to_le_bytes())?;
+    w.write_all(&(blocks.len() as u32).to_le_bytes())?;
+    w.write_all(&(rows.is_some() as u32).to_le_bytes())?;
+    for &m in quantizer.mins() {
+        w.write_all(&m.to_le_bytes())?;
+    }
+    for &s in quantizer.scales() {
+        w.write_all(&s.to_le_bytes())?;
+    }
+    for block in blocks {
+        w.write_all(&(block.len() as u32).to_le_bytes())?;
+        for &id in &block.row_ids {
+            w.write_all(&id.to_le_bytes())?;
+        }
+        w.write_all(block.codes.as_slice())?;
+    }
+    if let Some(rows) = rows {
+        w.write_all(&((rows.len() / dims.max(1)) as u64).to_le_bytes())?;
+        for v in rows {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a quantized collection back from the `PDX2` container format.
+///
+/// # Errors
+/// Fails on IO errors, a bad magic number, or truncated payloads.
+pub fn read_sq8<R: Read>(mut r: R) -> io::Result<Sq8Container> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC_SQ8 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an SQ8 PDX container",
+        ));
+    }
+    read_sq8_body(r)
+}
+
+/// Reads the `PDX2` payload after the magic has been consumed.
+fn read_sq8_body<R: Read>(mut r: R) -> io::Result<Sq8Container> {
+    let dims = read_u32(&mut r)? as usize;
+    let group = read_u32(&mut r)? as usize;
+    let n_blocks = read_u32(&mut r)? as usize;
+    let flags = read_u32(&mut r)?;
+    if dims == 0 || group == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "zero dims or group size",
+        ));
+    }
+    let read_f32s = |r: &mut R, n: usize| -> io::Result<Vec<f32>> {
+        let mut payload = vec![0u8; n * 4];
+        r.read_exact(&mut payload)?;
+        Ok(payload
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    };
+    let mins = read_f32s(&mut r, dims)?;
+    let scales = read_f32s(&mut r, dims)?;
+    if mins.iter().any(|m| !m.is_finite()) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "non-finite quantizer min",
+        ));
+    }
+    if scales.iter().any(|&s| s <= 0.0 || !s.is_finite()) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "non-positive quantizer scale",
+        ));
+    }
+    let quantizer = Sq8Quantizer::from_params(mins, scales);
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let n = read_u32(&mut r)? as usize;
+        let n_codes = n
+            .checked_mul(dims)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "block size overflows"))?;
+        let mut row_ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            row_ids.push(read_u64(&mut r)?);
+        }
+        // The on-disk byte order is the in-memory group-tiled order; any
+        // byte is a valid code, so the buffer loads directly.
+        let mut tiled = vec![0u8; n_codes];
+        r.read_exact(&mut tiled)?;
+        let codes = QuantizedPdxBlock::from_tiled(tiled, n, dims, group);
+        blocks.push(Sq8Block { codes, row_ids });
+    }
+    let rows = if flags & 1 != 0 {
+        // The count comes from the file: use checked arithmetic so a
+        // corrupt header fails with InvalidData instead of wrapping the
+        // allocation size (and silently under-reading) in release.
+        let n_rows = read_u64(&mut r)?;
+        let n_values = usize::try_from(n_rows)
+            .ok()
+            .and_then(|n| n.checked_mul(dims))
+            .filter(|&n| n.checked_mul(4).is_some())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "rerank row count overflows")
+            })?;
+        let rows = read_f32s(&mut r, n_values)?;
+        // Every block id must index into the rerank payload, or later
+        // reranks would panic instead of the load failing cleanly.
+        for block in &blocks {
+            if block.row_ids.iter().any(|&id| id >= n_rows) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "block row id exceeds rerank payload",
+                ));
+            }
+        }
+        rows
+    } else {
+        Vec::new()
+    };
+    Ok(Sq8Container {
+        dims,
+        group,
+        quantizer,
+        blocks,
+        rows,
+    })
+}
+
+/// Writes a quantized collection to a file path.
+///
+/// # Errors
+/// Propagates IO errors.
+pub fn write_sq8_path(
+    path: &std::path::Path,
+    quantizer: &Sq8Quantizer,
+    blocks: &[Sq8Block],
+    rows: Option<&[f32]>,
+) -> io::Result<()> {
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    write_sq8(&mut w, quantizer, blocks, rows)?;
+    w.flush()
+}
+
+/// Reads a quantized collection from a file path.
+///
+/// # Errors
+/// Propagates IO and format errors.
+pub fn read_sq8_path(path: &std::path::Path) -> io::Result<Sq8Container> {
+    read_sq8(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Reads either container kind, dispatching on the magic number.
+///
+/// # Errors
+/// Fails on IO errors or an unrecognized magic number.
+pub fn read_container<R: Read>(mut r: R) -> io::Result<Container> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    match &magic {
+        m if m == MAGIC => Ok(Container::F32(read_pdx_body(r)?)),
+        m if m == MAGIC_SQ8 => Ok(Container::Sq8(read_sq8_body(r)?)),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a PDX container (unknown magic)",
+        )),
+    }
+}
+
+/// Reads either container kind from a file path.
+///
+/// # Errors
+/// Propagates IO and format errors.
+pub fn read_container_path(path: &std::path::Path) -> io::Result<Container> {
+    read_container(io::BufReader::new(std::fs::File::open(path)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +478,165 @@ mod tests {
         write_pdx_path(&path, &coll).unwrap();
         let back = read_pdx_path(&path).unwrap();
         assert_eq!(back.blocks[0].pdx, coll.blocks[0].pdx);
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn sample_sq8() -> (Sq8Quantizer, Vec<Sq8Block>, Vec<f32>) {
+        let n = 90;
+        let d = 7;
+        let rows: Vec<f32> = (0..n * d).map(|i| (i as f32 * 0.53).sin() * 3.0).collect();
+        let quantizer = Sq8Quantizer::fit(&rows, n, d);
+        let mut blocks = Vec::new();
+        let mut v0 = 0usize;
+        while v0 < n {
+            let here = 40.min(n - v0);
+            let ids: Vec<u64> = (v0 as u64..(v0 + here) as u64).collect();
+            blocks.push(Sq8Block::new(
+                &rows[v0 * d..(v0 + here) * d],
+                ids,
+                d,
+                16,
+                &quantizer,
+            ));
+            v0 += here;
+        }
+        (quantizer, blocks, rows)
+    }
+
+    #[test]
+    fn sq8_round_trip_preserves_everything() {
+        let (quantizer, blocks, rows) = sample_sq8();
+        let mut buf = Vec::new();
+        write_sq8(&mut buf, &quantizer, &blocks, Some(&rows)).unwrap();
+        let back = read_sq8(&buf[..]).unwrap();
+        assert_eq!(back.dims, 7);
+        assert_eq!(back.group, 16);
+        assert_eq!(back.quantizer, quantizer);
+        assert_eq!(back.blocks, blocks);
+        assert_eq!(back.rows, rows);
+    }
+
+    #[test]
+    fn sq8_scan_only_container_has_no_rows() {
+        let (quantizer, blocks, _) = sample_sq8();
+        let mut buf = Vec::new();
+        write_sq8(&mut buf, &quantizer, &blocks, None).unwrap();
+        let back = read_sq8(&buf[..]).unwrap();
+        assert!(back.rows.is_empty());
+        assert_eq!(back.blocks, blocks);
+    }
+
+    #[test]
+    fn container_sniffing_dispatches_on_magic() {
+        let coll = sample_collection();
+        let mut f32_buf = Vec::new();
+        write_pdx(&mut f32_buf, &coll).unwrap();
+        assert!(matches!(
+            read_container(&f32_buf[..]).unwrap(),
+            Container::F32(_)
+        ));
+        let (quantizer, blocks, rows) = sample_sq8();
+        let mut sq8_buf = Vec::new();
+        write_sq8(&mut sq8_buf, &quantizer, &blocks, Some(&rows)).unwrap();
+        assert!(matches!(
+            read_container(&sq8_buf[..]).unwrap(),
+            Container::Sq8(_)
+        ));
+        assert!(read_container(&b"XXXXrest"[..]).is_err());
+    }
+
+    #[test]
+    fn sq8_truncated_file_errors() {
+        let (quantizer, blocks, rows) = sample_sq8();
+        let mut buf = Vec::new();
+        write_sq8(&mut buf, &quantizer, &blocks, Some(&rows)).unwrap();
+        buf.truncate(buf.len() / 3);
+        assert!(read_sq8(&buf[..]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "group size differs")]
+    fn sq8_heterogeneous_group_sizes_refuse_to_serialize() {
+        let (quantizer, mut blocks, _) = sample_sq8();
+        let rows: Vec<f32> = (0..7).map(|i| i as f32).collect();
+        blocks.push(Sq8Block::new(&rows, vec![1000], 7, 8, &quantizer));
+        let _ = write_sq8(&mut Vec::new(), &quantizer, &blocks, None);
+    }
+
+    #[test]
+    fn sq8_corrupt_quantizer_params_error_cleanly() {
+        let (quantizer, blocks, _) = sample_sq8();
+        let mut buf = Vec::new();
+        write_sq8(&mut buf, &quantizer, &blocks, None).unwrap();
+        // The mins array starts right after the 20-byte header.
+        let mut bad = buf.clone();
+        bad[20..24].copy_from_slice(&f32::NAN.to_le_bytes());
+        assert_eq!(
+            read_sq8(&bad[..]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // A zero scale (first scale follows the 7 mins) is also rejected.
+        let mut bad = buf.clone();
+        bad[20 + 7 * 4..24 + 7 * 4].copy_from_slice(&0.0f32.to_le_bytes());
+        assert_eq!(
+            read_sq8(&bad[..]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn sq8_corrupt_row_count_errors_cleanly() {
+        let (quantizer, blocks, rows) = sample_sq8();
+        let mut buf = Vec::new();
+        write_sq8(&mut buf, &quantizer, &blocks, Some(&rows)).unwrap();
+        // Overwrite the trailing n_rows field with an absurd count.
+        let rows_bytes = rows.len() * 4;
+        let n_rows_at = buf.len() - rows_bytes - 8;
+        buf[n_rows_at..n_rows_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_sq8(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // A merely-too-small count (ids now out of range) also fails.
+        buf[n_rows_at..n_rows_at + 8].copy_from_slice(&1u64.to_le_bytes());
+        buf.truncate(n_rows_at + 8 + 7 * 4);
+        let err = read_sq8(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn sq8_file_round_trip_searches_match() {
+        use pdx_core::distance::Metric;
+        use pdx_core::pruning::StepPolicy;
+        use pdx_core::search::quantized::sq8_two_phase;
+        let (quantizer, blocks, rows) = sample_sq8();
+        let dir = std::env::temp_dir().join("pdx_persist_sq8_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("coll.pdx2");
+        write_sq8_path(&path, &quantizer, &blocks, Some(&rows)).unwrap();
+        let back = read_sq8_path(&path).unwrap();
+        let q: Vec<f32> = (0..7).map(|i| i as f32 * 0.3).collect();
+        let a = sq8_two_phase(
+            &quantizer,
+            &blocks.iter().collect::<Vec<_>>(),
+            &rows,
+            7,
+            Metric::L2,
+            &q,
+            5,
+            4,
+            StepPolicy::default(),
+        );
+        let b = sq8_two_phase(
+            &back.quantizer,
+            &back.blocks.iter().collect::<Vec<_>>(),
+            &back.rows,
+            back.dims,
+            Metric::L2,
+            &q,
+            5,
+            4,
+            StepPolicy::default(),
+        );
+        assert_eq!(a, b);
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # pdx-index — IVF and flat-partition substrates
 //!
 //! The paper evaluates PDXearch inside an IVF (inverted file) index and
@@ -17,13 +19,19 @@
 //! * [`hnsw`] — an HNSW graph used as the centroid router of the §2.1
 //!   hybrid index (HNSW over IVF centroids), and the §7 stepping stone
 //!   toward PDX on graph indexes.
+//! * [`sq8`] — SQ8-quantized deployments of both substrates
+//!   ([`sq8::FlatSq8`], [`sq8::IvfSq8`]): `u8` scan blocks 4× smaller
+//!   than `f32`, searched with the two-phase quantized-scan → exact
+//!   rerank path.
 
 pub mod flat;
 pub mod hnsw;
 pub mod ivf;
 pub mod kmeans;
+pub mod sq8;
 
 pub use flat::FlatPdx;
 pub use hnsw::{Hnsw, HnswParams};
 pub use ivf::{IvfHorizontal, IvfIndex, IvfPdx};
 pub use kmeans::KMeans;
+pub use sq8::{FlatSq8, IvfSq8};

@@ -1,0 +1,392 @@
+//! SQ8-quantized deployments of the flat and IVF substrates.
+//!
+//! Both deployments hold three things:
+//!
+//! * the **scan payload** — SQ8 code blocks in the quantized PDX layout,
+//!   4× smaller than their `f32` twins and the only data the per-query
+//!   scan walks;
+//! * the **codec** — one [`Sq8Quantizer`] learned on the whole
+//!   collection at build time, so codes are comparable across blocks;
+//! * the **rerank payload** — the original row-major `f32` vectors,
+//!   touched only for the `refine · k` candidates of each query (the
+//!   DiskANN-style split: hot compressed scan data, cold exact data).
+//!
+//! Queries run the two-phase path of
+//! [`pdx_core::search::quantized`]: quantized PDXearch scan → exact
+//! `f32` rerank.
+
+use pdx_core::collection::SearchBlock;
+use pdx_core::distance::Metric;
+use pdx_core::heap::Neighbor;
+use pdx_core::layout::Sq8Quantizer;
+use pdx_core::pruning::StepPolicy;
+use pdx_core::search::linear_scan_blocks;
+use pdx_core::search::quantized::{sq8_rerank, sq8_search, sq8_two_phase, Sq8Block};
+use pdx_core::{DEFAULT_EXACT_BLOCK, DEFAULT_GROUP_SIZE};
+
+/// Flat SQ8 deployment: equally sized partitions (the §6.5 exact-search
+/// shape) with quantized scan data and exact rerank data.
+///
+/// ```
+/// use pdx_index::FlatSq8;
+/// use pdx_core::distance::Metric;
+///
+/// // Sixteen 2-dimensional points on a line.
+/// let rows: Vec<f32> = (0..32).map(|i| i as f32).collect();
+/// let flat = FlatSq8::build(&rows, 16, 2, 8, 4);
+/// let hits = flat.search(&[0.0, 1.0], 3, 4, Metric::L2);
+/// assert_eq!(hits[0].id, 0); // the nearest point, reranked exactly
+/// assert_eq!(hits.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatSq8 {
+    /// Dimensionality.
+    pub dims: usize,
+    /// The collection-level codec.
+    pub quantizer: Sq8Quantizer,
+    /// Quantized partitions, in storage order.
+    pub blocks: Vec<Sq8Block>,
+    /// Row-major `f32` rerank payload, indexed by global row id.
+    pub rows: Vec<f32>,
+}
+
+impl FlatSq8 {
+    /// Fits the quantizer on all rows and quantizes consecutive
+    /// partitions of at most `block_size` vectors.
+    ///
+    /// # Panics
+    /// Panics if the buffer size disagrees or `block_size == 0`.
+    pub fn build(
+        rows: &[f32],
+        n_vectors: usize,
+        dims: usize,
+        block_size: usize,
+        group_size: usize,
+    ) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        assert_eq!(
+            rows.len(),
+            n_vectors * dims,
+            "row buffer does not match dimensions"
+        );
+        let quantizer = Sq8Quantizer::fit(rows, n_vectors, dims);
+        let mut blocks = Vec::with_capacity(n_vectors.div_ceil(block_size));
+        let mut v0 = 0usize;
+        while v0 < n_vectors {
+            let n = block_size.min(n_vectors - v0);
+            let ids: Vec<u64> = (v0 as u64..(v0 + n) as u64).collect();
+            blocks.push(Sq8Block::new(
+                &rows[v0 * dims..(v0 + n) * dims],
+                ids,
+                dims,
+                group_size,
+                &quantizer,
+            ));
+            v0 += n;
+        }
+        Self {
+            dims,
+            quantizer,
+            blocks,
+            rows: rows.to_vec(),
+        }
+    }
+
+    /// Paper-default partitioning (blocks of 10 240, groups of 64).
+    pub fn with_defaults(rows: &[f32], n_vectors: usize, dims: usize) -> Self {
+        Self::build(
+            rows,
+            n_vectors,
+            dims,
+            DEFAULT_EXACT_BLOCK,
+            DEFAULT_GROUP_SIZE,
+        )
+    }
+
+    /// Reassembles a deployment from persisted parts (see
+    /// `pdx_datasets::persist`).
+    pub fn from_parts(
+        dims: usize,
+        quantizer: Sq8Quantizer,
+        blocks: Vec<Sq8Block>,
+        rows: Vec<f32>,
+    ) -> Self {
+        Self {
+            dims,
+            quantizer,
+            blocks,
+            rows,
+        }
+    }
+
+    /// Total vectors across partitions.
+    pub fn total_vectors(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    /// Bytes of scan-resident code data (the `f32` twin holds 4× this).
+    pub fn resident_block_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.codes.resident_bytes()).sum()
+    }
+
+    /// Two-phase query: quantized PDXearch over all partitions keeping
+    /// `refine · k` candidates, then exact `f32` rerank to `k`.
+    pub fn search(&self, query: &[f32], k: usize, refine: usize, metric: Metric) -> Vec<Neighbor> {
+        let blocks: Vec<&Sq8Block> = self.blocks.iter().collect();
+        sq8_two_phase(
+            &self.quantizer,
+            &blocks,
+            &self.rows,
+            self.dims,
+            metric,
+            query,
+            k,
+            refine,
+            StepPolicy::default(),
+        )
+    }
+
+    /// Phase 1 only: the top-`c` candidates by quantized estimate
+    /// (useful to measure what the rerank buys).
+    pub fn search_quantized(&self, query: &[f32], c: usize, metric: Metric) -> Vec<Neighbor> {
+        let q = self.quantizer.prepare_query(metric, query);
+        let blocks: Vec<&Sq8Block> = self.blocks.iter().collect();
+        sq8_search(&q, &blocks, c, StepPolicy::default())
+    }
+}
+
+/// IVF deployment with SQ8-quantized buckets: the same shared bucket
+/// assignments as [`IvfPdx`](crate::ivf::IvfPdx), with `u8` scan blocks
+/// and `f32` rerank rows.
+///
+/// Centroids stay in `f32` PDX — they are `√n` vectors, a rounding error
+/// next to the buckets, and exact centroid ranking keeps probe order
+/// identical to the unquantized deployments (the paper's fairness
+/// argument extends to the compressed index).
+#[derive(Debug, Clone)]
+pub struct IvfSq8 {
+    /// Dimensionality.
+    pub dims: usize,
+    /// The collection-level codec.
+    pub quantizer: Sq8Quantizer,
+    /// Centroids of the non-empty buckets, in `f32` PDX.
+    pub centroids: SearchBlock,
+    /// One quantized block per non-empty bucket.
+    pub blocks: Vec<Sq8Block>,
+    /// Row-major `f32` rerank payload, indexed by global row id.
+    pub rows: Vec<f32>,
+}
+
+impl IvfSq8 {
+    /// Quantizes the buckets of a trained IVF (the same `assignments` the
+    /// `f32` deployments use, so all deployments probe identical
+    /// buckets).
+    ///
+    /// # Panics
+    /// Panics if any assignment id is out of range.
+    pub fn new(rows: &[f32], dims: usize, assignments: &[Vec<u32>], group_size: usize) -> Self {
+        let n_vectors = rows.len() / dims.max(1);
+        let quantizer = Sq8Quantizer::fit(rows, n_vectors, dims);
+        let mut centroid_rows = Vec::new();
+        let mut blocks = Vec::new();
+        for ids in assignments.iter().filter(|ids| !ids.is_empty()) {
+            let mut mean = vec![0.0f64; dims];
+            let mut bucket_rows = Vec::with_capacity(ids.len() * dims);
+            for &v in ids {
+                let row = &rows[v as usize * dims..(v as usize + 1) * dims];
+                bucket_rows.extend_from_slice(row);
+                for (m, &x) in mean.iter_mut().zip(row) {
+                    *m += x as f64;
+                }
+            }
+            let inv = 1.0 / ids.len() as f64;
+            centroid_rows.extend(mean.iter().map(|m| (m * inv) as f32));
+            blocks.push(Sq8Block::new(
+                &bucket_rows,
+                ids.iter().map(|&v| v as u64).collect(),
+                dims,
+                group_size,
+                &quantizer,
+            ));
+        }
+        let n_centroids = centroid_rows.len() / dims.max(1);
+        let centroids = SearchBlock::new(
+            &centroid_rows,
+            (0..n_centroids as u64).collect(),
+            dims,
+            group_size,
+        );
+        Self {
+            dims,
+            quantizer,
+            centroids,
+            blocks,
+            rows: rows.to_vec(),
+        }
+    }
+
+    /// Bytes of scan-resident bucket code data.
+    pub fn resident_block_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.codes.resident_bytes()).sum()
+    }
+
+    /// Ranks buckets by exact centroid distance; returns the `nprobe`
+    /// nearest block indexes, nearest first.
+    pub fn probe_order(&self, query: &[f32], nprobe: usize, metric: Metric) -> Vec<u32> {
+        let neighbors = linear_scan_blocks(&[&self.centroids], query, nprobe.max(1), metric);
+        neighbors.iter().map(|n| n.id as u32).collect()
+    }
+
+    /// Two-phase query over the `nprobe` nearest buckets: quantized
+    /// PDXearch keeping `refine · k` candidates, then exact rerank.
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        refine: usize,
+        metric: Metric,
+    ) -> Vec<Neighbor> {
+        let order = self.probe_order(query, nprobe, metric);
+        let blocks: Vec<&Sq8Block> = order.iter().map(|&b| &self.blocks[b as usize]).collect();
+        sq8_two_phase(
+            &self.quantizer,
+            &blocks,
+            &self.rows,
+            self.dims,
+            metric,
+            query,
+            k,
+            refine,
+            StepPolicy::default(),
+        )
+    }
+
+    /// Phase 1 only over the probed buckets (no rerank).
+    pub fn search_quantized(
+        &self,
+        query: &[f32],
+        c: usize,
+        nprobe: usize,
+        metric: Metric,
+    ) -> Vec<Neighbor> {
+        let order = self.probe_order(query, nprobe, metric);
+        let blocks: Vec<&Sq8Block> = order.iter().map(|&b| &self.blocks[b as usize]).collect();
+        let q = self.quantizer.prepare_query(metric, query);
+        sq8_search(&q, &blocks, c, StepPolicy::default())
+    }
+
+    /// Reranks an externally produced candidate set against this
+    /// deployment's `f32` rows (exposed for benchmarks that time the
+    /// phases separately).
+    pub fn rerank(
+        &self,
+        query: &[f32],
+        candidates: &[Neighbor],
+        k: usize,
+        metric: Metric,
+    ) -> Vec<Neighbor> {
+        sq8_rerank(metric, &self.rows, self.dims, query, candidates, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::IvfIndex;
+    use pdx_core::heap::KnnHeap;
+    use pdx_core::kernels::{nary_distance, KernelVariant};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rows(n: usize, d: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * d).map(|_| rng.random::<f32>() * 10.0).collect()
+    }
+
+    fn brute(data: &[f32], d: usize, q: &[f32], k: usize) -> Vec<u64> {
+        let mut heap = KnnHeap::new(k);
+        for (i, row) in data.chunks_exact(d).enumerate() {
+            heap.push(
+                i as u64,
+                nary_distance(Metric::L2, KernelVariant::Scalar, q, row),
+            );
+        }
+        heap.into_sorted().iter().map(|n| n.id).collect()
+    }
+
+    #[test]
+    fn flat_two_phase_matches_brute_force() {
+        let (n, d, k) = (900, 12, 10);
+        let rows = random_rows(n, d, 1);
+        let flat = FlatSq8::build(&rows, n, d, 250, 64);
+        assert_eq!(flat.blocks.len(), 4);
+        assert_eq!(flat.total_vectors(), n);
+        let q = random_rows(1, d, 9);
+        let got = flat.search(&q, k, 8, Metric::L2);
+        let ids: Vec<u64> = got.iter().map(|x| x.id).collect();
+        assert_eq!(ids, brute(&rows, d, &q, k));
+    }
+
+    #[test]
+    fn flat_resident_bytes_are_4x_smaller_than_f32() {
+        let (n, d) = (500, 16);
+        let rows = random_rows(n, d, 3);
+        let flat = FlatSq8::build(&rows, n, d, 128, 64);
+        assert_eq!(flat.resident_block_bytes(), n * d);
+        let f32_bytes = n * d * std::mem::size_of::<f32>();
+        assert!(f32_bytes >= 4 * flat.resident_block_bytes());
+    }
+
+    #[test]
+    fn ivf_full_probe_matches_brute_force() {
+        let (n, d, k) = (600, 12, 10);
+        let rows = random_rows(n, d, 5);
+        let index = IvfIndex::build(&rows, n, d, 16, 10, 7);
+        let ivf = IvfSq8::new(&rows, d, &index.assignments, 64);
+        let q = random_rows(1, d, 11);
+        let got = ivf.search(&q, k, ivf.blocks.len(), 8, Metric::L2);
+        let ids: Vec<u64> = got.iter().map(|x| x.id).collect();
+        assert_eq!(ids, brute(&rows, d, &q, k));
+    }
+
+    #[test]
+    fn ivf_probe_order_matches_f32_deployment() {
+        // Centroids are exact, so probe order equals IvfPdx's.
+        let (n, d) = (400, 8);
+        let rows = random_rows(n, d, 2);
+        let index = IvfIndex::build(&rows, n, d, 12, 8, 3);
+        let sq8 = IvfSq8::new(&rows, d, &index.assignments, 64);
+        let pdx = crate::ivf::IvfPdx::new(&rows, d, &index.assignments, 64);
+        let q = random_rows(1, d, 4);
+        assert_eq!(
+            sq8.probe_order(&q, 5, Metric::L2),
+            pdx.probe_order(&q, 5, Metric::L2)
+        );
+    }
+
+    #[test]
+    fn quantized_phase_alone_is_already_close() {
+        let (n, d, k) = (800, 10, 10);
+        let rows = random_rows(n, d, 8);
+        let flat = FlatSq8::build(&rows, n, d, 200, 32);
+        let q = random_rows(1, d, 6);
+        let est = flat.search_quantized(&q, k, Metric::L2);
+        let truth = brute(&rows, d, &q, k);
+        let truth_set: std::collections::HashSet<u64> = truth.iter().copied().collect();
+        let hits = est.iter().filter(|x| truth_set.contains(&x.id)).count();
+        // 8-bit quantization on 10 uniform dims: most of the top-k
+        // survives even without rerank.
+        assert!(hits >= k / 2, "only {hits}/{k} without rerank");
+    }
+
+    #[test]
+    fn empty_buckets_are_skipped() {
+        let rows = random_rows(30, 4, 11);
+        let index = IvfIndex::build(&rows, 30, 4, 25, 6, 4);
+        let ivf = IvfSq8::new(&rows, 4, &index.assignments, 16);
+        assert!(ivf.blocks.iter().all(|b| !b.is_empty()));
+        let total: usize = ivf.blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 30);
+    }
+}

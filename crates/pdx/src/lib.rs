@@ -27,6 +27,31 @@
 //! let exact = flat.linear_search(ds.query(0), 10, Metric::L2);
 //! assert_eq!(hits[0].id, exact[0].id);
 //! ```
+//!
+//! ## Quantized (SQ8) search
+//!
+//! The same collection can be served from 4×-smaller SQ8 blocks with a
+//! two-phase search: a quantized PDXearch scan collects `refine · k`
+//! candidates, then the exact `f32` distances of just those candidates
+//! decide the final top-k.
+//!
+//! ```
+//! use pdx::prelude::*;
+//!
+//! let spec = DatasetSpec { name: "demo", dims: 32, distribution: Distribution::Normal, paper_size: 0 };
+//! let ds = generate(&spec, 1_000, 1, 42);
+//!
+//! let sq8 = FlatSq8::with_defaults(&ds.data, ds.len, ds.dims());
+//! // The scan payload is a quarter of the f32 bytes.
+//! assert_eq!(sq8.resident_block_bytes() * 4, ds.data.len() * 4);
+//! let hits = sq8.search(ds.query(0), 10, DEFAULT_REFINE, Metric::L2);
+//! assert_eq!(hits.len(), 10);
+//!
+//! // Rerank distances are exact, so the top hit matches exact search.
+//! let flat = FlatPdx::with_defaults(&ds.data, ds.len, ds.dims());
+//! let exact = flat.linear_search(ds.query(0), 10, Metric::L2);
+//! assert_eq!(hits[0].id, exact[0].id);
+//! ```
 
 pub use pdx_core as core;
 pub use pdx_datasets as datasets;
@@ -40,13 +65,19 @@ pub mod prelude {
     pub use pdx_core::collection::{PdxCollection, SearchBlock};
     pub use pdx_core::distance::{normalize, Metric};
     pub use pdx_core::heap::{KnnHeap, Neighbor};
-    pub use pdx_core::kernels::{dsm_scan, gather_scan, nary_distance, pdx_scan, KernelVariant};
-    pub use pdx_core::layout::{DsmMatrix, DualBlockMatrix, NaryMatrix, PdxBlock};
+    pub use pdx_core::kernels::{
+        dsm_scan, gather_scan, nary_distance, pdx_scan, sq8_distance_scalar, sq8_scan,
+        KernelVariant,
+    };
+    pub use pdx_core::layout::{
+        DsmMatrix, DualBlockMatrix, NaryMatrix, PdxBlock, QuantizedPdxBlock, Sq8Quantizer, Sq8Query,
+    };
     pub use pdx_core::profile::SearchProfile;
     pub use pdx_core::pruning::{checkpoints, BlockAux, Pruner, StepPolicy};
     pub use pdx_core::search::{
         horizontal_linear_scan, horizontal_pruned_search, linear_scan_dsm, linear_scan_nary,
-        linear_scan_pdx, pdxearch, HorizontalBucket, SearchParams,
+        linear_scan_pdx, pdxearch, sq8_rerank, sq8_search, sq8_two_phase, HorizontalBucket,
+        SearchParams, Sq8Block, DEFAULT_REFINE,
     };
     pub use pdx_core::stats::BlockStats;
     pub use pdx_core::visit_order::VisitOrder;
@@ -55,6 +86,8 @@ pub mod prelude {
     pub use pdx_datasets::synthetic::{
         generate, spec_by_name, Dataset, DatasetSpec, Distribution, TABLE1,
     };
-    pub use pdx_index::{FlatPdx, Hnsw, HnswParams, IvfHorizontal, IvfIndex, IvfPdx, KMeans};
+    pub use pdx_index::{
+        FlatPdx, FlatSq8, Hnsw, HnswParams, IvfHorizontal, IvfIndex, IvfPdx, IvfSq8, KMeans,
+    };
     pub use pdx_pruners::{AdSampling, Bsa, BsaLearned};
 }

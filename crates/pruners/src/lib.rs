@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # pdx-pruners — dimension-pruning algorithms on the PDX layout
 //!
 //! Implementations of the two state-of-the-art approximate dimension

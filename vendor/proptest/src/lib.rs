@@ -35,7 +35,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Lengths accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// Lengths accepted by [`vec()`]: an exact `usize` or a `Range<usize>`.
     pub trait SizeRange {
         fn pick(&self, rng: &mut TestRng) -> usize;
     }
