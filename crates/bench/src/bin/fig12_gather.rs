@@ -9,7 +9,7 @@
 //! §2.5).
 //!
 //! ```text
-//! cargo run --release -p pdx-bench --bin fig12_gather [--dims=128]
+//! cargo run --release -p pdx-bench --bin fig12_gather [--dims=128] [--quick]
 //! ```
 
 use pdx::prelude::*;
@@ -29,9 +29,15 @@ fn time_scan(mut scan: impl FnMut(), reps: usize) -> f64 {
 
 fn main() {
     let args = BenchArgs::parse();
-    let d = args.usize("dims", 128);
-    // Sweep the working set across cache levels: 64 vecs (L1) … 512k (DRAM).
-    let sizes = [64usize, 512, 4096, 32_768, 131_072, 524_288];
+    let quick = args.flag("quick");
+    let d = args.usize("dims", if quick { 32 } else { 128 });
+    // Sweep the working set across cache levels: 64 vecs (L1) … 512k
+    // (DRAM). Smoke mode stops at L2-resident sizes with 1 rep.
+    let sizes: &[usize] = if quick {
+        &[64, 512, 4096]
+    } else {
+        &[64, 512, 4096, 32_768, 131_072, 524_288]
+    };
 
     println!("\nFigure 12 — kernel time relative to N-ary+Gather (D = {d}, L2 metric)");
     println!(
@@ -51,7 +57,7 @@ fn main() {
     );
     println!("{}", "-".repeat(72));
     let mut csv = Vec::new();
-    for &n in &sizes {
+    for &n in sizes {
         let spec = DatasetSpec {
             name: "f12",
             dims: d,
@@ -63,7 +69,11 @@ fn main() {
         let nary = NaryMatrix::from_rows(&ds.data, n, d);
         let block = PdxBlock::from_rows(&ds.data, n, d, DEFAULT_GROUP_SIZE);
         let mut out = vec![0.0f32; n];
-        let reps = ((2e8 / (n * d) as f64) as usize).clamp(5, 2001);
+        let reps = if quick {
+            1
+        } else {
+            ((2e8 / (n * d) as f64) as usize).clamp(5, 2001)
+        };
 
         let t_gather = time_scan(|| gather_scan(Metric::L2, &nary, q, &mut out), reps);
         let t_nary = time_scan(

@@ -6,7 +6,7 @@
 //! pdx-cli build    --data=base.fvecs --out=index.pdx [--block-size=10240 --group=64]
 //!                  [--quantize=sq8]
 //! pdx-cli query    --index=index.pdx --queries=queries.fvecs --k=10 [--order=means]
-//!                  [--refine=4]
+//!                  [--refine=4 --threads=N]
 //! pdx-cli ground-truth --data=base.fvecs --queries=queries.fvecs --k=10 --out=gt.ivecs
 //! pdx-cli evaluate --index=index.pdx --queries=queries.fvecs --gt=gt.ivecs --k=10
 //! ```
@@ -15,6 +15,12 @@
 //! SQ8 scan blocks, the quantizer, and the exact rerank payload; `query`
 //! and `evaluate` sniff the container kind and transparently use the
 //! two-phase quantized search on quantized indexes.
+//!
+//! `query`, `evaluate` and `build` run on the execution engine's worker
+//! pool: `--threads=N` picks the width explicitly, otherwise the
+//! `PDX_THREADS` environment variable (a number or `max`) and finally
+//! the hardware parallelism decide. Results are identical at every
+//! width.
 
 use pdx::prelude::*;
 use std::collections::HashMap;
@@ -78,14 +84,19 @@ commands:
                   --data=<file> --out=<file> [--block-size=10240 --group=64]
                   [--quantize=sq8]   SQ8-quantize the scan blocks (4× smaller,
                                      two-phase search with exact rerank)
+                  [--threads=N]      worker count for quantizer training
   query         run queries against a PDX container (exact PDX-BOND on f32
                 indexes; two-phase quantized scan + rerank on SQ8 indexes)
                   --index=<file> --queries=<file> [--k=10 --order=means|zones|decreasing|seq]
                   [--refine=4]       SQ8 candidate factor (rerank refine·k)
+                  [--threads=N]      parallel batch width (default: PDX_THREADS
+                                     env, then all hardware threads; results
+                                     are identical at every width)
   ground-truth  exact k-NN ids for a query set, saved as .ivecs
                   --data=<file> --queries=<file> --out=<file> [--k=10]
   evaluate      recall against stored ground truth (any container kind)
                   --index=<file> --queries=<file> --gt=<file> [--k=10 --refine=4]
+                  [--threads=N]      parallel batch width (as in query)
   datasets      list the built-in Table 1 dataset shapes
 ";
 
@@ -174,7 +185,10 @@ fn cmd_build(args: &Args) -> Result<(), String> {
             );
         }
         "sq8" => {
-            let flat = FlatSq8::build(&data.data, data.len, data.dims, block_size, group);
+            let threads = args.usize("threads", 0);
+            let flat = FlatSq8::build_with_threads(
+                &data.data, data.len, data.dims, block_size, group, threads,
+            );
             pdx::datasets::persist::write_sq8_path(
                 &out,
                 &flat.quantizer,
@@ -227,8 +241,9 @@ fn sq8_deployment(c: pdx::datasets::persist::Sq8Container) -> (FlatSq8, bool) {
     )
 }
 
-/// Boxed per-query search closure borrowed from a loaded [`Deployment`].
-type QueryRunner<'a> = Box<dyn Fn(&[f32]) -> Vec<Neighbor> + 'a>;
+/// Boxed per-query search closure borrowed from a loaded [`Deployment`];
+/// `Sync` so the batch engine can call it from many workers at once.
+type QueryRunner<'a> = Box<dyn Fn(&[f32]) -> Vec<Neighbor> + Sync + 'a>;
 
 /// Runs one query against either container kind, returning `k` results.
 enum Deployment {
@@ -340,21 +355,22 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         ));
     }
     let run = deployment.runner(k);
+    let searcher = BatchSearcher::new(args.usize("threads", 0));
     let t0 = Instant::now();
-    for qi in 0..queries.len {
-        let q = &queries.data[qi * dims..(qi + 1) * dims];
-        let res = run(q);
+    let results = searcher.run(&queries.data, dims, |q| run(q));
+    let secs = t0.elapsed().as_secs_f64();
+    for (qi, res) in results.iter().enumerate() {
         let ids: Vec<String> = res
             .iter()
             .map(|r| format!("{}:{:.3}", r.id, r.distance))
             .collect();
         println!("query {qi}: {}", ids.join(" "));
     }
-    let secs = t0.elapsed().as_secs_f64();
     eprintln!(
-        "{} queries ({}) in {secs:.3}s ({:.1} QPS)",
+        "{} queries ({}, {} threads) in {secs:.3}s ({:.1} QPS)",
         queries.len,
         deployment.kind(),
+        searcher.threads(),
         queries.len as f64 / secs
     );
     Ok(())
@@ -399,11 +415,12 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
         ));
     }
     let run = deployment.runner(k);
-    let mut total = 0.0;
+    let searcher = BatchSearcher::new(args.usize("threads", 0));
     let t0 = Instant::now();
-    for qi in 0..queries.len {
-        let q = &queries.data[qi * dims..(qi + 1) * dims];
-        let res = run(q);
+    let results = searcher.run(&queries.data, dims, |q| run(q));
+    let secs = t0.elapsed().as_secs_f64();
+    let mut total = 0.0;
+    for (qi, res) in results.iter().enumerate() {
         let ids: Vec<u64> = res.iter().map(|r| r.id).collect();
         let truth: Vec<u64> = gt.data[qi * gt.dims..qi * gt.dims + k]
             .iter()
@@ -411,12 +428,12 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
             .collect();
         total += recall_at_k(&truth, &ids, k);
     }
-    let secs = t0.elapsed().as_secs_f64();
     println!(
-        "recall@{k} = {:.4} over {} queries ({}, {:.1} QPS)",
+        "recall@{k} = {:.4} over {} queries ({}, {} threads, {:.1} QPS)",
         total / queries.len.max(1) as f64,
         queries.len,
         deployment.kind(),
+        searcher.threads(),
         queries.len as f64 / secs
     );
     Ok(())

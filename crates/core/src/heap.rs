@@ -3,6 +3,14 @@
 //! The heap keeps the `k` smallest distances seen so far; its root (the
 //! current k-th best distance) is the pruning threshold that PDXearch
 //! propagates from block to block (§4).
+//!
+//! Candidates are ordered by `(distance, id)`: a full heap evicts its
+//! worst entry whenever a strictly smaller `(distance, id)` pair is
+//! offered, so the retained set is the **canonical top-k of the offered
+//! candidate set** — independent of arrival order. This is the invariant
+//! the parallel execution engine ([`crate::exec`]) builds on: per-worker
+//! heaps over disjoint block ranges merge into exactly the result a
+//! sequential scan would produce, including duplicate-distance ties.
 
 /// One search result: a vector id and its distance to the query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -13,7 +21,7 @@ pub struct Neighbor {
     pub distance: f32,
 }
 
-/// Bounded max-heap of the `k` best (smallest-distance) candidates.
+/// Bounded max-heap of the `k` best candidates by `(distance, id)`.
 ///
 /// ```
 /// use pdx_core::heap::KnnHeap;
@@ -29,9 +37,18 @@ pub struct Neighbor {
 #[derive(Debug, Clone)]
 pub struct KnnHeap {
     k: usize,
-    /// Binary max-heap ordered by distance; `entries[0]` is the worst of
-    /// the current best-k.
+    /// Binary max-heap ordered by `(distance, id)`; `entries[0]` is the
+    /// worst of the current best-k.
     entries: Vec<Neighbor>,
+}
+
+/// Whether `a` orders above `b` in the max-heap: lexicographic
+/// `(distance, id)`. `false` for NaN distances — a NaN offered to a full
+/// heap is rejected; one accepted while underfull panics in
+/// [`KnnHeap::into_sorted`], matching the previous behavior.
+#[inline(always)]
+fn above(a: &Neighbor, b: &Neighbor) -> bool {
+    a.distance > b.distance || (a.distance == b.distance && a.id > b.id)
 }
 
 impl KnnHeap {
@@ -72,14 +89,16 @@ impl KnnHeap {
         }
     }
 
-    /// Offers a candidate; keeps it only if it improves the best-k.
+    /// Offers a candidate; keeps it only if it improves the best-k by
+    /// `(distance, id)` — equal distances are won by the smaller id, so
+    /// the retained set does not depend on the order candidates arrive.
     /// Returns `true` if the candidate was retained.
     pub fn push(&mut self, id: u64, distance: f32) -> bool {
         if self.entries.len() < self.k {
             self.entries.push(Neighbor { id, distance });
             self.sift_up(self.entries.len() - 1);
             true
-        } else if distance < self.entries[0].distance {
+        } else if above(&self.entries[0], &Neighbor { id, distance }) {
             self.entries[0] = Neighbor { id, distance };
             self.sift_down(0);
             true
@@ -103,7 +122,7 @@ impl KnnHeap {
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
-            if self.entries[i].distance > self.entries[parent].distance {
+            if above(&self.entries[i], &self.entries[parent]) {
                 self.entries.swap(i, parent);
                 i = parent;
             } else {
@@ -117,10 +136,10 @@ impl KnnHeap {
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             let mut largest = i;
-            if l < n && self.entries[l].distance > self.entries[largest].distance {
+            if l < n && above(&self.entries[l], &self.entries[largest]) {
                 largest = l;
             }
-            if r < n && self.entries[r].distance > self.entries[largest].distance {
+            if r < n && above(&self.entries[r], &self.entries[largest]) {
                 largest = r;
             }
             if largest == i {
@@ -228,16 +247,20 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_distances_do_not_evict_on_ties() {
-        // A candidate equal to the current threshold must be rejected
-        // (strict improvement only), and a full heap of identical
-        // distances behaves like any other full heap.
+    fn duplicate_distances_tie_break_on_id() {
+        // Ties at the threshold are resolved by id: a larger id is
+        // rejected, a smaller id evicts the worst (largest-id) tie, so
+        // the retained set never depends on arrival order.
         let mut h = KnnHeap::new(3);
-        for id in 0..3u64 {
+        for id in [4u64, 5, 6] {
             assert!(h.push(id, 2.0));
         }
         assert_eq!(h.threshold(), 2.0);
-        assert!(!h.push(99, 2.0), "tie with threshold must not be retained");
+        assert!(
+            !h.push(99, 2.0),
+            "tie with a larger id must not be retained"
+        );
+        assert!(h.push(1, 2.0), "tie with a smaller id must evict id 6");
         assert!(h.push(100, 1.5), "strictly better must evict a duplicate");
         let r = h.into_sorted();
         assert_eq!(r.len(), 3);
@@ -248,7 +271,35 @@ mod tests {
                 distance: 1.5
             }
         );
-        assert!(r[1..].iter().all(|n| n.distance == 2.0 && n.id < 3));
+        assert_eq!(
+            r[1..].iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![1, 4],
+            "smallest ids among the 2.0 ties survive"
+        );
+    }
+
+    #[test]
+    fn retained_set_is_arrival_order_independent() {
+        // The canonical-top-k invariant the parallel engine relies on:
+        // any permutation of the candidate stream yields the same heap.
+        let mut cands: Vec<(u64, f32)> = (0..40u64).map(|id| (id, (id % 7) as f32)).collect();
+        let reference = {
+            let mut h = KnnHeap::new(10);
+            for &(id, d) in &cands {
+                h.push(id, d);
+            }
+            h.into_sorted()
+        };
+        // A handful of deterministic shuffles.
+        for rot in [1usize, 7, 13, 23, 39] {
+            cands.rotate_left(rot);
+            cands.swap(0, 20);
+            let mut h = KnnHeap::new(10);
+            for &(id, d) in &cands {
+                h.push(id, d);
+            }
+            assert_eq!(h.into_sorted(), reference, "rotation {rot}");
+        }
     }
 
     #[test]

@@ -62,7 +62,19 @@ impl Sq8Quantizer {
     /// Panics if the buffer size disagrees with `n_vectors × dims` or if
     /// `dims == 0`.
     pub fn fit(rows: &[f32], n_vectors: usize, dims: usize) -> Self {
-        let (mins, maxs) = Self::ranges(rows, n_vectors, dims);
+        Self::fit_with_pool(rows, n_vectors, dims, &crate::exec::ThreadPool::from_env())
+    }
+
+    /// [`Sq8Quantizer::fit`] with an explicit worker pool for the range
+    /// pass. Min/max merging is exact, so the learned codec is bitwise
+    /// identical at every thread count.
+    pub fn fit_with_pool(
+        rows: &[f32],
+        n_vectors: usize,
+        dims: usize,
+        pool: &crate::exec::ThreadPool,
+    ) -> Self {
+        let (mins, maxs) = Self::ranges(rows, n_vectors, dims, pool);
         let scales = mins
             .iter()
             .zip(&maxs)
@@ -92,7 +104,8 @@ impl Sq8Quantizer {
     /// # Panics
     /// Panics as [`Sq8Quantizer::fit`] does.
     pub fn fit_uniform(rows: &[f32], n_vectors: usize, dims: usize) -> Self {
-        let (mins, maxs) = Self::ranges(rows, n_vectors, dims);
+        let (mins, maxs) =
+            Self::ranges(rows, n_vectors, dims, &crate::exec::ThreadPool::from_env());
         let widest = mins
             .iter()
             .zip(&maxs)
@@ -106,20 +119,39 @@ impl Sq8Quantizer {
     }
 
     /// Per-dimension `[min, max]` over row-major data (the shared first
-    /// pass of the fitters).
-    fn ranges(rows: &[f32], n_vectors: usize, dims: usize) -> (Vec<f32>, Vec<f32>) {
+    /// pass of the fitters), parallelized over row chunks on `pool`.
+    fn ranges(
+        rows: &[f32],
+        n_vectors: usize,
+        dims: usize,
+        pool: &crate::exec::ThreadPool,
+    ) -> (Vec<f32>, Vec<f32>) {
         assert!(dims > 0, "dims must be positive");
         assert_eq!(
             rows.len(),
             n_vectors * dims,
             "row buffer does not match dimensions"
         );
+        // Large fixed chunks: the pass is pure streaming min/max, so the
+        // only goal is to amortize the per-chunk scheduling cost.
+        const CHUNK_VECTORS: usize = 8192;
+        let partials = pool.run_chunks(n_vectors, CHUNK_VECTORS, |_ci, range| {
+            let mut mins = vec![f32::INFINITY; dims];
+            let mut maxs = vec![f32::NEG_INFINITY; dims];
+            for row in rows[range.start * dims..range.end * dims].chunks_exact(dims) {
+                for (d, &v) in row.iter().enumerate() {
+                    mins[d] = mins[d].min(v);
+                    maxs[d] = maxs[d].max(v);
+                }
+            }
+            (mins, maxs)
+        });
         let mut mins = vec![f32::INFINITY; dims];
         let mut maxs = vec![f32::NEG_INFINITY; dims];
-        for row in rows.chunks_exact(dims) {
-            for (d, &v) in row.iter().enumerate() {
-                mins[d] = mins[d].min(v);
-                maxs[d] = maxs[d].max(v);
+        for (pmin, pmax) in partials {
+            for d in 0..dims {
+                mins[d] = mins[d].min(pmin[d]);
+                maxs[d] = maxs[d].max(pmax[d]);
             }
         }
         if n_vectors == 0 {

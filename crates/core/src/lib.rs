@@ -25,6 +25,11 @@
 //!   SIMD-ADS / SCALAR-ADS baselines.
 //! * [`bond`] — **PDX-BOND** (§5), the exact, transformation-free pruner
 //!   with query-aware dimension visit orders ([`visit_order`]).
+//! * [`exec`] — the parallel execution engine: a std-only scoped-thread
+//!   worker pool ([`exec::ThreadPool`]), batch query sharding
+//!   ([`exec::BatchSearcher`]) and deterministic intra-query block-range
+//!   splitting ([`exec::parallel_block_search`]), all returning results
+//!   bit-identical to the sequential paths at any thread count.
 //! * [`layout::QuantizedPdxBlock`] + [`kernels::sq8`] +
 //!   [`search::quantized`] — the **SQ8** path: scalar-quantized `u8`
 //!   blocks in the same dimension-major layout, integer-friendly
@@ -59,6 +64,7 @@
 pub mod bond;
 pub mod collection;
 pub mod distance;
+pub mod exec;
 pub mod heap;
 pub mod kernels;
 pub mod layout;
@@ -71,6 +77,7 @@ pub mod visit_order;
 pub use bond::PdxBond;
 pub use collection::{PdxCollection, SearchBlock};
 pub use distance::Metric;
+pub use exec::{BatchSearcher, ThreadPool};
 pub use heap::{KnnHeap, Neighbor};
 pub use layout::{
     DsmMatrix, DualBlockMatrix, NaryMatrix, PdxBlock, QuantizedPdxBlock, Sq8Quantizer,

@@ -172,18 +172,34 @@ fn run<P: Pruner, const PROFILE: bool>(
         }
         let dims = block.pdx.dims();
         assert_eq!(qdims, dims, "query dimensionality mismatch");
+        // The per-block dimension visit order is applied in *every*
+        // phase — including the START linear scan — so a vector's
+        // accumulated distance is a pure function of its block, not of
+        // which phase happened to scan it. This is what lets a
+        // block-range split (crate::exec) reproduce the sequential
+        // distances bit-for-bit: each worker's leading blocks run START
+        // while sequentially they would have run WARMUP/PRUNE, but the
+        // accumulation order (and hence the f32 rounding) is identical.
+        let t1 = timer::<PROFILE>();
+        let perm = pruner.dim_order(q, Some(&block.stats));
+        lap(&mut profile.preprocess_ns, t1);
         if heap.len() < params.k {
             // START: no threshold yet — full linear scan of this block.
-            scan_block_linear::<P, PROFILE>(pruner, q, block, &mut heap, &mut scratch, profile);
+            scan_block_linear::<P, PROFILE>(
+                pruner,
+                q,
+                block,
+                perm.as_deref(),
+                &mut heap,
+                &mut scratch,
+                profile,
+            );
             continue;
         }
         if ckpt_dims != dims {
             ckpts = checkpoints(params.step, dims);
             ckpt_dims = dims;
         }
-        let t1 = timer::<PROFILE>();
-        let perm = pruner.dim_order(q, Some(&block.stats));
-        lap(&mut profile.preprocess_ns, t1);
         scan_block_pruned::<P, PROFILE>(
             pruner,
             q,
@@ -199,11 +215,14 @@ fn run<P: Pruner, const PROFILE: bool>(
     heap.into_sorted()
 }
 
-/// Full linear scan of one block; every distance is offered to the heap.
+/// Full linear scan of one block; every distance is offered to the
+/// heap. Accumulates in the block's permuted dimension order when the
+/// pruner has one, matching the WARMUP/PRUNE phases exactly.
 fn scan_block_linear<P: Pruner, const PROFILE: bool>(
     pruner: &P,
     q: &P::Query,
     block: &SearchBlock,
+    perm: Option<&[u32]>,
     heap: &mut KnnHeap,
     scratch: &mut Scratch,
     profile: &mut SearchProfile,
@@ -217,7 +236,10 @@ fn scan_block_linear<P: Pruner, const PROFILE: bool>(
     scratch.partials.resize(n, 0.0);
     for g in block.pdx.groups() {
         let acc = &mut scratch.partials[g.start_vector..g.start_vector + g.lanes];
-        pdx_accumulate(metric, &g, qvec, 0..dims, acc);
+        match perm {
+            None => pdx_accumulate(metric, &g, qvec, 0..dims, acc),
+            Some(p) => pdx_accumulate_permuted(metric, &g, qvec, p, acc),
+        }
     }
     for (i, &d) in scratch.partials.iter().enumerate() {
         heap.push(block.row_ids[i], d);

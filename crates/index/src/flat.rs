@@ -9,6 +9,7 @@
 
 use pdx_core::collection::{PdxCollection, SearchBlock};
 use pdx_core::distance::Metric;
+use pdx_core::exec::{parallel_block_search, BatchSearcher};
 use pdx_core::heap::Neighbor;
 use pdx_core::pruning::Pruner;
 use pdx_core::search::{linear_scan_pdx, pdxearch_prepared, SearchParams};
@@ -61,44 +62,49 @@ impl FlatPdx {
         pdxearch_prepared(pruner, &q, &blocks, params)
     }
 
-    /// Searches a batch of queries in parallel with scoped threads (one
-    /// band of queries per thread). Each individual query still runs the
-    /// single-threaded PDXearch — this parallelizes *across* queries, the
-    /// way vector databases serve concurrent load.
-    pub fn search_batch<P: pdx_core::pruning::Pruner + Sync>(
+    /// Searches a batch of packed queries on the execution engine's
+    /// worker pool (`threads = 0` resolves the default width — the
+    /// `PDX_THREADS` env override, then hardware parallelism). Each
+    /// individual query still runs the single-threaded PDXearch — this
+    /// parallelizes *across* queries, the way vector databases serve
+    /// concurrent load — so results are identical to a sequential loop
+    /// of [`FlatPdx::search`] at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `queries.len()` is not a multiple of the
+    /// dimensionality.
+    pub fn search_batch<P: Pruner + Sync>(
         &self,
         pruner: &P,
         queries: &[f32],
         params: &SearchParams,
         threads: usize,
     ) -> Vec<Vec<Neighbor>> {
-        let dims = self.collection.dims;
-        assert_eq!(
-            queries.len() % dims.max(1),
-            0,
-            "queries must be whole vectors"
-        );
-        let nq = queries.len() / dims.max(1);
-        let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
-        let threads = threads.max(1).min(nq.max(1));
-        let band = nq.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let mut rest: &mut [Vec<Neighbor>] = &mut out;
-            let mut q0 = 0usize;
-            while q0 < nq {
-                let here = band.min(nq - q0);
-                let (chunk, tail) = rest.split_at_mut(here);
-                rest = tail;
-                let start = q0;
-                scope.spawn(move || {
-                    for (slot, qi) in chunk.iter_mut().zip(start..start + here) {
-                        *slot = self.search(pruner, &queries[qi * dims..(qi + 1) * dims], params);
-                    }
-                });
-                q0 += here;
-            }
-        });
-        out
+        BatchSearcher::new(threads).run(queries, self.collection.dims, |q| {
+            self.search(pruner, q, params)
+        })
+    }
+
+    /// One large query with the partitions split into per-worker block
+    /// ranges; per-worker heaps merge to the canonical top-k by
+    /// `(distance, id)`. Bit-identical to [`FlatPdx::search`] for exact
+    /// pruners (PDX-BOND) at any thread count.
+    pub fn search_parallel<P: Pruner + Sync>(
+        &self,
+        pruner: &P,
+        query: &[f32],
+        params: &SearchParams,
+        threads: usize,
+    ) -> Vec<Neighbor>
+    where
+        P::Query: Sync,
+    {
+        let q = pruner.prepare_query(query);
+        let blocks: Vec<&SearchBlock> = self.collection.blocks.iter().collect();
+        let pool = pdx_core::exec::ThreadPool::new(threads);
+        parallel_block_search(&pool, blocks.len(), params.k, |range| {
+            pdxearch_prepared(pruner, &q, &blocks[range], params)
+        })
     }
 
     /// Non-pruning PDX linear scan (the PDX-LINEAR-SCAN competitor).

@@ -19,6 +19,7 @@
 use crate::kmeans::KMeans;
 use pdx_core::collection::SearchBlock;
 use pdx_core::distance::Metric;
+use pdx_core::exec::{parallel_block_search, BatchSearcher};
 use pdx_core::heap::{KnnHeap, Neighbor};
 use pdx_core::kernels::{nary_distance, KernelVariant};
 use pdx_core::layout::NaryMatrix;
@@ -44,7 +45,9 @@ pub struct IvfIndex {
 }
 
 impl IvfIndex {
-    /// Trains IVF with `nlist` buckets on the raw collection.
+    /// Trains IVF with `nlist` buckets on the raw collection, using the
+    /// default worker pool (`PDX_THREADS` env override, then hardware
+    /// width) for the k-means assignment passes.
     pub fn build(
         rows: &[f32],
         n_vectors: usize,
@@ -53,8 +56,25 @@ impl IvfIndex {
         max_iters: usize,
         seed: u64,
     ) -> Self {
-        let kmeans = KMeans::fit(rows, n_vectors, dims, nlist, max_iters, seed);
-        let assignments = kmeans.assignments(rows, n_vectors);
+        Self::build_with_threads(rows, n_vectors, dims, nlist, max_iters, seed, 0)
+    }
+
+    /// [`IvfIndex::build`] with an explicit worker count (`0` = default).
+    /// The trained index is bitwise identical at every thread count for
+    /// a given seed (see [`KMeans::fit_with_pool`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_threads(
+        rows: &[f32],
+        n_vectors: usize,
+        dims: usize,
+        nlist: usize,
+        max_iters: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        let pool = pdx_core::exec::ThreadPool::new(threads);
+        let kmeans = KMeans::fit_with_pool(rows, n_vectors, dims, nlist, max_iters, seed, &pool);
+        let assignments = kmeans.assignments_with_pool(rows, n_vectors, &pool);
         Self {
             dims,
             nlist: kmeans.k,
@@ -198,6 +218,51 @@ impl IvfPdx {
         let order = self.probe_order(pruner.query_vector(&q), nprobe, pruner.metric());
         let blocks: Vec<&SearchBlock> = order.iter().map(|&b| &self.blocks[b as usize]).collect();
         pdxearch_prepared(pruner, &q, &blocks, params)
+    }
+
+    /// Searches a batch of packed queries on `threads` workers (`0` =
+    /// default width), one query per work item. Results are identical
+    /// to calling [`IvfPdx::search`] per query, at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `queries.len()` is not a multiple of the
+    /// dimensionality.
+    pub fn search_batch<P: Pruner + Sync>(
+        &self,
+        pruner: &P,
+        queries: &[f32],
+        nprobe: usize,
+        params: &SearchParams,
+        threads: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        BatchSearcher::new(threads).run(queries, self.dims, |q| {
+            self.search(pruner, q, nprobe, params)
+        })
+    }
+
+    /// One large query with the probed buckets split into per-worker
+    /// block ranges; per-worker heaps merge to the canonical top-k by
+    /// `(distance, id)`. Bit-identical to [`IvfPdx::search`] for exact
+    /// pruners (PDX-BOND) at any thread count; approximate pruners may
+    /// differ because their bound depends on the threshold's history.
+    pub fn search_parallel<P: Pruner + Sync>(
+        &self,
+        pruner: &P,
+        query: &[f32],
+        nprobe: usize,
+        params: &SearchParams,
+        threads: usize,
+    ) -> Vec<Neighbor>
+    where
+        P::Query: Sync,
+    {
+        let q = pruner.prepare_query(query);
+        let order = self.probe_order(pruner.query_vector(&q), nprobe, pruner.metric());
+        let blocks: Vec<&SearchBlock> = order.iter().map(|&b| &self.blocks[b as usize]).collect();
+        let pool = pdx_core::exec::ThreadPool::new(threads);
+        parallel_block_search(&pool, blocks.len(), params.k, |range| {
+            pdxearch_prepared(pruner, &q, &blocks[range], params)
+        })
     }
 
     /// [`IvfPdx::search`] with the Table 7 phase breakdown.

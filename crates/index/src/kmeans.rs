@@ -6,6 +6,7 @@
 //! re-seeding of emptied clusters to the farthest-assigned point.
 
 use pdx_core::distance::Metric;
+use pdx_core::exec::ThreadPool;
 use pdx_core::kernels::{nary_distance, KernelVariant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,7 +25,9 @@ pub struct KMeans {
 }
 
 impl KMeans {
-    /// Fits `k` clusters with at most `max_iters` Lloyd iterations.
+    /// Fits `k` clusters with at most `max_iters` Lloyd iterations on
+    /// the default worker pool (`PDX_THREADS` env override, then
+    /// hardware width).
     ///
     /// # Panics
     /// Panics if the collection is empty, `k == 0`, or buffers mismatch.
@@ -35,6 +38,31 @@ impl KMeans {
         k: usize,
         max_iters: usize,
         seed: u64,
+    ) -> Self {
+        Self::fit_with_pool(
+            rows,
+            n_vectors,
+            dims,
+            k,
+            max_iters,
+            seed,
+            &ThreadPool::from_env(),
+        )
+    }
+
+    /// [`KMeans::fit`] on an explicit worker pool. The assignment step
+    /// parallelizes over fixed-size vector chunks whose partial inertias
+    /// are summed in chunk order, so the fitted model is bitwise
+    /// identical at every thread count for a given seed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_with_pool(
+        rows: &[f32],
+        n_vectors: usize,
+        dims: usize,
+        k: usize,
+        max_iters: usize,
+        seed: u64,
+        pool: &ThreadPool,
     ) -> Self {
         assert!(k > 0, "k must be positive");
         assert!(n_vectors > 0, "cannot cluster an empty collection");
@@ -50,7 +78,7 @@ impl KMeans {
         let mut inertia = f64::INFINITY;
         for _ in 0..max_iters.max(1) {
             // Assignment step (parallel over vectors).
-            let new_inertia = assign_all(rows, n_vectors, dims, &centroids, k, &mut assign);
+            let new_inertia = assign_all(rows, n_vectors, dims, &centroids, k, &mut assign, pool);
             // Update step.
             let mut counts = vec![0usize; k];
             let mut sums = vec![0.0f64; k * dims];
@@ -83,7 +111,7 @@ impl KMeans {
             inertia = new_inertia;
         }
         // Final assignment for the reported inertia.
-        let final_inertia = assign_all(rows, n_vectors, dims, &centroids, k, &mut assign);
+        let final_inertia = assign_all(rows, n_vectors, dims, &centroids, k, &mut assign, pool);
         Self {
             centroids,
             k,
@@ -97,8 +125,20 @@ impl KMeans {
         nearest(row, &self.centroids, self.k, self.dims).0
     }
 
-    /// Groups all vectors into per-cluster id lists (the IVF buckets).
+    /// Groups all vectors into per-cluster id lists (the IVF buckets)
+    /// on the default worker pool.
     pub fn assignments(&self, rows: &[f32], n_vectors: usize) -> Vec<Vec<u32>> {
+        self.assignments_with_pool(rows, n_vectors, &ThreadPool::from_env())
+    }
+
+    /// [`KMeans::assignments`] on an explicit worker pool (callers that
+    /// capped the training width cap this whole-collection pass too).
+    pub fn assignments_with_pool(
+        &self,
+        rows: &[f32],
+        n_vectors: usize,
+        pool: &ThreadPool,
+    ) -> Vec<Vec<u32>> {
         let mut assign = vec![0u32; n_vectors];
         assign_all(
             rows,
@@ -107,6 +147,7 @@ impl KMeans {
             &self.centroids,
             self.k,
             &mut assign,
+            pool,
         );
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.k];
         for (v, &c) in assign.iter().enumerate() {
@@ -133,6 +174,11 @@ fn nearest(row: &[f32], centroids: &[f32], k: usize, dims: usize) -> (usize, f32
 }
 
 /// Assigns every vector to its nearest centroid; returns total inertia.
+///
+/// The chunk boundaries are fixed (never derived from the worker count)
+/// and the per-chunk partial inertias are summed in chunk order, so the
+/// returned inertia — and with it the Lloyd convergence trajectory — is
+/// bitwise identical at every thread count.
 fn assign_all(
     rows: &[f32],
     n_vectors: usize,
@@ -140,47 +186,21 @@ fn assign_all(
     centroids: &[f32],
     k: usize,
     assign: &mut [u32],
+    pool: &ThreadPool,
 ) -> f64 {
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |p| p.get())
-        .min(n_vectors.max(1));
-    let band = n_vectors.div_ceil(threads);
-    let inertia = std::sync::atomic::AtomicU64::new(0f64.to_bits());
-    std::thread::scope(|scope| {
-        let mut rest: &mut [u32] = assign;
-        let mut v0 = 0usize;
-        while v0 < n_vectors {
-            let here = band.min(n_vectors - v0);
-            let (chunk, tail) = rest.split_at_mut(here);
-            rest = tail;
-            let start = v0;
-            let inertia = &inertia;
-            scope.spawn(move || {
-                let mut local = 0.0f64;
-                for (slot, v) in chunk.iter_mut().zip(start..start + here) {
-                    let (c, d) = nearest(&rows[v * dims..(v + 1) * dims], centroids, k, dims);
-                    *slot = c as u32;
-                    local += d as f64;
-                }
-                // Atomic f64 accumulation via CAS on the bit pattern.
-                let mut cur = inertia.load(std::sync::atomic::Ordering::Relaxed);
-                loop {
-                    let next = (f64::from_bits(cur) + local).to_bits();
-                    match inertia.compare_exchange_weak(
-                        cur,
-                        next,
-                        std::sync::atomic::Ordering::Relaxed,
-                        std::sync::atomic::Ordering::Relaxed,
-                    ) {
-                        Ok(_) => break,
-                        Err(actual) => cur = actual,
-                    }
-                }
-            });
-            v0 += here;
+    const CHUNK_VECTORS: usize = 1024;
+    let inertias = std::sync::Mutex::new(vec![0.0f64; n_vectors.div_ceil(CHUNK_VECTORS)]);
+    pool.for_each_chunk_mut(assign, CHUNK_VECTORS, |start, chunk| {
+        let mut local = 0.0f64;
+        let end = start + chunk.len();
+        for (slot, v) in chunk.iter_mut().zip(start..end) {
+            let (c, d) = nearest(&rows[v * dims..(v + 1) * dims], centroids, k, dims);
+            *slot = c as u32;
+            local += d as f64;
         }
+        inertias.lock().unwrap()[start / CHUNK_VECTORS] = local;
     });
-    f64::from_bits(inertia.load(std::sync::atomic::Ordering::Relaxed))
+    inertias.into_inner().unwrap().iter().sum()
 }
 
 /// k-means++ seeding: each next seed is drawn with probability
@@ -345,5 +365,18 @@ mod tests {
         let a = KMeans::fit(&rows, 150, 4, 5, 8, 42);
         let b = KMeans::fit(&rows, 150, 4, 5, 8, 42);
         assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn fit_is_thread_count_independent() {
+        // Fixed assignment chunks + in-order inertia summation: the
+        // fitted model must be bitwise identical at every pool width.
+        let rows: Vec<f32> = (0..2000).map(|i| ((i * 131 % 997) as f32) * 0.05).collect();
+        let want = KMeans::fit_with_pool(&rows, 500, 4, 7, 10, 11, &ThreadPool::new(1));
+        for threads in [2usize, 8] {
+            let got = KMeans::fit_with_pool(&rows, 500, 4, 7, 10, 11, &ThreadPool::new(threads));
+            assert_eq!(got.centroids, want.centroids, "threads = {threads}");
+            assert_eq!(got.inertia.to_bits(), want.inertia.to_bits());
+        }
     }
 }

@@ -17,6 +17,7 @@
 
 use pdx_core::collection::SearchBlock;
 use pdx_core::distance::Metric;
+use pdx_core::exec::{BatchSearcher, ThreadPool};
 use pdx_core::heap::Neighbor;
 use pdx_core::layout::Sq8Quantizer;
 use pdx_core::pruning::StepPolicy;
@@ -63,13 +64,28 @@ impl FlatSq8 {
         block_size: usize,
         group_size: usize,
     ) -> Self {
+        Self::build_with_threads(rows, n_vectors, dims, block_size, group_size, 0)
+    }
+
+    /// [`FlatSq8::build`] with an explicit worker count (`0` = default)
+    /// for quantizer training. The built deployment is bitwise identical
+    /// at every thread count (min/max range merging is exact).
+    pub fn build_with_threads(
+        rows: &[f32],
+        n_vectors: usize,
+        dims: usize,
+        block_size: usize,
+        group_size: usize,
+        threads: usize,
+    ) -> Self {
         assert!(block_size > 0, "block size must be positive");
         assert_eq!(
             rows.len(),
             n_vectors * dims,
             "row buffer does not match dimensions"
         );
-        let quantizer = Sq8Quantizer::fit(rows, n_vectors, dims);
+        let quantizer =
+            Sq8Quantizer::fit_with_pool(rows, n_vectors, dims, &ThreadPool::new(threads));
         let mut blocks = Vec::with_capacity(n_vectors.div_ceil(block_size));
         let mut v0 = 0usize;
         while v0 < n_vectors {
@@ -152,6 +168,48 @@ impl FlatSq8 {
         let q = self.quantizer.prepare_query(metric, query);
         let blocks: Vec<&Sq8Block> = self.blocks.iter().collect();
         sq8_search(&q, &blocks, c, StepPolicy::default())
+    }
+
+    /// Searches a batch of packed queries on `threads` workers (`0` =
+    /// default width). Identical to a sequential loop of
+    /// [`FlatSq8::search`] at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `queries.len()` is not a multiple of the
+    /// dimensionality.
+    pub fn search_batch(
+        &self,
+        queries: &[f32],
+        k: usize,
+        refine: usize,
+        metric: Metric,
+        threads: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        BatchSearcher::new(threads).run(queries, self.dims, |q| self.search(q, k, refine, metric))
+    }
+
+    /// One large query with the quantized scan split into per-worker
+    /// partition ranges: each worker keeps its own `refine · k`
+    /// candidate heap, the candidate sets merge canonically by
+    /// `(distance, id)`, and the merged set reranks exactly.
+    /// Bit-identical to [`FlatSq8::search`] at any thread count.
+    pub fn search_parallel(
+        &self,
+        query: &[f32],
+        k: usize,
+        refine: usize,
+        metric: Metric,
+        threads: usize,
+    ) -> Vec<Neighbor> {
+        assert!(k > 0, "k must be positive");
+        let c = k * refine.max(1);
+        let q = self.quantizer.prepare_query(metric, query);
+        let blocks: Vec<&Sq8Block> = self.blocks.iter().collect();
+        let pool = ThreadPool::new(threads);
+        let candidates = pdx_core::exec::parallel_block_search(&pool, blocks.len(), c, |range| {
+            sq8_search(&q, &blocks[range], c, StepPolicy::default())
+        });
+        sq8_rerank(metric, &self.rows, self.dims, query, &candidates, k)
     }
 }
 
@@ -260,6 +318,27 @@ impl IvfSq8 {
             refine,
             StepPolicy::default(),
         )
+    }
+
+    /// Searches a batch of packed queries on `threads` workers (`0` =
+    /// default width). Identical to a sequential loop of
+    /// [`IvfSq8::search`] at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `queries.len()` is not a multiple of the
+    /// dimensionality.
+    pub fn search_batch(
+        &self,
+        queries: &[f32],
+        k: usize,
+        nprobe: usize,
+        refine: usize,
+        metric: Metric,
+        threads: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        BatchSearcher::new(threads).run(queries, self.dims, |q| {
+            self.search(q, k, nprobe, refine, metric)
+        })
     }
 
     /// Phase 1 only over the probed buckets (no rerank).

@@ -131,8 +131,13 @@ impl Matrix {
     ///
     /// Both operands are row-major, so the inner kernel streams two rows —
     /// the layout used when rotating a collection (`rows` = vectors) by a
-    /// transform matrix stored row-per-output-dimension. Work is split
-    /// across `threads` OS threads in row bands.
+    /// transform matrix stored row-per-output-dimension. Work runs on the
+    /// shared execution pool ([`pdx_core::exec::ThreadPool`]) in
+    /// dynamically scheduled row bands; `threads = 0` resolves the
+    /// default width (`PDX_THREADS` env override, then hardware
+    /// parallelism). An empty result (`self.rows() == 0` or
+    /// `other.rows() == 0`) returns immediately without touching the
+    /// pool.
     ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
@@ -141,24 +146,17 @@ impl Matrix {
         let m = self.rows;
         let n = other.rows;
         let mut out = Matrix::zeros(m, n);
-        let threads = threads.max(1).min(m.max(1));
-        let band = m.div_ceil(threads);
-        let out_cols = n;
-        std::thread::scope(|scope| {
-            let mut rest: &mut [f32] = &mut out.data;
-            let mut row0 = 0usize;
-            while row0 < m {
-                let rows_here = band.min(m - row0);
-                let (chunk, tail) = rest.split_at_mut(rows_here * out_cols);
-                rest = tail;
-                let a = self;
-                let b = other;
-                let start = row0;
-                scope.spawn(move || {
-                    mul_transposed_band(a, b, start, rows_here, chunk);
-                });
-                row0 += rows_here;
-            }
+        if m == 0 || n == 0 {
+            return out; // degenerate: nothing to compute, no threads spawned
+        }
+        let pool = pdx_core::exec::ThreadPool::new(threads);
+        // Row-band chunks sized so each worker gets ~4 bands to steal
+        // from, bounded below so tiny products stay single-chunk.
+        let band_rows = m.div_ceil(pool.threads() * 4).max(1);
+        let a = self;
+        let b = other;
+        pool.for_each_chunk_mut(&mut out.data, band_rows * n, |start, chunk| {
+            mul_transposed_band(a, b, start / n, chunk.len() / n, chunk);
         });
         out
     }
@@ -271,5 +269,36 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 4);
         let _ = a.mul_transposed(&b, 1);
+    }
+
+    #[test]
+    fn mul_transposed_empty_operands_are_degenerate_noops() {
+        // No rows on either side must produce the empty/zero result
+        // without spawning zero-work threads, at any requested width.
+        for threads in [0usize, 1, 8] {
+            let empty = Matrix::zeros(0, 5);
+            let b = Matrix::zeros(3, 5);
+            let c = empty.mul_transposed(&b, threads);
+            assert_eq!((c.rows(), c.cols()), (0, 3));
+            assert!(c.as_slice().is_empty());
+
+            let a = Matrix::zeros(4, 5);
+            let no_rows = Matrix::zeros(0, 5);
+            let c = a.mul_transposed(&no_rows, threads);
+            assert_eq!((c.rows(), c.cols()), (4, 0));
+            assert!(c.as_slice().is_empty());
+        }
+    }
+
+    #[test]
+    fn mul_transposed_is_thread_count_independent() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Matrix::from_vec(53, 17, (0..53 * 17).map(|_| rng.random::<f32>()).collect());
+        let b = Matrix::from_vec(29, 17, (0..29 * 17).map(|_| rng.random::<f32>()).collect());
+        let want = a.mul_transposed(&b, 1);
+        for threads in [2usize, 4, 16] {
+            assert_eq!(a.mul_transposed(&b, threads), want, "threads = {threads}");
+        }
     }
 }

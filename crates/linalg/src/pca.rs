@@ -54,35 +54,26 @@ impl Pca {
         }
         let denom = (n.max(2) - 1) as f64;
         let mut cov = vec![0.0f64; d * d];
-        let threads = std::thread::available_parallelism()
-            .map_or(1, |p| p.get())
-            .min(d.max(1));
-        let band = d.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let centered_t = &centered_t;
-            let mut rest: &mut [f64] = &mut cov;
-            let mut i0 = 0usize;
-            while i0 < d {
-                let here = band.min(d - i0);
-                let (chunk, tail) = rest.split_at_mut(here * d);
-                rest = tail;
-                let start = i0;
-                scope.spawn(move || {
-                    for (bi, out_row) in chunk.chunks_exact_mut(d).enumerate() {
-                        let i = start + bi;
-                        let ci = &centered_t[i * n..(i + 1) * n];
-                        // Upper triangle only; mirrored below.
-                        for (j, out) in out_row.iter_mut().enumerate().skip(i) {
-                            let cj = &centered_t[j * n..(j + 1) * n];
-                            let mut acc = 0.0f64;
-                            for (a, b) in ci.iter().zip(cj) {
-                                acc += a * b;
-                            }
-                            *out = acc / denom;
-                        }
+        // Covariance rows are independent; let the shared pool schedule
+        // them in bands (rows near the top of the upper triangle carry
+        // more dot products, so dynamic chunks balance better than one
+        // fixed band per worker).
+        let pool = pdx_core::exec::ThreadPool::from_env();
+        let band = d.div_ceil(pool.threads() * 4).max(1);
+        let centered_t = &centered_t;
+        pool.for_each_chunk_mut(&mut cov, band * d, |start, chunk| {
+            for (bi, out_row) in chunk.chunks_exact_mut(d).enumerate() {
+                let i = start / d + bi;
+                let ci = &centered_t[i * n..(i + 1) * n];
+                // Upper triangle only; mirrored below.
+                for (j, out) in out_row.iter_mut().enumerate().skip(i) {
+                    let cj = &centered_t[j * n..(j + 1) * n];
+                    let mut acc = 0.0f64;
+                    for (a, b) in ci.iter().zip(cj) {
+                        acc += a * b;
                     }
-                });
-                i0 += here;
+                    *out = acc / denom;
+                }
             }
         });
         for i in 0..d {

@@ -53,6 +53,29 @@
 //! assert_eq!(hits[0].id, exact[0].id);
 //! ```
 
+//! ## Parallel batch search
+//!
+//! Every deployment serves query batches through the execution engine
+//! ([`pdx_core::exec`]): queries shard across a scoped-thread worker
+//! pool, and results are **bit-identical to the sequential path at any
+//! thread count** (`0` means the default width — the `PDX_THREADS`
+//! environment override, then the hardware parallelism).
+//!
+//! ```
+//! use pdx::prelude::*;
+//!
+//! let spec = DatasetSpec { name: "demo", dims: 16, distribution: Distribution::Normal, paper_size: 0 };
+//! let ds = generate(&spec, 500, 8, 7);
+//! let flat = FlatPdx::with_defaults(&ds.data, ds.len, ds.dims());
+//! let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+//! let params = SearchParams::new(5);
+//!
+//! let batch = flat.search_batch(&bond, &ds.queries, &params, 4);
+//! for (qi, hits) in batch.iter().enumerate() {
+//!     assert_eq!(hits, &flat.search(&bond, ds.query(qi), &params));
+//! }
+//! ```
+
 pub use pdx_core as core;
 pub use pdx_datasets as datasets;
 pub use pdx_index as index;
@@ -64,6 +87,10 @@ pub mod prelude {
     pub use pdx_core::bond::PdxBond;
     pub use pdx_core::collection::{PdxCollection, SearchBlock};
     pub use pdx_core::distance::{normalize, Metric};
+    pub use pdx_core::exec::{
+        merge_neighbors, parallel_block_search, resolve_threads, BatchSearcher, ThreadPool,
+        THREADS_ENV,
+    };
     pub use pdx_core::heap::{KnnHeap, Neighbor};
     pub use pdx_core::kernels::{
         dsm_scan, gather_scan, nary_distance, pdx_scan, sq8_distance_scalar, sq8_scan,

@@ -1,0 +1,226 @@
+//! The determinism suite of the parallel execution engine: every
+//! `search_batch` / `search_parallel` entry point must return neighbor
+//! ids AND distances bit-identical to the sequential path at 1, 2 and 8
+//! threads — on the flat, IVF and SQ8 deployments, including
+//! duplicate-distance ties.
+//!
+//! The data is built to tie aggressively: a small base set of vectors is
+//! tiled many times, so the k-NN frontier is crowded with exact
+//! duplicate distances spread across different blocks/buckets. The
+//! canonical `(distance, id)` heap ordering (see `pdx_core::heap`) is
+//! what makes the assertions below exact equalities rather than
+//! set-comparisons.
+//!
+//! CI runs the whole tier-1 suite twice — `PDX_THREADS=1` and
+//! `PDX_THREADS=max` — so the `threads = 0` (default-width) paths these
+//! tests also exercise are pinned at both extremes.
+
+use pdx::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Deterministic pseudo-random rows (vendored `StdRng`, fixed seed).
+fn make_rows(n: usize, d: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * d)
+        .map(|_| rng.random::<f32>() * 4.0 - 2.0)
+        .collect()
+}
+
+/// A collection crowded with exact duplicates: `base_n` distinct vectors
+/// tiled `copies` times. Any query ties `copies`-way at every distance.
+fn tied_rows(base_n: usize, copies: usize, d: usize, seed: u64) -> Vec<f32> {
+    let base = make_rows(base_n, d, seed);
+    let mut rows = Vec::with_capacity(base_n * copies * d);
+    for _ in 0..copies {
+        rows.extend_from_slice(&base);
+    }
+    rows
+}
+
+/// Packed queries, the first being an exact member of the collection so
+/// zero-distance ties are also exercised.
+fn tied_queries(rows: &[f32], d: usize, nq: usize, seed: u64) -> Vec<f32> {
+    let mut queries = rows[3 * d..4 * d].to_vec();
+    queries.extend(make_rows(nq - 1, d, seed));
+    queries
+}
+
+#[test]
+fn flat_batch_and_parallel_match_sequential() {
+    let (base_n, copies, d, k, nq) = (60, 8, 12, 10, 6);
+    let rows = tied_rows(base_n, copies, d, 1);
+    let n = base_n * copies;
+    let queries = tied_queries(&rows, d, nq, 2);
+    // Small blocks so duplicates of one vector land in many blocks.
+    let flat = FlatPdx::new(&rows, n, d, 64, 16);
+    let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+    let params = SearchParams::new(k);
+
+    let sequential: Vec<Vec<Neighbor>> = (0..nq)
+        .map(|qi| flat.search(&bond, &queries[qi * d..(qi + 1) * d], &params))
+        .collect();
+
+    for threads in THREAD_COUNTS {
+        let batch = flat.search_batch(&bond, &queries, &params, threads);
+        assert_eq!(batch, sequential, "search_batch at {threads} threads");
+        for (qi, want) in sequential.iter().enumerate() {
+            let got = flat.search_parallel(&bond, &queries[qi * d..(qi + 1) * d], &params, threads);
+            assert_eq!(&got, want, "search_parallel q{qi} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn ivf_batch_and_parallel_match_sequential() {
+    let (base_n, copies, d, k, nq) = (50, 6, 10, 8, 5);
+    let rows = tied_rows(base_n, copies, d, 3);
+    let n = base_n * copies;
+    let queries = tied_queries(&rows, d, nq, 4);
+    let index = IvfIndex::build(&rows, n, d, 12, 8, 7);
+    let ivf = IvfPdx::new(&rows, d, &index.assignments, 16);
+    let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+    let params = SearchParams::new(k);
+
+    // Partial and full probes: the partial probe exercises merge at an
+    // nprobe-truncated candidate set.
+    for nprobe in [3usize, ivf.blocks.len()] {
+        let sequential: Vec<Vec<Neighbor>> = (0..nq)
+            .map(|qi| ivf.search(&bond, &queries[qi * d..(qi + 1) * d], nprobe, &params))
+            .collect();
+        for threads in THREAD_COUNTS {
+            let batch = ivf.search_batch(&bond, &queries, nprobe, &params, threads);
+            assert_eq!(
+                batch, sequential,
+                "search_batch nprobe={nprobe} at {threads} threads"
+            );
+            for (qi, want) in sequential.iter().enumerate() {
+                let got = ivf.search_parallel(
+                    &bond,
+                    &queries[qi * d..(qi + 1) * d],
+                    nprobe,
+                    &params,
+                    threads,
+                );
+                assert_eq!(
+                    &got, want,
+                    "search_parallel q{qi} nprobe={nprobe} at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flat_sq8_batch_and_parallel_match_sequential() {
+    let (base_n, copies, d, k, nq) = (40, 6, 8, 6, 5);
+    let rows = tied_rows(base_n, copies, d, 5);
+    let n = base_n * copies;
+    let queries = tied_queries(&rows, d, nq, 6);
+    let sq8 = FlatSq8::build(&rows, n, d, 48, 16);
+
+    let sequential: Vec<Vec<Neighbor>> = (0..nq)
+        .map(|qi| {
+            sq8.search(
+                &queries[qi * d..(qi + 1) * d],
+                k,
+                DEFAULT_REFINE,
+                Metric::L2,
+            )
+        })
+        .collect();
+
+    for threads in THREAD_COUNTS {
+        let batch = sq8.search_batch(&queries, k, DEFAULT_REFINE, Metric::L2, threads);
+        assert_eq!(batch, sequential, "search_batch at {threads} threads");
+        for (qi, want) in sequential.iter().enumerate() {
+            let got = sq8.search_parallel(
+                &queries[qi * d..(qi + 1) * d],
+                k,
+                DEFAULT_REFINE,
+                Metric::L2,
+                threads,
+            );
+            assert_eq!(&got, want, "search_parallel q{qi} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn ivf_sq8_batch_matches_sequential() {
+    let (base_n, copies, d, k, nq) = (40, 5, 8, 6, 5);
+    let rows = tied_rows(base_n, copies, d, 8);
+    let n = base_n * copies;
+    let queries = tied_queries(&rows, d, nq, 9);
+    let index = IvfIndex::build(&rows, n, d, 10, 8, 2);
+    let sq8 = IvfSq8::new(&rows, d, &index.assignments, 16);
+
+    for nprobe in [3usize, sq8.blocks.len()] {
+        let sequential: Vec<Vec<Neighbor>> = (0..nq)
+            .map(|qi| {
+                sq8.search(
+                    &queries[qi * d..(qi + 1) * d],
+                    k,
+                    nprobe,
+                    DEFAULT_REFINE,
+                    Metric::L2,
+                )
+            })
+            .collect();
+        for threads in THREAD_COUNTS {
+            let batch = sq8.search_batch(&queries, k, nprobe, DEFAULT_REFINE, Metric::L2, threads);
+            assert_eq!(
+                batch, sequential,
+                "search_batch nprobe={nprobe} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn index_build_is_thread_count_independent() {
+    // IVF training (k-means) and SQ8 quantizer training run on the same
+    // pool; both must produce bitwise-identical artifacts at any width.
+    let (n, d) = (400, 8);
+    let rows = make_rows(n, d, 12);
+    let ref_index = IvfIndex::build_with_threads(&rows, n, d, 9, 8, 5, 1);
+    let ref_sq8 = FlatSq8::build_with_threads(&rows, n, d, 64, 16, 1);
+    for threads in [2usize, 8] {
+        let index = IvfIndex::build_with_threads(&rows, n, d, 9, 8, 5, threads);
+        assert_eq!(
+            index.kmeans.centroids, ref_index.kmeans.centroids,
+            "k-means centroids at {threads} threads"
+        );
+        assert_eq!(index.assignments, ref_index.assignments);
+        let sq8 = FlatSq8::build_with_threads(&rows, n, d, 64, 16, threads);
+        assert_eq!(
+            sq8.quantizer, ref_sq8.quantizer,
+            "quantizer at {threads} threads"
+        );
+        assert_eq!(sq8.blocks, ref_sq8.blocks);
+    }
+}
+
+#[test]
+fn merge_reproduces_any_partitioning() {
+    // Directly pin the merge invariant on a crowded tie set: however the
+    // candidate lists are partitioned, the canonical top-k is the same.
+    let rows = tied_rows(30, 10, 6, 20);
+    let q = make_rows(1, 6, 21);
+    let all: Vec<Neighbor> = rows
+        .chunks_exact(6)
+        .enumerate()
+        .map(|(i, row)| Neighbor {
+            id: i as u64,
+            distance: q.iter().zip(row).map(|(a, b)| (a - b) * (a - b)).sum(),
+        })
+        .collect();
+    let want = merge_neighbors(std::slice::from_ref(&all), 12);
+    for parts in [2usize, 3, 7, 50] {
+        let size = all.len().div_ceil(parts);
+        let lists: Vec<Vec<Neighbor>> = all.chunks(size).map(|c| c.to_vec()).collect();
+        assert_eq!(merge_neighbors(&lists, 12), want, "{parts} partitions");
+    }
+}
