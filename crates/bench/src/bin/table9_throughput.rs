@@ -1,7 +1,8 @@
 //! **Table 9** (extension) — batch query throughput vs thread count on
-//! the synthetic SIFT-like collection: QPS and speedup of the execution
-//! engine's `search_batch` at 1, 2, 4, … worker threads on the flat
-//! (exact PDX-BOND), IVF (PDX-BOND) and SQ8 (two-phase) deployments,
+//! the synthetic SIFT-like collection: QPS and speedup of the engine
+//! trait's `search_batch` at 1, 2, 4, … worker threads on the flat
+//! (exact PDX-BOND), IVF (PDX-BOND) and SQ8 (two-phase) deployments —
+//! each served as a `Box<dyn VectorIndex>` with one `SearchOptions` —
 //! with recall checked at every width (the engine guarantees results
 //! are bit-identical to the sequential path, so recall must not move).
 //!
@@ -64,9 +65,6 @@ fn main() {
     let sq8 = FlatSq8::with_defaults(&ds.data, n, dims);
     let nprobe = nprobe.min(ivf.blocks.len());
 
-    let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
-    let params = SearchParams::new(k);
-
     println!(
         "\nTable 9 — batch throughput vs thread count (sift-like, n = {n}, \
          queries = {nq}, k = {k}; hardware threads: {})",
@@ -85,27 +83,30 @@ fn main() {
     let mut flat_qps: Vec<(usize, f64)> = Vec::new();
     let mut identity_drift = false;
 
-    type BatchFn<'a> = Box<dyn Fn(usize) -> Vec<Vec<Neighbor>> + 'a>;
-    let configs: Vec<(&str, BatchFn)> = vec![
-        (
-            "flat-bond",
-            Box::new(|t| flat.search_batch(&bond, &ds.queries, &params, t)),
-        ),
+    // Every deployment is one `Box<dyn VectorIndex>` plus its options —
+    // the same dynamic surface the CLI serves through (`AnyIndex`), so
+    // this bench exercises exactly the production dispatch path.
+    let configs: Vec<(&str, Box<dyn VectorIndex>, SearchOptions)> = vec![
+        ("flat-bond", Box::new(flat), SearchOptions::new(k)),
         (
             "ivf-bond",
-            Box::new(|t| ivf.search_batch(&bond, &ds.queries, nprobe, &params, t)),
+            Box::new(ivf),
+            SearchOptions::new(k).with_nprobe(nprobe),
         ),
         (
             "sq8-two-phase",
-            Box::new(|t| sq8.search_batch(&ds.queries, k, refine, Metric::L2, t)),
+            Box::new(sq8),
+            SearchOptions::new(k).with_refine(refine),
         ),
     ];
 
-    for (config, search) in &configs {
+    for (config, index, opts) in &configs {
         let mut base_qps = 0.0f64;
         let mut base_results: Option<Vec<Vec<Neighbor>>> = None;
         for &t in &threads {
-            let (qps, results) = run_batch(nq, || search(t));
+            let (qps, results) = run_batch(nq, || {
+                index.search_batch(&ds.queries, &opts.with_threads(t))
+            });
             let recall = mean_recall(&gt, &ids_of(&results), k);
             if t == threads[0] {
                 base_qps = qps;

@@ -11,16 +11,21 @@
 //! pdx-cli evaluate --index=index.pdx --queries=queries.fvecs --gt=gt.ivecs --k=10
 //! ```
 //!
-//! `build --quantize=sq8` writes a versioned `PDX2` container holding the
-//! SQ8 scan blocks, the quantizer, and the exact rerank payload; `query`
-//! and `evaluate` sniff the container kind and transparently use the
-//! two-phase quantized search on quantized indexes.
+//! `query` and `evaluate` go through the engine layer: `AnyIndex::open`
+//! sniffs the container kind (`PDX1` f32, `PDX2` SQ8) and returns a
+//! `Box<dyn VectorIndex>`, so one code path serves every deployment —
+//! exact PDX-BOND on f32 indexes, the two-phase quantized search on SQ8
+//! indexes — from one `SearchOptions`.
 //!
 //! `query`, `evaluate` and `build` run on the execution engine's worker
 //! pool: `--threads=N` picks the width explicitly, otherwise the
 //! `PDX_THREADS` environment variable (a number or `max`) and finally
 //! the hardware parallelism decide. Results are identical at every
 //! width.
+//!
+//! Unrecognized flags are rejected with a "did you mean" suggestion and
+//! the subcommand's valid flag list — a typo never silently falls back
+//! to a default.
 
 use pdx::prelude::*;
 use std::collections::HashMap;
@@ -28,19 +33,46 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// Valid `--key=value` flags per subcommand (the strict parser rejects
+/// anything else).
+const GENERATE_FLAGS: &[&str] = &["dataset", "n", "out", "queries", "queries-out", "seed"];
+const BUILD_FLAGS: &[&str] = &["data", "out", "block-size", "group", "quantize", "threads"];
+const QUERY_FLAGS: &[&str] = &["index", "queries", "k", "order", "refine", "threads"];
+const GROUND_TRUTH_FLAGS: &[&str] = &["data", "queries", "out", "k"];
+const EVALUATE_FLAGS: &[&str] = &["index", "queries", "gt", "k", "order", "refine", "threads"];
+const DATASETS_FLAGS: &[&str] = &[];
+
+#[derive(Debug)]
 struct Args {
     values: HashMap<String, String>,
 }
 
 impl Args {
-    fn parse(rest: &[String]) -> Self {
+    /// Parses `--key=value` flags, rejecting unknown keys (with a
+    /// nearest-match suggestion), bare words and valueless flags.
+    fn parse(rest: &[String], allowed: &[&str]) -> Result<Self, String> {
         let mut values = HashMap::new();
         for arg in rest {
-            if let Some((k, v)) = arg.strip_prefix("--").and_then(|r| r.split_once('=')) {
-                values.insert(k.to_string(), v.to_string());
+            let Some(body) = arg.strip_prefix("--") else {
+                return Err(format!(
+                    "unexpected argument '{arg}' (flags are written --key=value)"
+                ));
+            };
+            let (key, value) = match body.split_once('=') {
+                Some((k, v)) => (k, Some(v)),
+                None => (body, None),
+            };
+            if !allowed.contains(&key) {
+                return Err(unknown_flag_error(key, allowed));
             }
+            let Some(value) = value else {
+                return Err(format!(
+                    "flag '--{key}' is missing its value (write --{key}=…)"
+                ));
+            };
+            values.insert(key.to_string(), value.to_string());
         }
-        Self { values }
+        Ok(Self { values })
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
@@ -54,11 +86,13 @@ impl Args {
         Ok(PathBuf::from(self.require(key)?))
     }
 
-    fn usize(&self, key: &str, default: usize) -> usize {
-        self.values
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                format!("invalid value for --{key}: '{v}' (expected an unsigned integer)")
+            }),
+        }
     }
 
     fn str_or(&self, key: &str, default: &'static str) -> String {
@@ -71,6 +105,44 @@ impl Args {
     fn has(&self, key: &str) -> bool {
         self.values.contains_key(key)
     }
+}
+
+/// Edit distance for the "did you mean" suggestion.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// Error message for an unrecognized flag: nearest valid flag (when
+/// close enough to be a plausible typo) plus the full valid list.
+fn unknown_flag_error(key: &str, allowed: &[&str]) -> String {
+    let mut msg = format!("unknown flag '--{key}'");
+    let suggestion = allowed
+        .iter()
+        .map(|&cand| (levenshtein(key, cand), cand))
+        .min();
+    if let Some((d, cand)) = suggestion {
+        if d <= 2 {
+            msg.push_str(&format!(" — did you mean '--{cand}'?"));
+        }
+    }
+    if allowed.is_empty() {
+        msg.push_str("\nthis subcommand takes no flags");
+    } else {
+        let list: Vec<String> = allowed.iter().map(|f| format!("--{f}")).collect();
+        msg.push_str(&format!("\nvalid flags: {}", list.join(", ")));
+    }
+    msg
 }
 
 const USAGE: &str = "\
@@ -86,7 +158,8 @@ commands:
                                      two-phase search with exact rerank)
                   [--threads=N]      worker count for quantizer training
   query         run queries against a PDX container (exact PDX-BOND on f32
-                indexes; two-phase quantized scan + rerank on SQ8 indexes)
+                indexes; two-phase quantized scan + rerank on SQ8 indexes;
+                the container kind is sniffed via AnyIndex::open)
                   --index=<file> --queries=<file> [--k=10 --order=means|zones|decreasing|seq]
                   [--refine=4]       SQ8 candidate factor (rerank refine·k)
                   [--threads=N]      parallel batch width (default: PDX_THREADS
@@ -106,14 +179,14 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let args = Args::parse(&argv[1..]);
+    let flags = |allowed| Args::parse(&argv[1..], allowed);
     let result = match cmd.as_str() {
-        "generate" => cmd_generate(&args),
-        "build" => cmd_build(&args),
-        "query" => cmd_query(&args),
-        "ground-truth" => cmd_ground_truth(&args),
-        "evaluate" => cmd_evaluate(&args),
-        "datasets" => cmd_datasets(),
+        "generate" => flags(GENERATE_FLAGS).and_then(|a| cmd_generate(&a)),
+        "build" => flags(BUILD_FLAGS).and_then(|a| cmd_build(&a)),
+        "query" => flags(QUERY_FLAGS).and_then(|a| cmd_query(&a)),
+        "ground-truth" => flags(GROUND_TRUTH_FLAGS).and_then(|a| cmd_ground_truth(&a)),
+        "evaluate" => flags(EVALUATE_FLAGS).and_then(|a| cmd_evaluate(&a)),
+        "datasets" => flags(DATASETS_FLAGS).and_then(|_| cmd_datasets()),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     };
     match result {
@@ -146,9 +219,9 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let name = args.require("dataset")?;
     let spec = *spec_by_name(name)
         .ok_or_else(|| format!("unknown dataset '{name}' (see `pdx-cli datasets`)"))?;
-    let n = args.usize("n", 100_000);
-    let nq = args.usize("queries", 0);
-    let seed = args.usize("seed", 42) as u64;
+    let n = args.usize("n", 100_000)?;
+    let nq = args.usize("queries", 0)?;
+    let seed = args.usize("seed", 42)? as u64;
     let out = args.path("out")?;
     eprintln!(
         "generating {}/{} (n = {n}, queries = {nq})…",
@@ -167,8 +240,8 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
 
 fn cmd_build(args: &Args) -> Result<(), String> {
     let data = read_fvecs(&args.path("data")?)?;
-    let block_size = args.usize("block-size", DEFAULT_EXACT_BLOCK);
-    let group = args.usize("group", DEFAULT_GROUP_SIZE);
+    let block_size = args.usize("block-size", DEFAULT_EXACT_BLOCK)?;
+    let group = args.usize("group", DEFAULT_GROUP_SIZE)?;
     let out = args.path("out")?;
     match args.str_or("quantize", "none").as_str() {
         "none" => {
@@ -185,7 +258,7 @@ fn cmd_build(args: &Args) -> Result<(), String> {
             );
         }
         "sq8" => {
-            let threads = args.usize("threads", 0);
+            let threads = args.usize("threads", 0)?;
             let flat = FlatSq8::build_with_threads(
                 &data.data, data.len, data.dims, block_size, group, threads,
             );
@@ -228,136 +301,55 @@ fn parse_order(name: &str) -> Result<VisitOrder, String> {
     })
 }
 
-/// Loads an SQ8 container into a searchable flat deployment, reporting
-/// whether an exact-rerank payload is present.
-fn sq8_deployment(c: pdx::datasets::persist::Sq8Container) -> (FlatSq8, bool) {
-    let has_rows = !c.rows.is_empty();
-    if !has_rows {
+/// Opens the `--index` container through the engine layer, printing the
+/// compatibility notes the old per-kind dispatch used to print.
+fn load_index(args: &Args) -> Result<Box<dyn VectorIndex>, String> {
+    let path = args.path("index")?;
+    let index = AnyIndex::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if is_quantized(index.as_ref()) && args.has("order") {
+        eprintln!("note: --order only applies to f32 indexes; ignored");
+    }
+    if !is_quantized(index.as_ref()) && args.has("refine") {
+        eprintln!("note: --refine only applies to SQ8 indexes; ignored");
+    }
+    if index.kind() == "flat-sq8-scan-only" {
         eprintln!("note: scan-only SQ8 container (no rerank payload); results are estimates");
     }
-    (
-        FlatSq8::from_parts(c.dims, c.quantizer, c.blocks, c.rows),
-        has_rows,
-    )
+    Ok(index)
 }
 
-/// Boxed per-query search closure borrowed from a loaded [`Deployment`];
-/// `Sync` so the batch engine can call it from many workers at once.
-type QueryRunner<'a> = Box<dyn Fn(&[f32]) -> Vec<Neighbor> + Sync + 'a>;
-
-/// Runs one query against either container kind, returning `k` results.
-enum Deployment {
-    F32 {
-        coll: PdxCollection,
-        bond: PdxBond,
-        params: SearchParams,
-    },
-    Sq8 {
-        flat: FlatSq8,
-        refine: usize,
-        rerank: bool,
-    },
+fn is_quantized(index: &dyn VectorIndex) -> bool {
+    index.kind().starts_with("flat-sq8")
 }
 
-impl Deployment {
-    fn load(args: &Args, k: usize) -> Result<Self, String> {
-        let container = pdx::datasets::persist::read_container_path(&args.path("index")?)
-            .map_err(|e| e.to_string())?;
-        Ok(match container {
-            pdx::datasets::persist::Container::F32(coll) => {
-                if args.has("refine") {
-                    eprintln!("note: --refine only applies to SQ8 indexes; ignored");
-                }
-                let order = parse_order(&args.str_or("order", "means"))?;
-                Deployment::F32 {
-                    coll,
-                    bond: PdxBond::new(Metric::L2, order),
-                    params: SearchParams::new(k),
-                }
-            }
-            pdx::datasets::persist::Container::Sq8(c) => {
-                if args.has("order") {
-                    eprintln!("note: --order only applies to f32 indexes; ignored");
-                }
-                let (flat, rerank) = sq8_deployment(c);
-                Deployment::Sq8 {
-                    flat,
-                    refine: args.usize("refine", DEFAULT_REFINE),
-                    rerank,
-                }
-            }
-        })
+/// Engine options from the query/evaluate flags. Only the flags that
+/// apply to this index kind are parsed: an ignored flag (`--order` on
+/// SQ8, `--refine` on f32) is truly ignored, value and all.
+fn search_options(args: &Args, k: usize, index: &dyn VectorIndex) -> Result<SearchOptions, String> {
+    let mut opts = SearchOptions::new(k).with_threads(args.usize("threads", 0)?);
+    if is_quantized(index) {
+        opts = opts.with_refine(args.usize("refine", DEFAULT_REFINE)?);
+    } else {
+        let order = parse_order(&args.str_or("order", "means"))?;
+        opts = opts.with_pruner(PrunerKind::Bond(order));
     }
-
-    fn dims(&self) -> usize {
-        match self {
-            Deployment::F32 { coll, .. } => coll.dims,
-            Deployment::Sq8 { flat, .. } => flat.dims,
-        }
-    }
-
-    fn kind(&self) -> &'static str {
-        match self {
-            Deployment::F32 { .. } => "f32 PDX-BOND",
-            Deployment::Sq8 { .. } => "SQ8 two-phase",
-        }
-    }
-
-    /// One-query closure with the per-deployment setup (block-reference
-    /// gathering) hoisted out of the query loop.
-    fn runner(&self, k: usize) -> QueryRunner<'_> {
-        match self {
-            Deployment::F32 { coll, bond, params } => {
-                let blocks: Vec<&SearchBlock> = coll.blocks.iter().collect();
-                Box::new(move |q| pdx::core::search::pdxearch(bond, &blocks, q, params))
-            }
-            Deployment::Sq8 {
-                flat,
-                refine,
-                rerank,
-            } => {
-                let blocks: Vec<&Sq8Block> = flat.blocks.iter().collect();
-                if *rerank {
-                    let refine = *refine;
-                    Box::new(move |q| {
-                        sq8_two_phase(
-                            &flat.quantizer,
-                            &blocks,
-                            &flat.rows,
-                            flat.dims,
-                            Metric::L2,
-                            q,
-                            k,
-                            refine,
-                            StepPolicy::default(),
-                        )
-                    })
-                } else {
-                    Box::new(move |q| {
-                        let prepared = flat.quantizer.prepare_query(Metric::L2, q);
-                        sq8_search(&prepared, &blocks, k, StepPolicy::default())
-                    })
-                }
-            }
-        }
-    }
+    Ok(opts)
 }
 
 fn cmd_query(args: &Args) -> Result<(), String> {
-    let k = args.usize("k", 10);
-    let deployment = Deployment::load(args, k)?;
+    let k = args.usize("k", 10)?;
+    let index = load_index(args)?;
+    let opts = search_options(args, k, index.as_ref())?;
     let queries = read_fvecs(&args.path("queries")?)?;
-    let dims = deployment.dims();
-    if queries.dims != dims {
+    if queries.dims != index.dims() {
         return Err(format!(
             "query dims {} != index dims {}",
-            queries.dims, dims
+            queries.dims,
+            index.dims()
         ));
     }
-    let run = deployment.runner(k);
-    let searcher = BatchSearcher::new(args.usize("threads", 0));
     let t0 = Instant::now();
-    let results = searcher.run(&queries.data, dims, |q| run(q));
+    let results = index.search_batch(&queries.data, &opts);
     let secs = t0.elapsed().as_secs_f64();
     for (qi, res) in results.iter().enumerate() {
         let ids: Vec<String> = res
@@ -369,8 +361,8 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     eprintln!(
         "{} queries ({}, {} threads) in {secs:.3}s ({:.1} QPS)",
         queries.len,
-        deployment.kind(),
-        searcher.threads(),
+        index.kind(),
+        resolve_threads(opts.threads),
         queries.len as f64 / secs
     );
     Ok(())
@@ -385,7 +377,7 @@ fn cmd_ground_truth(args: &Args) -> Result<(), String> {
             queries.dims, data.dims
         ));
     }
-    let k = args.usize("k", 10);
+    let k = args.usize("k", 10)?;
     let out = args.path("out")?;
     eprintln!("computing exact top-{k} for {} queries…", queries.len);
     let gt = ground_truth(&data.data, &queries.data, data.dims, k, Metric::L2, 0);
@@ -404,20 +396,19 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     let gt_file = std::fs::File::open(args.path("gt")?).map_err(|e| e.to_string())?;
     let gt = pdx::datasets::io::read_ivecs(std::io::BufReader::new(gt_file))
         .map_err(|e| e.to_string())?;
-    let k = args.usize("k", 10).min(gt.dims);
-    let deployment = Deployment::load(args, k)?;
+    let k = args.usize("k", 10)?.min(gt.dims);
+    let index = load_index(args)?;
+    let opts = search_options(args, k, index.as_ref())?;
     let queries = read_fvecs(&args.path("queries")?)?;
-    let dims = deployment.dims();
-    if queries.dims != dims {
+    if queries.dims != index.dims() {
         return Err(format!(
             "query dims {} != index dims {}",
-            queries.dims, dims
+            queries.dims,
+            index.dims()
         ));
     }
-    let run = deployment.runner(k);
-    let searcher = BatchSearcher::new(args.usize("threads", 0));
     let t0 = Instant::now();
-    let results = searcher.run(&queries.data, dims, |q| run(q));
+    let results = index.search_batch(&queries.data, &opts);
     let secs = t0.elapsed().as_secs_f64();
     let mut total = 0.0;
     for (qi, res) in results.iter().enumerate() {
@@ -432,8 +423,8 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
         "recall@{k} = {:.4} over {} queries ({}, {} threads, {:.1} QPS)",
         total / queries.len.max(1) as f64,
         queries.len,
-        deployment.kind(),
-        searcher.threads(),
+        index.kind(),
+        resolve_threads(opts.threads),
         queries.len as f64 / secs
     );
     Ok(())
@@ -446,4 +437,59 @@ fn read_fvecs(path: &Path) -> Result<pdx::datasets::io::VecsFile<f32>, String> {
 fn write_fvecs(path: &Path, data: &[f32], dims: usize) -> Result<(), String> {
     pdx::datasets::io::write_fvecs_path(path, data, dims)
         .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn known_flags_parse() {
+        let a = Args::parse(&argv(&["--k=5", "--threads=2"]), QUERY_FLAGS).unwrap();
+        assert_eq!(a.usize("k", 10).unwrap(), 5);
+        assert_eq!(a.usize("threads", 0).unwrap(), 2);
+        assert_eq!(a.usize("refine", 4).unwrap(), 4); // default
+    }
+
+    #[test]
+    fn unknown_flag_suggests_nearest() {
+        let err = Args::parse(&argv(&["--thread=4"]), QUERY_FLAGS).unwrap_err();
+        assert!(err.contains("unknown flag '--thread'"), "{err}");
+        assert!(err.contains("did you mean '--threads'?"), "{err}");
+        assert!(err.contains("--index"), "should list valid flags: {err}");
+    }
+
+    #[test]
+    fn distant_typo_lists_flags_without_suggestion() {
+        let err = Args::parse(&argv(&["--bogusflagname=1"]), QUERY_FLAGS).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+        assert!(err.contains("valid flags:"), "{err}");
+    }
+
+    #[test]
+    fn valueless_and_bare_arguments_are_rejected() {
+        let err = Args::parse(&argv(&["--k"]), QUERY_FLAGS).unwrap_err();
+        assert!(err.contains("missing its value"), "{err}");
+        let err = Args::parse(&argv(&["index.pdx"]), QUERY_FLAGS).unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+    }
+
+    #[test]
+    fn bad_integer_values_error_instead_of_defaulting() {
+        let a = Args::parse(&argv(&["--k=ten"]), QUERY_FLAGS).unwrap();
+        assert!(a.usize("k", 10).is_err());
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("thread", "threads"), 1);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
 }

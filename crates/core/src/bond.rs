@@ -68,6 +68,10 @@ impl Pruner for PdxBond {
     type Query = BondQuery;
     type Checkpoint = f32;
 
+    fn name(&self) -> &'static str {
+        "bond"
+    }
+
     fn metric(&self) -> Metric {
         self.metric
     }

@@ -1,0 +1,367 @@
+//! The engine layer: one object-safe trait every deployment serves
+//! through, with one options struct subsuming the per-deployment knobs.
+//!
+//! The paper's core claim is that a single layout (PDX) and a single
+//! search framework (PDXearch) serve many deployments — flat, IVF,
+//! quantized, pruned, graph-routed. [`VectorIndex`] is that claim as an
+//! API: every deployment answers the same `search` / `search_batch` /
+//! `search_parallel` calls from the same [`SearchOptions`], so a CLI, a
+//! benchmark harness, or a network serving layer can hold a
+//! `Box<dyn VectorIndex>` and never know (or care) which deployment is
+//! behind it. `pdx-engine`'s `AnyIndex::open` produces exactly that box
+//! by sniffing a persisted container.
+//!
+//! The batch and parallel entry points come for free: the trait's
+//! default methods run on the shared [`exec`](crate::exec) worker pool,
+//! and because each query (or block range) still runs the deployment's
+//! sequential path against a canonical [`KnnHeap`](crate::heap::KnnHeap),
+//! results are **bit-identical to the sequential path at any thread
+//! count** — the same determinism contract the concrete
+//! `search_batch` methods established.
+//!
+//! Options irrelevant to a deployment are ignored (an SQ8 index has no
+//! pruner choice; a flat index has no `nprobe`); each implementation
+//! documents which fields it reads.
+
+use crate::distance::Metric;
+use crate::exec::BatchSearcher;
+use crate::heap::Neighbor;
+use crate::kernels::KernelVariant;
+use crate::pruning::StepPolicy;
+use crate::search::{SearchParams, DEFAULT_REFINE};
+use crate::visit_order::VisitOrder;
+
+/// Default beam width for graph-routed queries when
+/// [`SearchOptions::ef`] is left at `0` (matches the default HNSW
+/// construction beam).
+pub const DEFAULT_EF: usize = 100;
+
+/// Which pruning strategy an engine-level query uses on the `f32`
+/// deployments.
+///
+/// Only strategies that need no fitted per-collection state are
+/// selectable purely from options; pruners that carry trained state
+/// (ADSampling's rotation, BSA's PCA) pair with a deployment through
+/// the `pdx-engine` adapter types instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrunerKind {
+    /// PDX-BOND with the given dimension visit order — exact, no
+    /// preprocessing (the default).
+    Bond(VisitOrder),
+    /// No pruning: a full linear scan of the probed blocks — exact, and
+    /// the only choice for non-monotonic metrics (inner product).
+    Linear,
+}
+
+impl Default for PrunerKind {
+    fn default() -> Self {
+        PrunerKind::Bond(VisitOrder::DistanceToMeans)
+    }
+}
+
+/// Unified search options for every [`VectorIndex`] deployment.
+///
+/// One struct subsumes the per-deployment knobs that used to live in
+/// divergent inherent signatures: the PDXearch [`SearchParams`]
+/// (`k`, `selection_fraction`, `step`), the metric, the IVF probe
+/// count, the SQ8 rerank factor, the pruner choice, the horizontal
+/// kernel variant, the graph beam width and the worker count. Fields a
+/// deployment has no use for are ignored.
+///
+/// The defaults reproduce what each deployment did before the engine
+/// layer existed: exact PDX-BOND with the distance-to-means order,
+/// L2, `k = 10`, full probe, `refine = 4`, SIMD horizontal kernels and
+/// the default pool width.
+///
+/// ```
+/// use pdx_core::engine::SearchOptions;
+/// use pdx_core::distance::Metric;
+///
+/// let opts = SearchOptions::new(5).with_nprobe(8).with_threads(2);
+/// assert_eq!(opts.k, 5);
+/// assert_eq!(opts.metric, Metric::L2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchOptions {
+    /// Number of neighbours to return.
+    pub k: usize,
+    /// Distance metric (always minimized; inner product is negated).
+    pub metric: Metric,
+    /// Pruning strategy on the `f32` deployments (SQ8 deployments bound
+    /// with the candidate heap's own threshold instead).
+    pub pruner: PrunerKind,
+    /// PDXearch PRUNE-phase selection threshold (fraction of survivors
+    /// below which positions are compacted).
+    pub selection_fraction: f32,
+    /// Dimension fetching schedule of the pruned scans.
+    pub step: StepPolicy,
+    /// IVF buckets to probe; `0` probes every bucket (exact over the
+    /// index). Ignored by flat and graph deployments.
+    pub nprobe: usize,
+    /// SQ8 candidate-refinement factor: phase 1 keeps `refine · k`
+    /// candidates for the exact rerank. Ignored by `f32` deployments.
+    pub refine: usize,
+    /// Beam width of graph-routed queries; `0` resolves to
+    /// `max(`[`DEFAULT_EF`]`, k)`. Ignored by non-graph deployments.
+    pub ef: usize,
+    /// Kernel variant of the horizontal (vector-at-a-time) deployments.
+    pub variant: KernelVariant,
+    /// Worker count for `search_batch` / `search_parallel`; `0` means
+    /// the default width (the `PDX_THREADS` env override, then the
+    /// hardware parallelism). Single-query `search` ignores it.
+    pub threads: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            metric: Metric::L2,
+            pruner: PrunerKind::default(),
+            selection_fraction: 0.20,
+            step: StepPolicy::default(),
+            nprobe: 0,
+            refine: DEFAULT_REFINE,
+            ef: 0,
+            variant: KernelVariant::Simd,
+            threads: 0,
+        }
+    }
+}
+
+impl SearchOptions {
+    /// Default options for a given `k`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the metric.
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Replaces the pruning strategy.
+    pub fn with_pruner(mut self, pruner: PrunerKind) -> Self {
+        self.pruner = pruner;
+        self
+    }
+
+    /// Replaces the step policy.
+    pub fn with_step(mut self, step: StepPolicy) -> Self {
+        self.step = step;
+        self
+    }
+
+    /// Replaces the IVF probe count (`0` = all buckets).
+    pub fn with_nprobe(mut self, nprobe: usize) -> Self {
+        self.nprobe = nprobe;
+        self
+    }
+
+    /// Replaces the SQ8 refinement factor.
+    pub fn with_refine(mut self, refine: usize) -> Self {
+        self.refine = refine;
+        self
+    }
+
+    /// Replaces the graph beam width (`0` = auto).
+    pub fn with_ef(mut self, ef: usize) -> Self {
+        self.ef = ef;
+        self
+    }
+
+    /// Replaces the horizontal kernel variant.
+    pub fn with_variant(mut self, variant: KernelVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Replaces the worker count (`0` = default width).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The PDXearch parameters these options describe.
+    pub fn params(&self) -> SearchParams {
+        SearchParams::new(self.k)
+            .with_selection_fraction(self.selection_fraction)
+            .with_step(self.step)
+    }
+
+    /// Probe count against an index of `n_buckets` buckets: `0` and
+    /// out-of-range requests clamp to every bucket.
+    pub fn resolve_nprobe(&self, n_buckets: usize) -> usize {
+        if self.nprobe == 0 {
+            n_buckets
+        } else {
+            self.nprobe.min(n_buckets)
+        }
+    }
+
+    /// Graph beam width for this `k`: an explicit `ef`, else
+    /// `max(`[`DEFAULT_EF`]`, k)`.
+    pub fn resolve_ef(&self) -> usize {
+        if self.ef == 0 {
+            DEFAULT_EF.max(self.k)
+        } else {
+            self.ef.max(self.k)
+        }
+    }
+}
+
+/// One vector-search deployment behind a uniform, object-safe surface.
+///
+/// Every deployment in the workspace — flat and IVF, `f32` and SQ8,
+/// horizontal and graph-routed — implements this trait, so callers can
+/// hold a `Box<dyn VectorIndex>` (see `pdx-engine`'s `AnyIndex::open`)
+/// and serve queries without knowing the concrete type. The concrete
+/// inherent methods (generic over [`Pruner`](crate::pruning::Pruner))
+/// remain the typed API the trait implementations delegate to.
+///
+/// # Determinism contract
+///
+/// For exact configurations (PDX-BOND, linear scans, the SQ8 two-phase
+/// path) every implementation must return results bit-identical to its
+/// sequential `search` from `search_batch` and `search_parallel` at any
+/// thread count — ids *and* distances, duplicate-distance ties
+/// included. The default method bodies satisfy this by construction:
+/// batching runs the unmodified sequential path per query, and the
+/// parallel fallback *is* the sequential path. Overrides must preserve
+/// the two invariants of [`crate::exec`] (canonical heaps,
+/// split-independent per-vector accumulation).
+pub trait VectorIndex: Send + Sync {
+    /// Dimensionality of the indexed vectors.
+    fn dims(&self) -> usize;
+
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no vectors.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short static name of the deployment (for logs and reports).
+    fn kind(&self) -> &'static str;
+
+    /// Single-query k-NN with the unified options.
+    fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor>;
+
+    /// Searches a batch of packed queries on `opts.threads` workers
+    /// (`0` = default width). Identical to a sequential loop of
+    /// [`VectorIndex::search`] at any thread count: each query runs the
+    /// unmodified sequential path.
+    ///
+    /// # Panics
+    /// Panics if `queries.len()` is not a multiple of the
+    /// dimensionality.
+    fn search_batch(&self, queries: &[f32], opts: &SearchOptions) -> Vec<Vec<Neighbor>> {
+        BatchSearcher::new(opts.threads).run(queries, self.dims(), |q| self.search(q, opts))
+    }
+
+    /// One query with intra-query parallelism where the deployment's
+    /// scan is block-splittable. The default is the sequential
+    /// [`VectorIndex::search`] (trivially bit-identical); deployments
+    /// whose scan decomposes into independent block ranges override it
+    /// with [`parallel_block_search`](crate::exec::parallel_block_search).
+    fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let _ = opts.threads;
+        self.search(query, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::KnnHeap;
+
+    /// A toy brute-force deployment exercising the default methods.
+    struct Toy {
+        dims: usize,
+        rows: Vec<f32>,
+    }
+
+    impl VectorIndex for Toy {
+        fn dims(&self) -> usize {
+            self.dims
+        }
+        fn len(&self) -> usize {
+            self.rows.len() / self.dims
+        }
+        fn kind(&self) -> &'static str {
+            "toy"
+        }
+        fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+            let mut heap = KnnHeap::new(opts.k);
+            for (i, row) in self.rows.chunks_exact(self.dims).enumerate() {
+                let d = query.iter().zip(row).map(|(a, b)| (a - b) * (a - b)).sum();
+                heap.push(i as u64, d);
+            }
+            heap.into_sorted()
+        }
+    }
+
+    #[test]
+    fn defaults_are_the_paper_defaults() {
+        let opts = SearchOptions::default();
+        assert_eq!(opts.k, 10);
+        assert_eq!(opts.metric, Metric::L2);
+        assert_eq!(opts.pruner, PrunerKind::Bond(VisitOrder::DistanceToMeans));
+        assert_eq!(opts.selection_fraction, 0.20);
+        assert_eq!(opts.step, StepPolicy::Adaptive { start: 2 });
+        assert_eq!(opts.nprobe, 0);
+        assert_eq!(opts.refine, DEFAULT_REFINE);
+        assert_eq!(opts.ef, 0);
+        assert_eq!(opts.variant, KernelVariant::Simd);
+        assert_eq!(opts.threads, 0);
+    }
+
+    #[test]
+    fn nprobe_and_ef_resolution() {
+        let opts = SearchOptions::new(10);
+        assert_eq!(opts.resolve_nprobe(7), 7);
+        assert_eq!(opts.with_nprobe(3).resolve_nprobe(7), 3);
+        assert_eq!(opts.with_nprobe(100).resolve_nprobe(7), 7);
+        assert_eq!(opts.resolve_ef(), DEFAULT_EF);
+        assert_eq!(SearchOptions::new(500).resolve_ef(), 500);
+        assert_eq!(opts.with_ef(2).resolve_ef(), 10); // clamped to ≥ k
+    }
+
+    #[test]
+    fn default_batch_matches_sequential_on_dyn_object() {
+        let toy = Toy {
+            dims: 2,
+            rows: (0..40).map(|i| i as f32).collect(),
+        };
+        let index: &dyn VectorIndex = &toy;
+        assert_eq!(index.len(), 20);
+        let queries: Vec<f32> = (0..10).map(|i| (i * 3 % 17) as f32).collect();
+        let opts = SearchOptions::new(3).with_threads(4);
+        let batch = index.search_batch(&queries, &opts);
+        for (qi, got) in batch.iter().enumerate() {
+            let want = index.search(&queries[qi * 2..(qi + 1) * 2], &opts);
+            assert_eq!(got, &want, "query {qi}");
+        }
+        // The default parallel path is the sequential path.
+        assert_eq!(
+            index.search_parallel(&queries[..2], &opts),
+            index.search(&queries[..2], &opts)
+        );
+    }
+
+    #[test]
+    fn params_carries_the_pdxearch_knobs() {
+        let opts = SearchOptions::new(7)
+            .with_step(StepPolicy::Fixed { step: 32 })
+            .with_pruner(PrunerKind::Linear);
+        let params = opts.params();
+        assert_eq!(params.k, 7);
+        assert_eq!(params.step, StepPolicy::Fixed { step: 32 });
+        assert_eq!(params.selection_fraction, 0.20);
+    }
+}

@@ -25,6 +25,10 @@
 //!   SIMD-ADS / SCALAR-ADS baselines.
 //! * [`bond`] — **PDX-BOND** (§5), the exact, transformation-free pruner
 //!   with query-aware dimension visit orders ([`visit_order`]).
+//! * [`engine`] — the serving surface: the object-safe [`VectorIndex`]
+//!   trait every deployment implements and the unified
+//!   [`SearchOptions`] struct, so applications can hold a
+//!   `Box<dyn VectorIndex>` and stay deployment-agnostic.
 //! * [`exec`] — the parallel execution engine: a std-only scoped-thread
 //!   worker pool ([`exec::ThreadPool`]), batch query sharding
 //!   ([`exec::BatchSearcher`]) and deterministic intra-query block-range
@@ -64,6 +68,7 @@
 pub mod bond;
 pub mod collection;
 pub mod distance;
+pub mod engine;
 pub mod exec;
 pub mod heap;
 pub mod kernels;
@@ -77,6 +82,7 @@ pub mod visit_order;
 pub use bond::PdxBond;
 pub use collection::{PdxCollection, SearchBlock};
 pub use distance::Metric;
+pub use engine::{PrunerKind, SearchOptions, VectorIndex};
 pub use exec::{BatchSearcher, ThreadPool};
 pub use heap::{KnnHeap, Neighbor};
 pub use layout::{

@@ -123,6 +123,12 @@ pub trait Pruner {
     /// (BSA's residual norms). When `false`, PDXearch skips aux lookups.
     const NEEDS_AUX: bool = false;
 
+    /// Short static name of the strategy (for engine-level `kind()`
+    /// reporting and logs).
+    fn name(&self) -> &'static str {
+        "pruner"
+    }
+
     /// The metric whose distances this pruner bounds.
     fn metric(&self) -> Metric;
 

@@ -1,0 +1,306 @@
+#![warn(missing_docs)]
+
+//! # pdx-engine — the dynamic serving layer
+//!
+//! Thin layer on top of [`pdx_core::engine`]: it turns *persisted* or
+//! *pruner-paired* deployments into `Box<dyn VectorIndex>` trait
+//! objects, so everything above it (the CLI, benchmark harnesses,
+//! network/sharding layers) programs against one surface and never
+//! branches on the container or deployment kind.
+//!
+//! * [`AnyIndex`] — opens an on-disk container
+//!   ([`pdx_datasets::persist`]), sniffs the magic number (`PDX1` f32,
+//!   `PDX2` SQ8) and returns whichever deployment the file holds.
+//! * [`PrunedFlat`] / [`PrunedIvf`] — pair a deployment with a *fitted*
+//!   pruner (ADSampling's rotation, BSA's PCA — state that cannot be
+//!   chosen from plain options) and serve it through the same trait.
+//!
+//! ```no_run
+//! use pdx_engine::AnyIndex;
+//! use pdx_core::engine::SearchOptions;
+//!
+//! let index = AnyIndex::open("index.pdx")?; // PDX1 or PDX2, sniffed
+//! let hits = index.search(&vec![0.0; index.dims()], &SearchOptions::new(10));
+//! assert_eq!(hits.len(), 10);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use pdx_core::engine::{SearchOptions, VectorIndex};
+use pdx_core::heap::Neighbor;
+use pdx_core::pruning::Pruner;
+use pdx_datasets::persist::{read_container, read_container_path, Container};
+use pdx_index::{FlatPdx, FlatSq8, IvfPdx};
+use std::io;
+use std::path::Path;
+
+/// Opens any persisted PDX container as a dynamic [`VectorIndex`].
+///
+/// This is the serving-side entry point: a file written by
+/// `pdx-cli build` (or [`pdx_datasets::persist`] directly) comes back
+/// as whichever deployment it holds — a `PDX1` container as a
+/// [`FlatPdx`], a `PDX2` container as a [`FlatSq8`] (scan-only when the
+/// file carries no rerank payload) — behind one trait object.
+pub struct AnyIndex;
+
+impl AnyIndex {
+    /// Opens a container file, dispatching on its magic number.
+    ///
+    /// # Errors
+    /// Propagates IO errors and container-format errors.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Box<dyn VectorIndex>> {
+        Ok(Self::from_container(read_container_path(path.as_ref())?))
+    }
+
+    /// Reads a container from any reader, dispatching on its magic
+    /// number.
+    ///
+    /// # Errors
+    /// Propagates IO errors and container-format errors.
+    pub fn read<R: io::Read>(r: R) -> io::Result<Box<dyn VectorIndex>> {
+        Ok(Self::from_container(read_container(r)?))
+    }
+
+    /// Wraps an already-loaded container in its deployment.
+    pub fn from_container(container: Container) -> Box<dyn VectorIndex> {
+        match container {
+            Container::F32(collection) => Box::new(FlatPdx { collection }),
+            Container::Sq8(c) => {
+                Box::new(FlatSq8::from_parts(c.dims, c.quantizer, c.blocks, c.rows))
+            }
+        }
+    }
+}
+
+/// Deployment-prefixed `kind()` for the pruned adapters, so a
+/// `PrunedFlat<AdSampling>` ("pruned-flat-adsampling") is
+/// distinguishable from a `PrunedIvf<AdSampling>`
+/// ("pruned-ivf-adsampling") in logs and reports, matching the other
+/// deployments' "flat-pdx"/"ivf-pdx" convention. `kind()` returns
+/// `&'static str`, hence the name table instead of concatenation.
+fn pruned_kind(flat: bool, pruner: &str) -> &'static str {
+    match (flat, pruner) {
+        (true, "bond") => "pruned-flat-bond",
+        (true, "adsampling") => "pruned-flat-adsampling",
+        (true, "bsa") => "pruned-flat-bsa",
+        (true, "bsa-learned") => "pruned-flat-bsa-learned",
+        (true, _) => "pruned-flat",
+        (false, "bond") => "pruned-ivf-bond",
+        (false, "adsampling") => "pruned-ivf-adsampling",
+        (false, "bsa") => "pruned-ivf-bsa",
+        (false, "bsa-learned") => "pruned-ivf-bsa-learned",
+        (false, _) => "pruned-ivf",
+    }
+}
+
+/// A flat deployment paired with a fitted pruner, served through
+/// [`VectorIndex`].
+///
+/// [`PrunerKind`](pdx_core::engine::PrunerKind) covers the strategies
+/// that need no per-collection state (BOND, linear). Pruners with
+/// trained state — ADSampling's random rotation, BSA's PCA — transform
+/// the collection at build time; this adapter owns that pairing, so an
+/// ADS- or BSA-pruned deployment is *also* a `Box<dyn VectorIndex>`.
+/// The wrapped collection must already be stored in the pruner's space
+/// (i.e. built from `transform_collection` output); the adapter ignores
+/// [`SearchOptions::pruner`] and `metric` — the fitted pruner defines
+/// both.
+///
+/// For approximate pruners `search_parallel` may legitimately differ
+/// from the sequential search (their bound depends on the threshold's
+/// history); `search_batch` stays bit-identical at any width.
+#[derive(Debug, Clone)]
+pub struct PrunedFlat<P> {
+    /// The deployment, stored in the pruner's space.
+    pub flat: FlatPdx,
+    /// The fitted pruner.
+    pub pruner: P,
+}
+
+impl<P> PrunedFlat<P> {
+    /// Pairs a deployment with its fitted pruner.
+    pub fn new(flat: FlatPdx, pruner: P) -> Self {
+        Self { flat, pruner }
+    }
+}
+
+impl<P> VectorIndex for PrunedFlat<P>
+where
+    P: Pruner + Send + Sync,
+    P::Query: Sync,
+{
+    fn dims(&self) -> usize {
+        self.flat.collection.dims
+    }
+
+    fn len(&self) -> usize {
+        self.flat.collection.total_vectors()
+    }
+
+    fn kind(&self) -> &'static str {
+        pruned_kind(true, self.pruner.name())
+    }
+
+    fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        self.flat.search(&self.pruner, query, &opts.params())
+    }
+
+    fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        self.flat
+            .search_parallel(&self.pruner, query, &opts.params(), opts.threads)
+    }
+}
+
+/// An IVF-PDX deployment paired with a fitted pruner, served through
+/// [`VectorIndex`] (see [`PrunedFlat`] for the pairing rules).
+/// [`SearchOptions::nprobe`] applies as usual (`0` = all buckets).
+#[derive(Debug, Clone)]
+pub struct PrunedIvf<P> {
+    /// The deployment, with buckets stored in the pruner's space.
+    pub ivf: IvfPdx,
+    /// The fitted pruner.
+    pub pruner: P,
+}
+
+impl<P> PrunedIvf<P> {
+    /// Pairs a deployment with its fitted pruner.
+    pub fn new(ivf: IvfPdx, pruner: P) -> Self {
+        Self { ivf, pruner }
+    }
+}
+
+impl<P> VectorIndex for PrunedIvf<P>
+where
+    P: Pruner + Send + Sync,
+    P::Query: Sync,
+{
+    fn dims(&self) -> usize {
+        self.ivf.dims
+    }
+
+    fn len(&self) -> usize {
+        self.ivf.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    fn kind(&self) -> &'static str {
+        pruned_kind(false, self.pruner.name())
+    }
+
+    fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let nprobe = opts.resolve_nprobe(self.ivf.blocks.len());
+        self.ivf.search(&self.pruner, query, nprobe, &opts.params())
+    }
+
+    fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let nprobe = opts.resolve_nprobe(self.ivf.blocks.len());
+        self.ivf
+            .search_parallel(&self.pruner, query, nprobe, &opts.params(), opts.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdx_core::distance::Metric;
+    use pdx_core::engine::PrunerKind;
+    use pdx_datasets::persist::{write_pdx_path, write_sq8_path};
+    use pdx_index::IvfIndex;
+    use pdx_pruners::AdSampling;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rows(n: usize, d: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * d).map(|_| rng.random::<f32>() * 10.0).collect()
+    }
+
+    #[test]
+    fn open_round_trips_both_container_kinds() {
+        let (n, d, k) = (300, 8, 5);
+        let rows = random_rows(n, d, 1);
+        let q = random_rows(1, d, 2);
+        let dir = std::env::temp_dir().join("pdx_engine_open_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = SearchOptions::new(k);
+
+        let flat = FlatPdx::new(&rows, n, d, 100, 16);
+        let f32_path = dir.join("f32.pdx");
+        write_pdx_path(&f32_path, &flat.collection).unwrap();
+        let opened = AnyIndex::open(&f32_path).unwrap();
+        assert_eq!(opened.kind(), "flat-pdx");
+        assert_eq!(opened.dims(), d);
+        assert_eq!(opened.len(), n);
+        let direct: &dyn VectorIndex = &flat;
+        assert_eq!(opened.search(&q, &opts), direct.search(&q, &opts));
+
+        let sq8 = FlatSq8::build(&rows, n, d, 100, 16);
+        let sq8_path = dir.join("sq8.pdx2");
+        write_sq8_path(&sq8_path, &sq8.quantizer, &sq8.blocks, Some(&sq8.rows)).unwrap();
+        let opened = AnyIndex::open(&sq8_path).unwrap();
+        assert_eq!(opened.kind(), "flat-sq8");
+        let direct: &dyn VectorIndex = &sq8;
+        assert_eq!(opened.search(&q, &opts), direct.search(&q, &opts));
+
+        // Scan-only containers open as estimate-only deployments.
+        let scan_path = dir.join("scan.pdx2");
+        write_sq8_path(&scan_path, &sq8.quantizer, &sq8.blocks, None).unwrap();
+        let opened = AnyIndex::open(&scan_path).unwrap();
+        assert_eq!(opened.kind(), "flat-sq8-scan-only");
+        assert_eq!(opened.search(&q, &opts).len(), k);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_unknown_magic() {
+        assert!(AnyIndex::read(&b"XXXXnot a container"[..]).is_err());
+    }
+
+    #[test]
+    fn pruned_adapters_serve_fitted_pruners() {
+        let (n, d, k) = (400, 12, 6);
+        let rows = random_rows(n, d, 5);
+        let q = random_rows(1, d, 6);
+        let ads = AdSampling::fit(d, 3);
+        let rotated = ads.transform_collection(&rows, n, 1);
+
+        let flat = FlatPdx::new(&rotated, n, d, 128, 16);
+        let exact = flat.linear_search(&ads.transform_vector(&q), k, Metric::L2);
+        let served: Box<dyn VectorIndex> = Box::new(PrunedFlat::new(flat, ads.clone()));
+        assert_eq!(served.kind(), "pruned-flat-adsampling");
+        let opts = SearchOptions::new(k);
+        let got = served.search(&q, &opts);
+        // ADSampling at full depth over one flat deployment is near-exact;
+        // its top-1 must match the exact scan in rotated space.
+        assert_eq!(got[0].id, exact[0].id);
+        // Batch default is bit-identical to the sequential loop.
+        let queries = random_rows(3, d, 7);
+        let batch = served.search_batch(&queries, &opts.with_threads(2));
+        for (qi, got) in batch.iter().enumerate() {
+            assert_eq!(got, &served.search(&queries[qi * d..(qi + 1) * d], &opts));
+        }
+
+        let index = IvfIndex::build(&rows, n, d, 8, 6, 2);
+        let ads = AdSampling::fit(d, 3);
+        let ivf = IvfPdx::new(&rotated, d, &index.assignments, 16);
+        let served: Box<dyn VectorIndex> = Box::new(PrunedIvf::new(ivf, ads));
+        assert_eq!(served.kind(), "pruned-ivf-adsampling");
+        let got = served.search(&q, &opts); // nprobe = 0 → all buckets
+        assert_eq!(got[0].id, exact[0].id);
+        assert_eq!(served.len(), n);
+    }
+
+    #[test]
+    fn options_pruner_kind_is_ignored_by_adapters() {
+        // The fitted pruner wins: Bond/Linear selection has no effect.
+        let (n, d) = (200, 8);
+        let rows = random_rows(n, d, 9);
+        let q = random_rows(1, d, 10);
+        let ads = AdSampling::fit(d, 4);
+        let rotated = ads.transform_collection(&rows, n, 1);
+        let served = PrunedFlat::new(FlatPdx::new(&rotated, n, d, 64, 16), ads);
+        let dyn_served: &dyn VectorIndex = &served;
+        let a = dyn_served.search(&q, &SearchOptions::new(4));
+        let b = dyn_served.search(&q, &SearchOptions::new(4).with_pruner(PrunerKind::Linear));
+        assert_eq!(a, b);
+    }
+}

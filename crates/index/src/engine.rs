@@ -1,0 +1,473 @@
+//! [`VectorIndex`] implementations for every deployment in this crate.
+//!
+//! The six deployments keep their typed inherent APIs (generic over
+//! [`Pruner`], with per-deployment
+//! parameters); this module is the uniform dynamic surface on top: each
+//! implementation translates one [`SearchOptions`] into the
+//! deployment's inherent calls, so all six are reachable as
+//! `Box<dyn VectorIndex>` — the serving path `AnyIndex::open` (in
+//! `pdx-engine`) and the CLI use.
+//!
+//! Which options each deployment reads:
+//!
+//! | deployment       | `pruner` | `metric` | `nprobe` | `refine` | `ef` | `variant` |
+//! |------------------|----------|----------|----------|----------|------|-----------|
+//! | [`FlatPdx`]      | ✓        | ✓        | –        | –        | –    | –         |
+//! | [`IvfPdx`]       | ✓        | ✓        | ✓        | –        | –    | –         |
+//! | [`IvfHorizontal`]| ✓        | ✓        | ✓        | –        | –    | ✓         |
+//! | [`FlatSq8`]      | –        | ✓        | –        | ✓        | –    | –         |
+//! | [`IvfSq8`]       | –        | ✓        | ✓        | ✓        | –    | –         |
+//! | [`Hnsw`]         | –        | – (L2)   | –        | –        | ✓    | –         |
+//!
+//! (`k`, `step`, `selection_fraction` and `threads` apply wherever the
+//! underlying scan uses them; SQ8 deployments bound with the candidate
+//! heap's own threshold instead of a [`PrunerKind`]; the HNSW graph is
+//! built for L2 and ignores the metric option.)
+//!
+//! Every implementation honours the engine determinism contract: exact
+//! configurations return bit-identical results from `search_batch` and
+//! `search_parallel` at any thread count (`tests/determinism.rs` pins
+//! all six).
+
+use crate::{FlatPdx, FlatSq8, Hnsw, IvfHorizontal, IvfPdx, IvfSq8};
+use pdx_core::bond::PdxBond;
+use pdx_core::collection::SearchBlock;
+use pdx_core::engine::{PrunerKind, SearchOptions, VectorIndex};
+use pdx_core::exec::{parallel_block_search, BatchSearcher, ThreadPool};
+use pdx_core::heap::Neighbor;
+use pdx_core::pruning::Pruner;
+use pdx_core::search::quantized::{sq8_rerank, sq8_search, sq8_two_phase, Sq8Block};
+use pdx_core::search::{
+    horizontal_linear_scan, horizontal_pruned_search_prepared, linear_scan_blocks,
+    pdxearch_prepared, HorizontalBucket,
+};
+
+impl VectorIndex for FlatPdx {
+    fn dims(&self) -> usize {
+        self.collection.dims
+    }
+
+    fn len(&self) -> usize {
+        self.collection.total_vectors()
+    }
+
+    fn kind(&self) -> &'static str {
+        "flat-pdx"
+    }
+
+    /// Exact search over all partitions: PDX-BOND (`pruner` order) or a
+    /// plain PDX linear scan.
+    fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        match opts.pruner {
+            PrunerKind::Bond(order) => {
+                let bond = PdxBond::new(opts.metric, order);
+                FlatPdx::search(self, &bond, query, &opts.params())
+            }
+            PrunerKind::Linear => self.linear_search(query, opts.k, opts.metric),
+        }
+    }
+
+    /// Overridden to hoist the block-reference gathering out of the
+    /// per-query loop (flat partitions are query-independent); each
+    /// query still runs the unmodified sequential scan, so results stay
+    /// bit-identical to a loop of [`VectorIndex::search`].
+    fn search_batch(&self, queries: &[f32], opts: &SearchOptions) -> Vec<Vec<Neighbor>> {
+        let blocks: Vec<&SearchBlock> = self.collection.blocks.iter().collect();
+        let searcher = BatchSearcher::new(opts.threads);
+        match opts.pruner {
+            PrunerKind::Bond(order) => {
+                let bond = PdxBond::new(opts.metric, order);
+                let params = opts.params();
+                searcher.run(queries, self.collection.dims, |q| {
+                    let pq = bond.prepare_query(q);
+                    pdxearch_prepared(&bond, &pq, &blocks, &params)
+                })
+            }
+            PrunerKind::Linear => searcher.run(queries, self.collection.dims, |q| {
+                linear_scan_blocks(&blocks, q, opts.k, opts.metric)
+            }),
+        }
+    }
+
+    fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        match opts.pruner {
+            PrunerKind::Bond(order) => {
+                let bond = PdxBond::new(opts.metric, order);
+                FlatPdx::search_parallel(self, &bond, query, &opts.params(), opts.threads)
+            }
+            PrunerKind::Linear => {
+                let blocks: Vec<&SearchBlock> = self.collection.blocks.iter().collect();
+                let pool = ThreadPool::new(opts.threads);
+                parallel_block_search(&pool, blocks.len(), opts.k, |range| {
+                    linear_scan_blocks(&blocks[range], query, opts.k, opts.metric)
+                })
+            }
+        }
+    }
+}
+
+impl VectorIndex for IvfPdx {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    fn kind(&self) -> &'static str {
+        "ivf-pdx"
+    }
+
+    /// PDXearch (or a linear scan) over the `nprobe` nearest buckets
+    /// (`nprobe = 0` probes all buckets — exact for the Bond/Linear
+    /// configurations).
+    fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let nprobe = opts.resolve_nprobe(self.blocks.len());
+        match opts.pruner {
+            PrunerKind::Bond(order) => {
+                let bond = PdxBond::new(opts.metric, order);
+                IvfPdx::search(self, &bond, query, nprobe, &opts.params())
+            }
+            PrunerKind::Linear => self.linear_search(query, opts.k, nprobe, opts.metric),
+        }
+    }
+
+    fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let nprobe = opts.resolve_nprobe(self.blocks.len());
+        match opts.pruner {
+            PrunerKind::Bond(order) => {
+                let bond = PdxBond::new(opts.metric, order);
+                IvfPdx::search_parallel(self, &bond, query, nprobe, &opts.params(), opts.threads)
+            }
+            PrunerKind::Linear => {
+                let order = self.probe_order(query, nprobe, opts.metric);
+                let blocks: Vec<&SearchBlock> =
+                    order.iter().map(|&b| &self.blocks[b as usize]).collect();
+                let pool = ThreadPool::new(opts.threads);
+                parallel_block_search(&pool, blocks.len(), opts.k, |range| {
+                    linear_scan_blocks(&blocks[range], query, opts.k, opts.metric)
+                })
+            }
+        }
+    }
+}
+
+impl VectorIndex for IvfHorizontal {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+
+    fn kind(&self) -> &'static str {
+        "ivf-horizontal"
+    }
+
+    /// Vector-at-a-time search over the `nprobe` nearest buckets with
+    /// the configured kernel `variant`; `pruner` selects the
+    /// interleaved Bond bound or the plain linear IVF_FLAT scan.
+    fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let nprobe = opts.resolve_nprobe(self.buckets.len());
+        match opts.pruner {
+            PrunerKind::Bond(order) => {
+                let bond = PdxBond::new(opts.metric, order);
+                IvfHorizontal::search(self, &bond, query, opts.k, nprobe, opts.variant)
+            }
+            PrunerKind::Linear => {
+                self.linear_search(query, opts.k, nprobe, opts.metric, opts.variant)
+            }
+        }
+    }
+
+    /// Intra-query parallelism over contiguous bucket ranges. For the
+    /// exact Bond bound this is bit-identical to the sequential search:
+    /// every true top-k candidate survives to full accumulation in any
+    /// split (the partial distance can never exceed a threshold that is
+    /// itself ≥ the final k-th distance), segments accumulate in a
+    /// fixed order, and the canonical merge retains the same set.
+    fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let nprobe = opts.resolve_nprobe(self.buckets.len());
+        let pool = ThreadPool::new(opts.threads);
+        match opts.pruner {
+            PrunerKind::Bond(order) => {
+                let bond = PdxBond::new(opts.metric, order);
+                let q = bond.prepare_query(query);
+                let probes =
+                    self.probe_order(bond.query_vector(&q), nprobe, opts.metric, opts.variant);
+                let buckets: Vec<&HorizontalBucket> =
+                    probes.iter().map(|&b| &self.buckets[b as usize]).collect();
+                parallel_block_search(&pool, buckets.len(), opts.k, |range| {
+                    horizontal_pruned_search_prepared(
+                        &bond,
+                        &q,
+                        &buckets[range],
+                        opts.k,
+                        self.delta_d,
+                        opts.variant,
+                    )
+                })
+            }
+            PrunerKind::Linear => {
+                let probes = self.probe_order(query, nprobe, opts.metric, opts.variant);
+                let buckets: Vec<&HorizontalBucket> =
+                    probes.iter().map(|&b| &self.buckets[b as usize]).collect();
+                parallel_block_search(&pool, buckets.len(), opts.k, |range| {
+                    horizontal_linear_scan(
+                        &buckets[range],
+                        query,
+                        opts.k,
+                        opts.metric,
+                        opts.variant,
+                    )
+                })
+            }
+        }
+    }
+}
+
+impl VectorIndex for FlatSq8 {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.total_vectors()
+    }
+
+    fn kind(&self) -> &'static str {
+        if self.rows.is_empty() {
+            "flat-sq8-scan-only"
+        } else {
+            "flat-sq8"
+        }
+    }
+
+    /// Two-phase query (quantized scan keeping `refine · k` candidates,
+    /// exact rerank). A scan-only deployment (no rerank payload) returns
+    /// the top-`k` quantized estimates instead.
+    fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let blocks: Vec<&Sq8Block> = self.blocks.iter().collect();
+        if self.rows.is_empty() {
+            let q = self.quantizer.prepare_query(opts.metric, query);
+            return sq8_search(&q, &blocks, opts.k, opts.step);
+        }
+        sq8_two_phase(
+            &self.quantizer,
+            &blocks,
+            &self.rows,
+            self.dims,
+            opts.metric,
+            query,
+            opts.k,
+            opts.refine,
+            opts.step,
+        )
+    }
+
+    /// Overridden to hoist the block-reference gathering out of the
+    /// per-query loop; results stay bit-identical to a sequential loop
+    /// of [`VectorIndex::search`].
+    fn search_batch(&self, queries: &[f32], opts: &SearchOptions) -> Vec<Vec<Neighbor>> {
+        let blocks: Vec<&Sq8Block> = self.blocks.iter().collect();
+        let searcher = BatchSearcher::new(opts.threads);
+        if self.rows.is_empty() {
+            searcher.run(queries, self.dims, |q| {
+                let pq = self.quantizer.prepare_query(opts.metric, q);
+                sq8_search(&pq, &blocks, opts.k, opts.step)
+            })
+        } else {
+            searcher.run(queries, self.dims, |q| {
+                sq8_two_phase(
+                    &self.quantizer,
+                    &blocks,
+                    &self.rows,
+                    self.dims,
+                    opts.metric,
+                    q,
+                    opts.k,
+                    opts.refine,
+                    opts.step,
+                )
+            })
+        }
+    }
+
+    fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let blocks: Vec<&Sq8Block> = self.blocks.iter().collect();
+        let pool = ThreadPool::new(opts.threads);
+        let q = self.quantizer.prepare_query(opts.metric, query);
+        if self.rows.is_empty() {
+            return parallel_block_search(&pool, blocks.len(), opts.k, |range| {
+                sq8_search(&q, &blocks[range], opts.k, opts.step)
+            });
+        }
+        let c = opts.k * opts.refine.max(1);
+        let candidates = parallel_block_search(&pool, blocks.len(), c, |range| {
+            sq8_search(&q, &blocks[range], c, opts.step)
+        });
+        sq8_rerank(
+            opts.metric,
+            &self.rows,
+            self.dims,
+            query,
+            &candidates,
+            opts.k,
+        )
+    }
+}
+
+impl VectorIndex for IvfSq8 {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    fn kind(&self) -> &'static str {
+        "ivf-sq8"
+    }
+
+    /// Two-phase query over the `nprobe` nearest buckets.
+    fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let nprobe = opts.resolve_nprobe(self.blocks.len());
+        let order = self.probe_order(query, nprobe, opts.metric);
+        let blocks: Vec<&Sq8Block> = order.iter().map(|&b| &self.blocks[b as usize]).collect();
+        sq8_two_phase(
+            &self.quantizer,
+            &blocks,
+            &self.rows,
+            self.dims,
+            opts.metric,
+            query,
+            opts.k,
+            opts.refine,
+            opts.step,
+        )
+    }
+
+    /// Probes once, splits the quantized scan into per-worker bucket
+    /// ranges, merges the candidate sets canonically and reranks —
+    /// bit-identical to the sequential two-phase search at any width.
+    fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let nprobe = opts.resolve_nprobe(self.blocks.len());
+        let order = self.probe_order(query, nprobe, opts.metric);
+        let blocks: Vec<&Sq8Block> = order.iter().map(|&b| &self.blocks[b as usize]).collect();
+        let pool = ThreadPool::new(opts.threads);
+        let q = self.quantizer.prepare_query(opts.metric, query);
+        let c = opts.k * opts.refine.max(1);
+        let candidates = parallel_block_search(&pool, blocks.len(), c, |range| {
+            sq8_search(&q, &blocks[range], c, opts.step)
+        });
+        sq8_rerank(
+            opts.metric,
+            &self.rows,
+            self.dims,
+            query,
+            &candidates,
+            opts.k,
+        )
+    }
+}
+
+impl VectorIndex for Hnsw {
+    fn dims(&self) -> usize {
+        Hnsw::dims(self)
+    }
+
+    fn len(&self) -> usize {
+        Hnsw::len(self)
+    }
+
+    fn kind(&self) -> &'static str {
+        "hnsw"
+    }
+
+    /// Beam search with width [`SearchOptions::resolve_ef`]. The graph
+    /// is built for L2; the metric option is ignored. Batch and
+    /// parallel queries use the trait defaults (graph traversal is not
+    /// block-splittable): batches shard across the pool one query per
+    /// work item, `search_parallel` is the sequential search.
+    fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        Hnsw::search(self, query, opts.k, opts.resolve_ef())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::IvfIndex;
+    use pdx_core::distance::Metric;
+    use pdx_core::search::SearchParams;
+    use pdx_core::visit_order::VisitOrder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rows(n: usize, d: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * d).map(|_| rng.random::<f32>() * 10.0).collect()
+    }
+
+    #[test]
+    fn trait_search_matches_inherent_defaults() {
+        let (n, d, k) = (600, 10, 7);
+        let rows = random_rows(n, d, 1);
+        let q = random_rows(1, d, 2);
+        let opts = SearchOptions::new(k);
+
+        let flat = FlatPdx::new(&rows, n, d, 200, 32);
+        let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+        let want = FlatPdx::search(&flat, &bond, &q, &SearchParams::new(k));
+        let dyn_flat: &dyn VectorIndex = &flat;
+        assert_eq!(dyn_flat.search(&q, &opts), want);
+        assert_eq!(dyn_flat.len(), n);
+        assert_eq!(dyn_flat.dims(), d);
+    }
+
+    #[test]
+    fn linear_pruner_kind_is_the_linear_scan() {
+        let (n, d, k) = (400, 8, 5);
+        let rows = random_rows(n, d, 3);
+        let q = random_rows(1, d, 4);
+        let flat = FlatPdx::new(&rows, n, d, 128, 16);
+        let opts = SearchOptions::new(k).with_pruner(PrunerKind::Linear);
+        let dyn_flat: &dyn VectorIndex = &flat;
+        assert_eq!(
+            dyn_flat.search(&q, &opts),
+            flat.linear_search(&q, k, Metric::L2)
+        );
+        assert_eq!(
+            dyn_flat.search_parallel(&q, &opts.with_threads(3)),
+            flat.linear_search(&q, k, Metric::L2)
+        );
+    }
+
+    #[test]
+    fn all_six_deployments_box_and_agree_on_top1() {
+        let (n, d) = (500, 8);
+        let rows = random_rows(n, d, 7);
+        let q = random_rows(1, d, 8);
+        let index = IvfIndex::build(&rows, n, d, 10, 8, 5);
+
+        let deployments: Vec<Box<dyn VectorIndex>> = vec![
+            Box::new(FlatPdx::new(&rows, n, d, 128, 16)),
+            Box::new(IvfPdx::new(&rows, d, &index.assignments, 16)),
+            Box::new(IvfHorizontal::new(&rows, d, &index.assignments, 4)),
+            Box::new(FlatSq8::build(&rows, n, d, 128, 16)),
+            Box::new(IvfSq8::new(&rows, d, &index.assignments, 16)),
+            Box::new(Hnsw::build(&rows, n, d, crate::HnswParams::default(), 9)),
+        ];
+        let exact = FlatPdx::new(&rows, n, d, n, 16).linear_search(&q, 1, Metric::L2);
+        let opts = SearchOptions::new(3);
+        for dep in &deployments {
+            let got = dep.search(&q, &opts);
+            assert_eq!(got.len(), 3, "{}", dep.kind());
+            assert_eq!(got[0].id, exact[0].id, "{} top-1", dep.kind());
+            assert_eq!(dep.len(), n, "{}", dep.kind());
+        }
+    }
+}

@@ -103,6 +103,11 @@ impl Hnsw {
         self.levels.len()
     }
 
+    /// Dimensionality of the indexed vectors.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
     /// Whether the graph is empty.
     pub fn is_empty(&self) -> bool {
         self.levels.is_empty()

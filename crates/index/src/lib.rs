@@ -23,7 +23,12 @@
 //!   ([`sq8::FlatSq8`], [`sq8::IvfSq8`]): `u8` scan blocks 4× smaller
 //!   than `f32`, searched with the two-phase quantized-scan → exact
 //!   rerank path.
+//! * [`engine`] — [`pdx_core::engine::VectorIndex`] implementations for
+//!   all six deployments, so each is reachable as a
+//!   `Box<dyn VectorIndex>` behind one [`pdx_core::engine::SearchOptions`]
+//!   surface (batch and parallel entry points included).
 
+pub mod engine;
 pub mod flat;
 pub mod hnsw;
 pub mod ivf;

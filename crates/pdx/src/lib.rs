@@ -8,9 +8,16 @@
 //! * [`index`] ([`pdx_index`]) — IVF and flat-partition substrates.
 //! * [`datasets`] ([`pdx_datasets`]) — synthetic Table 1 collections,
 //!   `.fvecs` IO, ground truth and recall.
+//! * [`engine`] ([`pdx_engine`]) — the dynamic serving layer:
+//!   `AnyIndex::open` returns any persisted container as a
+//!   `Box<dyn VectorIndex>`.
 //! * [`linalg`] ([`pdx_linalg`]) — the linear-algebra substrate.
 //!
 //! ## Quickstart
+//!
+//! Every deployment answers the same [`prelude::VectorIndex`] calls
+//! from the same [`prelude::SearchOptions`]; the defaults are exact
+//! search (PDX-BOND, distance-to-means order, L2).
 //!
 //! ```
 //! use pdx::prelude::*;
@@ -21,11 +28,39 @@
 //!
 //! // Exact search with PDX-BOND: no preprocessing, no recall loss.
 //! let flat = FlatPdx::with_defaults(&ds.data, ds.len, ds.dims());
-//! let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
-//! let hits = flat.search(&bond, ds.query(0), &SearchParams::new(10));
+//! let index: &dyn VectorIndex = &flat;
+//! let hits = index.search(ds.query(0), &SearchOptions::new(10));
 //! assert_eq!(hits.len(), 10);
 //! let exact = flat.linear_search(ds.query(0), 10, Metric::L2);
 //! assert_eq!(hits[0].id, exact[0].id);
+//! ```
+//!
+//! ## Serving from disk: `AnyIndex::open`
+//!
+//! A container written by `pdx-cli build` (or
+//! [`datasets::persist`] directly) opens as
+//! whichever deployment it holds — `PDX1` (f32) or `PDX2` (SQ8) — with
+//! no branching at the call site:
+//!
+//! ```
+//! use pdx::prelude::*;
+//!
+//! let spec = DatasetSpec { name: "demo", dims: 16, distribution: Distribution::Normal, paper_size: 0 };
+//! let ds = generate(&spec, 400, 1, 11);
+//! let flat = FlatPdx::with_defaults(&ds.data, ds.len, ds.dims());
+//!
+//! let path = std::env::temp_dir().join("pdx_facade_doc.pdx");
+//! pdx::datasets::persist::write_pdx_path(&path, &flat.collection)?;
+//!
+//! let index = AnyIndex::open(&path)?; // Box<dyn VectorIndex>, kind sniffed
+//! assert_eq!(index.kind(), "flat-pdx");
+//! assert_eq!(index.dims(), 16);
+//! // Bit-identical to searching the in-memory deployment.
+//! let hits = index.search(ds.query(0), &SearchOptions::new(5));
+//! let direct: &dyn VectorIndex = &flat;
+//! assert_eq!(hits, direct.search(ds.query(0), &SearchOptions::new(5)));
+//! std::fs::remove_file(&path).ok();
+//! # Ok::<(), std::io::Error>(())
 //! ```
 //!
 //! ## Quantized (SQ8) search
@@ -78,6 +113,7 @@
 
 pub use pdx_core as core;
 pub use pdx_datasets as datasets;
+pub use pdx_engine as engine;
 pub use pdx_index as index;
 pub use pdx_linalg as linalg;
 pub use pdx_pruners as pruners;
@@ -87,6 +123,7 @@ pub mod prelude {
     pub use pdx_core::bond::PdxBond;
     pub use pdx_core::collection::{PdxCollection, SearchBlock};
     pub use pdx_core::distance::{normalize, Metric};
+    pub use pdx_core::engine::{PrunerKind, SearchOptions, VectorIndex, DEFAULT_EF};
     pub use pdx_core::exec::{
         merge_neighbors, parallel_block_search, resolve_threads, BatchSearcher, ThreadPool,
         THREADS_ENV,
@@ -113,6 +150,7 @@ pub mod prelude {
     pub use pdx_datasets::synthetic::{
         generate, spec_by_name, Dataset, DatasetSpec, Distribution, TABLE1,
     };
+    pub use pdx_engine::{AnyIndex, PrunedFlat, PrunedIvf};
     pub use pdx_index::{
         FlatPdx, FlatSq8, Hnsw, HnswParams, IvfHorizontal, IvfIndex, IvfPdx, IvfSq8, KMeans,
     };

@@ -94,6 +94,10 @@ impl Pruner for AdSampling {
     type Query = AdsQuery;
     type Checkpoint = AdsCheckpoint;
 
+    fn name(&self) -> &'static str {
+        "adsampling"
+    }
+
     fn metric(&self) -> Metric {
         // The hypothesis test is derived for squared Euclidean distance.
         Metric::L2

@@ -170,6 +170,10 @@ impl Pruner for Bsa {
     type Checkpoint = BsaCheckpoint;
     const NEEDS_AUX: bool = true;
 
+    fn name(&self) -> &'static str {
+        "bsa"
+    }
+
     fn metric(&self) -> Metric {
         Metric::L2
     }
@@ -330,6 +334,10 @@ impl Pruner for BsaLearned {
     type Query = BsaQuery;
     type Checkpoint = BsaLearnedCheckpoint;
     const NEEDS_AUX: bool = true;
+
+    fn name(&self) -> &'static str {
+        "bsa-learned"
+    }
 
     fn metric(&self) -> Metric {
         Metric::L2
