@@ -1,0 +1,192 @@
+//! **Table 10** (extension) — the mutable collection store under churn:
+//! ingest throughput into the write buffer (auto-sealing segments as it
+//! fills), then query QPS and recall at 0 / 25 / 50 % tombstone ratios,
+//! before and after `compact()`. The after-compaction pass also verifies
+//! the store's bit-identity guarantee against a flat index built from
+//! scratch on the surviving rows.
+//!
+//! ```text
+//! cargo run --release -p pdx-bench --bin table10_store [--quick]
+//!     [--n=50000 --queries=256 --k=10 --ratios=0,0.25,0.5 --seed=42]
+//! ```
+
+use pdx::prelude::*;
+use pdx_bench::harness::*;
+use std::time::Instant;
+
+/// External ids tombstoned for a given ratio: every `1/ratio`-th id,
+/// spread across all segments (the realistic churn shape).
+fn deleted_ids(n: usize, ratio: f64) -> Vec<u64> {
+    if ratio <= 0.0 {
+        return Vec::new();
+    }
+    let stride = (1.0 / ratio).round().max(1.0) as usize;
+    (0..n).step_by(stride).map(|i| i as u64).collect()
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let quick = args.flag("quick");
+    let n = args.usize("n", if quick { 10_000 } else { 50_000 });
+    let nq = args.usize("queries", if quick { 64 } else { 256 });
+    let k = args.usize("k", 10);
+    let seed = args.usize("seed", 42) as u64;
+    let ratios: Vec<f64> = args
+        .list("ratios")
+        .map(|v| v.iter().filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| vec![0.0, 0.25, 0.5]);
+    let config = StoreConfig {
+        block_size: 4096,
+        buffer_capacity: 4096,
+        ..StoreConfig::default()
+    };
+
+    let spec = *spec_by_name("sift").expect("table 1 has sift");
+    eprintln!(
+        "generating {}/{} (n = {n}, queries = {nq})…",
+        spec.name, spec.dims
+    );
+    let ds = generate(&spec, n, nq, seed);
+    let dims = ds.dims();
+
+    println!(
+        "\nTable 10 — mutable collection store (sift-like, n = {n}, queries = {nq}, \
+         k = {k}, block = {})",
+        config.block_size
+    );
+
+    // Ingest throughput: one-by-one inserts through the full path
+    // (duplicate check, buffer append, auto-seal) on a fresh store.
+    let mut coll = Collection::in_memory(dims, config);
+    let t0 = Instant::now();
+    for i in 0..n {
+        coll.insert(i as u64, &ds.data[i * dims..(i + 1) * dims])
+            .expect("insert");
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    let vps = n as f64 / ingest_secs.max(1e-12);
+    coll.seal().expect("seal");
+    println!(
+        "ingest: {n} inserts in {ingest_secs:.3}s ({vps:.0} vectors/s, \
+         {} segments sealed)\n",
+        coll.segment_count()
+    );
+    drop(coll);
+
+    let header: Vec<String> = ["ratio", "phase", "live", "QPS", "p50 ms", "recall@k"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let widths = vec![6usize, 8, 8, 10, 8, 9];
+    println!("{}", row(&header, &widths));
+    println!("{}", "-".repeat(58));
+
+    let mut csv = vec![format!("ingest,0.00,{n},{vps:.0},0.000,1.0000")];
+    let mut identity_drift = false;
+    let opts = SearchOptions::new(k);
+
+    for &ratio in &ratios {
+        // A fresh store per ratio: insert everything, seal, tombstone.
+        let mut coll = Collection::in_memory(dims, config);
+        for i in 0..n {
+            coll.insert(i as u64, &ds.data[i * dims..(i + 1) * dims])
+                .expect("insert");
+        }
+        coll.seal().expect("seal");
+        let dead = deleted_ids(n, ratio);
+        for &id in &dead {
+            coll.delete(id).expect("delete");
+        }
+
+        // Exact ground truth over the survivors (deleted rows must not
+        // count against recall — they are *supposed* to be absent).
+        let survivors: Vec<usize> = {
+            let dead_set: std::collections::HashSet<u64> = dead.iter().copied().collect();
+            (0..n)
+                .filter(|&i| !dead_set.contains(&(i as u64)))
+                .collect()
+        };
+        let mut surviving_rows = Vec::with_capacity(survivors.len() * dims);
+        for &i in &survivors {
+            surviving_rows.extend_from_slice(&ds.data[i * dims..(i + 1) * dims]);
+        }
+        let gt_local = ground_truth(&surviving_rows, &ds.queries, dims, k, Metric::L2, 0);
+        let gt: Vec<Vec<u64>> = gt_local
+            .iter()
+            .map(|ids| ids.iter().map(|&i| survivors[i as usize] as u64).collect())
+            .collect();
+
+        for phase in ["before", "after"] {
+            if phase == "after" {
+                let t0 = Instant::now();
+                coll.compact().expect("compact");
+                eprintln!(
+                    "  ratio {ratio:.2}: compacted in {:.3}s",
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+            let (qps, per_query) = time_queries(nq, |qi| {
+                let q = &ds.queries[qi * dims..(qi + 1) * dims];
+                std::hint::black_box(coll.search(q, &opts));
+            });
+            let results: Vec<Vec<u64>> = (0..nq)
+                .map(|qi| {
+                    coll.search(&ds.queries[qi * dims..(qi + 1) * dims], &opts)
+                        .iter()
+                        .map(|n| n.id)
+                        .collect()
+                })
+                .collect();
+            let recall = mean_recall(&gt, &results, k);
+            let p50 = percentile(&per_query, 50.0) * 1e3;
+            let cells: Vec<String> = vec![
+                format!("{ratio:.2}"),
+                phase.to_string(),
+                coll.live_len().to_string(),
+                format!("{qps:.0}"),
+                format!("{p50:.3}"),
+                format!("{recall:.4}"),
+            ];
+            println!("{}", row(&cells, &widths));
+            csv.push(format!(
+                "{phase},{ratio:.2},{},{qps:.1},{p50:.3},{recall:.4}",
+                coll.live_len()
+            ));
+        }
+
+        // Post-compaction bit-identity gate vs a from-scratch build.
+        let fresh = FlatPdx::new(
+            &surviving_rows,
+            survivors.len(),
+            dims,
+            config.block_size,
+            config.group_size,
+        );
+        let fresh: &dyn VectorIndex = &fresh;
+        for qi in 0..nq {
+            let q = &ds.queries[qi * dims..(qi + 1) * dims];
+            let got = coll.search(q, &opts);
+            let want = fresh.search(q, &opts);
+            let same = got.len() == want.len()
+                && got.iter().zip(&want).all(|(g, w)| {
+                    g.distance.to_bits() == w.distance.to_bits()
+                        && g.id == survivors[w.id as usize] as u64
+                });
+            if !same {
+                identity_drift = true;
+                eprintln!("WARNING: ratio {ratio:.2} q{qi} differs from the fresh build");
+            }
+        }
+    }
+
+    write_csv(
+        "table10_store.csv",
+        "phase,tombstone_ratio,live,rate,p50_ms,recall_at_k",
+        &csv,
+    );
+    if identity_drift {
+        eprintln!("\nFAIL: compacted collections must be bit-identical to fresh builds");
+        std::process::exit(1);
+    }
+    println!("\nall compacted collections bit-identical to fresh flat builds on the survivors");
+}

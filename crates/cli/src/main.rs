@@ -9,13 +9,22 @@
 //!                  [--refine=4 --threads=N]
 //! pdx-cli ground-truth --data=base.fvecs --queries=queries.fvecs --k=10 --out=gt.ivecs
 //! pdx-cli evaluate --index=index.pdx --queries=queries.fvecs --gt=gt.ivecs --k=10
+//!
+//! # mutable collections (LSM-style store: WAL + segments + tombstones)
+//! pdx-cli build    --data=base.fvecs --out=store --mode=collection [--quantize=sq8]
+//! pdx-cli insert   --index=store --data=more.fvecs [--start-id=N]
+//! pdx-cli delete   --index=store --ids=5,17,100..200
+//! pdx-cli compact  --index=store
+//! pdx-cli stat     --index=store
 //! ```
 //!
 //! `query` and `evaluate` go through the engine layer: `AnyIndex::open`
-//! sniffs the container kind (`PDX1` f32, `PDX2` SQ8) and returns a
+//! sniffs the index kind (`PDX1` f32, `PDX2` SQ8, `PDX3` mutable
+//! collection — directly or via its directory) and returns a
 //! `Box<dyn VectorIndex>`, so one code path serves every deployment —
 //! exact PDX-BOND on f32 indexes, the two-phase quantized search on SQ8
-//! indexes — from one `SearchOptions`.
+//! indexes, the buffer + segments − tombstones merge on collections —
+//! from one `SearchOptions`.
 //!
 //! `query`, `evaluate` and `build` run on the execution engine's worker
 //! pool: `--threads=N` picks the width explicitly, otherwise the
@@ -36,10 +45,23 @@ use std::time::Instant;
 /// Valid `--key=value` flags per subcommand (the strict parser rejects
 /// anything else).
 const GENERATE_FLAGS: &[&str] = &["dataset", "n", "out", "queries", "queries-out", "seed"];
-const BUILD_FLAGS: &[&str] = &["data", "out", "block-size", "group", "quantize", "threads"];
+const BUILD_FLAGS: &[&str] = &[
+    "data",
+    "out",
+    "block-size",
+    "group",
+    "quantize",
+    "threads",
+    "mode",
+    "buffer-capacity",
+];
 const QUERY_FLAGS: &[&str] = &["index", "queries", "k", "order", "refine", "threads"];
 const GROUND_TRUTH_FLAGS: &[&str] = &["data", "queries", "out", "k"];
 const EVALUATE_FLAGS: &[&str] = &["index", "queries", "gt", "k", "order", "refine", "threads"];
+const INSERT_FLAGS: &[&str] = &["index", "data", "start-id"];
+const DELETE_FLAGS: &[&str] = &["index", "ids"];
+const COMPACT_FLAGS: &[&str] = &["index"];
+const STAT_FLAGS: &[&str] = &["index"];
 const DATASETS_FLAGS: &[&str] = &[];
 
 #[derive(Debug)]
@@ -157,19 +179,32 @@ commands:
                   [--quantize=sq8]   SQ8-quantize the scan blocks (4× smaller,
                                      two-phase search with exact rerank)
                   [--threads=N]      worker count for quantizer training
-  query         run queries against a PDX container (exact PDX-BOND on f32
-                indexes; two-phase quantized scan + rerank on SQ8 indexes;
-                the container kind is sniffed via AnyIndex::open)
-                  --index=<file> --queries=<file> [--k=10 --order=means|zones|decreasing|seq]
+                  [--mode=collection]  write a *mutable* collection directory
+                                     (insert/delete/compact afterwards) instead
+                                     of a frozen container
+                  [--buffer-capacity=N]  collection write-buffer auto-seal size
+  query         run queries against any index (exact PDX-BOND on f32 indexes;
+                two-phase quantized scan + rerank on SQ8 indexes; mutable
+                collections merge buffer + segments minus tombstones; the
+                kind is sniffed via AnyIndex::open)
+                  --index=<path> --queries=<file> [--k=10 --order=means|zones|decreasing|seq]
                   [--refine=4]       SQ8 candidate factor (rerank refine·k)
                   [--threads=N]      parallel batch width (default: PDX_THREADS
                                      env, then all hardware threads; results
                                      are identical at every width)
   ground-truth  exact k-NN ids for a query set, saved as .ivecs
                   --data=<file> --queries=<file> --out=<file> [--k=10]
-  evaluate      recall against stored ground truth (any container kind)
-                  --index=<file> --queries=<file> --gt=<file> [--k=10 --refine=4]
+  evaluate      recall against stored ground truth (any index kind)
+                  --index=<path> --queries=<file> --gt=<file> [--k=10 --refine=4]
                   [--threads=N]      parallel batch width (as in query)
+  insert        append vectors to a mutable collection (WAL-logged)
+                  --index=<dir> --data=<file> [--start-id=<max id + 1>]
+  delete        tombstone vectors of a mutable collection
+                  --index=<dir> --ids=<id,id,lo..hi,…>
+  compact       merge a collection's segments + buffer, purging tombstones
+                  --index=<dir>
+  stat          describe any index (segments/buffer/tombstones for collections)
+                  --index=<path>
   datasets      list the built-in Table 1 dataset shapes
 ";
 
@@ -186,6 +221,10 @@ fn main() -> ExitCode {
         "query" => flags(QUERY_FLAGS).and_then(|a| cmd_query(&a)),
         "ground-truth" => flags(GROUND_TRUTH_FLAGS).and_then(|a| cmd_ground_truth(&a)),
         "evaluate" => flags(EVALUATE_FLAGS).and_then(|a| cmd_evaluate(&a)),
+        "insert" => flags(INSERT_FLAGS).and_then(|a| cmd_insert(&a)),
+        "delete" => flags(DELETE_FLAGS).and_then(|a| cmd_delete(&a)),
+        "compact" => flags(COMPACT_FLAGS).and_then(|a| cmd_compact(&a)),
+        "stat" => flags(STAT_FLAGS).and_then(|a| cmd_stat(&a)),
         "datasets" => flags(DATASETS_FLAGS).and_then(|_| cmd_datasets()),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     };
@@ -243,50 +282,85 @@ fn cmd_build(args: &Args) -> Result<(), String> {
     let block_size = args.usize("block-size", DEFAULT_EXACT_BLOCK)?;
     let group = args.usize("group", DEFAULT_GROUP_SIZE)?;
     let out = args.path("out")?;
-    match args.str_or("quantize", "none").as_str() {
-        "none" => {
-            let coll = PdxCollection::from_rows_partitioned(
-                &data.data, data.len, data.dims, block_size, group,
-            );
-            pdx::datasets::persist::write_pdx_path(&out, &coll).map_err(|e| e.to_string())?;
-            eprintln!(
-                "wrote {} ({} vectors × {} dims in {} blocks)",
-                out.display(),
-                data.len,
-                data.dims,
-                coll.blocks.len()
-            );
-        }
-        "sq8" => {
-            let threads = args.usize("threads", 0)?;
-            let flat = FlatSq8::build_with_threads(
-                &data.data, data.len, data.dims, block_size, group, threads,
-            );
-            pdx::datasets::persist::write_sq8_path(
-                &out,
-                &flat.quantizer,
-                &flat.blocks,
-                Some(&flat.rows),
-            )
-            .map_err(|e| e.to_string())?;
-            let f32_bytes = data.len * data.dims * std::mem::size_of::<f32>();
-            eprintln!(
-                "wrote {} ({} vectors × {} dims in {} SQ8 blocks; scan-resident \
-                 {} bytes vs {} for f32, {:.1}× smaller)",
-                out.display(),
-                data.len,
-                data.dims,
-                flat.blocks.len(),
-                flat.resident_block_bytes(),
-                f32_bytes,
-                f32_bytes as f64 / flat.resident_block_bytes().max(1) as f64,
-            );
-        }
+    let quantize = match args.str_or("quantize", "none").as_str() {
+        "none" => false,
+        "sq8" => true,
         other => {
             return Err(format!(
                 "unknown quantization '{other}' (try --quantize=sq8)"
             ))
         }
+    };
+    match args.str_or("mode", "container").as_str() {
+        "container" => {}
+        "collection" => {
+            if args.has("threads") {
+                eprintln!("note: --threads only applies to container builds; ignored");
+            }
+            let config = StoreConfig {
+                block_size,
+                group_size: group,
+                buffer_capacity: args.usize("buffer-capacity", block_size)?,
+                quantize,
+            };
+            let mut coll =
+                Collection::create(&out, data.dims, config).map_err(|e| e.to_string())?;
+            // Bulk path: rows become durable at the seals' manifest
+            // commits instead of being WAL-logged row by row.
+            coll.bulk_insert(0, &data.data).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote collection {} ({} vectors × {} dims in {} {} segment(s); \
+                 mutable — use insert/delete/compact)",
+                out.display(),
+                coll.live_len(),
+                coll.dims(),
+                coll.segment_count(),
+                if quantize { "SQ8" } else { "f32" },
+            );
+            return Ok(());
+        }
+        other => {
+            return Err(format!(
+                "unknown mode '{other}' (try --mode=container or --mode=collection)"
+            ))
+        }
+    }
+    if quantize {
+        let threads = args.usize("threads", 0)?;
+        let flat = FlatSq8::build_with_threads(
+            &data.data, data.len, data.dims, block_size, group, threads,
+        );
+        pdx::datasets::persist::write_sq8_path(
+            &out,
+            &flat.quantizer,
+            &flat.blocks,
+            Some(&flat.rows),
+        )
+        .map_err(|e| e.to_string())?;
+        let f32_bytes = data.len * data.dims * std::mem::size_of::<f32>();
+        eprintln!(
+            "wrote {} ({} vectors × {} dims in {} SQ8 blocks; scan-resident \
+             {} bytes vs {} for f32, {:.1}× smaller)",
+            out.display(),
+            data.len,
+            data.dims,
+            flat.blocks.len(),
+            flat.resident_block_bytes(),
+            f32_bytes,
+            f32_bytes as f64 / flat.resident_block_bytes().max(1) as f64,
+        );
+    } else {
+        let coll = PdxCollection::from_rows_partitioned(
+            &data.data, data.len, data.dims, block_size, group,
+        );
+        pdx::datasets::persist::write_pdx_path(&out, &coll).map_err(|e| e.to_string())?;
+        eprintln!(
+            "wrote {} ({} vectors × {} dims in {} blocks)",
+            out.display(),
+            data.len,
+            data.dims,
+            coll.blocks.len()
+        );
     }
     Ok(())
 }
@@ -306,10 +380,13 @@ fn parse_order(name: &str) -> Result<VisitOrder, String> {
 fn load_index(args: &Args) -> Result<Box<dyn VectorIndex>, String> {
     let path = args.path("index")?;
     let index = AnyIndex::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    // A mutable collection may hold either segment kind: both flags
+    // apply, so neither note fires.
+    let is_store = index.kind() == "collection";
     if is_quantized(index.as_ref()) && args.has("order") {
         eprintln!("note: --order only applies to f32 indexes; ignored");
     }
-    if !is_quantized(index.as_ref()) && args.has("refine") {
+    if !is_store && !is_quantized(index.as_ref()) && args.has("refine") {
         eprintln!("note: --refine only applies to SQ8 indexes; ignored");
     }
     if index.kind() == "flat-sq8-scan-only" {
@@ -324,16 +401,201 @@ fn is_quantized(index: &dyn VectorIndex) -> bool {
 
 /// Engine options from the query/evaluate flags. Only the flags that
 /// apply to this index kind are parsed: an ignored flag (`--order` on
-/// SQ8, `--refine` on f32) is truly ignored, value and all.
+/// SQ8, `--refine` on f32) is truly ignored, value and all. A mutable
+/// collection may hold either segment kind, so both flags apply there.
 fn search_options(args: &Args, k: usize, index: &dyn VectorIndex) -> Result<SearchOptions, String> {
     let mut opts = SearchOptions::new(k).with_threads(args.usize("threads", 0)?);
-    if is_quantized(index) {
+    let is_store = index.kind() == "collection";
+    if is_quantized(index) || is_store {
         opts = opts.with_refine(args.usize("refine", DEFAULT_REFINE)?);
-    } else {
+    }
+    if !is_quantized(index) || is_store {
         let order = parse_order(&args.str_or("order", "means"))?;
         opts = opts.with_pruner(PrunerKind::Bond(order));
     }
     Ok(opts)
+}
+
+/// Opens the `--index` path as a mutable collection (the directory, or
+/// its `MANIFEST` file).
+fn open_collection(args: &Args) -> Result<(PathBuf, Collection), String> {
+    let path = args.path("index")?;
+    let dir = if path.is_dir() {
+        path
+    } else if path.file_name().and_then(|n| n.to_str()) == Some("MANIFEST") {
+        path.parent().unwrap_or(Path::new(".")).to_path_buf()
+    } else {
+        return Err(format!(
+            "{}: not a mutable collection (expected a directory or its MANIFEST file)",
+            path.display()
+        ));
+    };
+    let coll = Collection::open(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    Ok((dir, coll))
+}
+
+fn cmd_insert(args: &Args) -> Result<(), String> {
+    let (dir, mut coll) = open_collection(args)?;
+    let data = read_fvecs(&args.path("data")?)?;
+    if data.dims != coll.dims() {
+        return Err(format!(
+            "data dims {} != collection dims {}",
+            data.dims,
+            coll.dims()
+        ));
+    }
+    let start = match args.values.get("start-id") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("invalid value for --start-id: '{v}'"))?,
+        None => coll.max_id().map_or(0, |m| m + 1),
+    };
+    // Validate the whole batch first so a conflict aborts before any
+    // row is durably applied (no half-applied insert commands).
+    for i in 0..data.len {
+        let id = start + i as u64;
+        if coll.is_id_reserved(id) {
+            return Err(StoreError::DuplicateId(id).to_string());
+        }
+    }
+    let t0 = Instant::now();
+    for i in 0..data.len {
+        coll.insert(
+            start + i as u64,
+            &data.data[i * data.dims..(i + 1) * data.dims],
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    coll.sync().map_err(|e| e.to_string())?; // power-loss durability point
+    let secs = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "inserted {} vectors (ids {start}..{}) into {} in {secs:.3}s ({:.0} vectors/s); \
+         {} live, {} buffered, {} segment(s)",
+        data.len,
+        start + data.len as u64,
+        dir.display(),
+        data.len as f64 / secs,
+        coll.live_len(),
+        coll.buffer_len(),
+        coll.segment_count(),
+    );
+    Ok(())
+}
+
+/// Parses `--ids=3,17,100..200` (comma-separated ids and `lo..hi`
+/// half-open ranges) into an ordered id list.
+fn parse_id_list(spec: &str) -> Result<Vec<u64>, String> {
+    let mut ids = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        if let Some((lo, hi)) = part.split_once("..") {
+            let lo: u64 = lo
+                .parse()
+                .map_err(|_| format!("invalid id range start '{lo}'"))?;
+            let hi: u64 = hi
+                .parse()
+                .map_err(|_| format!("invalid id range end '{hi}'"))?;
+            if hi < lo {
+                return Err(format!("empty id range '{part}'"));
+            }
+            ids.extend(lo..hi);
+        } else {
+            ids.push(part.parse().map_err(|_| format!("invalid id '{part}'"))?);
+        }
+    }
+    if ids.is_empty() {
+        return Err("no ids given (write --ids=3,17,100..200)".to_string());
+    }
+    Ok(ids)
+}
+
+fn cmd_delete(args: &Args) -> Result<(), String> {
+    let (dir, mut coll) = open_collection(args)?;
+    let ids = parse_id_list(args.require("ids")?)?;
+    // Validate the whole list first: a missing (or repeated) id aborts
+    // the command before any tombstone is durably applied.
+    let mut seen = std::collections::HashSet::new();
+    for &id in &ids {
+        if !coll.contains(id) {
+            return Err(StoreError::NotFound(id).to_string());
+        }
+        if !seen.insert(id) {
+            return Err(format!("id {id} appears twice in --ids"));
+        }
+    }
+    for &id in &ids {
+        coll.delete(id).map_err(|e| e.to_string())?;
+    }
+    coll.sync().map_err(|e| e.to_string())?; // power-loss durability point
+    eprintln!(
+        "deleted {} vector(s) from {}; {} live, {} tombstoned (compact to purge)",
+        ids.len(),
+        dir.display(),
+        coll.live_len(),
+        coll.tombstone_count(),
+    );
+    Ok(())
+}
+
+fn cmd_compact(args: &Args) -> Result<(), String> {
+    let (dir, mut coll) = open_collection(args)?;
+    let (segs, tombs, buffered) = (
+        coll.segment_count(),
+        coll.tombstone_count(),
+        coll.buffer_len(),
+    );
+    let t0 = Instant::now();
+    coll.compact().map_err(|e| e.to_string())?;
+    eprintln!(
+        "compacted {} in {:.3}s: {segs} segment(s) + {buffered} buffered − {tombs} \
+         tombstoned → {} segment(s), {} live rows",
+        dir.display(),
+        t0.elapsed().as_secs_f64(),
+        coll.segment_count(),
+        coll.live_len(),
+    );
+    Ok(())
+}
+
+fn cmd_stat(args: &Args) -> Result<(), String> {
+    let path = args.path("index")?;
+    // Mutable collections get the detailed story; frozen containers the
+    // generic one.
+    if path.is_dir() || path.file_name().and_then(|n| n.to_str()) == Some("MANIFEST") {
+        let (dir, coll) = open_collection(args)?;
+        println!(
+            "collection {} ({} dims, {})",
+            dir.display(),
+            coll.dims(),
+            if coll.config().quantize {
+                "SQ8 segments"
+            } else {
+                "f32 segments"
+            }
+        );
+        println!(
+            "  live {} | buffered {} | tombstoned {} | wal generation {}",
+            coll.live_len(),
+            coll.buffer_len(),
+            coll.tombstone_count(),
+            coll.wal_seq(),
+        );
+        for s in coll.segment_stats() {
+            println!(
+                "  segment {:>6}  {:<12} {:>8} rows  {:>6} dead",
+                s.seq, s.kind, s.rows, s.dead
+            );
+        }
+        return Ok(());
+    }
+    let index = AnyIndex::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "{} ({}, {} vectors × {} dims)",
+        path.display(),
+        index.kind(),
+        index.len(),
+        index.dims()
+    );
+    Ok(())
 }
 
 fn cmd_query(args: &Args) -> Result<(), String> {
@@ -483,6 +745,16 @@ mod tests {
     fn bad_integer_values_error_instead_of_defaulting() {
         let a = Args::parse(&argv(&["--k=ten"]), QUERY_FLAGS).unwrap();
         assert!(a.usize("k", 10).is_err());
+    }
+
+    #[test]
+    fn id_lists_parse_singles_and_ranges() {
+        assert_eq!(parse_id_list("3").unwrap(), vec![3]);
+        assert_eq!(parse_id_list("3,5,4").unwrap(), vec![3, 5, 4]);
+        assert_eq!(parse_id_list("10..13,2").unwrap(), vec![10, 11, 12, 2]);
+        assert!(parse_id_list("").is_err());
+        assert!(parse_id_list("5..3").is_err());
+        assert!(parse_id_list("abc").is_err());
     }
 
     #[test]

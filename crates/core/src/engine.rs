@@ -24,7 +24,7 @@
 //! documents which fields it reads.
 
 use crate::distance::Metric;
-use crate::exec::BatchSearcher;
+use crate::exec::{merge_neighbors_filtered, BatchSearcher};
 use crate::heap::Neighbor;
 use crate::kernels::KernelVariant;
 use crate::pruning::StepPolicy;
@@ -275,6 +275,122 @@ pub trait VectorIndex: Send + Sync {
     }
 }
 
+/// One sealed sub-index inside a segmented (mutable) collection.
+///
+/// A segment serves local row ids `0..len`; `remap[local]` is the
+/// collection-level **external id** of that row. `dead` is the number of
+/// rows in this segment that a collection-level filter will discard
+/// (tombstoned deletes): the segmented search over-fetches by exactly
+/// that amount, which guarantees the surviving top-`k` of the segment is
+/// complete — each discarded row can displace at most one slot.
+#[derive(Clone, Copy)]
+pub struct SearchSegment<'a> {
+    /// The sealed deployment (any [`VectorIndex`]).
+    pub index: &'a dyn VectorIndex,
+    /// Local row id → external id. Must be monotonically increasing so
+    /// the canonical `(distance, id)` tie order is the same in local and
+    /// external id space.
+    pub remap: &'a [u64],
+    /// Rows of this segment the caller's filter will drop.
+    pub dead: usize,
+}
+
+/// Searches a set of sealed segments plus extra candidate lists (an
+/// in-memory write buffer, typically) as **one** collection, with a
+/// tombstone filter applied during the canonical heap merge.
+///
+/// This is the read path of an LSM-style mutable collection: every
+/// segment is scanned with its own deployment's sequential (or
+/// intra-query-parallel) search, results are remapped to external ids,
+/// and one [`merge_neighbors_filtered`] pass retains the canonical
+/// top-`k` by `(distance, id)` over the *live* rows. Because each
+/// segment's scan is bit-identical at any thread count (the engine
+/// determinism contract) and the merge is a pure function of the
+/// candidate set, [`SegmentedSearch::search_parallel`] is bit-identical
+/// to [`SegmentedSearch::search`] at any width.
+pub struct SegmentedSearch<'a> {
+    segments: Vec<SearchSegment<'a>>,
+}
+
+impl<'a> SegmentedSearch<'a> {
+    /// A search over the given segments (storage order).
+    ///
+    /// # Panics
+    /// Panics if a segment's remap table disagrees with its index length.
+    pub fn new(segments: Vec<SearchSegment<'a>>) -> Self {
+        for (i, s) in segments.iter().enumerate() {
+            assert_eq!(
+                s.remap.len(),
+                s.index.len(),
+                "segment {i}: remap table does not cover the index"
+            );
+        }
+        Self { segments }
+    }
+
+    /// Per-segment candidate lists in external-id space, each
+    /// over-fetched by the segment's `dead` count and **unfiltered** —
+    /// the filter belongs to the merge.
+    fn segment_lists(
+        &self,
+        query: &[f32],
+        opts: &SearchOptions,
+        parallel: bool,
+    ) -> Vec<Vec<Neighbor>> {
+        self.segments
+            .iter()
+            .map(|s| {
+                let inner_opts = SearchOptions {
+                    k: opts.k + s.dead,
+                    ..*opts
+                };
+                let hits = if parallel {
+                    s.index.search_parallel(query, &inner_opts)
+                } else {
+                    s.index.search(query, &inner_opts)
+                };
+                hits.into_iter()
+                    .map(|n| Neighbor {
+                        id: s.remap[n.id as usize],
+                        distance: n.distance,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The canonical top-`k` over all segments and `extra` candidate
+    /// lists (already in external-id space), keeping only ids for which
+    /// `keep` returns `true`.
+    pub fn search(
+        &self,
+        extra: &[Vec<Neighbor>],
+        query: &[f32],
+        opts: &SearchOptions,
+        keep: impl Fn(u64) -> bool,
+    ) -> Vec<Neighbor> {
+        let mut lists = self.segment_lists(query, opts, false);
+        lists.extend_from_slice(extra);
+        merge_neighbors_filtered(&lists, opts.k, keep)
+    }
+
+    /// [`SegmentedSearch::search`] with each segment scanned through its
+    /// deployment's `search_parallel` (intra-query block splitting on
+    /// `opts.threads` workers). Bit-identical to the sequential search
+    /// for exact configurations, at any thread count.
+    pub fn search_parallel(
+        &self,
+        extra: &[Vec<Neighbor>],
+        query: &[f32],
+        opts: &SearchOptions,
+        keep: impl Fn(u64) -> bool,
+    ) -> Vec<Neighbor> {
+        let mut lists = self.segment_lists(query, opts, true);
+        lists.extend_from_slice(extra);
+        merge_neighbors_filtered(&lists, opts.k, keep)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +468,58 @@ mod tests {
             index.search_parallel(&queries[..2], &opts),
             index.search(&queries[..2], &opts)
         );
+    }
+
+    #[test]
+    fn segmented_search_merges_remaps_and_filters() {
+        // Two segments of 1-dim points. Segment A holds 0,2,4,6 (external
+        // ids 0,2,4,6), segment B holds 1,3,5,7 (external ids 1,3,5,7).
+        let a = Toy {
+            dims: 1,
+            rows: vec![0.0, 2.0, 4.0, 6.0],
+        };
+        let b = Toy {
+            dims: 1,
+            rows: vec![1.0, 3.0, 5.0, 7.0],
+        };
+        let remap_a: Vec<u64> = vec![0, 2, 4, 6];
+        let remap_b: Vec<u64> = vec![1, 3, 5, 7];
+        let seg = |dead_a| {
+            SegmentedSearch::new(vec![
+                SearchSegment {
+                    index: &a,
+                    remap: &remap_a,
+                    dead: dead_a,
+                },
+                SearchSegment {
+                    index: &b,
+                    remap: &remap_b,
+                    dead: 0,
+                },
+            ])
+        };
+        let opts = SearchOptions::new(3);
+        let got = seg(0).search(&[], &[0.0], &opts, |_| true);
+        let ids: Vec<u64> = got.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+
+        // Tombstone external id 0: with dead = 1 the over-fetch keeps the
+        // surviving top-3 complete.
+        let got = seg(1).search(&[], &[0.0], &opts, |id| id != 0);
+        let ids: Vec<u64> = got.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+
+        // An extra (write-buffer) list participates in the same merge,
+        // and the parallel path is bit-identical.
+        let extra = vec![vec![Neighbor {
+            id: 100,
+            distance: 0.25,
+        }]];
+        let got = seg(1).search(&extra, &[0.0], &opts, |id| id != 0);
+        let ids: Vec<u64> = got.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![100, 1, 2]);
+        let par = seg(1).search_parallel(&extra, &[0.0], &opts.with_threads(4), |id| id != 0);
+        assert_eq!(par, got);
     }
 
     #[test]

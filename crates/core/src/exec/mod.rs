@@ -42,5 +42,5 @@
 mod batch;
 mod pool;
 
-pub use batch::{merge_neighbors, parallel_block_search, BatchSearcher};
+pub use batch::{merge_neighbors, merge_neighbors_filtered, parallel_block_search, BatchSearcher};
 pub use pool::{hardware_threads, resolve_threads, ThreadPool, THREADS_ENV};

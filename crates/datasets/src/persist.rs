@@ -65,6 +65,27 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     Ok(u64::from_le_bytes(b))
 }
 
+/// Tracks row ids across the blocks of one container: a duplicate id
+/// would make two physical rows answer to one logical vector — searches
+/// and reranks would silently shadow one of them — so the readers reject
+/// it as corruption instead of loading it.
+#[derive(Debug, Default)]
+struct RowIdCheck {
+    seen: std::collections::HashSet<u64>,
+}
+
+impl RowIdCheck {
+    fn insert(&mut self, id: u64) -> io::Result<()> {
+        if !self.seen.insert(id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("duplicate row id {id} in container"),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Serializes a collection into the PDX container format.
 ///
 /// # Errors
@@ -120,11 +141,14 @@ fn read_pdx_body<R: Read>(mut r: R) -> io::Result<PdxCollection> {
     }
     let mut blocks = Vec::with_capacity(n_blocks);
     let mut all_rows: Vec<f32> = Vec::new();
+    let mut id_check = RowIdCheck::default();
     for _ in 0..n_blocks {
         let n = read_u32(&mut r)? as usize;
         let mut row_ids = Vec::with_capacity(n);
         for _ in 0..n {
-            row_ids.push(read_u64(&mut r)?);
+            let id = read_u64(&mut r)?;
+            id_check.insert(id)?;
+            row_ids.push(id);
         }
         let mut payload = vec![0u8; n * dims * 4];
         r.read_exact(&mut payload)?;
@@ -328,6 +352,7 @@ fn read_sq8_body<R: Read>(mut r: R) -> io::Result<Sq8Container> {
     }
     let quantizer = Sq8Quantizer::from_params(mins, scales);
     let mut blocks = Vec::with_capacity(n_blocks);
+    let mut id_check = RowIdCheck::default();
     for _ in 0..n_blocks {
         let n = read_u32(&mut r)? as usize;
         let n_codes = n
@@ -335,7 +360,9 @@ fn read_sq8_body<R: Read>(mut r: R) -> io::Result<Sq8Container> {
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "block size overflows"))?;
         let mut row_ids = Vec::with_capacity(n);
         for _ in 0..n {
-            row_ids.push(read_u64(&mut r)?);
+            let id = read_u64(&mut r)?;
+            id_check.insert(id)?;
+            row_ids.push(id);
         }
         // The on-disk byte order is the in-memory group-tiled order; any
         // byte is a valid code, so the buffer loads directly.
@@ -415,7 +442,12 @@ pub fn read_container<R: Read>(mut r: R) -> io::Result<Container> {
         m if m == MAGIC_SQ8 => Ok(Container::Sq8(read_sq8_body(r)?)),
         _ => Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            "not a PDX container (unknown magic)",
+            // The offending bytes make "served the wrong file" failures
+            // attributable (an .fvecs file, a truncated download, …).
+            format!(
+                "not a PDX container (unknown magic {:?}, expected \"PDX1\"/\"PDX2\")",
+                magic.escape_ascii().to_string()
+            ),
         )),
     }
 }
@@ -543,6 +575,39 @@ mod tests {
             Container::Sq8(_)
         ));
         assert!(read_container(&b"XXXXrest"[..]).is_err());
+    }
+
+    #[test]
+    fn duplicate_row_ids_are_rejected_on_read() {
+        // PDX1: rewrite one block's first id to collide with another.
+        let coll = sample_collection();
+        let mut buf = Vec::new();
+        write_pdx(&mut buf, &coll).unwrap();
+        // First block header: magic(4) + dims/group/n_blocks(12) +
+        // n_vectors(4); its first two ids follow back to back.
+        let first_id_at = 4 + 12 + 4;
+        let dup = buf[first_id_at..first_id_at + 8].to_vec();
+        buf[first_id_at + 8..first_id_at + 16].copy_from_slice(&dup);
+        let err = read_pdx(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("duplicate row id"), "{err}");
+
+        // PDX2: same surgery after the header + quantizer params.
+        let (quantizer, blocks, _) = sample_sq8();
+        let mut buf = Vec::new();
+        write_sq8(&mut buf, &quantizer, &blocks, None).unwrap();
+        let first_id_at = 4 + 16 + 7 * 4 * 2 + 4;
+        let dup = buf[first_id_at..first_id_at + 8].to_vec();
+        buf[first_id_at + 8..first_id_at + 16].copy_from_slice(&dup);
+        let err = read_sq8(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("duplicate row id"), "{err}");
+    }
+
+    #[test]
+    fn unknown_magic_error_names_the_bytes() {
+        let err = read_container(&b"XXXXrest"[..]).unwrap_err();
+        assert!(err.to_string().contains("XXXX"), "{err}");
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!
 //! * [`AnyIndex`] — opens an on-disk container
 //!   ([`pdx_datasets::persist`]), sniffs the magic number (`PDX1` f32,
-//!   `PDX2` SQ8) and returns whichever deployment the file holds.
+//!   `PDX2` SQ8, `PDX3` mutable-collection manifest) and returns
+//!   whichever deployment the file holds; a directory is served as the
+//!   mutable collection ([`pdx_store::Collection`]) it contains.
 //! * [`PrunedFlat`] / [`PrunedIvf`] — pair a deployment with a *fitted*
 //!   pruner (ADSampling's rotation, BSA's PCA — state that cannot be
 //!   chosen from plain options) and serve it through the same trait.
@@ -30,29 +32,73 @@ use pdx_core::heap::Neighbor;
 use pdx_core::pruning::Pruner;
 use pdx_datasets::persist::{read_container, read_container_path, Container};
 use pdx_index::{FlatPdx, FlatSq8, IvfPdx};
+use pdx_store::{Collection, MANIFEST_FILE, MANIFEST_MAGIC};
 use std::io;
 use std::path::Path;
 
-/// Opens any persisted PDX container as a dynamic [`VectorIndex`].
+/// Opens any persisted PDX index as a dynamic [`VectorIndex`].
 ///
-/// This is the serving-side entry point: a file written by
-/// `pdx-cli build` (or [`pdx_datasets::persist`] directly) comes back
-/// as whichever deployment it holds — a `PDX1` container as a
-/// [`FlatPdx`], a `PDX2` container as a [`FlatSq8`] (scan-only when the
-/// file carries no rerank payload) — behind one trait object.
+/// This is the serving-side entry point: anything written by
+/// `pdx-cli build` (or the persistence layers directly) comes back as
+/// whichever deployment it holds, behind one trait object —
+///
+/// * a `PDX1` container as a [`FlatPdx`];
+/// * a `PDX2` container as a [`FlatSq8`] (scan-only when the file
+///   carries no rerank payload);
+/// * a `PDX3` manifest — or the directory holding one — as the mutable
+///   [`Collection`] it describes (segments loaded, WAL replayed with
+///   torn-tail recovery).
 pub struct AnyIndex;
 
 impl AnyIndex {
-    /// Opens a container file, dispatching on its magic number.
+    /// Opens a container file, manifest file or collection directory,
+    /// dispatching on the magic number. Errors name the offending path.
     ///
     /// # Errors
-    /// Propagates IO errors and container-format errors.
+    /// Propagates IO errors and container-format errors; an unknown
+    /// magic number reports the path and the four bytes read.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Box<dyn VectorIndex>> {
-        Ok(Self::from_container(read_container_path(path.as_ref())?))
+        let path = path.as_ref();
+        let with_path = |e: io::Error| io::Error::new(e.kind(), format!("{}: {e}", path.display()));
+        if path.is_dir() {
+            let coll = Collection::open(path)
+                .map_err(io::Error::from)
+                .map_err(with_path)?;
+            return Ok(Box::new(coll));
+        }
+        // Sniff the magic ourselves so a PDX3 manifest can route to the
+        // store; PDX1/PDX2 re-read through the container path.
+        let mut magic = [0u8; 4];
+        {
+            use io::Read;
+            let mut f = std::fs::File::open(path).map_err(with_path)?;
+            f.read_exact(&mut magic).map_err(with_path)?;
+        }
+        if &magic == MANIFEST_MAGIC {
+            if path.file_name().and_then(|n| n.to_str()) != Some(MANIFEST_FILE) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: a PDX3 manifest must be named {MANIFEST_FILE} inside its \
+                         collection directory",
+                        path.display()
+                    ),
+                ));
+            }
+            let dir = path.parent().unwrap_or_else(|| Path::new("."));
+            let coll = Collection::open(dir)
+                .map_err(io::Error::from)
+                .map_err(with_path)?;
+            return Ok(Box::new(coll));
+        }
+        Ok(Self::from_container(
+            read_container_path(path).map_err(with_path)?,
+        ))
     }
 
     /// Reads a container from any reader, dispatching on its magic
-    /// number.
+    /// number (`PDX1`/`PDX2` only — a `PDX3` collection spans several
+    /// files and must be opened by path).
     ///
     /// # Errors
     /// Propagates IO errors and container-format errors.
@@ -63,7 +109,7 @@ impl AnyIndex {
     /// Wraps an already-loaded container in its deployment.
     pub fn from_container(container: Container) -> Box<dyn VectorIndex> {
         match container {
-            Container::F32(collection) => Box::new(FlatPdx { collection }),
+            Container::F32(collection) => Box::new(FlatPdx::from_collection(collection)),
             Container::Sq8(c) => {
                 Box::new(FlatSq8::from_parts(c.dims, c.quantizer, c.blocks, c.rows))
             }
@@ -253,6 +299,61 @@ mod tests {
     #[test]
     fn open_rejects_unknown_magic() {
         assert!(AnyIndex::read(&b"XXXXnot a container"[..]).is_err());
+    }
+
+    #[test]
+    fn open_error_names_path_and_magic_bytes() {
+        let dir = std::env::temp_dir().join("pdx_engine_badmagic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("not_an_index.bin");
+        std::fs::write(&path, b"XXXXjunk").unwrap();
+        let Err(err) = AnyIndex::open(&path) else {
+            panic!("unknown magic unexpectedly opened")
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("not_an_index.bin"), "{msg}");
+        assert!(msg.contains("XXXX"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_serves_collection_directories_and_manifests() {
+        use pdx_store::{Collection, StoreConfig};
+        let dir = std::env::temp_dir().join("pdx_engine_collection_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let (n, d, k) = (120, 6, 4);
+        let rows = random_rows(n, d, 21);
+        let mut coll = Collection::create(
+            &dir,
+            d,
+            StoreConfig {
+                block_size: 32,
+                group_size: 8,
+                buffer_capacity: 50,
+                quantize: false,
+            },
+        )
+        .unwrap();
+        for i in 0..n {
+            coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
+        }
+        coll.delete(3).unwrap();
+        let q = random_rows(1, d, 22);
+        let opts = SearchOptions::new(k);
+        let want = {
+            let direct: &dyn VectorIndex = &coll;
+            direct.search(&q, &opts)
+        };
+        drop(coll);
+
+        // The directory and its MANIFEST file open identically.
+        for target in [dir.clone(), dir.join("MANIFEST")] {
+            let opened = AnyIndex::open(&target).unwrap();
+            assert_eq!(opened.kind(), "collection");
+            assert_eq!(opened.len(), n - 1);
+            assert_eq!(opened.search(&q, &opts), want);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

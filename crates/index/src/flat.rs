@@ -49,6 +49,23 @@ impl FlatPdx {
         )
     }
 
+    /// Wraps an already-partitioned collection (a persisted container, a
+    /// sealed segment of a mutable store) as a flat deployment.
+    pub fn from_collection(collection: PdxCollection) -> Self {
+        Self { collection }
+    }
+
+    /// The row-major `f32` rows of all partitions in storage order (the
+    /// inverse of [`FlatPdx::new`]; a mutable store's compaction uses
+    /// this to re-partition surviving rows).
+    pub fn to_rows(&self) -> Vec<f32> {
+        let mut rows = Vec::with_capacity(self.collection.total_vectors() * self.collection.dims);
+        for block in &self.collection.blocks {
+            rows.extend_from_slice(&block.pdx.to_rows());
+        }
+        rows
+    }
+
     /// Exact (or pruner-approximate) k-NN over all partitions in storage
     /// order.
     pub fn search<P: Pruner>(

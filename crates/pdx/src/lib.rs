@@ -110,6 +110,31 @@
 //!     assert_eq!(hits, &flat.search(&bond, ds.query(qi), &params));
 //! }
 //! ```
+//!
+//! ## Mutable collections
+//!
+//! [`store`] ([`pdx_store`]) adds the LSM-style mutable layer: inserts
+//! land in a write buffer, seal into immutable PDX segments, deletes
+//! tombstone sealed rows, and `compact()` rewrites the survivors —
+//! all served through the same [`prelude::VectorIndex`] trait (and, for
+//! persistent collections, crash-safe via a WAL and a `PDX3` manifest
+//! that [`prelude::AnyIndex::open`] sniffs).
+//!
+//! ```
+//! use pdx::prelude::*;
+//!
+//! let mut coll = Collection::in_memory(2, StoreConfig::default());
+//! for i in 0..100u64 {
+//!     coll.insert(i, &[i as f32, 0.0])?;
+//! }
+//! coll.delete(1)?;
+//! let hits = coll.search(&[0.0, 0.0], &SearchOptions::new(2));
+//! let ids: Vec<u64> = hits.iter().map(|n| n.id).collect();
+//! assert_eq!(ids, vec![0, 2]); // id 1 is gone
+//! coll.compact()?; // purge the tombstone, rewrite the blocks
+//! assert_eq!(coll.len(), 99);
+//! # Ok::<(), StoreError>(())
+//! ```
 
 pub use pdx_core as core;
 pub use pdx_datasets as datasets;
@@ -117,13 +142,16 @@ pub use pdx_engine as engine;
 pub use pdx_index as index;
 pub use pdx_linalg as linalg;
 pub use pdx_pruners as pruners;
+pub use pdx_store as store;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use pdx_core::bond::PdxBond;
     pub use pdx_core::collection::{PdxCollection, SearchBlock};
     pub use pdx_core::distance::{normalize, Metric};
-    pub use pdx_core::engine::{PrunerKind, SearchOptions, VectorIndex, DEFAULT_EF};
+    pub use pdx_core::engine::{
+        PrunerKind, SearchOptions, SearchSegment, SegmentedSearch, VectorIndex, DEFAULT_EF,
+    };
     pub use pdx_core::exec::{
         merge_neighbors, parallel_block_search, resolve_threads, BatchSearcher, ThreadPool,
         THREADS_ENV,
@@ -155,4 +183,5 @@ pub mod prelude {
         FlatPdx, FlatSq8, Hnsw, HnswParams, IvfHorizontal, IvfIndex, IvfPdx, IvfSq8, KMeans,
     };
     pub use pdx_pruners::{AdSampling, Bsa, BsaLearned};
+    pub use pdx_store::{Collection, SegmentStat, StoreConfig, StoreError, WriteBuffer};
 }

@@ -1,0 +1,197 @@
+//! The in-memory write buffer: the mutable head of a collection.
+
+use crate::StoreError;
+use pdx_core::distance::Metric;
+use pdx_core::heap::{KnnHeap, Neighbor};
+use pdx_core::kernels::{nary_distance, KernelVariant};
+use std::collections::HashMap;
+
+/// An append buffer of `(external id, vector)` pairs, searched by exact
+/// linear scan.
+///
+/// The buffer is the only mutable part of a
+/// [`Collection`](crate::Collection): inserts append here (after being
+/// logged to the WAL), deletes of buffered rows remove in place, and a
+/// seal drains the whole buffer — sorted by external id — into an
+/// immutable segment.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBuffer {
+    dims: usize,
+    ids: Vec<u64>,
+    rows: Vec<f32>,
+    /// External id → position in `ids`/`rows`.
+    index: HashMap<u64, usize>,
+}
+
+impl WriteBuffer {
+    /// An empty buffer for `dims`-dimensional vectors.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0`.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        Self {
+            dims,
+            ids: Vec::new(),
+            rows: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Dimensionality of the buffered vectors.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of buffered vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the buffer holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Whether `id` is buffered.
+    pub fn contains(&self, id: u64) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Appends one vector under an external id.
+    ///
+    /// # Errors
+    /// [`StoreError::DimsMismatch`] for a wrong-length vector,
+    /// [`StoreError::DuplicateId`] if the id is already buffered — an
+    /// insert never silently shadows an existing row.
+    pub fn append(&mut self, id: u64, vector: &[f32]) -> Result<(), StoreError> {
+        if vector.len() != self.dims {
+            return Err(StoreError::DimsMismatch {
+                expected: self.dims,
+                got: vector.len(),
+            });
+        }
+        if self.index.contains_key(&id) {
+            return Err(StoreError::DuplicateId(id));
+        }
+        self.index.insert(id, self.ids.len());
+        self.ids.push(id);
+        self.rows.extend_from_slice(vector);
+        Ok(())
+    }
+
+    /// Removes a buffered vector (swap-remove; buffer order is not
+    /// observable — scans use the canonical heap and seals sort by id).
+    ///
+    /// # Errors
+    /// [`StoreError::NotFound`] if the id is not buffered.
+    pub fn remove(&mut self, id: u64) -> Result<(), StoreError> {
+        let pos = self.index.remove(&id).ok_or(StoreError::NotFound(id))?;
+        let last = self.ids.len() - 1;
+        self.ids.swap_remove(pos);
+        // Move the last row into the vacated slot, then truncate.
+        if pos != last {
+            let (head, tail) = self.rows.split_at_mut(last * self.dims);
+            head[pos * self.dims..(pos + 1) * self.dims].copy_from_slice(&tail[..self.dims]);
+            self.index.insert(self.ids[pos], pos);
+        }
+        self.rows.truncate(last * self.dims);
+        Ok(())
+    }
+
+    /// Exact linear scan: the canonical top-`k` of the buffered vectors
+    /// by `(distance, external id)`.
+    pub fn scan(
+        &self,
+        query: &[f32],
+        k: usize,
+        metric: Metric,
+        variant: KernelVariant,
+    ) -> Vec<Neighbor> {
+        if self.ids.is_empty() {
+            return Vec::new();
+        }
+        let mut heap = KnnHeap::new(k);
+        for (pos, &id) in self.ids.iter().enumerate() {
+            let row = &self.rows[pos * self.dims..(pos + 1) * self.dims];
+            heap.push(id, nary_distance(metric, variant, query, row));
+        }
+        heap.into_sorted()
+    }
+
+    /// The buffered entries sorted by external id: the seal order, which
+    /// keeps every segment's remap table monotone so local and external
+    /// `(distance, id)` tie orders agree.
+    pub fn entries_sorted(&self) -> (Vec<u64>, Vec<f32>) {
+        let mut order: Vec<usize> = (0..self.ids.len()).collect();
+        order.sort_unstable_by_key(|&pos| self.ids[pos]);
+        let ids: Vec<u64> = order.iter().map(|&pos| self.ids[pos]).collect();
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for &pos in &order {
+            rows.extend_from_slice(&self.rows[pos * self.dims..(pos + 1) * self.dims]);
+        }
+        (ids, rows)
+    }
+
+    /// Drops all buffered entries (after a seal consumed them).
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.rows.clear();
+        self.index.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_scan_and_remove() {
+        let mut buf = WriteBuffer::new(2);
+        buf.append(10, &[0.0, 0.0]).unwrap();
+        buf.append(7, &[1.0, 0.0]).unwrap();
+        buf.append(3, &[2.0, 0.0]).unwrap();
+        assert_eq!(buf.len(), 3);
+        let hits = buf.scan(&[0.0, 0.0], 2, Metric::L2, KernelVariant::Scalar);
+        let ids: Vec<u64> = hits.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![10, 7]);
+
+        buf.remove(10).unwrap();
+        assert!(!buf.contains(10));
+        let hits = buf.scan(&[0.0, 0.0], 2, Metric::L2, KernelVariant::Scalar);
+        let ids: Vec<u64> = hits.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![7, 3]);
+        assert!(matches!(buf.remove(10), Err(StoreError::NotFound(10))));
+    }
+
+    #[test]
+    fn duplicate_and_ragged_appends_are_typed_errors() {
+        let mut buf = WriteBuffer::new(2);
+        buf.append(1, &[0.0, 0.0]).unwrap();
+        assert!(matches!(
+            buf.append(1, &[1.0, 1.0]),
+            Err(StoreError::DuplicateId(1))
+        ));
+        assert!(matches!(
+            buf.append(2, &[1.0]),
+            Err(StoreError::DimsMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+        // The failed appends left no trace.
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn entries_sorted_by_external_id() {
+        let mut buf = WriteBuffer::new(1);
+        for id in [5u64, 1, 9, 2] {
+            buf.append(id, &[id as f32]).unwrap();
+        }
+        buf.remove(9).unwrap();
+        let (ids, rows) = buf.entries_sorted();
+        assert_eq!(ids, vec![1, 2, 5]);
+        assert_eq!(rows, vec![1.0, 2.0, 5.0]);
+    }
+}

@@ -1,0 +1,712 @@
+//! The mutable collection: write buffer + sealed segments + tombstones,
+//! served through [`VectorIndex`] and persisted crash-safely.
+
+use crate::manifest::{wal_file, Manifest};
+use crate::wal::{Wal, WalRecord};
+use crate::{Segment, StoreConfig, StoreError, WriteBuffer};
+use pdx_core::engine::{SearchOptions, SearchSegment, SegmentedSearch, VectorIndex};
+use pdx_core::heap::Neighbor;
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+/// Where a live external id currently resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// In the write buffer.
+    Buffer,
+    /// In `segments[i]`.
+    Segment(usize),
+}
+
+/// Per-segment statistics, as reported by [`Collection::segment_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentStat {
+    /// Segment sequence number.
+    pub seq: u64,
+    /// Deployment kind (`flat-pdx` / `flat-sq8`).
+    pub kind: &'static str,
+    /// Physical rows (tombstoned ones included).
+    pub rows: usize,
+    /// Tombstoned rows awaiting compaction.
+    pub dead: usize,
+}
+
+/// An LSM-style mutable vector collection.
+///
+/// Inserts land in an in-memory [`WriteBuffer`] (after a WAL append
+/// when persistent) and seal into immutable [`Segment`]s; deletes
+/// remove buffered rows in place and tombstone sealed rows; searches
+/// merge the buffer scan with every segment's PDXearch through the
+/// canonical `(distance, id)` order; [`Collection::compact`] rewrites
+/// the surviving rows as one fresh segment. See the crate docs for the
+/// on-disk layout and crash-safety invariants.
+///
+/// A deleted external id stays **reserved** until compaction purges its
+/// physical row: re-inserting it before then returns
+/// [`StoreError::DuplicateId`].
+///
+/// ```
+/// use pdx_store::{Collection, StoreConfig};
+/// use pdx_core::engine::{SearchOptions, VectorIndex};
+///
+/// let mut coll = Collection::in_memory(2, StoreConfig::default());
+/// coll.insert(7, &[0.0, 0.0])?;
+/// coll.insert(9, &[1.0, 0.0])?;
+/// let hits = coll.search(&[0.1, 0.0], &SearchOptions::new(1));
+/// assert_eq!(hits[0].id, 7);
+/// coll.delete(7)?;
+/// let hits = coll.search(&[0.1, 0.0], &SearchOptions::new(1));
+/// assert_eq!(hits[0].id, 9);
+/// # Ok::<(), pdx_store::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct Collection {
+    dims: usize,
+    config: StoreConfig,
+    buffer: WriteBuffer,
+    segments: Vec<Segment>,
+    /// External ids deleted from sealed segments, filtered at merge
+    /// time and purged at compaction.
+    tombstones: HashSet<u64>,
+    /// Live external id → current residence.
+    locations: HashMap<u64, Loc>,
+    /// Persistence root; `None` for an in-memory collection.
+    dir: Option<PathBuf>,
+    wal: Option<Wal>,
+    wal_seq: u64,
+    next_segment_seq: u64,
+}
+
+impl Collection {
+    /// A purely in-memory collection (no directory, no WAL): the same
+    /// semantics without durability, for tests and benchmarks.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0` or the config has a zero knob.
+    pub fn in_memory(dims: usize, config: StoreConfig) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        assert!(
+            config.block_size > 0 && config.group_size > 0 && config.buffer_capacity > 0,
+            "config knobs must be positive"
+        );
+        Self {
+            dims,
+            config,
+            buffer: WriteBuffer::new(dims),
+            segments: Vec::new(),
+            tombstones: HashSet::new(),
+            locations: HashMap::new(),
+            dir: None,
+            wal: None,
+            wal_seq: 0,
+            next_segment_seq: 0,
+        }
+    }
+
+    /// Creates a new persistent collection in `dir` (created if
+    /// missing), writing the initial manifest and WAL.
+    ///
+    /// # Errors
+    /// `AlreadyExists` if `dir` already holds a manifest; IO errors are
+    /// propagated.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        dims: usize,
+        config: StoreConfig,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        if Manifest::path(dir).exists() {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("{}: collection already exists", dir.display()),
+            )));
+        }
+        let mut coll = Self::in_memory(dims, config);
+        coll.manifest().write_atomic(dir)?;
+        coll.wal = Some(Wal::create(&dir.join(wal_file(0)), dims)?);
+        coll.dir = Some(dir.to_path_buf());
+        Ok(coll)
+    }
+
+    /// Opens a persistent collection: loads the manifest and segments,
+    /// applies the tombstones, and replays the WAL (with torn-tail
+    /// truncation) to rebuild the write buffer.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] on invariant violations (a tombstone for
+    /// an unknown id, a replayed duplicate insert, a mismatched remap
+    /// table); IO and format errors are propagated.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        let manifest = Manifest::read(dir)?;
+        let mut coll = Self::in_memory(manifest.dims, manifest.config);
+        coll.wal_seq = manifest.wal_seq;
+        coll.next_segment_seq = manifest.next_segment_seq;
+        for &seq in &manifest.segments {
+            let segment = Segment::load(dir, seq, manifest.dims)?;
+            let si = coll.segments.len();
+            for &ext in segment.remap() {
+                if coll.locations.insert(ext, Loc::Segment(si)).is_some() {
+                    return Err(StoreError::Corrupt(format!(
+                        "external id {ext} appears in two segments"
+                    )));
+                }
+            }
+            coll.segments.push(segment);
+        }
+        for &id in &manifest.tombstones {
+            match coll.locations.remove(&id) {
+                Some(Loc::Segment(si)) => {
+                    coll.segments[si].note_dead();
+                    coll.tombstones.insert(id);
+                }
+                _ => {
+                    return Err(StoreError::Corrupt(format!(
+                        "tombstone for id {id} which no segment holds"
+                    )))
+                }
+            }
+        }
+        let (wal, records) = Wal::open(&dir.join(wal_file(manifest.wal_seq)), manifest.dims)?;
+        for record in records {
+            // Replay mutates memory only — the records are already
+            // durable — and surfaces violations as corruption.
+            let replayed = match record {
+                WalRecord::Insert { id, vector } => coll.apply_insert(id, &vector),
+                WalRecord::Delete { id } => coll.apply_delete(id),
+            };
+            replayed.map_err(|e| StoreError::Corrupt(format!("wal replay: {e}")))?;
+        }
+        coll.wal = Some(wal);
+        coll.dir = Some(dir.to_path_buf());
+        Ok(coll)
+    }
+
+    /// Dimensionality of the collection.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The store configuration fixed at creation.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Number of live (inserted and not deleted) vectors.
+    pub fn live_len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Number of vectors currently in the write buffer.
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Number of sealed segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of tombstoned (deleted but not yet compacted) rows.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Whether the collection persists to a directory.
+    pub fn is_persistent(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Current WAL generation (persistent collections).
+    pub fn wal_seq(&self) -> u64 {
+        self.wal_seq
+    }
+
+    /// Per-segment statistics in storage order.
+    pub fn segment_stats(&self) -> Vec<SegmentStat> {
+        self.segments
+            .iter()
+            .map(|s| SegmentStat {
+                seq: s.seq(),
+                kind: s.kind(),
+                rows: s.len(),
+                dead: s.dead(),
+            })
+            .collect()
+    }
+
+    /// The largest external id ever observed (live or tombstoned), or
+    /// `None` for a collection that never held a row.
+    pub fn max_id(&self) -> Option<u64> {
+        let live = self.locations.keys().max().copied();
+        let dead = self.tombstones.iter().max().copied();
+        live.max(dead)
+    }
+
+    /// Whether `id` is live (searchable) in the collection.
+    pub fn contains(&self, id: u64) -> bool {
+        self.locations.contains_key(&id)
+    }
+
+    /// Whether `id` is unavailable for insertion: live, or tombstoned
+    /// (deleted ids stay reserved until [`Collection::compact`]).
+    pub fn is_id_reserved(&self, id: u64) -> bool {
+        self.locations.contains_key(&id) || self.tombstones.contains(&id)
+    }
+
+    /// Inserts one vector under an external id: WAL append first, then
+    /// the write buffer; seals automatically when the buffer reaches
+    /// its configured capacity.
+    ///
+    /// # Errors
+    /// [`StoreError::DimsMismatch`], [`StoreError::DuplicateId`] (also
+    /// for tombstoned ids — reserved until compaction), or an IO error.
+    /// An IO error from the *automatic seal* is reported here, but the
+    /// insert itself is already WAL-committed and applied at that
+    /// point — the collection stays consistent and the seal retries on
+    /// the next trigger.
+    pub fn insert(&mut self, id: u64, vector: &[f32]) -> Result<(), StoreError> {
+        self.check_insert(id, vector)?;
+        if let Some(wal) = &mut self.wal {
+            wal.append(&WalRecord::Insert {
+                id,
+                vector: vector.to_vec(),
+            })?;
+        }
+        self.apply_insert_unchecked(id, vector)?;
+        if self.buffer.len() >= self.config.buffer_capacity {
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Bulk-loads `rows` under consecutive ids `first_id..first_id + n`,
+    /// **bypassing the WAL**: rows become durable at the automatic
+    /// seals (the segment + manifest commit), and the call ends with a
+    /// seal, so on success everything is durable. The whole id range is
+    /// validated before anything is applied. This is the build path —
+    /// logging a bulk load record-by-record only to delete the log at
+    /// the next seal would double its IO for nothing.
+    ///
+    /// # Errors
+    /// [`StoreError::DimsMismatch`] / [`StoreError::DuplicateId`]
+    /// before anything is applied, or an IO error from a seal — on an
+    /// IO error (or a crash mid-call) rows after the last committed
+    /// seal are lost, consistent with "the manifest is the commit
+    /// point".
+    pub fn bulk_insert(&mut self, first_id: u64, rows: &[f32]) -> Result<(), StoreError> {
+        if rows.len() % self.dims != 0 {
+            return Err(StoreError::DimsMismatch {
+                expected: self.dims,
+                got: rows.len() % self.dims,
+            });
+        }
+        let n = rows.len() / self.dims;
+        for i in 0..n {
+            let id = first_id + i as u64;
+            if self.is_id_reserved(id) {
+                return Err(StoreError::DuplicateId(id));
+            }
+        }
+        for i in 0..n {
+            self.apply_insert_unchecked(
+                first_id + i as u64,
+                &rows[i * self.dims..(i + 1) * self.dims],
+            )?;
+            if self.buffer.len() >= self.config.buffer_capacity {
+                self.seal()?;
+            }
+        }
+        self.seal()
+    }
+
+    /// Deletes an external id: a buffered row is removed in place, a
+    /// sealed row is tombstoned (filtered from every search, purged at
+    /// compaction).
+    ///
+    /// # Errors
+    /// [`StoreError::NotFound`] if the id is not live, or an IO error.
+    pub fn delete(&mut self, id: u64) -> Result<(), StoreError> {
+        if !self.locations.contains_key(&id) {
+            return Err(StoreError::NotFound(id));
+        }
+        if let Some(wal) = &mut self.wal {
+            wal.append(&WalRecord::Delete { id })?;
+        }
+        self.apply_delete(id)
+    }
+
+    /// Validation shared by [`Collection::insert`] and WAL replay.
+    fn check_insert(&self, id: u64, vector: &[f32]) -> Result<(), StoreError> {
+        if vector.len() != self.dims {
+            return Err(StoreError::DimsMismatch {
+                expected: self.dims,
+                got: vector.len(),
+            });
+        }
+        if self.is_id_reserved(id) {
+            return Err(StoreError::DuplicateId(id));
+        }
+        Ok(())
+    }
+
+    /// Memory-only insert with re-validation (the WAL replay path —
+    /// a duplicate in the log is corruption, not a caller bug).
+    fn apply_insert(&mut self, id: u64, vector: &[f32]) -> Result<(), StoreError> {
+        self.check_insert(id, vector)?;
+        self.apply_insert_unchecked(id, vector)
+    }
+
+    /// Memory-only insert for ids [`Collection::check_insert`] already
+    /// admitted (the hot path validates exactly once).
+    fn apply_insert_unchecked(&mut self, id: u64, vector: &[f32]) -> Result<(), StoreError> {
+        self.buffer.append(id, vector)?;
+        self.locations.insert(id, Loc::Buffer);
+        Ok(())
+    }
+
+    /// Memory-only delete (the WAL record is already durable).
+    fn apply_delete(&mut self, id: u64) -> Result<(), StoreError> {
+        match self.locations.get(&id) {
+            None => Err(StoreError::NotFound(id)),
+            Some(Loc::Buffer) => {
+                self.buffer.remove(id)?;
+                self.locations.remove(&id);
+                Ok(())
+            }
+            Some(&Loc::Segment(si)) => {
+                self.tombstones.insert(id);
+                self.segments[si].note_dead();
+                self.locations.remove(&id);
+                Ok(())
+            }
+        }
+    }
+
+    /// The manifest describing the current durable state.
+    fn manifest(&self) -> Manifest {
+        let mut tombstones: Vec<u64> = self.tombstones.iter().copied().collect();
+        tombstones.sort_unstable();
+        Manifest {
+            dims: self.dims,
+            config: self.config,
+            wal_seq: self.wal_seq,
+            next_segment_seq: self.next_segment_seq,
+            segments: self.segments.iter().map(|s| s.seq()).collect(),
+            tombstones,
+        }
+    }
+
+    /// Rotates to a fresh WAL generation after `manifest` committed:
+    /// the old log's records are all covered by the manifest's
+    /// segments, so it is deleted.
+    fn rotate_wal(&mut self, dir: &Path) -> Result<(), StoreError> {
+        let old = self.wal.as_ref().map(|w| w.path().to_path_buf());
+        self.wal = Some(Wal::create(&dir.join(wal_file(self.wal_seq)), self.dims)?);
+        if let Some(old) = old {
+            std::fs::remove_file(old).ok();
+        }
+        Ok(())
+    }
+
+    /// Seals the write buffer into a new immutable segment (no-op when
+    /// the buffer is empty). Persistent collections write the segment
+    /// files, commit a new manifest, and rotate the WAL.
+    ///
+    /// # Errors
+    /// Propagates IO errors; the collection commits atomically (a crash
+    /// before the manifest rename leaves the previous state intact).
+    pub fn seal(&mut self) -> Result<(), StoreError> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let (ids, rows) = self.buffer.entries_sorted();
+        let seq = self.next_segment_seq;
+        let segment = Segment::seal(seq, ids, &rows, self.dims, &self.config)?;
+        if let Some(dir) = self.dir.clone() {
+            segment.write(&dir)?;
+            self.wal_seq += 1;
+            self.next_segment_seq = seq + 1;
+            let mut manifest = self.manifest();
+            manifest.segments.push(seq);
+            manifest.write_atomic(&dir)?;
+            self.rotate_wal(&dir)?;
+        } else {
+            self.next_segment_seq = seq + 1;
+        }
+        let si = self.segments.len();
+        for &id in segment.remap() {
+            self.locations.insert(id, Loc::Segment(si));
+        }
+        self.segments.push(segment);
+        self.buffer.clear();
+        Ok(())
+    }
+
+    /// Merges every segment and the write buffer, purges tombstoned
+    /// rows, and rewrites the surviving rows — sorted by external id —
+    /// as one freshly partitioned segment. Afterwards searches are
+    /// bit-identical to a fresh flat build over the surviving rows, and
+    /// all tombstoned ids become reusable.
+    ///
+    /// # Errors
+    /// Propagates IO errors; commits atomically via the manifest.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        let mut all_ids: Vec<u64> = Vec::with_capacity(self.live_len());
+        let mut all_rows: Vec<f32> = Vec::with_capacity(self.live_len() * self.dims);
+        for segment in &self.segments {
+            let (ids, rows) = segment.live_rows(&self.tombstones);
+            all_ids.extend_from_slice(&ids);
+            all_rows.extend_from_slice(&rows);
+        }
+        let (buf_ids, buf_rows) = self.buffer.entries_sorted();
+        all_ids.extend_from_slice(&buf_ids);
+        all_rows.extend_from_slice(&buf_rows);
+        // Global external-id order (each source is sorted, but sources
+        // interleave).
+        let mut order: Vec<usize> = (0..all_ids.len()).collect();
+        order.sort_unstable_by_key(|&i| all_ids[i]);
+        let ids: Vec<u64> = order.iter().map(|&i| all_ids[i]).collect();
+        let mut rows = Vec::with_capacity(all_rows.len());
+        for &i in &order {
+            rows.extend_from_slice(&all_rows[i * self.dims..(i + 1) * self.dims]);
+        }
+
+        let old_seqs: Vec<u64> = self.segments.iter().map(|s| s.seq()).collect();
+        let seq = self.next_segment_seq;
+        let new_segment = if ids.is_empty() {
+            None
+        } else {
+            Some(Segment::seal(seq, ids, &rows, self.dims, &self.config)?)
+        };
+        if let Some(dir) = self.dir.clone() {
+            if let Some(s) = &new_segment {
+                s.write(&dir)?;
+            }
+            self.wal_seq += 1;
+            if new_segment.is_some() {
+                self.next_segment_seq = seq + 1;
+            }
+            let manifest = Manifest {
+                dims: self.dims,
+                config: self.config,
+                wal_seq: self.wal_seq,
+                next_segment_seq: self.next_segment_seq,
+                segments: new_segment.iter().map(|s| s.seq()).collect(),
+                tombstones: Vec::new(),
+            };
+            manifest.write_atomic(&dir)?;
+            self.rotate_wal(&dir)?;
+            for old in old_seqs {
+                Segment::remove_files(&dir, old);
+            }
+        } else if new_segment.is_some() {
+            self.next_segment_seq = seq + 1;
+        }
+        self.segments.clear();
+        self.buffer.clear();
+        self.tombstones.clear();
+        self.locations.clear();
+        if let Some(segment) = new_segment {
+            for &id in segment.remap() {
+                self.locations.insert(id, Loc::Segment(0));
+            }
+            self.segments.push(segment);
+        }
+        Ok(())
+    }
+
+    /// Forces WAL records to stable storage (appends are flushed to the
+    /// OS per operation, synced to the device here).
+    ///
+    /// # Errors
+    /// Propagates IO errors.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        if let Some(wal) = &self.wal {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// The segmented read path over the current sealed segments.
+    fn segmented(&self) -> SegmentedSearch<'_> {
+        SegmentedSearch::new(
+            self.segments
+                .iter()
+                .map(|s| SearchSegment {
+                    index: s.index(),
+                    remap: s.remap(),
+                    dead: s.dead(),
+                })
+                .collect(),
+        )
+    }
+
+    /// The buffer's exact-scan candidates for one query.
+    fn buffer_list(&self, query: &[f32], opts: &SearchOptions) -> [Vec<Neighbor>; 1] {
+        [self.buffer.scan(query, opts.k, opts.metric, opts.variant)]
+    }
+}
+
+impl VectorIndex for Collection {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    fn kind(&self) -> &'static str {
+        "collection"
+    }
+
+    /// Merges the buffer's exact linear scan with every segment's
+    /// search through the canonical `(distance, id)` order, dropping
+    /// tombstoned rows during the merge. `f32` segments honour the
+    /// pruner/metric options, SQ8 segments the refine/metric options —
+    /// exactly as the standalone deployments do.
+    fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let extra = self.buffer_list(query, opts);
+        self.segmented()
+            .search(&extra, query, opts, |id| !self.tombstones.contains(&id))
+    }
+
+    /// Intra-query parallelism: each segment scans through its
+    /// deployment's `search_parallel` (bit-identical to sequential at
+    /// any thread count), the buffer scan stays sequential, and the
+    /// merge is canonical — so the result equals
+    /// [`VectorIndex::search`] at any width, live tombstones included.
+    fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let extra = self.buffer_list(query, opts);
+        self.segmented()
+            .search_parallel(&extra, query, opts, |id| !self.tombstones.contains(&id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdx_core::engine::SearchOptions;
+
+    fn small_config() -> StoreConfig {
+        StoreConfig {
+            block_size: 16,
+            group_size: 8,
+            buffer_capacity: 32,
+            quantize: false,
+        }
+    }
+
+    fn ids_of(hits: &[Neighbor]) -> Vec<u64> {
+        hits.iter().map(|n| n.id).collect()
+    }
+
+    #[test]
+    fn insert_search_delete_in_memory() {
+        let mut coll = Collection::in_memory(2, small_config());
+        for i in 0..10u64 {
+            coll.insert(i, &[i as f32, 0.0]).unwrap();
+        }
+        assert_eq!(coll.live_len(), 10);
+        let hits = coll.search(&[0.0, 0.0], &SearchOptions::new(3));
+        assert_eq!(ids_of(&hits), vec![0, 1, 2]);
+
+        coll.delete(1).unwrap();
+        let hits = coll.search(&[0.0, 0.0], &SearchOptions::new(3));
+        assert_eq!(ids_of(&hits), vec![0, 2, 3]);
+        assert!(matches!(coll.delete(1), Err(StoreError::NotFound(1))));
+        assert!(matches!(
+            coll.insert(0, &[9.0, 9.0]),
+            Err(StoreError::DuplicateId(0))
+        ));
+    }
+
+    #[test]
+    fn auto_seal_keeps_results_and_reserves_tombstoned_ids() {
+        let mut coll = Collection::in_memory(2, small_config());
+        for i in 0..80u64 {
+            coll.insert(i, &[i as f32, 0.0]).unwrap();
+        }
+        // capacity 32: two seals happened, a partial buffer remains.
+        assert_eq!(coll.segment_count(), 2);
+        assert_eq!(coll.buffer_len(), 80 - 64);
+        let hits = coll.search(&[5.0, 0.0], &SearchOptions::new(3));
+        assert_eq!(ids_of(&hits), vec![5, 4, 6]);
+
+        // Delete a sealed row: tombstoned, filtered, id reserved.
+        coll.delete(5).unwrap();
+        assert_eq!(coll.tombstone_count(), 1);
+        let hits = coll.search(&[5.0, 0.0], &SearchOptions::new(3));
+        assert_eq!(ids_of(&hits), vec![4, 6, 3]);
+        assert!(matches!(
+            coll.insert(5, &[5.0, 0.0]),
+            Err(StoreError::DuplicateId(5))
+        ));
+
+        // Compaction purges the row and frees the id.
+        coll.compact().unwrap();
+        assert_eq!(coll.segment_count(), 1);
+        assert_eq!(coll.tombstone_count(), 0);
+        assert_eq!(coll.live_len(), 79);
+        coll.insert(5, &[5.0, 0.0]).unwrap();
+        let hits = coll.search(&[5.0, 0.0], &SearchOptions::new(1));
+        assert_eq!(ids_of(&hits), vec![5]);
+    }
+
+    #[test]
+    fn bulk_insert_matches_the_insert_loop_and_validates_up_front() {
+        let rows: Vec<f32> = (0..200).map(|i| i as f32).collect(); // 100 × 2
+        let mut a = Collection::in_memory(2, small_config());
+        a.bulk_insert(10, &rows).unwrap();
+        assert_eq!(a.buffer_len(), 0, "bulk load ends sealed");
+        let mut b = Collection::in_memory(2, small_config());
+        for i in 0..100 {
+            b.insert(10 + i as u64, &rows[i * 2..(i + 1) * 2]).unwrap();
+        }
+        b.seal().unwrap();
+        let opts = SearchOptions::new(5);
+        assert_eq!(a.search(&[3.0, 4.0], &opts), b.search(&[3.0, 4.0], &opts));
+
+        // A conflict anywhere in the range aborts before anything lands.
+        let err = a.bulk_insert(105, &rows[..4]).unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateId(105)));
+        assert_eq!(a.live_len(), 100);
+        assert!(matches!(
+            a.bulk_insert(500, &rows[..3]),
+            Err(StoreError::DimsMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn compact_of_empty_collection_is_fine() {
+        let mut coll = Collection::in_memory(3, small_config());
+        coll.compact().unwrap();
+        assert_eq!(coll.live_len(), 0);
+        coll.insert(1, &[0.0; 3]).unwrap();
+        coll.delete(1).unwrap();
+        coll.compact().unwrap();
+        assert_eq!(coll.segment_count(), 0);
+        assert!(coll.search(&[0.0; 3], &SearchOptions::new(1)).is_empty());
+    }
+
+    #[test]
+    fn quantized_collection_reranks_exactly() {
+        let mut coll = Collection::in_memory(
+            4,
+            StoreConfig {
+                quantize: true,
+                ..small_config()
+            },
+        );
+        for i in 0..60u64 {
+            let x = i as f32 * 0.25;
+            coll.insert(i, &[x, -x, x * 0.5, 1.0]).unwrap();
+        }
+        coll.seal().unwrap();
+        assert_eq!(coll.segment_stats()[0].kind, "flat-sq8");
+        let hits = coll.search(&[2.5, -2.5, 1.25, 1.0], &SearchOptions::new(2));
+        assert_eq!(ids_of(&hits), vec![10, 9]);
+    }
+}

@@ -1,0 +1,170 @@
+#![warn(missing_docs)]
+
+//! # pdx-store — the mutable segmented collection store
+//!
+//! Every deployment below this crate is build-once and immutable: PDX
+//! blocks are constructed in one shot and never change. This crate adds
+//! the LSM-style mutable layer that serves live traffic on top of those
+//! frozen parts:
+//!
+//! * [`WriteBuffer`] — an in-memory append log of `(external id,
+//!   vector)` pairs, searched by exact linear scan. Inserts land here.
+//! * **Sealed segments** — when the buffer fills (or on an explicit
+//!   seal), its rows become an immutable [`FlatPdx`](pdx_index::FlatPdx)
+//!   or [`FlatSq8`](pdx_index::FlatSq8) segment served through
+//!   [`VectorIndex`](pdx_core::engine::VectorIndex), with a per-segment
+//!   remap table from local row ids to external ids.
+//! * **Tombstones** — deletes of sealed rows are recorded in a tombstone
+//!   set and filtered during the canonical heap merge (and purged for
+//!   good at seal/compaction time).
+//! * [`Collection::compact`] — merges all segments and the buffer,
+//!   drops tombstoned rows, and rewrites the surviving rows as one
+//!   freshly partitioned segment. Post-compaction searches are
+//!   bit-identical to a fresh flat build over the surviving rows.
+//!
+//! Searches go through
+//! [`SegmentedSearch`](pdx_core::engine::SegmentedSearch): each segment
+//! over-fetches by its tombstone count, results remap to external ids,
+//! and one canonical `(distance, id)` merge — the same order the
+//! parallel execution engine uses — combines them with the buffer scan.
+//! Batch and intra-query parallel searches are therefore bit-identical
+//! to the sequential path at any thread count, live tombstones included.
+//!
+//! ## Crash safety
+//!
+//! A persistent collection lives in a directory:
+//!
+//! ```text
+//! <dir>/MANIFEST        versioned "PDX3" file: config, segment list,
+//!                       tombstones, current WAL generation
+//! <dir>/seg-<n>.pdx     sealed segment (a PDX1/PDX2 container)
+//! <dir>/seg-<n>.ids     the segment's external-id remap table
+//! <dir>/wal-<n>.log     append-only write-ahead log of buffered ops
+//! ```
+//!
+//! Invariants, in commit order:
+//!
+//! 1. every buffered insert/delete is appended to the WAL **before** it
+//!    mutates memory;
+//! 2. a seal/compaction writes its segment files first, then commits by
+//!    atomically renaming a new `MANIFEST` (which names a fresh WAL
+//!    generation), and only then deletes the obsolete WAL/segments;
+//! 3. [`Collection::open`] replays the manifest's WAL with **torn-tail
+//!    truncation**: a half-written trailing record (crash mid-append) is
+//!    detected by length/checksum and truncated, and every complete
+//!    record before it is replayed.
+//!
+//! A **process** crash at any point therefore loses at most the tail
+//! record that was being written, never a committed one, and orphaned
+//! segment files from an uncommitted seal are ignored by the manifest.
+//! WAL appends are flushed to the OS per operation but fsynced only at
+//! [`Collection::sync`] and at every seal/compaction commit — so
+//! against a *power loss* the durability points are the sync calls and
+//! the manifest commits (the CLI syncs at the end of each `insert`/
+//! `delete` command). Call [`Collection::sync`] more often if you need
+//! tighter power-loss bounds.
+
+use std::fmt;
+use std::io;
+
+mod buffer;
+mod collection;
+mod manifest;
+mod segment;
+mod wal;
+
+pub use buffer::WriteBuffer;
+pub use collection::{Collection, SegmentStat};
+pub use manifest::{Manifest, MANIFEST_FILE, MANIFEST_MAGIC};
+pub use segment::Segment;
+pub use wal::{Wal, WalRecord};
+
+/// Build/maintenance knobs of a mutable collection, fixed at creation
+/// and persisted in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Partition size of sealed segments (vectors per PDX block).
+    pub block_size: usize,
+    /// PDX group size of sealed segments.
+    pub group_size: usize,
+    /// Buffer size at which an insert triggers an automatic seal.
+    pub buffer_capacity: usize,
+    /// Seal segments as SQ8-quantized deployments (`PDX2` containers
+    /// with an exact rerank payload) instead of plain `f32`.
+    pub quantize: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            block_size: pdx_core::DEFAULT_EXACT_BLOCK,
+            group_size: pdx_core::DEFAULT_GROUP_SIZE,
+            buffer_capacity: pdx_core::DEFAULT_EXACT_BLOCK,
+            quantize: false,
+        }
+    }
+}
+
+/// Errors of the mutable store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The external id is already live (or still tombstoned — a deleted
+    /// id stays reserved until [`Collection::compact`] purges it).
+    DuplicateId(u64),
+    /// The external id is not live in the collection.
+    NotFound(u64),
+    /// A vector's length does not match the collection dimensionality.
+    DimsMismatch {
+        /// The collection's dimensionality.
+        expected: usize,
+        /// The offending vector's length.
+        got: usize,
+    },
+    /// On-disk state that violates the format or the store invariants.
+    Corrupt(String),
+    /// An underlying IO failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DuplicateId(id) => {
+                write!(
+                    f,
+                    "duplicate external id {id} (ids stay reserved until compaction)"
+                )
+            }
+            StoreError::NotFound(id) => write!(f, "external id {id} is not in the collection"),
+            StoreError::DimsMismatch { expected, got } => {
+                write!(f, "vector has {got} dims, collection has {expected}")
+            }
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StoreError> for io::Error {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}

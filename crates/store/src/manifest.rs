@@ -1,0 +1,237 @@
+//! The versioned `PDX3` manifest: the commit point of a persistent
+//! collection.
+//!
+//! The manifest is the single source of truth for what a collection
+//! directory contains: the store configuration, the sealed segments (by
+//! sequence number — file names derive from it), the tombstone set of
+//! sealed rows, and the current WAL generation. It is replaced
+//! **atomically** (write `MANIFEST.tmp`, fsync, rename), so a reader
+//! always sees either the old state or the new state, never a mix; a
+//! segment file only becomes reachable once the manifest naming it has
+//! been renamed into place.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "PDX3" | version u32
+//! dims u32 | block_size u32 | group u32 | buffer_cap u32 | quantize u32
+//! wal_seq u64 | next_segment_seq u64
+//! n_segments u32 | seq u64 × n_segments
+//! n_tombstones u64 | id u64 × n_tombstones
+//! ```
+
+use crate::{StoreConfig, StoreError};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// The magic number identifying a mutable-collection manifest; what
+/// `AnyIndex::open` sniffs to serve a collection directory.
+pub const MANIFEST_MAGIC: &[u8; 4] = b"PDX3";
+/// The manifest's file name inside a collection directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+const VERSION: u32 = 1;
+
+/// The decoded manifest of a collection directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Dimensionality of the collection.
+    pub dims: usize,
+    /// The store configuration fixed at creation.
+    pub config: StoreConfig,
+    /// Current WAL generation: buffered state lives in `wal-<seq>.log`.
+    pub wal_seq: u64,
+    /// Sequence number the next sealed segment will take.
+    pub next_segment_seq: u64,
+    /// Sealed segments in storage order, by sequence number.
+    pub segments: Vec<u64>,
+    /// External ids deleted from sealed segments but not yet compacted
+    /// away.
+    pub tombstones: Vec<u64>,
+}
+
+/// File name of a WAL generation.
+pub fn wal_file(seq: u64) -> String {
+    format!("wal-{seq:06}.log")
+}
+
+/// File name of a sealed segment's container.
+pub fn segment_file(seq: u64) -> String {
+    format!("seg-{seq:06}.pdx")
+}
+
+/// File name of a sealed segment's external-id remap table.
+pub fn segment_ids_file(seq: u64) -> String {
+    format!("seg-{seq:06}.ids")
+}
+
+impl Manifest {
+    /// The manifest path inside `dir`.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    /// Serializes the manifest.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.segments.len() * 8 + self.tombstones.len() * 8);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        for v in [
+            self.dims,
+            self.config.block_size,
+            self.config.group_size,
+            self.config.buffer_capacity,
+            usize::from(self.config.quantize),
+        ] {
+            out.extend_from_slice(&(v as u32).to_le_bytes());
+        }
+        out.extend_from_slice(&self.wal_seq.to_le_bytes());
+        out.extend_from_slice(&self.next_segment_seq.to_le_bytes());
+        out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for seq in &self.segments {
+            out.extend_from_slice(&seq.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.tombstones.len() as u64).to_le_bytes());
+        for id in &self.tombstones {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        out
+    }
+
+    /// Atomically replaces the manifest in `dir`: the new bytes land in
+    /// `MANIFEST.tmp`, are fsynced, and take effect with a rename.
+    ///
+    /// # Errors
+    /// Propagates IO errors.
+    pub fn write_atomic(&self, dir: &Path) -> io::Result<()> {
+        let tmp = dir.join("MANIFEST.tmp");
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&self.encode())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, Self::path(dir))?;
+        // Make the rename itself durable where the platform allows it.
+        if let Ok(d) = std::fs::File::open(dir) {
+            d.sync_all().ok();
+        }
+        Ok(())
+    }
+
+    /// Reads and validates the manifest of `dir`.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] on bad magic/version or truncation; IO
+    /// errors (including a missing manifest) are propagated.
+    pub fn read(dir: &Path) -> Result<Self, StoreError> {
+        let path = Self::path(dir);
+        let mut r = io::BufReader::new(std::fs::File::open(&path)?);
+        let corrupt = |msg: &str| StoreError::Corrupt(format!("{}: {msg}", path.display()));
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)
+            .map_err(|_| corrupt("truncated manifest"))?;
+        if &magic != MANIFEST_MAGIC {
+            return Err(corrupt("not a PDX3 manifest"));
+        }
+        let mut u32_buf = [0u8; 4];
+        let mut u64_buf = [0u8; 8];
+        let mut read_u32 = |r: &mut dyn Read| -> Result<u32, StoreError> {
+            r.read_exact(&mut u32_buf)
+                .map_err(|_| StoreError::Corrupt("truncated manifest".into()))?;
+            Ok(u32::from_le_bytes(u32_buf))
+        };
+        let mut read_u64 = |r: &mut dyn Read| -> Result<u64, StoreError> {
+            r.read_exact(&mut u64_buf)
+                .map_err(|_| StoreError::Corrupt("truncated manifest".into()))?;
+            Ok(u64::from_le_bytes(u64_buf))
+        };
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(corrupt(&format!("unsupported manifest version {version}")));
+        }
+        let dims = read_u32(&mut r)? as usize;
+        let block_size = read_u32(&mut r)? as usize;
+        let group_size = read_u32(&mut r)? as usize;
+        let buffer_capacity = read_u32(&mut r)? as usize;
+        let quantize = read_u32(&mut r)? != 0;
+        if dims == 0 || block_size == 0 || group_size == 0 || buffer_capacity == 0 {
+            return Err(corrupt("zero dims/block/group/buffer in manifest"));
+        }
+        let wal_seq = read_u64(&mut r)?;
+        let next_segment_seq = read_u64(&mut r)?;
+        let n_segments = read_u32(&mut r)? as usize;
+        let mut segments = Vec::with_capacity(n_segments);
+        for _ in 0..n_segments {
+            segments.push(read_u64(&mut r)?);
+        }
+        let n_tombstones = read_u64(&mut r)?;
+        let n_tombstones =
+            usize::try_from(n_tombstones).map_err(|_| corrupt("tombstone count overflows"))?;
+        let mut tombstones = Vec::with_capacity(n_tombstones.min(1 << 20));
+        for _ in 0..n_tombstones {
+            tombstones.push(read_u64(&mut r)?);
+        }
+        Ok(Self {
+            dims,
+            config: StoreConfig {
+                block_size,
+                group_size,
+                buffer_capacity,
+                quantize,
+            },
+            wal_seq,
+            next_segment_seq,
+            segments,
+            tombstones,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            dims: 16,
+            config: StoreConfig {
+                block_size: 256,
+                group_size: 32,
+                buffer_capacity: 1024,
+                quantize: true,
+            },
+            wal_seq: 7,
+            next_segment_seq: 4,
+            segments: vec![1, 3],
+            tombstones: vec![10, 20, 30],
+        }
+    }
+
+    #[test]
+    fn atomic_round_trip() {
+        let dir = std::env::temp_dir().join("pdx_store_manifest_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = sample();
+        m.write_atomic(&dir).unwrap();
+        assert_eq!(Manifest::read(&dir).unwrap(), m);
+        // A rewrite replaces it atomically (no .tmp left behind).
+        let mut m2 = m.clone();
+        m2.wal_seq = 8;
+        m2.write_atomic(&dir).unwrap();
+        assert_eq!(Manifest::read(&dir).unwrap(), m2);
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_corrupt() {
+        let dir = std::env::temp_dir().join("pdx_store_manifest_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(Manifest::path(&dir), b"NOPE").unwrap();
+        assert!(matches!(Manifest::read(&dir), Err(StoreError::Corrupt(_))));
+        let m = sample();
+        m.write_atomic(&dir).unwrap();
+        let bytes = std::fs::read(Manifest::path(&dir)).unwrap();
+        std::fs::write(Manifest::path(&dir), &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(Manifest::read(&dir), Err(StoreError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,340 @@
+//! Immutable sealed segments: frozen PDX deployments with an
+//! external-id remap table.
+//!
+//! A segment is born when the write buffer seals (or a compaction
+//! rewrites the collection): its rows — sorted by external id — become a
+//! [`FlatPdx`] or [`FlatSq8`] deployment with **local** row ids
+//! `0..len`, and the sorted external ids become the remap table. The
+//! monotone remap keeps the canonical `(distance, id)` tie order the
+//! same in local and external id space, which is what lets segment
+//! results merge bit-identically with the rest of the collection.
+//!
+//! On disk a segment is two files: the deployment as an ordinary
+//! `PDX1`/`PDX2` container (`seg-<n>.pdx`) and the remap table
+//! (`seg-<n>.ids`, magic `PDXI`).
+
+use crate::manifest::{segment_file, segment_ids_file};
+use crate::{StoreConfig, StoreError};
+use pdx_core::engine::VectorIndex;
+use pdx_datasets::persist::{read_container_path, write_pdx_path, write_sq8_path, Container};
+use pdx_index::{FlatPdx, FlatSq8};
+use std::collections::HashSet;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const IDS_MAGIC: &[u8; 4] = b"PDXI";
+const IDS_VERSION: u32 = 1;
+
+/// The frozen deployment inside a segment.
+#[derive(Debug, Clone)]
+enum SegmentData {
+    /// Plain `f32` PDX partitions.
+    F32(FlatPdx),
+    /// SQ8-quantized partitions with an exact rerank payload.
+    Sq8(FlatSq8),
+}
+
+/// One immutable sealed segment of a mutable collection.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    seq: u64,
+    data: SegmentData,
+    /// Local row id → external id, strictly increasing.
+    remap: Vec<u64>,
+    /// How many of this segment's rows are tombstoned.
+    dead: usize,
+}
+
+impl Segment {
+    /// Seals `(ids, rows)` — already sorted by external id — into an
+    /// immutable segment with sequence number `seq`.
+    ///
+    /// # Errors
+    /// [`StoreError::DuplicateId`] if the ids are not strictly
+    /// increasing: a duplicate would make two physical rows answer to
+    /// one external id, silently shadowing one of them.
+    ///
+    /// # Panics
+    /// Panics if `rows` does not hold `ids.len()` whole vectors.
+    pub fn seal(
+        seq: u64,
+        ids: Vec<u64>,
+        rows: &[f32],
+        dims: usize,
+        config: &StoreConfig,
+    ) -> Result<Self, StoreError> {
+        assert_eq!(rows.len(), ids.len() * dims, "rows must be whole vectors");
+        for pair in ids.windows(2) {
+            if pair[1] <= pair[0] {
+                return Err(StoreError::DuplicateId(pair[1]));
+            }
+        }
+        let n = ids.len();
+        let data = if config.quantize {
+            SegmentData::Sq8(FlatSq8::build(
+                rows,
+                n,
+                dims,
+                config.block_size,
+                config.group_size,
+            ))
+        } else {
+            SegmentData::F32(FlatPdx::new(
+                rows,
+                n,
+                dims,
+                config.block_size,
+                config.group_size,
+            ))
+        };
+        Ok(Self {
+            seq,
+            data,
+            remap: ids,
+            dead: 0,
+        })
+    }
+
+    /// Sequence number (file names derive from it).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of physical rows (tombstoned ones included).
+    pub fn len(&self) -> usize {
+        self.remap.len()
+    }
+
+    /// Whether the segment holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.remap.is_empty()
+    }
+
+    /// The local → external id remap table.
+    pub fn remap(&self) -> &[u64] {
+        &self.remap
+    }
+
+    /// Number of tombstoned rows in this segment.
+    pub fn dead(&self) -> usize {
+        self.dead
+    }
+
+    /// Records that one more of this segment's rows was tombstoned.
+    pub(crate) fn note_dead(&mut self) {
+        debug_assert!(self.dead < self.remap.len());
+        self.dead += 1;
+    }
+
+    /// The frozen deployment, served through the engine trait.
+    pub fn index(&self) -> &dyn VectorIndex {
+        match &self.data {
+            SegmentData::F32(flat) => flat,
+            SegmentData::Sq8(sq8) => sq8,
+        }
+    }
+
+    /// Deployment kind of this segment (`flat-pdx` / `flat-sq8`).
+    pub fn kind(&self) -> &'static str {
+        self.index().kind()
+    }
+
+    /// Row-major `f32` rows by local id (for SQ8 segments this is the
+    /// exact rerank payload, not a dequantization).
+    pub fn rows(&self) -> Vec<f32> {
+        match &self.data {
+            SegmentData::F32(flat) => flat.to_rows(),
+            SegmentData::Sq8(sq8) => sq8.rows.clone(),
+        }
+    }
+
+    /// The surviving `(external ids, rows)` after dropping `tombstones`,
+    /// in external-id order (the compaction input).
+    pub fn live_rows(&self, tombstones: &HashSet<u64>) -> (Vec<u64>, Vec<f32>) {
+        let dims = self.index().dims();
+        let all = self.rows();
+        let mut ids = Vec::with_capacity(self.remap.len() - self.dead);
+        let mut rows = Vec::with_capacity((self.remap.len() - self.dead) * dims);
+        for (local, &ext) in self.remap.iter().enumerate() {
+            if !tombstones.contains(&ext) {
+                ids.push(ext);
+                rows.extend_from_slice(&all[local * dims..(local + 1) * dims]);
+            }
+        }
+        (ids, rows)
+    }
+
+    /// Writes the segment's container and remap table into `dir` and
+    /// fsyncs both (they must be durable before a manifest names them).
+    ///
+    /// # Errors
+    /// Propagates IO errors.
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        let container = dir.join(segment_file(self.seq));
+        match &self.data {
+            SegmentData::F32(flat) => write_pdx_path(&container, &flat.collection)?,
+            SegmentData::Sq8(sq8) => {
+                write_sq8_path(&container, &sq8.quantizer, &sq8.blocks, Some(&sq8.rows))?
+            }
+        }
+        std::fs::File::open(&container)?.sync_all()?;
+        let ids_path = dir.join(segment_ids_file(self.seq));
+        let mut w = io::BufWriter::new(std::fs::File::create(&ids_path)?);
+        w.write_all(IDS_MAGIC)?;
+        w.write_all(&IDS_VERSION.to_le_bytes())?;
+        w.write_all(&(self.remap.len() as u64).to_le_bytes())?;
+        for id in &self.remap {
+            w.write_all(&id.to_le_bytes())?;
+        }
+        w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        Ok(())
+    }
+
+    /// Loads segment `seq` from `dir`, validating the remap table
+    /// against the container (length, dimensionality, monotone ids).
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] on any mismatch; IO and container-format
+    /// errors are propagated.
+    pub fn load(dir: &Path, seq: u64, dims: usize) -> Result<Self, StoreError> {
+        let container_path = dir.join(segment_file(seq));
+        let data = match read_container_path(&container_path)
+            .map_err(|e| StoreError::Corrupt(format!("{}: {e}", container_path.display())))?
+        {
+            Container::F32(collection) => SegmentData::F32(FlatPdx::from_collection(collection)),
+            Container::Sq8(c) => {
+                if c.rows.is_empty() {
+                    return Err(StoreError::Corrupt(format!(
+                        "{}: segment container has no rerank payload",
+                        container_path.display()
+                    )));
+                }
+                SegmentData::Sq8(FlatSq8::from_parts(c.dims, c.quantizer, c.blocks, c.rows))
+            }
+        };
+        let ids_path = dir.join(segment_ids_file(seq));
+        let corrupt = |msg: String| StoreError::Corrupt(format!("{}: {msg}", ids_path.display()));
+        let mut r = io::BufReader::new(std::fs::File::open(&ids_path)?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)
+            .map_err(|_| corrupt("truncated remap table".into()))?;
+        if &magic != IDS_MAGIC {
+            return Err(corrupt("not a PDXI remap table".into()));
+        }
+        let mut u32_buf = [0u8; 4];
+        r.read_exact(&mut u32_buf)
+            .map_err(|_| corrupt("truncated remap table".into()))?;
+        let version = u32::from_le_bytes(u32_buf);
+        if version != IDS_VERSION {
+            return Err(corrupt(format!("unsupported remap version {version}")));
+        }
+        let mut u64_buf = [0u8; 8];
+        r.read_exact(&mut u64_buf)
+            .map_err(|_| corrupt("truncated remap table".into()))?;
+        let n = u64::from_le_bytes(u64_buf) as usize;
+        let mut remap = Vec::with_capacity(n);
+        for _ in 0..n {
+            r.read_exact(&mut u64_buf)
+                .map_err(|_| corrupt("truncated remap table".into()))?;
+            remap.push(u64::from_le_bytes(u64_buf));
+        }
+        let segment = Self {
+            seq,
+            data,
+            remap,
+            dead: 0,
+        };
+        if segment.remap.len() != segment.index().len() {
+            return Err(corrupt(format!(
+                "remap table has {} ids, container has {} rows",
+                segment.remap.len(),
+                segment.index().len()
+            )));
+        }
+        if segment.index().dims() != dims {
+            return Err(corrupt(format!(
+                "segment dims {} != collection dims {dims}",
+                segment.index().dims()
+            )));
+        }
+        if segment.remap.windows(2).any(|p| p[1] <= p[0]) {
+            return Err(corrupt("remap table is not strictly increasing".into()));
+        }
+        Ok(segment)
+    }
+
+    /// Deletes the segment's files from `dir` (after a compaction's
+    /// manifest commit made them unreachable).
+    pub fn remove_files(dir: &Path, seq: u64) {
+        std::fs::remove_file(dir.join(segment_file(seq))).ok();
+        std::fs::remove_file(dir.join(segment_ids_file(seq))).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(quantize: bool) -> StoreConfig {
+        StoreConfig {
+            block_size: 8,
+            group_size: 4,
+            buffer_capacity: 64,
+            quantize,
+        }
+    }
+
+    #[test]
+    fn seal_rejects_duplicate_and_unsorted_ids() {
+        let rows: Vec<f32> = (0..6).map(|i| i as f32).collect();
+        let err = Segment::seal(0, vec![1, 1, 2], &rows, 2, &config(false)).unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateId(1)));
+        let err = Segment::seal(0, vec![2, 1, 3], &rows, 2, &config(false)).unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateId(1)));
+    }
+
+    #[test]
+    fn write_load_round_trip_both_kinds() {
+        let dir = std::env::temp_dir().join("pdx_store_segment_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let n = 30;
+        let dims = 3;
+        let rows: Vec<f32> = (0..n * dims).map(|i| (i as f32 * 0.37).sin()).collect();
+        let ids: Vec<u64> = (0..n as u64).map(|i| i * 2 + 5).collect();
+        for quantize in [false, true] {
+            let seq = u64::from(quantize);
+            let seg = Segment::seal(seq, ids.clone(), &rows, dims, &config(quantize)).unwrap();
+            seg.write(&dir).unwrap();
+            let back = Segment::load(&dir, seq, dims).unwrap();
+            assert_eq!(back.remap(), seg.remap());
+            assert_eq!(back.kind(), seg.kind());
+            assert_eq!(back.rows(), seg.rows());
+            // Live rows drop exactly the tombstoned ids, in order.
+            let tombs: HashSet<u64> = [ids[0], ids[7]].into_iter().collect();
+            let (live_ids, live_rows) = back.live_rows(&tombs);
+            assert_eq!(live_ids.len(), n - 2);
+            assert!(!live_ids.contains(&ids[0]));
+            assert_eq!(live_rows.len(), (n - 2) * dims);
+            assert_eq!(&live_rows[..dims], &rows[dims..2 * dims]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_mismatched_remap() {
+        let dir = std::env::temp_dir().join("pdx_store_segment_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rows: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        let seg = Segment::seal(3, (0..10).collect(), &rows, 2, &config(false)).unwrap();
+        seg.write(&dir).unwrap();
+        // Truncate the remap table: the count no longer matches.
+        let ids_path = dir.join(segment_ids_file(3));
+        let bytes = std::fs::read(&ids_path).unwrap();
+        std::fs::write(&ids_path, &bytes[..bytes.len() - 8]).unwrap();
+        assert!(matches!(
+            Segment::load(&dir, 3, 2),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

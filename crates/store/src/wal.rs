@@ -1,0 +1,333 @@
+//! The append-only write-ahead log of buffered operations.
+//!
+//! Every insert/delete that touches the write buffer is appended here
+//! **before** it mutates memory, so [`Collection::open`](crate::Collection::open)
+//! can rebuild the buffer exactly after a crash. The log is rotated
+//! (a fresh generation, named in the manifest) whenever a seal or
+//! compaction makes its records redundant. Appends flush to the OS per
+//! record ([`Wal::append`]) and reach stable storage at [`Wal::sync`] —
+//! process-crash safety is per-record, power-loss safety is per-sync.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header  magic "PDXW" | version u32 | dims u32
+//! record  tag u8 (1 = insert, 2 = delete)
+//!         id u64
+//!         vector dims × f32        (insert records only)
+//!         checksum u32             (FNV-1a over tag..payload)
+//! ```
+//!
+//! Replay reads records until the end of the file; a trailing record
+//! that is incomplete or fails its checksum — the torn tail a crash
+//! mid-append leaves — is truncated away, and every complete record
+//! before it is returned. A torn *header* (crash at creation) resets the
+//! file to an empty log.
+
+use crate::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"PDXW";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 12;
+
+/// One durable buffered operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Insert `vector` under external id `id`.
+    Insert {
+        /// External id of the inserted vector.
+        id: u64,
+        /// The vector values.
+        vector: Vec<f32>,
+    },
+    /// Delete external id `id` (a buffered row or a sealed tombstone).
+    Delete {
+        /// External id of the deleted vector.
+        id: u64,
+    },
+}
+
+/// FNV-1a, the record checksum (catches a torn tail whose length
+/// happens to look complete).
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(16_777_619);
+    }
+    h
+}
+
+/// An open write-ahead log, positioned for appends.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    dims: usize,
+}
+
+impl Wal {
+    /// Creates a fresh, empty log (truncating any existing file).
+    ///
+    /// # Errors
+    /// Propagates IO errors.
+    pub fn create(path: &Path, dims: usize) -> io::Result<Self> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.write_all(&(dims as u32).to_le_bytes())?;
+        file.sync_all()?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            dims,
+        })
+    }
+
+    /// Opens (or creates) the log at `path`, replaying its complete
+    /// records and truncating a torn tail in place. Returns the log —
+    /// positioned for appends — and the replayed records in append
+    /// order.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] on a wrong magic/version/dims header;
+    /// IO errors are propagated. Torn tails are *not* errors.
+    pub fn open(path: &Path, dims: usize) -> Result<(Self, Vec<WalRecord>), StoreError> {
+        if !path.exists() {
+            // A crash between the manifest commit (which names this
+            // generation) and the new file's creation: the log is
+            // logically empty.
+            return Ok((Self::create(path, dims)?, Vec::new()));
+        }
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < HEADER_LEN {
+            // Torn header: the log never held a committed record.
+            return Ok((Self::create(path, dims)?, Vec::new()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(StoreError::Corrupt(format!(
+                "{}: not a PDXW write-ahead log",
+                path.display()
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "{}: unsupported WAL version {version}",
+                path.display()
+            )));
+        }
+        let file_dims = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        if file_dims != dims {
+            return Err(StoreError::Corrupt(format!(
+                "{}: WAL dims {file_dims} != collection dims {dims}",
+                path.display()
+            )));
+        }
+        let (records, valid_end) = parse_records(&bytes, dims);
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        if valid_end < bytes.len() as u64 {
+            // Torn tail: drop the partial record so future appends start
+            // at a clean boundary.
+            file.set_len(valid_end)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(valid_end))?;
+        Ok((
+            Self {
+                file,
+                path: path.to_path_buf(),
+                dims,
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record and flushes it to the OS.
+    ///
+    /// # Errors
+    /// Propagates IO errors.
+    ///
+    /// # Panics
+    /// Panics if an insert record's vector length disagrees with the
+    /// log's dimensionality (the collection validates before logging).
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(1 + 8 + self.dims * 4 + 4);
+        match record {
+            WalRecord::Insert { id, vector } => {
+                assert_eq!(vector.len(), self.dims, "insert record dims");
+                buf.push(1u8);
+                buf.extend_from_slice(&id.to_le_bytes());
+                for v in vector {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            WalRecord::Delete { id } => {
+                buf.push(2u8);
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        let sum = fnv1a(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        self.file.write_all(&buf)?;
+        self.file.flush()
+    }
+
+    /// Forces all appended records to stable storage.
+    ///
+    /// # Errors
+    /// Propagates IO errors.
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Walks `bytes` from the header on, returning the complete records and
+/// the offset where the first torn/corrupt record begins.
+fn parse_records(bytes: &[u8], dims: usize) -> (Vec<WalRecord>, u64) {
+    let mut records = Vec::new();
+    let mut at = HEADER_LEN;
+    loop {
+        let start = at;
+        let Some(&tag) = bytes.get(at) else {
+            return (records, start as u64);
+        };
+        let body_len = match tag {
+            1 => 1 + 8 + dims * 4,
+            2 => 1 + 8,
+            // An unknown tag can only be a torn/corrupt tail; nothing
+            // after it can be trusted.
+            _ => return (records, start as u64),
+        };
+        let Some(body) = bytes.get(start..start + body_len) else {
+            return (records, start as u64);
+        };
+        let Some(sum_bytes) = bytes.get(start + body_len..start + body_len + 4) else {
+            return (records, start as u64);
+        };
+        let sum = u32::from_le_bytes(sum_bytes.try_into().unwrap());
+        if sum != fnv1a(body) {
+            return (records, start as u64);
+        }
+        let id = u64::from_le_bytes(body[1..9].try_into().unwrap());
+        records.push(match tag {
+            1 => WalRecord::Insert {
+                id,
+                vector: body[9..]
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect(),
+            },
+            _ => WalRecord::Delete { id },
+        });
+        at = start + body_len + 4;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pdx_store_wal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Insert {
+                id: 3,
+                vector: vec![1.0, 2.0],
+            },
+            WalRecord::Insert {
+                id: 9,
+                vector: vec![-1.0, 0.5],
+            },
+            WalRecord::Delete { id: 3 },
+        ]
+    }
+
+    #[test]
+    fn round_trip_replays_in_order() {
+        let path = temp_path("round_trip.log");
+        let mut wal = Wal::create(&path, 2).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        drop(wal);
+        let (_wal, replayed) = Wal::open(&path, 2).unwrap();
+        assert_eq!(replayed, sample_records());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let path = temp_path("torn_tail.log");
+        let mut wal = Wal::create(&path, 2).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        drop(wal);
+        // Tear the last record in half.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full - 5).unwrap();
+        drop(file);
+
+        let (mut wal, replayed) = Wal::open(&path, 2).unwrap();
+        assert_eq!(replayed, sample_records()[..2]);
+        // The file is clean again: appends after the torn record replay.
+        wal.append(&WalRecord::Delete { id: 9 }).unwrap();
+        drop(wal);
+        let (_wal, replayed) = Wal::open(&path, 2).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[2], WalRecord::Delete { id: 9 });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checksum_cuts_the_tail() {
+        let path = temp_path("bad_sum.log");
+        let mut wal = Wal::create(&path, 1).unwrap();
+        wal.append(&WalRecord::Insert {
+            id: 1,
+            vector: vec![1.0],
+        })
+        .unwrap();
+        wal.append(&WalRecord::Delete { id: 1 }).unwrap();
+        drop(wal);
+        // Flip a byte inside the *last* record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 6] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_wal, replayed) = Wal::open(&path, 1).unwrap();
+        assert_eq!(replayed.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_header_is_corrupt_but_missing_file_is_empty() {
+        let path = temp_path("bad_header.log");
+        std::fs::write(&path, b"NOPEnotawal_____").unwrap();
+        assert!(matches!(Wal::open(&path, 2), Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+        let (_wal, replayed) = Wal::open(&path, 2).unwrap();
+        assert!(replayed.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

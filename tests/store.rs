@@ -1,0 +1,353 @@
+//! Integration suite of the mutable segmented collection store
+//! (`pdx-store`): insert/delete visibility, seal + compaction
+//! bit-identity against fresh flat builds, WAL torn-tail crash
+//! recovery through `AnyIndex::open`, duplicate-id rejection at every
+//! layer, and batch/parallel determinism at 1/2/8 threads on a
+//! collection with live tombstones.
+
+use pdx::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn make_rows(n: usize, d: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * d)
+        .map(|_| rng.random::<f32>() * 4.0 - 2.0)
+        .collect()
+}
+
+/// `base_n` distinct vectors tiled `copies` times (distinct external
+/// ids): every query's k-NN frontier is crowded with exact ties, the
+/// worst case for merge determinism.
+fn tied_rows(base_n: usize, copies: usize, d: usize, seed: u64) -> Vec<f32> {
+    let base = make_rows(base_n, d, seed);
+    let mut rows = Vec::with_capacity(base_n * copies * d);
+    for _ in 0..copies {
+        rows.extend_from_slice(&base);
+    }
+    rows
+}
+
+fn small_config(quantize: bool) -> StoreConfig {
+    StoreConfig {
+        block_size: 64,
+        group_size: 16,
+        buffer_capacity: 100,
+        quantize,
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pdx_store_suite").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn ids_of(hits: &[Neighbor]) -> Vec<u64> {
+    hits.iter().map(|n| n.id).collect()
+}
+
+#[test]
+fn inserts_are_visible_before_and_after_seal() {
+    let (n, d, k) = (150, 8, 5);
+    let rows = make_rows(n, d, 1);
+    let mut coll = Collection::in_memory(d, small_config(false));
+    let opts = SearchOptions::new(k);
+    for i in 0..n {
+        coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
+        // Freshly buffered rows are immediately searchable: the row we
+        // just inserted is its own nearest neighbour.
+        if i % 37 == 0 {
+            let hits = coll.search(&rows[i * d..(i + 1) * d], &SearchOptions::new(1));
+            assert_eq!(hits[0].id, i as u64);
+            assert_eq!(hits[0].distance, 0.0);
+        }
+    }
+    // capacity 100 → one auto-seal happened; rows live in both tiers.
+    assert_eq!(coll.segment_count(), 1);
+    assert!(coll.buffer_len() > 0);
+
+    // The merged result equals an exact scan over all rows.
+    let flat = FlatPdx::new(&rows, n, d, 64, 16);
+    let q = make_rows(1, d, 2);
+    let want = flat.linear_search(&q, k, Metric::L2);
+    let got = coll.search(&q, &opts.with_pruner(PrunerKind::Linear));
+    assert_eq!(ids_of(&got), ids_of(&want));
+}
+
+#[test]
+fn deletes_hide_buffered_and_sealed_rows() {
+    let (n, d) = (120, 6);
+    let rows = make_rows(n, d, 3);
+    let mut coll = Collection::in_memory(d, small_config(false));
+    for i in 0..n {
+        coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
+    }
+    coll.seal().unwrap();
+    // Sealed delete (tombstone) and buffered delete (in-place).
+    coll.insert(1000, &rows[..d]).unwrap(); // duplicate *vector*, new id
+    coll.delete(0).unwrap(); // sealed → tombstone
+    coll.delete(1000).unwrap(); // buffered → removed
+    assert_eq!(coll.tombstone_count(), 1);
+
+    // Query at row 0's exact position: neither deleted id appears, at
+    // any k, and no neighbour is repeated.
+    for k in [1usize, 5, 20] {
+        let hits = coll.search(&rows[..d], &SearchOptions::new(k));
+        assert_eq!(hits.len(), k);
+        let ids = ids_of(&hits);
+        assert!(!ids.contains(&0), "tombstoned id in top-{k}");
+        assert!(!ids.contains(&1000), "buffer-deleted id in top-{k}");
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), k, "duplicate neighbour in top-{k}");
+    }
+    assert!(matches!(coll.delete(0), Err(StoreError::NotFound(0))));
+}
+
+/// Post-compaction searches must be bit-identical — distances included —
+/// to a fresh flat build over the surviving rows, with external ids
+/// related by the (monotone) survivor remap table.
+fn assert_compacted_matches_fresh(quantize: bool) {
+    let (n, d, k) = (500, 10, 10);
+    let rows = make_rows(n, d, 7);
+    let mut coll = Collection::in_memory(d, small_config(quantize));
+    // External ids deliberately ≠ row positions to exercise the remap.
+    let ext = |i: usize| (i as u64) * 3 + 7;
+    for i in 0..n {
+        coll.insert(ext(i), &rows[i * d..(i + 1) * d]).unwrap();
+    }
+    // Delete a scattered third, across both sealed rows and the buffer.
+    let deleted: Vec<usize> = (0..n).filter(|i| i % 3 == 0).collect();
+    for &i in &deleted {
+        coll.delete(ext(i)).unwrap();
+    }
+    coll.compact().unwrap();
+    assert_eq!(coll.segment_count(), 1);
+    assert_eq!(coll.tombstone_count(), 0);
+
+    let survivors: Vec<usize> = (0..n).filter(|i| i % 3 != 0).collect();
+    let mut surviving_rows = Vec::with_capacity(survivors.len() * d);
+    for &i in &survivors {
+        surviving_rows.extend_from_slice(&rows[i * d..(i + 1) * d]);
+    }
+    let m = survivors.len();
+    assert_eq!(coll.len(), m);
+
+    let cfg = small_config(quantize);
+    let fresh_f32;
+    let fresh_sq8;
+    let fresh: &dyn VectorIndex = if quantize {
+        fresh_sq8 = FlatSq8::build(&surviving_rows, m, d, cfg.block_size, cfg.group_size);
+        &fresh_sq8
+    } else {
+        fresh_f32 = FlatPdx::new(&surviving_rows, m, d, cfg.block_size, cfg.group_size);
+        &fresh_f32
+    };
+
+    let queries = make_rows(6, d, 8);
+    for threads in THREAD_COUNTS {
+        let opts = SearchOptions::new(k).with_threads(threads);
+        for qi in 0..6 {
+            let q = &queries[qi * d..(qi + 1) * d];
+            let got = if threads == 1 {
+                coll.search(q, &opts)
+            } else {
+                coll.search_parallel(q, &opts)
+            };
+            let want = if threads == 1 {
+                fresh.search(q, &opts)
+            } else {
+                fresh.search_parallel(q, &opts)
+            };
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                // Bitwise-equal distances, ids through the remap.
+                assert_eq!(g.distance.to_bits(), w.distance.to_bits(), "q{qi}");
+                assert_eq!(g.id, ext(survivors[w.id as usize]), "q{qi}");
+            }
+        }
+    }
+}
+
+#[test]
+fn compacted_f32_collection_is_bit_identical_to_fresh_build() {
+    assert_compacted_matches_fresh(false);
+}
+
+#[test]
+fn compacted_sq8_collection_is_bit_identical_to_fresh_build() {
+    assert_compacted_matches_fresh(true);
+}
+
+#[test]
+fn batch_and_parallel_match_sequential_with_live_tombstones() {
+    // Tie-crowded data, several segments, a partial buffer, and live
+    // (uncompacted) tombstones in every segment: the worst case for the
+    // merge. Results must be bit-identical at 1/2/8 threads.
+    let (base_n, copies, d, k, nq) = (60, 6, 8, 10, 6);
+    let rows = tied_rows(base_n, copies, d, 11);
+    let n = base_n * copies;
+    for quantize in [false, true] {
+        let mut coll = Collection::in_memory(d, small_config(quantize));
+        for i in 0..n {
+            coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
+        }
+        // Tombstone every 7th sealed row and a couple of buffered rows.
+        for i in (0..n - coll.buffer_len()).step_by(7) {
+            coll.delete(i as u64).unwrap();
+        }
+        assert!(coll.tombstone_count() > 0, "tombstones must stay live");
+        assert!(coll.buffer_len() > 0, "buffer must participate");
+        assert!(coll.segment_count() >= 3);
+
+        let mut queries = rows[5 * d..6 * d].to_vec(); // exact-member query
+        queries.extend(make_rows(nq - 1, d, 12));
+        let dep: &dyn VectorIndex = &coll;
+        let opts = SearchOptions::new(k);
+        let sequential: Vec<Vec<Neighbor>> = (0..nq)
+            .map(|qi| dep.search(&queries[qi * d..(qi + 1) * d], &opts))
+            .collect();
+        for threads in THREAD_COUNTS {
+            let batch = dep.search_batch(&queries, &opts.with_threads(threads));
+            assert_eq!(
+                batch, sequential,
+                "search_batch at {threads} threads (quantize={quantize})"
+            );
+            for (qi, want) in sequential.iter().enumerate() {
+                let got = dep
+                    .search_parallel(&queries[qi * d..(qi + 1) * d], &opts.with_threads(threads));
+                assert_eq!(
+                    &got, want,
+                    "search_parallel q{qi} at {threads} threads (quantize={quantize})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wal_torn_tail_recovers_cleanly_through_any_index() {
+    let d = 6;
+    let dir = temp_dir("torn_tail");
+    let rows = make_rows(40, d, 21);
+    let mut coll = Collection::create(&dir, d, small_config(false)).unwrap();
+    for i in 0..30 {
+        coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
+    }
+    coll.delete(3).unwrap();
+    // The last committed op: an insert that the "crash" will tear.
+    coll.insert(100, &rows[30 * d..31 * d]).unwrap();
+    drop(coll); // simulated crash: no clean shutdown path exists anyway
+
+    // Tear the WAL mid-record (the torn tail a crash leaves).
+    let wal_path = dir.join("wal-000000.log");
+    let len = std::fs::metadata(&wal_path).unwrap().len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal_path)
+        .unwrap();
+    file.set_len(len - 5).unwrap();
+    drop(file);
+
+    // The acceptance path: AnyIndex::open on the directory replays the
+    // clean prefix — 30 inserts minus one delete, the torn insert gone.
+    let index = AnyIndex::open(&dir).unwrap();
+    assert_eq!(index.kind(), "collection");
+    assert_eq!(index.len(), 29);
+    let hits = index.search(&rows[..d], &SearchOptions::new(3));
+    assert!(!ids_of(&hits).contains(&3));
+    assert!(!ids_of(&hits).contains(&100));
+    drop(index);
+
+    // The store stays writable after recovery, and the torn id was
+    // never applied, so it is free.
+    let mut coll = Collection::open(&dir).unwrap();
+    coll.insert(100, &rows[30 * d..31 * d]).unwrap();
+    coll.compact().unwrap();
+    assert_eq!(coll.live_len(), 30);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reopened_collection_searches_identically() {
+    let (n, d, k) = (260, 8, 8);
+    let dir = temp_dir("reopen");
+    let rows = make_rows(n, d, 31);
+    let mut coll = Collection::create(
+        &dir,
+        d,
+        StoreConfig {
+            quantize: true,
+            ..small_config(true)
+        },
+    )
+    .unwrap();
+    for i in 0..n {
+        coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
+    }
+    for i in (0..200).step_by(9) {
+        coll.delete(i as u64).unwrap();
+    }
+    let q = make_rows(1, d, 32);
+    let opts = SearchOptions::new(k);
+    let want = coll.search(&q, &opts);
+    let stats = coll.segment_stats();
+    drop(coll);
+
+    let coll = Collection::open(&dir).unwrap();
+    assert_eq!(coll.segment_stats(), stats);
+    assert_eq!(coll.search(&q, &opts), want);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn duplicate_ids_are_typed_errors_at_every_layer() {
+    let mut coll = Collection::in_memory(2, small_config(false));
+    coll.insert(5, &[0.0, 0.0]).unwrap();
+    assert!(matches!(
+        coll.insert(5, &[1.0, 1.0]),
+        Err(StoreError::DuplicateId(5))
+    ));
+    coll.seal().unwrap();
+    // Sealed ids conflict too, and tombstoned ids stay reserved.
+    assert!(matches!(
+        coll.insert(5, &[1.0, 1.0]),
+        Err(StoreError::DuplicateId(5))
+    ));
+    coll.delete(5).unwrap();
+    assert!(matches!(
+        coll.insert(5, &[1.0, 1.0]),
+        Err(StoreError::DuplicateId(5))
+    ));
+    // Compaction purges the tombstone and frees the id.
+    coll.compact().unwrap();
+    coll.insert(5, &[1.0, 1.0]).unwrap();
+
+    // The container readers reject duplicates the same way (the
+    // `read_container` replay check).
+    let rows: Vec<f32> = (0..8).map(|i| i as f32).collect();
+    let coll = PdxCollection::from_assignments(&rows, 2, &[vec![0, 1], vec![2, 1]], 4);
+    let mut buf = Vec::new();
+    pdx::datasets::persist::write_pdx(&mut buf, &coll).unwrap();
+    let err = pdx::datasets::persist::read_container(&buf[..]).unwrap_err();
+    assert!(err.to_string().contains("duplicate row id 1"), "{err}");
+}
+
+#[test]
+fn collection_len_dims_kind_through_the_trait() {
+    let mut coll = Collection::in_memory(3, small_config(false));
+    for i in 0..10u64 {
+        coll.insert(i, &[i as f32; 3]).unwrap();
+    }
+    coll.delete(4).unwrap();
+    let dep: &dyn VectorIndex = &coll;
+    assert_eq!(dep.kind(), "collection");
+    assert_eq!(dep.dims(), 3);
+    assert_eq!(dep.len(), 9);
+    assert!(!dep.is_empty());
+}
