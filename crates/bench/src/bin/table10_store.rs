@@ -57,7 +57,7 @@ fn main() {
 
     // Ingest throughput: one-by-one inserts through the full path
     // (duplicate check, buffer append, auto-seal) on a fresh store.
-    let mut coll = Collection::in_memory(dims, config);
+    let coll = Collection::in_memory(dims, config);
     let t0 = Instant::now();
     for i in 0..n {
         coll.insert(i as u64, &ds.data[i * dims..(i + 1) * dims])
@@ -87,7 +87,7 @@ fn main() {
 
     for &ratio in &ratios {
         // A fresh store per ratio: insert everything, seal, tombstone.
-        let mut coll = Collection::in_memory(dims, config);
+        let coll = Collection::in_memory(dims, config);
         for i in 0..n {
             coll.insert(i as u64, &ds.data[i * dims..(i + 1) * dims])
                 .expect("insert");

@@ -58,9 +58,9 @@ const BUILD_FLAGS: &[&str] = &[
 const QUERY_FLAGS: &[&str] = &["index", "queries", "k", "order", "refine", "threads"];
 const GROUND_TRUTH_FLAGS: &[&str] = &["data", "queries", "out", "k"];
 const EVALUATE_FLAGS: &[&str] = &["index", "queries", "gt", "k", "order", "refine", "threads"];
-const INSERT_FLAGS: &[&str] = &["index", "data", "start-id"];
+const INSERT_FLAGS: &[&str] = &["index", "data", "start-id", "sync-every"];
 const DELETE_FLAGS: &[&str] = &["index", "ids"];
-const COMPACT_FLAGS: &[&str] = &["index"];
+const COMPACT_FLAGS: &[&str] = &["index", "background"];
 const STAT_FLAGS: &[&str] = &["index"];
 const DATASETS_FLAGS: &[&str] = &[];
 
@@ -199,10 +199,15 @@ commands:
                   [--threads=N]      parallel batch width (as in query)
   insert        append vectors to a mutable collection (WAL-logged)
                   --index=<dir> --data=<file> [--start-id=<max id + 1>]
+                  [--sync-every=N]   group commit: fsync the WAL every N
+                                     records during the load (default: once
+                                     at the end)
   delete        tombstone vectors of a mutable collection
                   --index=<dir> --ids=<id,id,lo..hi,…>
   compact       merge a collection's segments + buffer, purging tombstones
-                  --index=<dir>
+                  --index=<dir> [--background=true]  build the merged segment
+                                     on a background job (reads and writes
+                                     stay available) and wait for its commit
   stat          describe any index (segments/buffer/tombstones for collections)
                   --index=<path>
   datasets      list the built-in Table 1 dataset shapes
@@ -303,8 +308,7 @@ fn cmd_build(args: &Args) -> Result<(), String> {
                 buffer_capacity: args.usize("buffer-capacity", block_size)?,
                 quantize,
             };
-            let mut coll =
-                Collection::create(&out, data.dims, config).map_err(|e| e.to_string())?;
+            let coll = Collection::create(&out, data.dims, config).map_err(|e| e.to_string())?;
             // Bulk path: rows become durable at the seals' manifest
             // commits instead of being WAL-logged row by row.
             coll.bulk_insert(0, &data.data).map_err(|e| e.to_string())?;
@@ -435,7 +439,7 @@ fn open_collection(args: &Args) -> Result<(PathBuf, Collection), String> {
 }
 
 fn cmd_insert(args: &Args) -> Result<(), String> {
-    let (dir, mut coll) = open_collection(args)?;
+    let (dir, coll) = open_collection(args)?;
     let data = read_fvecs(&args.path("data")?)?;
     if data.dims != coll.dims() {
         return Err(format!(
@@ -458,6 +462,11 @@ fn cmd_insert(args: &Args) -> Result<(), String> {
             return Err(StoreError::DuplicateId(id).to_string());
         }
     }
+    let sync_every = args.usize("sync-every", 0)?;
+    coll.set_group_commit(GroupCommit {
+        sync_every,
+        sync_interval: None,
+    });
     let t0 = Instant::now();
     for i in 0..data.len {
         coll.insert(
@@ -509,7 +518,7 @@ fn parse_id_list(spec: &str) -> Result<Vec<u64>, String> {
 }
 
 fn cmd_delete(args: &Args) -> Result<(), String> {
-    let (dir, mut coll) = open_collection(args)?;
+    let (dir, coll) = open_collection(args)?;
     let ids = parse_id_list(args.require("ids")?)?;
     // Validate the whole list first: a missing (or repeated) id aborts
     // the command before any tombstone is durably applied.
@@ -537,14 +546,43 @@ fn cmd_delete(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_compact(args: &Args) -> Result<(), String> {
-    let (dir, mut coll) = open_collection(args)?;
+    let (dir, coll) = open_collection(args)?;
+    let background = match args.str_or("background", "false").as_str() {
+        "true" | "1" => true,
+        "false" | "0" => false,
+        other => return Err(format!("invalid value for --background: '{other}'")),
+    };
     let (segs, tombs, buffered) = (
         coll.segment_count(),
         coll.tombstone_count(),
         coll.buffer_len(),
     );
     let t0 = Instant::now();
-    coll.compact().map_err(|e| e.to_string())?;
+    if background {
+        let coll = std::sync::Arc::new(coll);
+        let job = coll.compact_background().map_err(|e| e.to_string())?;
+        eprintln!(
+            "compacting {} on a background {} job (reads and writes stay available) …",
+            dir.display(),
+            job.kind(),
+        );
+        job.wait().map_err(|e| e.to_string())?;
+        report_compaction(&dir, &coll, t0, segs, tombs, buffered);
+    } else {
+        coll.compact().map_err(|e| e.to_string())?;
+        report_compaction(&dir, &coll, t0, segs, tombs, buffered);
+    }
+    Ok(())
+}
+
+fn report_compaction(
+    dir: &Path,
+    coll: &Collection,
+    t0: Instant,
+    segs: usize,
+    tombs: usize,
+    buffered: usize,
+) {
     eprintln!(
         "compacted {} in {:.3}s: {segs} segment(s) + {buffered} buffered − {tombs} \
          tombstoned → {} segment(s), {} live rows",
@@ -553,7 +591,6 @@ fn cmd_compact(args: &Args) -> Result<(), String> {
         coll.segment_count(),
         coll.live_len(),
     );
-    Ok(())
 }
 
 fn cmd_stat(args: &Args) -> Result<(), String> {
@@ -579,6 +616,12 @@ fn cmd_stat(args: &Args) -> Result<(), String> {
             coll.tombstone_count(),
             coll.wal_seq(),
         );
+        if coll.maintenance_in_flight() > 0 {
+            println!(
+                "  maintenance: {} background job(s) in flight",
+                coll.maintenance_in_flight()
+            );
+        }
         for s in coll.segment_stats() {
             println!(
                 "  segment {:>6}  {:<12} {:>8} rows  {:>6} dead",

@@ -1,0 +1,100 @@
+//! Detached background jobs: the maintenance-side counterpart of the
+//! scoped [`ThreadPool`](super::ThreadPool).
+//!
+//! The pool's scoped primitives are for *synchronous* parallel regions —
+//! the caller blocks until every worker finishes, so workers may borrow
+//! the caller's data. Maintenance work (sealing a write buffer,
+//! compacting a segment set) is the opposite shape: the caller wants to
+//! keep serving while the job builds its result off to the side and
+//! commits it atomically when done. [`spawn_job`] covers that shape with
+//! the same std-only discipline: one OS thread per job, a typed
+//! [`JobHandle`] to poll or join, and no global executor state.
+
+use std::thread::JoinHandle;
+
+/// A handle to one detached background job spawned by [`spawn_job`].
+///
+/// Dropping the handle detaches the job (it keeps running); call
+/// [`JobHandle::join`] to block on its result.
+#[derive(Debug)]
+pub struct JobHandle<T> {
+    label: &'static str,
+    handle: JoinHandle<T>,
+}
+
+impl<T> JobHandle<T> {
+    /// Short static label of the job (for logs and stats).
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Whether the job's closure has returned (a `join` will not block).
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// # Panics
+    /// Re-raises the job's panic if its closure panicked.
+    pub fn join(self) -> T {
+        match self.handle.join() {
+            Ok(value) => value,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// Spawns `f` on a detached background thread and returns its handle.
+///
+/// ```
+/// use pdx_core::exec::spawn_job;
+/// let job = spawn_job("sum", || (0..100u32).sum::<u32>());
+/// assert_eq!(job.label(), "sum");
+/// assert_eq!(job.join(), 4950);
+/// ```
+pub fn spawn_job<T, F>(label: &'static str, f: F) -> JobHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let handle = std::thread::Builder::new()
+        .name(format!("pdx-job-{label}"))
+        .spawn(f)
+        .expect("spawn background job thread");
+    JobHandle { label, handle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn job_runs_and_joins() {
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        let job = spawn_job("test", move || {
+            flag.store(true, Ordering::SeqCst);
+            41 + 1
+        });
+        assert_eq!(job.join(), 42);
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn is_finished_eventually_true() {
+        let job = spawn_job("quick", || ());
+        while !job.is_finished() {
+            std::thread::yield_now();
+        }
+        job.join();
+    }
+
+    #[test]
+    #[should_panic(expected = "job panic propagates")]
+    fn join_reraises_the_job_panic() {
+        spawn_job("boom", || panic!("job panic propagates")).join();
+    }
+}

@@ -40,7 +40,9 @@
 //! bound depends on the threshold's history.
 
 mod batch;
+mod job;
 mod pool;
 
 pub use batch::{merge_neighbors, merge_neighbors_filtered, parallel_block_search, BatchSearcher};
+pub use job::{spawn_job, JobHandle};
 pub use pool::{hardware_threads, resolve_threads, ThreadPool, THREADS_ENV};

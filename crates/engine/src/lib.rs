@@ -323,7 +323,7 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let (n, d, k) = (120, 6, 4);
         let rows = random_rows(n, d, 21);
-        let mut coll = Collection::create(
+        let coll = Collection::create(
             &dir,
             d,
             StoreConfig {

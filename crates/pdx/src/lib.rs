@@ -118,12 +118,15 @@
 //! tombstone sealed rows, and `compact()` rewrites the survivors —
 //! all served through the same [`prelude::VectorIndex`] trait (and, for
 //! persistent collections, crash-safe via a WAL and a `PDX3` manifest
-//! that [`prelude::AnyIndex::open`] sniffs).
+//! that [`prelude::AnyIndex::open`] sniffs). Collections are safe to
+//! share across threads: reads run lock-free against immutable
+//! snapshots, and sealing/compaction can run as background jobs
+//! (`compact_background()`) concurrently with reads and writes.
 //!
 //! ```
 //! use pdx::prelude::*;
 //!
-//! let mut coll = Collection::in_memory(2, StoreConfig::default());
+//! let coll = Collection::in_memory(2, StoreConfig::default());
 //! for i in 0..100u64 {
 //!     coll.insert(i, &[i as f32, 0.0])?;
 //! }
@@ -183,5 +186,8 @@ pub mod prelude {
         FlatPdx, FlatSq8, Hnsw, HnswParams, IvfHorizontal, IvfIndex, IvfPdx, IvfSq8, KMeans,
     };
     pub use pdx_pruners::{AdSampling, Bsa, BsaLearned};
-    pub use pdx_store::{Collection, SegmentStat, StoreConfig, StoreError, WriteBuffer};
+    pub use pdx_store::{
+        Collection, GroupCommit, MaintenanceJob, SegmentStat, Snapshot, StoreConfig, StoreError,
+        WriteBuffer,
+    };
 }

@@ -1,26 +1,59 @@
 //! The in-memory write buffer: the mutable head of a collection.
+//!
+//! The buffer is chunked and persistent (in the data-structure sense):
+//! rows live in immutable reference-counted chunks, only the tail chunk
+//! is ever mutated, and mutation goes through [`Arc::make_mut`] — so a
+//! [`BufferSnapshot`] taken at any point keeps observing exactly the
+//! rows it saw, for free, while the writer keeps appending. Deletes are
+//! logical (a shared dead-id set) and are physically purged when the
+//! buffer is sealed or when dead rows start to dominate.
 
 use crate::StoreError;
 use pdx_core::distance::Metric;
 use pdx_core::heap::{KnnHeap, Neighbor};
 use pdx_core::kernels::{nary_distance, KernelVariant};
-use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Rows per buffer chunk. Small enough that the copy-on-write tail
+/// clone after a snapshot stays cheap, large enough that a snapshot of
+/// a full buffer is a short `Vec` of `Arc`s.
+const CHUNK_ROWS: usize = 32;
+
+/// One immutable run of buffered rows (ids parallel to row data).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BufChunk {
+    pub(crate) ids: Vec<u64>,
+    pub(crate) rows: Vec<f32>,
+}
+
+impl BufChunk {
+    pub(crate) fn row(&self, pos: usize, dims: usize) -> &[f32] {
+        &self.rows[pos * dims..(pos + 1) * dims]
+    }
+}
 
 /// An append buffer of `(external id, vector)` pairs, searched by exact
 /// linear scan.
 ///
 /// The buffer is the only mutable part of a
 /// [`Collection`](crate::Collection): inserts append here (after being
-/// logged to the WAL), deletes of buffered rows remove in place, and a
-/// seal drains the whole buffer — sorted by external id — into an
-/// immutable segment.
+/// logged to the WAL), deletes of buffered rows hide them in place, and
+/// a seal drains the whole buffer — sorted by external id — into an
+/// immutable segment. [`WriteBuffer::snapshot`] captures the current
+/// contents as an immutable view that stays valid while the buffer
+/// keeps mutating.
 #[derive(Debug, Clone, Default)]
 pub struct WriteBuffer {
     dims: usize,
-    ids: Vec<u64>,
-    rows: Vec<f32>,
-    /// External id → position in `ids`/`rows`.
-    index: HashMap<u64, usize>,
+    /// Full immutable chunks, oldest first.
+    full: Vec<Arc<BufChunk>>,
+    /// The growing tail chunk (copy-on-write once snapshotted).
+    tail: Arc<BufChunk>,
+    /// Ids logically deleted but still physically present in a chunk.
+    dead: Arc<HashSet<u64>>,
+    /// Live buffered ids.
+    live: HashSet<u64>,
 }
 
 impl WriteBuffer {
@@ -32,9 +65,10 @@ impl WriteBuffer {
         assert!(dims > 0, "dims must be positive");
         Self {
             dims,
-            ids: Vec::new(),
-            rows: Vec::new(),
-            index: HashMap::new(),
+            full: Vec::new(),
+            tail: Arc::new(BufChunk::default()),
+            dead: Arc::new(HashSet::new()),
+            live: HashSet::new(),
         }
     }
 
@@ -43,19 +77,19 @@ impl WriteBuffer {
         self.dims
     }
 
-    /// Number of buffered vectors.
+    /// Number of buffered (live) vectors.
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.live.len()
     }
 
-    /// Whether the buffer holds no vectors.
+    /// Whether the buffer holds no live vectors.
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.live.is_empty()
     }
 
-    /// Whether `id` is buffered.
+    /// Whether `id` is buffered (live).
     pub fn contains(&self, id: u64) -> bool {
-        self.index.contains_key(&id)
+        self.live.contains(&id)
     }
 
     /// Appends one vector under an external id.
@@ -71,32 +105,83 @@ impl WriteBuffer {
                 got: vector.len(),
             });
         }
-        if self.index.contains_key(&id) {
+        if self.live.contains(&id) {
             return Err(StoreError::DuplicateId(id));
         }
-        self.index.insert(id, self.ids.len());
-        self.ids.push(id);
-        self.rows.extend_from_slice(vector);
+        // A re-insert of a logically deleted id must not leave two
+        // physical rows with the same id behind a snapshot-visible
+        // chunk, so drop the dead rows first (rare path).
+        if self.dead.contains(&id) {
+            self.purge_dead();
+        }
+        if self.tail.ids.len() >= CHUNK_ROWS {
+            let sealed = std::mem::take(&mut self.tail);
+            self.full.push(sealed);
+        }
+        let tail = Arc::make_mut(&mut self.tail);
+        tail.ids.push(id);
+        tail.rows.extend_from_slice(vector);
+        self.live.insert(id);
         Ok(())
     }
 
-    /// Removes a buffered vector (swap-remove; buffer order is not
-    /// observable — scans use the canonical heap and seals sort by id).
+    /// Removes a buffered vector (logically; the row is hidden from
+    /// scans and snapshots immediately and physically dropped at the
+    /// next seal or purge).
     ///
     /// # Errors
     /// [`StoreError::NotFound`] if the id is not buffered.
     pub fn remove(&mut self, id: u64) -> Result<(), StoreError> {
-        let pos = self.index.remove(&id).ok_or(StoreError::NotFound(id))?;
-        let last = self.ids.len() - 1;
-        self.ids.swap_remove(pos);
-        // Move the last row into the vacated slot, then truncate.
-        if pos != last {
-            let (head, tail) = self.rows.split_at_mut(last * self.dims);
-            head[pos * self.dims..(pos + 1) * self.dims].copy_from_slice(&tail[..self.dims]);
-            self.index.insert(self.ids[pos], pos);
+        if !self.live.remove(&id) {
+            return Err(StoreError::NotFound(id));
         }
-        self.rows.truncate(last * self.dims);
+        Arc::make_mut(&mut self.dead).insert(id);
+        // Keep memory bounded when deletes dominate: once dead rows
+        // outnumber live ones, rebuild the chunks without them.
+        if self.dead.len() >= CHUNK_ROWS * 2 && self.dead.len() > self.live.len() {
+            self.purge_dead();
+        }
         Ok(())
+    }
+
+    /// Rebuilds the chunks without the logically deleted rows.
+    fn purge_dead(&mut self) {
+        if self.dead.is_empty() {
+            return;
+        }
+        let entries: Vec<(u64, Vec<f32>)> = self
+            .iter_rows()
+            .filter(|(id, _)| self.live.contains(id))
+            .map(|(id, row)| (id, row.to_vec()))
+            .collect();
+        self.full.clear();
+        self.tail = Arc::new(BufChunk::default());
+        self.dead = Arc::new(HashSet::new());
+        for (id, row) in entries {
+            if self.tail.ids.len() >= CHUNK_ROWS {
+                let sealed = std::mem::take(&mut self.tail);
+                self.full.push(sealed);
+            }
+            let tail = Arc::make_mut(&mut self.tail);
+            tail.ids.push(id);
+            tail.rows.extend_from_slice(&row);
+        }
+    }
+
+    /// All physical rows, in chunk order (including logically deleted
+    /// ones — callers filter against `live`/`dead` as appropriate).
+    fn iter_rows(&self) -> impl Iterator<Item = (u64, &[f32])> {
+        let dims = self.dims;
+        self.full
+            .iter()
+            .chain(std::iter::once(&self.tail))
+            .flat_map(move |chunk| {
+                chunk
+                    .ids
+                    .iter()
+                    .enumerate()
+                    .map(move |(pos, &id)| (id, chunk.row(pos, dims)))
+            })
     }
 
     /// Exact linear scan: the canonical top-`k` of the buffered vectors
@@ -108,36 +193,154 @@ impl WriteBuffer {
         metric: Metric,
         variant: KernelVariant,
     ) -> Vec<Neighbor> {
-        if self.ids.is_empty() {
+        if self.live.is_empty() {
             return Vec::new();
         }
         let mut heap = KnnHeap::new(k);
-        for (pos, &id) in self.ids.iter().enumerate() {
-            let row = &self.rows[pos * self.dims..(pos + 1) * self.dims];
+        for (id, row) in self.iter_rows() {
+            if !self.dead.is_empty() && self.dead.contains(&id) {
+                continue;
+            }
             heap.push(id, nary_distance(metric, variant, query, row));
         }
         heap.into_sorted()
     }
 
-    /// The buffered entries sorted by external id: the seal order, which
-    /// keeps every segment's remap table monotone so local and external
-    /// `(distance, id)` tie orders agree.
+    /// The live buffered entries sorted by external id: the seal order,
+    /// which keeps every segment's remap table monotone so local and
+    /// external `(distance, id)` tie orders agree.
     pub fn entries_sorted(&self) -> (Vec<u64>, Vec<f32>) {
-        let mut order: Vec<usize> = (0..self.ids.len()).collect();
-        order.sort_unstable_by_key(|&pos| self.ids[pos]);
-        let ids: Vec<u64> = order.iter().map(|&pos| self.ids[pos]).collect();
-        let mut rows = Vec::with_capacity(self.rows.len());
-        for &pos in &order {
-            rows.extend_from_slice(&self.rows[pos * self.dims..(pos + 1) * self.dims]);
+        let mut entries: Vec<(u64, &[f32])> = self
+            .iter_rows()
+            .filter(|(id, _)| self.live.contains(id))
+            .collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        let ids: Vec<u64> = entries.iter().map(|&(id, _)| id).collect();
+        let mut rows = Vec::with_capacity(ids.len() * self.dims);
+        for (_, row) in entries {
+            rows.extend_from_slice(row);
         }
         (ids, rows)
     }
 
     /// Drops all buffered entries (after a seal consumed them).
     pub fn clear(&mut self) {
-        self.ids.clear();
-        self.rows.clear();
-        self.index.clear();
+        self.full.clear();
+        self.tail = Arc::new(BufChunk::default());
+        self.dead = Arc::new(HashSet::new());
+        self.live.clear();
+    }
+
+    /// The live entries, in chunk order (the WAL re-log order at a
+    /// maintenance commit).
+    pub(crate) fn live_entries(&self) -> impl Iterator<Item = (u64, &[f32])> {
+        self.iter_rows().filter(|(id, _)| self.live.contains(id))
+    }
+
+    /// Freezes the current live contents for sealing: physically purges
+    /// logically deleted rows, hands the chunk list to the caller, and
+    /// leaves the buffer empty. The returned chunks are immutable and
+    /// hold live rows only.
+    pub(crate) fn freeze(&mut self) -> Vec<Arc<BufChunk>> {
+        self.purge_dead();
+        let mut chunks = std::mem::take(&mut self.full);
+        let tail = std::mem::take(&mut self.tail);
+        if !tail.ids.is_empty() {
+            chunks.push(tail);
+        }
+        self.live.clear();
+        chunks
+    }
+
+    /// An immutable view of the current contents. The snapshot keeps
+    /// observing exactly the rows (and deletions) visible now, no
+    /// matter how the buffer mutates afterwards; taking one costs a
+    /// handful of `Arc` clones plus one tail-chunk copy-on-write at the
+    /// next append.
+    pub fn snapshot(&self) -> BufferSnapshot {
+        let mut chunks = self.full.clone();
+        if !self.tail.ids.is_empty() {
+            chunks.push(Arc::clone(&self.tail));
+        }
+        BufferSnapshot {
+            dims: self.dims,
+            chunks,
+            dead: Arc::clone(&self.dead),
+            live: self.live.len(),
+        }
+    }
+}
+
+/// An immutable point-in-time view of a [`WriteBuffer`].
+///
+/// Snapshots share chunk storage with the buffer (and with each other);
+/// they are cheap to clone and are `Send + Sync`.
+#[derive(Debug, Clone, Default)]
+pub struct BufferSnapshot {
+    dims: usize,
+    chunks: Vec<Arc<BufChunk>>,
+    dead: Arc<HashSet<u64>>,
+    live: usize,
+}
+
+impl BufferSnapshot {
+    /// Assembles a view from raw parts (crate-internal: used for the
+    /// frozen buffer section of an in-flight seal).
+    pub(crate) fn from_parts(
+        dims: usize,
+        chunks: Vec<Arc<BufChunk>>,
+        dead: Arc<HashSet<u64>>,
+        live: usize,
+    ) -> Self {
+        Self {
+            dims,
+            chunks,
+            dead,
+            live,
+        }
+    }
+
+    /// Number of live rows in the view.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the view holds no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The live entries of the view, in chunk order.
+    pub(crate) fn live_entries(&self) -> impl Iterator<Item = (u64, &[f32])> {
+        let dims = self.dims;
+        let dead = &self.dead;
+        self.chunks.iter().flat_map(move |chunk| {
+            chunk
+                .ids
+                .iter()
+                .enumerate()
+                .filter(move |(_, id)| !dead.contains(id))
+                .map(move |(pos, &id)| (id, chunk.row(pos, dims)))
+        })
+    }
+
+    /// Exact linear scan: the canonical top-`k` of the view's live rows
+    /// by `(distance, external id)`.
+    pub fn scan(
+        &self,
+        query: &[f32],
+        k: usize,
+        metric: Metric,
+        variant: KernelVariant,
+    ) -> Vec<Neighbor> {
+        if self.live == 0 {
+            return Vec::new();
+        }
+        let mut heap = KnnHeap::new(k);
+        for (id, row) in self.live_entries() {
+            heap.push(id, nary_distance(metric, variant, query, row));
+        }
+        heap.into_sorted()
     }
 }
 
@@ -193,5 +396,70 @@ mod tests {
         let (ids, rows) = buf.entries_sorted();
         assert_eq!(ids, vec![1, 2, 5]);
         assert_eq!(rows, vec![1.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn snapshot_is_immune_to_later_mutation() {
+        let mut buf = WriteBuffer::new(1);
+        for id in 0..100u64 {
+            buf.append(id, &[id as f32]).unwrap();
+        }
+        let snap = buf.snapshot();
+        assert_eq!(snap.len(), 100);
+
+        // Mutate the buffer heavily after the snapshot.
+        for id in 0..50u64 {
+            buf.remove(id).unwrap();
+        }
+        for id in 200..260u64 {
+            buf.append(id, &[id as f32]).unwrap();
+        }
+        buf.remove(203).unwrap();
+
+        // The snapshot still sees exactly the original 100 rows.
+        assert_eq!(snap.len(), 100);
+        let hits = snap.scan(&[0.0], 3, Metric::L2, KernelVariant::Scalar);
+        let ids: Vec<u64> = hits.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let mut ids: Vec<u64> = snap.live_entries().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<u64>>());
+
+        // And the buffer sees the new state.
+        assert_eq!(buf.len(), 109);
+        assert!(!buf.contains(3));
+        assert!(buf.contains(204));
+    }
+
+    #[test]
+    fn reinsert_after_buffer_delete_keeps_one_physical_row() {
+        let mut buf = WriteBuffer::new(1);
+        buf.append(1, &[1.0]).unwrap();
+        buf.append(2, &[2.0]).unwrap();
+        buf.remove(1).unwrap();
+        buf.append(1, &[10.0]).unwrap();
+        assert_eq!(buf.len(), 2);
+        let hits = buf.scan(&[10.0], 2, Metric::L2, KernelVariant::Scalar);
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[0].distance, 0.0);
+        let (ids, rows) = buf.entries_sorted();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(rows, vec![10.0, 2.0]);
+    }
+
+    #[test]
+    fn heavy_deletes_purge_physical_rows() {
+        let mut buf = WriteBuffer::new(1);
+        for id in 0..256u64 {
+            buf.append(id, &[id as f32]).unwrap();
+        }
+        for id in 0..200u64 {
+            buf.remove(id).unwrap();
+        }
+        assert_eq!(buf.len(), 56);
+        let (ids, _) = buf.entries_sorted();
+        assert_eq!(ids, (200..256).collect::<Vec<u64>>());
+        // The purge heuristic kicked in: dead rows were dropped.
+        assert!(buf.dead.len() < 200);
     }
 }

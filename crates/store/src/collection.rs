@@ -1,19 +1,70 @@
 //! The mutable collection: write buffer + sealed segments + tombstones,
 //! served through [`VectorIndex`] and persisted crash-safely.
+//!
+//! ## Concurrency model
+//!
+//! A [`Collection`] is two halves:
+//!
+//! * an immutable **read view** — one [`Snapshot`] behind an
+//!   atomically-swapped `Arc`. Every search clones the `Arc` (readers
+//!   never block on writers, writers never wait for readers) and runs
+//!   against a frozen, internally consistent state.
+//! * a mutex-guarded **writer half** — the WAL, the write buffer, the
+//!   segment list, tombstones, and the manifest bookkeeping. Every
+//!   mutation ends by publishing a fresh snapshot.
+//!
+//! Sealing and compaction share one *freeze → build → commit* path: the
+//! buffer's rows are frozen under the writer lock (staying searchable
+//! as the snapshot's "sealing" section), the new segment is built and
+//! written **without** holding the writer lock, and the result commits
+//! by swapping the segment set, tombstones, manifest, and WAL
+//! generation in one short critical section. Run it inline
+//! ([`Collection::seal`]/[`Collection::compact`]) or as a background
+//! job on a [`pdx_core::exec`] thread
+//! ([`Collection::seal_background`]/[`Collection::compact_background`]);
+//! reads keep flowing either way, and writes keep landing in the buffer
+//! during a background build.
+//!
+//! ## Durable commit protocol
+//!
+//! A maintenance commit makes the *new* state durable before the
+//! manifest points at it:
+//!
+//! 1. the new segment's files are written and fsynced;
+//! 2. a fresh WAL generation is created and the rows still buffered in
+//!    memory are re-logged into it and fsynced;
+//! 3. the manifest — naming the new segment list, tombstones, and WAL
+//!    generation — is atomically renamed into place (the commit point);
+//! 4. only then are the old WAL generation and replaced segment files
+//!    deleted.
+//!
+//! A failure (or crash) anywhere before step 3 leaves the previous
+//! manifest + WAL generation fully intact, so no acknowledged write is
+//! ever lost to a failed rotation; the half-created files are orphans
+//! that [`Collection::open`] cleans up.
 
-use crate::manifest::{wal_file, Manifest};
+use crate::buffer::{BufChunk, BufferSnapshot};
+use crate::manifest::{segment_file, segment_ids_file, wal_file, Manifest};
+use crate::snapshot::{SegmentView, Snapshot, TombstoneSet};
 use crate::wal::{Wal, WalRecord};
 use crate::{Segment, StoreConfig, StoreError, WriteBuffer};
-use pdx_core::engine::{SearchOptions, SearchSegment, SegmentedSearch, VectorIndex};
+use pdx_core::engine::{SearchOptions, VectorIndex};
+use pdx_core::exec::{spawn_job, JobHandle};
 use pdx_core::heap::Neighbor;
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Where a live external id currently resides.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Loc {
     /// In the write buffer.
     Buffer,
+    /// Frozen by an in-flight seal/compaction (still served from
+    /// memory; becomes a segment row at the commit).
+    Sealing,
     /// In `segments[i]`.
     Segment(usize),
 }
@@ -31,15 +82,239 @@ pub struct SegmentStat {
     pub dead: usize,
 }
 
-/// An LSM-style mutable vector collection.
+/// The WAL group-commit policy: when appends are forced to stable
+/// storage. Runtime-only (not persisted in the manifest).
+///
+/// The default (no count, no interval) keeps the store's original
+/// semantics: appends are flushed to the OS per record and fsynced only
+/// at [`Collection::sync`] and at every seal/compaction commit. Setting
+/// `sync_every`/`sync_interval` *bounds the power-loss window* — at
+/// most that many acknowledged records (or that much wall-clock time)
+/// can be torn away by a power cut, at the cost of periodic fsyncs on
+/// the write path. Process crashes lose nothing either way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommit {
+    /// Fsync after this many appended records (`0` disables the count
+    /// trigger).
+    pub sync_every: usize,
+    /// Fsync at the first append after this much time since the last
+    /// sync (`None` disables the time trigger).
+    pub sync_interval: Option<Duration>,
+}
+
+/// A handle to one background seal/compaction spawned by
+/// [`Collection::seal_background`] / [`Collection::compact_background`].
+///
+/// Dropping the handle detaches the job; it still commits (or fails)
+/// on its own, but its result can no longer be observed.
+#[derive(Debug)]
+pub struct MaintenanceJob {
+    handle: JobHandle<Result<(), StoreError>>,
+}
+
+impl MaintenanceJob {
+    /// What the job does (`"seal"` or `"compact"`).
+    pub fn kind(&self) -> &'static str {
+        self.handle.label()
+    }
+
+    /// Whether the job has finished (a `wait` will not block).
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Blocks until the job commits (or fails) and returns its result.
+    pub fn wait(self) -> Result<(), StoreError> {
+        self.handle.join()
+    }
+}
+
+/// Releases the collection's exclusive maintenance claim (and the
+/// background-job count) when the holding operation ends, however it
+/// ends.
+#[derive(Debug)]
+struct MaintenanceClaim {
+    claimed: Arc<AtomicBool>,
+    background: Option<Arc<AtomicUsize>>,
+}
+
+impl Drop for MaintenanceClaim {
+    fn drop(&mut self) {
+        if let Some(jobs) = &self.background {
+            jobs.fetch_sub(1, Ordering::AcqRel);
+        }
+        self.claimed.store(false, Ordering::Release);
+    }
+}
+
+/// Which maintenance operation a freeze→build→commit cycle performs.
+#[derive(Debug, Clone, Copy)]
+enum MaintKind {
+    /// Seal the frozen buffer rows into one new segment.
+    Seal,
+    /// Rewrite the frozen buffer rows *and* every sealed segment, minus
+    /// the tombstones captured at the freeze, into one new segment.
+    Compact,
+}
+
+/// Buffer rows frozen by an in-flight seal/compaction: immutable chunks
+/// plus the ids deleted since (or before) the freeze. The rows stay
+/// searchable from here until the commit swaps them into a segment.
+#[derive(Debug)]
+struct SealingBuffer {
+    chunks: Vec<Arc<BufChunk>>,
+    /// Frozen ids that are logically deleted (copy-on-write; shared
+    /// with published snapshots).
+    dead: Arc<HashSet<u64>>,
+    /// Physical rows across `chunks`.
+    total: usize,
+}
+
+impl SealingBuffer {
+    fn view(&self, dims: usize) -> BufferSnapshot {
+        BufferSnapshot::from_parts(
+            dims,
+            self.chunks.clone(),
+            Arc::clone(&self.dead),
+            self.total - self.dead.len(),
+        )
+    }
+}
+
+/// One frozen maintenance work order: everything the build phase needs
+/// without touching the writer lock.
+#[derive(Debug)]
+struct MaintPlan {
+    /// The frozen buffer rows (live at freeze time, minus `dead0`).
+    frozen_chunks: Vec<Arc<BufChunk>>,
+    /// Frozen ids already deleted *at* the freeze (rows excluded from
+    /// the build; left over from an earlier failed commit).
+    dead0: HashSet<u64>,
+    /// Segments being rewritten (empty for a plain seal).
+    segments_in: Vec<Arc<Segment>>,
+    /// Tombstones being purged (captured at the freeze).
+    t0: TombstoneSet,
+    /// Reserved sequence number of the new segment.
+    seq: u64,
+}
+
+/// The mutex-guarded writer half of a collection.
+#[derive(Debug)]
+struct Writer {
+    buffer: WriteBuffer,
+    segments: Vec<Arc<Segment>>,
+    /// Tombstoned-row count per segment (parallel to `segments`).
+    seg_dead: Vec<usize>,
+    /// External ids deleted from sealed segments, filtered at merge
+    /// time and purged at compaction.
+    tombstones: TombstoneSet,
+    /// Live external id → current residence.
+    locations: HashMap<u64, Loc>,
+    /// Frozen buffer rows of an in-flight (or failed) seal/compaction.
+    sealing: Option<SealingBuffer>,
+    wal: Option<Wal>,
+    wal_seq: u64,
+    next_segment_seq: u64,
+    group_commit: GroupCommit,
+    /// Records appended since the last fsync.
+    unsynced: usize,
+    last_sync: Instant,
+}
+
+impl Writer {
+    fn new(dims: usize) -> Self {
+        Self {
+            buffer: WriteBuffer::new(dims),
+            segments: Vec::new(),
+            seg_dead: Vec::new(),
+            tombstones: TombstoneSet::default(),
+            locations: HashMap::new(),
+            sealing: None,
+            wal: None,
+            wal_seq: 0,
+            next_segment_seq: 0,
+            group_commit: GroupCommit::default(),
+            unsynced: 0,
+            last_sync: Instant::now(),
+        }
+    }
+
+    /// Whether `id` is unavailable for insertion: live, tombstoned, or
+    /// deleted from an in-flight sealing section (those rows become
+    /// tombstones at the commit).
+    fn is_reserved(&self, id: u64) -> bool {
+        self.locations.contains_key(&id)
+            || self.tombstones.contains(id)
+            || self.sealing.as_ref().is_some_and(|s| s.dead.contains(&id))
+    }
+
+    /// Validation shared by [`Collection::insert`] and WAL replay.
+    fn check_insert(&self, id: u64, vector: &[f32]) -> Result<(), StoreError> {
+        if vector.len() != self.buffer.dims() {
+            return Err(StoreError::DimsMismatch {
+                expected: self.buffer.dims(),
+                got: vector.len(),
+            });
+        }
+        if self.is_reserved(id) {
+            return Err(StoreError::DuplicateId(id));
+        }
+        Ok(())
+    }
+
+    /// Memory-only insert with re-validation (the WAL replay path — a
+    /// duplicate in the log is corruption, not a caller bug).
+    fn apply_insert(&mut self, id: u64, vector: &[f32]) -> Result<(), StoreError> {
+        self.check_insert(id, vector)?;
+        self.buffer.append(id, vector)?;
+        self.locations.insert(id, Loc::Buffer);
+        Ok(())
+    }
+
+    /// Memory-only delete (the WAL record is already durable).
+    fn apply_delete(&mut self, id: u64) -> Result<(), StoreError> {
+        match self.locations.get(&id).copied() {
+            None => Err(StoreError::NotFound(id)),
+            Some(Loc::Buffer) => {
+                self.buffer.remove(id)?;
+                self.locations.remove(&id);
+                Ok(())
+            }
+            Some(Loc::Sealing) => {
+                let sealing = self
+                    .sealing
+                    .as_mut()
+                    .expect("sealing rows without a freeze");
+                Arc::make_mut(&mut sealing.dead).insert(id);
+                self.locations.remove(&id);
+                Ok(())
+            }
+            Some(Loc::Segment(si)) => {
+                self.tombstones.insert(id);
+                self.seg_dead[si] += 1;
+                self.locations.remove(&id);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// An LSM-style mutable vector collection, safe to share across
+/// threads.
 ///
 /// Inserts land in an in-memory [`WriteBuffer`] (after a WAL append
 /// when persistent) and seal into immutable [`Segment`]s; deletes
 /// remove buffered rows in place and tombstone sealed rows; searches
-/// merge the buffer scan with every segment's PDXearch through the
-/// canonical `(distance, id)` order; [`Collection::compact`] rewrites
-/// the surviving rows as one fresh segment. See the crate docs for the
-/// on-disk layout and crash-safety invariants.
+/// run lock-free against the current [`Snapshot`], merging the buffer
+/// scan with every segment's PDXearch through the canonical
+/// `(distance, id)` order; [`Collection::compact`] rewrites the
+/// surviving rows as one fresh segment — inline, or concurrently with
+/// reads *and* writes via [`Collection::compact_background`]. See the
+/// module docs for the concurrency model and the crate docs for the
+/// on-disk layout.
+///
+/// All mutating operations take `&self` (the writer half is behind a
+/// mutex), so one `Arc<Collection>` serves readers and writers alike.
 ///
 /// A deleted external id stays **reserved** until compaction purges its
 /// physical row: re-inserting it before then returns
@@ -49,7 +324,7 @@ pub struct SegmentStat {
 /// use pdx_store::{Collection, StoreConfig};
 /// use pdx_core::engine::{SearchOptions, VectorIndex};
 ///
-/// let mut coll = Collection::in_memory(2, StoreConfig::default());
+/// let coll = Collection::in_memory(2, StoreConfig::default());
 /// coll.insert(7, &[0.0, 0.0])?;
 /// coll.insert(9, &[1.0, 0.0])?;
 /// let hits = coll.search(&[0.1, 0.0], &SearchOptions::new(1));
@@ -63,18 +338,15 @@ pub struct SegmentStat {
 pub struct Collection {
     dims: usize,
     config: StoreConfig,
-    buffer: WriteBuffer,
-    segments: Vec<Segment>,
-    /// External ids deleted from sealed segments, filtered at merge
-    /// time and purged at compaction.
-    tombstones: HashSet<u64>,
-    /// Live external id → current residence.
-    locations: HashMap<u64, Loc>,
     /// Persistence root; `None` for an in-memory collection.
     dir: Option<PathBuf>,
-    wal: Option<Wal>,
-    wal_seq: u64,
-    next_segment_seq: u64,
+    /// The current read view; swapped atomically at every publication.
+    view: RwLock<Arc<Snapshot>>,
+    writer: Mutex<Writer>,
+    /// Exclusive seal/compaction claim (one maintenance op at a time).
+    claim: Arc<AtomicBool>,
+    /// Background maintenance jobs currently in flight.
+    background_jobs: Arc<AtomicUsize>,
 }
 
 impl Collection {
@@ -89,17 +361,19 @@ impl Collection {
             config.block_size > 0 && config.group_size > 0 && config.buffer_capacity > 0,
             "config knobs must be positive"
         );
+        Self::assemble(dims, config, None, Writer::new(dims))
+    }
+
+    fn assemble(dims: usize, config: StoreConfig, dir: Option<PathBuf>, writer: Writer) -> Self {
+        let initial = Arc::new(Self::snapshot_of(dims, &writer));
         Self {
             dims,
             config,
-            buffer: WriteBuffer::new(dims),
-            segments: Vec::new(),
-            tombstones: HashSet::new(),
-            locations: HashMap::new(),
-            dir: None,
-            wal: None,
-            wal_seq: 0,
-            next_segment_seq: 0,
+            dir,
+            view: RwLock::new(initial),
+            writer: Mutex::new(writer),
+            claim: Arc::new(AtomicBool::new(false)),
+            background_jobs: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -122,16 +396,22 @@ impl Collection {
                 format!("{}: collection already exists", dir.display()),
             )));
         }
-        let mut coll = Self::in_memory(dims, config);
-        coll.manifest().write_atomic(dir)?;
-        coll.wal = Some(Wal::create(&dir.join(wal_file(0)), dims)?);
-        coll.dir = Some(dir.to_path_buf());
-        Ok(coll)
+        let coll = Self::in_memory(dims, config);
+        {
+            let mut w = coll.writer.lock().expect("writer lock");
+            Self::manifest_of(dims, config, &w).write_atomic(dir)?;
+            w.wal = Some(Wal::create(&dir.join(wal_file(0)), dims)?);
+        }
+        Ok(Self {
+            dir: Some(dir.to_path_buf()),
+            ..coll
+        })
     }
 
     /// Opens a persistent collection: loads the manifest and segments,
-    /// applies the tombstones, and replays the WAL (with torn-tail
-    /// truncation) to rebuild the write buffer.
+    /// applies the tombstones, cleans up orphaned files (segments or
+    /// WAL generations a failed commit left behind), and replays the
+    /// WAL (with torn-tail truncation) to rebuild the write buffer.
     ///
     /// # Errors
     /// [`StoreError::Corrupt`] on invariant violations (a tombstone for
@@ -140,26 +420,28 @@ impl Collection {
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
         let dir = dir.as_ref();
         let manifest = Manifest::read(dir)?;
-        let mut coll = Self::in_memory(manifest.dims, manifest.config);
-        coll.wal_seq = manifest.wal_seq;
-        coll.next_segment_seq = manifest.next_segment_seq;
+        clean_orphans(dir, &manifest);
+        let mut w = Writer::new(manifest.dims);
+        w.wal_seq = manifest.wal_seq;
+        w.next_segment_seq = manifest.next_segment_seq;
         for &seq in &manifest.segments {
             let segment = Segment::load(dir, seq, manifest.dims)?;
-            let si = coll.segments.len();
+            let si = w.segments.len();
             for &ext in segment.remap() {
-                if coll.locations.insert(ext, Loc::Segment(si)).is_some() {
+                if w.locations.insert(ext, Loc::Segment(si)).is_some() {
                     return Err(StoreError::Corrupt(format!(
                         "external id {ext} appears in two segments"
                     )));
                 }
             }
-            coll.segments.push(segment);
+            w.segments.push(Arc::new(segment));
+            w.seg_dead.push(0);
         }
         for &id in &manifest.tombstones {
-            match coll.locations.remove(&id) {
+            match w.locations.remove(&id) {
                 Some(Loc::Segment(si)) => {
-                    coll.segments[si].note_dead();
-                    coll.tombstones.insert(id);
+                    w.seg_dead[si] += 1;
+                    w.tombstones.insert(id);
                 }
                 _ => {
                     return Err(StoreError::Corrupt(format!(
@@ -173,14 +455,18 @@ impl Collection {
             // Replay mutates memory only — the records are already
             // durable — and surfaces violations as corruption.
             let replayed = match record {
-                WalRecord::Insert { id, vector } => coll.apply_insert(id, &vector),
-                WalRecord::Delete { id } => coll.apply_delete(id),
+                WalRecord::Insert { id, vector } => w.apply_insert(id, &vector),
+                WalRecord::Delete { id } => w.apply_delete(id),
             };
             replayed.map_err(|e| StoreError::Corrupt(format!("wal replay: {e}")))?;
         }
-        coll.wal = Some(wal);
-        coll.dir = Some(dir.to_path_buf());
-        Ok(coll)
+        w.wal = Some(wal);
+        Ok(Self::assemble(
+            manifest.dims,
+            manifest.config,
+            Some(dir.to_path_buf()),
+            w,
+        ))
     }
 
     /// Dimensionality of the collection.
@@ -193,24 +479,75 @@ impl Collection {
         &self.config
     }
 
-    /// Number of live (inserted and not deleted) vectors.
-    pub fn live_len(&self) -> usize {
-        self.locations.len()
+    /// The current read view: an immutable, internally consistent
+    /// snapshot that stays searchable (and bit-stable) no matter what
+    /// the writer does afterwards. Every `Collection` search is
+    /// `self.snapshot()` + the snapshot's search; take one explicitly
+    /// to pin a whole multi-query session to one state.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.view.read().expect("view lock"))
     }
 
-    /// Number of vectors currently in the write buffer.
+    /// Publishes the writer's current state as the new read view.
+    fn publish(&self, w: &Writer) {
+        let snap = Arc::new(Self::snapshot_of(self.dims, w));
+        *self.view.write().expect("view lock") = snap;
+    }
+
+    fn snapshot_of(dims: usize, w: &Writer) -> Snapshot {
+        Snapshot::new(
+            dims,
+            w.segments
+                .iter()
+                .zip(&w.seg_dead)
+                .map(|(segment, &dead)| SegmentView {
+                    segment: Arc::clone(segment),
+                    dead,
+                })
+                .collect(),
+            w.tombstones.clone(),
+            w.sealing.as_ref().map(|s| s.view(dims)),
+            w.buffer.snapshot(),
+            w.locations.len(),
+        )
+    }
+
+    fn manifest_of(dims: usize, config: StoreConfig, w: &Writer) -> Manifest {
+        Manifest {
+            dims,
+            config,
+            wal_seq: w.wal_seq,
+            next_segment_seq: w.next_segment_seq,
+            segments: w.segments.iter().map(|s| s.seq()).collect(),
+            tombstones: w.tombstones.to_sorted_vec(),
+        }
+    }
+
+    fn lock_writer(&self) -> std::sync::MutexGuard<'_, Writer> {
+        self.writer.lock().expect("writer lock")
+    }
+
+    /// Number of live (inserted and not deleted) vectors.
+    pub fn live_len(&self) -> usize {
+        self.snapshot().live_len()
+    }
+
+    /// Number of vectors currently buffered in memory (the write buffer
+    /// plus any rows frozen by an in-flight seal/compaction).
     pub fn buffer_len(&self) -> usize {
-        self.buffer.len()
+        let w = self.lock_writer();
+        let sealing = w.sealing.as_ref().map_or(0, |s| s.total - s.dead.len());
+        w.buffer.len() + sealing
     }
 
     /// Number of sealed segments.
     pub fn segment_count(&self) -> usize {
-        self.segments.len()
+        self.lock_writer().segments.len()
     }
 
     /// Number of tombstoned (deleted but not yet compacted) rows.
     pub fn tombstone_count(&self) -> usize {
-        self.tombstones.len()
+        self.lock_writer().tombstones.len()
     }
 
     /// Whether the collection persists to a directory.
@@ -220,18 +557,57 @@ impl Collection {
 
     /// Current WAL generation (persistent collections).
     pub fn wal_seq(&self) -> u64 {
-        self.wal_seq
+        self.lock_writer().wal_seq
+    }
+
+    /// Bytes of the current WAL generation known to be on stable
+    /// storage (what a power loss is guaranteed to preserve). `0` for
+    /// in-memory collections.
+    pub fn wal_synced_len(&self) -> u64 {
+        self.lock_writer()
+            .wal
+            .as_ref()
+            .map_or(0, |w| w.synced_len())
+    }
+
+    /// Bytes appended to the current WAL generation (flushed to the OS;
+    /// the span past [`Collection::wal_synced_len`] is what a power
+    /// loss may tear). `0` for in-memory collections.
+    pub fn wal_appended_len(&self) -> u64 {
+        self.lock_writer()
+            .wal
+            .as_ref()
+            .map_or(0, |w| w.appended_len())
+    }
+
+    /// The WAL group-commit policy.
+    pub fn group_commit(&self) -> GroupCommit {
+        self.lock_writer().group_commit
+    }
+
+    /// Replaces the WAL group-commit policy (runtime-only; not
+    /// persisted). See [`GroupCommit`] for the durability trade-off.
+    pub fn set_group_commit(&self, policy: GroupCommit) {
+        self.lock_writer().group_commit = policy;
+    }
+
+    /// Number of background maintenance jobs currently in flight
+    /// (`0` or `1`: seals and compactions are mutually exclusive).
+    pub fn maintenance_in_flight(&self) -> usize {
+        self.background_jobs.load(Ordering::Acquire)
     }
 
     /// Per-segment statistics in storage order.
     pub fn segment_stats(&self) -> Vec<SegmentStat> {
-        self.segments
+        let w = self.lock_writer();
+        w.segments
             .iter()
-            .map(|s| SegmentStat {
+            .zip(&w.seg_dead)
+            .map(|(s, &dead)| SegmentStat {
                 seq: s.seq(),
                 kind: s.kind(),
                 rows: s.len(),
-                dead: s.dead(),
+                dead,
             })
             .collect()
     }
@@ -239,44 +615,56 @@ impl Collection {
     /// The largest external id ever observed (live or tombstoned), or
     /// `None` for a collection that never held a row.
     pub fn max_id(&self) -> Option<u64> {
-        let live = self.locations.keys().max().copied();
-        let dead = self.tombstones.iter().max().copied();
-        live.max(dead)
+        let w = self.lock_writer();
+        let live = w.locations.keys().max().copied();
+        let dead = w.tombstones.iter().max();
+        let sealing_dead = w
+            .sealing
+            .as_ref()
+            .and_then(|s| s.dead.iter().max().copied());
+        live.max(dead).max(sealing_dead)
     }
 
     /// Whether `id` is live (searchable) in the collection.
     pub fn contains(&self, id: u64) -> bool {
-        self.locations.contains_key(&id)
+        self.lock_writer().locations.contains_key(&id)
     }
 
     /// Whether `id` is unavailable for insertion: live, or tombstoned
     /// (deleted ids stay reserved until [`Collection::compact`]).
     pub fn is_id_reserved(&self, id: u64) -> bool {
-        self.locations.contains_key(&id) || self.tombstones.contains(&id)
+        self.lock_writer().is_reserved(id)
     }
 
     /// Inserts one vector under an external id: WAL append first, then
     /// the write buffer; seals automatically when the buffer reaches
-    /// its configured capacity.
+    /// its configured capacity (skipped — the buffer keeps growing —
+    /// while a background job holds the maintenance claim).
     ///
     /// # Errors
     /// [`StoreError::DimsMismatch`], [`StoreError::DuplicateId`] (also
     /// for tombstoned ids — reserved until compaction), or an IO error.
-    /// An IO error from the *automatic seal* is reported here, but the
-    /// insert itself is already WAL-committed and applied at that
-    /// point — the collection stays consistent and the seal retries on
-    /// the next trigger.
-    pub fn insert(&mut self, id: u64, vector: &[f32]) -> Result<(), StoreError> {
-        self.check_insert(id, vector)?;
-        if let Some(wal) = &mut self.wal {
+    /// An IO error from the *automatic seal* (or a group-commit fsync)
+    /// is reported here, but the insert itself is already WAL-committed
+    /// and applied at that point — the collection stays consistent and
+    /// the seal retries on the next trigger.
+    pub fn insert(&self, id: u64, vector: &[f32]) -> Result<(), StoreError> {
+        let mut w = self.lock_writer();
+        w.check_insert(id, vector)?;
+        if let Some(wal) = &mut w.wal {
             wal.append(&WalRecord::Insert {
                 id,
                 vector: vector.to_vec(),
             })?;
         }
-        self.apply_insert_unchecked(id, vector)?;
-        if self.buffer.len() >= self.config.buffer_capacity {
-            self.seal()?;
+        w.buffer.append(id, vector)?;
+        w.locations.insert(id, Loc::Buffer);
+        self.publish(&w);
+        Self::group_commit_tick(&mut w)?;
+        if w.buffer.len() >= self.config.buffer_capacity {
+            if let Some(_claim) = self.try_claim(false) {
+                self.maintain_locked(&mut w, MaintKind::Seal)?;
+            }
         }
         Ok(())
     }
@@ -290,35 +678,41 @@ impl Collection {
     /// the next seal would double its IO for nothing.
     ///
     /// # Errors
+    /// [`StoreError::MaintenanceBusy`] if a background job is in
+    /// flight (the load needs the seal path for durability);
     /// [`StoreError::DimsMismatch`] / [`StoreError::DuplicateId`]
-    /// before anything is applied, or an IO error from a seal — on an
+    /// before anything is applied; or an IO error from a seal — on an
     /// IO error (or a crash mid-call) rows after the last committed
     /// seal are lost, consistent with "the manifest is the commit
     /// point".
-    pub fn bulk_insert(&mut self, first_id: u64, rows: &[f32]) -> Result<(), StoreError> {
+    pub fn bulk_insert(&self, first_id: u64, rows: &[f32]) -> Result<(), StoreError> {
         if rows.len() % self.dims != 0 {
             return Err(StoreError::DimsMismatch {
                 expected: self.dims,
-                got: rows.len() % self.dims,
+                got: rows.len(),
             });
         }
+        let _claim = self.try_claim(false).ok_or(StoreError::MaintenanceBusy)?;
+        let mut w = self.lock_writer();
         let n = rows.len() / self.dims;
         for i in 0..n {
             let id = first_id + i as u64;
-            if self.is_id_reserved(id) {
+            if w.is_reserved(id) {
                 return Err(StoreError::DuplicateId(id));
             }
         }
         for i in 0..n {
-            self.apply_insert_unchecked(
-                first_id + i as u64,
-                &rows[i * self.dims..(i + 1) * self.dims],
-            )?;
-            if self.buffer.len() >= self.config.buffer_capacity {
-                self.seal()?;
+            let id = first_id + i as u64;
+            w.buffer
+                .append(id, &rows[i * self.dims..(i + 1) * self.dims])?;
+            w.locations.insert(id, Loc::Buffer);
+            if w.buffer.len() >= self.config.buffer_capacity {
+                self.maintain_locked(&mut w, MaintKind::Seal)?;
             }
         }
-        self.seal()
+        self.maintain_locked(&mut w, MaintKind::Seal)?;
+        self.publish(&w);
+        Ok(())
     }
 
     /// Deletes an external id: a buffered row is removed in place, a
@@ -327,121 +721,75 @@ impl Collection {
     ///
     /// # Errors
     /// [`StoreError::NotFound`] if the id is not live, or an IO error.
-    pub fn delete(&mut self, id: u64) -> Result<(), StoreError> {
-        if !self.locations.contains_key(&id) {
+    pub fn delete(&self, id: u64) -> Result<(), StoreError> {
+        let mut w = self.lock_writer();
+        if !w.locations.contains_key(&id) {
             return Err(StoreError::NotFound(id));
         }
-        if let Some(wal) = &mut self.wal {
+        if let Some(wal) = &mut w.wal {
             wal.append(&WalRecord::Delete { id })?;
         }
-        self.apply_delete(id)
-    }
-
-    /// Validation shared by [`Collection::insert`] and WAL replay.
-    fn check_insert(&self, id: u64, vector: &[f32]) -> Result<(), StoreError> {
-        if vector.len() != self.dims {
-            return Err(StoreError::DimsMismatch {
-                expected: self.dims,
-                got: vector.len(),
-            });
-        }
-        if self.is_id_reserved(id) {
-            return Err(StoreError::DuplicateId(id));
-        }
+        w.apply_delete(id)?;
+        self.publish(&w);
+        Self::group_commit_tick(&mut w)?;
         Ok(())
     }
 
-    /// Memory-only insert with re-validation (the WAL replay path —
-    /// a duplicate in the log is corruption, not a caller bug).
-    fn apply_insert(&mut self, id: u64, vector: &[f32]) -> Result<(), StoreError> {
-        self.check_insert(id, vector)?;
-        self.apply_insert_unchecked(id, vector)
-    }
-
-    /// Memory-only insert for ids [`Collection::check_insert`] already
-    /// admitted (the hot path validates exactly once).
-    fn apply_insert_unchecked(&mut self, id: u64, vector: &[f32]) -> Result<(), StoreError> {
-        self.buffer.append(id, vector)?;
-        self.locations.insert(id, Loc::Buffer);
-        Ok(())
-    }
-
-    /// Memory-only delete (the WAL record is already durable).
-    fn apply_delete(&mut self, id: u64) -> Result<(), StoreError> {
-        match self.locations.get(&id) {
-            None => Err(StoreError::NotFound(id)),
-            Some(Loc::Buffer) => {
-                self.buffer.remove(id)?;
-                self.locations.remove(&id);
-                Ok(())
+    /// Counts an appended record against the group-commit policy and
+    /// fsyncs when a trigger fires.
+    fn group_commit_tick(w: &mut Writer) -> Result<(), StoreError> {
+        if w.wal.is_none() {
+            return Ok(());
+        }
+        w.unsynced += 1;
+        let policy = w.group_commit;
+        let by_count = policy.sync_every > 0 && w.unsynced >= policy.sync_every;
+        let by_time = policy
+            .sync_interval
+            .is_some_and(|interval| w.last_sync.elapsed() >= interval);
+        if by_count || by_time {
+            if let Some(wal) = &mut w.wal {
+                wal.sync()?;
             }
-            Some(&Loc::Segment(si)) => {
-                self.tombstones.insert(id);
-                self.segments[si].note_dead();
-                self.locations.remove(&id);
-                Ok(())
-            }
-        }
-    }
-
-    /// The manifest describing the current durable state.
-    fn manifest(&self) -> Manifest {
-        let mut tombstones: Vec<u64> = self.tombstones.iter().copied().collect();
-        tombstones.sort_unstable();
-        Manifest {
-            dims: self.dims,
-            config: self.config,
-            wal_seq: self.wal_seq,
-            next_segment_seq: self.next_segment_seq,
-            segments: self.segments.iter().map(|s| s.seq()).collect(),
-            tombstones,
-        }
-    }
-
-    /// Rotates to a fresh WAL generation after `manifest` committed:
-    /// the old log's records are all covered by the manifest's
-    /// segments, so it is deleted.
-    fn rotate_wal(&mut self, dir: &Path) -> Result<(), StoreError> {
-        let old = self.wal.as_ref().map(|w| w.path().to_path_buf());
-        self.wal = Some(Wal::create(&dir.join(wal_file(self.wal_seq)), self.dims)?);
-        if let Some(old) = old {
-            std::fs::remove_file(old).ok();
+            w.unsynced = 0;
+            w.last_sync = Instant::now();
         }
         Ok(())
+    }
+
+    /// Takes the exclusive maintenance claim, or `None` if a
+    /// seal/compaction is already in flight.
+    fn try_claim(&self, background: bool) -> Option<MaintenanceClaim> {
+        if self
+            .claim
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return None;
+        }
+        let background = background.then(|| {
+            self.background_jobs.fetch_add(1, Ordering::AcqRel);
+            Arc::clone(&self.background_jobs)
+        });
+        Some(MaintenanceClaim {
+            claimed: Arc::clone(&self.claim),
+            background,
+        })
     }
 
     /// Seals the write buffer into a new immutable segment (no-op when
     /// the buffer is empty). Persistent collections write the segment
-    /// files, commit a new manifest, and rotate the WAL.
+    /// files and commit via the durable protocol in the module docs.
     ///
     /// # Errors
-    /// Propagates IO errors; the collection commits atomically (a crash
-    /// before the manifest rename leaves the previous state intact).
-    pub fn seal(&mut self) -> Result<(), StoreError> {
-        if self.buffer.is_empty() {
-            return Ok(());
-        }
-        let (ids, rows) = self.buffer.entries_sorted();
-        let seq = self.next_segment_seq;
-        let segment = Segment::seal(seq, ids, &rows, self.dims, &self.config)?;
-        if let Some(dir) = self.dir.clone() {
-            segment.write(&dir)?;
-            self.wal_seq += 1;
-            self.next_segment_seq = seq + 1;
-            let mut manifest = self.manifest();
-            manifest.segments.push(seq);
-            manifest.write_atomic(&dir)?;
-            self.rotate_wal(&dir)?;
-        } else {
-            self.next_segment_seq = seq + 1;
-        }
-        let si = self.segments.len();
-        for &id in segment.remap() {
-            self.locations.insert(id, Loc::Segment(si));
-        }
-        self.segments.push(segment);
-        self.buffer.clear();
-        Ok(())
+    /// [`StoreError::MaintenanceBusy`] if a background job is in
+    /// flight; IO errors are propagated — a failed commit leaves the
+    /// previous durable state fully intact, keeps the frozen rows
+    /// searchable, and the next seal retries them.
+    pub fn seal(&self) -> Result<(), StoreError> {
+        let _claim = self.try_claim(false).ok_or(StoreError::MaintenanceBusy)?;
+        let mut w = self.lock_writer();
+        self.maintain_locked(&mut w, MaintKind::Seal)
     }
 
     /// Merges every segment and the write buffer, purges tombstoned
@@ -450,21 +798,154 @@ impl Collection {
     /// bit-identical to a fresh flat build over the surviving rows, and
     /// all tombstoned ids become reusable.
     ///
+    /// Blocks writers for the duration (readers keep the old view); use
+    /// [`Collection::compact_background`] to rebuild off to the side.
+    ///
     /// # Errors
-    /// Propagates IO errors; commits atomically via the manifest.
-    pub fn compact(&mut self) -> Result<(), StoreError> {
-        let mut all_ids: Vec<u64> = Vec::with_capacity(self.live_len());
-        let mut all_rows: Vec<f32> = Vec::with_capacity(self.live_len() * self.dims);
-        for segment in &self.segments {
-            let (ids, rows) = segment.live_rows(&self.tombstones);
+    /// [`StoreError::MaintenanceBusy`] if a background job is in
+    /// flight; IO errors are propagated (the previous durable state
+    /// stays intact on failure).
+    pub fn compact(&self) -> Result<(), StoreError> {
+        let _claim = self.try_claim(false).ok_or(StoreError::MaintenanceBusy)?;
+        let mut w = self.lock_writer();
+        self.maintain_locked(&mut w, MaintKind::Compact)
+    }
+
+    /// Starts a background seal: freezes the buffer (a brief writer
+    /// lock), then builds and commits the segment on a
+    /// [`pdx_core::exec`] job thread. Reads and writes keep flowing;
+    /// the frozen rows stay searchable throughout.
+    ///
+    /// # Errors
+    /// [`StoreError::MaintenanceBusy`] if a job is already in flight.
+    pub fn seal_background(self: &Arc<Self>) -> Result<MaintenanceJob, StoreError> {
+        self.spawn_maintenance(MaintKind::Seal)
+    }
+
+    /// Starts a background compaction: captures the segment set +
+    /// tombstones and freezes the buffer (a brief writer lock), builds
+    /// the merged segment off to the side, and commits by atomically
+    /// swapping the segment set, manifest, and WAL generation. Searches
+    /// issued at any point return results bit-identical to the
+    /// pre-commit or post-commit snapshot (whichever was current);
+    /// inserts and deletes keep landing concurrently and survive the
+    /// commit.
+    ///
+    /// # Errors
+    /// [`StoreError::MaintenanceBusy`] if a job is already in flight.
+    pub fn compact_background(self: &Arc<Self>) -> Result<MaintenanceJob, StoreError> {
+        self.spawn_maintenance(MaintKind::Compact)
+    }
+
+    fn spawn_maintenance(self: &Arc<Self>, kind: MaintKind) -> Result<MaintenanceJob, StoreError> {
+        let claim = self.try_claim(true).ok_or(StoreError::MaintenanceBusy)?;
+        let this = Arc::clone(self);
+        let label = match kind {
+            MaintKind::Seal => "seal",
+            MaintKind::Compact => "compact",
+        };
+        let handle = spawn_job(label, move || {
+            let _claim = claim;
+            this.maintain_background(kind)
+        });
+        Ok(MaintenanceJob { handle })
+    }
+
+    /// The whole freeze→build→commit cycle under one writer lock (the
+    /// inline seal/compact path; writers block, readers do not).
+    /// Callers must hold the maintenance claim.
+    fn maintain_locked(&self, w: &mut Writer, kind: MaintKind) -> Result<(), StoreError> {
+        let Some(plan) = self.plan_maintenance(w, kind) else {
+            return Ok(());
+        };
+        let built = self.build_maintenance(&plan)?;
+        self.commit_maintenance(w, &plan, built)
+    }
+
+    /// The background variant: the writer lock is held only for the
+    /// freeze and the commit, not the build.
+    fn maintain_background(&self, kind: MaintKind) -> Result<(), StoreError> {
+        let plan = {
+            let mut w = self.lock_writer();
+            match self.plan_maintenance(&mut w, kind) {
+                Some(plan) => plan,
+                None => return Ok(()),
+            }
+        };
+        let built = self.build_maintenance(&plan)?;
+        let mut w = self.lock_writer();
+        self.commit_maintenance(&mut w, &plan, built)
+    }
+
+    /// Freeze phase: moves the buffer's live rows (plus any leftovers
+    /// of an earlier failed commit) into the sealing section — still
+    /// searchable, no longer accepting rows — and captures what the
+    /// build needs. Returns `None` when a seal has nothing to do.
+    fn plan_maintenance(&self, w: &mut Writer, kind: MaintKind) -> Option<MaintPlan> {
+        let (mut chunks, dead_arc) = match w.sealing.take() {
+            Some(s) => (s.chunks, s.dead),
+            None => (Vec::new(), Arc::new(HashSet::new())),
+        };
+        let dead0: HashSet<u64> = (*dead_arc).clone();
+        chunks.extend(w.buffer.freeze());
+        let total: usize = chunks.iter().map(|c| c.ids.len()).sum();
+        if total == 0 && matches!(kind, MaintKind::Seal) {
+            return None;
+        }
+        for chunk in &chunks {
+            for &id in &chunk.ids {
+                if !dead0.contains(&id) {
+                    w.locations.insert(id, Loc::Sealing);
+                }
+            }
+        }
+        w.sealing = Some(SealingBuffer {
+            chunks: chunks.clone(),
+            dead: dead_arc,
+            total,
+        });
+        let (segments_in, t0) = match kind {
+            MaintKind::Seal => (Vec::new(), TombstoneSet::default()),
+            MaintKind::Compact => (w.segments.clone(), w.tombstones.clone()),
+        };
+        let seq = w.next_segment_seq;
+        w.next_segment_seq += 1;
+        self.publish(w);
+        Some(MaintPlan {
+            frozen_chunks: chunks,
+            dead0,
+            segments_in,
+            t0,
+            seq,
+        })
+    }
+
+    /// Build phase: assembles the survivor rows — the plan's segments
+    /// minus the captured tombstones, plus the frozen buffer rows —
+    /// sorted by external id, seals them into one segment, and writes
+    /// its files. Touches no shared state: safe off the writer lock.
+    fn build_maintenance(&self, plan: &MaintPlan) -> Result<Option<Arc<Segment>>, StoreError> {
+        let t0 = plan.t0.to_hashset();
+        let mut all_ids: Vec<u64> = Vec::new();
+        let mut all_rows: Vec<f32> = Vec::new();
+        for segment in &plan.segments_in {
+            let (ids, rows) = segment.live_rows(&t0);
             all_ids.extend_from_slice(&ids);
             all_rows.extend_from_slice(&rows);
         }
-        let (buf_ids, buf_rows) = self.buffer.entries_sorted();
-        all_ids.extend_from_slice(&buf_ids);
-        all_rows.extend_from_slice(&buf_rows);
-        // Global external-id order (each source is sorted, but sources
-        // interleave).
+        for chunk in &plan.frozen_chunks {
+            for (pos, &id) in chunk.ids.iter().enumerate() {
+                if !plan.dead0.contains(&id) {
+                    all_ids.push(id);
+                    all_rows.extend_from_slice(chunk.row(pos, self.dims));
+                }
+            }
+        }
+        if all_ids.is_empty() {
+            return Ok(None);
+        }
+        // Global external-id order (each source is sorted or nearly so,
+        // but sources interleave).
         let mut order: Vec<usize> = (0..all_ids.len()).collect();
         order.sort_unstable_by_key(|&i| all_ids[i]);
         let ids: Vec<u64> = order.iter().map(|&i| all_ids[i]).collect();
@@ -472,81 +953,214 @@ impl Collection {
         for &i in &order {
             rows.extend_from_slice(&all_rows[i * self.dims..(i + 1) * self.dims]);
         }
+        let segment = Arc::new(Segment::seal(
+            plan.seq,
+            ids,
+            &rows,
+            self.dims,
+            &self.config,
+        )?);
+        if let Some(dir) = &self.dir {
+            segment.write(dir)?;
+        }
+        Ok(Some(segment))
+    }
 
-        let old_seqs: Vec<u64> = self.segments.iter().map(|s| s.seq()).collect();
-        let seq = self.next_segment_seq;
-        let new_segment = if ids.is_empty() {
-            None
-        } else {
-            Some(Segment::seal(seq, ids, &rows, self.dims, &self.config)?)
-        };
-        if let Some(dir) = self.dir.clone() {
-            if let Some(s) = &new_segment {
-                s.write(&dir)?;
-            }
-            self.wal_seq += 1;
-            if new_segment.is_some() {
-                self.next_segment_seq = seq + 1;
-            }
-            let manifest = Manifest {
-                dims: self.dims,
-                config: self.config,
-                wal_seq: self.wal_seq,
-                next_segment_seq: self.next_segment_seq,
-                segments: new_segment.iter().map(|s| s.seq()).collect(),
-                tombstones: Vec::new(),
-            };
-            manifest.write_atomic(&dir)?;
-            self.rotate_wal(&dir)?;
-            for old in old_seqs {
-                Segment::remove_files(&dir, old);
-            }
-        } else if new_segment.is_some() {
-            self.next_segment_seq = seq + 1;
+    /// Commit phase: swaps the new segment in for the plan's inputs,
+    /// reconciles tombstones and locations with everything that changed
+    /// during the build, commits durably (fresh WAL generation with the
+    /// still-buffered rows re-logged, then the manifest rename), and
+    /// publishes the new view. On error the previous durable state and
+    /// the sealing section survive untouched.
+    fn commit_maintenance(
+        &self,
+        w: &mut Writer,
+        plan: &MaintPlan,
+        built: Option<Arc<Segment>>,
+    ) -> Result<(), StoreError> {
+        let dead_now: HashSet<u64> = w
+            .sealing
+            .as_ref()
+            .map(|s| (*s.dead).clone())
+            .unwrap_or_default();
+        // Tombstones after the commit: everything deleted since the
+        // freeze (the plan's captured set is purged), plus frozen rows
+        // deleted mid-build — their physical rows are in `built`.
+        let mut tombstones = w.tombstones.subtract(&plan.t0);
+        for &id in dead_now.difference(&plan.dead0) {
+            tombstones.insert(id);
         }
-        self.segments.clear();
-        self.buffer.clear();
-        self.tombstones.clear();
-        self.locations.clear();
-        if let Some(segment) = new_segment {
+        // The claim is exclusive, so no other seal ran since the
+        // freeze: the writer's segment list still starts with the
+        // plan's inputs (all of them for a compaction, none for a
+        // plain seal).
+        debug_assert!(
+            w.segments
+                .iter()
+                .zip(&plan.segments_in)
+                .all(|(a, b)| a.seq() == b.seq())
+                && w.segments.len() >= plan.segments_in.len()
+        );
+        let mut segments: Vec<Arc<Segment>> = w.segments[plan.segments_in.len()..].to_vec();
+        if let Some(segment) = built {
+            segments.push(segment);
+        }
+        if let Some(dir) = &self.dir {
+            let wal = commit_durable(
+                dir,
+                self.dims,
+                self.config,
+                w.wal_seq + 1,
+                w.next_segment_seq,
+                segments.iter().map(|s| s.seq()).collect(),
+                tombstones.to_sorted_vec(),
+                &w.buffer,
+            )?;
+            let old = w.wal.replace(wal);
+            w.wal_seq += 1;
+            w.unsynced = 0;
+            w.last_sync = Instant::now();
+            if let Some(old) = old {
+                std::fs::remove_file(old.path()).ok();
+            }
+            for segment in &plan.segments_in {
+                Segment::remove_files(dir, segment.seq());
+            }
+        }
+        // Rebuild the derived state against the new segment list.
+        let buffered: Vec<u64> = w
+            .locations
+            .iter()
+            .filter(|(_, loc)| matches!(loc, Loc::Buffer))
+            .map(|(&id, _)| id)
+            .collect();
+        w.segments = segments;
+        w.seg_dead = w
+            .segments
+            .iter()
+            .map(|s| {
+                s.remap()
+                    .iter()
+                    .filter(|&&id| tombstones.contains(id))
+                    .count()
+            })
+            .collect();
+        w.locations.clear();
+        for (si, segment) in w.segments.iter().enumerate() {
             for &id in segment.remap() {
-                self.locations.insert(id, Loc::Segment(0));
+                if !tombstones.contains(id) {
+                    w.locations.insert(id, Loc::Segment(si));
+                }
             }
-            self.segments.push(segment);
         }
+        for id in buffered {
+            w.locations.insert(id, Loc::Buffer);
+        }
+        w.tombstones = tombstones;
+        w.sealing = None;
+        self.publish(w);
         Ok(())
     }
 
     /// Forces WAL records to stable storage (appends are flushed to the
-    /// OS per operation, synced to the device here).
+    /// OS per operation, synced to the device here — or periodically,
+    /// see [`Collection::set_group_commit`]).
     ///
     /// # Errors
     /// Propagates IO errors.
     pub fn sync(&self) -> Result<(), StoreError> {
-        if let Some(wal) = &self.wal {
+        let mut w = self.lock_writer();
+        if let Some(wal) = &mut w.wal {
             wal.sync()?;
+            w.unsynced = 0;
+            w.last_sync = Instant::now();
         }
         Ok(())
     }
+}
 
-    /// The segmented read path over the current sealed segments.
-    fn segmented(&self) -> SegmentedSearch<'_> {
-        SegmentedSearch::new(
-            self.segments
-                .iter()
-                .map(|s| SearchSegment {
-                    index: s.index(),
-                    remap: s.remap(),
-                    dead: s.dead(),
-                })
-                .collect(),
-        )
+/// Creates the commit's fresh WAL generation — re-logging the rows that
+/// remain buffered in memory, fsynced — and then renames the manifest
+/// into place (the commit point). On any failure the new generation is
+/// removed and the previous manifest + WAL stay authoritative, so a
+/// failed rotation can never divert acknowledged writes into a log that
+/// recovery would not read.
+#[allow(clippy::too_many_arguments)]
+fn commit_durable(
+    dir: &Path,
+    dims: usize,
+    config: StoreConfig,
+    new_wal_seq: u64,
+    next_segment_seq: u64,
+    segment_seqs: Vec<u64>,
+    tombstones: Vec<u64>,
+    relog: &WriteBuffer,
+) -> Result<Wal, StoreError> {
+    let wal_path = dir.join(wal_file(new_wal_seq));
+    let result = (|| {
+        let mut wal = Wal::create(&wal_path, dims)?;
+        for (id, row) in relog.live_entries() {
+            wal.append(&WalRecord::Insert {
+                id,
+                vector: row.to_vec(),
+            })?;
+        }
+        wal.sync()?;
+        let manifest = Manifest {
+            dims,
+            config,
+            wal_seq: new_wal_seq,
+            next_segment_seq,
+            segments: segment_seqs,
+            tombstones,
+        };
+        manifest.write_atomic(dir)?;
+        Ok(wal)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&wal_path).ok();
     }
+    result
+}
 
-    /// The buffer's exact-scan candidates for one query.
-    fn buffer_list(&self, query: &[f32], opts: &SearchOptions) -> [Vec<Neighbor>; 1] {
-        [self.buffer.scan(query, opts.k, opts.metric, opts.variant)]
+/// Deletes files in `dir` that match the store's naming scheme but are
+/// unreachable from `manifest`: segments a failed commit wrote before
+/// its manifest rename, superseded or half-created WAL generations, and
+/// a stranded `MANIFEST.tmp`. Only files the store itself would have
+/// created are touched.
+fn clean_orphans(dir: &Path, manifest: &Manifest) {
+    let keep_segments: HashSet<u64> = manifest.segments.iter().copied().collect();
+    let keep_wal = wal_file(manifest.wal_seq);
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let orphan = if name == "MANIFEST.tmp" {
+            true
+        } else if let Some(seq) = parse_seq(name, "seg-", ".pdx") {
+            !keep_segments.contains(&seq) && name == segment_file(seq)
+        } else if let Some(seq) = parse_seq(name, "seg-", ".ids") {
+            !keep_segments.contains(&seq) && name == segment_ids_file(seq)
+        } else if parse_seq(name, "wal-", ".log").is_some() {
+            name != keep_wal
+        } else {
+            false
+        };
+        if orphan {
+            std::fs::remove_file(entry.path()).ok();
+        }
     }
+}
+
+/// Parses the sequence number out of a `<prefix><seq><suffix>` file
+/// name.
+fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
 }
 
 impl VectorIndex for Collection {
@@ -555,33 +1169,32 @@ impl VectorIndex for Collection {
     }
 
     fn len(&self) -> usize {
-        self.locations.len()
+        self.snapshot().live_len()
     }
 
     fn kind(&self) -> &'static str {
         "collection"
     }
 
-    /// Merges the buffer's exact linear scan with every segment's
-    /// search through the canonical `(distance, id)` order, dropping
-    /// tombstoned rows during the merge. `f32` segments honour the
-    /// pruner/metric options, SQ8 segments the refine/metric options —
-    /// exactly as the standalone deployments do.
+    /// A lock-free snapshot read: clones the current view's `Arc` and
+    /// runs the canonical merged search against it (see
+    /// [`Snapshot::search`](crate::Snapshot)); bit-identical to the
+    /// single-owner sequential semantics at the moment the view was
+    /// published.
     fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
-        let extra = self.buffer_list(query, opts);
-        self.segmented()
-            .search(&extra, query, opts, |id| !self.tombstones.contains(&id))
+        self.snapshot().search(query, opts)
     }
 
-    /// Intra-query parallelism: each segment scans through its
-    /// deployment's `search_parallel` (bit-identical to sequential at
-    /// any thread count), the buffer scan stays sequential, and the
-    /// merge is canonical — so the result equals
-    /// [`VectorIndex::search`] at any width, live tombstones included.
+    /// Pins one snapshot for the whole batch, so every query in it
+    /// answers against the same state even while writers land.
+    fn search_batch(&self, queries: &[f32], opts: &SearchOptions) -> Vec<Vec<Neighbor>> {
+        self.snapshot().search_batch(queries, opts)
+    }
+
+    /// Intra-query parallelism over one pinned snapshot: bit-identical
+    /// to [`VectorIndex::search`] at any thread count.
     fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
-        let extra = self.buffer_list(query, opts);
-        self.segmented()
-            .search_parallel(&extra, query, opts, |id| !self.tombstones.contains(&id))
+        self.snapshot().search_parallel(query, opts)
     }
 }
 
@@ -605,7 +1218,7 @@ mod tests {
 
     #[test]
     fn insert_search_delete_in_memory() {
-        let mut coll = Collection::in_memory(2, small_config());
+        let coll = Collection::in_memory(2, small_config());
         for i in 0..10u64 {
             coll.insert(i, &[i as f32, 0.0]).unwrap();
         }
@@ -625,7 +1238,7 @@ mod tests {
 
     #[test]
     fn auto_seal_keeps_results_and_reserves_tombstoned_ids() {
-        let mut coll = Collection::in_memory(2, small_config());
+        let coll = Collection::in_memory(2, small_config());
         for i in 0..80u64 {
             coll.insert(i, &[i as f32, 0.0]).unwrap();
         }
@@ -658,10 +1271,10 @@ mod tests {
     #[test]
     fn bulk_insert_matches_the_insert_loop_and_validates_up_front() {
         let rows: Vec<f32> = (0..200).map(|i| i as f32).collect(); // 100 × 2
-        let mut a = Collection::in_memory(2, small_config());
+        let a = Collection::in_memory(2, small_config());
         a.bulk_insert(10, &rows).unwrap();
         assert_eq!(a.buffer_len(), 0, "bulk load ends sealed");
-        let mut b = Collection::in_memory(2, small_config());
+        let b = Collection::in_memory(2, small_config());
         for i in 0..100 {
             b.insert(10 + i as u64, &rows[i * 2..(i + 1) * 2]).unwrap();
         }
@@ -681,7 +1294,7 @@ mod tests {
 
     #[test]
     fn compact_of_empty_collection_is_fine() {
-        let mut coll = Collection::in_memory(3, small_config());
+        let coll = Collection::in_memory(3, small_config());
         coll.compact().unwrap();
         assert_eq!(coll.live_len(), 0);
         coll.insert(1, &[0.0; 3]).unwrap();
@@ -693,7 +1306,7 @@ mod tests {
 
     #[test]
     fn quantized_collection_reranks_exactly() {
-        let mut coll = Collection::in_memory(
+        let coll = Collection::in_memory(
             4,
             StoreConfig {
                 quantize: true,
@@ -708,5 +1321,76 @@ mod tests {
         assert_eq!(coll.segment_stats()[0].kind, "flat-sq8");
         let hits = coll.search(&[2.5, -2.5, 1.25, 1.0], &SearchOptions::new(2));
         assert_eq!(ids_of(&hits), vec![10, 9]);
+    }
+
+    #[test]
+    fn snapshot_pins_a_state_across_mutations() {
+        let coll = Collection::in_memory(2, small_config());
+        for i in 0..50u64 {
+            coll.insert(i, &[i as f32, 0.0]).unwrap();
+        }
+        let snap = coll.snapshot();
+        let opts = SearchOptions::new(4);
+        let before = snap.search(&[0.0, 0.0], &opts);
+
+        coll.delete(0).unwrap();
+        coll.delete(1).unwrap();
+        coll.insert(1000, &[0.5, 0.0]).unwrap();
+
+        // The pinned snapshot answers exactly as before…
+        let pinned = snap.search(&[0.0, 0.0], &opts);
+        assert_eq!(before, pinned);
+        assert_eq!(snap.live_len(), 50);
+        // …while the collection reflects the mutations.
+        let now = coll.search(&[0.0, 0.0], &opts);
+        assert_eq!(ids_of(&now), vec![1000, 2, 3, 4]);
+    }
+
+    #[test]
+    fn background_compaction_commits_and_frees_ids() {
+        let coll = Arc::new(Collection::in_memory(2, small_config()));
+        for i in 0..100u64 {
+            coll.insert(i, &[i as f32, 0.0]).unwrap();
+        }
+        for i in (0..100u64).step_by(3) {
+            coll.delete(i).unwrap();
+        }
+        let job = coll.compact_background().unwrap();
+        // A second maintenance op is refused while the job runs (the
+        // job may already have finished on a fast machine, so only the
+        // error type is asserted when it occurs).
+        if let Err(e) = coll.compact() {
+            assert!(matches!(e, StoreError::MaintenanceBusy));
+        }
+        job.wait().unwrap();
+        assert_eq!(coll.maintenance_in_flight(), 0);
+        assert_eq!(coll.tombstone_count(), 0);
+        assert_eq!(coll.segment_count(), 1);
+        assert_eq!(coll.live_len(), 100 - 34);
+        // Tombstoned ids are reusable after the commit.
+        coll.insert(0, &[0.0, 0.0]).unwrap();
+        let hits = coll.search(&[0.0, 0.0], &SearchOptions::new(1));
+        assert_eq!(ids_of(&hits), vec![0]);
+    }
+
+    #[test]
+    fn writes_during_background_compaction_survive() {
+        let coll = Arc::new(Collection::in_memory(2, small_config()));
+        for i in 0..64u64 {
+            coll.insert(i, &[i as f32, 0.0]).unwrap();
+        }
+        coll.delete(10).unwrap();
+        let job = coll.compact_background().unwrap();
+        // Land writes while the job is (possibly) still running.
+        for i in 100..140u64 {
+            coll.insert(i, &[i as f32, 0.0]).unwrap();
+        }
+        coll.delete(20).unwrap();
+        job.wait().unwrap();
+        assert_eq!(coll.live_len(), 64 - 2 + 40);
+        assert!(coll.contains(100));
+        assert!(!coll.contains(20));
+        let hits = coll.search(&[100.0, 0.0], &SearchOptions::new(1));
+        assert_eq!(ids_of(&hits), vec![100]);
     }
 }

@@ -30,6 +30,20 @@
 //! Batch and intra-query parallel searches are therefore bit-identical
 //! to the sequential path at any thread count, live tombstones included.
 //!
+//! ## Concurrency
+//!
+//! A [`Collection`] is safe to share across threads (`&self` write
+//! ops): reads run lock-free against an atomically-swapped immutable
+//! [`Snapshot`], the writer half sits behind a mutex, and sealing or
+//! compaction can run as a background job
+//! ([`Collection::seal_background`] /
+//! [`Collection::compact_background`]) that builds the new segment off
+//! to the side and commits with one atomic view swap — reads *and*
+//! writes keep flowing throughout, and a search issued at any moment
+//! returns results bit-identical to the snapshot it pinned. See the
+//! [`collection`](Collection) module docs for the full model and the
+//! durable commit protocol.
+//!
 //! ## Crash safety
 //!
 //! A persistent collection lives in a directory:
@@ -54,6 +68,15 @@
 //!    detected by length/checksum and truncated, and every complete
 //!    record before it is replayed.
 //!
+//! A seal/compaction commit additionally creates its fresh WAL
+//! generation — with the rows still buffered in memory re-logged and
+//! fsynced — **before** the manifest rename, and deletes the old
+//! generation only after it: a failure anywhere in the rotation leaves
+//! the previous manifest + WAL authoritative, so no acknowledged write
+//! is ever diverted into a log recovery would not read. Files such a
+//! failure strands (segments, WAL generations, `MANIFEST.tmp`) are
+//! swept by [`Collection::open`].
+//!
 //! A **process** crash at any point therefore loses at most the tail
 //! record that was being written, never a committed one, and orphaned
 //! segment files from an uncommitted seal are ignored by the manifest.
@@ -61,8 +84,10 @@
 //! [`Collection::sync`] and at every seal/compaction commit — so
 //! against a *power loss* the durability points are the sync calls and
 //! the manifest commits (the CLI syncs at the end of each `insert`/
-//! `delete` command). Call [`Collection::sync`] more often if you need
-//! tighter power-loss bounds.
+//! `delete` command). Call [`Collection::sync`] more often — or set a
+//! [`GroupCommit`] policy via [`Collection::set_group_commit`] to fsync
+//! every N records or every interval — if you need tighter power-loss
+//! bounds.
 
 use std::fmt;
 use std::io;
@@ -71,12 +96,14 @@ mod buffer;
 mod collection;
 mod manifest;
 mod segment;
+mod snapshot;
 mod wal;
 
-pub use buffer::WriteBuffer;
-pub use collection::{Collection, SegmentStat};
+pub use buffer::{BufferSnapshot, WriteBuffer};
+pub use collection::{Collection, GroupCommit, MaintenanceJob, SegmentStat};
 pub use manifest::{Manifest, MANIFEST_FILE, MANIFEST_MAGIC};
 pub use segment::Segment;
+pub use snapshot::{SegmentView, Snapshot, TombstoneSet};
 pub use wal::{Wal, WalRecord};
 
 /// Build/maintenance knobs of a mutable collection, fixed at creation
@@ -122,6 +149,9 @@ pub enum StoreError {
     },
     /// On-disk state that violates the format or the store invariants.
     Corrupt(String),
+    /// A seal or compaction is already in flight; retry once the
+    /// current [`MaintenanceJob`] finishes.
+    MaintenanceBusy,
     /// An underlying IO failure.
     Io(io::Error),
 }
@@ -140,6 +170,9 @@ impl fmt::Display for StoreError {
                 write!(f, "vector has {got} dims, collection has {expected}")
             }
             StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::MaintenanceBusy => {
+                write!(f, "a seal or compaction is already in flight")
+            }
             StoreError::Io(e) => write!(f, "io error: {e}"),
         }
     }

@@ -157,14 +157,33 @@ impl Manifest {
         }
         let wal_seq = read_u64(&mut r)?;
         let next_segment_seq = read_u64(&mut r)?;
+        // The counts below are untrusted on-disk values: bound every
+        // pre-allocation and cross-check against the file size before
+        // looping, so a corrupt manifest yields `Corrupt`, never an
+        // OOM abort. Fixed prefix: magic + version + 5×u32 config +
+        // wal_seq + next_segment_seq + segment count = 48 bytes.
+        let file_len = std::fs::metadata(&path)?.len();
+        let fixed: u64 = 48 + 8; // prefix + tombstone-count field
         let n_segments = read_u32(&mut r)? as usize;
-        let mut segments = Vec::with_capacity(n_segments);
+        let seg_bytes = (n_segments as u64).saturating_mul(8);
+        if fixed.saturating_add(seg_bytes) > file_len {
+            return Err(corrupt(&format!(
+                "segment count {n_segments} exceeds manifest size {file_len}"
+            )));
+        }
+        let mut segments = Vec::with_capacity(n_segments.min(1 << 20));
         for _ in 0..n_segments {
             segments.push(read_u64(&mut r)?);
         }
         let n_tombstones = read_u64(&mut r)?;
         let n_tombstones =
             usize::try_from(n_tombstones).map_err(|_| corrupt("tombstone count overflows"))?;
+        let tomb_bytes = (n_tombstones as u64).saturating_mul(8);
+        if fixed.saturating_add(seg_bytes).saturating_add(tomb_bytes) != file_len {
+            return Err(corrupt(&format!(
+                "tombstone count {n_tombstones} disagrees with manifest size {file_len}"
+            )));
+        }
         let mut tombstones = Vec::with_capacity(n_tombstones.min(1 << 20));
         for _ in 0..n_tombstones {
             tombstones.push(read_u64(&mut r)?);

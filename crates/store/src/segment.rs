@@ -35,14 +35,17 @@ enum SegmentData {
 }
 
 /// One immutable sealed segment of a mutable collection.
+///
+/// Segments carry no mutable state at all — tombstone counts live in
+/// the collection's writer/snapshot halves — so one `Arc<Segment>` can
+/// be shared freely between the writer, any number of read snapshots,
+/// and an in-flight background compaction.
 #[derive(Debug, Clone)]
 pub struct Segment {
     seq: u64,
     data: SegmentData,
     /// Local row id → external id, strictly increasing.
     remap: Vec<u64>,
-    /// How many of this segment's rows are tombstoned.
-    dead: usize,
 }
 
 impl Segment {
@@ -91,7 +94,6 @@ impl Segment {
             seq,
             data,
             remap: ids,
-            dead: 0,
         })
     }
 
@@ -113,17 +115,6 @@ impl Segment {
     /// The local → external id remap table.
     pub fn remap(&self) -> &[u64] {
         &self.remap
-    }
-
-    /// Number of tombstoned rows in this segment.
-    pub fn dead(&self) -> usize {
-        self.dead
-    }
-
-    /// Records that one more of this segment's rows was tombstoned.
-    pub(crate) fn note_dead(&mut self) {
-        debug_assert!(self.dead < self.remap.len());
-        self.dead += 1;
     }
 
     /// The frozen deployment, served through the engine trait.
@@ -153,8 +144,8 @@ impl Segment {
     pub fn live_rows(&self, tombstones: &HashSet<u64>) -> (Vec<u64>, Vec<f32>) {
         let dims = self.index().dims();
         let all = self.rows();
-        let mut ids = Vec::with_capacity(self.remap.len() - self.dead);
-        let mut rows = Vec::with_capacity((self.remap.len() - self.dead) * dims);
+        let mut ids = Vec::with_capacity(self.remap.len());
+        let mut rows = Vec::with_capacity(self.remap.len() * dims);
         for (local, &ext) in self.remap.iter().enumerate() {
             if !tombstones.contains(&ext) {
                 ids.push(ext);
@@ -231,19 +222,25 @@ impl Segment {
         let mut u64_buf = [0u8; 8];
         r.read_exact(&mut u64_buf)
             .map_err(|_| corrupt("truncated remap table".into()))?;
-        let n = u64::from_le_bytes(u64_buf) as usize;
-        let mut remap = Vec::with_capacity(n);
+        let n_raw = u64::from_le_bytes(u64_buf);
+        // Untrusted on-disk count: cross-check it against the file's
+        // actual size (header 16 bytes + 8 per id, exactly) before
+        // allocating, so a corrupt table yields `Corrupt`, not an OOM
+        // abort.
+        let ids_len = std::fs::metadata(&ids_path)?.len();
+        if 16u64.saturating_add(n_raw.saturating_mul(8)) != ids_len {
+            return Err(corrupt(format!(
+                "remap count {n_raw} disagrees with table size {ids_len}"
+            )));
+        }
+        let n = usize::try_from(n_raw).map_err(|_| corrupt("remap count overflows".into()))?;
+        let mut remap = Vec::with_capacity(n.min(1 << 24));
         for _ in 0..n {
             r.read_exact(&mut u64_buf)
                 .map_err(|_| corrupt("truncated remap table".into()))?;
             remap.push(u64::from_le_bytes(u64_buf));
         }
-        let segment = Self {
-            seq,
-            data,
-            remap,
-            dead: 0,
-        };
+        let segment = Self { seq, data, remap };
         if segment.remap.len() != segment.index().len() {
             return Err(corrupt(format!(
                 "remap table has {} ids, container has {} rows",

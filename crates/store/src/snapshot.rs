@@ -1,0 +1,288 @@
+//! The immutable read view of a collection: what searches actually run
+//! against.
+//!
+//! A [`Collection`](crate::Collection) keeps exactly one current
+//! [`Snapshot`] behind an atomically-swapped `Arc`. Readers clone the
+//! `Arc` (one refcount bump) and search a frozen, internally consistent
+//! state — sealed segments, tombstones, an optional in-flight sealing
+//! section, and the write-buffer view — while the writer keeps
+//! mutating and publishing newer snapshots. No search ever takes the
+//! writer lock, and no writer ever waits for a search.
+//!
+//! Everything inside a snapshot is structurally shared: segments are
+//! `Arc<Segment>`, the tombstone set is a layered copy-on-write
+//! structure ([`TombstoneSet`]), and the buffer view shares chunks with
+//! the live buffer. Publishing a new snapshot after a single insert or
+//! delete is therefore cheap — a handful of `Arc` clones — not a copy
+//! of the collection.
+
+use crate::buffer::BufferSnapshot;
+use crate::Segment;
+use pdx_core::engine::{SearchOptions, SearchSegment, SegmentedSearch, VectorIndex};
+use pdx_core::heap::Neighbor;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Roll the delta layer into the base once it reaches this size: keeps
+/// per-delete publication O(delta) while amortizing the base copy.
+const DELTA_ROLL: usize = 512;
+
+/// A layered set of tombstoned external ids, cheap to clone and to
+/// publish after every delete.
+///
+/// The set is two layers: a large shared `base` and a small `delta` of
+/// recent deletes. Inserting copies at most the delta (copy-on-write);
+/// when the delta reaches [`DELTA_ROLL`] entries it is folded into the
+/// base. Cloning — which happens on every snapshot publication — is two
+/// `Arc` clones regardless of size.
+#[derive(Debug, Clone, Default)]
+pub struct TombstoneSet {
+    base: Arc<HashSet<u64>>,
+    delta: Arc<HashSet<u64>>,
+}
+
+impl TombstoneSet {
+    /// Whether `id` is tombstoned.
+    pub fn contains(&self, id: u64) -> bool {
+        self.delta.contains(&id) || self.base.contains(&id)
+    }
+
+    /// Number of tombstoned ids.
+    pub fn len(&self) -> usize {
+        // The two layers are kept disjoint by `insert`.
+        self.base.len() + self.delta.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.delta.is_empty()
+    }
+
+    /// Iterates over all tombstoned ids (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.base.iter().chain(self.delta.iter()).copied()
+    }
+
+    /// Inserts an id; returns whether it was newly inserted.
+    pub fn insert(&mut self, id: u64) -> bool {
+        if self.contains(id) {
+            return false;
+        }
+        Arc::make_mut(&mut self.delta).insert(id);
+        if self.delta.len() >= DELTA_ROLL {
+            let delta = std::mem::take(&mut self.delta);
+            Arc::make_mut(&mut self.base).extend(delta.iter().copied());
+        }
+        true
+    }
+
+    /// The ids of `self` that are **not** in `other` (the tombstones
+    /// that arrived after `other` was captured).
+    pub fn subtract(&self, other: &TombstoneSet) -> TombstoneSet {
+        let survivors: HashSet<u64> = self.iter().filter(|&id| !other.contains(id)).collect();
+        TombstoneSet {
+            base: Arc::new(survivors),
+            delta: Arc::new(HashSet::new()),
+        }
+    }
+
+    /// All ids as one plain set (for compaction's row filtering).
+    pub fn to_hashset(&self) -> HashSet<u64> {
+        if self.delta.is_empty() {
+            (*self.base).clone()
+        } else {
+            self.iter().collect()
+        }
+    }
+
+    /// All ids, sorted (the manifest encoding order).
+    pub fn to_sorted_vec(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.iter().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+impl FromIterator<u64> for TombstoneSet {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        TombstoneSet {
+            base: Arc::new(iter.into_iter().collect()),
+            delta: Arc::new(HashSet::new()),
+        }
+    }
+}
+
+/// One sealed segment as seen by a snapshot: the shared immutable
+/// segment plus how many of its rows were tombstoned when the snapshot
+/// was taken (the merge over-fetch budget).
+#[derive(Debug, Clone)]
+pub struct SegmentView {
+    /// The immutable sealed segment.
+    pub segment: Arc<Segment>,
+    /// Tombstoned rows of this segment at snapshot time.
+    pub dead: usize,
+}
+
+/// An immutable, internally consistent point-in-time view of a
+/// collection, searchable through [`VectorIndex`] without any locking.
+///
+/// Obtained from [`Collection::snapshot`](crate::Collection::snapshot)
+/// (or implicitly by every `Collection` search). Results are
+/// bit-identical to searching the collection itself at the moment the
+/// snapshot was published, no matter what the writer does afterwards.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    dims: usize,
+    segments: Vec<SegmentView>,
+    tombstones: TombstoneSet,
+    /// Buffer rows frozen by an in-flight seal/compaction, still served
+    /// from memory until the job commits.
+    sealing: Option<BufferSnapshot>,
+    buffer: BufferSnapshot,
+    live: usize,
+}
+
+impl Snapshot {
+    /// Assembles a snapshot (crate-internal: the collection's writer
+    /// half publishes these).
+    pub(crate) fn new(
+        dims: usize,
+        segments: Vec<SegmentView>,
+        tombstones: TombstoneSet,
+        sealing: Option<BufferSnapshot>,
+        buffer: BufferSnapshot,
+        live: usize,
+    ) -> Self {
+        Self {
+            dims,
+            segments,
+            tombstones,
+            sealing,
+            buffer,
+            live,
+        }
+    }
+
+    /// Dimensionality of the collection.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of live (searchable) vectors in this view.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Number of sealed segments in this view.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of tombstoned ids in this view.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// The segmented read path over this view's sealed segments.
+    fn segmented(&self) -> SegmentedSearch<'_> {
+        SegmentedSearch::new(
+            self.segments
+                .iter()
+                .map(|v| SearchSegment {
+                    index: v.segment.index(),
+                    remap: v.segment.remap(),
+                    dead: v.dead,
+                })
+                .collect(),
+        )
+    }
+
+    /// The exact-scan candidate lists of the memory-resident rows: the
+    /// in-flight sealing section (if any) and the write buffer.
+    fn memory_lists(&self, query: &[f32], opts: &SearchOptions) -> Vec<Vec<Neighbor>> {
+        let mut lists = Vec::with_capacity(2);
+        if let Some(sealing) = &self.sealing {
+            lists.push(sealing.scan(query, opts.k, opts.metric, opts.variant));
+        }
+        lists.push(self.buffer.scan(query, opts.k, opts.metric, opts.variant));
+        lists
+    }
+}
+
+impl VectorIndex for Snapshot {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn kind(&self) -> &'static str {
+        "collection-snapshot"
+    }
+
+    /// Merges the memory-resident exact scans with every segment's
+    /// search through the canonical `(distance, id)` order, dropping
+    /// tombstoned rows during the merge — the collection's read path,
+    /// frozen at snapshot time.
+    fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let extra = self.memory_lists(query, opts);
+        self.segmented()
+            .search(&extra, query, opts, |id| !self.tombstones.contains(id))
+    }
+
+    /// Intra-query parallelism over the same view: each segment scans
+    /// through its deployment's `search_parallel` (bit-identical to
+    /// sequential at any thread count), the memory scans stay
+    /// sequential, and the merge is canonical — so the result equals
+    /// [`VectorIndex::search`] at any width.
+    fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let extra = self.memory_lists(query, opts);
+        self.segmented()
+            .search_parallel(&extra, query, opts, |id| !self.tombstones.contains(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tombstone_set_layers_stay_consistent() {
+        let mut set = TombstoneSet::default();
+        // Push well past the roll threshold.
+        for id in 0..2000u64 {
+            assert!(set.insert(id));
+            assert!(!set.insert(id), "double insert must report false");
+        }
+        assert_eq!(set.len(), 2000);
+        assert!(set.contains(0));
+        assert!(set.contains(1999));
+        assert!(!set.contains(2000));
+        let sorted = set.to_sorted_vec();
+        assert_eq!(sorted.len(), 2000);
+        assert_eq!(sorted[0], 0);
+        assert_eq!(sorted[1999], 1999);
+    }
+
+    #[test]
+    fn tombstone_clones_are_independent() {
+        let mut set = TombstoneSet::default();
+        for id in 0..600u64 {
+            set.insert(id);
+        }
+        let frozen = set.clone();
+        for id in 600..1200u64 {
+            set.insert(id);
+        }
+        assert_eq!(frozen.len(), 600);
+        assert!(!frozen.contains(700));
+        assert_eq!(set.len(), 1200);
+
+        let delta = set.subtract(&frozen);
+        assert_eq!(delta.len(), 600);
+        assert!(delta.contains(700));
+        assert!(!delta.contains(10));
+    }
+}

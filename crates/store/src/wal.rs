@@ -67,6 +67,10 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     dims: usize,
+    /// Bytes appended so far (header included).
+    len: u64,
+    /// Bytes known to have reached stable storage (grows at `sync`).
+    synced_len: u64,
 }
 
 impl Wal {
@@ -89,6 +93,8 @@ impl Wal {
             file,
             path: path.to_path_buf(),
             dims,
+            len: HEADER_LEN as u64,
+            synced_len: HEADER_LEN as u64,
         })
     }
 
@@ -146,6 +152,8 @@ impl Wal {
                 file,
                 path: path.to_path_buf(),
                 dims,
+                len: valid_end,
+                synced_len: valid_end,
             },
             records,
         ))
@@ -178,15 +186,30 @@ impl Wal {
         let sum = fnv1a(&buf);
         buf.extend_from_slice(&sum.to_le_bytes());
         self.file.write_all(&buf)?;
-        self.file.flush()
+        self.file.flush()?;
+        self.len += buf.len() as u64;
+        Ok(())
     }
 
     /// Forces all appended records to stable storage.
     ///
     /// # Errors
     /// Propagates IO errors.
-    pub fn sync(&self) -> io::Result<()> {
-        self.file.sync_all()
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()?;
+        self.synced_len = self.len;
+        Ok(())
+    }
+
+    /// Bytes appended so far, header included.
+    pub fn appended_len(&self) -> u64 {
+        self.len
+    }
+
+    /// Bytes guaranteed durable by the log's own `sync` calls: a power
+    /// loss may tear anything past this offset, nothing before it.
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
     }
 
     /// The log's file path.

@@ -36,7 +36,7 @@ fn main() {
         buffer_capacity: 4096,
         ..StoreConfig::default()
     };
-    let mut coll = Collection::create(&dir, d, config).expect("create collection");
+    let coll = Collection::create(&dir, d, config).expect("create collection");
     for i in 0..n {
         coll.insert(i as u64, &ds.data[i * d..(i + 1) * d])
             .expect("insert");
@@ -87,7 +87,7 @@ fn main() {
     //    compacted collection answers bit-identically — distances and
     //    all — to a flat index built from scratch on the survivors.
     drop(index);
-    let mut coll = Collection::open(&dir).expect("reopen");
+    let coll = Collection::open(&dir).expect("reopen");
     coll.compact().expect("compact");
     println!(
         "compacted → {} segment(s), {} tombstoned",

@@ -2,13 +2,18 @@
 //! (`pdx-store`): insert/delete visibility, seal + compaction
 //! bit-identity against fresh flat builds, WAL torn-tail crash
 //! recovery through `AnyIndex::open`, duplicate-id rejection at every
-//! layer, and batch/parallel determinism at 1/2/8 threads on a
-//! collection with live tombstones.
+//! layer, batch/parallel determinism at 1/2/8 threads on a collection
+//! with live tombstones, reader bit-identity during background
+//! compaction, WAL-rotation fault injection, and group-commit
+//! power-loss durability. A seeded snapshot-swap stress test runs when
+//! `PDX_STRESS` is set.
 
 use pdx::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -54,7 +59,7 @@ fn ids_of(hits: &[Neighbor]) -> Vec<u64> {
 fn inserts_are_visible_before_and_after_seal() {
     let (n, d, k) = (150, 8, 5);
     let rows = make_rows(n, d, 1);
-    let mut coll = Collection::in_memory(d, small_config(false));
+    let coll = Collection::in_memory(d, small_config(false));
     let opts = SearchOptions::new(k);
     for i in 0..n {
         coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
@@ -82,7 +87,7 @@ fn inserts_are_visible_before_and_after_seal() {
 fn deletes_hide_buffered_and_sealed_rows() {
     let (n, d) = (120, 6);
     let rows = make_rows(n, d, 3);
-    let mut coll = Collection::in_memory(d, small_config(false));
+    let coll = Collection::in_memory(d, small_config(false));
     for i in 0..n {
         coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
     }
@@ -115,7 +120,7 @@ fn deletes_hide_buffered_and_sealed_rows() {
 fn assert_compacted_matches_fresh(quantize: bool) {
     let (n, d, k) = (500, 10, 10);
     let rows = make_rows(n, d, 7);
-    let mut coll = Collection::in_memory(d, small_config(quantize));
+    let coll = Collection::in_memory(d, small_config(quantize));
     // External ids deliberately ≠ row positions to exercise the remap.
     let ext = |i: usize| (i as u64) * 3 + 7;
     for i in 0..n {
@@ -193,7 +198,7 @@ fn batch_and_parallel_match_sequential_with_live_tombstones() {
     let rows = tied_rows(base_n, copies, d, 11);
     let n = base_n * copies;
     for quantize in [false, true] {
-        let mut coll = Collection::in_memory(d, small_config(quantize));
+        let coll = Collection::in_memory(d, small_config(quantize));
         for i in 0..n {
             coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
         }
@@ -235,7 +240,7 @@ fn wal_torn_tail_recovers_cleanly_through_any_index() {
     let d = 6;
     let dir = temp_dir("torn_tail");
     let rows = make_rows(40, d, 21);
-    let mut coll = Collection::create(&dir, d, small_config(false)).unwrap();
+    let coll = Collection::create(&dir, d, small_config(false)).unwrap();
     for i in 0..30 {
         coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
     }
@@ -266,7 +271,7 @@ fn wal_torn_tail_recovers_cleanly_through_any_index() {
 
     // The store stays writable after recovery, and the torn id was
     // never applied, so it is free.
-    let mut coll = Collection::open(&dir).unwrap();
+    let coll = Collection::open(&dir).unwrap();
     coll.insert(100, &rows[30 * d..31 * d]).unwrap();
     coll.compact().unwrap();
     assert_eq!(coll.live_len(), 30);
@@ -278,7 +283,7 @@ fn reopened_collection_searches_identically() {
     let (n, d, k) = (260, 8, 8);
     let dir = temp_dir("reopen");
     let rows = make_rows(n, d, 31);
-    let mut coll = Collection::create(
+    let coll = Collection::create(
         &dir,
         d,
         StoreConfig {
@@ -307,7 +312,7 @@ fn reopened_collection_searches_identically() {
 
 #[test]
 fn duplicate_ids_are_typed_errors_at_every_layer() {
-    let mut coll = Collection::in_memory(2, small_config(false));
+    let coll = Collection::in_memory(2, small_config(false));
     coll.insert(5, &[0.0, 0.0]).unwrap();
     assert!(matches!(
         coll.insert(5, &[1.0, 1.0]),
@@ -338,9 +343,278 @@ fn duplicate_ids_are_typed_errors_at_every_layer() {
     assert!(err.to_string().contains("duplicate row id 1"), "{err}");
 }
 
+/// Readers hammering a collection while a background compaction runs
+/// must see, for every single search, a result bit-identical (ids AND
+/// distances) to the pre-compaction state or to the post-compaction
+/// state — never a mix, never anything else. The writer stays quiet so
+/// exactly those two oracles exist.
+fn assert_concurrent_compaction_bit_identical(threads: usize) {
+    let (n, d, k, nq) = (1200, 8, 10, 4);
+    let rows = make_rows(n, d, 41);
+    let coll = Arc::new(Collection::in_memory(d, small_config(false)));
+    for i in 0..n {
+        coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
+    }
+    for i in (0..n).step_by(5) {
+        coll.delete(i as u64).unwrap();
+    }
+    let queries = Arc::new(make_rows(nq, d, 42));
+    let opts = SearchOptions::new(k).with_threads(threads);
+    let run_query = move |coll: &Collection, queries: &[f32], qi: usize| {
+        let q = &queries[qi * d..(qi + 1) * d];
+        if threads == 1 {
+            coll.search(q, &opts)
+        } else {
+            coll.search_parallel(q, &opts)
+        }
+    };
+    let pre: Vec<Vec<Neighbor>> = (0..nq).map(|qi| run_query(&coll, &queries, qi)).collect();
+
+    let job = coll.compact_background().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let coll = Arc::clone(&coll);
+            let queries = Arc::clone(&queries);
+            let pre = pre.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // Collect every observation that differs from the pre
+                // oracle; the main thread checks them against post.
+                let mut divergent = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    for (qi, pre_q) in pre.iter().enumerate() {
+                        let got = run_query(&coll, &queries, qi);
+                        if got != *pre_q {
+                            divergent.push((qi, got));
+                        }
+                    }
+                }
+                divergent
+            })
+        })
+        .collect();
+    job.wait().unwrap();
+    stop.store(true, Ordering::Release);
+
+    assert_eq!(coll.segment_count(), 1);
+    assert_eq!(coll.tombstone_count(), 0);
+    let post: Vec<Vec<Neighbor>> = (0..nq).map(|qi| run_query(&coll, &queries, qi)).collect();
+    for reader in readers {
+        for (qi, got) in reader.join().unwrap() {
+            // Bit-identical to post (== on Neighbor compares the f32
+            // distance and the id; no NaNs reach a heap).
+            assert_eq!(
+                got, post[qi],
+                "a mid-compaction search (q{qi}, {threads} threads) matched neither the \
+                 pre- nor the post-compaction oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_compaction_is_bit_identical_at_1_thread() {
+    assert_concurrent_compaction_bit_identical(1);
+}
+
+#[test]
+fn concurrent_compaction_is_bit_identical_at_2_threads() {
+    assert_concurrent_compaction_bit_identical(2);
+}
+
+#[test]
+fn concurrent_compaction_is_bit_identical_at_8_threads() {
+    assert_concurrent_compaction_bit_identical(8);
+}
+
+/// The WAL-rotation data-loss bug: a seal whose new-WAL creation fails
+/// must fail the whole commit and keep the old manifest + WAL
+/// authoritative, so every acknowledged write survives a reopen. (On
+/// the old code the manifest naming the never-created generation was
+/// already committed, so recovery replayed an empty log and the
+/// acknowledged buffered writes vanished.)
+#[test]
+fn failed_wal_rotation_loses_no_acknowledged_write() {
+    let d = 4;
+    let dir = temp_dir("wal_rotation_fault");
+    let rows = make_rows(64, d, 51);
+    let coll = Collection::create(&dir, d, small_config(false)).unwrap();
+    for i in 0..20 {
+        coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
+    }
+    // Fault injection: a directory squatting on the next WAL
+    // generation's path makes `Wal::create` fail deterministically.
+    let blocker = dir.join("wal-000001.log");
+    std::fs::create_dir(&blocker).unwrap();
+    let err = coll.seal().unwrap_err();
+    assert!(matches!(err, StoreError::Io(_)), "{err}");
+
+    // The store keeps accepting (and acknowledging) writes, and the
+    // frozen rows stay searchable.
+    for i in 20..30 {
+        coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
+    }
+    coll.delete(5).unwrap();
+    assert_eq!(coll.live_len(), 29);
+    let hits = coll.search(&rows[..d], &SearchOptions::new(1));
+    assert_eq!(hits[0].id, 0);
+    drop(coll); // crash
+
+    // Recovery finds every acknowledged write.
+    std::fs::remove_dir(&blocker).unwrap();
+    let coll = Collection::open(&dir).unwrap();
+    assert_eq!(coll.live_len(), 29);
+    for i in 0..30u64 {
+        assert_eq!(coll.contains(i), i != 5, "id {i} after recovery");
+    }
+    // And once the path is clear, sealing (with the retried leftovers)
+    // works again.
+    coll.seal().unwrap();
+    assert_eq!(coll.buffer_len(), 0);
+    assert_eq!(coll.live_len(), 29);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `GroupCommit::sync_every` bounds the power-loss window: everything
+/// up to the last group fsync must survive losing the WAL tail. The
+/// "power loss" is simulated by truncating the log to the last offset
+/// the store reported as synced.
+#[test]
+fn group_commit_bounds_the_power_loss_window() {
+    let d = 4;
+    let dir = temp_dir("group_commit");
+    let rows = make_rows(32, d, 61);
+    let coll = Collection::create(&dir, d, small_config(false)).unwrap();
+    coll.set_group_commit(GroupCommit {
+        sync_every: 4,
+        sync_interval: None,
+    });
+    for i in 0..10 {
+        coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
+    }
+    // 10 appends at sync_every=4 → the 8th insert triggered the last
+    // group fsync; records 9 and 10 are only in the OS cache.
+    let synced = coll.wal_synced_len();
+    assert!(synced > 0);
+    assert!(synced < coll.wal_appended_len());
+    drop(coll);
+
+    let wal_path = dir.join("wal-000000.log");
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal_path)
+        .unwrap();
+    file.set_len(synced).unwrap(); // everything past synced_len torn
+    drop(file);
+
+    let coll = Collection::open(&dir).unwrap();
+    assert_eq!(coll.live_len(), 8, "the group-committed prefix survives");
+    for i in 0..8u64 {
+        assert!(coll.contains(i));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Seeded stress of the snapshot swap: readers, a writer, and repeated
+/// background maintenance all hammering one collection. Gated by
+/// `PDX_STRESS` (the CI stress matrix runs it at 2 and 8 threads via
+/// `PDX_THREADS`).
+#[test]
+fn stress_snapshot_swap_under_concurrent_load() {
+    if std::env::var("PDX_STRESS").is_err() {
+        eprintln!("skipping: set PDX_STRESS=1 to run");
+        return;
+    }
+    let threads: usize = std::env::var("PDX_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let (d, k, rounds) = (8, 10, 12);
+    let coll = Arc::new(Collection::in_memory(d, small_config(false)));
+    let seed_rows = make_rows(400, d, 71);
+    for i in 0..400 {
+        coll.insert(i as u64, &seed_rows[i * d..(i + 1) * d])
+            .unwrap();
+    }
+    let queries = Arc::new(make_rows(8, d, 72));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..2)
+        .map(|r| {
+            let coll = Arc::clone(&coll);
+            let queries = Arc::clone(&queries);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let opts = SearchOptions::new(k).with_threads(threads);
+                let mut searches = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    for qi in 0..8 {
+                        let q = &queries[qi * d..(qi + 1) * d];
+                        // Pin one snapshot: two searches against it must
+                        // be bit-identical however the writer races.
+                        let snap = coll.snapshot();
+                        let a = snap.search_parallel(q, &opts);
+                        let b = snap.search(q, &opts);
+                        assert_eq!(a, b, "reader {r}: pinned snapshot diverged");
+                        assert!(a.len() <= k);
+                        let mut ids = ids_of(&a);
+                        ids.sort_unstable();
+                        ids.dedup();
+                        assert_eq!(ids.len(), a.len(), "reader {r}: duplicate neighbour");
+                        assert!(
+                            a.windows(2)
+                                .all(|w| (w[0].distance, w[0].id) <= (w[1].distance, w[1].id)),
+                            "reader {r}: non-canonical order"
+                        );
+                        searches += 1;
+                    }
+                }
+                searches
+            })
+        })
+        .collect();
+
+    // Writer + maintenance churn: seeded, deterministic op sequence.
+    let mut rng = StdRng::seed_from_u64(73);
+    let mut next_id = 400u64;
+    for round in 0..rounds {
+        for _ in 0..150 {
+            if rng.random::<f32>() < 0.3 && coll.live_len() > 50 {
+                // Delete a random live-ish id; NotFound is fine.
+                let id = rng.random_range(0..next_id);
+                let _ = coll.delete(id);
+            } else {
+                let row: Vec<f32> = (0..d).map(|_| rng.random::<f32>() * 4.0 - 2.0).collect();
+                coll.insert(next_id, &row).unwrap();
+                next_id += 1;
+            }
+        }
+        let job = if round % 2 == 0 {
+            coll.seal_background()
+        } else {
+            coll.compact_background()
+        };
+        match job {
+            Ok(job) => job.wait().unwrap(),
+            Err(StoreError::MaintenanceBusy) => {}
+            Err(e) => panic!("maintenance failed: {e}"),
+        }
+    }
+    stop.store(true, Ordering::Release);
+    for reader in readers {
+        assert!(reader.join().unwrap() > 0);
+    }
+    // Ground truth: a collection rebuilt from the final live state
+    // answers identically after compaction of both.
+    coll.compact().unwrap();
+    assert_eq!(coll.maintenance_in_flight(), 0);
+    assert!(coll.live_len() > 0);
+}
+
 #[test]
 fn collection_len_dims_kind_through_the_trait() {
-    let mut coll = Collection::in_memory(3, small_config(false));
+    let coll = Collection::in_memory(3, small_config(false));
     for i in 0..10u64 {
         coll.insert(i, &[i as f32; 3]).unwrap();
     }
