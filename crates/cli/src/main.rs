@@ -16,6 +16,12 @@
 //! pdx-cli delete   --index=store --ids=5,17,100..200
 //! pdx-cli compact  --index=store
 //! pdx-cli stat     --index=store
+//!
+//! # network serving (std-only TCP, length-prefixed binary protocol)
+//! pdx-cli serve    --index=index.pdx [--port=4791 --host=127.0.0.1]
+//!                  [--workers=N --queue-depth=128 --deadline-ms=0]
+//! pdx-cli query    --remote=127.0.0.1:4791 --queries=queries.fvecs --k=10
+//!                  [--deadline-ms=50 --refine=4]
 //! ```
 //!
 //! `query` and `evaluate` go through the engine layer: `AnyIndex::open`
@@ -55,7 +61,24 @@ const BUILD_FLAGS: &[&str] = &[
     "mode",
     "buffer-capacity",
 ];
-const QUERY_FLAGS: &[&str] = &["index", "queries", "k", "order", "refine", "threads"];
+const QUERY_FLAGS: &[&str] = &[
+    "index",
+    "queries",
+    "k",
+    "order",
+    "refine",
+    "threads",
+    "remote",
+    "deadline-ms",
+];
+const SERVE_FLAGS: &[&str] = &[
+    "index",
+    "host",
+    "port",
+    "workers",
+    "queue-depth",
+    "deadline-ms",
+];
 const GROUND_TRUTH_FLAGS: &[&str] = &["data", "queries", "out", "k"];
 const EVALUATE_FLAGS: &[&str] = &["index", "queries", "gt", "k", "order", "refine", "threads"];
 const INSERT_FLAGS: &[&str] = &["index", "data", "start-id", "sync-every"];
@@ -192,6 +215,10 @@ commands:
                   [--threads=N]      parallel batch width (default: PDX_THREADS
                                      env, then all hardware threads; results
                                      are identical at every width)
+                  [--remote=host:port]  query a running `serve` instance over
+                                     TCP instead of opening --index locally
+                  [--deadline-ms=N]  per-request latency budget in remote mode
+                                     (expired requests get a typed error)
   ground-truth  exact k-NN ids for a query set, saved as .ivecs
                   --data=<file> --queries=<file> --out=<file> [--k=10]
   evaluate      recall against stored ground truth (any index kind)
@@ -210,6 +237,15 @@ commands:
                                      stay available) and wait for its commit
   stat          describe any index (segments/buffer/tombstones for collections)
                   --index=<path>
+  serve         serve any index over TCP (length-prefixed binary protocol;
+                mutable collections also accept insert/delete; Ctrl-C stops)
+                  --index=<path> [--host=127.0.0.1 --port=4791]
+                  [--workers=N]      request workers (default: PDX_THREADS env,
+                                     then all hardware threads)
+                  [--queue-depth=128]  admission queue bound — a full queue
+                                     answers typed `busy` frames, never stalls
+                  [--deadline-ms=0]  default deadline for requests carrying
+                                     none (0 = requests never expire)
   datasets      list the built-in Table 1 dataset shapes
 ";
 
@@ -230,6 +266,7 @@ fn main() -> ExitCode {
         "delete" => flags(DELETE_FLAGS).and_then(|a| cmd_delete(&a)),
         "compact" => flags(COMPACT_FLAGS).and_then(|a| cmd_compact(&a)),
         "stat" => flags(STAT_FLAGS).and_then(|a| cmd_stat(&a)),
+        "serve" => flags(SERVE_FLAGS).and_then(|a| cmd_serve(&a)),
         "datasets" => flags(DATASETS_FLAGS).and_then(|_| cmd_datasets()),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     };
@@ -641,7 +678,93 @@ fn cmd_stat(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let path = args.path("index")?;
+    let backend =
+        pdx::serve::Backend::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let host = args.str_or("host", "127.0.0.1");
+    let port = args.usize("port", pdx::serve::DEFAULT_PORT as usize)? as u16;
+    let config = ServeConfig {
+        workers: args.usize("workers", 0)?,
+        queue_depth: args.usize("queue-depth", 128)?,
+        default_deadline_ms: args.usize("deadline-ms", 0)? as u32,
+        ..ServeConfig::default()
+    };
+    let mutable = matches!(backend, pdx::serve::Backend::Collection(_));
+    let dims = backend.index().dims();
+    let kind = backend.index().kind();
+    let server =
+        Server::start(backend, (host.as_str(), port), config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {} ({kind}, {dims} dims, {}) on {} — {} worker(s), queue depth {}",
+        path.display(),
+        if mutable {
+            "mutable: search/insert/delete"
+        } else {
+            "frozen: search only"
+        },
+        server.local_addr(),
+        resolve_threads(config.workers),
+        config.queue_depth,
+    );
+    // Serve until the process is killed (Ctrl-C / SIGTERM); the threads
+    // are all in the server, so parking the main thread costs nothing.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `query --remote=host:port`: the same query loop, answered by a
+/// running `serve` instance instead of a locally opened index.
+fn cmd_query_remote(args: &Args, remote: &str) -> Result<(), String> {
+    for local_only in ["index", "order", "threads"] {
+        if args.has(local_only) {
+            eprintln!("note: --{local_only} does not apply with --remote; ignored");
+        }
+    }
+    let k = args.usize("k", 10)?;
+    let refine = args.usize("refine", 0)?;
+    let queries = read_fvecs(&args.path("queries")?)?;
+    let mut client = ServeClient::connect(remote).map_err(|e| format!("{remote}: {e}"))?;
+    client.set_deadline_ms(args.usize("deadline-ms", 0)? as u32);
+    let t0 = Instant::now();
+    let mut results = Vec::with_capacity(queries.len);
+    for qi in 0..queries.len {
+        let query = &queries.data[qi * queries.dims..(qi + 1) * queries.dims];
+        results.push(
+            client
+                .search_opts(query, k, 0, refine)
+                .map_err(|e| format!("query {qi}: {e}"))?,
+        );
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    for (qi, res) in results.iter().enumerate() {
+        let ids: Vec<String> = res
+            .iter()
+            .map(|r| format!("{}:{:.3}", r.id, r.distance))
+            .collect();
+        println!("query {qi}: {}", ids.join(" "));
+    }
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} queries against {remote} in {secs:.3}s ({:.1} QPS); server: {} live, \
+         p50 {} µs, p99 {} µs",
+        queries.len,
+        queries.len as f64 / secs,
+        stats.live,
+        stats.p50_us,
+        stats.p99_us,
+    );
+    Ok(())
+}
+
 fn cmd_query(args: &Args) -> Result<(), String> {
+    if let Some(remote) = args.values.get("remote").cloned() {
+        return cmd_query_remote(args, &remote);
+    }
+    if args.has("deadline-ms") {
+        eprintln!("note: --deadline-ms only applies with --remote; ignored");
+    }
     let k = args.usize("k", 10)?;
     let index = load_index(args)?;
     let opts = search_options(args, k, index.as_ref())?;

@@ -361,7 +361,7 @@ impl<'a> SegmentedSearch<'a> {
 
     /// The canonical top-`k` over all segments and `extra` candidate
     /// lists (already in external-id space), keeping only ids for which
-    /// `keep` returns `true`.
+    /// `keep` returns `true`. `k == 0` answers empty without scanning.
     pub fn search(
         &self,
         extra: &[Vec<Neighbor>],
@@ -369,6 +369,9 @@ impl<'a> SegmentedSearch<'a> {
         opts: &SearchOptions,
         keep: impl Fn(u64) -> bool,
     ) -> Vec<Neighbor> {
+        if opts.k == 0 {
+            return Vec::new();
+        }
         let mut lists = self.segment_lists(query, opts, false);
         lists.extend_from_slice(extra);
         merge_neighbors_filtered(&lists, opts.k, keep)
@@ -385,6 +388,9 @@ impl<'a> SegmentedSearch<'a> {
         opts: &SearchOptions,
         keep: impl Fn(u64) -> bool,
     ) -> Vec<Neighbor> {
+        if opts.k == 0 {
+            return Vec::new();
+        }
         let mut lists = self.segment_lists(query, opts, true);
         lists.extend_from_slice(extra);
         merge_neighbors_filtered(&lists, opts.k, keep)

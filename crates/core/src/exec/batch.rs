@@ -117,10 +117,7 @@ where
 
 /// Merges per-worker result lists into the canonical top-`k` by
 /// `(distance, id)`. Deterministic regardless of list order or how the
-/// candidates were partitioned.
-///
-/// # Panics
-/// Panics if `k == 0`.
+/// candidates were partitioned. `k == 0` merges to an empty list.
 pub fn merge_neighbors(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
     merge_neighbors_filtered(lists, k, |_| true)
 }
@@ -131,14 +128,15 @@ pub fn merge_neighbors(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
 /// tombstoned rows — the per-segment scans over-fetch, and the deleted
 /// ids are discarded here, at merge time, so the surviving top-`k` is
 /// exactly what a scan over the live rows alone would have retained.
-///
-/// # Panics
-/// Panics if `k == 0`.
+/// `k == 0` merges to an empty list.
 pub fn merge_neighbors_filtered(
     lists: &[Vec<Neighbor>],
     k: usize,
     keep: impl Fn(u64) -> bool,
 ) -> Vec<Neighbor> {
+    if k == 0 {
+        return Vec::new();
+    }
     let mut heap = KnnHeap::new(k);
     for list in lists {
         for n in list {

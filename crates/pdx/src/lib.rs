@@ -11,6 +11,9 @@
 //! * [`engine`] ([`pdx_engine`]) — the dynamic serving layer:
 //!   `AnyIndex::open` returns any persisted container as a
 //!   `Box<dyn VectorIndex>`.
+//! * [`serve`] ([`pdx_serve`]) — the network layer: a std-only TCP
+//!   query service (length-prefixed protocol, deadlines, admission
+//!   control) and its blocking client.
 //! * [`linalg`] ([`pdx_linalg`]) — the linear-algebra substrate.
 //!
 //! ## Quickstart
@@ -145,6 +148,7 @@ pub use pdx_engine as engine;
 pub use pdx_index as index;
 pub use pdx_linalg as linalg;
 pub use pdx_pruners as pruners;
+pub use pdx_serve as serve;
 pub use pdx_store as store;
 
 /// One-stop imports for applications and examples.
@@ -186,6 +190,10 @@ pub mod prelude {
         FlatPdx, FlatSq8, Hnsw, HnswParams, IvfHorizontal, IvfIndex, IvfPdx, IvfSq8, KMeans,
     };
     pub use pdx_pruners::{AdSampling, Bsa, BsaLearned};
+    pub use pdx_serve::{
+        Backend, Client as ServeClient, ClientError, ErrorKind as ServeErrorKind, ServeConfig,
+        Server, StatsReport,
+    };
     pub use pdx_store::{
         Collection, GroupCommit, MaintenanceJob, SegmentStat, Snapshot, StoreConfig, StoreError,
         WriteBuffer,

@@ -1,0 +1,566 @@
+//! The query server: accept loop, bounded admission queue, deadline
+//! enforcement, and worker dispatch over any [`VectorIndex`].
+//!
+//! ## Thread model
+//!
+//! Every thread is a named [`spawn_job`] job:
+//!
+//! * one **accept** thread owns the listener and spawns one
+//!   **connection** thread per client;
+//! * connection threads read frames, answer `Ping`/`Stats` and
+//!   protocol errors inline, and push everything else onto the bounded
+//!   admission queue (full queue → typed `Busy` frame, no blocking);
+//! * `workers` **worker** threads drain the queue, drop requests whose
+//!   deadline passed while queued (typed `DeadlineExceeded` frame), and
+//!   execute the rest against the backend.
+//!
+//! Responses carry the request's sequence number and go out through a
+//! per-connection writer mutex, so one connection may pipeline requests
+//! and receive replies out of order. All blocking reads use a short
+//! timeout and poll the server's stop flag, which is what makes
+//! [`Server::shutdown`] clean: no leaked threads, port released.
+
+use crate::metrics::ServerMetrics;
+use crate::proto::{
+    check_frame_len, write_frame, ErrorKind, Request, Response, StatsReport, DEFAULT_MAX_FRAME,
+};
+use pdx_core::engine::{SearchOptions, VectorIndex};
+use pdx_core::exec::{resolve_threads, spawn_job, JobHandle};
+use pdx_engine::AnyIndex;
+use pdx_store::{Collection, StoreError, MANIFEST_FILE};
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often blocked reads and idle workers re-check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server tuning knobs (all have serviceable defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads draining the admission queue (`0` = resolve from
+    /// `PDX_THREADS` / hardware, like every other parallel region).
+    pub workers: usize,
+    /// Admission queue capacity; a request arriving when the queue
+    /// holds this many gets a typed `Busy` frame instead of waiting.
+    pub queue_depth: usize,
+    /// Deadline substituted for requests that carry none (`0` = no
+    /// default, such requests never expire).
+    pub default_deadline_ms: u32,
+    /// Cap on a frame's payload length; larger frames are rejected
+    /// before allocation and the connection is closed.
+    pub max_frame: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_depth: 128,
+            default_deadline_ms: 0,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// What the server serves: either a frozen container behind the
+/// object-safe [`VectorIndex`] trait, or a mutable [`Collection`]
+/// (which additionally accepts `Insert`/`Delete`).
+pub enum Backend {
+    /// A read-only container (`PDX1`/`PDX2`, or any boxed index).
+    Frozen(Box<dyn VectorIndex>),
+    /// A mutable PDX3 collection; searches hit lock-free snapshots,
+    /// mutations go through the concurrent writer.
+    Collection(Arc<Collection>),
+}
+
+impl Backend {
+    /// Opens `path` as a backend: PDX3 collection directories (or their
+    /// `MANIFEST` file) open as mutable [`Backend::Collection`],
+    /// everything else goes through [`AnyIndex::open`] and is frozen.
+    ///
+    /// # Errors
+    /// Propagates open/IO errors; corrupt inputs surface as the typed
+    /// `InvalidData` errors of `AnyIndex::open`/`Collection::open`.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        let manifest_named = path.file_name().is_some_and(|name| name == MANIFEST_FILE);
+        if path.is_dir() || manifest_named {
+            let dir = if manifest_named {
+                path.parent().unwrap_or(Path::new("."))
+            } else {
+                path
+            };
+            let coll = Collection::open(dir)?;
+            Ok(Backend::Collection(Arc::new(coll)))
+        } else {
+            Ok(Backend::Frozen(AnyIndex::open(path)?))
+        }
+    }
+
+    /// Wraps an already-open index as a frozen backend.
+    pub fn frozen(index: Box<dyn VectorIndex>) -> Self {
+        Backend::Frozen(index)
+    }
+
+    /// Wraps an already-open collection as a mutable backend.
+    pub fn collection(coll: Collection) -> Self {
+        Backend::Collection(Arc::new(coll))
+    }
+
+    /// The search surface (both variants serve reads the same way).
+    pub fn index(&self) -> &dyn VectorIndex {
+        match self {
+            Backend::Frozen(index) => index.as_ref(),
+            Backend::Collection(coll) => coll.as_ref() as &dyn VectorIndex,
+        }
+    }
+
+    fn live(&self) -> u64 {
+        match self {
+            Backend::Frozen(index) => index.len() as u64,
+            Backend::Collection(coll) => coll.live_len() as u64,
+        }
+    }
+
+    fn tombstones(&self) -> u64 {
+        match self {
+            Backend::Frozen(_) => 0,
+            Backend::Collection(coll) => coll.tombstone_count() as u64,
+        }
+    }
+}
+
+/// One admitted request waiting for a worker.
+struct QueuedJob {
+    seq: u32,
+    req: Request,
+    arrived: Instant,
+    deadline: Option<Instant>,
+    conn: Arc<ConnWriter>,
+}
+
+/// The write half of one connection; a mutex serializes response
+/// frames so workers and the connection thread can interleave replies.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn send(&self, seq: u32, resp: &Response) {
+        let mut stream = self.stream.lock().expect("conn writer lock");
+        // A send failure means the peer is gone; its reader will notice.
+        let _ = write_frame(&mut *stream, seq, &resp.encode());
+    }
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    backend: Backend,
+    config: ServeConfig,
+    metrics: ServerMetrics,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    available: Condvar,
+    stop: AtomicBool,
+    started: Instant,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    fn stats(&self) -> StatsReport {
+        let queue_depth = self.queue.lock().expect("queue lock").len() as u64;
+        self.metrics.report(
+            self.started,
+            self.backend.index().dims() as u64,
+            self.backend.live(),
+            self.backend.tombstones(),
+            queue_depth,
+            self.config.queue_depth as u64,
+        )
+    }
+}
+
+/// A running query server; dropping it shuts it down cleanly.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JobHandle<()>>,
+    workers: Vec<JobHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and worker threads.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start(
+        backend: Backend,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            backend,
+            config,
+            metrics: ServerMetrics::new(),
+            queue: Mutex::new(VecDeque::with_capacity(config.queue_depth)),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        let workers = (0..resolve_threads(config.workers))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                spawn_job("serve-worker", move || worker_loop(&shared))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            spawn_job("serve-accept", move || accept_loop(listener, &shared))
+        };
+        Ok(Self {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A statistics snapshot (same data as the wire `Stats` response).
+    pub fn stats(&self) -> StatsReport {
+        self.shared.stats()
+    }
+
+    /// Stops accepting, drains the queue, joins every thread, and
+    /// releases the port. Idempotent with [`Drop`].
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.available.notify_all();
+        // Unblock the accept loop: it re-checks the stop flag per
+        // accepted connection, so connect to ourselves once.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(accept) = self.accept.take() {
+            accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Accepts connections until the stop flag is raised, then joins every
+/// connection thread it spawned.
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut conns: Vec<JobHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stopping() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        conns.retain(|conn| !conn.is_finished());
+        let shared = Arc::clone(shared);
+        conns.push(spawn_job("serve-conn", move || conn_loop(stream, &shared)));
+    }
+    for conn in conns {
+        conn.join();
+    }
+}
+
+/// What one interruptible exact-read ended as.
+enum ReadStatus {
+    /// The buffer was filled.
+    Full,
+    /// The peer closed (or errored, or the server is stopping).
+    Eof,
+}
+
+/// Fills `buf` from `stream`, polling the stop flag on every read
+/// timeout. A peer close — clean between frames or truncating one —
+/// returns `Eof` either way: a part-read frame cannot be
+/// resynchronized, so the connection ends.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> ReadStatus {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.stopping() {
+            return ReadStatus::Eof;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadStatus::Eof,
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => return ReadStatus::Eof,
+        }
+    }
+    ReadStatus::Full
+}
+
+/// One connection: reads frames, answers control-plane requests inline,
+/// and admits data-plane requests to the worker queue.
+fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(ConnWriter {
+        stream: Mutex::new(write_half),
+    });
+    let mut stream = stream;
+    loop {
+        let mut hdr = [0u8; 4];
+        if matches!(read_full(&mut stream, &mut hdr, shared), ReadStatus::Eof) {
+            return;
+        }
+        let len = u32::from_le_bytes(hdr);
+        if let Err(err) = check_frame_len(len, shared.config.max_frame) {
+            // The stream offset is now unknowable: answer and close.
+            shared
+                .metrics
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            conn.send(0, &Response::error(ErrorKind::Protocol, err.0));
+            return;
+        }
+        let mut payload = vec![0u8; len as usize];
+        if matches!(
+            read_full(&mut stream, &mut payload, shared),
+            ReadStatus::Eof
+        ) {
+            return;
+        }
+        let seq = u32::from_le_bytes(payload[..4].try_into().expect("length checked"));
+        let arrived = Instant::now();
+        match Request::decode(&payload[4..]) {
+            Err(err) => {
+                // Frame boundaries are intact: answer and keep serving.
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                conn.send(seq, &Response::error(ErrorKind::Protocol, err.0));
+            }
+            Ok(req) => dispatch(req, seq, arrived, &conn, shared),
+        }
+    }
+}
+
+/// Routes one decoded request: `Ping`/`Stats` inline (they must work
+/// while the queue is full — overload has to be observable), everything
+/// else through admission control.
+fn dispatch(req: Request, seq: u32, arrived: Instant, conn: &Arc<ConnWriter>, shared: &Shared) {
+    match req {
+        Request::Ping => {
+            conn.send(seq, &Response::Pong);
+            return;
+        }
+        Request::Stats { .. } => {
+            conn.send(seq, &Response::Stats(shared.stats()));
+            return;
+        }
+        _ => {}
+    }
+    let deadline_ms = match req.deadline_ms() {
+        0 => shared.config.default_deadline_ms,
+        explicit => explicit,
+    };
+    let deadline =
+        (deadline_ms > 0).then(|| arrived + Duration::from_millis(u64::from(deadline_ms)));
+    let mut queue = shared.queue.lock().expect("queue lock");
+    if queue.len() >= shared.config.queue_depth {
+        drop(queue);
+        shared.metrics.busy_rejected.fetch_add(1, Ordering::Relaxed);
+        conn.send(
+            seq,
+            &Response::error(
+                ErrorKind::Busy,
+                format!(
+                    "admission queue full ({} waiting); retry later",
+                    shared.config.queue_depth
+                ),
+            ),
+        );
+        return;
+    }
+    queue.push_back(QueuedJob {
+        seq,
+        req,
+        arrived,
+        deadline,
+        conn: Arc::clone(conn),
+    });
+    drop(queue);
+    shared.available.notify_one();
+}
+
+/// Drains the admission queue until the server stops *and* the queue is
+/// empty (admitted requests are always answered).
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.stopping() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(queue, POLL_INTERVAL)
+                    .expect("queue lock");
+                queue = guard;
+            }
+        };
+        let Some(job) = job else { return };
+        if let Some(deadline) = job.deadline {
+            if Instant::now() > deadline {
+                shared
+                    .metrics
+                    .deadline_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                job.conn.send(
+                    job.seq,
+                    &Response::error(
+                        ErrorKind::DeadlineExceeded,
+                        format!(
+                            "deadline passed after {} µs in the queue",
+                            job.arrived.elapsed().as_micros()
+                        ),
+                    ),
+                );
+                continue;
+            }
+        }
+        shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let resp = execute(&shared.backend, &job.req);
+        shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .latency
+            .record(job.arrived.elapsed().as_micros() as u64);
+        job.conn.send(job.seq, &resp);
+    }
+}
+
+fn search_options(k: u32, nprobe: u32, refine: u32) -> SearchOptions {
+    // Workers are the unit of parallelism: each request runs
+    // single-threaded so `workers` requests proceed concurrently.
+    let mut opts = SearchOptions::new(k as usize).with_threads(1);
+    if nprobe > 0 {
+        opts = opts.with_nprobe(nprobe as usize);
+    }
+    if refine > 0 {
+        opts = opts.with_refine(refine as usize);
+    }
+    opts
+}
+
+fn store_error(err: &StoreError) -> Response {
+    Response::error(ErrorKind::Store, err.to_string())
+}
+
+/// Executes one admitted request against the backend. Total: every
+/// outcome is a response frame, including shape mismatches (typed
+/// `Protocol`) and mutations against frozen containers (typed
+/// `Unsupported`).
+fn execute(backend: &Backend, req: &Request) -> Response {
+    let dims = backend.index().dims();
+    match req {
+        Request::Search {
+            k,
+            nprobe,
+            refine,
+            query,
+            ..
+        } => {
+            if query.len() != dims {
+                return Response::error(
+                    ErrorKind::Protocol,
+                    format!("query has {} dims, index has {dims}", query.len()),
+                );
+            }
+            if *k == 0 {
+                return Response::Neighbors(Vec::new());
+            }
+            let opts = search_options(*k, *nprobe, *refine);
+            Response::Neighbors(backend.index().search(query, &opts))
+        }
+        Request::SearchBatch {
+            k,
+            nprobe,
+            refine,
+            dims: batch_dims,
+            queries,
+            ..
+        } => {
+            if *batch_dims as usize != dims {
+                return Response::error(
+                    ErrorKind::Protocol,
+                    format!("batch packed at {batch_dims} dims, index has {dims}"),
+                );
+            }
+            if *k == 0 {
+                let n = queries.len() / dims.max(1);
+                return Response::Batch(vec![Vec::new(); n]);
+            }
+            let opts = search_options(*k, *nprobe, *refine);
+            Response::Batch(backend.index().search_batch(queries, &opts))
+        }
+        Request::Insert { id, vector, .. } => match backend {
+            Backend::Collection(coll) => match coll.insert(*id, vector) {
+                Ok(()) => Response::Inserted,
+                Err(err) => store_error(&err),
+            },
+            Backend::Frozen(_) => Response::error(
+                ErrorKind::Unsupported,
+                "insert requires a mutable collection (PDX3); this index is frozen",
+            ),
+        },
+        Request::Delete { id, .. } => match backend {
+            Backend::Collection(coll) => match coll.delete(*id) {
+                Ok(()) => Response::Deleted,
+                Err(err) => store_error(&err),
+            },
+            Backend::Frozen(_) => Response::error(
+                ErrorKind::Unsupported,
+                "delete requires a mutable collection (PDX3); this index is frozen",
+            ),
+        },
+        // Ping/Stats are answered inline by the connection thread.
+        Request::Ping | Request::Stats { .. } => Response::Pong,
+    }
+}

@@ -32,7 +32,7 @@ const DELTA_ROLL: usize = 512;
 ///
 /// The set is two layers: a large shared `base` and a small `delta` of
 /// recent deletes. Inserting copies at most the delta (copy-on-write);
-/// when the delta reaches [`DELTA_ROLL`] entries it is folded into the
+/// when the delta reaches `DELTA_ROLL` entries it is folded into the
 /// base. Cloning — which happens on every snapshot publication — is two
 /// `Arc` clones regardless of size.
 #[derive(Debug, Clone, Default)]
@@ -227,6 +227,9 @@ impl VectorIndex for Snapshot {
     /// tombstoned rows during the merge — the collection's read path,
     /// frozen at snapshot time.
     fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        if opts.k == 0 {
+            return Vec::new();
+        }
         let extra = self.memory_lists(query, opts);
         self.segmented()
             .search(&extra, query, opts, |id| !self.tombstones.contains(id))
@@ -238,6 +241,9 @@ impl VectorIndex for Snapshot {
     /// sequential, and the merge is canonical — so the result equals
     /// [`VectorIndex::search`] at any width.
     fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        if opts.k == 0 {
+            return Vec::new();
+        }
         let extra = self.memory_lists(query, opts);
         self.segmented()
             .search_parallel(&extra, query, opts, |id| !self.tombstones.contains(id))

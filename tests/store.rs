@@ -5,8 +5,11 @@
 //! layer, batch/parallel determinism at 1/2/8 threads on a collection
 //! with live tombstones, reader bit-identity during background
 //! compaction, WAL-rotation fault injection, and group-commit
-//! power-loss durability. A seeded snapshot-swap stress test runs when
-//! `PDX_STRESS` is set.
+//! power-loss durability. Edge cases backfilled while wiring the
+//! network server: `k = 0` / `k > live rows` searches, counter
+//! freshness right after a background compaction commits, and a
+//! truncated MANIFEST opening as a typed `Corrupt` error. A seeded
+//! snapshot-swap stress test runs when `PDX_STRESS` is set.
 
 use pdx::prelude::*;
 use rand::rngs::StdRng;
@@ -624,4 +627,150 @@ fn collection_len_dims_kind_through_the_trait() {
     assert_eq!(dep.dims(), 3);
     assert_eq!(dep.len(), 9);
     assert!(!dep.is_empty());
+}
+
+/// `k = 0` asks for nothing and must answer nothing — at the merge, at
+/// the segmented read path, and through the collection trait — and
+/// `k > live rows` must return exactly the live rows in canonical
+/// `(distance, id)` order. Both ends of the `k` range came up while
+/// wiring the network server, where `k` arrives from the wire.
+#[test]
+fn k_zero_and_k_beyond_live_rows_are_well_defined() {
+    let (n, d) = (300, 8);
+    let rows = make_rows(n, d, 77);
+    let coll = Collection::in_memory(d, small_config(false));
+    for i in 0..n {
+        coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
+    }
+    for i in (0..n).step_by(3) {
+        coll.delete(i as u64).unwrap();
+    }
+    let live = coll.live_len();
+    assert!(live < n);
+    let q = &rows[..d];
+
+    // k = 0: empty everywhere, sequential and parallel.
+    let one = vec![vec![Neighbor {
+        id: 1,
+        distance: 0.5,
+    }]];
+    assert!(merge_neighbors(&one, 0).is_empty());
+    let flat = FlatPdx::with_defaults(&rows, n, d);
+    let remap: Vec<u64> = (0..n as u64).collect();
+    let seg = SegmentedSearch::new(vec![SearchSegment {
+        index: &flat,
+        remap: &remap,
+        dead: 0,
+    }]);
+    assert!(seg
+        .search(&[], q, &SearchOptions::new(0), |_| true)
+        .is_empty());
+    assert!(seg
+        .search_parallel(&[], q, &SearchOptions::new(0).with_threads(4), |_| true)
+        .is_empty());
+    assert!(coll.search(q, &SearchOptions::new(0)).is_empty());
+    assert!(coll
+        .search_parallel(q, &SearchOptions::new(0).with_threads(4))
+        .is_empty());
+
+    // k > live: every live row exactly once, canonically ordered, with
+    // no tombstoned id leaking through; parallel path bit-identical.
+    let opts = SearchOptions::new(2 * n);
+    let hits = coll.search(q, &opts);
+    assert_eq!(hits.len(), live);
+    let mut ids = ids_of(&hits);
+    for w in hits.windows(2) {
+        assert!(
+            (w[0].distance, w[0].id) < (w[1].distance, w[1].id),
+            "canonical order violated"
+        );
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), live, "a row appeared twice");
+    assert!(ids.iter().all(|id| id % 3 != 0), "a tombstoned row leaked");
+    let par = coll.search_parallel(q, &SearchOptions::new(2 * n).with_threads(8));
+    assert_eq!(hits, par);
+
+    // The direct segmented path over-fetches past the end too.
+    let all = seg.search(&[], q, &SearchOptions::new(n + 50), |_| true);
+    assert_eq!(all.len(), n);
+}
+
+/// The counters a monitoring endpoint reads (`live_len`,
+/// `tombstone_count`, `segment_stats`) must describe the compacted
+/// state the moment a *background* compaction commits — no settling
+/// period, no extra sync.
+#[test]
+fn stats_are_fresh_the_moment_background_compaction_commits() {
+    let (n, d) = (600, 8);
+    let rows = make_rows(n, d, 78);
+    let coll = Arc::new(Collection::in_memory(d, small_config(false)));
+    for i in 0..n {
+        coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
+    }
+    for i in (0..n).step_by(4) {
+        coll.delete(i as u64).unwrap();
+    }
+    let live = coll.live_len();
+    assert!(coll.tombstone_count() > 0);
+
+    let job = coll.compact_background().unwrap();
+    job.wait().unwrap();
+
+    assert_eq!(coll.live_len(), live);
+    assert_eq!(coll.tombstone_count(), 0);
+    assert_eq!(coll.segment_count(), 1);
+    let stats = coll.segment_stats();
+    assert_eq!(stats.iter().map(|s| s.rows).sum::<usize>(), live);
+    assert!(stats.iter().all(|s| s.dead == 0));
+
+    // The serving layer reads the same counters: a Stats round-trip
+    // right after the commit reports the compacted collection.
+    let backend = pdx::serve::Backend::Collection(Arc::clone(&coll));
+    let server = Server::start(backend, ("127.0.0.1", 0), ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let report = client.stats().unwrap();
+    assert_eq!(report.live, live as u64);
+    assert_eq!(report.tombstones, 0);
+    drop(client);
+    server.shutdown();
+}
+
+/// A PDX3 directory whose MANIFEST is cut off mid-file opens as a typed
+/// `Corrupt` error — through `Collection::open` and through
+/// `AnyIndex::open` — never a panic, and never a partial collection.
+#[test]
+fn truncated_manifest_is_a_typed_corrupt_error() {
+    let (n, d) = (200, 8);
+    let dir = temp_dir("truncated_manifest");
+    let rows = make_rows(n, d, 79);
+    {
+        let coll = Collection::create(&dir, d, small_config(false)).unwrap();
+        for i in 0..n {
+            coll.insert(i as u64, &rows[i * d..(i + 1) * d]).unwrap();
+        }
+        coll.sync().unwrap();
+    }
+    let manifest = dir.join(pdx::store::MANIFEST_FILE);
+    let bytes = std::fs::read(&manifest).unwrap();
+    assert!(bytes.len() > 8, "manifest unexpectedly small");
+    std::fs::write(&manifest, &bytes[..bytes.len() / 2]).unwrap();
+
+    match Collection::open(&dir).map(|_| ()) {
+        Err(StoreError::Corrupt(msg)) => {
+            assert!(!msg.is_empty(), "corrupt error should say what broke")
+        }
+        other => panic!("expected StoreError::Corrupt, got {other:?}"),
+    }
+    let err = match AnyIndex::open(&dir) {
+        Ok(_) => panic!("truncated manifest must not open"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("corrupt"),
+        "error should carry the corrupt context: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
