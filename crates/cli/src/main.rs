@@ -68,6 +68,7 @@ const QUERY_FLAGS: &[&str] = &[
     "order",
     "refine",
     "threads",
+    "kernel",
     "remote",
     "deadline-ms",
 ];
@@ -78,9 +79,12 @@ const SERVE_FLAGS: &[&str] = &[
     "workers",
     "queue-depth",
     "deadline-ms",
+    "kernel",
 ];
 const GROUND_TRUTH_FLAGS: &[&str] = &["data", "queries", "out", "k"];
-const EVALUATE_FLAGS: &[&str] = &["index", "queries", "gt", "k", "order", "refine", "threads"];
+const EVALUATE_FLAGS: &[&str] = &[
+    "index", "queries", "gt", "k", "order", "refine", "threads", "kernel",
+];
 const INSERT_FLAGS: &[&str] = &["index", "data", "start-id", "sync-every"];
 const DELETE_FLAGS: &[&str] = &["index", "ids"];
 const COMPACT_FLAGS: &[&str] = &["index", "background"];
@@ -215,6 +219,9 @@ commands:
                   [--threads=N]      parallel batch width (default: PDX_THREADS
                                      env, then all hardware threads; results
                                      are identical at every width)
+                  [--kernel=auto]    kernel policy: auto (best ISA, honors the
+                                     PDX_KERNEL env), scalar, or simd —
+                                     distances are bit-identical either way
                   [--remote=host:port]  query a running `serve` instance over
                                      TCP instead of opening --index locally
                   [--deadline-ms=N]  per-request latency budget in remote mode
@@ -224,6 +231,7 @@ commands:
   evaluate      recall against stored ground truth (any index kind)
                   --index=<path> --queries=<file> --gt=<file> [--k=10 --refine=4]
                   [--threads=N]      parallel batch width (as in query)
+                  [--kernel=auto]    kernel policy (as in query)
   insert        append vectors to a mutable collection (WAL-logged)
                   --index=<dir> --data=<file> [--start-id=<max id + 1>]
                   [--sync-every=N]   group commit: fsync the WAL every N
@@ -246,6 +254,8 @@ commands:
                                      answers typed `busy` frames, never stalls
                   [--deadline-ms=0]  default deadline for requests carrying
                                      none (0 = requests never expire)
+                  [--kernel=auto]    kernel policy for every served search
+                                     (as in query)
   datasets      list the built-in Table 1 dataset shapes
 ";
 
@@ -406,6 +416,12 @@ fn cmd_build(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_kernel(args: &Args) -> Result<KernelPolicy, String> {
+    let name = args.str_or("kernel", "auto");
+    KernelPolicy::parse(&name)
+        .ok_or_else(|| format!("unknown kernel policy '{name}' (expected auto, scalar or simd)"))
+}
+
 fn parse_order(name: &str) -> Result<VisitOrder, String> {
     Ok(match name {
         "means" => VisitOrder::DistanceToMeans,
@@ -445,7 +461,9 @@ fn is_quantized(index: &dyn VectorIndex) -> bool {
 /// SQ8, `--refine` on f32) is truly ignored, value and all. A mutable
 /// collection may hold either segment kind, so both flags apply there.
 fn search_options(args: &Args, k: usize, index: &dyn VectorIndex) -> Result<SearchOptions, String> {
-    let mut opts = SearchOptions::new(k).with_threads(args.usize("threads", 0)?);
+    let mut opts = SearchOptions::new(k)
+        .with_threads(args.usize("threads", 0)?)
+        .with_kernel(parse_kernel(args)?);
     let is_store = index.kind() == "collection";
     if is_quantized(index) || is_store {
         opts = opts.with_refine(args.usize("refine", DEFAULT_REFINE)?);
@@ -653,6 +671,7 @@ fn cmd_stat(args: &Args) -> Result<(), String> {
             coll.tombstone_count(),
             coll.wal_seq(),
         );
+        println!("  kernel {}", KernelPolicy::Auto.resolve().name());
         if coll.maintenance_in_flight() > 0 {
             println!(
                 "  maintenance: {} background job(s) in flight",
@@ -669,11 +688,12 @@ fn cmd_stat(args: &Args) -> Result<(), String> {
     }
     let index = AnyIndex::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
     println!(
-        "{} ({}, {} vectors × {} dims)",
+        "{} ({}, {} vectors × {} dims, kernel {})",
         path.display(),
         index.kind(),
         index.len(),
-        index.dims()
+        index.dims(),
+        KernelPolicy::Auto.resolve().name(),
     );
     Ok(())
 }
@@ -688,6 +708,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         workers: args.usize("workers", 0)?,
         queue_depth: args.usize("queue-depth", 128)?,
         default_deadline_ms: args.usize("deadline-ms", 0)? as u32,
+        kernel: parse_kernel(args)?,
         ..ServeConfig::default()
     };
     let mutable = matches!(backend, pdx::serve::Backend::Collection(_));
@@ -696,7 +717,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let server =
         Server::start(backend, (host.as_str(), port), config).map_err(|e| e.to_string())?;
     eprintln!(
-        "serving {} ({kind}, {dims} dims, {}) on {} — {} worker(s), queue depth {}",
+        "serving {} ({kind}, {dims} dims, {}) on {} — {} worker(s), queue depth {}, \
+         kernel {}",
         path.display(),
         if mutable {
             "mutable: search/insert/delete"
@@ -706,6 +728,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         server.local_addr(),
         resolve_threads(config.workers),
         config.queue_depth,
+        config.kernel.resolve().name(),
     );
     // Serve until the process is killed (Ctrl-C / SIGTERM); the threads
     // are all in the server, so parking the main thread costs nothing.
@@ -717,7 +740,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 /// `query --remote=host:port`: the same query loop, answered by a
 /// running `serve` instance instead of a locally opened index.
 fn cmd_query_remote(args: &Args, remote: &str) -> Result<(), String> {
-    for local_only in ["index", "order", "threads"] {
+    for local_only in ["index", "order", "threads", "kernel"] {
         if args.has(local_only) {
             eprintln!("note: --{local_only} does not apply with --remote; ignored");
         }
@@ -746,9 +769,10 @@ fn cmd_query_remote(args: &Args, remote: &str) -> Result<(), String> {
         println!("query {qi}: {}", ids.join(" "));
     }
     let stats = client.stats().map_err(|e| e.to_string())?;
+    let kernel = KernelIsa::from_wire(stats.kernel_isa).map_or("unknown", KernelIsa::name);
     eprintln!(
         "{} queries against {remote} in {secs:.3}s ({:.1} QPS); server: {} live, \
-         p50 {} µs, p99 {} µs",
+         kernel {kernel}, p50 {} µs, p99 {} µs",
         queries.len,
         queries.len as f64 / secs,
         stats.live,

@@ -26,7 +26,7 @@
 use crate::distance::Metric;
 use crate::exec::{merge_neighbors_filtered, BatchSearcher};
 use crate::heap::Neighbor;
-use crate::kernels::KernelVariant;
+use crate::kernels::{KernelPolicy, KernelVariant};
 use crate::pruning::StepPolicy;
 use crate::search::{SearchParams, DEFAULT_REFINE};
 use crate::visit_order::VisitOrder;
@@ -104,8 +104,11 @@ pub struct SearchOptions {
     /// Beam width of graph-routed queries; `0` resolves to
     /// `max(`[`DEFAULT_EF`]`, k)`. Ignored by non-graph deployments.
     pub ef: usize,
-    /// Kernel variant of the horizontal (vector-at-a-time) deployments.
-    pub variant: KernelVariant,
+    /// Kernel implementation policy: one knob steering the vertical
+    /// `f32` kernels, the vertical SQ8 kernels, *and* the horizontal
+    /// (vector-at-a-time) deployments. Distances are bit-identical
+    /// across policies, so this is a pure performance knob.
+    pub kernel: KernelPolicy,
     /// Worker count for `search_batch` / `search_parallel`; `0` means
     /// the default width (the `PDX_THREADS` env override, then the
     /// hardware parallelism). Single-query `search` ignores it.
@@ -123,7 +126,7 @@ impl Default for SearchOptions {
             nprobe: 0,
             refine: DEFAULT_REFINE,
             ef: 0,
-            variant: KernelVariant::Simd,
+            kernel: KernelPolicy::Auto,
             threads: 0,
         }
     }
@@ -174,10 +177,24 @@ impl SearchOptions {
         self
     }
 
-    /// Replaces the horizontal kernel variant.
-    pub fn with_variant(mut self, variant: KernelVariant) -> Self {
-        self.variant = variant;
+    /// Replaces the kernel policy.
+    pub fn with_kernel(mut self, kernel: KernelPolicy) -> Self {
+        self.kernel = kernel;
         self
+    }
+
+    /// Replaces the horizontal kernel variant.
+    ///
+    /// Deprecated shim over the unified [`KernelPolicy`]:
+    /// [`KernelVariant::Scalar`] maps to [`KernelPolicy::Scalar`]; the
+    /// unrolled and SIMD tiers map to [`KernelPolicy::Simd`] (which
+    /// picks the best available tier, exactly like the old dispatch).
+    #[deprecated(since = "0.8.0", note = "use `with_kernel(KernelPolicy)` instead")]
+    pub fn with_variant(self, variant: KernelVariant) -> Self {
+        self.with_kernel(match variant {
+            KernelVariant::Scalar => KernelPolicy::Scalar,
+            KernelVariant::Unrolled | KernelVariant::Simd => KernelPolicy::Simd,
+        })
     }
 
     /// Replaces the worker count (`0` = default width).
@@ -191,6 +208,7 @@ impl SearchOptions {
         SearchParams::new(self.k)
             .with_selection_fraction(self.selection_fraction)
             .with_step(self.step)
+            .with_kernel(self.kernel)
     }
 
     /// Probe count against an index of `n_buckets` buckets: `0` and
@@ -439,8 +457,26 @@ mod tests {
         assert_eq!(opts.nprobe, 0);
         assert_eq!(opts.refine, DEFAULT_REFINE);
         assert_eq!(opts.ef, 0);
-        assert_eq!(opts.variant, KernelVariant::Simd);
+        assert_eq!(opts.kernel, KernelPolicy::Auto);
         assert_eq!(opts.threads, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn with_variant_shim_maps_onto_the_policy() {
+        let opts = SearchOptions::new(5);
+        assert_eq!(
+            opts.with_variant(KernelVariant::Scalar).kernel,
+            KernelPolicy::Scalar
+        );
+        assert_eq!(
+            opts.with_variant(KernelVariant::Unrolled).kernel,
+            KernelPolicy::Simd
+        );
+        assert_eq!(
+            opts.with_variant(KernelVariant::Simd).kernel,
+            KernelPolicy::Simd
+        );
     }
 
     #[test]
@@ -537,5 +573,8 @@ mod tests {
         assert_eq!(params.k, 7);
         assert_eq!(params.step, StepPolicy::Fixed { step: 32 });
         assert_eq!(params.selection_fraction, 0.20);
+        assert_eq!(params.kernel, KernelPolicy::Auto);
+        let scalar = SearchOptions::new(7).with_kernel(KernelPolicy::Scalar);
+        assert_eq!(scalar.params().kernel, KernelPolicy::Scalar);
     }
 }

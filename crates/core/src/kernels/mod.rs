@@ -15,21 +15,34 @@
 //! * [`sq8`] — the quantized mirror of the PDX kernels on SQ8 `u8`
 //!   blocks: per-dimension codec parameters hoist out of the lane loop,
 //!   plus pure-integer `u32`/`i32` code-space kernels.
+//! * [`dispatch`] — the runtime kernel-selection layer: [`KernelPolicy`]
+//!   (one knob steering vertical f32, vertical SQ8, and horizontal
+//!   kernels), cached ISA detection, and the `PDX_KERNEL` env override.
+//!
+//! The vertical kernels ([`pdx`], [`sq8`]) carry explicit AVX2 and NEON
+//! variants that are **bit-identical** to the scalar loops (see the
+//! invariant note in [`pdx`]); the policy is therefore a pure
+//! performance knob.
 
+pub mod dispatch;
 pub mod dsm;
 pub mod gather;
 pub mod nary;
 pub mod pdx;
 pub mod sq8;
 
+pub use dispatch::{active_kernel_isa, detected_isa, KernelIsa, KernelPolicy};
 pub use dsm::dsm_scan;
 pub use gather::{gather_scan, gather_scan_split_timing};
 pub use nary::{nary_distance, simd_available, KernelVariant};
 pub use pdx::{
-    pdx_accumulate, pdx_accumulate_permuted, pdx_accumulate_positions,
-    pdx_accumulate_positions_permuted, pdx_scan,
+    pdx_accumulate, pdx_accumulate_permuted, pdx_accumulate_permuted_policy, pdx_accumulate_policy,
+    pdx_accumulate_positions, pdx_accumulate_positions_permuted,
+    pdx_accumulate_positions_permuted_policy, pdx_accumulate_positions_policy, pdx_scan,
+    pdx_scan_policy,
 };
 pub use sq8::{
-    sq8_accumulate, sq8_accumulate_positions, sq8_code_ip, sq8_code_l2, sq8_distance_scalar,
-    sq8_scan,
+    sq8_accumulate, sq8_accumulate_policy, sq8_accumulate_positions,
+    sq8_accumulate_positions_policy, sq8_code_ip, sq8_code_ip_policy, sq8_code_l2,
+    sq8_code_l2_policy, sq8_distance_scalar, sq8_scan, sq8_scan_policy,
 };

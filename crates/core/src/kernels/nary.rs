@@ -25,20 +25,11 @@ pub enum KernelVariant {
     Simd,
 }
 
-/// Whether explicit SIMD intrinsics are usable on this machine.
+/// Whether explicit SIMD intrinsics are usable on this machine
+/// (AVX2+FMA on x86-64, NEON on aarch64 — detection is cached once per
+/// process in [`detected_isa`](crate::kernels::dispatch::detected_isa)).
 pub fn simd_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        use std::sync::OnceLock;
-        static AVAILABLE: OnceLock<bool> = OnceLock::new();
-        *AVAILABLE.get_or_init(|| {
-            std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
-        })
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
-    }
+    crate::kernels::dispatch::detected_isa() != crate::kernels::dispatch::KernelIsa::Scalar
 }
 
 /// Distance between `query` and `vector` with the chosen kernel tier.
@@ -56,6 +47,13 @@ pub fn nary_distance(metric: Metric, variant: KernelVariant, query: &[f32], vect
                 if simd_available() {
                     // SAFETY: AVX2+FMA presence checked above.
                     return unsafe { simd_avx2(metric, query, vector) };
+                }
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                if simd_available() {
+                    // SAFETY: NEON presence checked above.
+                    return unsafe { simd_neon(metric, query, vector) };
                 }
             }
             unrolled(metric, query, vector)
@@ -202,6 +200,84 @@ unsafe fn simd_avx2(metric: Metric, q: &[f32], v: &[f32]) -> f32 {
     let s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
     let s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0b01));
     let mut total = _mm_cvtss_f32(s1);
+    if matches!(metric, Metric::NegativeIp) {
+        total = -total;
+    }
+    // Scalar tail.
+    for j in i..n {
+        total += metric.term(q[j], v[j]);
+    }
+    total
+}
+
+/// Explicit NEON horizontal kernels (aarch64): 16 floats (4 × 128-bit
+/// registers) per iteration with independent accumulators, horizontal
+/// reduction at the end — the aarch64 mirror of [`simd_avx2`].
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn simd_neon(metric: Metric, q: &[f32], v: &[f32]) -> f32 {
+    use std::arch::aarch64::*;
+    let n = q.len();
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut acc2 = vdupq_n_f32(0.0);
+    let mut acc3 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let q0 = vld1q_f32(q.as_ptr().add(i));
+        let q1 = vld1q_f32(q.as_ptr().add(i + 4));
+        let q2 = vld1q_f32(q.as_ptr().add(i + 8));
+        let q3 = vld1q_f32(q.as_ptr().add(i + 12));
+        let v0 = vld1q_f32(v.as_ptr().add(i));
+        let v1 = vld1q_f32(v.as_ptr().add(i + 4));
+        let v2 = vld1q_f32(v.as_ptr().add(i + 8));
+        let v3 = vld1q_f32(v.as_ptr().add(i + 12));
+        match metric {
+            Metric::L2 => {
+                let d0 = vsubq_f32(q0, v0);
+                let d1 = vsubq_f32(q1, v1);
+                let d2 = vsubq_f32(q2, v2);
+                let d3 = vsubq_f32(q3, v3);
+                acc0 = vfmaq_f32(acc0, d0, d0);
+                acc1 = vfmaq_f32(acc1, d1, d1);
+                acc2 = vfmaq_f32(acc2, d2, d2);
+                acc3 = vfmaq_f32(acc3, d3, d3);
+            }
+            Metric::L1 => {
+                acc0 = vaddq_f32(acc0, vabdq_f32(q0, v0));
+                acc1 = vaddq_f32(acc1, vabdq_f32(q1, v1));
+                acc2 = vaddq_f32(acc2, vabdq_f32(q2, v2));
+                acc3 = vaddq_f32(acc3, vabdq_f32(q3, v3));
+            }
+            Metric::NegativeIp => {
+                acc0 = vfmaq_f32(acc0, q0, v0);
+                acc1 = vfmaq_f32(acc1, q1, v1);
+                acc2 = vfmaq_f32(acc2, q2, v2);
+                acc3 = vfmaq_f32(acc3, q3, v3);
+            }
+        }
+        i += 16;
+    }
+    while i + 4 <= n {
+        let qx = vld1q_f32(q.as_ptr().add(i));
+        let vx = vld1q_f32(v.as_ptr().add(i));
+        match metric {
+            Metric::L2 => {
+                let d = vsubq_f32(qx, vx);
+                acc0 = vfmaq_f32(acc0, d, d);
+            }
+            Metric::L1 => {
+                acc0 = vaddq_f32(acc0, vabdq_f32(qx, vx));
+            }
+            Metric::NegativeIp => {
+                acc0 = vfmaq_f32(acc0, qx, vx);
+            }
+        }
+        i += 4;
+    }
+    // The reduction step the PDX layout eliminates (Figure 3).
+    let sum = vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3));
+    let mut total = vaddvq_f32(sum);
     if matches!(metric, Metric::NegativeIp) {
         total = -total;
     }

@@ -8,10 +8,35 @@
 //! monomorphized over the group width (16/32/64/128/256/512) so the
 //! accumulator array can live in registers across the dimension loop;
 //! other widths fall back to a dynamic-length loop.
+//!
+//! ## Explicit SIMD variants and the bit-identity invariant
+//!
+//! Next to the scalar loops live explicit AVX2(+FMA) and NEON kernels,
+//! selected at runtime by [`KernelPolicy`]. They are *bit-identical* to
+//! the scalar loops by construction:
+//!
+//! * every lane has its own accumulator and no reduction ever happens,
+//!   so the only thing that matters per lane is the *order of dimension
+//!   updates* — and every variant walks dimensions in the same order;
+//! * each SIMD step uses exactly the scalar step's operation sequence
+//!   (`sub`/`mul`/`add` in the same association, `abs` as a sign-bit
+//!   clear), with FMA used **only** when the scalar path was itself
+//!   compiled with FMA contraction ([`SCALAR_FMA`]).
+//!
+//! The scalar loops are therefore the oracle: `tests/kernels.rs` pins
+//! `to_bits` equality between the scalar and dispatched kernels, which
+//! extends the PR 3 determinism contract (identical distance bits at any
+//! thread count) to any ISA.
+//!
+//! [`SCALAR_FMA`]: crate::kernels::dispatch::SCALAR_FMA
 
 use crate::distance::Metric;
+use crate::kernels::dispatch::KernelPolicy;
 use crate::layout::{PdxBlock, PdxGroup};
 use std::ops::Range;
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+use crate::kernels::dispatch::KernelIsa;
 
 /// One metric's accumulation step, monomorphized into the kernels.
 ///
@@ -59,6 +84,13 @@ impl Accum for IpAccum {
             acc - q * v
         }
     }
+}
+
+/// Which dimensions a kernel visits: a contiguous range (sequential
+/// scan) or an explicit permutation slice (PDX-BOND orders).
+enum DimSel<'a> {
+    Range(Range<usize>),
+    Ids(&'a [u32]),
 }
 
 /// Fixed-width inner kernel: `acc[l] += term(query[d], group[d][l])` for
@@ -121,8 +153,202 @@ fn accum_dispatch<A: Accum>(
     }
 }
 
+/// Permuted-dimension scalar kernel (PDX-BOND orders).
+#[inline]
+fn accum_perm<A: Accum>(
+    data: &[f32],
+    lanes: usize,
+    query: &[f32],
+    dim_ids: &[u32],
+    acc: &mut [f32],
+) {
+    for &d in dim_ids {
+        let d = d as usize;
+        let q = query[d];
+        let row = &data[d * lanes..(d + 1) * lanes];
+        for (a, v) in acc.iter_mut().zip(row) {
+            *a = A::accum(*a, q, *v);
+        }
+    }
+}
+
+/// Scalar positions (software-gather) kernel over a dimension range.
+#[inline]
+fn accum_positions<A: Accum>(
+    data: &[f32],
+    lanes: usize,
+    query: &[f32],
+    dims: Range<usize>,
+    positions: &[u32],
+    acc: &mut [f32],
+) {
+    for d in dims {
+        let q = query[d];
+        let row = &data[d * lanes..(d + 1) * lanes];
+        for (a, &p) in acc.iter_mut().zip(positions) {
+            *a = A::accum(*a, q, row[p as usize]);
+        }
+    }
+}
+
+/// Scalar positions kernel with a dimension permutation.
+#[inline]
+fn accum_positions_perm<A: Accum>(
+    data: &[f32],
+    lanes: usize,
+    query: &[f32],
+    dim_ids: &[u32],
+    positions: &[u32],
+    acc: &mut [f32],
+) {
+    for &d in dim_ids {
+        let d = d as usize;
+        let q = query[d];
+        let row = &data[d * lanes..(d + 1) * lanes];
+        for (a, &p) in acc.iter_mut().zip(positions) {
+            *a = A::accum(*a, q, row[p as usize]);
+        }
+    }
+}
+
+/// Bounds every dimension a SIMD kernel will touch (the scalar loops
+/// bound-check lazily through slice indexing; the SIMD loops use raw
+/// loads, so the whole selection is validated up front).
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+fn check_dim_bounds(data_len: usize, lanes: usize, query_len: usize, dims: &DimSel<'_>) {
+    match dims {
+        DimSel::Range(r) => {
+            if r.start < r.end {
+                assert!(r.end <= query_len, "dimension range exceeds query length");
+                assert!(r.end * lanes <= data_len, "dimension range exceeds group");
+            }
+        }
+        DimSel::Ids(ids) => {
+            for &d in *ids {
+                let d = d as usize;
+                assert!(d < query_len, "dimension id exceeds query length");
+                assert!((d + 1) * lanes <= data_len, "dimension id exceeds group");
+            }
+        }
+    }
+}
+
+/// Dense accumulate over a dimension selection: SIMD when the resolved
+/// ISA has an explicit kernel, scalar otherwise — bit-identical either
+/// way.
+fn accumulate_impl(
+    metric: Metric,
+    data: &[f32],
+    lanes: usize,
+    query: &[f32],
+    dims: DimSel<'_>,
+    acc: &mut [f32],
+    kernel: KernelPolicy,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if kernel.resolve() == KernelIsa::Avx2 {
+        check_dim_bounds(data.len(), lanes, query.len(), &dims);
+        // SAFETY: AVX2+FMA presence established by `resolve`; every
+        // load was bounded by `check_dim_bounds` above.
+        return unsafe { avx2::accumulate(metric, data, lanes, query, dims, acc) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if kernel.resolve() == KernelIsa::Neon {
+        check_dim_bounds(data.len(), lanes, query.len(), &dims);
+        // SAFETY: NEON presence established by `resolve`; every load
+        // was bounded by `check_dim_bounds` above.
+        return unsafe { neon::accumulate(metric, data, lanes, query, dims, acc) };
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = &kernel;
+    match metric {
+        Metric::L2 => scalar_sel::<L2Accum>(data, lanes, query, dims, acc),
+        Metric::L1 => scalar_sel::<L1Accum>(data, lanes, query, dims, acc),
+        Metric::NegativeIp => scalar_sel::<IpAccum>(data, lanes, query, dims, acc),
+    }
+}
+
+#[inline]
+fn scalar_sel<A: Accum>(
+    data: &[f32],
+    lanes: usize,
+    query: &[f32],
+    dims: DimSel<'_>,
+    acc: &mut [f32],
+) {
+    match dims {
+        DimSel::Range(r) => accum_dispatch::<A>(data, lanes, query, r, acc),
+        DimSel::Ids(ids) => accum_perm::<A>(data, lanes, query, ids, acc),
+    }
+}
+
+/// Positions (gather) accumulate over a dimension selection.
+#[allow(clippy::too_many_arguments)]
+fn positions_impl(
+    metric: Metric,
+    data: &[f32],
+    lanes: usize,
+    query: &[f32],
+    dims: DimSel<'_>,
+    positions: &[u32],
+    acc: &mut [f32],
+    kernel: KernelPolicy,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if kernel.resolve() == KernelIsa::Avx2 {
+        check_dim_bounds(data.len(), lanes, query.len(), &dims);
+        assert!(
+            positions.iter().all(|&p| (p as usize) < lanes),
+            "survivor position exceeds group lanes"
+        );
+        // SAFETY: AVX2+FMA presence established by `resolve`; dims and
+        // positions bounded above (the hardware gather does not bound-check).
+        return unsafe {
+            avx2::accumulate_positions(metric, data, lanes, query, dims, positions, acc)
+        };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if kernel.resolve() == KernelIsa::Neon {
+        check_dim_bounds(data.len(), lanes, query.len(), &dims);
+        assert!(
+            positions.iter().all(|&p| (p as usize) < lanes),
+            "survivor position exceeds group lanes"
+        );
+        // SAFETY: NEON presence established by `resolve`; dims and
+        // positions bounded above.
+        return unsafe {
+            neon::accumulate_positions(metric, data, lanes, query, dims, positions, acc)
+        };
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = &kernel;
+    match metric {
+        Metric::L2 => scalar_positions_sel::<L2Accum>(data, lanes, query, dims, positions, acc),
+        Metric::L1 => scalar_positions_sel::<L1Accum>(data, lanes, query, dims, positions, acc),
+        Metric::NegativeIp => {
+            scalar_positions_sel::<IpAccum>(data, lanes, query, dims, positions, acc)
+        }
+    }
+}
+
+#[inline]
+fn scalar_positions_sel<A: Accum>(
+    data: &[f32],
+    lanes: usize,
+    query: &[f32],
+    dims: DimSel<'_>,
+    positions: &[u32],
+    acc: &mut [f32],
+) {
+    match dims {
+        DimSel::Range(r) => accum_positions::<A>(data, lanes, query, r, positions, acc),
+        DimSel::Ids(ids) => accum_positions_perm::<A>(data, lanes, query, ids, positions, acc),
+    }
+}
+
 /// Accumulates the metric over dimensions `dims` of a PDX group into the
-/// per-lane accumulator array `acc` (length = `group.lanes`).
+/// per-lane accumulator array `acc` (length = `group.lanes`), with the
+/// default [`KernelPolicy::Auto`] dispatch.
 ///
 /// # Panics
 /// Panics if `acc.len() != group.lanes` or `dims.end > query.len()`.
@@ -133,16 +359,33 @@ pub fn pdx_accumulate(
     dims: Range<usize>,
     acc: &mut [f32],
 ) {
+    pdx_accumulate_policy(metric, group, query, dims, acc, KernelPolicy::Auto)
+}
+
+/// [`pdx_accumulate`] with an explicit [`KernelPolicy`]. All policies
+/// produce bit-identical accumulators (see the module docs).
+pub fn pdx_accumulate_policy(
+    metric: Metric,
+    group: &PdxGroup<'_>,
+    query: &[f32],
+    dims: Range<usize>,
+    acc: &mut [f32],
+    kernel: KernelPolicy,
+) {
     assert_eq!(acc.len(), group.lanes, "one accumulator per lane required");
     assert!(
         dims.end <= query.len(),
         "dimension range exceeds query length"
     );
-    match metric {
-        Metric::L2 => accum_dispatch::<L2Accum>(group.data, group.lanes, query, dims, acc),
-        Metric::L1 => accum_dispatch::<L1Accum>(group.data, group.lanes, query, dims, acc),
-        Metric::NegativeIp => accum_dispatch::<IpAccum>(group.data, group.lanes, query, dims, acc),
-    }
+    accumulate_impl(
+        metric,
+        group.data,
+        group.lanes,
+        query,
+        DimSel::Range(dims),
+        acc,
+        kernel,
+    )
 }
 
 /// Like [`pdx_accumulate`] but visiting the *storage* dimensions listed in
@@ -155,30 +398,36 @@ pub fn pdx_accumulate_permuted(
     dim_ids: &[u32],
     acc: &mut [f32],
 ) {
+    pdx_accumulate_permuted_policy(metric, group, query, dim_ids, acc, KernelPolicy::Auto)
+}
+
+/// [`pdx_accumulate_permuted`] with an explicit [`KernelPolicy`].
+pub fn pdx_accumulate_permuted_policy(
+    metric: Metric,
+    group: &PdxGroup<'_>,
+    query: &[f32],
+    dim_ids: &[u32],
+    acc: &mut [f32],
+    kernel: KernelPolicy,
+) {
     assert_eq!(acc.len(), group.lanes, "one accumulator per lane required");
-    #[inline]
-    fn run<A: Accum>(data: &[f32], lanes: usize, query: &[f32], dim_ids: &[u32], acc: &mut [f32]) {
-        for &d in dim_ids {
-            let d = d as usize;
-            let q = query[d];
-            let row = &data[d * lanes..(d + 1) * lanes];
-            for (a, v) in acc.iter_mut().zip(row) {
-                *a = A::accum(*a, q, *v);
-            }
-        }
-    }
-    match metric {
-        Metric::L2 => run::<L2Accum>(group.data, group.lanes, query, dim_ids, acc),
-        Metric::L1 => run::<L1Accum>(group.data, group.lanes, query, dim_ids, acc),
-        Metric::NegativeIp => run::<IpAccum>(group.data, group.lanes, query, dim_ids, acc),
-    }
+    accumulate_impl(
+        metric,
+        group.data,
+        group.lanes,
+        query,
+        DimSel::Ids(dim_ids),
+        acc,
+        kernel,
+    )
 }
 
 /// PRUNE-phase kernel: accumulates only at the surviving lanes.
 ///
 /// `positions[j]` is a lane index inside this group; `acc[j]` is the
-/// compacted accumulator of that survivor. The loop is a software gather:
-/// random lane reads within a cached group (§4 PHASE 2).
+/// compacted accumulator of that survivor. The loop is a software gather
+/// (a hardware gather on AVX2): random lane reads within a cached group
+/// (§4 PHASE 2).
 pub fn pdx_accumulate_positions(
     metric: Metric,
     group: &PdxGroup<'_>,
@@ -187,33 +436,42 @@ pub fn pdx_accumulate_positions(
     positions: &[u32],
     acc: &mut [f32],
 ) {
+    pdx_accumulate_positions_policy(
+        metric,
+        group,
+        query,
+        dims,
+        positions,
+        acc,
+        KernelPolicy::Auto,
+    )
+}
+
+/// [`pdx_accumulate_positions`] with an explicit [`KernelPolicy`].
+pub fn pdx_accumulate_positions_policy(
+    metric: Metric,
+    group: &PdxGroup<'_>,
+    query: &[f32],
+    dims: Range<usize>,
+    positions: &[u32],
+    acc: &mut [f32],
+    kernel: KernelPolicy,
+) {
     assert_eq!(
         acc.len(),
         positions.len(),
         "one accumulator per survivor required"
     );
-    #[inline]
-    fn run<A: Accum>(
-        data: &[f32],
-        lanes: usize,
-        query: &[f32],
-        dims: Range<usize>,
-        positions: &[u32],
-        acc: &mut [f32],
-    ) {
-        for d in dims {
-            let q = query[d];
-            let row = &data[d * lanes..(d + 1) * lanes];
-            for (a, &p) in acc.iter_mut().zip(positions) {
-                *a = A::accum(*a, q, row[p as usize]);
-            }
-        }
-    }
-    match metric {
-        Metric::L2 => run::<L2Accum>(group.data, group.lanes, query, dims, positions, acc),
-        Metric::L1 => run::<L1Accum>(group.data, group.lanes, query, dims, positions, acc),
-        Metric::NegativeIp => run::<IpAccum>(group.data, group.lanes, query, dims, positions, acc),
-    }
+    positions_impl(
+        metric,
+        group.data,
+        group.lanes,
+        query,
+        DimSel::Range(dims),
+        positions,
+        acc,
+        kernel,
+    )
 }
 
 /// PRUNE-phase kernel with a dimension permutation (PDX-BOND).
@@ -225,36 +483,42 @@ pub fn pdx_accumulate_positions_permuted(
     positions: &[u32],
     acc: &mut [f32],
 ) {
+    pdx_accumulate_positions_permuted_policy(
+        metric,
+        group,
+        query,
+        dim_ids,
+        positions,
+        acc,
+        KernelPolicy::Auto,
+    )
+}
+
+/// [`pdx_accumulate_positions_permuted`] with an explicit [`KernelPolicy`].
+pub fn pdx_accumulate_positions_permuted_policy(
+    metric: Metric,
+    group: &PdxGroup<'_>,
+    query: &[f32],
+    dim_ids: &[u32],
+    positions: &[u32],
+    acc: &mut [f32],
+    kernel: KernelPolicy,
+) {
     assert_eq!(
         acc.len(),
         positions.len(),
         "one accumulator per survivor required"
     );
-    #[inline]
-    fn run<A: Accum>(
-        data: &[f32],
-        lanes: usize,
-        query: &[f32],
-        dim_ids: &[u32],
-        positions: &[u32],
-        acc: &mut [f32],
-    ) {
-        for &d in dim_ids {
-            let d = d as usize;
-            let q = query[d];
-            let row = &data[d * lanes..(d + 1) * lanes];
-            for (a, &p) in acc.iter_mut().zip(positions) {
-                *a = A::accum(*a, q, row[p as usize]);
-            }
-        }
-    }
-    match metric {
-        Metric::L2 => run::<L2Accum>(group.data, group.lanes, query, dim_ids, positions, acc),
-        Metric::L1 => run::<L1Accum>(group.data, group.lanes, query, dim_ids, positions, acc),
-        Metric::NegativeIp => {
-            run::<IpAccum>(group.data, group.lanes, query, dim_ids, positions, acc)
-        }
-    }
+    positions_impl(
+        metric,
+        group.data,
+        group.lanes,
+        query,
+        DimSel::Ids(dim_ids),
+        positions,
+        acc,
+        kernel,
+    )
 }
 
 /// Full linear scan of a block: fills `out[i]` with the distance of
@@ -263,12 +527,517 @@ pub fn pdx_accumulate_positions_permuted(
 /// # Panics
 /// Panics if `out.len() != block.len()` or the query width differs.
 pub fn pdx_scan(metric: Metric, block: &PdxBlock, query: &[f32], out: &mut [f32]) {
+    pdx_scan_policy(metric, block, query, out, KernelPolicy::Auto)
+}
+
+/// [`pdx_scan`] with an explicit [`KernelPolicy`].
+pub fn pdx_scan_policy(
+    metric: Metric,
+    block: &PdxBlock,
+    query: &[f32],
+    out: &mut [f32],
+    kernel: KernelPolicy,
+) {
     assert_eq!(out.len(), block.len(), "one output per vector required");
     assert_eq!(query.len(), block.dims(), "query dimensionality mismatch");
     out.fill(0.0);
     for g in block.groups() {
         let acc = &mut out[g.start_vector..g.start_vector + g.lanes];
-        pdx_accumulate(metric, &g, query, 0..block.dims(), acc);
+        pdx_accumulate_policy(metric, &g, query, 0..block.dims(), acc, kernel);
+    }
+}
+
+/// Explicit AVX2(+FMA) kernels. Lane tiling: 32 lanes (4 × 256-bit
+/// accumulator registers) held live across the dimension loop, then
+/// 8-wide, then a scalar tail — every lane still sees its dimension
+/// updates in the same order as the scalar loop, so the results are
+/// bit-identical (the SIMD steps mirror the scalar op sequence exactly,
+/// FMA only when [`SCALAR_FMA`](crate::kernels::dispatch::SCALAR_FMA)).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{Accum, DimSel, IpAccum, L1Accum, L2Accum};
+    use crate::distance::Metric;
+    use crate::kernels::dispatch::SCALAR_FMA;
+    use std::arch::x86_64::*;
+
+    /// One metric's 8-wide step — the scalar `Accum` step, widened.
+    trait Step {
+        /// # Safety
+        /// Requires AVX2+FMA (callers are `#[target_feature]` fns).
+        unsafe fn step(acc: __m256, q: __m256, v: __m256) -> __m256;
+    }
+
+    struct L2Step;
+    impl Step for L2Step {
+        #[inline(always)]
+        unsafe fn step(acc: __m256, q: __m256, v: __m256) -> __m256 {
+            let d = _mm256_sub_ps(q, v);
+            if SCALAR_FMA {
+                _mm256_fmadd_ps(d, d, acc)
+            } else {
+                _mm256_add_ps(acc, _mm256_mul_ps(d, d))
+            }
+        }
+    }
+
+    struct L1Step;
+    impl Step for L1Step {
+        #[inline(always)]
+        unsafe fn step(acc: __m256, q: __m256, v: __m256) -> __m256 {
+            // abs = clear the sign bit, exactly like `f32::abs`.
+            let d = _mm256_andnot_ps(_mm256_set1_ps(-0.0), _mm256_sub_ps(q, v));
+            _mm256_add_ps(acc, d)
+        }
+    }
+
+    struct IpStep;
+    impl Step for IpStep {
+        #[inline(always)]
+        unsafe fn step(acc: __m256, q: __m256, v: __m256) -> __m256 {
+            if SCALAR_FMA {
+                // q.mul_add(-v, acc) == fnmadd(q, v, acc): one rounding.
+                _mm256_fnmadd_ps(q, v, acc)
+            } else {
+                _mm256_sub_ps(acc, _mm256_mul_ps(q, v))
+            }
+        }
+    }
+
+    /// Dense kernel body, generic over the step and a re-iterable
+    /// dimension sequence (`Range` or a permutation slice).
+    ///
+    /// # Safety
+    /// Caller guarantees AVX2+FMA and that every `d` in `dims` satisfies
+    /// `d < query.len()` and `(d + 1) * lanes <= data.len()`.
+    #[inline(always)]
+    unsafe fn dense<S: Step, A: Accum, D>(
+        data: &[f32],
+        lanes: usize,
+        query: &[f32],
+        dims: D,
+        acc: &mut [f32],
+    ) where
+        D: Iterator<Item = usize> + Clone,
+    {
+        let dp = data.as_ptr();
+        let mut l = 0usize;
+        while l + 32 <= lanes {
+            let ap = acc.as_mut_ptr().add(l);
+            let mut a0 = _mm256_loadu_ps(ap);
+            let mut a1 = _mm256_loadu_ps(ap.add(8));
+            let mut a2 = _mm256_loadu_ps(ap.add(16));
+            let mut a3 = _mm256_loadu_ps(ap.add(24));
+            for d in dims.clone() {
+                let q = _mm256_set1_ps(query[d]);
+                let rp = dp.add(d * lanes + l);
+                a0 = S::step(a0, q, _mm256_loadu_ps(rp));
+                a1 = S::step(a1, q, _mm256_loadu_ps(rp.add(8)));
+                a2 = S::step(a2, q, _mm256_loadu_ps(rp.add(16)));
+                a3 = S::step(a3, q, _mm256_loadu_ps(rp.add(24)));
+            }
+            _mm256_storeu_ps(ap, a0);
+            _mm256_storeu_ps(ap.add(8), a1);
+            _mm256_storeu_ps(ap.add(16), a2);
+            _mm256_storeu_ps(ap.add(24), a3);
+            l += 32;
+        }
+        while l + 8 <= lanes {
+            let ap = acc.as_mut_ptr().add(l);
+            let mut a = _mm256_loadu_ps(ap);
+            for d in dims.clone() {
+                let v = _mm256_loadu_ps(dp.add(d * lanes + l));
+                a = S::step(a, _mm256_set1_ps(query[d]), v);
+            }
+            _mm256_storeu_ps(ap, a);
+            l += 8;
+        }
+        for (lane, slot) in acc.iter_mut().enumerate().skip(l) {
+            let mut a = *slot;
+            for d in dims.clone() {
+                a = A::accum(a, query[d], *dp.add(d * lanes + lane));
+            }
+            *slot = a;
+        }
+    }
+
+    /// Positions kernel body: 8 survivors per iteration via a hardware
+    /// gather, scalar tail for the rest.
+    ///
+    /// # Safety
+    /// Caller guarantees AVX2+FMA, the dimension bounds of [`dense`],
+    /// and `p < lanes` for every position.
+    #[inline(always)]
+    unsafe fn gather<S: Step, A: Accum, D>(
+        data: &[f32],
+        lanes: usize,
+        query: &[f32],
+        dims: D,
+        positions: &[u32],
+        acc: &mut [f32],
+    ) where
+        D: Iterator<Item = usize> + Clone,
+    {
+        let dp = data.as_ptr();
+        let mut j = 0usize;
+        while j + 8 <= positions.len() {
+            let idx = _mm256_loadu_si256(positions.as_ptr().add(j) as *const __m256i);
+            let ap = acc.as_mut_ptr().add(j);
+            let mut a = _mm256_loadu_ps(ap);
+            for d in dims.clone() {
+                let v = _mm256_i32gather_ps::<4>(dp.add(d * lanes), idx);
+                a = S::step(a, _mm256_set1_ps(query[d]), v);
+            }
+            _mm256_storeu_ps(ap, a);
+            j += 8;
+        }
+        for k in j..positions.len() {
+            let p = positions[k] as usize;
+            let mut a = acc[k];
+            for d in dims.clone() {
+                a = A::accum(a, query[d], *dp.add(d * lanes + p));
+            }
+            acc[k] = a;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA and the dimension bounds of [`dense`].
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn accumulate(
+        metric: Metric,
+        data: &[f32],
+        lanes: usize,
+        query: &[f32],
+        dims: DimSel<'_>,
+        acc: &mut [f32],
+    ) {
+        match (metric, dims) {
+            (Metric::L2, DimSel::Range(r)) => {
+                dense::<L2Step, L2Accum, _>(data, lanes, query, r, acc)
+            }
+            (Metric::L1, DimSel::Range(r)) => {
+                dense::<L1Step, L1Accum, _>(data, lanes, query, r, acc)
+            }
+            (Metric::NegativeIp, DimSel::Range(r)) => {
+                dense::<IpStep, IpAccum, _>(data, lanes, query, r, acc)
+            }
+            (Metric::L2, DimSel::Ids(ids)) => dense::<L2Step, L2Accum, _>(
+                data,
+                lanes,
+                query,
+                ids.iter().map(|&d| d as usize),
+                acc,
+            ),
+            (Metric::L1, DimSel::Ids(ids)) => dense::<L1Step, L1Accum, _>(
+                data,
+                lanes,
+                query,
+                ids.iter().map(|&d| d as usize),
+                acc,
+            ),
+            (Metric::NegativeIp, DimSel::Ids(ids)) => dense::<IpStep, IpAccum, _>(
+                data,
+                lanes,
+                query,
+                ids.iter().map(|&d| d as usize),
+                acc,
+            ),
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA and the bounds of [`gather`].
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn accumulate_positions(
+        metric: Metric,
+        data: &[f32],
+        lanes: usize,
+        query: &[f32],
+        dims: DimSel<'_>,
+        positions: &[u32],
+        acc: &mut [f32],
+    ) {
+        match (metric, dims) {
+            (Metric::L2, DimSel::Range(r)) => {
+                gather::<L2Step, L2Accum, _>(data, lanes, query, r, positions, acc)
+            }
+            (Metric::L1, DimSel::Range(r)) => {
+                gather::<L1Step, L1Accum, _>(data, lanes, query, r, positions, acc)
+            }
+            (Metric::NegativeIp, DimSel::Range(r)) => {
+                gather::<IpStep, IpAccum, _>(data, lanes, query, r, positions, acc)
+            }
+            (Metric::L2, DimSel::Ids(ids)) => gather::<L2Step, L2Accum, _>(
+                data,
+                lanes,
+                query,
+                ids.iter().map(|&d| d as usize),
+                positions,
+                acc,
+            ),
+            (Metric::L1, DimSel::Ids(ids)) => gather::<L1Step, L1Accum, _>(
+                data,
+                lanes,
+                query,
+                ids.iter().map(|&d| d as usize),
+                positions,
+                acc,
+            ),
+            (Metric::NegativeIp, DimSel::Ids(ids)) => gather::<IpStep, IpAccum, _>(
+                data,
+                lanes,
+                query,
+                ids.iter().map(|&d| d as usize),
+                positions,
+                acc,
+            ),
+        }
+    }
+}
+
+/// Explicit NEON kernels (aarch64). Lane tiling: 16 lanes (4 × 128-bit
+/// accumulator registers), then 4-wide, then a scalar tail. aarch64 has
+/// no hardware gather, so the positions kernel loads survivors through a
+/// small stack buffer. Bit-identical to the scalar loops for the same
+/// reasons as the AVX2 path (note [`SCALAR_FMA`] is `false` unless the
+/// crate was compiled with an `fma` target feature, so these kernels
+/// normally use unfused mul/add like the scalar oracle).
+///
+/// [`SCALAR_FMA`]: crate::kernels::dispatch::SCALAR_FMA
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::{Accum, DimSel, IpAccum, L1Accum, L2Accum};
+    use crate::distance::Metric;
+    use crate::kernels::dispatch::SCALAR_FMA;
+    use std::arch::aarch64::*;
+
+    /// One metric's 4-wide step — the scalar `Accum` step, widened.
+    trait Step {
+        /// # Safety
+        /// Requires NEON (callers are `#[target_feature]` fns).
+        unsafe fn step(acc: float32x4_t, q: float32x4_t, v: float32x4_t) -> float32x4_t;
+    }
+
+    struct L2Step;
+    impl Step for L2Step {
+        #[inline(always)]
+        unsafe fn step(acc: float32x4_t, q: float32x4_t, v: float32x4_t) -> float32x4_t {
+            let d = vsubq_f32(q, v);
+            if SCALAR_FMA {
+                vfmaq_f32(acc, d, d)
+            } else {
+                vaddq_f32(acc, vmulq_f32(d, d))
+            }
+        }
+    }
+
+    struct L1Step;
+    impl Step for L1Step {
+        #[inline(always)]
+        unsafe fn step(acc: float32x4_t, q: float32x4_t, v: float32x4_t) -> float32x4_t {
+            vaddq_f32(acc, vabsq_f32(vsubq_f32(q, v)))
+        }
+    }
+
+    struct IpStep;
+    impl Step for IpStep {
+        #[inline(always)]
+        unsafe fn step(acc: float32x4_t, q: float32x4_t, v: float32x4_t) -> float32x4_t {
+            if SCALAR_FMA {
+                vfmsq_f32(acc, q, v)
+            } else {
+                vsubq_f32(acc, vmulq_f32(q, v))
+            }
+        }
+    }
+
+    /// # Safety
+    /// Caller guarantees NEON and that every `d` in `dims` satisfies
+    /// `d < query.len()` and `(d + 1) * lanes <= data.len()`.
+    #[inline(always)]
+    unsafe fn dense<S: Step, A: Accum, D>(
+        data: &[f32],
+        lanes: usize,
+        query: &[f32],
+        dims: D,
+        acc: &mut [f32],
+    ) where
+        D: Iterator<Item = usize> + Clone,
+    {
+        let dp = data.as_ptr();
+        let mut l = 0usize;
+        while l + 16 <= lanes {
+            let ap = acc.as_mut_ptr().add(l);
+            let mut a0 = vld1q_f32(ap);
+            let mut a1 = vld1q_f32(ap.add(4));
+            let mut a2 = vld1q_f32(ap.add(8));
+            let mut a3 = vld1q_f32(ap.add(12));
+            for d in dims.clone() {
+                let q = vdupq_n_f32(query[d]);
+                let rp = dp.add(d * lanes + l);
+                a0 = S::step(a0, q, vld1q_f32(rp));
+                a1 = S::step(a1, q, vld1q_f32(rp.add(4)));
+                a2 = S::step(a2, q, vld1q_f32(rp.add(8)));
+                a3 = S::step(a3, q, vld1q_f32(rp.add(12)));
+            }
+            vst1q_f32(ap, a0);
+            vst1q_f32(ap.add(4), a1);
+            vst1q_f32(ap.add(8), a2);
+            vst1q_f32(ap.add(12), a3);
+            l += 16;
+        }
+        while l + 4 <= lanes {
+            let ap = acc.as_mut_ptr().add(l);
+            let mut a = vld1q_f32(ap);
+            for d in dims.clone() {
+                a = S::step(a, vdupq_n_f32(query[d]), vld1q_f32(dp.add(d * lanes + l)));
+            }
+            vst1q_f32(ap, a);
+            l += 4;
+        }
+        for (lane, slot) in acc.iter_mut().enumerate().skip(l) {
+            let mut a = *slot;
+            for d in dims.clone() {
+                a = A::accum(a, query[d], *dp.add(d * lanes + lane));
+            }
+            *slot = a;
+        }
+    }
+
+    /// # Safety
+    /// Caller guarantees NEON, the dimension bounds of [`dense`], and
+    /// `p < lanes` for every position.
+    #[inline(always)]
+    unsafe fn gather<S: Step, A: Accum, D>(
+        data: &[f32],
+        lanes: usize,
+        query: &[f32],
+        dims: D,
+        positions: &[u32],
+        acc: &mut [f32],
+    ) where
+        D: Iterator<Item = usize> + Clone,
+    {
+        let dp = data.as_ptr();
+        let mut j = 0usize;
+        while j + 4 <= positions.len() {
+            let ap = acc.as_mut_ptr().add(j);
+            let mut a = vld1q_f32(ap);
+            for d in dims.clone() {
+                let rp = dp.add(d * lanes);
+                let buf = [
+                    *rp.add(positions[j] as usize),
+                    *rp.add(positions[j + 1] as usize),
+                    *rp.add(positions[j + 2] as usize),
+                    *rp.add(positions[j + 3] as usize),
+                ];
+                a = S::step(a, vdupq_n_f32(query[d]), vld1q_f32(buf.as_ptr()));
+            }
+            vst1q_f32(ap, a);
+            j += 4;
+        }
+        for k in j..positions.len() {
+            let p = positions[k] as usize;
+            let mut a = acc[k];
+            for d in dims.clone() {
+                a = A::accum(a, query[d], *dp.add(d * lanes + p));
+            }
+            acc[k] = a;
+        }
+    }
+
+    /// # Safety
+    /// Requires NEON and the dimension bounds of [`dense`].
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn accumulate(
+        metric: Metric,
+        data: &[f32],
+        lanes: usize,
+        query: &[f32],
+        dims: DimSel<'_>,
+        acc: &mut [f32],
+    ) {
+        match (metric, dims) {
+            (Metric::L2, DimSel::Range(r)) => {
+                dense::<L2Step, L2Accum, _>(data, lanes, query, r, acc)
+            }
+            (Metric::L1, DimSel::Range(r)) => {
+                dense::<L1Step, L1Accum, _>(data, lanes, query, r, acc)
+            }
+            (Metric::NegativeIp, DimSel::Range(r)) => {
+                dense::<IpStep, IpAccum, _>(data, lanes, query, r, acc)
+            }
+            (Metric::L2, DimSel::Ids(ids)) => dense::<L2Step, L2Accum, _>(
+                data,
+                lanes,
+                query,
+                ids.iter().map(|&d| d as usize),
+                acc,
+            ),
+            (Metric::L1, DimSel::Ids(ids)) => dense::<L1Step, L1Accum, _>(
+                data,
+                lanes,
+                query,
+                ids.iter().map(|&d| d as usize),
+                acc,
+            ),
+            (Metric::NegativeIp, DimSel::Ids(ids)) => dense::<IpStep, IpAccum, _>(
+                data,
+                lanes,
+                query,
+                ids.iter().map(|&d| d as usize),
+                acc,
+            ),
+        }
+    }
+
+    /// # Safety
+    /// Requires NEON and the bounds of [`gather`].
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn accumulate_positions(
+        metric: Metric,
+        data: &[f32],
+        lanes: usize,
+        query: &[f32],
+        dims: DimSel<'_>,
+        positions: &[u32],
+        acc: &mut [f32],
+    ) {
+        match (metric, dims) {
+            (Metric::L2, DimSel::Range(r)) => {
+                gather::<L2Step, L2Accum, _>(data, lanes, query, r, positions, acc)
+            }
+            (Metric::L1, DimSel::Range(r)) => {
+                gather::<L1Step, L1Accum, _>(data, lanes, query, r, positions, acc)
+            }
+            (Metric::NegativeIp, DimSel::Range(r)) => {
+                gather::<IpStep, IpAccum, _>(data, lanes, query, r, positions, acc)
+            }
+            (Metric::L2, DimSel::Ids(ids)) => gather::<L2Step, L2Accum, _>(
+                data,
+                lanes,
+                query,
+                ids.iter().map(|&d| d as usize),
+                positions,
+                acc,
+            ),
+            (Metric::L1, DimSel::Ids(ids)) => gather::<L1Step, L1Accum, _>(
+                data,
+                lanes,
+                query,
+                ids.iter().map(|&d| d as usize),
+                positions,
+                acc,
+            ),
+            (Metric::NegativeIp, DimSel::Ids(ids)) => gather::<IpStep, IpAccum, _>(
+                data,
+                lanes,
+                query,
+                ids.iter().map(|&d| d as usize),
+                positions,
+                acc,
+            ),
+        }
     }
 }
 
@@ -392,5 +1161,65 @@ mod tests {
         let mut acc = vec![1.5; 10];
         pdx_accumulate(Metric::L2, &g, &query(4), 2..2, &mut acc);
         assert!(acc.iter().all(|&x| x == 1.5));
+    }
+
+    #[test]
+    fn simd_policy_is_bit_identical_to_scalar() {
+        // The structural invariant (per-lane accumulators, same op
+        // sequence) makes every policy produce the same bits; the full
+        // sweep lives in tests/kernels.rs, this is the smoke pin.
+        for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
+            // 67 lanes: one 64-lane group plus a 3-lane tail group,
+            // exercising every SIMD tile width and the scalar tail.
+            let (block, _) = block_and_rows(67, 13, 64);
+            let q = query(13);
+            let mut scalar = vec![0.0; 67];
+            pdx_scan_policy(metric, &block, &q, &mut scalar, KernelPolicy::Scalar);
+            let mut simd = vec![0.0; 67];
+            pdx_scan_policy(metric, &block, &q, &mut simd, KernelPolicy::Simd);
+            for v in 0..67 {
+                assert_eq!(
+                    scalar[v].to_bits(),
+                    simd[v].to_bits(),
+                    "{metric:?} vector {v}: {} vs {}",
+                    scalar[v],
+                    simd[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positions_simd_policy_is_bit_identical_to_scalar() {
+        let (block, _) = block_and_rows(64, 16, 64);
+        let q = query(16);
+        let g = block.group(0);
+        // 11 survivors: one 8-wide gather plus a 3-wide scalar tail.
+        let positions: Vec<u32> = vec![3, 9, 17, 18, 21, 33, 40, 47, 55, 60, 63];
+        for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
+            let mut scalar = vec![0.0; positions.len()];
+            pdx_accumulate_positions_policy(
+                metric,
+                &g,
+                &q,
+                0..16,
+                &positions,
+                &mut scalar,
+                KernelPolicy::Scalar,
+            );
+            let mut simd = vec![0.0; positions.len()];
+            pdx_accumulate_positions_policy(
+                metric,
+                &g,
+                &q,
+                0..16,
+                &positions,
+                &mut simd,
+                KernelPolicy::Simd,
+            );
+            for j in 0..positions.len() {
+                assert_eq!(scalar[j].to_bits(), simd[j].to_bits(), "{metric:?} pos {j}");
+            }
+        }
     }
 }

@@ -34,11 +34,22 @@
 //!   candidate generator, but the weighted kernels are both accurate and,
 //!   in practice, just as fast.
 //!
+//! Both families have explicit AVX2 and NEON variants selected by
+//! [`KernelPolicy`], bit-identical to the scalar loops (the widening
+//! `u8 → f32` conversion is exact for all 256 codes, and every SIMD step
+//! mirrors the scalar op sequence — see the invariant note in
+//! [`pdx`](crate::kernels::pdx)). The `u8` data makes these the largest
+//! SIMD win in the codebase: 32 codes fit one AVX2 register load.
+//!
 //! [`Accum`]: crate::kernels::pdx
 
 use crate::distance::Metric;
+use crate::kernels::dispatch::KernelPolicy;
 use crate::layout::{QuantizedPdxBlock, QuantizedPdxGroup, Sq8Quantizer, Sq8Query};
 use std::ops::Range;
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+use crate::kernels::dispatch::KernelIsa;
 
 /// One metric's SQ8 accumulation step, monomorphized into the kernels —
 /// the quantized mirror of the `f32` path's `Accum` trait. `qc` is the
@@ -152,8 +163,46 @@ fn sq8_dispatch<A: Sq8Accum>(
     }
 }
 
+/// Scalar positions (software-gather) kernel.
+#[inline]
+fn sq8_accum_positions<A: Sq8Accum>(
+    data: &[u8],
+    lanes: usize,
+    qcode: &[f32],
+    weight: &[f32],
+    dims: Range<usize>,
+    positions: &[u32],
+    acc: &mut [f32],
+) {
+    for d in dims {
+        let qc = qcode[d];
+        let w = weight[d];
+        let row = &data[d * lanes..(d + 1) * lanes];
+        for (a, &p) in acc.iter_mut().zip(positions) {
+            *a = A::accum(*a, qc, w, row[p as usize]);
+        }
+    }
+}
+
+/// Bounds every dimension a SIMD kernel will touch (mirrors
+/// `check_dim_bounds` in the f32 kernels: the SIMD loops use raw loads).
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+fn check_sq8_bounds(data_len: usize, lanes: usize, param_len: usize, dims: &Range<usize>) {
+    if dims.start < dims.end {
+        assert!(
+            dims.end <= param_len,
+            "dimension range exceeds query length"
+        );
+        assert!(
+            dims.end * lanes <= data_len,
+            "dimension range exceeds group"
+        );
+    }
+}
+
 /// Accumulates the metric over dimensions `dims` of a quantized PDX group
-/// into the per-lane accumulator array `acc` (length = `group.lanes`).
+/// into the per-lane accumulator array `acc` (length = `group.lanes`),
+/// with the default [`KernelPolicy::Auto`] dispatch.
 ///
 /// The accumulated value is the distance between the query and each
 /// vector's *dequantized* reconstruction (the [`Sq8Query`] bias, if any,
@@ -167,8 +216,65 @@ pub fn sq8_accumulate(
     dims: Range<usize>,
     acc: &mut [f32],
 ) {
+    sq8_accumulate_policy(q, group, dims, acc, KernelPolicy::Auto)
+}
+
+/// [`sq8_accumulate`] with an explicit [`KernelPolicy`]. All policies
+/// produce bit-identical accumulators (see the module docs).
+pub fn sq8_accumulate_policy(
+    q: &Sq8Query,
+    group: &QuantizedPdxGroup<'_>,
+    dims: Range<usize>,
+    acc: &mut [f32],
+    kernel: KernelPolicy,
+) {
     assert_eq!(acc.len(), group.lanes, "one accumulator per lane required");
     assert!(dims.end <= q.dims(), "dimension range exceeds query length");
+    #[cfg(target_arch = "x86_64")]
+    if kernel.resolve() == KernelIsa::Avx2 {
+        check_sq8_bounds(
+            group.data.len(),
+            group.lanes,
+            q.qcode.len().min(q.weight.len()),
+            &dims,
+        );
+        // SAFETY: AVX2+FMA presence established by `resolve`; every
+        // load was bounded by `check_sq8_bounds` above.
+        return unsafe {
+            avx2::accumulate(
+                q.metric,
+                group.data,
+                group.lanes,
+                &q.qcode,
+                &q.weight,
+                dims,
+                acc,
+            )
+        };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if kernel.resolve() == KernelIsa::Neon {
+        check_sq8_bounds(
+            group.data.len(),
+            group.lanes,
+            q.qcode.len().min(q.weight.len()),
+            &dims,
+        );
+        // SAFETY: NEON presence established by `resolve`; bounds above.
+        return unsafe {
+            neon::accumulate(
+                q.metric,
+                group.data,
+                group.lanes,
+                &q.qcode,
+                &q.weight,
+                dims,
+                acc,
+            )
+        };
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = &kernel;
     match q.metric {
         Metric::L2 => {
             sq8_dispatch::<L2Sq8>(group.data, group.lanes, &q.qcode, &q.weight, dims, acc)
@@ -197,32 +303,80 @@ pub fn sq8_accumulate_positions(
     positions: &[u32],
     acc: &mut [f32],
 ) {
+    sq8_accumulate_positions_policy(q, group, dims, positions, acc, KernelPolicy::Auto)
+}
+
+/// [`sq8_accumulate_positions`] with an explicit [`KernelPolicy`].
+pub fn sq8_accumulate_positions_policy(
+    q: &Sq8Query,
+    group: &QuantizedPdxGroup<'_>,
+    dims: Range<usize>,
+    positions: &[u32],
+    acc: &mut [f32],
+    kernel: KernelPolicy,
+) {
     assert_eq!(
         acc.len(),
         positions.len(),
         "one accumulator per survivor required"
     );
-    #[inline]
-    fn run<A: Sq8Accum>(
-        data: &[u8],
-        lanes: usize,
-        qcode: &[f32],
-        weight: &[f32],
-        dims: Range<usize>,
-        positions: &[u32],
-        acc: &mut [f32],
-    ) {
-        for d in dims {
-            let qc = qcode[d];
-            let w = weight[d];
-            let row = &data[d * lanes..(d + 1) * lanes];
-            for (a, &p) in acc.iter_mut().zip(positions) {
-                *a = A::accum(*a, qc, w, row[p as usize]);
-            }
-        }
+    #[cfg(target_arch = "x86_64")]
+    if kernel.resolve() == KernelIsa::Avx2 {
+        check_sq8_bounds(
+            group.data.len(),
+            group.lanes,
+            q.qcode.len().min(q.weight.len()),
+            &dims,
+        );
+        assert!(
+            positions.iter().all(|&p| (p as usize) < group.lanes),
+            "survivor position exceeds group lanes"
+        );
+        // SAFETY: AVX2+FMA presence established by `resolve`; dims and
+        // positions bounded above.
+        return unsafe {
+            avx2::accumulate_positions(
+                q.metric,
+                group.data,
+                group.lanes,
+                &q.qcode,
+                &q.weight,
+                dims,
+                positions,
+                acc,
+            )
+        };
     }
+    #[cfg(target_arch = "aarch64")]
+    if kernel.resolve() == KernelIsa::Neon {
+        check_sq8_bounds(
+            group.data.len(),
+            group.lanes,
+            q.qcode.len().min(q.weight.len()),
+            &dims,
+        );
+        assert!(
+            positions.iter().all(|&p| (p as usize) < group.lanes),
+            "survivor position exceeds group lanes"
+        );
+        // SAFETY: NEON presence established by `resolve`; bounds above.
+        return unsafe {
+            neon::accumulate_positions(
+                q.metric,
+                group.data,
+                group.lanes,
+                &q.qcode,
+                &q.weight,
+                dims,
+                positions,
+                acc,
+            )
+        };
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = &kernel;
     match q.metric {
-        Metric::L2 => run::<L2Sq8>(
+        Metric::L2 => sq8_accum_positions::<L2Sq8>(
             group.data,
             group.lanes,
             &q.qcode,
@@ -231,7 +385,7 @@ pub fn sq8_accumulate_positions(
             positions,
             acc,
         ),
-        Metric::L1 => run::<L1Sq8>(
+        Metric::L1 => sq8_accum_positions::<L1Sq8>(
             group.data,
             group.lanes,
             &q.qcode,
@@ -240,7 +394,7 @@ pub fn sq8_accumulate_positions(
             positions,
             acc,
         ),
-        Metric::NegativeIp => run::<IpSq8>(
+        Metric::NegativeIp => sq8_accum_positions::<IpSq8>(
             group.data,
             group.lanes,
             &q.qcode,
@@ -274,12 +428,22 @@ pub fn sq8_accumulate_positions(
 /// # Panics
 /// Panics if `out.len() != block.len()` or the query width differs.
 pub fn sq8_scan(q: &Sq8Query, block: &QuantizedPdxBlock, out: &mut [f32]) {
+    sq8_scan_policy(q, block, out, KernelPolicy::Auto)
+}
+
+/// [`sq8_scan`] with an explicit [`KernelPolicy`].
+pub fn sq8_scan_policy(
+    q: &Sq8Query,
+    block: &QuantizedPdxBlock,
+    out: &mut [f32],
+    kernel: KernelPolicy,
+) {
     assert_eq!(out.len(), block.len(), "one output per vector required");
     assert_eq!(q.dims(), block.dims(), "query dimensionality mismatch");
     out.fill(0.0);
     for g in block.groups() {
         let acc = &mut out[g.start_vector..g.start_vector + g.lanes];
-        sq8_accumulate(q, &g, 0..block.dims(), acc);
+        sq8_accumulate_policy(q, &g, 0..block.dims(), acc, kernel);
     }
     if q.bias != 0.0 {
         for o in out.iter_mut() {
@@ -418,6 +582,39 @@ pub fn sq8_code_l2(
     dims: Range<usize>,
     acc: &mut [u32],
 ) {
+    sq8_code_l2_policy(group, qcodes, dims, acc, KernelPolicy::Auto)
+}
+
+/// [`sq8_code_l2`] with an explicit [`KernelPolicy`]. Integer
+/// accumulation is order-insensitive, so every policy agrees exactly.
+pub fn sq8_code_l2_policy(
+    group: &QuantizedPdxGroup<'_>,
+    qcodes: &[u8],
+    dims: Range<usize>,
+    acc: &mut [u32],
+    kernel: KernelPolicy,
+) {
+    assert_eq!(acc.len(), group.lanes, "one accumulator per lane required");
+    assert!(
+        dims.end <= qcodes.len(),
+        "dimension range exceeds query length"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if kernel.resolve() == KernelIsa::Avx2 {
+        check_sq8_bounds(group.data.len(), group.lanes, qcodes.len(), &dims);
+        // SAFETY: AVX2 presence established by `resolve`; bounds above.
+        return unsafe {
+            avx2::code_dense::<avx2::L2CodeStep, L2Code>(group.data, group.lanes, qcodes, dims, acc)
+        };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if kernel.resolve() == KernelIsa::Neon {
+        check_sq8_bounds(group.data.len(), group.lanes, qcodes.len(), &dims);
+        // SAFETY: NEON presence established by `resolve`; bounds above.
+        return unsafe { neon::code_l2(group.data, group.lanes, qcodes, dims, acc) };
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = &kernel;
     code_dispatch::<L2Code>(group, qcodes, dims, acc);
 }
 
@@ -434,7 +631,598 @@ pub fn sq8_code_ip(
     dims: Range<usize>,
     acc: &mut [i32],
 ) {
+    sq8_code_ip_policy(group, qcodes, dims, acc, KernelPolicy::Auto)
+}
+
+/// [`sq8_code_ip`] with an explicit [`KernelPolicy`].
+pub fn sq8_code_ip_policy(
+    group: &QuantizedPdxGroup<'_>,
+    qcodes: &[u8],
+    dims: Range<usize>,
+    acc: &mut [i32],
+    kernel: KernelPolicy,
+) {
+    assert_eq!(acc.len(), group.lanes, "one accumulator per lane required");
+    assert!(
+        dims.end <= qcodes.len(),
+        "dimension range exceeds query length"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if kernel.resolve() == KernelIsa::Avx2 {
+        check_sq8_bounds(group.data.len(), group.lanes, qcodes.len(), &dims);
+        // SAFETY: AVX2 presence established by `resolve`; bounds above.
+        return unsafe {
+            avx2::code_dense::<avx2::IpCodeStep, IpCode>(group.data, group.lanes, qcodes, dims, acc)
+        };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if kernel.resolve() == KernelIsa::Neon {
+        check_sq8_bounds(group.data.len(), group.lanes, qcodes.len(), &dims);
+        // SAFETY: NEON presence established by `resolve`; bounds above.
+        return unsafe { neon::code_ip(group.data, group.lanes, qcodes, dims, acc) };
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = &kernel;
     code_dispatch::<IpCode>(group, qcodes, dims, acc);
+}
+
+/// Explicit AVX2(+FMA) SQ8 kernels. The byte codes are widened
+/// `u8 → i32 → f32` in-register (`_mm256_cvtepu8_epi32` +
+/// `_mm256_cvtepi32_ps`) — exact for all 256 code values, so the widening
+/// matches the scalar `code as f32` bit-for-bit. Weighted kernels tile 32
+/// lanes (4 accumulator registers); code-space kernels run 8 × 32-bit
+/// integer lanes per register with wrapping adds (what the scalar path's
+/// release-mode arithmetic does).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{IpSq8, L1Sq8, L2Sq8, Sq8Accum, Sq8CodeAccum};
+    use crate::distance::Metric;
+    use crate::kernels::dispatch::SCALAR_FMA;
+    use std::arch::x86_64::*;
+    use std::ops::Range;
+
+    /// One metric's 8-wide weighted step — the scalar `Sq8Accum` step,
+    /// widened (`v` is the already-widened code).
+    trait Step {
+        /// # Safety
+        /// Requires AVX2+FMA (callers are `#[target_feature]` fns).
+        unsafe fn step(acc: __m256, qc: __m256, w: __m256, v: __m256) -> __m256;
+    }
+
+    struct L2Step;
+    impl Step for L2Step {
+        #[inline(always)]
+        unsafe fn step(acc: __m256, qc: __m256, w: __m256, v: __m256) -> __m256 {
+            let d = _mm256_sub_ps(qc, v);
+            if SCALAR_FMA {
+                // (w*d).mul_add(d, acc)
+                _mm256_fmadd_ps(_mm256_mul_ps(w, d), d, acc)
+            } else {
+                // acc + w*d*d, left-associated like the scalar step.
+                _mm256_add_ps(acc, _mm256_mul_ps(_mm256_mul_ps(w, d), d))
+            }
+        }
+    }
+
+    struct L1Step;
+    impl Step for L1Step {
+        #[inline(always)]
+        unsafe fn step(acc: __m256, qc: __m256, w: __m256, v: __m256) -> __m256 {
+            let d = _mm256_andnot_ps(_mm256_set1_ps(-0.0), _mm256_sub_ps(qc, v));
+            _mm256_add_ps(acc, _mm256_mul_ps(w, d))
+        }
+    }
+
+    struct IpStep;
+    impl Step for IpStep {
+        #[inline(always)]
+        unsafe fn step(acc: __m256, qc: __m256, _w: __m256, v: __m256) -> __m256 {
+            if SCALAR_FMA {
+                _mm256_fnmadd_ps(qc, v, acc)
+            } else {
+                _mm256_sub_ps(acc, _mm256_mul_ps(qc, v))
+            }
+        }
+    }
+
+    /// Widens 8 codes at `p` to `f32` (exact for `u8` values).
+    ///
+    /// # Safety
+    /// Requires AVX2 and 8 readable bytes at `p`.
+    #[inline(always)]
+    unsafe fn widen8(p: *const u8) -> __m256 {
+        _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_loadl_epi64(p as *const __m128i)))
+    }
+
+    /// # Safety
+    /// Caller guarantees AVX2+FMA and `dims.end * lanes <= data.len()`,
+    /// `dims.end <= qcode.len().min(weight.len())` (for non-empty dims).
+    #[inline(always)]
+    unsafe fn dense<S: Step, A: Sq8Accum>(
+        data: &[u8],
+        lanes: usize,
+        qcode: &[f32],
+        weight: &[f32],
+        dims: Range<usize>,
+        acc: &mut [f32],
+    ) {
+        let dp = data.as_ptr();
+        let mut l = 0usize;
+        while l + 32 <= lanes {
+            let ap = acc.as_mut_ptr().add(l);
+            let mut a0 = _mm256_loadu_ps(ap);
+            let mut a1 = _mm256_loadu_ps(ap.add(8));
+            let mut a2 = _mm256_loadu_ps(ap.add(16));
+            let mut a3 = _mm256_loadu_ps(ap.add(24));
+            for d in dims.clone() {
+                let qc = _mm256_set1_ps(qcode[d]);
+                let w = _mm256_set1_ps(weight[d]);
+                let rp = dp.add(d * lanes + l);
+                a0 = S::step(a0, qc, w, widen8(rp));
+                a1 = S::step(a1, qc, w, widen8(rp.add(8)));
+                a2 = S::step(a2, qc, w, widen8(rp.add(16)));
+                a3 = S::step(a3, qc, w, widen8(rp.add(24)));
+            }
+            _mm256_storeu_ps(ap, a0);
+            _mm256_storeu_ps(ap.add(8), a1);
+            _mm256_storeu_ps(ap.add(16), a2);
+            _mm256_storeu_ps(ap.add(24), a3);
+            l += 32;
+        }
+        while l + 8 <= lanes {
+            let ap = acc.as_mut_ptr().add(l);
+            let mut a = _mm256_loadu_ps(ap);
+            for d in dims.clone() {
+                let qc = _mm256_set1_ps(qcode[d]);
+                let w = _mm256_set1_ps(weight[d]);
+                a = S::step(a, qc, w, widen8(dp.add(d * lanes + l)));
+            }
+            _mm256_storeu_ps(ap, a);
+            l += 8;
+        }
+        for (lane, slot) in acc.iter_mut().enumerate().skip(l) {
+            let mut a = *slot;
+            for d in dims.clone() {
+                a = A::accum(a, qcode[d], weight[d], *dp.add(d * lanes + lane));
+            }
+            *slot = a;
+        }
+    }
+
+    /// # Safety
+    /// Caller guarantees AVX2+FMA, the bounds of [`dense`], and
+    /// `p < lanes` for every position.
+    #[inline(always)]
+    unsafe fn gather<S: Step, A: Sq8Accum>(
+        data: &[u8],
+        lanes: usize,
+        qcode: &[f32],
+        weight: &[f32],
+        dims: Range<usize>,
+        positions: &[u32],
+        acc: &mut [f32],
+    ) {
+        let dp = data.as_ptr();
+        let mut j = 0usize;
+        while j + 8 <= positions.len() {
+            let ap = acc.as_mut_ptr().add(j);
+            let mut a = _mm256_loadu_ps(ap);
+            for d in dims.clone() {
+                let rp = dp.add(d * lanes);
+                let mut buf = [0u8; 8];
+                for (k, b) in buf.iter_mut().enumerate() {
+                    *b = *rp.add(positions[j + k] as usize);
+                }
+                let qc = _mm256_set1_ps(qcode[d]);
+                let w = _mm256_set1_ps(weight[d]);
+                a = S::step(a, qc, w, widen8(buf.as_ptr()));
+            }
+            _mm256_storeu_ps(ap, a);
+            j += 8;
+        }
+        for k in j..positions.len() {
+            let p = positions[k] as usize;
+            let mut a = acc[k];
+            for d in dims.clone() {
+                a = A::accum(a, qcode[d], weight[d], *dp.add(d * lanes + p));
+            }
+            acc[k] = a;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA and the bounds of [`dense`].
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn accumulate(
+        metric: Metric,
+        data: &[u8],
+        lanes: usize,
+        qcode: &[f32],
+        weight: &[f32],
+        dims: Range<usize>,
+        acc: &mut [f32],
+    ) {
+        match metric {
+            Metric::L2 => dense::<L2Step, L2Sq8>(data, lanes, qcode, weight, dims, acc),
+            Metric::L1 => dense::<L1Step, L1Sq8>(data, lanes, qcode, weight, dims, acc),
+            Metric::NegativeIp => dense::<IpStep, IpSq8>(data, lanes, qcode, weight, dims, acc),
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA and the bounds of [`gather`].
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn accumulate_positions(
+        metric: Metric,
+        data: &[u8],
+        lanes: usize,
+        qcode: &[f32],
+        weight: &[f32],
+        dims: Range<usize>,
+        positions: &[u32],
+        acc: &mut [f32],
+    ) {
+        match metric {
+            Metric::L2 => gather::<L2Step, L2Sq8>(data, lanes, qcode, weight, dims, positions, acc),
+            Metric::L1 => gather::<L1Step, L1Sq8>(data, lanes, qcode, weight, dims, positions, acc),
+            Metric::NegativeIp => {
+                gather::<IpStep, IpSq8>(data, lanes, qcode, weight, dims, positions, acc)
+            }
+        }
+    }
+
+    /// One 8-lane code-space step on widened `i32` codes.
+    pub(super) trait CodeStep {
+        /// # Safety
+        /// Requires AVX2 (callers are `#[target_feature]` fns).
+        unsafe fn step(acc: __m256i, qc: __m256i, v: __m256i) -> __m256i;
+    }
+
+    pub(super) struct L2CodeStep;
+    impl CodeStep for L2CodeStep {
+        #[inline(always)]
+        unsafe fn step(acc: __m256i, qc: __m256i, v: __m256i) -> __m256i {
+            let d = _mm256_sub_epi32(qc, v);
+            _mm256_add_epi32(acc, _mm256_mullo_epi32(d, d))
+        }
+    }
+
+    pub(super) struct IpCodeStep;
+    impl CodeStep for IpCodeStep {
+        #[inline(always)]
+        unsafe fn step(acc: __m256i, qc: __m256i, v: __m256i) -> __m256i {
+            _mm256_add_epi32(acc, _mm256_mullo_epi32(qc, v))
+        }
+    }
+
+    /// Integer code-space kernel: 8 × 32-bit lanes per register.
+    ///
+    /// # Safety
+    /// Requires AVX2 and the dimension bounds of [`dense`]; `A::Acc`
+    /// must be a 32-bit integer matching `S`'s accumulator convention.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn code_dense<S: CodeStep, A: Sq8CodeAccum>(
+        data: &[u8],
+        lanes: usize,
+        qcodes: &[u8],
+        dims: Range<usize>,
+        acc: &mut [A::Acc],
+    ) {
+        let dp = data.as_ptr();
+        let mut l = 0usize;
+        while l + 8 <= lanes {
+            let ap = acc.as_mut_ptr().add(l).cast::<__m256i>();
+            let mut a = _mm256_loadu_si256(ap);
+            for d in dims.clone() {
+                let qc = _mm256_set1_epi32(qcodes[d] as i32);
+                let v =
+                    _mm256_cvtepu8_epi32(_mm_loadl_epi64(dp.add(d * lanes + l) as *const __m128i));
+                a = S::step(a, qc, v);
+            }
+            _mm256_storeu_si256(ap, a);
+            l += 8;
+        }
+        for (lane, slot) in acc.iter_mut().enumerate().skip(l) {
+            let mut a = *slot;
+            for d in dims.clone() {
+                a = A::accum(a, qcodes[d], *dp.add(d * lanes + lane));
+            }
+            *slot = a;
+        }
+    }
+}
+
+/// Explicit NEON SQ8 kernels (aarch64). Weighted kernels widen
+/// `u8 → u16 → u32 → f32` in-register (exact for all 256 codes) and tile
+/// 8 lanes (2 accumulator registers); the code-space kernels use the
+/// NEON byte primitives directly (`vabd`/`vmull` — products of `u8`
+/// differences fit `u16` exactly) with widening adds into `u32` lanes,
+/// which matches the scalar wrapping arithmetic.
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::{IpCode, IpSq8, L1Sq8, L2Code, L2Sq8, Sq8Accum, Sq8CodeAccum};
+    use crate::distance::Metric;
+    use crate::kernels::dispatch::SCALAR_FMA;
+    use std::arch::aarch64::*;
+    use std::ops::Range;
+
+    /// One metric's 4-wide weighted step — the scalar `Sq8Accum` step,
+    /// widened (`v` is the already-widened code).
+    trait Step {
+        /// # Safety
+        /// Requires NEON (callers are `#[target_feature]` fns).
+        unsafe fn step(
+            acc: float32x4_t,
+            qc: float32x4_t,
+            w: float32x4_t,
+            v: float32x4_t,
+        ) -> float32x4_t;
+    }
+
+    struct L2Step;
+    impl Step for L2Step {
+        #[inline(always)]
+        unsafe fn step(
+            acc: float32x4_t,
+            qc: float32x4_t,
+            w: float32x4_t,
+            v: float32x4_t,
+        ) -> float32x4_t {
+            let d = vsubq_f32(qc, v);
+            if SCALAR_FMA {
+                vfmaq_f32(acc, vmulq_f32(w, d), d)
+            } else {
+                vaddq_f32(acc, vmulq_f32(vmulq_f32(w, d), d))
+            }
+        }
+    }
+
+    struct L1Step;
+    impl Step for L1Step {
+        #[inline(always)]
+        unsafe fn step(
+            acc: float32x4_t,
+            qc: float32x4_t,
+            w: float32x4_t,
+            v: float32x4_t,
+        ) -> float32x4_t {
+            vaddq_f32(acc, vmulq_f32(w, vabsq_f32(vsubq_f32(qc, v))))
+        }
+    }
+
+    struct IpStep;
+    impl Step for IpStep {
+        #[inline(always)]
+        unsafe fn step(
+            acc: float32x4_t,
+            qc: float32x4_t,
+            _w: float32x4_t,
+            v: float32x4_t,
+        ) -> float32x4_t {
+            if SCALAR_FMA {
+                vfmsq_f32(acc, qc, v)
+            } else {
+                vsubq_f32(acc, vmulq_f32(qc, v))
+            }
+        }
+    }
+
+    /// Widens 8 codes at `p` into two `f32x4` registers (exact).
+    ///
+    /// # Safety
+    /// Requires NEON and 8 readable bytes at `p`.
+    #[inline(always)]
+    unsafe fn widen8(p: *const u8) -> (float32x4_t, float32x4_t) {
+        let wide = vmovl_u8(vld1_u8(p));
+        (
+            vcvtq_f32_u32(vmovl_u16(vget_low_u16(wide))),
+            vcvtq_f32_u32(vmovl_u16(vget_high_u16(wide))),
+        )
+    }
+
+    /// # Safety
+    /// Caller guarantees NEON and `dims.end * lanes <= data.len()`,
+    /// `dims.end <= qcode.len().min(weight.len())` (for non-empty dims).
+    #[inline(always)]
+    unsafe fn dense<S: Step, A: Sq8Accum>(
+        data: &[u8],
+        lanes: usize,
+        qcode: &[f32],
+        weight: &[f32],
+        dims: Range<usize>,
+        acc: &mut [f32],
+    ) {
+        let dp = data.as_ptr();
+        let mut l = 0usize;
+        while l + 8 <= lanes {
+            let ap = acc.as_mut_ptr().add(l);
+            let mut a0 = vld1q_f32(ap);
+            let mut a1 = vld1q_f32(ap.add(4));
+            for d in dims.clone() {
+                let qc = vdupq_n_f32(qcode[d]);
+                let w = vdupq_n_f32(weight[d]);
+                let (v0, v1) = widen8(dp.add(d * lanes + l));
+                a0 = S::step(a0, qc, w, v0);
+                a1 = S::step(a1, qc, w, v1);
+            }
+            vst1q_f32(ap, a0);
+            vst1q_f32(ap.add(4), a1);
+            l += 8;
+        }
+        for (lane, slot) in acc.iter_mut().enumerate().skip(l) {
+            let mut a = *slot;
+            for d in dims.clone() {
+                a = A::accum(a, qcode[d], weight[d], *dp.add(d * lanes + lane));
+            }
+            *slot = a;
+        }
+    }
+
+    /// # Safety
+    /// Caller guarantees NEON, the bounds of [`dense`], and `p < lanes`
+    /// for every position.
+    #[inline(always)]
+    unsafe fn gather<S: Step, A: Sq8Accum>(
+        data: &[u8],
+        lanes: usize,
+        qcode: &[f32],
+        weight: &[f32],
+        dims: Range<usize>,
+        positions: &[u32],
+        acc: &mut [f32],
+    ) {
+        let dp = data.as_ptr();
+        let mut j = 0usize;
+        while j + 4 <= positions.len() {
+            let ap = acc.as_mut_ptr().add(j);
+            let mut a = vld1q_f32(ap);
+            for d in dims.clone() {
+                let rp = dp.add(d * lanes);
+                let vals = [
+                    *rp.add(positions[j] as usize) as f32,
+                    *rp.add(positions[j + 1] as usize) as f32,
+                    *rp.add(positions[j + 2] as usize) as f32,
+                    *rp.add(positions[j + 3] as usize) as f32,
+                ];
+                let qc = vdupq_n_f32(qcode[d]);
+                let w = vdupq_n_f32(weight[d]);
+                a = S::step(a, qc, w, vld1q_f32(vals.as_ptr()));
+            }
+            vst1q_f32(ap, a);
+            j += 4;
+        }
+        for k in j..positions.len() {
+            let p = positions[k] as usize;
+            let mut a = acc[k];
+            for d in dims.clone() {
+                a = A::accum(a, qcode[d], weight[d], *dp.add(d * lanes + p));
+            }
+            acc[k] = a;
+        }
+    }
+
+    /// # Safety
+    /// Requires NEON and the bounds of [`dense`].
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn accumulate(
+        metric: Metric,
+        data: &[u8],
+        lanes: usize,
+        qcode: &[f32],
+        weight: &[f32],
+        dims: Range<usize>,
+        acc: &mut [f32],
+    ) {
+        match metric {
+            Metric::L2 => dense::<L2Step, L2Sq8>(data, lanes, qcode, weight, dims, acc),
+            Metric::L1 => dense::<L1Step, L1Sq8>(data, lanes, qcode, weight, dims, acc),
+            Metric::NegativeIp => dense::<IpStep, IpSq8>(data, lanes, qcode, weight, dims, acc),
+        }
+    }
+
+    /// # Safety
+    /// Requires NEON and the bounds of [`gather`].
+    #[target_feature(enable = "neon")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn accumulate_positions(
+        metric: Metric,
+        data: &[u8],
+        lanes: usize,
+        qcode: &[f32],
+        weight: &[f32],
+        dims: Range<usize>,
+        positions: &[u32],
+        acc: &mut [f32],
+    ) {
+        match metric {
+            Metric::L2 => gather::<L2Step, L2Sq8>(data, lanes, qcode, weight, dims, positions, acc),
+            Metric::L1 => gather::<L1Step, L1Sq8>(data, lanes, qcode, weight, dims, positions, acc),
+            Metric::NegativeIp => {
+                gather::<IpStep, IpSq8>(data, lanes, qcode, weight, dims, positions, acc)
+            }
+        }
+    }
+
+    /// Integer code-space L2: `vabd` (exact `|qc−c|` in `u8`) squared via
+    /// `vmull` into `u16`, widened into `u32` accumulators.
+    ///
+    /// # Safety
+    /// Requires NEON and the dimension bounds of [`dense`].
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn code_l2(
+        data: &[u8],
+        lanes: usize,
+        qcodes: &[u8],
+        dims: Range<usize>,
+        acc: &mut [u32],
+    ) {
+        let dp = data.as_ptr();
+        let mut l = 0usize;
+        while l + 8 <= lanes {
+            let ap = acc.as_mut_ptr().add(l);
+            let mut a0 = vld1q_u32(ap);
+            let mut a1 = vld1q_u32(ap.add(4));
+            for d in dims.clone() {
+                let qc = vdup_n_u8(qcodes[d]);
+                let c = vld1_u8(dp.add(d * lanes + l));
+                let ad = vabd_u8(qc, c);
+                let sq = vmull_u8(ad, ad);
+                a0 = vaddw_u16(a0, vget_low_u16(sq));
+                a1 = vaddw_u16(a1, vget_high_u16(sq));
+            }
+            vst1q_u32(ap, a0);
+            vst1q_u32(ap.add(4), a1);
+            l += 8;
+        }
+        for lane in l..lanes {
+            let mut a = acc[lane];
+            for d in dims.clone() {
+                a = L2Code::accum(a, qcodes[d], *dp.add(d * lanes + lane));
+            }
+            acc[lane] = a;
+        }
+    }
+
+    /// Integer code-space dot product: `vmull` products (exact in `u16`)
+    /// widened into 32-bit accumulators (same bits as the scalar `i32`
+    /// adds — every addend is non-negative).
+    ///
+    /// # Safety
+    /// Requires NEON and the dimension bounds of [`dense`].
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn code_ip(
+        data: &[u8],
+        lanes: usize,
+        qcodes: &[u8],
+        dims: Range<usize>,
+        acc: &mut [i32],
+    ) {
+        let dp = data.as_ptr();
+        let mut l = 0usize;
+        while l + 8 <= lanes {
+            let ap = acc.as_mut_ptr().add(l).cast::<u32>();
+            let mut a0 = vld1q_u32(ap);
+            let mut a1 = vld1q_u32(ap.add(4));
+            for d in dims.clone() {
+                let qc = vdup_n_u8(qcodes[d]);
+                let c = vld1_u8(dp.add(d * lanes + l));
+                let prod = vmull_u8(qc, c);
+                a0 = vaddw_u16(a0, vget_low_u16(prod));
+                a1 = vaddw_u16(a1, vget_high_u16(prod));
+            }
+            vst1q_u32(ap, a0);
+            vst1q_u32(ap.add(4), a1);
+            l += 8;
+        }
+        for lane in l..lanes {
+            let mut a = acc[lane];
+            for d in dims.clone() {
+                a = IpCode::accum(a, qcodes[d], *dp.add(d * lanes + lane));
+            }
+            acc[lane] = a;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -639,5 +1427,77 @@ mod tests {
         let mut acc = vec![1.5; 10];
         sq8_accumulate(&q, &g, 2..2, &mut acc);
         assert!(acc.iter().all(|&x| x == 1.5));
+    }
+
+    #[test]
+    fn simd_policy_is_bit_identical_to_scalar() {
+        for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
+            // 67 lanes across a 64-group: hits the tiles and the tail.
+            let (qz, block, _) = setup(67, 13, 64);
+            let q = qz.prepare_query(metric, &query(13));
+            let mut scalar = vec![0.0; 67];
+            sq8_scan_policy(&q, &block, &mut scalar, KernelPolicy::Scalar);
+            let mut simd = vec![0.0; 67];
+            sq8_scan_policy(&q, &block, &mut simd, KernelPolicy::Simd);
+            for v in 0..67 {
+                assert_eq!(
+                    scalar[v].to_bits(),
+                    simd[v].to_bits(),
+                    "{metric:?} vector {v}: {} vs {}",
+                    scalar[v],
+                    simd[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positions_simd_policy_is_bit_identical_to_scalar() {
+        let (qz, block, _) = setup(64, 16, 64);
+        let g = block.group(0);
+        let positions: Vec<u32> = vec![3, 9, 17, 18, 21, 33, 40, 47, 55, 60, 63];
+        for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
+            let q = qz.prepare_query(metric, &query(16));
+            let mut scalar = vec![0.0; positions.len()];
+            sq8_accumulate_positions_policy(
+                &q,
+                &g,
+                0..16,
+                &positions,
+                &mut scalar,
+                KernelPolicy::Scalar,
+            );
+            let mut simd = vec![0.0; positions.len()];
+            sq8_accumulate_positions_policy(
+                &q,
+                &g,
+                0..16,
+                &positions,
+                &mut simd,
+                KernelPolicy::Simd,
+            );
+            for j in 0..positions.len() {
+                assert_eq!(scalar[j].to_bits(), simd[j].to_bits(), "{metric:?} pos {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn code_kernels_agree_across_policies() {
+        let (qz, block, _) = setup(67, 12, 64);
+        let _ = qz;
+        let qcodes: Vec<u8> = (0..12u8).map(|x| x.wrapping_mul(21)).collect();
+        for g in block.groups() {
+            let mut l2_scalar = vec![0u32; g.lanes];
+            sq8_code_l2_policy(&g, &qcodes, 0..12, &mut l2_scalar, KernelPolicy::Scalar);
+            let mut l2_simd = vec![0u32; g.lanes];
+            sq8_code_l2_policy(&g, &qcodes, 0..12, &mut l2_simd, KernelPolicy::Simd);
+            assert_eq!(l2_scalar, l2_simd);
+            let mut ip_scalar = vec![0i32; g.lanes];
+            sq8_code_ip_policy(&g, &qcodes, 0..12, &mut ip_scalar, KernelPolicy::Scalar);
+            let mut ip_simd = vec![0i32; g.lanes];
+            sq8_code_ip_policy(&g, &qcodes, 0..12, &mut ip_simd, KernelPolicy::Simd);
+            assert_eq!(ip_scalar, ip_simd);
+        }
     }
 }

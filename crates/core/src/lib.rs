@@ -85,6 +85,7 @@ pub use distance::Metric;
 pub use engine::{PrunerKind, SearchOptions, VectorIndex};
 pub use exec::{BatchSearcher, ThreadPool};
 pub use heap::{KnnHeap, Neighbor};
+pub use kernels::{active_kernel_isa, detected_isa, KernelIsa, KernelPolicy};
 pub use layout::{
     DsmMatrix, DualBlockMatrix, NaryMatrix, PdxBlock, QuantizedPdxBlock, Sq8Quantizer,
 };

@@ -26,6 +26,9 @@ pub use linear::{linear_scan_blocks, linear_scan_dsm, linear_scan_nary, linear_s
 pub use pdxearch::{
     pdxearch, pdxearch_prepared, pdxearch_prepared_profiled, pdxearch_profiled, SearchParams,
 };
-pub use quantized::{sq8_rerank, sq8_search, sq8_two_phase, Sq8Block, DEFAULT_REFINE};
+pub use quantized::{
+    sq8_rerank, sq8_search, sq8_search_policy, sq8_two_phase, sq8_two_phase_policy, Sq8Block,
+    DEFAULT_REFINE,
+};
 
-pub use crate::kernels::KernelVariant;
+pub use crate::kernels::{KernelIsa, KernelPolicy, KernelVariant};

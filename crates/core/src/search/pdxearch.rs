@@ -22,9 +22,10 @@
 
 use crate::collection::SearchBlock;
 use crate::heap::{KnnHeap, Neighbor};
+use crate::kernels::dispatch::KernelPolicy;
 use crate::kernels::pdx::{
-    pdx_accumulate, pdx_accumulate_permuted, pdx_accumulate_positions,
-    pdx_accumulate_positions_permuted,
+    pdx_accumulate_permuted_policy, pdx_accumulate_policy,
+    pdx_accumulate_positions_permuted_policy, pdx_accumulate_positions_policy,
 };
 use crate::profile::SearchProfile;
 use crate::pruning::{checkpoints, Pruner, StepPolicy};
@@ -40,6 +41,9 @@ pub struct SearchParams {
     pub selection_fraction: f32,
     /// Dimension fetching schedule.
     pub step: StepPolicy,
+    /// Kernel implementation policy (scalar oracle vs explicit SIMD).
+    /// Distances are bit-identical either way.
+    pub kernel: KernelPolicy,
 }
 
 impl SearchParams {
@@ -49,6 +53,7 @@ impl SearchParams {
             k,
             selection_fraction: 0.20,
             step: StepPolicy::default(),
+            kernel: KernelPolicy::Auto,
         }
     }
 
@@ -61,6 +66,12 @@ impl SearchParams {
     /// Replaces the selection fraction.
     pub fn with_selection_fraction(mut self, f: f32) -> Self {
         self.selection_fraction = f;
+        self
+    }
+
+    /// Replaces the kernel policy.
+    pub fn with_kernel(mut self, kernel: KernelPolicy) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -190,6 +201,7 @@ fn run<P: Pruner, const PROFILE: bool>(
                 q,
                 block,
                 perm.as_deref(),
+                params.kernel,
                 &mut heap,
                 &mut scratch,
                 profile,
@@ -218,11 +230,13 @@ fn run<P: Pruner, const PROFILE: bool>(
 /// Full linear scan of one block; every distance is offered to the
 /// heap. Accumulates in the block's permuted dimension order when the
 /// pruner has one, matching the WARMUP/PRUNE phases exactly.
+#[allow(clippy::too_many_arguments)]
 fn scan_block_linear<P: Pruner, const PROFILE: bool>(
     pruner: &P,
     q: &P::Query,
     block: &SearchBlock,
     perm: Option<&[u32]>,
+    kernel: KernelPolicy,
     heap: &mut KnnHeap,
     scratch: &mut Scratch,
     profile: &mut SearchProfile,
@@ -237,8 +251,8 @@ fn scan_block_linear<P: Pruner, const PROFILE: bool>(
     for g in block.pdx.groups() {
         let acc = &mut scratch.partials[g.start_vector..g.start_vector + g.lanes];
         match perm {
-            None => pdx_accumulate(metric, &g, qvec, 0..dims, acc),
-            Some(p) => pdx_accumulate_permuted(metric, &g, qvec, p, acc),
+            None => pdx_accumulate_policy(metric, &g, qvec, 0..dims, acc, kernel),
+            Some(p) => pdx_accumulate_permuted_policy(metric, &g, qvec, p, acc, kernel),
         }
     }
     for (i, &d) in scratch.partials.iter().enumerate() {
@@ -278,8 +292,17 @@ fn scan_block_pruned<P: Pruner, const PROFILE: bool>(
             for g in block.pdx.groups() {
                 let acc = &mut scratch.partials[g.start_vector..g.start_vector + g.lanes];
                 match perm {
-                    None => pdx_accumulate(metric, &g, qvec, scanned..ck, acc),
-                    Some(p) => pdx_accumulate_permuted(metric, &g, qvec, &p[scanned..ck], acc),
+                    None => {
+                        pdx_accumulate_policy(metric, &g, qvec, scanned..ck, acc, params.kernel)
+                    }
+                    Some(p) => pdx_accumulate_permuted_policy(
+                        metric,
+                        &g,
+                        qvec,
+                        &p[scanned..ck],
+                        acc,
+                        params.kernel,
+                    ),
                 }
             }
             lap(&mut profile.distance_ns, t0);
@@ -340,7 +363,16 @@ fn scan_block_pruned<P: Pruner, const PROFILE: bool>(
         } else {
             // PRUNE: distance work only at survivor positions.
             let t0 = timer::<PROFILE>();
-            accumulate_survivors(metric, block, qvec, perm, scanned, ck, scratch);
+            accumulate_survivors(
+                metric,
+                block,
+                qvec,
+                perm,
+                scanned,
+                ck,
+                params.kernel,
+                scratch,
+            );
             lap(&mut profile.distance_ns, t0);
             scanned = ck;
             if scanned == dims {
@@ -391,6 +423,7 @@ fn aux_row<P: Pruner>(block: &SearchBlock, scanned: usize) -> Option<&[f32]> {
 
 /// PRUNE-phase accumulation: walks the (sorted) survivor positions one
 /// group run at a time so the kernel gathers lanes within a cached group.
+#[allow(clippy::too_many_arguments)]
 fn accumulate_survivors(
     metric: crate::distance::Metric,
     block: &SearchBlock,
@@ -398,6 +431,7 @@ fn accumulate_survivors(
     perm: Option<&[u32]>,
     scanned: usize,
     ck: usize,
+    kernel: KernelPolicy,
     scratch: &mut Scratch,
 ) {
     let gsize = block.pdx.group_size();
@@ -416,10 +450,24 @@ fn accumulate_survivors(
         lane_ids.extend(positions[j0..j1].iter().map(|&p| p - g.start_vector as u32));
         let acc = &mut compact[j0..j1];
         match perm {
-            None => pdx_accumulate_positions(metric, &g, qvec, scanned..ck, lane_ids, acc),
-            Some(p) => {
-                pdx_accumulate_positions_permuted(metric, &g, qvec, &p[scanned..ck], lane_ids, acc)
-            }
+            None => pdx_accumulate_positions_policy(
+                metric,
+                &g,
+                qvec,
+                scanned..ck,
+                lane_ids,
+                acc,
+                kernel,
+            ),
+            Some(p) => pdx_accumulate_positions_permuted_policy(
+                metric,
+                &g,
+                qvec,
+                &p[scanned..ck],
+                lane_ids,
+                acc,
+                kernel,
+            ),
         }
         j0 = j1;
     }

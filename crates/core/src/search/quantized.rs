@@ -21,7 +21,10 @@
 
 use crate::distance::{distance_scalar, Metric};
 use crate::heap::{KnnHeap, Neighbor};
-use crate::kernels::sq8::{sq8_accumulate, sq8_accumulate_positions, sq8_scan};
+use crate::kernels::dispatch::KernelPolicy;
+use crate::kernels::sq8::{
+    sq8_accumulate_policy, sq8_accumulate_positions_policy, sq8_scan_policy,
+};
 use crate::layout::{QuantizedPdxBlock, Sq8Quantizer, Sq8Query};
 use crate::pruning::{checkpoints, StepPolicy};
 
@@ -92,6 +95,18 @@ struct Scratch {
 /// Panics if `c == 0` or a block's dimensionality differs from the
 /// query's.
 pub fn sq8_search(q: &Sq8Query, blocks: &[&Sq8Block], c: usize, step: StepPolicy) -> Vec<Neighbor> {
+    sq8_search_policy(q, blocks, c, step, KernelPolicy::Auto)
+}
+
+/// [`sq8_search`] with an explicit kernel policy (bit-identical across
+/// policies — the SIMD kernels reproduce the scalar accumulation order).
+pub fn sq8_search_policy(
+    q: &Sq8Query,
+    blocks: &[&Sq8Block],
+    c: usize,
+    step: StepPolicy,
+    kernel: KernelPolicy,
+) -> Vec<Neighbor> {
     assert!(c > 0, "candidate count must be positive");
     let dims = q.dims();
     let mut heap = KnnHeap::new(c);
@@ -108,13 +123,13 @@ pub fn sq8_search(q: &Sq8Query, blocks: &[&Sq8Block], c: usize, step: StepPolicy
             // START (or a non-monotone metric): full linear scan.
             scratch.partials.clear();
             scratch.partials.resize(block.len(), 0.0);
-            sq8_scan(q, &block.codes, &mut scratch.partials);
+            sq8_scan_policy(q, &block.codes, &mut scratch.partials, kernel);
             for (i, &d) in scratch.partials.iter().enumerate() {
                 heap.push(block.row_ids[i], d);
             }
             continue;
         }
-        scan_block_pruned(q, block, &ckpts, &mut heap, &mut scratch);
+        scan_block_pruned(q, block, &ckpts, kernel, &mut heap, &mut scratch);
     }
     heap.into_sorted()
 }
@@ -126,6 +141,7 @@ fn scan_block_pruned(
     q: &Sq8Query,
     block: &Sq8Block,
     ckpts: &[usize],
+    kernel: KernelPolicy,
     heap: &mut KnnHeap,
     scratch: &mut Scratch,
 ) {
@@ -144,7 +160,7 @@ fn scan_block_pruned(
         if !pruning {
             for g in block.codes.groups() {
                 let acc = &mut scratch.partials[g.start_vector..g.start_vector + g.lanes];
-                sq8_accumulate(q, &g, scanned..ck, acc);
+                sq8_accumulate_policy(q, &g, scanned..ck, acc, kernel);
             }
             scanned = ck;
             if scanned == dims {
@@ -174,7 +190,7 @@ fn scan_block_pruned(
                 }
             }
         } else {
-            accumulate_survivors(q, block, scanned, ck, scratch);
+            accumulate_survivors(q, block, scanned, ck, kernel, scratch);
             scanned = ck;
             if scanned == dims {
                 for (j, &pos) in scratch.positions.iter().enumerate() {
@@ -206,6 +222,7 @@ fn accumulate_survivors(
     block: &Sq8Block,
     scanned: usize,
     ck: usize,
+    kernel: KernelPolicy,
     scratch: &mut Scratch,
 ) {
     let gsize = block.codes.group_size();
@@ -222,7 +239,7 @@ fn accumulate_survivors(
         let g = block.codes.group(g_idx);
         lane_ids.clear();
         lane_ids.extend(positions[j0..j1].iter().map(|&p| p - g.start_vector as u32));
-        sq8_accumulate_positions(q, &g, scanned..ck, lane_ids, &mut compact[j0..j1]);
+        sq8_accumulate_positions_policy(q, &g, scanned..ck, lane_ids, &mut compact[j0..j1], kernel);
         j0 = j1;
     }
 }
@@ -268,15 +285,45 @@ pub fn sq8_two_phase(
     refine: usize,
     step: StepPolicy,
 ) -> Vec<Neighbor> {
+    sq8_two_phase_policy(
+        quantizer,
+        blocks,
+        rows,
+        dims,
+        metric,
+        query,
+        k,
+        refine,
+        step,
+        KernelPolicy::Auto,
+    )
+}
+
+/// [`sq8_two_phase`] with an explicit kernel policy for the quantized
+/// scan (the rerank is always the scalar `f32` reference distance).
+#[allow(clippy::too_many_arguments)]
+pub fn sq8_two_phase_policy(
+    quantizer: &Sq8Quantizer,
+    blocks: &[&Sq8Block],
+    rows: &[f32],
+    dims: usize,
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+    refine: usize,
+    step: StepPolicy,
+    kernel: KernelPolicy,
+) -> Vec<Neighbor> {
     assert!(k > 0, "k must be positive");
     let q = quantizer.prepare_query(metric, query);
-    let candidates = sq8_search(&q, blocks, k * refine.max(1), step);
+    let candidates = sq8_search_policy(&q, blocks, k * refine.max(1), step, kernel);
     sq8_rerank(metric, rows, dims, query, &candidates, k)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::sq8::sq8_scan;
 
     fn make_rows(n: usize, d: usize, seed: u64) -> Vec<f32> {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
@@ -409,6 +456,26 @@ mod tests {
         let q = qz.prepare_query(Metric::L2, &make_rows(1, d, 4));
         let got = sq8_search(&q, &[&empty, &full, &empty], 5, StepPolicy::default());
         assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn kernel_policies_are_bit_identical_end_to_end() {
+        // The full pruned quantized search — not just one kernel call —
+        // must produce identical bits under every policy.
+        let (n, d, c) = (500, 20, 15);
+        let rows = make_rows(n, d, 42);
+        let qz = Sq8Quantizer::fit(&rows, n, d);
+        let blocks = make_blocks(&rows, n, d, 64, 32, &qz);
+        let refs: Vec<&Sq8Block> = blocks.iter().collect();
+        let raw_q = make_rows(1, d, 9);
+        for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
+            let q = qz.prepare_query(metric, &raw_q);
+            let a = sq8_search_policy(&q, &refs, c, StepPolicy::default(), KernelPolicy::Scalar);
+            let b = sq8_search_policy(&q, &refs, c, StepPolicy::default(), KernelPolicy::Simd);
+            let ab: Vec<(u64, u32)> = a.iter().map(|x| (x.id, x.distance.to_bits())).collect();
+            let bb: Vec<(u64, u32)> = b.iter().map(|x| (x.id, x.distance.to_bits())).collect();
+            assert_eq!(ab, bb, "{metric:?}");
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!
 //! Which options each deployment reads:
 //!
-//! | deployment       | `pruner` | `metric` | `nprobe` | `refine` | `ef` | `variant` |
+//! | deployment       | `pruner` | `metric` | `nprobe` | `refine` | `ef` | `kernel`  |
 //! |------------------|----------|----------|----------|----------|------|-----------|
 //! | [`FlatPdx`]      | ✓        | ✓        | –        | –        | –    | –         |
 //! | [`IvfPdx`]       | ✓        | ✓        | ✓        | –        | –    | –         |
@@ -36,7 +36,7 @@ use pdx_core::engine::{PrunerKind, SearchOptions, VectorIndex};
 use pdx_core::exec::{parallel_block_search, BatchSearcher, ThreadPool};
 use pdx_core::heap::Neighbor;
 use pdx_core::pruning::Pruner;
-use pdx_core::search::quantized::{sq8_rerank, sq8_search, sq8_two_phase, Sq8Block};
+use pdx_core::search::quantized::{sq8_rerank, sq8_search_policy, sq8_two_phase_policy, Sq8Block};
 use pdx_core::search::{
     horizontal_linear_scan, horizontal_pruned_search_prepared, linear_scan_blocks,
     pdxearch_prepared, HorizontalBucket,
@@ -167,18 +167,30 @@ impl VectorIndex for IvfHorizontal {
     }
 
     /// Vector-at-a-time search over the `nprobe` nearest buckets with
-    /// the configured kernel `variant`; `pruner` selects the
+    /// the horizontal tier of the configured kernel policy; `pruner`
+    /// selects the
     /// interleaved Bond bound or the plain linear IVF_FLAT scan.
     fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
         let nprobe = opts.resolve_nprobe(self.buckets.len());
         match opts.pruner {
             PrunerKind::Bond(order) => {
                 let bond = PdxBond::new(opts.metric, order);
-                IvfHorizontal::search(self, &bond, query, opts.k, nprobe, opts.variant)
+                IvfHorizontal::search(
+                    self,
+                    &bond,
+                    query,
+                    opts.k,
+                    nprobe,
+                    opts.kernel.horizontal_variant(),
+                )
             }
-            PrunerKind::Linear => {
-                self.linear_search(query, opts.k, nprobe, opts.metric, opts.variant)
-            }
+            PrunerKind::Linear => self.linear_search(
+                query,
+                opts.k,
+                nprobe,
+                opts.metric,
+                opts.kernel.horizontal_variant(),
+            ),
         }
     }
 
@@ -195,8 +207,12 @@ impl VectorIndex for IvfHorizontal {
             PrunerKind::Bond(order) => {
                 let bond = PdxBond::new(opts.metric, order);
                 let q = bond.prepare_query(query);
-                let probes =
-                    self.probe_order(bond.query_vector(&q), nprobe, opts.metric, opts.variant);
+                let probes = self.probe_order(
+                    bond.query_vector(&q),
+                    nprobe,
+                    opts.metric,
+                    opts.kernel.horizontal_variant(),
+                );
                 let buckets: Vec<&HorizontalBucket> =
                     probes.iter().map(|&b| &self.buckets[b as usize]).collect();
                 parallel_block_search(&pool, buckets.len(), opts.k, |range| {
@@ -206,12 +222,13 @@ impl VectorIndex for IvfHorizontal {
                         &buckets[range],
                         opts.k,
                         self.delta_d,
-                        opts.variant,
+                        opts.kernel.horizontal_variant(),
                     )
                 })
             }
             PrunerKind::Linear => {
-                let probes = self.probe_order(query, nprobe, opts.metric, opts.variant);
+                let probes =
+                    self.probe_order(query, nprobe, opts.metric, opts.kernel.horizontal_variant());
                 let buckets: Vec<&HorizontalBucket> =
                     probes.iter().map(|&b| &self.buckets[b as usize]).collect();
                 parallel_block_search(&pool, buckets.len(), opts.k, |range| {
@@ -220,7 +237,7 @@ impl VectorIndex for IvfHorizontal {
                         query,
                         opts.k,
                         opts.metric,
-                        opts.variant,
+                        opts.kernel.horizontal_variant(),
                     )
                 })
             }
@@ -252,9 +269,9 @@ impl VectorIndex for FlatSq8 {
         let blocks: Vec<&Sq8Block> = self.blocks.iter().collect();
         if self.rows.is_empty() {
             let q = self.quantizer.prepare_query(opts.metric, query);
-            return sq8_search(&q, &blocks, opts.k, opts.step);
+            return sq8_search_policy(&q, &blocks, opts.k, opts.step, opts.kernel);
         }
-        sq8_two_phase(
+        sq8_two_phase_policy(
             &self.quantizer,
             &blocks,
             &self.rows,
@@ -264,6 +281,7 @@ impl VectorIndex for FlatSq8 {
             opts.k,
             opts.refine,
             opts.step,
+            opts.kernel,
         )
     }
 
@@ -276,11 +294,11 @@ impl VectorIndex for FlatSq8 {
         if self.rows.is_empty() {
             searcher.run(queries, self.dims, |q| {
                 let pq = self.quantizer.prepare_query(opts.metric, q);
-                sq8_search(&pq, &blocks, opts.k, opts.step)
+                sq8_search_policy(&pq, &blocks, opts.k, opts.step, opts.kernel)
             })
         } else {
             searcher.run(queries, self.dims, |q| {
-                sq8_two_phase(
+                sq8_two_phase_policy(
                     &self.quantizer,
                     &blocks,
                     &self.rows,
@@ -290,6 +308,7 @@ impl VectorIndex for FlatSq8 {
                     opts.k,
                     opts.refine,
                     opts.step,
+                    opts.kernel,
                 )
             })
         }
@@ -301,12 +320,12 @@ impl VectorIndex for FlatSq8 {
         let q = self.quantizer.prepare_query(opts.metric, query);
         if self.rows.is_empty() {
             return parallel_block_search(&pool, blocks.len(), opts.k, |range| {
-                sq8_search(&q, &blocks[range], opts.k, opts.step)
+                sq8_search_policy(&q, &blocks[range], opts.k, opts.step, opts.kernel)
             });
         }
         let c = opts.k * opts.refine.max(1);
         let candidates = parallel_block_search(&pool, blocks.len(), c, |range| {
-            sq8_search(&q, &blocks[range], c, opts.step)
+            sq8_search_policy(&q, &blocks[range], c, opts.step, opts.kernel)
         });
         sq8_rerank(
             opts.metric,
@@ -337,7 +356,7 @@ impl VectorIndex for IvfSq8 {
         let nprobe = opts.resolve_nprobe(self.blocks.len());
         let order = self.probe_order(query, nprobe, opts.metric);
         let blocks: Vec<&Sq8Block> = order.iter().map(|&b| &self.blocks[b as usize]).collect();
-        sq8_two_phase(
+        sq8_two_phase_policy(
             &self.quantizer,
             &blocks,
             &self.rows,
@@ -347,6 +366,7 @@ impl VectorIndex for IvfSq8 {
             opts.k,
             opts.refine,
             opts.step,
+            opts.kernel,
         )
     }
 
@@ -361,7 +381,7 @@ impl VectorIndex for IvfSq8 {
         let q = self.quantizer.prepare_query(opts.metric, query);
         let c = opts.k * opts.refine.max(1);
         let candidates = parallel_block_search(&pool, blocks.len(), c, |range| {
-            sq8_search(&q, &blocks[range], c, opts.step)
+            sq8_search_policy(&q, &blocks[range], c, opts.step, opts.kernel)
         });
         sq8_rerank(
             opts.metric,

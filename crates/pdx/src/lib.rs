@@ -165,7 +165,8 @@ pub mod prelude {
     };
     pub use pdx_core::heap::{KnnHeap, Neighbor};
     pub use pdx_core::kernels::{
-        dsm_scan, gather_scan, nary_distance, pdx_scan, sq8_distance_scalar, sq8_scan,
+        active_kernel_isa, detected_isa, dsm_scan, gather_scan, nary_distance, pdx_scan,
+        pdx_scan_policy, sq8_distance_scalar, sq8_scan, sq8_scan_policy, KernelIsa, KernelPolicy,
         KernelVariant,
     };
     pub use pdx_core::layout::{

@@ -130,7 +130,8 @@ impl ServerMetrics {
     /// Snapshots the counters into a wire-format [`StatsReport`].
     ///
     /// `started` is the server's start instant (for uptime and QPS);
-    /// index shape and queue state are supplied by the caller.
+    /// index shape, queue state, and the resolved kernel ISA wire code
+    /// are supplied by the caller.
     #[allow(clippy::too_many_arguments)]
     pub fn report(
         &self,
@@ -140,6 +141,7 @@ impl ServerMetrics {
         tombstones: u64,
         queue_depth: u64,
         queue_capacity: u64,
+        kernel_isa: u64,
     ) -> StatsReport {
         let uptime = started.elapsed();
         let uptime_ms = uptime.as_millis() as u64;
@@ -166,6 +168,7 @@ impl ServerMetrics {
             p50_us: self.latency.quantile(0.50),
             p99_us: self.latency.quantile(0.99),
             p999_us: self.latency.quantile(0.999),
+            kernel_isa,
         }
     }
 }

@@ -349,10 +349,14 @@ pub struct StatsReport {
     pub p99_us: u64,
     /// 99.9th-percentile service latency, microseconds.
     pub p999_us: u64,
+    /// Kernel ISA the server's searches run on:
+    /// [`KernelIsa::wire_code`](pdx_core::KernelIsa::wire_code)
+    /// (0 = scalar, 1 = avx2, 2 = neon).
+    pub kernel_isa: u64,
 }
 
 impl StatsReport {
-    const FIELDS: usize = 15;
+    const FIELDS: usize = 16;
 
     fn encode_into(&self, out: &mut Vec<u8>) {
         for v in [
@@ -371,6 +375,7 @@ impl StatsReport {
             self.p50_us,
             self.p99_us,
             self.p999_us,
+            self.kernel_isa,
         ] {
             put_u64(out, v);
         }
@@ -397,6 +402,7 @@ impl StatsReport {
             p50_us: vals[12],
             p99_us: vals[13],
             p999_us: vals[14],
+            kernel_isa: vals[15],
         })
     }
 }
@@ -749,6 +755,7 @@ mod tests {
                 p50_us: 100,
                 p99_us: 900,
                 p999_us: 2000,
+                kernel_isa: 1,
             }),
             Response::error(ErrorKind::Busy, "queue full"),
         ]

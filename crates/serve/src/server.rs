@@ -26,6 +26,7 @@ use crate::proto::{
 };
 use pdx_core::engine::{SearchOptions, VectorIndex};
 use pdx_core::exec::{resolve_threads, spawn_job, JobHandle};
+use pdx_core::KernelPolicy;
 use pdx_engine::AnyIndex;
 use pdx_store::{Collection, StoreError, MANIFEST_FILE};
 use std::collections::VecDeque;
@@ -54,6 +55,10 @@ pub struct ServeConfig {
     /// Cap on a frame's payload length; larger frames are rejected
     /// before allocation and the connection is closed.
     pub max_frame: u32,
+    /// Kernel policy applied to every search this server executes
+    /// (distances are bit-identical across policies). The resolved ISA
+    /// is surfaced in the `Stats` report.
+    pub kernel: KernelPolicy,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +68,7 @@ impl Default for ServeConfig {
             queue_depth: 128,
             default_deadline_ms: 0,
             max_frame: DEFAULT_MAX_FRAME,
+            kernel: KernelPolicy::Auto,
         }
     }
 }
@@ -183,6 +189,7 @@ impl Shared {
             self.backend.tombstones(),
             queue_depth,
             self.config.queue_depth as u64,
+            self.config.kernel.resolve().wire_code(),
         )
     }
 }
@@ -465,7 +472,7 @@ fn worker_loop(shared: &Shared) {
             }
         }
         shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-        let resp = execute(&shared.backend, &job.req);
+        let resp = execute(&shared.backend, shared.config.kernel, &job.req);
         shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
         shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
         shared
@@ -476,10 +483,12 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn search_options(k: u32, nprobe: u32, refine: u32) -> SearchOptions {
+fn search_options(k: u32, nprobe: u32, refine: u32, kernel: KernelPolicy) -> SearchOptions {
     // Workers are the unit of parallelism: each request runs
     // single-threaded so `workers` requests proceed concurrently.
-    let mut opts = SearchOptions::new(k as usize).with_threads(1);
+    let mut opts = SearchOptions::new(k as usize)
+        .with_threads(1)
+        .with_kernel(kernel);
     if nprobe > 0 {
         opts = opts.with_nprobe(nprobe as usize);
     }
@@ -497,7 +506,7 @@ fn store_error(err: &StoreError) -> Response {
 /// outcome is a response frame, including shape mismatches (typed
 /// `Protocol`) and mutations against frozen containers (typed
 /// `Unsupported`).
-fn execute(backend: &Backend, req: &Request) -> Response {
+fn execute(backend: &Backend, kernel: KernelPolicy, req: &Request) -> Response {
     let dims = backend.index().dims();
     match req {
         Request::Search {
@@ -516,7 +525,7 @@ fn execute(backend: &Backend, req: &Request) -> Response {
             if *k == 0 {
                 return Response::Neighbors(Vec::new());
             }
-            let opts = search_options(*k, *nprobe, *refine);
+            let opts = search_options(*k, *nprobe, *refine, kernel);
             Response::Neighbors(backend.index().search(query, &opts))
         }
         Request::SearchBatch {
@@ -537,7 +546,7 @@ fn execute(backend: &Backend, req: &Request) -> Response {
                 let n = queries.len() / dims.max(1);
                 return Response::Batch(vec![Vec::new(); n]);
             }
-            let opts = search_options(*k, *nprobe, *refine);
+            let opts = search_options(*k, *nprobe, *refine, kernel);
             Response::Batch(backend.index().search_batch(queries, &opts))
         }
         Request::Insert { id, vector, .. } => match backend {

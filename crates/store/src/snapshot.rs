@@ -202,9 +202,12 @@ impl Snapshot {
     fn memory_lists(&self, query: &[f32], opts: &SearchOptions) -> Vec<Vec<Neighbor>> {
         let mut lists = Vec::with_capacity(2);
         if let Some(sealing) = &self.sealing {
-            lists.push(sealing.scan(query, opts.k, opts.metric, opts.variant));
+            lists.push(sealing.scan(query, opts.k, opts.metric, opts.kernel.horizontal_variant()));
         }
-        lists.push(self.buffer.scan(query, opts.k, opts.metric, opts.variant));
+        lists.push(
+            self.buffer
+                .scan(query, opts.k, opts.metric, opts.kernel.horizontal_variant()),
+        );
         lists
     }
 }

@@ -118,6 +118,42 @@ fn parallel_is_bit_identical_to_sequential_search() {
     }
 }
 
+/// The kernel policy is a pure performance knob: for every deployment,
+/// every policy, and every thread count, results are bit-identical —
+/// the explicit SIMD kernels reproduce the scalar accumulation order.
+#[test]
+fn kernel_policies_are_bit_identical_across_deployments_and_threads() {
+    let (n, d, k, nq) = (600, 16, 8, 5);
+    let rows = random_rows(n, d, 31);
+    let queries = random_rows(nq, d, 32);
+    let deps = deployments(&rows, n, d);
+    for dep in &deps {
+        let scalar = SearchOptions::new(k).with_kernel(KernelPolicy::Scalar);
+        let want: Vec<Vec<Neighbor>> = (0..nq)
+            .map(|qi| dep.search(&queries[qi * d..(qi + 1) * d], &scalar))
+            .collect();
+        for policy in [KernelPolicy::Auto, KernelPolicy::Simd] {
+            let opts = SearchOptions::new(k).with_kernel(policy);
+            for threads in [1usize, 2, 8] {
+                let batch = dep.search_batch(&queries, &opts.with_threads(threads));
+                assert_eq!(
+                    batch,
+                    want,
+                    "{} with {policy:?} at {threads} threads",
+                    dep.kind()
+                );
+                let par = dep.search_parallel(&queries[..d], &opts.with_threads(threads));
+                assert_eq!(
+                    par,
+                    want[0],
+                    "{} parallel with {policy:?} at {threads} threads",
+                    dep.kind()
+                );
+            }
+        }
+    }
+}
+
 /// (c) `SearchOptions::default()` must reproduce each deployment's old
 /// per-type defaults bit-for-bit.
 #[test]

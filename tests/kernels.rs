@@ -1,0 +1,304 @@
+//! Kernel bit-identity property suite.
+//!
+//! The [`KernelPolicy`] contract says the explicit SIMD kernels are a
+//! *pure performance knob*: for every metric, layout, lane count, tail
+//! shape, permuted dimension order, and survivor subset, the dispatched
+//! kernel must reproduce the scalar oracle **bit for bit** (`to_bits`
+//! equality for `f32`, exact equality for the integer code-space
+//! kernels). These properties pin that contract on whatever ISA the
+//! host actually detects — on a scalar-only machine they degenerate to
+//! scalar-vs-scalar and stay green.
+
+use pdx::core::kernels::{
+    pdx_accumulate_permuted_policy, pdx_accumulate_policy,
+    pdx_accumulate_positions_permuted_policy, pdx_accumulate_positions_policy,
+    sq8_accumulate_policy, sq8_accumulate_positions_policy, sq8_code_ip_policy, sq8_code_l2_policy,
+};
+use pdx::prelude::*;
+use proptest::prelude::*;
+
+/// Values that stress the FP edge cases: ordinary magnitudes plus
+/// zeros, subnormals and infinities. Bit-identity must survive all of
+/// them — identical op sequences produce identical NaN/Inf propagation.
+fn value_strategy() -> impl Strategy<Value = f32> {
+    (-1e6f32..1e6f32, 0usize..16).prop_map(|(v, pick)| match pick {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f32::MIN_POSITIVE / 2.0,
+        3 => -f32::MIN_POSITIVE / 4.0,
+        4 => f32::INFINITY,
+        5 => f32::NEG_INFINITY,
+        _ => v,
+    })
+}
+
+/// Collections with deliberately awkward shapes: lane counts from 1 up
+/// past the widest SIMD tile (32 lanes on AVX2), so every test run
+/// exercises full tiles, partial tiles, and scalar tails.
+fn collection_strategy() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1usize..130, 1usize..40).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(value_strategy(), n * d).prop_map(move |data| (n, d, data))
+    })
+}
+
+/// Finite-valued collections for the SQ8 tests (the quantizer learns a
+/// min/scale per dimension, which requires finite inputs).
+fn finite_collection_strategy() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1usize..130, 1usize..40).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-100.0f32..100.0, n * d).prop_map(move |data| (n, d, data))
+    })
+}
+
+/// A deterministic pseudo-random dimension permutation.
+fn permute(d: usize, salt: usize) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..d as u32).collect();
+    for i in (1..d).rev() {
+        let j = (i * 2654435761 + salt * 40503) % (i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// A deterministic survivor subset of the lanes of one group (always
+/// non-empty so the kernels have work to do).
+fn survivors(lanes: usize, salt: usize) -> Vec<u32> {
+    let picked: Vec<u32> = (0..lanes as u32)
+        .filter(|&l| (l as usize * 7 + salt) % 3 != 0)
+        .collect();
+    if picked.is_empty() {
+        vec![(salt % lanes) as u32]
+    } else {
+        picked
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full-scan f32 kernel: scalar and dispatched SIMD agree bit
+    /// for bit on every metric, including NaN/Inf propagation.
+    #[test]
+    fn pdx_scan_policies_bit_identical(
+        (n, d, data) in collection_strategy(),
+        group in 1usize..130,
+    ) {
+        let block = PdxBlock::from_rows(&data, n, d, group);
+        let q: Vec<f32> = data[..d].iter().map(|x| x * 0.5 + 1.0).collect();
+        for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
+            let mut want = vec![0.0f32; n];
+            pdx_scan_policy(metric, &block, &q, &mut want, KernelPolicy::Scalar);
+            for policy in [KernelPolicy::Auto, KernelPolicy::Simd] {
+                let mut got = vec![0.0f32; n];
+                pdx_scan_policy(metric, &block, &q, &mut got, policy);
+                let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(got_bits, want_bits);
+            }
+        }
+    }
+
+    /// The ranged + permuted WARMUP kernels: partial dimension ranges
+    /// and arbitrary storage-dimension orders stay bit-identical, and a
+    /// permutation that happens to be `0..d` matches the ranged form.
+    #[test]
+    fn pdx_accumulate_policies_bit_identical(
+        (n, d, data) in collection_strategy(),
+        group in 1usize..100,
+        salt in 0usize..1000,
+    ) {
+        let block = PdxBlock::from_rows(&data, n, d, group);
+        let q: Vec<f32> = data[data.len() - d..].to_vec();
+        let split = d - d / 3;
+        let perm = permute(d, salt);
+        for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
+            for g in block.groups() {
+                let mut want = vec![1.5f32; g.lanes];
+                pdx_accumulate_policy(metric, &g, &q, 0..split, &mut want, KernelPolicy::Scalar);
+                let mut want_p = vec![0.25f32; g.lanes];
+                pdx_accumulate_permuted_policy(
+                    metric, &g, &q, &perm[..split], &mut want_p, KernelPolicy::Scalar,
+                );
+                for policy in [KernelPolicy::Auto, KernelPolicy::Simd] {
+                    let mut got = vec![1.5f32; g.lanes];
+                    pdx_accumulate_policy(metric, &g, &q, 0..split, &mut got, policy);
+                    prop_assert_eq!(
+                        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        );
+                    let mut got_p = vec![0.25f32; g.lanes];
+                    pdx_accumulate_permuted_policy(
+                        metric, &g, &q, &perm[..split], &mut got_p, policy,
+                    );
+                    prop_assert_eq!(
+                        got_p.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        want_p.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        );
+                }
+            }
+        }
+    }
+
+    /// The PRUNE-phase gather kernels: arbitrary survivor subsets, with
+    /// and without a dimension permutation.
+    #[test]
+    fn pdx_positions_policies_bit_identical(
+        (n, d, data) in collection_strategy(),
+        group in 1usize..100,
+        salt in 0usize..1000,
+    ) {
+        let block = PdxBlock::from_rows(&data, n, d, group);
+        let q: Vec<f32> = data[..d].to_vec();
+        let lo = d / 4;
+        let perm = permute(d, salt + 1);
+        for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
+            for g in block.groups() {
+                let pos = survivors(g.lanes, salt);
+                let mut want = vec![2.0f32; pos.len()];
+                pdx_accumulate_positions_policy(
+                    metric, &g, &q, lo..d, &pos, &mut want, KernelPolicy::Scalar,
+                );
+                let mut want_p = vec![2.0f32; pos.len()];
+                pdx_accumulate_positions_permuted_policy(
+                    metric, &g, &q, &perm[lo..], &pos, &mut want_p, KernelPolicy::Scalar,
+                );
+                for policy in [KernelPolicy::Auto, KernelPolicy::Simd] {
+                    let mut got = vec![2.0f32; pos.len()];
+                    pdx_accumulate_positions_policy(
+                        metric, &g, &q, lo..d, &pos, &mut got, policy,
+                    );
+                    prop_assert_eq!(
+                        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        );
+                    let mut got_p = vec![2.0f32; pos.len()];
+                    pdx_accumulate_positions_permuted_policy(
+                        metric, &g, &q, &perm[lo..], &pos, &mut got_p, policy,
+                    );
+                    prop_assert_eq!(
+                        got_p.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        want_p.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        );
+                }
+            }
+        }
+    }
+
+    /// The quantized f32-space kernels: scan, ranged accumulate, and
+    /// the survivor gather all stay bit-identical across policies.
+    #[test]
+    fn sq8_policies_bit_identical(
+        (n, d, data) in finite_collection_strategy(),
+        group in 1usize..130,
+        salt in 0usize..1000,
+    ) {
+        let quantizer = Sq8Quantizer::fit(&data, n, d);
+        let block = QuantizedPdxBlock::from_rows(&data, n, d, group, &quantizer);
+        let raw: Vec<f32> = data[..d].iter().map(|x| x * 0.75 - 2.0).collect();
+        let split = d - d / 3;
+        for metric in [Metric::L2, Metric::L1, Metric::NegativeIp] {
+            let q = quantizer.prepare_query(metric, &raw);
+            let mut want = vec![0.0f32; n];
+            sq8_scan_policy(&q, &block, &mut want, KernelPolicy::Scalar);
+            for policy in [KernelPolicy::Auto, KernelPolicy::Simd] {
+                let mut got = vec![0.0f32; n];
+                sq8_scan_policy(&q, &block, &mut got, policy);
+                prop_assert_eq!(
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    );
+            }
+            for g in block.groups() {
+                let pos = survivors(g.lanes, salt);
+                let mut want_a = vec![0.5f32; g.lanes];
+                sq8_accumulate_policy(&q, &g, 0..split, &mut want_a, KernelPolicy::Scalar);
+                let mut want_s = vec![3.0f32; pos.len()];
+                sq8_accumulate_positions_policy(
+                    &q, &g, split.min(d - 1)..d, &pos, &mut want_s, KernelPolicy::Scalar,
+                );
+                for policy in [KernelPolicy::Auto, KernelPolicy::Simd] {
+                    let mut got_a = vec![0.5f32; g.lanes];
+                    sq8_accumulate_policy(&q, &g, 0..split, &mut got_a, policy);
+                    prop_assert_eq!(
+                        got_a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        want_a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        );
+                    let mut got_s = vec![3.0f32; pos.len()];
+                    sq8_accumulate_positions_policy(
+                        &q, &g, split.min(d - 1)..d, &pos, &mut got_s, policy,
+                    );
+                    prop_assert_eq!(
+                        got_s.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        want_s.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        );
+                }
+            }
+        }
+    }
+
+    /// The pure-integer code-space kernels: `u32`/`i32` accumulation is
+    /// order-insensitive, so every policy must agree *exactly* — and
+    /// the L2 form must equal a from-scratch scalar recomputation.
+    #[test]
+    fn sq8_code_policies_exactly_equal(
+        (n, d, data) in finite_collection_strategy(),
+        group in 1usize..130,
+    ) {
+        let quantizer = Sq8Quantizer::fit(&data, n, d);
+        let block = QuantizedPdxBlock::from_rows(&data, n, d, group, &quantizer);
+        let raw: Vec<f32> = data[data.len() - d..].to_vec();
+        let qcodes = quantizer.encode_rows(&raw);
+        let lo = d / 5;
+        for g in block.groups() {
+            let mut want_l2 = vec![7u32; g.lanes];
+            sq8_code_l2_policy(&g, &qcodes, lo..d, &mut want_l2, KernelPolicy::Scalar);
+            let mut want_ip = vec![-3i32; g.lanes];
+            sq8_code_ip_policy(&g, &qcodes, lo..d, &mut want_ip, KernelPolicy::Scalar);
+            // Independent scalar recomputation of the L2 form.
+            for (lane, &w) in want_l2.iter().enumerate() {
+                let mut acc = 7u32;
+                for (dim, &qc) in qcodes.iter().enumerate().skip(lo) {
+                    let diff = qc as i32 - g.data[dim * g.lanes + lane] as i32;
+                    acc += (diff * diff) as u32;
+                }
+                prop_assert_eq!(w, acc);
+            }
+            for policy in [KernelPolicy::Auto, KernelPolicy::Simd] {
+                let mut got_l2 = vec![7u32; g.lanes];
+                sq8_code_l2_policy(&g, &qcodes, lo..d, &mut got_l2, policy);
+                prop_assert_eq!(&got_l2, &want_l2);
+                let mut got_ip = vec![-3i32; g.lanes];
+                sq8_code_ip_policy(&g, &qcodes, lo..d, &mut got_ip, policy);
+                prop_assert_eq!(&got_ip, &want_ip);
+            }
+        }
+    }
+}
+
+/// Dispatch sanity: detection is stable, the policies resolve the way
+/// the docs promise, and the wire codes round-trip.
+#[test]
+fn dispatch_is_stable_and_consistent() {
+    let isa = detected_isa();
+    assert_eq!(isa, detected_isa(), "detection must be cached and stable");
+    assert_eq!(KernelPolicy::Scalar.resolve(), KernelIsa::Scalar);
+    assert_eq!(KernelPolicy::Simd.resolve(), isa);
+    // `Auto` honors the PDX_KERNEL env; with `scalar` it must land on
+    // the scalar oracle, otherwise on the detected ISA.
+    match std::env::var("PDX_KERNEL").as_deref() {
+        Ok("scalar") => assert_eq!(KernelPolicy::Auto.resolve(), KernelIsa::Scalar),
+        Ok("auto") | Ok("simd") | Err(_) => assert_eq!(KernelPolicy::Auto.resolve(), isa),
+        Ok(_) => {} // invalid override: warned once, treated as auto
+    }
+    assert_eq!(active_kernel_isa(), KernelPolicy::Auto.resolve());
+    for isa in [KernelIsa::Scalar, KernelIsa::Avx2, KernelIsa::Neon] {
+        assert_eq!(KernelIsa::from_wire(isa.wire_code()), Some(isa));
+    }
+    for (name, want) in [
+        ("auto", Some(KernelPolicy::Auto)),
+        ("scalar", Some(KernelPolicy::Scalar)),
+        ("simd", Some(KernelPolicy::Simd)),
+        ("sse9", None),
+    ] {
+        assert_eq!(KernelPolicy::parse(name), want, "parse {name:?}");
+    }
+}

@@ -83,6 +83,53 @@ fn remote_search_is_bit_identical_f32_container() {
 }
 
 #[test]
+fn scalar_kernel_server_is_bit_identical_and_reports_the_isa() {
+    // A server pinned to the scalar kernel policy answers bit-identically
+    // to the default (Auto) server — the SIMD kernels reproduce the
+    // scalar accumulation order — and reports `scalar` in its stats.
+    let (n, d, k) = (800, 24, 10);
+    let rows = make_rows(n, d, 21);
+    let flat = FlatPdx::with_defaults(&rows, n, d);
+    let path = temp_path("f32_container_scalar.pdx");
+    pdx::datasets::persist::write_pdx_path(&path, &flat.collection).unwrap();
+    let queries: Vec<Vec<f32>> = (0..8).map(|i| rows[i * d..(i + 1) * d].to_vec()).collect();
+
+    let run = |config: ServeConfig| {
+        let server = start_server(Backend::open(&path).expect("open backend"), config);
+        let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+        let results: Vec<Vec<Neighbor>> = queries
+            .iter()
+            .map(|q| client.search(q, k).expect("remote search"))
+            .collect();
+        let stats = client.stats().unwrap();
+        server.shutdown();
+        (results, stats)
+    };
+
+    let (auto_hits, auto_stats) = run(ServeConfig::default());
+    let (scalar_hits, scalar_stats) = run(ServeConfig {
+        kernel: KernelPolicy::Scalar,
+        ..ServeConfig::default()
+    });
+    assert_eq!(scalar_stats.kernel_isa, KernelIsa::Scalar.wire_code());
+    assert_eq!(
+        auto_stats.kernel_isa,
+        KernelPolicy::Auto.resolve().wire_code()
+    );
+    for (qi, (a, s)) in auto_hits.iter().zip(&scalar_hits).enumerate() {
+        assert_eq!(a.len(), s.len(), "query {qi}");
+        for (x, y) in a.iter().zip(s) {
+            assert_eq!(x.id, y.id, "query {qi} ids diverge across policies");
+            assert_eq!(
+                x.distance.to_bits(),
+                y.distance.to_bits(),
+                "query {qi} distance bits diverge across policies"
+            );
+        }
+    }
+}
+
+#[test]
 fn remote_search_is_bit_identical_sq8_container() {
     let (n, d, k) = (1200, 24, 10);
     let rows = make_rows(n, d, 8);
@@ -146,6 +193,11 @@ fn remote_mutations_apply_to_collections_and_stats_track_them() {
     assert_eq!(stats.live, 50);
     assert_eq!(stats.tombstones, 0);
     assert_eq!(stats.dims, d as u64);
+    // The default (Auto) config reports the machine's detected ISA.
+    assert_eq!(
+        stats.kernel_isa,
+        pdx::prelude::KernelPolicy::Auto.resolve().wire_code()
+    );
 
     // Insert a distinctive vector and find it remotely.
     let target = vec![99.0f32; d];
@@ -498,6 +550,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                     p50_us: v.rotate_left(59),
                     p99_us: v.rotate_left(61),
                     p999_us: v.rotate_left(3),
+                    kernel_isa: v.rotate_left(11),
                 }),
                 _ => Response::Error {
                     kind: [
