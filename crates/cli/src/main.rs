@@ -5,6 +5,9 @@
 //!                  --queries=1000 --queries-out=queries.fvecs
 //! pdx-cli build    --data=base.fvecs --out=index.pdx [--block-size=10240 --group=64]
 //!                  [--quantize=sq8]
+//! pdx-cli build    --data=base.fvecs --out=ivf.pdx --mode=ivf [--nlist=N]
+//! pdx-cli query    --index=ivf.pdx --queries=queries.fvecs --k=10
+//!                  [--nprobe=N --cache-bytes=N]   # lazy out-of-core open
 //! pdx-cli query    --index=index.pdx --queries=queries.fvecs --k=10 [--order=means]
 //!                  [--refine=4 --threads=N]
 //! pdx-cli ground-truth --data=base.fvecs --queries=queries.fvecs --k=10 --out=gt.ivecs
@@ -12,6 +15,7 @@
 //!
 //! # mutable collections (LSM-style store: WAL + segments + tombstones)
 //! pdx-cli build    --data=base.fvecs --out=store --mode=collection [--quantize=sq8]
+//!                  [--shards=N]   # id-hash sharded store for >RAM corpora
 //! pdx-cli insert   --index=store --data=more.fvecs [--start-id=N]
 //! pdx-cli delete   --index=store --ids=5,17,100..200
 //! pdx-cli compact  --index=store
@@ -60,6 +64,8 @@ const BUILD_FLAGS: &[&str] = &[
     "threads",
     "mode",
     "buffer-capacity",
+    "nlist",
+    "shards",
 ];
 const QUERY_FLAGS: &[&str] = &[
     "index",
@@ -71,6 +77,8 @@ const QUERY_FLAGS: &[&str] = &[
     "kernel",
     "remote",
     "deadline-ms",
+    "nprobe",
+    "cache-bytes",
 ];
 const SERVE_FLAGS: &[&str] = &[
     "index",
@@ -80,15 +88,25 @@ const SERVE_FLAGS: &[&str] = &[
     "queue-depth",
     "deadline-ms",
     "kernel",
+    "cache-bytes",
 ];
 const GROUND_TRUTH_FLAGS: &[&str] = &["data", "queries", "out", "k"];
 const EVALUATE_FLAGS: &[&str] = &[
-    "index", "queries", "gt", "k", "order", "refine", "threads", "kernel",
+    "index",
+    "queries",
+    "gt",
+    "k",
+    "order",
+    "refine",
+    "threads",
+    "kernel",
+    "nprobe",
+    "cache-bytes",
 ];
 const INSERT_FLAGS: &[&str] = &["index", "data", "start-id", "sync-every"];
 const DELETE_FLAGS: &[&str] = &["index", "ids"];
 const COMPACT_FLAGS: &[&str] = &["index", "background"];
-const STAT_FLAGS: &[&str] = &["index"];
+const STAT_FLAGS: &[&str] = &["index", "cache-bytes"];
 const DATASETS_FLAGS: &[&str] = &[];
 
 #[derive(Debug)]
@@ -209,6 +227,15 @@ commands:
                   [--mode=collection]  write a *mutable* collection directory
                                      (insert/delete/compact afterwards) instead
                                      of a frozen container
+                  [--mode=ivf]       write an IVF-extended container: bucketed
+                                     layout with a per-bucket offset table, so
+                                     query/serve can open it *lazily* under a
+                                     --cache-bytes budget (out-of-core search)
+                  [--nlist=√n]       IVF bucket count (ivf mode only)
+                  [--shards=N]       split a collection across N shard
+                                     directories by id hash (collection mode;
+                                     searches fan out and merge, bit-identical
+                                     to the unsharded build)
                   [--buffer-capacity=N]  collection write-buffer auto-seal size
   query         run queries against any index (exact PDX-BOND on f32 indexes;
                 two-phase quantized scan + rerank on SQ8 indexes; mutable
@@ -222,6 +249,13 @@ commands:
                   [--kernel=auto]    kernel policy: auto (best ISA, honors the
                                      PDX_KERNEL env), scalar, or simd —
                                      distances are bit-identical either way
+                  [--nprobe=N]       IVF buckets probed per query (default 0 =
+                                     every bucket, i.e. exact search)
+                  [--cache-bytes=N]  open IVF-extended containers lazily with
+                                     an N-byte bucket cache instead of loading
+                                     them resident (default: the
+                                     PDX_CACHE_BYTES env; results are
+                                     bit-identical either way)
                   [--remote=host:port]  query a running `serve` instance over
                                      TCP instead of opening --index locally
                   [--deadline-ms=N]  per-request latency budget in remote mode
@@ -232,6 +266,7 @@ commands:
                   --index=<path> --queries=<file> --gt=<file> [--k=10 --refine=4]
                   [--threads=N]      parallel batch width (as in query)
                   [--kernel=auto]    kernel policy (as in query)
+                  [--nprobe=N --cache-bytes=N]  as in query
   insert        append vectors to a mutable collection (WAL-logged)
                   --index=<dir> --data=<file> [--start-id=<max id + 1>]
                   [--sync-every=N]   group commit: fsync the WAL every N
@@ -243,8 +278,10 @@ commands:
                   --index=<dir> [--background=true]  build the merged segment
                                      on a background job (reads and writes
                                      stay available) and wait for its commit
-  stat          describe any index (segments/buffer/tombstones for collections)
-                  --index=<path>
+  stat          describe any index (segments/buffer/tombstones for collections,
+                shards for sharded collections, resident bytes + cache counters
+                and cold-open time everywhere)
+                  --index=<path> [--cache-bytes=N]  (as in query)
   serve         serve any index over TCP (length-prefixed binary protocol;
                 mutable collections also accept insert/delete; Ctrl-C stops)
                   --index=<path> [--host=127.0.0.1 --port=4791]
@@ -256,6 +293,9 @@ commands:
                                      none (0 = requests never expire)
                   [--kernel=auto]    kernel policy for every served search
                                      (as in query)
+                  [--cache-bytes=N]  serve IVF-extended containers lazily
+                                     under an N-byte bucket cache (as in
+                                     query; cache counters appear in stats)
   datasets      list the built-in Table 1 dataset shapes
 ";
 
@@ -343,8 +383,16 @@ fn cmd_build(args: &Args) -> Result<(), String> {
             ))
         }
     };
-    match args.str_or("mode", "container").as_str() {
+    let mode = args.str_or("mode", "container");
+    if args.has("nlist") && mode != "ivf" {
+        eprintln!("note: --nlist only applies to --mode=ivf builds; ignored");
+    }
+    if args.has("shards") && mode != "collection" {
+        eprintln!("note: --shards only applies to --mode=collection builds; ignored");
+    }
+    match mode.as_str() {
         "container" => {}
+        "ivf" => return build_ivf(args, &data, group, &out, quantize),
         "collection" => {
             if args.has("threads") {
                 eprintln!("note: --threads only applies to container builds; ignored");
@@ -355,6 +403,10 @@ fn cmd_build(args: &Args) -> Result<(), String> {
                 buffer_capacity: args.usize("buffer-capacity", block_size)?,
                 quantize,
             };
+            let shards = args.usize("shards", 0)?;
+            if shards > 1 {
+                return build_sharded(&data, &out, shards, config, quantize);
+            }
             let coll = Collection::create(&out, data.dims, config).map_err(|e| e.to_string())?;
             // Bulk path: rows become durable at the seals' manifest
             // commits instead of being WAL-logged row by row.
@@ -372,7 +424,7 @@ fn cmd_build(args: &Args) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "unknown mode '{other}' (try --mode=container or --mode=collection)"
+                "unknown mode '{other}' (try --mode=container, --mode=ivf or --mode=collection)"
             ))
         }
     }
@@ -416,6 +468,95 @@ fn cmd_build(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `build --mode=ivf`: trains IVF (k-means bucketing) and writes the
+/// v1.1 IVF-extended container — bucketed layout plus the per-bucket
+/// offset table that lets `query`/`serve` open it lazily under a
+/// `--cache-bytes` budget.
+fn build_ivf(
+    args: &Args,
+    data: &pdx::datasets::io::VecsFile<f32>,
+    group: usize,
+    out: &Path,
+    quantize: bool,
+) -> Result<(), String> {
+    let threads = args.usize("threads", 0)?;
+    let nlist = match args.usize("nlist", 0)? {
+        0 => IvfIndex::default_nlist(data.len),
+        n => n,
+    };
+    let t0 = Instant::now();
+    let ivf = IvfIndex::build_with_threads(&data.data, data.len, data.dims, nlist, 10, 42, threads);
+    if quantize {
+        let deploy = IvfSq8::new(&data.data, data.dims, &ivf.assignments, group);
+        pdx::datasets::persist::write_ivf_sq8_path(
+            out,
+            &deploy.quantizer,
+            &deploy.centroids.pdx.to_rows(),
+            &deploy.blocks,
+            Some(&deploy.rows),
+        )
+        .map_err(|e| e.to_string())?;
+        eprintln!(
+            "wrote {} ({} vectors × {} dims in {} SQ8 IVF bucket(s), trained in {:.3}s)",
+            out.display(),
+            data.len,
+            data.dims,
+            deploy.blocks.len(),
+            t0.elapsed().as_secs_f64(),
+        );
+    } else {
+        let deploy = IvfPdx::new(&data.data, data.dims, &ivf.assignments, group);
+        pdx::datasets::persist::write_ivf_pdx_path(
+            out,
+            data.dims,
+            &deploy.centroids.pdx.to_rows(),
+            &deploy.blocks,
+        )
+        .map_err(|e| e.to_string())?;
+        eprintln!(
+            "wrote {} ({} vectors × {} dims in {} IVF bucket(s), trained in {:.3}s; \
+             open with --cache-bytes=N for out-of-core search)",
+            out.display(),
+            data.len,
+            data.dims,
+            deploy.blocks.len(),
+            t0.elapsed().as_secs_f64(),
+        );
+    }
+    Ok(())
+}
+
+/// `build --mode=collection --shards=N`: creates an id-hash sharded
+/// collection and routes every row through the shard router (searches
+/// later fan out across the shards and merge).
+fn build_sharded(
+    data: &pdx::datasets::io::VecsFile<f32>,
+    out: &Path,
+    shards: usize,
+    config: StoreConfig,
+    quantize: bool,
+) -> Result<(), String> {
+    let coll =
+        ShardedCollection::create(out, data.dims, shards, config).map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    for i in 0..data.len {
+        coll.insert(i as u64, &data.data[i * data.dims..(i + 1) * data.dims])
+            .map_err(|e| e.to_string())?;
+    }
+    coll.sync().map_err(|e| e.to_string())?; // power-loss durability point
+    eprintln!(
+        "wrote sharded collection {} ({} vectors × {} dims across {} {} shard(s) \
+         in {:.3}s; mutable — use insert/delete/compact)",
+        out.display(),
+        coll.live_len(),
+        coll.dims(),
+        coll.n_shards(),
+        if quantize { "SQ8" } else { "f32" },
+        t0.elapsed().as_secs_f64(),
+    );
+    Ok(())
+}
+
 fn parse_kernel(args: &Args) -> Result<KernelPolicy, String> {
     let name = args.str_or("kernel", "auto");
     KernelPolicy::parse(&name)
@@ -432,14 +573,34 @@ fn parse_order(name: &str) -> Result<VisitOrder, String> {
     })
 }
 
+/// `--cache-bytes=N` as an explicit request (`None` when the flag is
+/// absent, so the `PDX_CACHE_BYTES` environment default still applies).
+fn parse_cache_bytes(args: &Args) -> Result<Option<u64>, String> {
+    match args.values.get("cache-bytes") {
+        None => Ok(None),
+        Some(v) => v.parse::<u64>().map(Some).map_err(|_| {
+            format!("invalid value for --cache-bytes: '{v}' (expected an unsigned byte count)")
+        }),
+    }
+}
+
+/// Engine open options from the shared flags.
+fn open_options(args: &Args) -> Result<OpenOptions, String> {
+    let mut opts = OpenOptions::default();
+    if let Some(bytes) = parse_cache_bytes(args)? {
+        opts = opts.with_cache_bytes(bytes);
+    }
+    Ok(opts)
+}
+
 /// Opens the `--index` container through the engine layer, printing the
 /// compatibility notes the old per-kind dispatch used to print.
 fn load_index(args: &Args) -> Result<Box<dyn VectorIndex>, String> {
     let path = args.path("index")?;
-    let index = AnyIndex::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let index = AnyIndex::open_with(&path, open_options(args)?).map_err(|e| e.to_string())?;
     // A mutable collection may hold either segment kind: both flags
     // apply, so neither note fires.
-    let is_store = index.kind() == "collection";
+    let is_store = is_store(index.as_ref());
     if is_quantized(index.as_ref()) && args.has("order") {
         eprintln!("note: --order only applies to f32 indexes; ignored");
     }
@@ -449,11 +610,30 @@ fn load_index(args: &Args) -> Result<Box<dyn VectorIndex>, String> {
     if index.kind() == "flat-sq8-scan-only" {
         eprintln!("note: scan-only SQ8 container (no rerank payload); results are estimates");
     }
+    if !is_ivf(index.as_ref()) {
+        if args.has("nprobe") {
+            eprintln!("note: --nprobe only applies to IVF indexes; ignored");
+        }
+        if !is_store && args.has("cache-bytes") {
+            eprintln!(
+                "note: --cache-bytes only applies to IVF-extended containers \
+                 (build --mode=ivf); loaded resident"
+            );
+        }
+    }
     Ok(index)
 }
 
 fn is_quantized(index: &dyn VectorIndex) -> bool {
-    index.kind().starts_with("flat-sq8")
+    index.kind().starts_with("flat-sq8") || index.kind() == "ivf-sq8"
+}
+
+fn is_ivf(index: &dyn VectorIndex) -> bool {
+    index.kind().starts_with("ivf")
+}
+
+fn is_store(index: &dyn VectorIndex) -> bool {
+    matches!(index.kind(), "collection" | "sharded-collection")
 }
 
 /// Engine options from the query/evaluate flags. Only the flags that
@@ -464,13 +644,16 @@ fn search_options(args: &Args, k: usize, index: &dyn VectorIndex) -> Result<Sear
     let mut opts = SearchOptions::new(k)
         .with_threads(args.usize("threads", 0)?)
         .with_kernel(parse_kernel(args)?);
-    let is_store = index.kind() == "collection";
+    let is_store = is_store(index);
     if is_quantized(index) || is_store {
         opts = opts.with_refine(args.usize("refine", DEFAULT_REFINE)?);
     }
     if !is_quantized(index) || is_store {
         let order = parse_order(&args.str_or("order", "means"))?;
         opts = opts.with_pruner(PrunerKind::Bond(order));
+    }
+    if is_ivf(index) {
+        opts = opts.with_nprobe(args.usize("nprobe", 0)?);
     }
     Ok(opts)
 }
@@ -650,8 +833,37 @@ fn report_compaction(
 
 fn cmd_stat(args: &Args) -> Result<(), String> {
     let path = args.path("index")?;
-    // Mutable collections get the detailed story; frozen containers the
-    // generic one.
+    // Sharded collections first (their directory holds no MANIFEST of
+    // its own), then mutable collections, then frozen containers.
+    if path.is_dir() && ShardedCollection::is_sharded_dir(&path) {
+        let t0 = Instant::now();
+        let coll =
+            ShardedCollection::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let open_us = t0.elapsed().as_micros();
+        println!(
+            "sharded collection {} ({} dims, {} shard(s))",
+            path.display(),
+            coll.dims(),
+            coll.n_shards(),
+        );
+        let tombstones: usize = coll.shards().iter().map(|s| s.tombstone_count()).sum();
+        println!(
+            "  live {} | tombstoned {tombstones} | resident ≈{} bytes | opened in {open_us} µs",
+            coll.live_len(),
+            coll.resident_bytes(),
+        );
+        println!("  kernel {}", KernelPolicy::Auto.resolve().name());
+        for (i, s) in coll.shards().iter().enumerate() {
+            println!(
+                "  shard {i:>4}  {:>8} live  {:>6} buffered  {:>6} tombstoned  {} segment(s)",
+                s.live_len(),
+                s.buffer_len(),
+                s.tombstone_count(),
+                s.segment_count(),
+            );
+        }
+        return Ok(());
+    }
     if path.is_dir() || path.file_name().and_then(|n| n.to_str()) == Some("MANIFEST") {
         let (dir, coll) = open_collection(args)?;
         println!(
@@ -686,7 +898,9 @@ fn cmd_stat(args: &Args) -> Result<(), String> {
         }
         return Ok(());
     }
-    let index = AnyIndex::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let t0 = Instant::now();
+    let index = AnyIndex::open_with(&path, open_options(args)?).map_err(|e| e.to_string())?;
+    let open_us = t0.elapsed().as_micros();
     println!(
         "{} ({}, {} vectors × {} dims, kernel {})",
         path.display(),
@@ -695,13 +909,23 @@ fn cmd_stat(args: &Args) -> Result<(), String> {
         index.dims(),
         KernelPolicy::Auto.resolve().name(),
     );
+    println!(
+        "  resident ≈{} bytes | opened in {open_us} µs",
+        index.resident_bytes()
+    );
+    if let Some(c) = index.cache_stats() {
+        println!(
+            "  cache: budget {} bytes | resident {} bytes | {} hits | {} misses | {} evictions",
+            c.budget_bytes, c.resident_bytes, c.hits, c.misses, c.evictions,
+        );
+    }
     Ok(())
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let path = args.path("index")?;
     let backend =
-        pdx::serve::Backend::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        pdx::serve::Backend::open_with(&path, open_options(args)?).map_err(|e| e.to_string())?;
     let host = args.str_or("host", "127.0.0.1");
     let port = args.usize("port", pdx::serve::DEFAULT_PORT as usize)? as u16;
     let config = ServeConfig {
@@ -711,7 +935,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         kernel: parse_kernel(args)?,
         ..ServeConfig::default()
     };
-    let mutable = matches!(backend, pdx::serve::Backend::Collection(_));
+    let mutable = backend.is_mutable();
     let dims = backend.index().dims();
     let kind = backend.index().kind();
     let server =

@@ -291,6 +291,19 @@ pub trait VectorIndex: Send + Sync {
         let _ = opts.threads;
         self.search(query, opts)
     }
+
+    /// Approximate bytes this deployment holds resident in memory
+    /// (scan payloads, row ids, statistics — not transient per-query
+    /// state). `0` means the deployment does not report it.
+    fn resident_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Block-cache counters for lazily backed deployments; `None` for
+    /// fully resident ones.
+    fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        None
+    }
 }
 
 /// One sealed sub-index inside a segmented (mutable) collection.

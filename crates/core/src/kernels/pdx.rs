@@ -21,14 +21,13 @@
 //! * each SIMD step uses exactly the scalar step's operation sequence
 //!   (`sub`/`mul`/`add` in the same association, `abs` as a sign-bit
 //!   clear), with FMA used **only** when the scalar path was itself
-//!   compiled with FMA contraction ([`SCALAR_FMA`]).
+//!   compiled with FMA contraction (`SCALAR_FMA`).
 //!
 //! The scalar loops are therefore the oracle: `tests/kernels.rs` pins
 //! `to_bits` equality between the scalar and dispatched kernels, which
 //! extends the PR 3 determinism contract (identical distance bits at any
 //! thread count) to any ISA.
 //!
-//! [`SCALAR_FMA`]: crate::kernels::dispatch::SCALAR_FMA
 
 use crate::distance::Metric;
 use crate::kernels::dispatch::KernelPolicy;
@@ -552,7 +551,7 @@ pub fn pdx_scan_policy(
 /// 8-wide, then a scalar tail — every lane still sees its dimension
 /// updates in the same order as the scalar loop, so the results are
 /// bit-identical (the SIMD steps mirror the scalar op sequence exactly,
-/// FMA only when [`SCALAR_FMA`](crate::kernels::dispatch::SCALAR_FMA)).
+/// FMA only when `SCALAR_FMA`).
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
     use super::{Accum, DimSel, IpAccum, L1Accum, L2Accum};
@@ -799,11 +798,10 @@ mod avx2 {
 /// accumulator registers), then 4-wide, then a scalar tail. aarch64 has
 /// no hardware gather, so the positions kernel loads survivors through a
 /// small stack buffer. Bit-identical to the scalar loops for the same
-/// reasons as the AVX2 path (note [`SCALAR_FMA`] is `false` unless the
+/// reasons as the AVX2 path (note `SCALAR_FMA` is `false` unless the
 /// crate was compiled with an `fma` target feature, so these kernels
 /// normally use unfused mul/add like the scalar oracle).
 ///
-/// [`SCALAR_FMA`]: crate::kernels::dispatch::SCALAR_FMA
 #[cfg(target_arch = "aarch64")]
 mod neon {
     use super::{Accum, DimSel, IpAccum, L1Accum, L2Accum};

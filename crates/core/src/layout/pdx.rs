@@ -71,6 +71,29 @@ impl PdxBlock {
         }
     }
 
+    /// Rebuilds a block from an already group-tiled buffer (the
+    /// persistence read path — [`PdxBlock::as_slice`] is the matching
+    /// write side). The values are stored verbatim, so a block that
+    /// round-trips through a container scans bit-identically to the
+    /// original.
+    ///
+    /// # Panics
+    /// Panics if the buffer size disagrees or `group_size == 0`.
+    pub fn from_tiled(tiled: Vec<f32>, n_vectors: usize, n_dims: usize, group_size: usize) -> Self {
+        assert!(group_size > 0, "group size must be positive");
+        assert_eq!(
+            tiled.len(),
+            n_vectors * n_dims,
+            "tiled buffer does not match dimensions"
+        );
+        Self {
+            n_vectors,
+            n_dims,
+            group_size,
+            data: tiled,
+        }
+    }
+
     /// Builds a block by gathering the given `rows` indices out of a
     /// row-major collection — the IVF bucket construction path.
     ///

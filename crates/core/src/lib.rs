@@ -29,6 +29,10 @@
 //!   trait every deployment implements and the unified
 //!   [`SearchOptions`] struct, so applications can hold a
 //!   `Box<dyn VectorIndex>` and stay deployment-agnostic.
+//! * [`cache`] — the sharded, byte-budgeted [`cache::BlockCache`]
+//!   behind out-of-core deployments: lazily loaded buckets are pinned
+//!   via `Arc`, so eviction never invalidates an in-flight scan, and
+//!   hit/miss/eviction counters make the cache observable.
 //! * [`exec`] — the parallel execution engine: a std-only scoped-thread
 //!   worker pool ([`exec::ThreadPool`]), batch query sharding
 //!   ([`exec::BatchSearcher`]) and deterministic intra-query block-range
@@ -66,6 +70,7 @@
 //! ```
 
 pub mod bond;
+pub mod cache;
 pub mod collection;
 pub mod distance;
 pub mod engine;
@@ -80,6 +85,7 @@ pub mod stats;
 pub mod visit_order;
 
 pub use bond::PdxBond;
+pub use cache::{resolve_cache_bytes, BlockCache, CacheStats, CACHE_BYTES_ENV};
 pub use collection::{PdxCollection, SearchBlock};
 pub use distance::Metric;
 pub use engine::{PrunerKind, SearchOptions, VectorIndex};

@@ -24,7 +24,8 @@ pub use horizontal::{
 };
 pub use linear::{linear_scan_blocks, linear_scan_dsm, linear_scan_nary, linear_scan_pdx};
 pub use pdxearch::{
-    pdxearch, pdxearch_prepared, pdxearch_prepared_profiled, pdxearch_profiled, SearchParams,
+    pdxearch, pdxearch_prepared, pdxearch_prepared_profiled, pdxearch_profiled, pdxearch_streamed,
+    SearchParams,
 };
 pub use quantized::{
     sq8_rerank, sq8_search, sq8_search_policy, sq8_two_phase, sq8_two_phase_policy, Sq8Block,

@@ -123,6 +123,28 @@ pub fn pdxearch_prepared<P: Pruner>(
     run::<P, false>(pruner, q, blocks, params, &mut profile)
 }
 
+/// [`pdxearch_prepared`] over a block *stream* instead of a slice: the
+/// next block is pulled only when the scan reaches it, and each item is
+/// dropped as soon as its block is scanned. Out-of-core deployments use
+/// this to overlap bucket loading with the scan — the iterator yields
+/// `Arc<SearchBlock>` pins that stay alive exactly as long as the scan
+/// needs them. The accumulation order is the slice path's, so results
+/// are bit-identical to [`pdxearch_prepared`] over the same blocks.
+pub fn pdxearch_streamed<P, B, I>(
+    pruner: &P,
+    q: &P::Query,
+    blocks: I,
+    params: &SearchParams,
+) -> Vec<Neighbor>
+where
+    P: Pruner,
+    B: std::borrow::Borrow<SearchBlock>,
+    I: IntoIterator<Item = B>,
+{
+    let mut profile = SearchProfile::default();
+    run_iter::<P, false, _, _>(pruner, q, blocks, params, &mut profile)
+}
+
 /// Prepared-query variant with per-phase timings.
 pub fn pdxearch_prepared_profiled<P: Pruner>(
     pruner: &P,
@@ -170,6 +192,21 @@ fn run<P: Pruner, const PROFILE: bool>(
     params: &SearchParams,
     profile: &mut SearchProfile,
 ) -> Vec<Neighbor> {
+    run_iter::<P, PROFILE, _, _>(pruner, q, blocks.iter().copied(), params, profile)
+}
+
+fn run_iter<P, const PROFILE: bool, B, I>(
+    pruner: &P,
+    q: &P::Query,
+    blocks: I,
+    params: &SearchParams,
+    profile: &mut SearchProfile,
+) -> Vec<Neighbor>
+where
+    P: Pruner,
+    B: std::borrow::Borrow<SearchBlock>,
+    I: IntoIterator<Item = B>,
+{
     assert!(params.k > 0, "k must be positive");
     let qdims = pruner.query_vector(q).len();
     let mut heap = KnnHeap::new(params.k);
@@ -178,6 +215,7 @@ fn run<P: Pruner, const PROFILE: bool>(
     let mut ckpt_dims = usize::MAX;
 
     for block in blocks {
+        let block = block.borrow();
         if block.is_empty() {
             continue;
         }

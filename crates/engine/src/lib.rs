@@ -12,7 +12,11 @@
 //!   ([`pdx_datasets::persist`]), sniffs the magic number (`PDX1` f32,
 //!   `PDX2` SQ8, `PDX3` mutable-collection manifest) and returns
 //!   whichever deployment the file holds; a directory is served as the
-//!   mutable collection ([`pdx_store::Collection`]) it contains.
+//!   mutable collection ([`pdx_store::Collection`]) — or, when it
+//!   holds a `SHARDS` manifest, the [`pdx_store::ShardedCollection`] —
+//!   it contains. IVF-extended (1.1) containers additionally open
+//!   *lazily* ([`pdx_index::LazyIvf`]) when a block-cache budget is
+//!   configured via [`OpenOptions`] or `PDX_CACHE_BYTES`.
 //! * [`PrunedFlat`] / [`PrunedIvf`] — pair a deployment with a *fitted*
 //!   pruner (ADSampling's rotation, BSA's PCA — state that cannot be
 //!   chosen from plain options) and serve it through the same trait.
@@ -27,14 +31,37 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+use pdx_core::collection::SearchBlock;
 use pdx_core::engine::{SearchOptions, VectorIndex};
 use pdx_core::heap::Neighbor;
 use pdx_core::pruning::Pruner;
 use pdx_datasets::persist::{read_container, read_container_path, Container};
-use pdx_index::{FlatPdx, FlatSq8, IvfPdx};
-use pdx_store::{Collection, MANIFEST_FILE, MANIFEST_MAGIC};
+use pdx_index::{FlatPdx, FlatSq8, IvfPdx, IvfSq8, LazyIvf};
+use pdx_store::{Collection, ShardedCollection, MANIFEST_FILE, MANIFEST_MAGIC};
 use std::io;
 use std::path::Path;
+
+/// Deployment-independent open knobs for [`AnyIndex::open_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenOptions {
+    /// Block-cache budget for out-of-core deployments. `Some(bytes)`
+    /// opens an IVF-extended `f32` container lazily ([`LazyIvf`])
+    /// instead of resident; `None` defers to the `PDX_CACHE_BYTES`
+    /// environment variable
+    /// ([`pdx_core::cache::resolve_cache_bytes`]), and stays fully
+    /// resident when that is unset too. Containers without a bucket
+    /// table (legacy 1.0) ignore the budget.
+    pub cache_bytes: Option<u64>,
+}
+
+impl OpenOptions {
+    /// Sets an explicit cache budget (overrides the environment).
+    #[must_use]
+    pub fn with_cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = Some(bytes);
+        self
+    }
+}
 
 /// Opens any persisted PDX index as a dynamic [`VectorIndex`].
 ///
@@ -42,25 +69,51 @@ use std::path::Path;
 /// `pdx-cli build` (or the persistence layers directly) comes back as
 /// whichever deployment it holds, behind one trait object —
 ///
-/// * a `PDX1` container as a [`FlatPdx`];
-/// * a `PDX2` container as a [`FlatSq8`] (scan-only when the file
-///   carries no rerank payload);
+/// * a `PDX1` container as a [`FlatPdx`] — or, when it carries the
+///   1.1 bucket table, as an [`IvfPdx`] (resident) or a [`LazyIvf`]
+///   (out-of-core, when a cache budget is configured);
+/// * a `PDX2` container as a [`FlatSq8`] / [`IvfSq8`] (scan-only when
+///   the file carries no rerank payload);
 /// * a `PDX3` manifest — or the directory holding one — as the mutable
 ///   [`Collection`] it describes (segments loaded, WAL replayed with
-///   torn-tail recovery).
+///   torn-tail recovery);
+/// * a directory with a `SHARDS` manifest as the [`ShardedCollection`]
+///   it describes.
 pub struct AnyIndex;
 
 impl AnyIndex {
     /// Opens a container file, manifest file or collection directory,
     /// dispatching on the magic number. Errors name the offending path.
     ///
+    /// Equivalent to [`AnyIndex::open_with`] with default options: the
+    /// cache budget (and therefore lazy opening) is still picked up
+    /// from `PDX_CACHE_BYTES` when set.
+    ///
     /// # Errors
     /// Propagates IO errors and container-format errors; an unknown
     /// magic number reports the path and the four bytes read.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Box<dyn VectorIndex>> {
+        Self::open_with(path, OpenOptions::default())
+    }
+
+    /// [`AnyIndex::open`] with explicit [`OpenOptions`].
+    ///
+    /// # Errors
+    /// Propagates IO errors and container-format errors; an unknown
+    /// magic number reports the path and the four bytes read.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        opts: OpenOptions,
+    ) -> io::Result<Box<dyn VectorIndex>> {
         let path = path.as_ref();
         let with_path = |e: io::Error| io::Error::new(e.kind(), format!("{}: {e}", path.display()));
         if path.is_dir() {
+            if ShardedCollection::is_sharded_dir(path) {
+                let sharded = ShardedCollection::open(path)
+                    .map_err(io::Error::from)
+                    .map_err(with_path)?;
+                return Ok(Box::new(sharded));
+            }
             let coll = Collection::open(path)
                 .map_err(io::Error::from)
                 .map_err(with_path)?;
@@ -91,14 +144,24 @@ impl AnyIndex {
                 .map_err(with_path)?;
             return Ok(Box::new(coll));
         }
-        Ok(Self::from_container(
-            read_container_path(path).map_err(with_path)?,
-        ))
+        // An IVF-extended f32 container with a cache budget serves
+        // lazily: O(header) open, buckets fetched on demand.
+        if let Some(budget) = pdx_core::cache::resolve_cache_bytes(opts.cache_bytes) {
+            if &magic == b"PDX1" {
+                if let Ok(lazy) = LazyIvf::open(path, budget) {
+                    return Ok(Box::new(lazy));
+                }
+                // Legacy 1.0 container: fall through to the resident
+                // reader (it has no bucket table to seek by).
+            }
+        }
+        Ok(Self::from_container(read_container_path(path)?))
     }
 
     /// Reads a container from any reader, dispatching on its magic
     /// number (`PDX1`/`PDX2` only — a `PDX3` collection spans several
-    /// files and must be opened by path).
+    /// files and must be opened by path). Always fully resident: lazy
+    /// opening needs a seekable file, not a stream.
     ///
     /// # Errors
     /// Propagates IO errors and container-format errors.
@@ -112,6 +175,38 @@ impl AnyIndex {
             Container::F32(collection) => Box::new(FlatPdx::from_collection(collection)),
             Container::Sq8(c) => {
                 Box::new(FlatSq8::from_parts(c.dims, c.quantizer, c.blocks, c.rows))
+            }
+            Container::IvfF32(c) => {
+                let n_buckets = c.blocks.len();
+                // Rebuilt with the same call the lazy reader uses, so
+                // both deployments probe identically.
+                let centroids = SearchBlock::new(
+                    &c.centroid_rows,
+                    (0..n_buckets as u64).collect(),
+                    c.dims,
+                    c.group,
+                );
+                Box::new(IvfPdx {
+                    dims: c.dims,
+                    centroids,
+                    blocks: c.blocks,
+                })
+            }
+            Container::IvfSq8(c) => {
+                let n_buckets = c.blocks.len();
+                let centroids = SearchBlock::new(
+                    &c.centroid_rows,
+                    (0..n_buckets as u64).collect(),
+                    c.dims,
+                    c.group,
+                );
+                Box::new(IvfSq8 {
+                    dims: c.dims,
+                    quantizer: c.quantizer,
+                    centroids,
+                    blocks: c.blocks,
+                    rows: c.rows,
+                })
             }
         }
     }

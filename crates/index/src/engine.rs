@@ -19,6 +19,13 @@
 //! | [`IvfSq8`]       | –        | ✓        | ✓        | ✓        | –    | –         |
 //! | [`Hnsw`]         | –        | – (L2)   | –        | –        | ✓    | –         |
 //!
+//! (The out-of-core [`crate::LazyIvf`] implements the trait in
+//! [`crate::lazy`] with the same option surface as [`IvfPdx`], plus
+//! live [`VectorIndex::resident_bytes`] / [`VectorIndex::cache_stats`]
+//! readings.) The fully resident deployments override
+//! `resident_bytes` with their payload footprint, so `pdx stat` and
+//! the serve stats report comparable numbers across deployments.
+//!
 //! (`k`, `step`, `selection_fraction` and `threads` apply wherever the
 //! underlying scan uses them; SQ8 deployments bound with the candidate
 //! heap's own threshold instead of a [`PrunerKind`]; the HNSW graph is
@@ -41,6 +48,18 @@ use pdx_core::search::{
     horizontal_linear_scan, horizontal_pruned_search_prepared, linear_scan_blocks,
     pdxearch_prepared, HorizontalBucket,
 };
+
+/// Payload bytes of one resident `f32` search block: ids, stats, tiles.
+fn search_block_bytes(b: &SearchBlock) -> u64 {
+    (b.row_ids.len() * 8
+        + (b.stats.means.len() + b.stats.variances.len()) * 4
+        + b.pdx.as_slice().len() * 4) as u64
+}
+
+/// Payload bytes of one resident SQ8 block: ids and `u8` codes.
+fn sq8_block_bytes(b: &Sq8Block) -> u64 {
+    (b.row_ids.len() * 8 + b.codes.as_slice().len()) as u64
+}
 
 impl VectorIndex for FlatPdx {
     fn dims(&self) -> usize {
@@ -104,6 +123,10 @@ impl VectorIndex for FlatPdx {
             }
         }
     }
+
+    fn resident_bytes(&self) -> u64 {
+        self.collection.blocks.iter().map(search_block_bytes).sum()
+    }
 }
 
 impl VectorIndex for IvfPdx {
@@ -150,6 +173,11 @@ impl VectorIndex for IvfPdx {
                 })
             }
         }
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        search_block_bytes(&self.centroids)
+            + self.blocks.iter().map(search_block_bytes).sum::<u64>()
     }
 }
 
@@ -336,6 +364,10 @@ impl VectorIndex for FlatSq8 {
             opts.k,
         )
     }
+
+    fn resident_bytes(&self) -> u64 {
+        self.blocks.iter().map(sq8_block_bytes).sum::<u64>() + (self.rows.len() * 4) as u64
+    }
 }
 
 impl VectorIndex for IvfSq8 {
@@ -391,6 +423,12 @@ impl VectorIndex for IvfSq8 {
             &candidates,
             opts.k,
         )
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        search_block_bytes(&self.centroids)
+            + self.blocks.iter().map(sq8_block_bytes).sum::<u64>()
+            + (self.rows.len() * 4) as u64
     }
 }
 

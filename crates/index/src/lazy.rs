@@ -1,0 +1,533 @@
+//! Out-of-core IVF: bucket-granular lazy loading behind a block cache.
+//!
+//! [`LazyIvf`] serves the same IVF-extended containers
+//! ([`pdx_datasets::persist::write_ivf_pdx`]) as the fully resident
+//! [`IvfPdx`](crate::IvfPdx), but opens them by reading **only the
+//! header** — centroids plus the per-bucket offset/length table — so
+//! cold opens cost O(header), independent of the corpus size. Bucket
+//! records are then seek-read on demand, only for the `nprobe` buckets
+//! a query actually probes, through a sharded, byte-budgeted
+//! [`BlockCache`].
+//!
+//! Two invariants make this safe and exact:
+//!
+//! * **Pinning** — the cache hands out `Arc<SearchBlock>`s; a search
+//!   holds a pin on every bucket for as long as it scans it, so
+//!   eviction (even from a concurrent query) can never invalidate an
+//!   in-flight scan. Cold buckets are prefetched by a few scoped
+//!   worker threads concurrently with the scan, hiding most of the
+//!   miss latency without changing the scan order.
+//! * **Bit-identity** — bucket records persist their PDX tiles *and*
+//!   their block statistics, and both the resident and the lazy read
+//!   paths decode them with
+//!   [`pdx_datasets::persist::decode_ivf_f32_bucket`]. A query
+//!   therefore sees exactly the blocks the resident deployment holds:
+//!   same probe order, same scan, same distance bits, at any cache
+//!   budget and any thread count.
+
+use pdx_core::bond::PdxBond;
+use pdx_core::cache::{BlockCache, CacheStats};
+use pdx_core::collection::SearchBlock;
+use pdx_core::distance::Metric;
+use pdx_core::engine::{PrunerKind, SearchOptions, VectorIndex};
+use pdx_core::exec::{parallel_block_search, ThreadPool};
+use pdx_core::heap::Neighbor;
+use pdx_core::pruning::Pruner;
+use pdx_core::search::{linear_scan_blocks, pdxearch_prepared, pdxearch_streamed, SearchParams};
+#[cfg(not(all(unix, target_endian = "little")))]
+use pdx_datasets::persist::decode_ivf_f32_bucket;
+use pdx_datasets::persist::{read_ivf_meta_path, IvfBucketEntry};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Upper bound on background prefetch workers per query. Misses are
+/// CPU-heavy (page-cache copy + tile decode), so a few workers hide
+/// most of the latency; more would just contend on cache shards.
+const PREFETCH_WIDTH: usize = 4;
+
+/// An IVF deployment that keeps only the container header resident and
+/// lazily loads bucket records through a byte-budgeted [`BlockCache`].
+#[derive(Debug)]
+pub struct LazyIvf {
+    path: PathBuf,
+    file: std::fs::File,
+    dims: usize,
+    group: usize,
+    /// Centroids rebuilt exactly as the resident reader does, so probe
+    /// orders match bit-for-bit.
+    centroids: SearchBlock,
+    buckets: Vec<IvfBucketEntry>,
+    total_vectors: usize,
+    header_bytes: u64,
+    cache: Arc<BlockCache<u32, SearchBlock>>,
+}
+
+impl LazyIvf {
+    /// Opens an IVF-extended `PDX1` container lazily with a cache
+    /// budget of `cache_bytes`. Reads (and validates) only the header;
+    /// no bucket record is touched until a query probes it.
+    ///
+    /// # Errors
+    /// Fails with `InvalidData` if the file is not an IVF-extended
+    /// `f32` container (legacy containers have no bucket table to seek
+    /// by — open those via `AnyIndex`/`read_container_path` instead),
+    /// or if the header is corrupt or truncated.
+    pub fn open(path: &Path, cache_bytes: u64) -> io::Result<Self> {
+        let meta = read_ivf_meta_path(path)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: not an IVF-extended container (lazy opening needs the \
+                     bucket table of format 1.1)",
+                    path.display()
+                ),
+            )
+        })?;
+        if meta.quantized {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: lazy opening supports f32 IVF containers (PDX2 reranks \
+                     against a global row payload; open it resident instead)",
+                    path.display()
+                ),
+            ));
+        }
+        let n_buckets = meta.buckets.len();
+        let centroids = SearchBlock::new(
+            &meta.centroid_rows,
+            (0..n_buckets as u64).collect(),
+            meta.dims,
+            meta.group,
+        );
+        let total_vectors = meta.buckets.iter().map(|e| e.n_vectors as usize).sum();
+        let header_bytes = (meta.centroid_rows.len() as u64) * 4 + (n_buckets as u64) * 20;
+        Ok(Self {
+            file: std::fs::File::open(path)?,
+            path: path.to_path_buf(),
+            dims: meta.dims,
+            group: meta.group,
+            centroids,
+            buckets: meta.buckets,
+            total_vectors,
+            header_bytes,
+            cache: Arc::new(BlockCache::new(cache_bytes)),
+        })
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total vectors across all buckets (from the table — no record
+    /// reads).
+    pub fn total_vectors(&self) -> usize {
+        self.total_vectors
+    }
+
+    /// The container file this deployment reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Cache counters (hits, misses, evictions, resident bytes).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Bytes held resident: the header (centroids + bucket table) plus
+    /// whatever the cache currently holds.
+    pub fn resident_bytes(&self) -> u64 {
+        self.header_bytes + self.cache.resident_bytes()
+    }
+
+    /// Ranks buckets by centroid distance — same call as
+    /// [`IvfPdx::probe_order`](crate::IvfPdx::probe_order), so lazy and
+    /// resident deployments probe identically.
+    pub fn probe_order(&self, query_space: &[f32], nprobe: usize, metric: Metric) -> Vec<u32> {
+        let neighbors = linear_scan_blocks(&[&self.centroids], query_space, nprobe.max(1), metric);
+        neighbors.iter().map(|n| n.id as u32).collect()
+    }
+
+    #[cfg(not(all(unix, target_endian = "little")))]
+    fn read_bucket_bytes(&self, e: IvfBucketEntry) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; e.byte_len as usize];
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(&mut buf, e.offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut f = std::fs::File::open(&self.path)?;
+            f.seek(SeekFrom::Start(e.offset))?;
+            f.read_exact(&mut buf)?;
+        }
+        Ok(buf)
+    }
+
+    /// Loads one bucket record into a [`SearchBlock`].
+    ///
+    /// On little-endian unix (every deployment target that matters for
+    /// the out-of-core path) each record section — ids, stats, tiles —
+    /// is `pread` straight into its final buffer: the record's
+    /// little-endian words *are* the in-memory representation, so the
+    /// kernel's copy out of the page cache is the only copy a miss
+    /// pays. Elsewhere the portable path reads the record once and
+    /// decodes it with [`decode_ivf_f32_bucket`]. Both construct the
+    /// exact same values, so results stay bit-identical to the
+    /// resident deployment either way.
+    fn load_bucket(&self, e: IvfBucketEntry) -> io::Result<SearchBlock> {
+        #[cfg(all(unix, target_endian = "little"))]
+        {
+            use pdx_core::layout::PdxBlock;
+            use pdx_core::stats::BlockStats;
+            use pdx_datasets::persist::ivf_f32_bucket_len;
+            use std::os::unix::fs::FileExt;
+
+            let n = e.n_vectors as usize;
+            let expect = ivf_f32_bucket_len(n, self.dims)
+                .filter(|&b| usize::try_from(b).is_ok())
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bucket record size overflows")
+                })?;
+            if e.byte_len != expect {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bucket record has {} bytes, expected {expect}", e.byte_len),
+                ));
+            }
+            // Each section is read straight into a fresh allocation
+            // whose length is set only after `read_exact_at` has
+            // written every byte — skipping the zero-fill a
+            // `vec![0; n]` would pay, which on ~160 KB buckets is the
+            // second-largest miss cost after the kernel copy itself.
+            //
+            // SAFETY (per call below): u64/f32 accept every byte
+            // pattern, the slice covers exactly the capacity just
+            // reserved, and `set_len` runs only after the read filled
+            // the whole slice.
+            unsafe fn read_vec<T>(
+                file: &std::fs::File,
+                n: usize,
+                off: &mut u64,
+            ) -> io::Result<Vec<T>> {
+                let mut v: Vec<T> = Vec::with_capacity(n);
+                let bytes = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        v.as_mut_ptr().cast::<u8>(),
+                        n * std::mem::size_of::<T>(),
+                    )
+                };
+                file.read_exact_at(bytes, *off)?;
+                *off += bytes.len() as u64;
+                unsafe { v.set_len(n) };
+                Ok(v)
+            }
+            let mut off = e.offset;
+            let (row_ids, means, vars, tiled) = unsafe {
+                (
+                    read_vec::<u64>(&self.file, n, &mut off)?,
+                    read_vec::<f32>(&self.file, self.dims, &mut off)?,
+                    read_vec::<f32>(&self.file, self.dims, &mut off)?,
+                    read_vec::<f32>(&self.file, n * self.dims, &mut off)?,
+                )
+            };
+            Ok(SearchBlock {
+                pdx: PdxBlock::from_tiled(tiled, n, self.dims, self.group),
+                row_ids,
+                stats: BlockStats {
+                    means,
+                    variances: vars,
+                },
+                aux: None,
+            })
+        }
+        #[cfg(not(all(unix, target_endian = "little")))]
+        {
+            let bytes = self.read_bucket_bytes(e)?;
+            decode_ivf_f32_bucket(&bytes, e.n_vectors as usize, self.dims, self.group)
+        }
+    }
+
+    /// Fetches one bucket through the cache, pinning it via `Arc`.
+    ///
+    /// # Panics
+    /// Panics (with the container path) if the record can no longer be
+    /// read — the open-time validation checked every table entry
+    /// against the file length, so a failure here means the file was
+    /// truncated or replaced underneath a live deployment, which no
+    /// search result could be trusted over anyway.
+    pub fn fetch(&self, bucket: u32) -> Arc<SearchBlock> {
+        let e = self.buckets[bucket as usize];
+        self.cache
+            .get_or_load(&bucket, || Ok((self.load_bucket(e)?, e.byte_len)))
+            .unwrap_or_else(|err| {
+                panic!(
+                    "{}: bucket {bucket} unreadable mid-search: {err}",
+                    self.path.display()
+                )
+            })
+    }
+
+    /// Runs `consume` while background workers load the not-yet-resident
+    /// buckets of `order` into the cache, nearest first. The consumer
+    /// fetches each bucket itself: already-prefetched buckets hit, and a
+    /// bucket mid-load blocks on its shard lock just until the loading
+    /// worker inserts it — so misses overlap with each other *and* with
+    /// the consumer's scan instead of paying a serial sum of load
+    /// latencies. Purely a scheduling change: the consumer's fetch
+    /// order, and therefore the result, is untouched.
+    fn with_prefetch<R>(&self, order: &[u32], consume: impl FnOnce() -> R) -> R {
+        // Prefetch threads only pay off when a spare core can run them;
+        // on a single hardware thread they would just time-slice the
+        // consumer. One miss is cheapest loaded inline; zero needs no
+        // workers.
+        if pdx_core::exec::hardware_threads() < 2 {
+            return consume();
+        }
+        let missing: Vec<u32> = order
+            .iter()
+            .copied()
+            .filter(|&b| {
+                self.cache.admits(self.buckets[b as usize].byte_len) && !self.cache.contains(&b)
+            })
+            .collect();
+        if missing.len() < 2 {
+            return consume();
+        }
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..PREFETCH_WIDTH.min(missing.len()) {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= missing.len() {
+                        break;
+                    }
+                    self.fetch(missing[i]);
+                });
+            }
+            consume()
+        })
+    }
+
+    /// Pins the probed buckets, nearest first, prefetching misses in
+    /// parallel.
+    fn pin(&self, order: &[u32]) -> Vec<Arc<SearchBlock>> {
+        self.with_prefetch(order, || order.iter().map(|&b| self.fetch(b)).collect())
+    }
+
+    /// Full PDXearch query: prepare → probe → fetch → pruned scan.
+    /// Bit-identical to [`IvfPdx::search`](crate::IvfPdx::search) on
+    /// the resident load of the same container.
+    ///
+    /// The scan *streams*: each bucket is fetched (pinning it) right
+    /// before its blocks are scanned and unpinned right after, while
+    /// background prefetch workers load upcoming
+    /// misses concurrently — so a cold query's load latency hides
+    /// behind the scan of the buckets already in hand.
+    pub fn search<P: Pruner>(
+        &self,
+        pruner: &P,
+        query: &[f32],
+        nprobe: usize,
+        params: &SearchParams,
+    ) -> Vec<Neighbor> {
+        let q = pruner.prepare_query(query);
+        let order = self.probe_order(pruner.query_vector(&q), nprobe, pruner.metric());
+        self.with_prefetch(&order, || {
+            pdxearch_streamed(pruner, &q, order.iter().map(|&b| self.fetch(b)), params)
+        })
+    }
+
+    /// Linear scan (no pruning) of the `nprobe` nearest buckets.
+    pub fn linear_search(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        metric: Metric,
+    ) -> Vec<Neighbor> {
+        let order = self.probe_order(query, nprobe, metric);
+        let pinned = self.pin(&order);
+        let blocks: Vec<&SearchBlock> = pinned.iter().map(Arc::as_ref).collect();
+        linear_scan_blocks(&blocks, query, k, metric)
+    }
+
+    /// One large query with the probed buckets split into per-worker
+    /// block ranges (see
+    /// [`IvfPdx::search_parallel`](crate::IvfPdx::search_parallel)).
+    /// The pins taken before the scan keep every worker's blocks alive
+    /// whatever the cache evicts concurrently.
+    pub fn search_parallel<P: Pruner + Sync>(
+        &self,
+        pruner: &P,
+        query: &[f32],
+        nprobe: usize,
+        params: &SearchParams,
+        threads: usize,
+    ) -> Vec<Neighbor>
+    where
+        P::Query: Sync,
+    {
+        let q = pruner.prepare_query(query);
+        let order = self.probe_order(pruner.query_vector(&q), nprobe, pruner.metric());
+        let pinned = self.pin(&order);
+        let blocks: Vec<&SearchBlock> = pinned.iter().map(Arc::as_ref).collect();
+        let pool = ThreadPool::new(threads);
+        parallel_block_search(&pool, blocks.len(), params.k, |range| {
+            pdxearch_prepared(pruner, &q, &blocks[range], params)
+        })
+    }
+}
+
+impl VectorIndex for LazyIvf {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.total_vectors
+    }
+
+    fn kind(&self) -> &'static str {
+        "ivf-pdx-lazy"
+    }
+
+    /// Mirrors the resident `IvfPdx` implementation bucket for bucket;
+    /// only the block source differs (cache fetch vs `Vec` index).
+    fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let nprobe = opts.resolve_nprobe(self.buckets.len());
+        match opts.pruner {
+            PrunerKind::Bond(order) => {
+                let bond = PdxBond::new(opts.metric, order);
+                LazyIvf::search(self, &bond, query, nprobe, &opts.params())
+            }
+            PrunerKind::Linear => self.linear_search(query, opts.k, nprobe, opts.metric),
+        }
+    }
+
+    fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let nprobe = opts.resolve_nprobe(self.buckets.len());
+        match opts.pruner {
+            PrunerKind::Bond(order) => {
+                let bond = PdxBond::new(opts.metric, order);
+                LazyIvf::search_parallel(self, &bond, query, nprobe, &opts.params(), opts.threads)
+            }
+            PrunerKind::Linear => {
+                let order = self.probe_order(query, nprobe, opts.metric);
+                let pinned = self.pin(&order);
+                let blocks: Vec<&SearchBlock> = pinned.iter().map(Arc::as_ref).collect();
+                let pool = ThreadPool::new(opts.threads);
+                parallel_block_search(&pool, blocks.len(), opts.k, |range| {
+                    linear_scan_blocks(&blocks[range], query, opts.k, opts.metric)
+                })
+            }
+        }
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        LazyIvf::resident_bytes(self)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(LazyIvf::cache_stats(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::{IvfIndex, IvfPdx};
+    use pdx_core::visit_order::VisitOrder;
+    use pdx_datasets::persist::write_ivf_pdx_path;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rows(n: usize, d: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * d).map(|_| rng.random::<f32>() * 10.0).collect()
+    }
+
+    fn build_container(n: usize, d: usize, seed: u64, path: &Path) -> IvfPdx {
+        let rows = random_rows(n, d, seed);
+        let index = IvfIndex::build(&rows, n, d, 12, 8, seed);
+        let ivf = IvfPdx::new(&rows, d, &index.assignments, 16);
+        write_ivf_pdx_path(path, d, &ivf.centroids.pdx.to_rows(), &ivf.blocks).unwrap();
+        ivf
+    }
+
+    #[test]
+    fn lazy_matches_resident_bit_for_bit() {
+        let dir = std::env::temp_dir().join("pdx_lazy_bitident");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.pdx");
+        let resident = build_container(500, 8, 7, &path);
+        // A budget far below the container size forces eviction churn.
+        let lazy = LazyIvf::open(&path, 4 << 10).unwrap();
+        assert_eq!(lazy.total_vectors(), 500);
+        let bond = PdxBond::new(Metric::L2, VisitOrder::DistanceToMeans);
+        let params = SearchParams::new(9);
+        for qi in 0..12 {
+            let q = random_rows(1, 8, 100 + qi);
+            let want = resident.search(&bond, &q, 4, &params);
+            let got = lazy.search(&bond, &q, 4, &params);
+            assert_eq!(want, got, "query {qi}: ids or distance bits differ");
+            for threads in [1usize, 2, 8] {
+                let par = lazy.search_parallel(&bond, &q, 4, &params, threads);
+                assert_eq!(want, par, "query {qi} at {threads} threads");
+            }
+        }
+        let stats = lazy.cache_stats();
+        assert!(stats.misses > 0, "tiny budget must miss");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trait_surface_reports_cache_and_residency() {
+        let dir = std::env::temp_dir().join("pdx_lazy_trait");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.pdx");
+        let resident = build_container(300, 6, 3, &path);
+        let lazy = LazyIvf::open(&path, 64 << 20).unwrap();
+        let dyn_lazy: &dyn VectorIndex = &lazy;
+        let dyn_resident: &dyn VectorIndex = &resident;
+        assert_eq!(dyn_lazy.kind(), "ivf-pdx-lazy");
+        assert_eq!(dyn_lazy.len(), 300);
+        let header_only = dyn_lazy.resident_bytes();
+        assert!(header_only > 0);
+        let q = random_rows(1, 6, 5);
+        let opts = SearchOptions::new(5);
+        assert_eq!(dyn_lazy.search(&q, &opts), dyn_resident.search(&q, &opts));
+        assert!(
+            dyn_lazy.resident_bytes() > header_only,
+            "probed buckets should now be cached"
+        );
+        let stats = dyn_lazy.cache_stats().unwrap();
+        assert!(stats.misses > 0);
+        assert_eq!(dyn_resident.cache_stats(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_container_is_refused_with_guidance() {
+        let dir = std::env::temp_dir().join("pdx_lazy_legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.pdx");
+        let rows = random_rows(80, 5, 1);
+        let coll = pdx_core::collection::PdxCollection::from_rows_partitioned(&rows, 80, 5, 40, 16);
+        pdx_datasets::persist::write_pdx_path(&path, &coll).unwrap();
+        let err = LazyIvf::open(&path, 1 << 20).unwrap_err();
+        assert!(err.to_string().contains("bucket table"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -23,6 +23,12 @@
 //!   ([`sq8::FlatSq8`], [`sq8::IvfSq8`]): `u8` scan blocks 4× smaller
 //!   than `f32`, searched with the two-phase quantized-scan → exact
 //!   rerank path.
+//! * [`lazy`] — the out-of-core IVF deployment ([`lazy::LazyIvf`]):
+//!   opens an IVF-extended container by reading only its header
+//!   (centroids + bucket table, O(1) in the corpus size) and fetches
+//!   `nprobe`-selected buckets on demand through a byte-budgeted
+//!   [`pdx_core::cache::BlockCache`], returning results bit-identical
+//!   to the fully resident [`ivf::IvfPdx`] over the same container.
 //! * [`engine`] — [`pdx_core::engine::VectorIndex`] implementations for
 //!   all six deployments, so each is reachable as a
 //!   `Box<dyn VectorIndex>` behind one [`pdx_core::engine::SearchOptions`]
@@ -33,10 +39,12 @@ pub mod flat;
 pub mod hnsw;
 pub mod ivf;
 pub mod kmeans;
+pub mod lazy;
 pub mod sq8;
 
 pub use flat::FlatPdx;
 pub use hnsw::{Hnsw, HnswParams};
 pub use ivf::{IvfHorizontal, IvfIndex, IvfPdx};
 pub use kmeans::KMeans;
+pub use lazy::LazyIvf;
 pub use sq8::{FlatSq8, IvfSq8};

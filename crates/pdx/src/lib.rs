@@ -154,6 +154,7 @@ pub use pdx_store as store;
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use pdx_core::bond::PdxBond;
+    pub use pdx_core::cache::{resolve_cache_bytes, BlockCache, CacheStats, CACHE_BYTES_ENV};
     pub use pdx_core::collection::{PdxCollection, SearchBlock};
     pub use pdx_core::distance::{normalize, Metric};
     pub use pdx_core::engine::{
@@ -183,20 +184,22 @@ pub mod prelude {
     pub use pdx_core::visit_order::VisitOrder;
     pub use pdx_core::{DEFAULT_EXACT_BLOCK, DEFAULT_GROUP_SIZE};
     pub use pdx_datasets::eval::{ground_truth, mean_recall, recall_at_k};
+    pub use pdx_datasets::persist::{IvfBucketEntry, IvfMeta};
     pub use pdx_datasets::synthetic::{
         generate, spec_by_name, Dataset, DatasetSpec, Distribution, TABLE1,
     };
-    pub use pdx_engine::{AnyIndex, PrunedFlat, PrunedIvf};
+    pub use pdx_engine::{AnyIndex, OpenOptions, PrunedFlat, PrunedIvf};
     pub use pdx_index::{
         FlatPdx, FlatSq8, Hnsw, HnswParams, IvfHorizontal, IvfIndex, IvfPdx, IvfSq8, KMeans,
+        LazyIvf,
     };
     pub use pdx_pruners::{AdSampling, Bsa, BsaLearned};
     pub use pdx_serve::{
-        Backend, Client as ServeClient, ClientError, ErrorKind as ServeErrorKind, ServeConfig,
-        Server, StatsReport,
+        Backend, BackendReadings, Client as ServeClient, ClientError, ErrorKind as ServeErrorKind,
+        ServeConfig, Server, StatsReport,
     };
     pub use pdx_store::{
-        Collection, GroupCommit, MaintenanceJob, SegmentStat, Snapshot, StoreConfig, StoreError,
-        WriteBuffer,
+        Collection, GroupCommit, MaintenanceJob, SegmentStat, ShardedCollection, Snapshot,
+        StoreConfig, StoreError, WriteBuffer, SHARDS_FILE,
     };
 }

@@ -54,5 +54,6 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError};
+pub use metrics::BackendReadings;
 pub use proto::{ErrorKind, ProtoError, Request, Response, StatsReport, DEFAULT_PORT};
 pub use server::{Backend, ServeConfig, Server};

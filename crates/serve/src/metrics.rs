@@ -121,6 +121,25 @@ pub struct ServerMetrics {
     pub in_flight: AtomicU64,
 }
 
+/// Backend-level readings the caller of [`ServerMetrics::report`]
+/// supplies alongside the counter block: memory/cache observability
+/// ([`pdx_core::engine::VectorIndex::resident_bytes`] /
+/// [`pdx_core::engine::VectorIndex::cache_stats`]) plus the measured
+/// cold-open time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BackendReadings {
+    /// Approximate bytes the backend holds resident.
+    pub resident_bytes: u64,
+    /// Block-cache hits (0 for fully resident backends).
+    pub cache_hits: u64,
+    /// Block-cache misses.
+    pub cache_misses: u64,
+    /// Block-cache evictions.
+    pub cache_evictions: u64,
+    /// Microseconds the backend took to open.
+    pub open_us: u64,
+}
+
 impl ServerMetrics {
     /// Creates a zeroed counter block.
     pub fn new() -> Self {
@@ -130,8 +149,8 @@ impl ServerMetrics {
     /// Snapshots the counters into a wire-format [`StatsReport`].
     ///
     /// `started` is the server's start instant (for uptime and QPS);
-    /// index shape, queue state, and the resolved kernel ISA wire code
-    /// are supplied by the caller.
+    /// index shape, queue state, the resolved kernel ISA wire code and
+    /// the backend readings are supplied by the caller.
     #[allow(clippy::too_many_arguments)]
     pub fn report(
         &self,
@@ -142,6 +161,7 @@ impl ServerMetrics {
         queue_depth: u64,
         queue_capacity: u64,
         kernel_isa: u64,
+        backend: BackendReadings,
     ) -> StatsReport {
         let uptime = started.elapsed();
         let uptime_ms = uptime.as_millis() as u64;
@@ -169,6 +189,11 @@ impl ServerMetrics {
             p99_us: self.latency.quantile(0.99),
             p999_us: self.latency.quantile(0.999),
             kernel_isa,
+            resident_bytes: backend.resident_bytes,
+            cache_hits: backend.cache_hits,
+            cache_misses: backend.cache_misses,
+            cache_evictions: backend.cache_evictions,
+            open_us: backend.open_us,
         }
     }
 }

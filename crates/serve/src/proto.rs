@@ -353,10 +353,21 @@ pub struct StatsReport {
     /// [`KernelIsa::wire_code`](pdx_core::KernelIsa::wire_code)
     /// (0 = scalar, 1 = avx2, 2 = neon).
     pub kernel_isa: u64,
+    /// Approximate bytes the backend holds resident (header +
+    /// cached buckets for lazy deployments, full payload otherwise).
+    pub resident_bytes: u64,
+    /// Block-cache hits since start (0 for fully resident backends).
+    pub cache_hits: u64,
+    /// Block-cache misses since start.
+    pub cache_misses: u64,
+    /// Block-cache evictions since start.
+    pub cache_evictions: u64,
+    /// Microseconds the backend took to open (cold-open time).
+    pub open_us: u64,
 }
 
 impl StatsReport {
-    const FIELDS: usize = 16;
+    const FIELDS: usize = 21;
 
     fn encode_into(&self, out: &mut Vec<u8>) {
         for v in [
@@ -376,6 +387,11 @@ impl StatsReport {
             self.p99_us,
             self.p999_us,
             self.kernel_isa,
+            self.resident_bytes,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.open_us,
         ] {
             put_u64(out, v);
         }
@@ -403,6 +419,11 @@ impl StatsReport {
             p99_us: vals[13],
             p999_us: vals[14],
             kernel_isa: vals[15],
+            resident_bytes: vals[16],
+            cache_hits: vals[17],
+            cache_misses: vals[18],
+            cache_evictions: vals[19],
+            open_us: vals[20],
         })
     }
 }
@@ -756,6 +777,11 @@ mod tests {
                 p99_us: 900,
                 p999_us: 2000,
                 kernel_isa: 1,
+                resident_bytes: 1 << 30,
+                cache_hits: 77,
+                cache_misses: 13,
+                cache_evictions: 6,
+                open_us: 450,
             }),
             Response::error(ErrorKind::Busy, "queue full"),
         ]

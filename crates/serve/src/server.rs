@@ -20,6 +20,7 @@
 //! timeout and poll the server's stop flag, which is what makes
 //! [`Server::shutdown`] clean: no leaked threads, port released.
 
+use crate::metrics::BackendReadings;
 use crate::metrics::ServerMetrics;
 use crate::proto::{
     check_frame_len, write_frame, ErrorKind, Request, Response, StatsReport, DEFAULT_MAX_FRAME,
@@ -27,8 +28,8 @@ use crate::proto::{
 use pdx_core::engine::{SearchOptions, VectorIndex};
 use pdx_core::exec::{resolve_threads, spawn_job, JobHandle};
 use pdx_core::KernelPolicy;
-use pdx_engine::AnyIndex;
-use pdx_store::{Collection, StoreError, MANIFEST_FILE};
+use pdx_engine::{AnyIndex, OpenOptions};
+use pdx_store::{Collection, ShardedCollection, StoreError, MANIFEST_FILE};
 use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -73,70 +74,149 @@ impl Default for ServeConfig {
     }
 }
 
-/// What the server serves: either a frozen container behind the
-/// object-safe [`VectorIndex`] trait, or a mutable [`Collection`]
-/// (which additionally accepts `Insert`/`Delete`).
-pub enum Backend {
-    /// A read-only container (`PDX1`/`PDX2`, or any boxed index).
+/// What the server serves: a frozen container behind the object-safe
+/// [`VectorIndex`] trait, a mutable [`Collection`], or a
+/// [`ShardedCollection`] (the latter two additionally accept
+/// `Insert`/`Delete`).
+enum BackendKind {
+    /// A read-only container (`PDX1`/`PDX2`, or any boxed index) —
+    /// including lazily opened IVF containers.
     Frozen(Box<dyn VectorIndex>),
     /// A mutable PDX3 collection; searches hit lock-free snapshots,
     /// mutations go through the concurrent writer.
     Collection(Arc<Collection>),
+    /// A sharded collection: mutations route by id hash, reads merge
+    /// across shards.
+    Sharded(Arc<ShardedCollection>),
+}
+
+/// The index a [`Server`] answers queries against, plus the measured
+/// cold-open time surfaced in `Stats` reports.
+pub struct Backend {
+    kind: BackendKind,
+    open_us: u64,
 }
 
 impl Backend {
     /// Opens `path` as a backend: PDX3 collection directories (or their
-    /// `MANIFEST` file) open as mutable [`Backend::Collection`],
-    /// everything else goes through [`AnyIndex::open`] and is frozen.
+    /// `MANIFEST` file) open as a mutable collection, directories with
+    /// a `SHARDS` manifest as a sharded collection, everything else
+    /// goes through [`AnyIndex::open_with`] and is frozen — which
+    /// means an IVF-extended container opens *lazily* when a cache
+    /// budget is configured (explicitly or via `PDX_CACHE_BYTES`).
     ///
     /// # Errors
     /// Propagates open/IO errors; corrupt inputs surface as the typed
     /// `InvalidData` errors of `AnyIndex::open`/`Collection::open`.
-    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+    pub fn open_with(path: impl AsRef<Path>, opts: OpenOptions) -> io::Result<Self> {
         let path = path.as_ref();
+        let t0 = Instant::now();
         let manifest_named = path.file_name().is_some_and(|name| name == MANIFEST_FILE);
-        if path.is_dir() || manifest_named {
+        let kind = if path.is_dir() && ShardedCollection::is_sharded_dir(path) {
+            BackendKind::Sharded(Arc::new(ShardedCollection::open(path).map_err(|e| {
+                let e = io::Error::from(e);
+                io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+            })?))
+        } else if path.is_dir() || manifest_named {
             let dir = if manifest_named {
                 path.parent().unwrap_or(Path::new("."))
             } else {
                 path
             };
-            let coll = Collection::open(dir)?;
-            Ok(Backend::Collection(Arc::new(coll)))
+            BackendKind::Collection(Arc::new(Collection::open(dir).map_err(|e| {
+                let e = io::Error::from(e);
+                io::Error::new(e.kind(), format!("{}: {e}", dir.display()))
+            })?))
         } else {
-            Ok(Backend::Frozen(AnyIndex::open(path)?))
-        }
+            BackendKind::Frozen(AnyIndex::open_with(path, opts)?)
+        };
+        Ok(Backend {
+            kind,
+            open_us: t0.elapsed().as_micros() as u64,
+        })
+    }
+
+    /// [`Backend::open_with`] with default options (a cache budget is
+    /// still picked up from `PDX_CACHE_BYTES` when set).
+    ///
+    /// # Errors
+    /// Propagates open/IO errors.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_with(path, OpenOptions::default())
     }
 
     /// Wraps an already-open index as a frozen backend.
     pub fn frozen(index: Box<dyn VectorIndex>) -> Self {
-        Backend::Frozen(index)
+        Backend {
+            kind: BackendKind::Frozen(index),
+            open_us: 0,
+        }
     }
 
-    /// Wraps an already-open collection as a mutable backend.
-    pub fn collection(coll: Collection) -> Self {
-        Backend::Collection(Arc::new(coll))
+    /// Wraps an already-open collection as a mutable backend. Accepts
+    /// an owned collection or an `Arc` shared with other readers.
+    pub fn collection(coll: impl Into<Arc<Collection>>) -> Self {
+        Backend {
+            kind: BackendKind::Collection(coll.into()),
+            open_us: 0,
+        }
     }
 
-    /// The search surface (both variants serve reads the same way).
+    /// Wraps an already-open sharded collection as a mutable backend.
+    /// Accepts an owned collection or an `Arc` shared with other
+    /// readers.
+    pub fn sharded(coll: impl Into<Arc<ShardedCollection>>) -> Self {
+        Backend {
+            kind: BackendKind::Sharded(coll.into()),
+            open_us: 0,
+        }
+    }
+
+    /// Whether the backend accepts `Insert`/`Delete`.
+    pub fn is_mutable(&self) -> bool {
+        !matches!(self.kind, BackendKind::Frozen(_))
+    }
+
+    /// The search surface (all variants serve reads the same way).
     pub fn index(&self) -> &dyn VectorIndex {
-        match self {
-            Backend::Frozen(index) => index.as_ref(),
-            Backend::Collection(coll) => coll.as_ref() as &dyn VectorIndex,
+        match &self.kind {
+            BackendKind::Frozen(index) => index.as_ref(),
+            BackendKind::Collection(coll) => coll.as_ref() as &dyn VectorIndex,
+            BackendKind::Sharded(coll) => coll.as_ref() as &dyn VectorIndex,
         }
     }
 
     fn live(&self) -> u64 {
-        match self {
-            Backend::Frozen(index) => index.len() as u64,
-            Backend::Collection(coll) => coll.live_len() as u64,
+        match &self.kind {
+            BackendKind::Frozen(index) => index.len() as u64,
+            BackendKind::Collection(coll) => coll.live_len() as u64,
+            BackendKind::Sharded(coll) => coll.live_len() as u64,
         }
     }
 
     fn tombstones(&self) -> u64 {
-        match self {
-            Backend::Frozen(_) => 0,
-            Backend::Collection(coll) => coll.tombstone_count() as u64,
+        match &self.kind {
+            BackendKind::Frozen(_) => 0,
+            BackendKind::Collection(coll) => coll.tombstone_count() as u64,
+            BackendKind::Sharded(coll) => coll
+                .shards()
+                .iter()
+                .map(|s| s.tombstone_count() as u64)
+                .sum(),
+        }
+    }
+
+    /// Memory/cache observability plus the measured open time, for
+    /// `Stats` reports.
+    fn readings(&self) -> BackendReadings {
+        let index = self.index();
+        let cache = index.cache_stats().unwrap_or_default();
+        BackendReadings {
+            resident_bytes: index.resident_bytes(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            open_us: self.open_us,
         }
     }
 }
@@ -190,6 +270,7 @@ impl Shared {
             queue_depth,
             self.config.queue_depth as u64,
             self.config.kernel.resolve().wire_code(),
+            self.backend.readings(),
         )
     }
 }
@@ -549,22 +630,30 @@ fn execute(backend: &Backend, kernel: KernelPolicy, req: &Request) -> Response {
             let opts = search_options(*k, *nprobe, *refine, kernel);
             Response::Batch(backend.index().search_batch(queries, &opts))
         }
-        Request::Insert { id, vector, .. } => match backend {
-            Backend::Collection(coll) => match coll.insert(*id, vector) {
+        Request::Insert { id, vector, .. } => match &backend.kind {
+            BackendKind::Collection(coll) => match coll.insert(*id, vector) {
                 Ok(()) => Response::Inserted,
                 Err(err) => store_error(&err),
             },
-            Backend::Frozen(_) => Response::error(
+            BackendKind::Sharded(coll) => match coll.insert(*id, vector) {
+                Ok(()) => Response::Inserted,
+                Err(err) => store_error(&err),
+            },
+            BackendKind::Frozen(_) => Response::error(
                 ErrorKind::Unsupported,
                 "insert requires a mutable collection (PDX3); this index is frozen",
             ),
         },
-        Request::Delete { id, .. } => match backend {
-            Backend::Collection(coll) => match coll.delete(*id) {
+        Request::Delete { id, .. } => match &backend.kind {
+            BackendKind::Collection(coll) => match coll.delete(*id) {
                 Ok(()) => Response::Deleted,
                 Err(err) => store_error(&err),
             },
-            Backend::Frozen(_) => Response::error(
+            BackendKind::Sharded(coll) => match coll.delete(*id) {
+                Ok(()) => Response::Deleted,
+                Err(err) => store_error(&err),
+            },
+            BackendKind::Frozen(_) => Response::error(
                 ErrorKind::Unsupported,
                 "delete requires a mutable collection (PDX3); this index is frozen",
             ),

@@ -1196,6 +1196,20 @@ impl VectorIndex for Collection {
     fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
         self.snapshot().search_parallel(query, opts)
     }
+
+    /// Approximate payload footprint: live vectors × (per-dimension
+    /// scan bytes + 8-byte id). Quantized collections also keep the
+    /// `f32` rerank rows resident.
+    fn resident_bytes(&self) -> u64 {
+        let live = self.snapshot().live_len() as u64;
+        let per_row = if self.config().quantize {
+            // u8 codes + f32 rerank row
+            self.dims as u64 * 5
+        } else {
+            self.dims as u64 * 4
+        };
+        live * (per_row + 8)
+    }
 }
 
 #[cfg(test)]

@@ -96,6 +96,7 @@ mod buffer;
 mod collection;
 mod manifest;
 mod segment;
+mod sharded;
 mod snapshot;
 mod wal;
 
@@ -103,6 +104,7 @@ pub use buffer::{BufferSnapshot, WriteBuffer};
 pub use collection::{Collection, GroupCommit, MaintenanceJob, SegmentStat};
 pub use manifest::{Manifest, MANIFEST_FILE, MANIFEST_MAGIC};
 pub use segment::Segment;
+pub use sharded::{ShardedCollection, SHARDS_FILE, SHARDS_MAGIC};
 pub use snapshot::{SegmentView, Snapshot, TombstoneSet};
 pub use wal::{Wal, WalRecord};
 

@@ -190,7 +190,7 @@ impl Segment {
     pub fn load(dir: &Path, seq: u64, dims: usize) -> Result<Self, StoreError> {
         let container_path = dir.join(segment_file(seq));
         let data = match read_container_path(&container_path)
-            .map_err(|e| StoreError::Corrupt(format!("{}: {e}", container_path.display())))?
+            .map_err(|e| StoreError::Corrupt(e.to_string()))?
         {
             Container::F32(collection) => SegmentData::F32(FlatPdx::from_collection(collection)),
             Container::Sq8(c) => {
@@ -201,6 +201,12 @@ impl Segment {
                     )));
                 }
                 SegmentData::Sq8(FlatSq8::from_parts(c.dims, c.quantizer, c.blocks, c.rows))
+            }
+            Container::IvfF32(_) | Container::IvfSq8(_) => {
+                return Err(StoreError::Corrupt(format!(
+                    "{}: segments are flat containers, found an IVF-extended one",
+                    container_path.display()
+                )))
             }
         };
         let ids_path = dir.join(segment_ids_file(seq));

@@ -551,6 +551,11 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                     p99_us: v.rotate_left(61),
                     p999_us: v.rotate_left(3),
                     kernel_isa: v.rotate_left(11),
+                    resident_bytes: v.rotate_left(17),
+                    cache_hits: v.rotate_left(21),
+                    cache_misses: v.rotate_left(27),
+                    cache_evictions: v.rotate_left(33),
+                    open_us: v.rotate_left(39),
                 }),
                 _ => Response::Error {
                     kind: [

@@ -727,7 +727,7 @@ fn stats_are_fresh_the_moment_background_compaction_commits() {
 
     // The serving layer reads the same counters: a Stats round-trip
     // right after the commit reports the compacted collection.
-    let backend = pdx::serve::Backend::Collection(Arc::clone(&coll));
+    let backend = pdx::serve::Backend::collection(Arc::clone(&coll));
     let server = Server::start(backend, ("127.0.0.1", 0), ServeConfig::default()).unwrap();
     let mut client = ServeClient::connect(server.local_addr()).unwrap();
     let report = client.stats().unwrap();
