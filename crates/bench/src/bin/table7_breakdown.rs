@@ -14,7 +14,7 @@ use pdx_bench::harness::*;
 fn print_row(name: &str, p: &SearchProfile, n_queries: usize) {
     let total_ms = p.total_ns() as f64 / 1e6 / n_queries as f64;
     println!(
-        "{name:<12} {total_ms:>9.2} {:>18} {:>18} {:>18} {:>18}",
+        "{name:<12} {total_ms:>9.2} {:>18} {:>18} {:>18} {:>18} {:>8.1}",
         format!(
             "{:.1}% ({:.2}ms)",
             p.share(p.distance_ns),
@@ -35,6 +35,7 @@ fn print_row(name: &str, p: &SearchProfile, n_queries: usize) {
             p.share(p.preprocess_ns),
             p.preprocess_ns as f64 / 1e6 / n_queries as f64
         ),
+        p.pruning_ratio() * 100.0,
     );
 }
 
@@ -89,64 +90,64 @@ fn main() {
         spec.name
     );
     println!(
-        "{:<12} {:>9} {:>18} {:>18} {:>18} {:>18}",
-        "algorithm", "ms/query", "distance", "find buckets", "bounds eval", "preprocessing"
+        "{:<12} {:>9} {:>18} {:>18} {:>18} {:>18} {:>8}",
+        "algorithm",
+        "ms/query",
+        "distance",
+        "find buckets",
+        "bounds eval",
+        "preprocessing",
+        "pruned%"
     );
-    println!("{}", "-".repeat(100));
+    println!("{}", "-".repeat(108));
 
     let mut csv = Vec::new();
     let mut record = |name: &str, p: &SearchProfile| {
         print_row(name, p, nq);
         csv.push(format!(
-            "{name},{},{},{},{},{}",
+            "{name},{},{},{},{},{},{:.4}",
             p.total_ns() / nq as u64,
             p.distance_ns / nq as u64,
             p.find_buckets_ns / nq as u64,
             p.bounds_ns / nq as u64,
-            p.preprocess_ns / nq as u64
+            p.preprocess_ns / nq as u64,
+            p.pruning_ratio()
         ));
     };
 
     // N-ary ADS (SIMD-ADS on dual-block horizontal).
-    let mut p = SearchProfile::default();
-    for qi in 0..nq {
-        let _ =
-            ivf_ads_hor.search_profiled(&ads, ds.query(qi), k, nprobe, KernelVariant::Simd, &mut p);
-    }
+    let p = profile_queries(nq, |qi, p| {
+        let _ = ivf_ads_hor.search_profiled(&ads, ds.query(qi), k, nprobe, KernelVariant::Simd, p);
+    });
     record("N-ary ADS", &p);
 
     // PDX ADS.
-    let mut p = SearchProfile::default();
-    for qi in 0..nq {
-        let _ = ivf_ads_pdx.search_profiled(&ads, ds.query(qi), nprobe, &params, &mut p);
-    }
+    let p = profile_queries(nq, |qi, p| {
+        let _ = ivf_ads_pdx.search_profiled(&ads, ds.query(qi), nprobe, &params, p);
+    });
     record("PDX ADS", &p);
 
     // N-ary BSA.
-    let mut p = SearchProfile::default();
-    for qi in 0..nq {
-        let _ =
-            ivf_bsa_hor.search_profiled(&bsa, ds.query(qi), k, nprobe, KernelVariant::Simd, &mut p);
-    }
+    let p = profile_queries(nq, |qi, p| {
+        let _ = ivf_bsa_hor.search_profiled(&bsa, ds.query(qi), k, nprobe, KernelVariant::Simd, p);
+    });
     record("N-ary BSA", &p);
 
     // PDX BSA.
-    let mut p = SearchProfile::default();
-    for qi in 0..nq {
-        let _ = ivf_bsa_pdx.search_profiled(&bsa, ds.query(qi), nprobe, &params, &mut p);
-    }
+    let p = profile_queries(nq, |qi, p| {
+        let _ = ivf_bsa_pdx.search_profiled(&bsa, ds.query(qi), nprobe, &params, p);
+    });
     record("PDX BSA", &p);
 
     // PDX BOND (raw space).
-    let mut p = SearchProfile::default();
-    for qi in 0..nq {
-        let _ = ivf_raw.search_profiled(&bond, ds.query(qi), nprobe, &params, &mut p);
-    }
+    let p = profile_queries(nq, |qi, p| {
+        let _ = ivf_raw.search_profiled(&bond, ds.query(qi), nprobe, &params, p);
+    });
     record("PDX BOND", &p);
 
     write_csv(
         "table7_breakdown.csv",
-        "algorithm,total_ns,distance_ns,find_buckets_ns,bounds_ns,preprocess_ns",
+        "algorithm,total_ns,distance_ns,find_buckets_ns,bounds_ns,preprocess_ns,pruning_ratio",
         &csv,
     );
     println!("\nPaper shape to verify: PDX variants collapse the bounds-evaluation share");

@@ -113,11 +113,29 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// Runs `n_queries` profiled queries into one accumulated
+/// [`SearchProfile`]: the closure receives the query index and the
+/// profile to record into. Table 7-style breakdown benches share this
+/// loop (and read the derived ratios — [`SearchProfile::share`],
+/// [`SearchProfile::pruning_ratio`] — instead of recomputing them).
+pub fn profile_queries(
+    n_queries: usize,
+    mut f: impl FnMut(usize, &mut SearchProfile),
+) -> SearchProfile {
+    let mut p = SearchProfile::default();
+    for qi in 0..n_queries {
+        f(qi, &mut p);
+    }
+    p
+}
+
 /// The Δd = 1 pruning-power replay of Tables 2 and 6: scans the IVF
 /// blocks in probe order, evaluating the pruner's bound after **every**
 /// dimension, and returns the fraction of dimension values never
-/// touched. Mirrors the paper's measurement (K of the k-NN heap, first
-/// block scanned fully to seed the threshold).
+/// touched ([`SearchProfile::pruning_ratio`] over the replay's work
+/// counters — the same derivation the observability layer exports).
+/// Mirrors the paper's measurement (K of the k-NN heap, first block
+/// scanned fully to seed the threshold).
 pub fn pruning_power<P: Pruner>(pruner: &P, ivf: &IvfPdx, query: &[f32], k: usize) -> f64 {
     assert!(
         !P::NEEDS_AUX,
@@ -128,12 +146,11 @@ pub fn pruning_power<P: Pruner>(pruner: &P, ivf: &IvfPdx, query: &[f32], k: usiz
     let qvec = pruner.query_vector(&q);
     let order = ivf.probe_order(qvec, ivf.blocks.len(), pruner.metric());
     let mut heap = KnnHeap::new(k);
-    let mut scanned_values = 0u64;
-    let mut total_values = 0u64;
+    let mut profile = SearchProfile::default();
     for (bi, &b) in order.iter().enumerate() {
         let block = &ivf.blocks[b as usize];
         let n = block.len();
-        total_values += (n * dims) as u64;
+        profile.dims_total += (n * dims) as u64;
         let rows: Vec<Vec<f32>> = (0..n).map(|v| block.pdx.vector(v)).collect();
         let perm = pruner.dim_order(&q, Some(&block.stats));
         let dim_at = |i: usize| -> usize {
@@ -147,7 +164,7 @@ pub fn pruning_power<P: Pruner>(pruner: &P, ivf: &IvfPdx, query: &[f32], k: usiz
                 let d: f32 = qvec.iter().zip(row).map(|(a, b)| (a - b) * (a - b)).sum();
                 heap.push(block.row_ids[v], d);
             }
-            scanned_values += (n * dims) as u64;
+            profile.dims_scanned += (n * dims) as u64;
             continue;
         }
         let mut alive: Vec<usize> = (0..n).collect();
@@ -159,7 +176,7 @@ pub fn pruning_power<P: Pruner>(pruner: &P, ivf: &IvfPdx, query: &[f32], k: usiz
                 let diff = qd - rows[v][d];
                 partials[v] += diff * diff;
             }
-            scanned_values += alive.len() as u64;
+            profile.dims_scanned += alive.len() as u64;
             if step + 1 == dims {
                 break;
             }
@@ -173,7 +190,7 @@ pub fn pruning_power<P: Pruner>(pruner: &P, ivf: &IvfPdx, query: &[f32], k: usiz
             heap.push(block.row_ids[v], partials[v]);
         }
     }
-    1.0 - scanned_values as f64 / total_values as f64
+    profile.pruning_ratio()
 }
 
 /// Renders a row of `|`-separated cells with the given widths.

@@ -89,6 +89,9 @@ const SERVE_FLAGS: &[&str] = &[
     "deadline-ms",
     "kernel",
     "cache-bytes",
+    "metrics-port",
+    "slow-query-ms",
+    "slow-sample",
 ];
 const GROUND_TRUTH_FLAGS: &[&str] = &["data", "queries", "out", "k"];
 const EVALUATE_FLAGS: &[&str] = &[
@@ -106,7 +109,7 @@ const EVALUATE_FLAGS: &[&str] = &[
 const INSERT_FLAGS: &[&str] = &["index", "data", "start-id", "sync-every"];
 const DELETE_FLAGS: &[&str] = &["index", "ids"];
 const COMPACT_FLAGS: &[&str] = &["index", "background"];
-const STAT_FLAGS: &[&str] = &["index", "cache-bytes"];
+const STAT_FLAGS: &[&str] = &["index", "cache-bytes", "metrics"];
 const DATASETS_FLAGS: &[&str] = &[];
 
 #[derive(Debug)]
@@ -282,6 +285,9 @@ commands:
                 shards for sharded collections, resident bytes + cache counters
                 and cold-open time everywhere)
                   --index=<path> [--cache-bytes=N]  (as in query)
+                  [--metrics=true]   also dump the process metric registry in
+                                     Prometheus text format (the same families
+                                     `serve --metrics-port` exposes)
   serve         serve any index over TCP (length-prefixed binary protocol;
                 mutable collections also accept insert/delete; Ctrl-C stops)
                   --index=<path> [--host=127.0.0.1 --port=4791]
@@ -296,6 +302,13 @@ commands:
                   [--cache-bytes=N]  serve IVF-extended containers lazily
                                      under an N-byte bucket cache (as in
                                      query; cache counters appear in stats)
+                  [--metrics-port=N] also bind 127.0.0.1:N for GET /metrics
+                                     (Prometheus text format) and GET /healthz;
+                                     binding turns per-query tracing on
+                  [--slow-query-ms=N]  log a JSON line (stderr) for requests
+                                     slower than N ms (0 = off)
+                  [--slow-sample=N]  also log every Nth query regardless of
+                                     latency, as a baseline (default 0 = off)
   datasets      list the built-in Table 1 dataset shapes
 ";
 
@@ -832,6 +845,33 @@ fn report_compaction(
 }
 
 fn cmd_stat(args: &Args) -> Result<(), String> {
+    let metrics = match args.str_or("metrics", "false").as_str() {
+        "true" => true,
+        "false" => false,
+        other => {
+            return Err(format!(
+                "invalid value for --metrics: '{other}' (expected true or false)"
+            ))
+        }
+    };
+    let kind = stat_describe(args)?;
+    println!("  {}", cache_budget_line(args)?);
+    if metrics {
+        // Register this deployment's search families plus the store
+        // families first, so the dump shows the full schema (zeroed)
+        // even though this process has served no queries.
+        pdx::core::obs::touch(kind);
+        pdx::store::obs::touch();
+        let mut out = pdx::obs::Registry::global().render();
+        pdx::core::obs::render_derived(&mut out);
+        print!("{out}");
+    }
+    Ok(())
+}
+
+/// The human-readable `stat` report; returns the index kind so the
+/// `--metrics` dump can register the right per-deployment families.
+fn stat_describe(args: &Args) -> Result<&'static str, String> {
     let path = args.path("index")?;
     // Sharded collections first (their directory holds no MANIFEST of
     // its own), then mutable collections, then frozen containers.
@@ -862,7 +902,7 @@ fn cmd_stat(args: &Args) -> Result<(), String> {
                 s.segment_count(),
             );
         }
-        return Ok(());
+        return Ok("sharded-collection");
     }
     if path.is_dir() || path.file_name().and_then(|n| n.to_str()) == Some("MANIFEST") {
         let (dir, coll) = open_collection(args)?;
@@ -896,7 +936,7 @@ fn cmd_stat(args: &Args) -> Result<(), String> {
                 s.seq, s.kind, s.rows, s.dead
             );
         }
-        return Ok(());
+        return Ok("collection");
     }
     let t0 = Instant::now();
     let index = AnyIndex::open_with(&path, open_options(args)?).map_err(|e| e.to_string())?;
@@ -919,7 +959,25 @@ fn cmd_stat(args: &Args) -> Result<(), String> {
             c.budget_bytes, c.resident_bytes, c.hits, c.misses, c.evictions,
         );
     }
-    Ok(())
+    Ok(index.kind())
+}
+
+/// One line naming the resolved block-cache budget and where it came
+/// from (an explicit `--cache-bytes` beats the `PDX_CACHE_BYTES`
+/// environment default).
+fn cache_budget_line(args: &Args) -> Result<String, String> {
+    let requested = parse_cache_bytes(args)?;
+    Ok(match resolve_cache_bytes(requested) {
+        Some(b) => format!(
+            "cache budget {b} bytes (from {})",
+            if requested.is_some() {
+                "--cache-bytes"
+            } else {
+                CACHE_BYTES_ENV
+            }
+        ),
+        None => format!("cache budget unbounded (no --cache-bytes, {CACHE_BYTES_ENV} unset)"),
+    })
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
@@ -933,6 +991,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         queue_depth: args.usize("queue-depth", 128)?,
         default_deadline_ms: args.usize("deadline-ms", 0)? as u32,
         kernel: parse_kernel(args)?,
+        metrics_port: args.usize("metrics-port", 0)? as u16,
+        slow_query_us: args.usize("slow-query-ms", 0)? as u64 * 1_000,
+        slow_sample: args.usize("slow-sample", 0)? as u64,
         ..ServeConfig::default()
     };
     let mutable = backend.is_mutable();
@@ -954,6 +1015,21 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         config.queue_depth,
         config.kernel.resolve().name(),
     );
+    eprintln!("  {}", cache_budget_line(args)?);
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!("  metrics on http://{addr}/metrics (Prometheus text), health on http://{addr}/healthz — per-query tracing on");
+    }
+    if config.slow_query_us > 0 {
+        eprintln!(
+            "  slow-query log: JSON to stderr for requests over {} ms{}",
+            config.slow_query_us / 1_000,
+            if config.slow_sample > 0 {
+                format!(" (+ every {}th query as a baseline)", config.slow_sample)
+            } else {
+                String::new()
+            },
+        );
+    }
     // Serve until the process is killed (Ctrl-C / SIGTERM); the threads
     // are all in the server, so parking the main thread costs nothing.
     loop {

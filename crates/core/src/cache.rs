@@ -159,6 +159,7 @@ impl<K: Hash + Eq + Clone, V> BlockCache<K, V> {
     /// Panics if `shards == 0`.
     pub fn with_shards(budget_bytes: u64, shards: usize) -> Self {
         assert!(shards > 0, "cache needs at least one shard");
+        crate::obs::cache_metrics().budget_bytes.set(budget_bytes);
         Self {
             shards: (0..shards)
                 .map(|_| {
@@ -233,9 +234,11 @@ impl<K: Hash + Eq + Clone, V> BlockCache<K, V> {
             entry.last_used = tick;
             entry.uses = entry.uses.saturating_add(1);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            crate::obs::cache_metrics().hits.inc();
             return Ok(Arc::clone(&entry.value));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        crate::obs::cache_metrics().misses.inc();
         let (value, bytes) = load()?;
         let value = Arc::new(value);
         if bytes <= self.shard_budget {
@@ -250,6 +253,9 @@ impl<K: Hash + Eq + Clone, V> BlockCache<K, V> {
                 shard.used -= evicted.bytes;
                 self.resident.fetch_sub(evicted.bytes, Ordering::Relaxed);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                let m = crate::obs::cache_metrics();
+                m.evictions.inc();
+                m.resident_bytes.sub(evicted.bytes);
             }
             shard.map.insert(
                 key.clone(),
@@ -262,6 +268,7 @@ impl<K: Hash + Eq + Clone, V> BlockCache<K, V> {
             );
             shard.used += bytes;
             self.resident.fetch_add(bytes, Ordering::Relaxed);
+            crate::obs::cache_metrics().resident_bytes.add(bytes);
         }
         Ok(value)
     }

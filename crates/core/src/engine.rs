@@ -113,6 +113,15 @@ pub struct SearchOptions {
     /// the default width (the `PDX_THREADS` env override, then the
     /// hardware parallelism). Single-query `search` ignores it.
     pub threads: usize,
+    /// Per-query tracing: when `true`, deployments run their profiled
+    /// monomorphization and publish a
+    /// [`QueryTrace`](pdx_obs::QueryTrace) (phase timings + work
+    /// counters) through [`crate::obs::publish_trace`]. Results are
+    /// bit-identical either way — the profiled path differs only in
+    /// timers and counters — so this is a pure observability knob.
+    /// Defaults to the `PDX_TRACE` env override (see
+    /// [`crate::obs::TRACE_ENV`]), else off (zero overhead).
+    pub trace: bool,
 }
 
 impl Default for SearchOptions {
@@ -128,6 +137,7 @@ impl Default for SearchOptions {
             ef: 0,
             kernel: KernelPolicy::Auto,
             threads: 0,
+            trace: crate::obs::trace_default(),
         }
     }
 }
@@ -200,6 +210,13 @@ impl SearchOptions {
     /// Replaces the worker count (`0` = default width).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enables or disables per-query tracing (see
+    /// [`SearchOptions::trace`]).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -472,6 +489,10 @@ mod tests {
         assert_eq!(opts.ef, 0);
         assert_eq!(opts.kernel, KernelPolicy::Auto);
         assert_eq!(opts.threads, 0);
+        // Tracing defaults to the env override so a whole test run can
+        // be flipped on without touching call sites.
+        assert_eq!(opts.trace, crate::obs::trace_default());
+        assert!(opts.with_trace(true).trace);
     }
 
     #[test]

@@ -10,7 +10,53 @@
 //! the same std-only discipline: one OS thread per job, a typed
 //! [`JobHandle`] to poll or join, and no global executor state.
 
+use pdx_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Registry handles for the background-job family.
+struct JobMetrics {
+    spawned: Arc<Counter>,
+    in_flight: Arc<Gauge>,
+    runtime_us: Arc<Histogram>,
+}
+
+fn job_metrics() -> &'static JobMetrics {
+    static METRICS: OnceLock<JobMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        JobMetrics {
+            spawned: r.counter(
+                "pdx_exec_jobs_total",
+                "Background maintenance jobs spawned.",
+                &[],
+            ),
+            in_flight: r.gauge(
+                "pdx_exec_jobs_in_flight",
+                "Background jobs currently running.",
+                &[],
+            ),
+            runtime_us: r.histogram(
+                "pdx_exec_job_us",
+                "Background job runtime, microseconds.",
+                &[],
+            ),
+        }
+    })
+}
+
+/// Decrements the in-flight gauge and records the runtime even when
+/// the job's closure panics, so a crashed job can't pin the gauge.
+struct JobAccounting(Instant);
+
+impl Drop for JobAccounting {
+    fn drop(&mut self) {
+        let m = job_metrics();
+        m.in_flight.sub(1);
+        m.runtime_us.record(self.0.elapsed().as_micros() as u64);
+    }
+}
 
 /// A handle to one detached background job spawned by [`spawn_job`].
 ///
@@ -58,9 +104,15 @@ where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
+    let m = job_metrics();
+    m.spawned.inc();
+    m.in_flight.add(1);
     let handle = std::thread::Builder::new()
         .name(format!("pdx-job-{label}"))
-        .spawn(f)
+        .spawn(move || {
+            let _accounting = JobAccounting(Instant::now());
+            f()
+        })
         .expect("spawn background job thread");
     JobHandle { label, handle }
 }

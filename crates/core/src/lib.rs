@@ -33,6 +33,11 @@
 //!   behind out-of-core deployments: lazily loaded buckets are pinned
 //!   via `Arc`, so eviction never invalidates an in-flight scan, and
 //!   hit/miss/eviction counters make the cache observable.
+//! * [`obs`] — the core side of the observability layer (`pdx-obs`):
+//!   the `PDX_TRACE` default for [`SearchOptions::trace`]
+//!   (engine::SearchOptions::trace), trace publication into the
+//!   process-global metric registry, and the derived pruning-ratio
+//!   family.
 //! * [`exec`] — the parallel execution engine: a std-only scoped-thread
 //!   worker pool ([`exec::ThreadPool`]), batch query sharding
 //!   ([`exec::BatchSearcher`]) and deterministic intra-query block-range
@@ -78,6 +83,7 @@ pub mod exec;
 pub mod heap;
 pub mod kernels;
 pub mod layout;
+pub mod obs;
 pub mod profile;
 pub mod pruning;
 pub mod search;
@@ -95,6 +101,8 @@ pub use kernels::{active_kernel_isa, detected_isa, KernelIsa, KernelPolicy};
 pub use layout::{
     DsmMatrix, DualBlockMatrix, NaryMatrix, PdxBlock, QuantizedPdxBlock, Sq8Quantizer,
 };
+pub use obs::{publish_trace, total_only_trace, trace_from_profile, TRACE_ENV};
+pub use pdx_obs::QueryTrace;
 pub use profile::SearchProfile;
 pub use pruning::{checkpoints, BlockAux, Pruner, StepPolicy};
 pub use search::{

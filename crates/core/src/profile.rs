@@ -1,12 +1,21 @@
-//! Phase timers for the Table 7 query-runtime breakdown.
+//! Phase timers and work counters for the Table 7 query-runtime
+//! breakdown.
 //!
 //! The paper splits an IVF query into four components: query
 //! preprocessing, finding the nearest buckets, bound evaluation and
 //! distance calculation. [`SearchProfile`] accumulates nanoseconds per
-//! phase; the profiled search path is a separate monomorphization so the
-//! unprofiled hot path carries zero timer overhead.
+//! phase plus the scan's work counters (blocks and vectors visited,
+//! dimension-values scanned vs total); the profiled search path is a
+//! separate monomorphization so the unprofiled hot path carries zero
+//! timer overhead.
+//!
+//! The pruning-effectiveness ratio the paper reports (`dims_pruned /
+//! dims_total`) is derived here, once — benches and the observability
+//! layer both read [`SearchProfile::pruning_ratio`] instead of
+//! recomputing it.
 
-/// Accumulated per-phase runtime of one or more queries, in nanoseconds.
+/// Accumulated per-phase runtime and work counters of one or more
+/// queries (times in nanoseconds).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchProfile {
     /// Query transformation (rotation) + visit-order computation.
@@ -17,6 +26,14 @@ pub struct SearchProfile {
     pub bounds_ns: u64,
     /// Distance-kernel accumulation.
     pub distance_ns: u64,
+    /// Blocks visited by the scan.
+    pub blocks: u64,
+    /// Vectors touched at least once.
+    pub vectors: u64,
+    /// Dimension-values a full scan of the visited blocks would read.
+    pub dims_total: u64,
+    /// Dimension-values actually read before pruning cut in.
+    pub dims_scanned: u64,
 }
 
 impl SearchProfile {
@@ -31,6 +48,10 @@ impl SearchProfile {
         self.find_buckets_ns += other.find_buckets_ns;
         self.bounds_ns += other.bounds_ns;
         self.distance_ns += other.distance_ns;
+        self.blocks += other.blocks;
+        self.vectors += other.vectors;
+        self.dims_total += other.dims_total;
+        self.dims_scanned += other.dims_scanned;
     }
 
     /// Percentage share of one phase (0–100), for table rendering.
@@ -40,6 +61,22 @@ impl SearchProfile {
             0.0
         } else {
             phase_ns as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// Dimension-values the pruner skipped.
+    pub fn dims_pruned(&self) -> u64 {
+        self.dims_total.saturating_sub(self.dims_scanned)
+    }
+
+    /// Fraction of dimension-values pruned, in `[0, 1]` (0 when no
+    /// work was recorded): the paper's pruning-power ratio,
+    /// `dims_pruned / dims_total`.
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.dims_total == 0 {
+            0.0
+        } else {
+            self.dims_pruned() as f64 / self.dims_total as f64
         }
     }
 }
@@ -55,6 +92,7 @@ mod tests {
             find_buckets_ns: 20,
             bounds_ns: 30,
             distance_ns: 40,
+            ..SearchProfile::default()
         };
         assert_eq!(p.total_ns(), 100);
         assert_eq!(p.share(p.distance_ns), 40.0);
@@ -67,14 +105,33 @@ mod tests {
             find_buckets_ns: 2,
             bounds_ns: 3,
             distance_ns: 4,
+            blocks: 5,
+            vectors: 6,
+            dims_total: 100,
+            dims_scanned: 40,
         };
         a.merge(&a.clone());
         assert_eq!(a.total_ns(), 20);
+        assert_eq!(a.blocks, 10);
+        assert_eq!(a.dims_total, 200);
+        assert_eq!(a.dims_scanned, 80);
     }
 
     #[test]
     fn empty_profile_has_zero_share() {
         let p = SearchProfile::default();
         assert_eq!(p.share(0), 0.0);
+        assert_eq!(p.pruning_ratio(), 0.0);
+    }
+
+    #[test]
+    fn pruning_ratio_is_derived() {
+        let p = SearchProfile {
+            dims_total: 1000,
+            dims_scanned: 100,
+            ..SearchProfile::default()
+        };
+        assert_eq!(p.dims_pruned(), 900);
+        assert!((p.pruning_ratio() - 0.9).abs() < 1e-12);
     }
 }

@@ -221,6 +221,14 @@ where
         }
         let dims = block.pdx.dims();
         assert_eq!(qdims, dims, "query dimensionality mismatch");
+        if PROFILE {
+            // Work counters for the pruning-effectiveness ratio:
+            // `dims_total` is what a full scan of the visited blocks
+            // would read; the scan functions below add what was read.
+            profile.blocks += 1;
+            profile.vectors += block.len() as u64;
+            profile.dims_total += (block.len() * dims) as u64;
+        }
         // The per-block dimension visit order is applied in *every*
         // phase — including the START linear scan — so a vector's
         // accumulated distance is a pure function of its block, not of
@@ -297,6 +305,9 @@ fn scan_block_linear<P: Pruner, const PROFILE: bool>(
         heap.push(block.row_ids[i], d);
     }
     lap(&mut profile.distance_ns, t0);
+    if PROFILE {
+        profile.dims_scanned += (n * dims) as u64;
+    }
 }
 
 /// WARMUP + PRUNE scan of one block.
@@ -344,6 +355,9 @@ fn scan_block_pruned<P: Pruner, const PROFILE: bool>(
                 }
             }
             lap(&mut profile.distance_ns, t0);
+            if PROFILE {
+                profile.dims_scanned += ((ck - scanned) * n) as u64;
+            }
             scanned = ck;
             if scanned == dims {
                 let t1 = timer::<PROFILE>();
@@ -412,6 +426,9 @@ fn scan_block_pruned<P: Pruner, const PROFILE: bool>(
                 scratch,
             );
             lap(&mut profile.distance_ns, t0);
+            if PROFILE {
+                profile.dims_scanned += ((ck - scanned) * scratch.positions.len()) as u64;
+            }
             scanned = ck;
             if scanned == dims {
                 let t1 = timer::<PROFILE>();
@@ -705,5 +722,12 @@ mod tests {
         let profiled = pdxearch_profiled(&bond, &blocks, &q, &params, &mut profile);
         assert_eq!(ids(&plain), ids(&profiled));
         assert!(profile.distance_ns > 0, "distance phase must be timed");
+        // Work counters: every visited block contributes, and the scan
+        // never reads more than a full scan would.
+        assert_eq!(profile.blocks, blocks.len() as u64);
+        assert_eq!(profile.vectors, n as u64);
+        assert_eq!(profile.dims_total, (n * d) as u64);
+        assert!(profile.dims_scanned > 0);
+        assert!(profile.dims_scanned <= profile.dims_total);
     }
 }

@@ -35,6 +35,15 @@
 //! configurations return bit-identical results from `search_batch` and
 //! `search_parallel` at any thread count (`tests/determinism.rs` pins
 //! all six).
+//!
+//! When [`SearchOptions::trace`] is set, each `search` runs the
+//! *profiled* monomorphization of its scan where one exists (the PDX
+//! deployments and the horizontal baseline) or just times the wall
+//! clock (SQ8, HNSW), then publishes one
+//! [`QueryTrace`](pdx_core::QueryTrace) through
+//! [`pdx_core::publish_trace`]. Profiled and unprofiled scans differ
+//! only in timer/counter side effects, so results stay bit-identical
+//! either way (`tests/obs.rs` pins this).
 
 use crate::{FlatPdx, FlatSq8, Hnsw, IvfHorizontal, IvfPdx, IvfSq8};
 use pdx_core::bond::PdxBond;
@@ -46,8 +55,16 @@ use pdx_core::pruning::Pruner;
 use pdx_core::search::quantized::{sq8_rerank, sq8_search_policy, sq8_two_phase_policy, Sq8Block};
 use pdx_core::search::{
     horizontal_linear_scan, horizontal_pruned_search_prepared, linear_scan_blocks,
-    pdxearch_prepared, HorizontalBucket,
+    pdxearch_prepared, pdxearch_profiled, HorizontalBucket,
 };
+use pdx_core::SearchProfile;
+use std::time::Instant;
+
+/// Candidates the SQ8 two-phase rerank pulls from the quantized scan:
+/// `refine · k`, clamped to the deployment size.
+fn sq8_rerank_candidates(opts: &SearchOptions, len: usize) -> u64 {
+    (opts.k * opts.refine.max(1)).min(len) as u64
+}
 
 /// Payload bytes of one resident `f32` search block: ids, stats, tiles.
 fn search_block_bytes(b: &SearchBlock) -> u64 {
@@ -77,6 +94,22 @@ impl VectorIndex for FlatPdx {
     /// Exact search over all partitions: PDX-BOND (`pruner` order) or a
     /// plain PDX linear scan.
     fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        if opts.trace {
+            let t0 = Instant::now();
+            let mut profile = SearchProfile::default();
+            let out = match opts.pruner {
+                PrunerKind::Bond(order) => {
+                    let bond = PdxBond::new(opts.metric, order);
+                    let blocks: Vec<&SearchBlock> = self.collection.blocks.iter().collect();
+                    pdxearch_profiled(&bond, &blocks, query, &opts.params(), &mut profile)
+                }
+                PrunerKind::Linear => self.linear_search(query, opts.k, opts.metric),
+            };
+            let trace =
+                pdx_core::trace_from_profile("flat-pdx", &profile, t0.elapsed().as_nanos() as u64);
+            pdx_core::publish_trace(&trace);
+            return out;
+        }
         match opts.pruner {
             PrunerKind::Bond(order) => {
                 let bond = PdxBond::new(opts.metric, order);
@@ -89,8 +122,15 @@ impl VectorIndex for FlatPdx {
     /// Overridden to hoist the block-reference gathering out of the
     /// per-query loop (flat partitions are query-independent); each
     /// query still runs the unmodified sequential scan, so results stay
-    /// bit-identical to a loop of [`VectorIndex::search`].
+    /// bit-identical to a loop of [`VectorIndex::search`]. A traced
+    /// batch takes the per-query path so every query publishes its own
+    /// trace.
     fn search_batch(&self, queries: &[f32], opts: &SearchOptions) -> Vec<Vec<Neighbor>> {
+        if opts.trace {
+            return BatchSearcher::new(opts.threads).run(queries, self.collection.dims, |q| {
+                VectorIndex::search(self, q, opts)
+            });
+        }
         let blocks: Vec<&SearchBlock> = self.collection.blocks.iter().collect();
         let searcher = BatchSearcher::new(opts.threads);
         match opts.pruner {
@@ -108,8 +148,12 @@ impl VectorIndex for FlatPdx {
         }
     }
 
+    /// Intra-query parallel scans have no profiled variant; a traced
+    /// call publishes a wall-time-only trace around the unmodified
+    /// parallel path.
     fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
-        match opts.pruner {
+        let t0 = opts.trace.then(Instant::now);
+        let out = match opts.pruner {
             PrunerKind::Bond(order) => {
                 let bond = PdxBond::new(opts.metric, order);
                 FlatPdx::search_parallel(self, &bond, query, &opts.params(), opts.threads)
@@ -121,7 +165,14 @@ impl VectorIndex for FlatPdx {
                     linear_scan_blocks(&blocks[range], query, opts.k, opts.metric)
                 })
             }
+        };
+        if let Some(t0) = t0 {
+            pdx_core::publish_trace(&pdx_core::total_only_trace(
+                "flat-pdx",
+                t0.elapsed().as_nanos() as u64,
+            ));
         }
+        out
     }
 
     fn resident_bytes(&self) -> u64 {
@@ -147,6 +198,28 @@ impl VectorIndex for IvfPdx {
     /// configurations).
     fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
         let nprobe = opts.resolve_nprobe(self.blocks.len());
+        if opts.trace {
+            let t0 = Instant::now();
+            let mut profile = SearchProfile::default();
+            let out = match opts.pruner {
+                PrunerKind::Bond(order) => {
+                    let bond = PdxBond::new(opts.metric, order);
+                    IvfPdx::search_profiled(
+                        self,
+                        &bond,
+                        query,
+                        nprobe,
+                        &opts.params(),
+                        &mut profile,
+                    )
+                }
+                PrunerKind::Linear => self.linear_search(query, opts.k, nprobe, opts.metric),
+            };
+            let trace =
+                pdx_core::trace_from_profile("ivf-pdx", &profile, t0.elapsed().as_nanos() as u64);
+            pdx_core::publish_trace(&trace);
+            return out;
+        }
         match opts.pruner {
             PrunerKind::Bond(order) => {
                 let bond = PdxBond::new(opts.metric, order);
@@ -156,9 +229,12 @@ impl VectorIndex for IvfPdx {
         }
     }
 
+    /// Traced calls publish a wall-time-only trace around the
+    /// unmodified parallel scan (no profiled variant).
     fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let t0 = opts.trace.then(Instant::now);
         let nprobe = opts.resolve_nprobe(self.blocks.len());
-        match opts.pruner {
+        let out = match opts.pruner {
             PrunerKind::Bond(order) => {
                 let bond = PdxBond::new(opts.metric, order);
                 IvfPdx::search_parallel(self, &bond, query, nprobe, &opts.params(), opts.threads)
@@ -172,7 +248,14 @@ impl VectorIndex for IvfPdx {
                     linear_scan_blocks(&blocks[range], query, opts.k, opts.metric)
                 })
             }
+        };
+        if let Some(t0) = t0 {
+            pdx_core::publish_trace(&pdx_core::total_only_trace(
+                "ivf-pdx",
+                t0.elapsed().as_nanos() as u64,
+            ));
         }
+        out
     }
 
     fn resident_bytes(&self) -> u64 {
@@ -200,6 +283,38 @@ impl VectorIndex for IvfHorizontal {
     /// interleaved Bond bound or the plain linear IVF_FLAT scan.
     fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
         let nprobe = opts.resolve_nprobe(self.buckets.len());
+        if opts.trace {
+            let t0 = Instant::now();
+            let mut profile = SearchProfile::default();
+            let out = match opts.pruner {
+                PrunerKind::Bond(order) => {
+                    let bond = PdxBond::new(opts.metric, order);
+                    IvfHorizontal::search_profiled(
+                        self,
+                        &bond,
+                        query,
+                        opts.k,
+                        nprobe,
+                        opts.kernel.horizontal_variant(),
+                        &mut profile,
+                    )
+                }
+                PrunerKind::Linear => self.linear_search(
+                    query,
+                    opts.k,
+                    nprobe,
+                    opts.metric,
+                    opts.kernel.horizontal_variant(),
+                ),
+            };
+            let trace = pdx_core::trace_from_profile(
+                "ivf-horizontal",
+                &profile,
+                t0.elapsed().as_nanos() as u64,
+            );
+            pdx_core::publish_trace(&trace);
+            return out;
+        }
         match opts.pruner {
             PrunerKind::Bond(order) => {
                 let bond = PdxBond::new(opts.metric, order);
@@ -229,9 +344,10 @@ impl VectorIndex for IvfHorizontal {
     /// itself ≥ the final k-th distance), segments accumulate in a
     /// fixed order, and the canonical merge retains the same set.
     fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let t0 = opts.trace.then(Instant::now);
         let nprobe = opts.resolve_nprobe(self.buckets.len());
         let pool = ThreadPool::new(opts.threads);
-        match opts.pruner {
+        let out = match opts.pruner {
             PrunerKind::Bond(order) => {
                 let bond = PdxBond::new(opts.metric, order);
                 let q = bond.prepare_query(query);
@@ -269,7 +385,14 @@ impl VectorIndex for IvfHorizontal {
                     )
                 })
             }
+        };
+        if let Some(t0) = t0 {
+            pdx_core::publish_trace(&pdx_core::total_only_trace(
+                "ivf-horizontal",
+                t0.elapsed().as_nanos() as u64,
+            ));
         }
+        out
     }
 }
 
@@ -292,31 +415,48 @@ impl VectorIndex for FlatSq8 {
 
     /// Two-phase query (quantized scan keeping `refine · k` candidates,
     /// exact rerank). A scan-only deployment (no rerank payload) returns
-    /// the top-`k` quantized estimates instead.
+    /// the top-`k` quantized estimates instead. The quantized scan has
+    /// no profiled variant, so a traced call records wall time plus the
+    /// rerank candidate count.
     fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let t0 = opts.trace.then(Instant::now);
         let blocks: Vec<&Sq8Block> = self.blocks.iter().collect();
-        if self.rows.is_empty() {
+        let out = if self.rows.is_empty() {
             let q = self.quantizer.prepare_query(opts.metric, query);
-            return sq8_search_policy(&q, &blocks, opts.k, opts.step, opts.kernel);
+            sq8_search_policy(&q, &blocks, opts.k, opts.step, opts.kernel)
+        } else {
+            sq8_two_phase_policy(
+                &self.quantizer,
+                &blocks,
+                &self.rows,
+                self.dims,
+                opts.metric,
+                query,
+                opts.k,
+                opts.refine,
+                opts.step,
+                opts.kernel,
+            )
+        };
+        if let Some(t0) = t0 {
+            let mut trace = pdx_core::total_only_trace(self.kind(), t0.elapsed().as_nanos() as u64);
+            if !self.rows.is_empty() {
+                trace.rerank_candidates = sq8_rerank_candidates(opts, self.total_vectors());
+            }
+            pdx_core::publish_trace(&trace);
         }
-        sq8_two_phase_policy(
-            &self.quantizer,
-            &blocks,
-            &self.rows,
-            self.dims,
-            opts.metric,
-            query,
-            opts.k,
-            opts.refine,
-            opts.step,
-            opts.kernel,
-        )
+        out
     }
 
     /// Overridden to hoist the block-reference gathering out of the
     /// per-query loop; results stay bit-identical to a sequential loop
-    /// of [`VectorIndex::search`].
+    /// of [`VectorIndex::search`]. A traced batch takes the per-query
+    /// path so every query publishes its own trace.
     fn search_batch(&self, queries: &[f32], opts: &SearchOptions) -> Vec<Vec<Neighbor>> {
+        if opts.trace {
+            return BatchSearcher::new(opts.threads)
+                .run(queries, self.dims, |q| VectorIndex::search(self, q, opts));
+        }
         let blocks: Vec<&Sq8Block> = self.blocks.iter().collect();
         let searcher = BatchSearcher::new(opts.threads);
         if self.rows.is_empty() {
@@ -343,26 +483,36 @@ impl VectorIndex for FlatSq8 {
     }
 
     fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let t0 = opts.trace.then(Instant::now);
         let blocks: Vec<&Sq8Block> = self.blocks.iter().collect();
         let pool = ThreadPool::new(opts.threads);
         let q = self.quantizer.prepare_query(opts.metric, query);
-        if self.rows.is_empty() {
-            return parallel_block_search(&pool, blocks.len(), opts.k, |range| {
+        let out = if self.rows.is_empty() {
+            parallel_block_search(&pool, blocks.len(), opts.k, |range| {
                 sq8_search_policy(&q, &blocks[range], opts.k, opts.step, opts.kernel)
+            })
+        } else {
+            let c = opts.k * opts.refine.max(1);
+            let candidates = parallel_block_search(&pool, blocks.len(), c, |range| {
+                sq8_search_policy(&q, &blocks[range], c, opts.step, opts.kernel)
             });
+            sq8_rerank(
+                opts.metric,
+                &self.rows,
+                self.dims,
+                query,
+                &candidates,
+                opts.k,
+            )
+        };
+        if let Some(t0) = t0 {
+            let mut trace = pdx_core::total_only_trace(self.kind(), t0.elapsed().as_nanos() as u64);
+            if !self.rows.is_empty() {
+                trace.rerank_candidates = sq8_rerank_candidates(opts, self.total_vectors());
+            }
+            pdx_core::publish_trace(&trace);
         }
-        let c = opts.k * opts.refine.max(1);
-        let candidates = parallel_block_search(&pool, blocks.len(), c, |range| {
-            sq8_search_policy(&q, &blocks[range], c, opts.step, opts.kernel)
-        });
-        sq8_rerank(
-            opts.metric,
-            &self.rows,
-            self.dims,
-            query,
-            &candidates,
-            opts.k,
-        )
+        out
     }
 
     fn resident_bytes(&self) -> u64 {
@@ -383,12 +533,17 @@ impl VectorIndex for IvfSq8 {
         "ivf-sq8"
     }
 
-    /// Two-phase query over the `nprobe` nearest buckets.
+    /// Two-phase query over the `nprobe` nearest buckets. Traced calls
+    /// record wall time, the probed block count and the rerank
+    /// candidate count (the quantized scan has no profiled variant).
     fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let t0 = opts.trace.then(Instant::now);
         let nprobe = opts.resolve_nprobe(self.blocks.len());
         let order = self.probe_order(query, nprobe, opts.metric);
         let blocks: Vec<&Sq8Block> = order.iter().map(|&b| &self.blocks[b as usize]).collect();
-        sq8_two_phase_policy(
+        let probed: u64 = blocks.len() as u64;
+        let probed_vectors: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+        let out = sq8_two_phase_policy(
             &self.quantizer,
             &blocks,
             &self.rows,
@@ -399,13 +554,22 @@ impl VectorIndex for IvfSq8 {
             opts.refine,
             opts.step,
             opts.kernel,
-        )
+        );
+        if let Some(t0) = t0 {
+            let mut trace = pdx_core::total_only_trace("ivf-sq8", t0.elapsed().as_nanos() as u64);
+            trace.blocks_visited = probed;
+            trace.vectors_visited = probed_vectors;
+            trace.rerank_candidates = sq8_rerank_candidates(opts, probed_vectors as usize);
+            pdx_core::publish_trace(&trace);
+        }
+        out
     }
 
     /// Probes once, splits the quantized scan into per-worker bucket
     /// ranges, merges the candidate sets canonically and reranks —
     /// bit-identical to the sequential two-phase search at any width.
     fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let t0 = opts.trace.then(Instant::now);
         let nprobe = opts.resolve_nprobe(self.blocks.len());
         let order = self.probe_order(query, nprobe, opts.metric);
         let blocks: Vec<&Sq8Block> = order.iter().map(|&b| &self.blocks[b as usize]).collect();
@@ -415,14 +579,23 @@ impl VectorIndex for IvfSq8 {
         let candidates = parallel_block_search(&pool, blocks.len(), c, |range| {
             sq8_search_policy(&q, &blocks[range], c, opts.step, opts.kernel)
         });
-        sq8_rerank(
+        let out = sq8_rerank(
             opts.metric,
             &self.rows,
             self.dims,
             query,
             &candidates,
             opts.k,
-        )
+        );
+        if let Some(t0) = t0 {
+            let probed_vectors: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+            let mut trace = pdx_core::total_only_trace("ivf-sq8", t0.elapsed().as_nanos() as u64);
+            trace.blocks_visited = blocks.len() as u64;
+            trace.vectors_visited = probed_vectors;
+            trace.rerank_candidates = sq8_rerank_candidates(opts, probed_vectors as usize);
+            pdx_core::publish_trace(&trace);
+        }
+        out
     }
 
     fn resident_bytes(&self) -> u64 {
@@ -451,7 +624,15 @@ impl VectorIndex for Hnsw {
     /// block-splittable): batches shard across the pool one query per
     /// work item, `search_parallel` is the sequential search.
     fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
-        Hnsw::search(self, query, opts.k, opts.resolve_ef())
+        let t0 = opts.trace.then(Instant::now);
+        let out = Hnsw::search(self, query, opts.k, opts.resolve_ef());
+        if let Some(t0) = t0 {
+            pdx_core::publish_trace(&pdx_core::total_only_trace(
+                "hnsw",
+                t0.elapsed().as_nanos() as u64,
+            ));
+        }
+        out
     }
 }
 

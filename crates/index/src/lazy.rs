@@ -405,8 +405,31 @@ impl VectorIndex for LazyIvf {
 
     /// Mirrors the resident `IvfPdx` implementation bucket for bucket;
     /// only the block source differs (cache fetch vs `Vec` index).
+    ///
+    /// Traced calls record wall time plus the cache hit/miss delta
+    /// around the scan. The delta reads the shared cache counters, so
+    /// concurrent queries can blur each other's attribution — the
+    /// aggregate across queries is exact.
     fn search(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
         let nprobe = opts.resolve_nprobe(self.buckets.len());
+        if opts.trace {
+            let before = LazyIvf::cache_stats(self);
+            let t0 = std::time::Instant::now();
+            let out = match opts.pruner {
+                PrunerKind::Bond(order) => {
+                    let bond = PdxBond::new(opts.metric, order);
+                    LazyIvf::search(self, &bond, query, nprobe, &opts.params())
+                }
+                PrunerKind::Linear => self.linear_search(query, opts.k, nprobe, opts.metric),
+            };
+            let total_ns = t0.elapsed().as_nanos() as u64;
+            let after = LazyIvf::cache_stats(self);
+            let mut trace = pdx_core::total_only_trace("ivf-pdx-lazy", total_ns);
+            trace.cache_hits = after.hits.saturating_sub(before.hits);
+            trace.cache_misses = after.misses.saturating_sub(before.misses);
+            pdx_core::publish_trace(&trace);
+            return out;
+        }
         match opts.pruner {
             PrunerKind::Bond(order) => {
                 let bond = PdxBond::new(opts.metric, order);
@@ -417,8 +440,9 @@ impl VectorIndex for LazyIvf {
     }
 
     fn search_parallel(&self, query: &[f32], opts: &SearchOptions) -> Vec<Neighbor> {
+        let t0 = opts.trace.then(std::time::Instant::now);
         let nprobe = opts.resolve_nprobe(self.buckets.len());
-        match opts.pruner {
+        let out = match opts.pruner {
             PrunerKind::Bond(order) => {
                 let bond = PdxBond::new(opts.metric, order);
                 LazyIvf::search_parallel(self, &bond, query, nprobe, &opts.params(), opts.threads)
@@ -432,7 +456,14 @@ impl VectorIndex for LazyIvf {
                     linear_scan_blocks(&blocks[range], query, opts.k, opts.metric)
                 })
             }
+        };
+        if let Some(t0) = t0 {
+            pdx_core::publish_trace(&pdx_core::total_only_trace(
+                "ivf-pdx-lazy",
+                t0.elapsed().as_nanos() as u64,
+            ));
         }
+        out
     }
 
     fn resident_bytes(&self) -> u64 {

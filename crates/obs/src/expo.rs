@@ -1,0 +1,143 @@
+//! Prometheus text exposition format (version 0.0.4) rendering
+//! helpers.
+//!
+//! Shared between [`crate::Registry::render`] and callers that expose
+//! ad-hoc families computed at scrape time (derived ratios, snapshot
+//! gauges read from non-registry sources).
+
+use crate::hist::Histogram;
+use std::fmt::Write;
+
+/// Returns true when `name` is a valid Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Returns true when `name` is a valid Prometheus label name
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`).
+pub fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escapes a HELP line: backslash and newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double-quote and newline.
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a `{k="v",...}` block (empty string for no labels).
+pub fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Merges the family label set with an extra `le` label for histogram
+/// bucket lines.
+fn label_block_with_le(labels: &[(String, String)], le: &str) -> String {
+    let mut all: Vec<(String, String)> = labels.to_vec();
+    all.push(("le".to_string(), le.to_string()));
+    label_block(&all)
+}
+
+/// Appends the `# HELP` / `# TYPE` header for a family.
+pub fn push_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Appends one `name{labels} value` sample line with an integer value.
+pub fn push_sample(out: &mut String, name: &str, labels: &[(String, String)], value: u64) {
+    let _ = writeln!(out, "{name}{} {value}", label_block(labels));
+}
+
+/// Appends a complete single-sample gauge family with a float value
+/// (used for derived ratios computed at scrape time).
+pub fn push_gauge_f64(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &[(String, String)],
+    value: f64,
+) {
+    push_header(out, name, help, "gauge");
+    let _ = writeln!(out, "{name}{} {value}", label_block(labels));
+}
+
+/// Appends a complete histogram family in cumulative `_bucket` /
+/// `_sum` / `_count` form. Octaves past the last non-empty one are
+/// trimmed; the `+Inf` bucket always carries the total count.
+pub fn push_histogram(out: &mut String, name: &str, labels: &[(String, String)], h: &Histogram) {
+    for (le, cumulative) in h.cumulative_octaves() {
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            label_block_with_le(labels, &le.to_string())
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {}",
+        label_block_with_le(labels, "+Inf"),
+        h.count()
+    );
+    push_sample(out, &format!("{name}_sum"), labels, h.sum());
+    push_sample(out, &format!("{name}_count"), labels, h.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_metric_name("pdx_cache_hits_total"));
+        assert!(valid_metric_name("_x:y"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("9lives"));
+        assert!(!valid_metric_name("has space"));
+        assert!(valid_label_name("deployment"));
+        assert!(!valid_label_name("le:gs"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let labels = vec![("path".to_string(), "a\"b\\c\nd".to_string())];
+        let block = label_block(&labels);
+        assert_eq!(block, "{path=\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn histogram_lines_have_inf_and_count() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(500);
+        let mut out = String::new();
+        push_histogram(&mut out, "t_us", &[], &h);
+        assert!(out.contains("t_us_bucket{le=\"+Inf\"} 2"), "{out}");
+        assert!(out.contains("t_us_sum 505"), "{out}");
+        assert!(out.contains("t_us_count 2"), "{out}");
+    }
+}

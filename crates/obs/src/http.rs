@@ -1,0 +1,307 @@
+//! A minimal hand-rolled HTTP/1.1 exposition listener.
+//!
+//! Speaks just enough of the protocol for a Prometheus scraper or
+//! `curl`: `GET /metrics` returns the caller-supplied render callback
+//! output in text exposition format, `GET /healthz` returns `ok`.
+//! Everything else is a polite 404/405/400 with `Connection: close`.
+//!
+//! Hardening over features: request lines are length-capped, reads
+//! carry a timeout so a stalled client can't pin a handler thread,
+//! and malformed or partial requests are answered (or dropped) and
+//! closed without ever panicking.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The longest request head (request line + headers) we accept.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// How long a handler waits for a slow client before dropping it.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Renders the `/metrics` body at scrape time.
+pub type RenderFn = dyn Fn() -> String + Send + Sync;
+
+/// The exposition listener; shuts down cleanly on [`MetricsServer::shutdown`]
+/// or drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `127.0.0.1:port` (`port = 0` picks a free port) and
+    /// starts answering scrapes with `render`'s output.
+    pub fn start(port: u16, render: Arc<RenderFn>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("pdx-metrics".to_string())
+                .spawn(move || accept_loop(listener, stop, render))?
+        };
+        Ok(Self {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with `port = 0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>, render: Arc<RenderFn>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let render = Arc::clone(&render);
+        // Handler threads are detached: each is bounded by the read
+        // timeout and the response write, so they drain on their own.
+        let _ = std::thread::Builder::new()
+            .name("pdx-metrics-conn".to_string())
+            .spawn(move || handle_conn(stream, render.as_ref()));
+    }
+}
+
+/// Reads the request head (through the `\r\n\r\n` terminator), bounded
+/// in both bytes and time. Returns `None` for connections that stall,
+/// disconnect early, or overrun the cap.
+fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => n,
+            Err(_) => return None,
+        };
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return None;
+        }
+    }
+    String::from_utf8(head).ok()
+}
+
+fn write_response(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle_conn(mut stream: TcpStream, render: &RenderFn) {
+    let Some(head) = read_head(&mut stream) else {
+        // Unparseable or stalled: close without a response.
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    };
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path, version) = (parts.next(), parts.next(), parts.next());
+    match (method, path, version) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => match (m, p) {
+            ("GET", "/metrics") => write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &render(),
+            ),
+            ("GET", "/healthz") => {
+                write_response(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n")
+            }
+            ("GET", _) => write_response(
+                &mut stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n",
+            ),
+            _ => write_response(
+                &mut stream,
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                "method not allowed\n",
+            ),
+        },
+        _ => write_response(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "bad request\n",
+        ),
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let _ = s.read_to_string(&mut out);
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_healthz() {
+        let mut srv = MetricsServer::start(0, Arc::new(|| "a_total 1\n".to_string())).unwrap();
+        let addr = srv.local_addr();
+        let got = scrape(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 200 OK"), "{got}");
+        assert!(got.contains("version=0.0.4"), "{got}");
+        assert!(got.ends_with("a_total 1\n"), "{got}");
+        let health = scrape(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+        let missing = scrape(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let post = scrape(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn content_length_matches_body() {
+        let mut srv =
+            MetricsServer::start(0, Arc::new(|| "x_total 7\ny_total 8\n".to_string())).unwrap();
+        let got = scrape(srv.local_addr(), "GET /metrics HTTP/1.1\r\n\r\n");
+        let mut lines = got.split("\r\n\r\n");
+        let head = lines.next().unwrap();
+        let body = lines.next().unwrap();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_never_panic() {
+        let mut srv = MetricsServer::start(0, Arc::new(String::new)).unwrap();
+        let addr = srv.local_addr();
+        // Garbage with a blank line: parsed, answered 400.
+        let got = scrape(addr, "\x00\x01\x02 garbage\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 400"), "{got:?}");
+        // Missing version.
+        let got = scrape(addr, "GET /metrics\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 400"), "{got:?}");
+        // Partial request then close: server just drops it.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /met").unwrap();
+            drop(s);
+        }
+        // Oversized head: dropped without response.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let big = vec![b'a'; MAX_HEAD_BYTES + 1024];
+            let _ = s.write_all(&big);
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+            assert!(buf.is_empty(), "expected drop, got {buf:?}");
+        }
+        // The server still answers after the abuse.
+        let health = scrape(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_answer() {
+        let mut srv = MetricsServer::start(0, Arc::new(|| "z_total 1\n".repeat(64))).unwrap();
+        let addr = srv.local_addr();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        let got = scrape(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+                        assert!(got.starts_with("HTTP/1.1 200"), "{got}");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        srv.shutdown();
+        // Shut down: new connections are refused or closed unanswered.
+        let answered = TcpStream::connect(addr)
+            .map(|mut s| {
+                let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+                let mut out = String::new();
+                let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = s.read_to_string(&mut out);
+                out
+            })
+            .unwrap_or_default();
+        assert!(
+            !answered.contains("200 OK"),
+            "server answered after shutdown: {answered}"
+        );
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut srv = MetricsServer::start(0, Arc::new(String::new)).unwrap();
+        srv.shutdown();
+        srv.shutdown();
+    }
+}

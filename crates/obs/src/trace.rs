@@ -1,0 +1,193 @@
+//! Per-query tracing.
+//!
+//! A [`QueryTrace`] carries the paper-native accounting for one
+//! search: where the time went (the Table 7 phase split) and how much
+//! work the pruner saved (blocks and vectors visited, dimensions
+//! scanned vs total, quantized rerank candidates, cache traffic).
+//!
+//! Traces flow bottom-up: the engine layer fills one in when tracing
+//! is requested and hands it to [`record`], which merges it into the
+//! thread-local slot installed by [`capture`]. A server worker wraps
+//! each request in `capture` and feeds the result to the slow-query
+//! log; when no capture is active, `record` is a thread-local check
+//! and nothing more.
+
+use std::cell::RefCell;
+
+/// Phase timings and work counters for one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// End-to-end search time, nanoseconds.
+    pub total_ns: u64,
+    /// Query preprocessing (normalization, rotation, quantization).
+    pub preprocess_ns: u64,
+    /// Bucket selection / probe ordering.
+    pub find_buckets_ns: u64,
+    /// Pruning-bound evaluation.
+    pub bounds_ns: u64,
+    /// Distance kernel time.
+    pub distance_ns: u64,
+    /// Blocks visited by the scan.
+    pub blocks_visited: u64,
+    /// Vectors touched at least once.
+    pub vectors_visited: u64,
+    /// Dimension-values a full scan of the visited blocks would read.
+    pub dims_total: u64,
+    /// Dimension-values actually read before pruning cut in.
+    pub dims_scanned: u64,
+    /// Candidates reranked by the two-phase quantized path.
+    pub rerank_candidates: u64,
+    /// Block-cache hits charged to this query.
+    pub cache_hits: u64,
+    /// Block-cache misses charged to this query.
+    pub cache_misses: u64,
+    /// Deployment that served the query (e.g. `"ivf-pdx"`).
+    pub deployment: &'static str,
+    /// Kernel ISA the dispatcher resolved (e.g. `"avx2"`).
+    pub kernel_isa: &'static str,
+}
+
+impl QueryTrace {
+    /// Dimension-values the pruner skipped.
+    pub fn dims_pruned(&self) -> u64 {
+        self.dims_total.saturating_sub(self.dims_scanned)
+    }
+
+    /// Fraction of dimension-values pruned, in `[0, 1]` (0 when no
+    /// work was recorded). This is the paper's pruning-power ratio.
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.dims_total == 0 {
+            0.0
+        } else {
+            self.dims_pruned() as f64 / self.dims_total as f64
+        }
+    }
+
+    /// Accumulates another trace into this one (times and counters
+    /// add; identity fields keep the first non-empty value).
+    pub fn merge(&mut self, other: &QueryTrace) {
+        self.total_ns += other.total_ns;
+        self.preprocess_ns += other.preprocess_ns;
+        self.find_buckets_ns += other.find_buckets_ns;
+        self.bounds_ns += other.bounds_ns;
+        self.distance_ns += other.distance_ns;
+        self.blocks_visited += other.blocks_visited;
+        self.vectors_visited += other.vectors_visited;
+        self.dims_total += other.dims_total;
+        self.dims_scanned += other.dims_scanned;
+        self.rerank_candidates += other.rerank_candidates;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        if self.deployment.is_empty() {
+            self.deployment = other.deployment;
+        }
+        if self.kernel_isa.is_empty() {
+            self.kernel_isa = other.kernel_isa;
+        }
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<QueryTrace>> = const { RefCell::new(None) };
+}
+
+/// Clears the slot even if the captured closure panics, so a poisoned
+/// worker doesn't leak a stale trace into its next request.
+struct SlotGuard;
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| *a.borrow_mut() = None);
+    }
+}
+
+/// Runs `f` with a fresh thread-local trace slot installed and
+/// returns its result together with everything [`record`]ed during
+/// the call (from this thread).
+///
+/// Captures don't nest: an inner `capture` takes over the slot for
+/// its duration, and its records are not visible to the outer one.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, QueryTrace) {
+    let guard = SlotGuard;
+    ACTIVE.with(|a| *a.borrow_mut() = Some(QueryTrace::default()));
+    let out = f();
+    let trace = ACTIVE.with(|a| a.borrow_mut().take()).unwrap_or_default();
+    drop(guard);
+    (out, trace)
+}
+
+/// True when a [`capture`] is active on this thread.
+pub fn capturing() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Merges `trace` into the active capture slot, if any. A no-op
+/// (one thread-local check) outside a capture.
+pub fn record(trace: &QueryTrace) {
+    ACTIVE.with(|a| {
+        if let Some(active) = a.borrow_mut().as_mut() {
+            active.merge(trace);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_derived_and_bounded() {
+        let t = QueryTrace {
+            dims_total: 1000,
+            dims_scanned: 250,
+            ..QueryTrace::default()
+        };
+        assert_eq!(t.dims_pruned(), 750);
+        assert!((t.pruning_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(QueryTrace::default().pruning_ratio(), 0.0);
+    }
+
+    #[test]
+    fn capture_collects_records() {
+        assert!(!capturing());
+        let ((), trace) = capture(|| {
+            assert!(capturing());
+            record(&QueryTrace {
+                total_ns: 10,
+                blocks_visited: 2,
+                deployment: "flat-pdx",
+                ..QueryTrace::default()
+            });
+            record(&QueryTrace {
+                total_ns: 5,
+                blocks_visited: 1,
+                deployment: "ivf-pdx",
+                ..QueryTrace::default()
+            });
+        });
+        assert_eq!(trace.total_ns, 15);
+        assert_eq!(trace.blocks_visited, 3);
+        // First non-empty identity wins.
+        assert_eq!(trace.deployment, "flat-pdx");
+        assert!(!capturing());
+    }
+
+    #[test]
+    fn record_outside_capture_is_a_no_op() {
+        record(&QueryTrace {
+            total_ns: 1,
+            ..QueryTrace::default()
+        });
+        let ((), trace) = capture(|| {});
+        assert_eq!(trace, QueryTrace::default());
+    }
+
+    #[test]
+    fn capture_slot_clears_after_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = capture(|| panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(!capturing());
+    }
+}

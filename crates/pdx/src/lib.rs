@@ -15,6 +15,9 @@
 //!   query service (length-prefixed protocol, deadlines, admission
 //!   control) and its blocking client.
 //! * [`linalg`] ([`pdx_linalg`]) — the linear-algebra substrate.
+//! * [`obs`] ([`pdx_obs`]) — the observability substrate: the metric
+//!   registry, per-query traces, the slow-query log and the
+//!   Prometheus `/metrics` exposition server.
 //!
 //! ## Quickstart
 //!
@@ -147,6 +150,7 @@ pub use pdx_datasets as datasets;
 pub use pdx_engine as engine;
 pub use pdx_index as index;
 pub use pdx_linalg as linalg;
+pub use pdx_obs as obs;
 pub use pdx_pruners as pruners;
 pub use pdx_serve as serve;
 pub use pdx_store as store;

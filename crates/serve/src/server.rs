@@ -29,6 +29,7 @@ use pdx_core::engine::{SearchOptions, VectorIndex};
 use pdx_core::exec::{resolve_threads, spawn_job, JobHandle};
 use pdx_core::KernelPolicy;
 use pdx_engine::{AnyIndex, OpenOptions};
+use pdx_obs::{expo, trace, MetricsServer, Registry, SlowQueryLog};
 use pdx_store::{Collection, ShardedCollection, StoreError, MANIFEST_FILE};
 use std::collections::VecDeque;
 use std::io::{self, Read};
@@ -60,6 +61,19 @@ pub struct ServeConfig {
     /// (distances are bit-identical across policies). The resolved ISA
     /// is surfaced in the `Stats` report.
     pub kernel: KernelPolicy,
+    /// Port for the HTTP exposition endpoint (`GET /metrics` in
+    /// Prometheus text format, `GET /healthz`); `0` disables it.
+    /// Binding the port turns per-query tracing on.
+    pub metrics_port: u16,
+    /// Slow-query threshold in microseconds; a traced query at or over
+    /// it is written to the slow-query log (one JSON line on stderr).
+    /// `0` disables the log.
+    pub slow_query_us: u64,
+    /// Baseline sampling for the slow-query log: additionally log
+    /// every `n`-th query *regardless* of latency, so the log carries
+    /// a trickle of normal queries to compare the slow ones against.
+    /// `0` (the default) logs slow queries only.
+    pub slow_sample: u64,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +84,9 @@ impl Default for ServeConfig {
             default_deadline_ms: 0,
             max_frame: DEFAULT_MAX_FRAME,
             kernel: KernelPolicy::Auto,
+            metrics_port: 0,
+            slow_query_us: 0,
+            slow_sample: 0,
         }
     }
 }
@@ -253,6 +270,11 @@ struct Shared {
     available: Condvar,
     stop: AtomicBool,
     started: Instant,
+    /// Whether workers run queries with per-query tracing (set when
+    /// the metrics endpoint or the slow-query log is configured).
+    trace: bool,
+    /// The sampling slow-query log, when configured.
+    slow_log: Option<SlowQueryLog>,
 }
 
 impl Shared {
@@ -273,6 +295,126 @@ impl Shared {
             self.backend.readings(),
         )
     }
+
+    /// Renders the full Prometheus exposition: server-level families,
+    /// everything in the process-global registry (search, cache, WAL,
+    /// maintenance, exec), and the derived ratios.
+    fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(8 * 1024);
+        let queue_depth = self.queue.lock().expect("queue lock").len() as u64;
+        let m = &self.metrics;
+        expo::push_header(
+            &mut out,
+            "pdx_serve_requests_completed_total",
+            "Requests executed to completion.",
+            "counter",
+        );
+        expo::push_sample(
+            &mut out,
+            "pdx_serve_requests_completed_total",
+            &[],
+            m.completed.load(Ordering::Relaxed),
+        );
+        expo::push_header(
+            &mut out,
+            "pdx_serve_rejected_total",
+            "Requests rejected before execution.",
+            "counter",
+        );
+        expo::push_sample(
+            &mut out,
+            "pdx_serve_rejected_total",
+            &[("reason".to_string(), "busy".to_string())],
+            m.busy_rejected.load(Ordering::Relaxed),
+        );
+        expo::push_sample(
+            &mut out,
+            "pdx_serve_rejected_total",
+            &[("reason".to_string(), "deadline".to_string())],
+            m.deadline_rejected.load(Ordering::Relaxed),
+        );
+        expo::push_sample(
+            &mut out,
+            "pdx_serve_rejected_total",
+            &[("reason".to_string(), "protocol".to_string())],
+            m.protocol_errors.load(Ordering::Relaxed),
+        );
+        expo::push_header(
+            &mut out,
+            "pdx_serve_in_flight",
+            "Requests currently executing on workers.",
+            "gauge",
+        );
+        expo::push_sample(
+            &mut out,
+            "pdx_serve_in_flight",
+            &[],
+            m.in_flight.load(Ordering::Relaxed),
+        );
+        expo::push_header(
+            &mut out,
+            "pdx_serve_queue_depth",
+            "Requests waiting in the admission queue.",
+            "gauge",
+        );
+        expo::push_sample(&mut out, "pdx_serve_queue_depth", &[], queue_depth);
+        expo::push_header(
+            &mut out,
+            "pdx_serve_queue_capacity",
+            "Admission queue capacity.",
+            "gauge",
+        );
+        expo::push_sample(
+            &mut out,
+            "pdx_serve_queue_capacity",
+            &[],
+            self.config.queue_depth as u64,
+        );
+        expo::push_header(
+            &mut out,
+            "pdx_serve_uptime_seconds",
+            "Seconds since the server started.",
+            "gauge",
+        );
+        expo::push_sample(
+            &mut out,
+            "pdx_serve_uptime_seconds",
+            &[],
+            self.started.elapsed().as_secs(),
+        );
+        expo::push_header(
+            &mut out,
+            "pdx_serve_latency_us",
+            "Service latency (arrival to response written), microseconds.",
+            "histogram",
+        );
+        expo::push_histogram(&mut out, "pdx_serve_latency_us", &[], &m.latency);
+        let readings = self.backend.readings();
+        expo::push_header(
+            &mut out,
+            "pdx_serve_resident_bytes",
+            "Bytes the backend holds resident.",
+            "gauge",
+        );
+        expo::push_sample(
+            &mut out,
+            "pdx_serve_resident_bytes",
+            &[],
+            readings.resident_bytes,
+        );
+        if let Some(log) = &self.slow_log {
+            expo::push_header(
+                &mut out,
+                "pdx_serve_slow_queries_total",
+                "Traced queries at or over the slow-query threshold.",
+                "counter",
+            );
+            expo::push_sample(&mut out, "pdx_serve_slow_queries_total", &[], log.seen());
+        }
+        out.push_str(&Registry::global().render());
+        pdx_core::obs::render_derived(&mut out);
+        out
+    }
 }
 
 /// A running query server; dropping it shuts it down cleanly.
@@ -281,14 +423,19 @@ pub struct Server {
     addr: SocketAddr,
     accept: Option<JobHandle<()>>,
     workers: Vec<JobHandle<()>>,
+    /// The HTTP exposition endpoint, when configured (its `Drop` shuts
+    /// it down with the server).
+    metrics_http: Option<MetricsServer>,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop and worker threads.
+    /// accept loop and worker threads. When the config names a metrics
+    /// port, also binds `127.0.0.1:<metrics_port>` for `GET /metrics`
+    /// and `GET /healthz` and turns per-query tracing on.
     ///
     /// # Errors
-    /// Propagates bind failures.
+    /// Propagates bind failures (the query port and the metrics port).
     pub fn start(
         backend: Backend,
         addr: impl ToSocketAddrs,
@@ -296,6 +443,13 @@ impl Server {
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let metrics_on = config.metrics_port != 0;
+        let slow_log = (config.slow_query_us > 0 || config.slow_sample > 0)
+            .then(|| SlowQueryLog::new(config.slow_query_us, config.slow_sample));
+        // Pre-register the families a scrape expects, so they expose
+        // at zero before the first traced query / write.
+        pdx_core::obs::touch(backend.index().kind());
+        pdx_store::obs::touch();
         let shared = Arc::new(Shared {
             backend,
             config,
@@ -304,7 +458,18 @@ impl Server {
             available: Condvar::new(),
             stop: AtomicBool::new(false),
             started: Instant::now(),
+            trace: metrics_on || slow_log.is_some(),
+            slow_log,
         });
+        let metrics_http = if metrics_on {
+            let render_shared = Arc::clone(&shared);
+            Some(MetricsServer::start(
+                config.metrics_port,
+                Arc::new(move || render_shared.render_prometheus()),
+            )?)
+        } else {
+            None
+        };
         let workers = (0..resolve_threads(config.workers))
             .map(|_| {
                 let shared = Arc::clone(&shared);
@@ -320,12 +485,18 @@ impl Server {
             addr,
             accept: Some(accept),
             workers,
+            metrics_http,
         })
     }
 
     /// The bound address (resolves the ephemeral port of `:0` binds).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound metrics-endpoint address, when one is configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_http.as_ref().map(MetricsServer::local_addr)
     }
 
     /// A statistics snapshot (same data as the wire `Stats` response).
@@ -352,6 +523,9 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             worker.join();
+        }
+        if let Some(metrics) = &mut self.metrics_http {
+            metrics.shutdown();
         }
     }
 }
@@ -553,7 +727,25 @@ fn worker_loop(shared: &Shared) {
             }
         }
         shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-        let resp = execute(&shared.backend, shared.config.kernel, &job.req);
+        let resp = if shared.trace {
+            // Capture the query's trace (the index layer publishes it
+            // into the registry either way) and feed the slow-query
+            // log with the *service* latency — queueing included,
+            // that's what the threshold means to an operator.
+            let (resp, mut captured) = trace::capture(|| {
+                execute_with_trace(&shared.backend, shared.config.kernel, &job.req, true)
+            });
+            if let Some(log) = &shared.slow_log {
+                captured.total_ns = job.arrived.elapsed().as_nanos() as u64;
+                log.observe(
+                    &captured,
+                    &[("request", request_name(&job.req).to_string())],
+                );
+            }
+            resp
+        } else {
+            execute(&shared.backend, shared.config.kernel, &job.req)
+        };
         shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
         shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
         shared
@@ -564,12 +756,21 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn search_options(k: u32, nprobe: u32, refine: u32, kernel: KernelPolicy) -> SearchOptions {
+fn search_options(
+    k: u32,
+    nprobe: u32,
+    refine: u32,
+    kernel: KernelPolicy,
+    traced: bool,
+) -> SearchOptions {
     // Workers are the unit of parallelism: each request runs
     // single-threaded so `workers` requests proceed concurrently.
     let mut opts = SearchOptions::new(k as usize)
         .with_threads(1)
         .with_kernel(kernel);
+    // `trace` defaults to the PDX_TRACE env; the server can only turn
+    // it *on* (metrics endpoint / slow-query log), never off.
+    opts.trace |= traced;
     if nprobe > 0 {
         opts = opts.with_nprobe(nprobe as usize);
     }
@@ -583,11 +784,35 @@ fn store_error(err: &StoreError) -> Response {
     Response::error(ErrorKind::Store, err.to_string())
 }
 
+/// Short request tag for the slow-query log.
+fn request_name(req: &Request) -> &'static str {
+    match req {
+        Request::Search { .. } => "search",
+        Request::SearchBatch { .. } => "search_batch",
+        Request::Insert { .. } => "insert",
+        Request::Delete { .. } => "delete",
+        Request::Ping => "ping",
+        Request::Stats { .. } => "stats",
+    }
+}
+
 /// Executes one admitted request against the backend. Total: every
 /// outcome is a response frame, including shape mismatches (typed
 /// `Protocol`) and mutations against frozen containers (typed
 /// `Unsupported`).
 fn execute(backend: &Backend, kernel: KernelPolicy, req: &Request) -> Response {
+    execute_with_trace(backend, kernel, req, false)
+}
+
+/// [`execute`] with per-query tracing forced on (results are
+/// bit-identical; the traced scans differ only in timer/counter side
+/// effects).
+fn execute_with_trace(
+    backend: &Backend,
+    kernel: KernelPolicy,
+    req: &Request,
+    traced: bool,
+) -> Response {
     let dims = backend.index().dims();
     match req {
         Request::Search {
@@ -606,7 +831,7 @@ fn execute(backend: &Backend, kernel: KernelPolicy, req: &Request) -> Response {
             if *k == 0 {
                 return Response::Neighbors(Vec::new());
             }
-            let opts = search_options(*k, *nprobe, *refine, kernel);
+            let opts = search_options(*k, *nprobe, *refine, kernel, traced);
             Response::Neighbors(backend.index().search(query, &opts))
         }
         Request::SearchBatch {
@@ -627,7 +852,7 @@ fn execute(backend: &Backend, kernel: KernelPolicy, req: &Request) -> Response {
                 let n = queries.len() / dims.max(1);
                 return Response::Batch(vec![Vec::new(); n]);
             }
-            let opts = search_options(*k, *nprobe, *refine, kernel);
+            let opts = search_options(*k, *nprobe, *refine, kernel, traced);
             Response::Batch(backend.index().search_batch(queries, &opts))
         }
         Request::Insert { id, vector, .. } => match &backend.kind {

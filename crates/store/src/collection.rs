@@ -53,7 +53,7 @@ use pdx_core::exec::{spawn_job, JobHandle};
 use pdx_core::heap::Neighbor;
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -347,6 +347,11 @@ pub struct Collection {
     claim: Arc<AtomicBool>,
     /// Background maintenance jobs currently in flight.
     background_jobs: Arc<AtomicUsize>,
+    /// Buffer-row / tombstone counts last reported into the global
+    /// gauges; each publish adjusts by the delta (and `Drop` retracts
+    /// the rest), so several live collections sum correctly.
+    obs_buffer_rows: AtomicU64,
+    obs_tombstones: AtomicU64,
 }
 
 impl Collection {
@@ -374,6 +379,8 @@ impl Collection {
             writer: Mutex::new(writer),
             claim: Arc::new(AtomicBool::new(false)),
             background_jobs: Arc::new(AtomicUsize::new(0)),
+            obs_buffer_rows: AtomicU64::new(0),
+            obs_tombstones: AtomicU64::new(0),
         }
     }
 
@@ -396,16 +403,14 @@ impl Collection {
                 format!("{}: collection already exists", dir.display()),
             )));
         }
-        let coll = Self::in_memory(dims, config);
+        let mut coll = Self::in_memory(dims, config);
         {
             let mut w = coll.writer.lock().expect("writer lock");
             Self::manifest_of(dims, config, &w).write_atomic(dir)?;
             w.wal = Some(Wal::create(&dir.join(wal_file(0)), dims)?);
         }
-        Ok(Self {
-            dir: Some(dir.to_path_buf()),
-            ..coll
-        })
+        coll.dir = Some(dir.to_path_buf());
+        Ok(coll)
     }
 
     /// Opens a persistent collection: loads the manifest and segments,
@@ -492,6 +497,31 @@ impl Collection {
     fn publish(&self, w: &Writer) {
         let snap = Arc::new(Self::snapshot_of(self.dims, w));
         *self.view.write().expect("view lock") = snap;
+        self.sync_state_gauges(w);
+    }
+
+    /// Reconciles the global buffer/tombstone gauges with this
+    /// collection's counts. Delta-based (each collection adjusts by
+    /// what changed since its last report), so several live
+    /// collections sum correctly; callers hold the writer lock, so
+    /// per-collection reports are serialized.
+    fn sync_state_gauges(&self, w: &Writer) {
+        let m = crate::obs::state_metrics();
+        let sealing = w.sealing.as_ref().map_or(0, |s| s.total - s.dead.len());
+        let buffer = (w.buffer.len() + sealing) as u64;
+        let tombstones = w.tombstones.len() as u64;
+        let prev_b = self.obs_buffer_rows.swap(buffer, Ordering::Relaxed);
+        let prev_t = self.obs_tombstones.swap(tombstones, Ordering::Relaxed);
+        if buffer >= prev_b {
+            m.buffer_rows.add(buffer - prev_b);
+        } else {
+            m.buffer_rows.sub(prev_b - buffer);
+        }
+        if tombstones >= prev_t {
+            m.tombstones.add(tombstones - prev_t);
+        } else {
+            m.tombstones.sub(prev_t - tombstones);
+        }
     }
 
     fn snapshot_of(dims: usize, w: &Writer) -> Snapshot {
@@ -751,6 +781,7 @@ impl Collection {
             if let Some(wal) = &mut w.wal {
                 wal.sync()?;
             }
+            crate::obs::wal_metrics().batch.record(w.unsynced as u64);
             w.unsynced = 0;
             w.last_sync = Instant::now();
         }
@@ -855,16 +886,23 @@ impl Collection {
     /// inline seal/compact path; writers block, readers do not).
     /// Callers must hold the maintenance claim.
     fn maintain_locked(&self, w: &mut Writer, kind: MaintKind) -> Result<(), StoreError> {
+        let t0 = Instant::now();
         let Some(plan) = self.plan_maintenance(w, kind) else {
             return Ok(());
         };
         let built = self.build_maintenance(&plan)?;
-        self.commit_maintenance(w, &plan, built)
+        Self::record_maintenance(kind, &built, self.dims);
+        let out = self.commit_maintenance(w, &plan, built);
+        Self::maint_metrics_of(kind)
+            .duration_us
+            .record(t0.elapsed().as_micros() as u64);
+        out
     }
 
     /// The background variant: the writer lock is held only for the
     /// freeze and the commit, not the build.
     fn maintain_background(&self, kind: MaintKind) -> Result<(), StoreError> {
+        let t0 = Instant::now();
         let plan = {
             let mut w = self.lock_writer();
             match self.plan_maintenance(&mut w, kind) {
@@ -873,8 +911,29 @@ impl Collection {
             }
         };
         let built = self.build_maintenance(&plan)?;
+        Self::record_maintenance(kind, &built, self.dims);
         let mut w = self.lock_writer();
-        self.commit_maintenance(&mut w, &plan, built)
+        let out = self.commit_maintenance(&mut w, &plan, built);
+        Self::maint_metrics_of(kind)
+            .duration_us
+            .record(t0.elapsed().as_micros() as u64);
+        out
+    }
+
+    fn maint_metrics_of(kind: MaintKind) -> &'static crate::obs::MaintMetrics {
+        match kind {
+            MaintKind::Seal => crate::obs::seal_metrics(),
+            MaintKind::Compact => crate::obs::compact_metrics(),
+        }
+    }
+
+    /// Charges the new segment's payload (rows + id remap) to the
+    /// phase's bytes-rewritten counter.
+    fn record_maintenance(kind: MaintKind, built: &Option<Arc<Segment>>, dims: usize) {
+        if let Some(segment) = built {
+            let bytes = (segment.len() * dims * 4 + segment.len() * 8) as u64;
+            Self::maint_metrics_of(kind).bytes_rewritten.add(bytes);
+        }
     }
 
     /// Freeze phase: moves the buffer's live rows (plus any leftovers
@@ -1161,6 +1220,19 @@ fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
         .strip_suffix(suffix)?
         .parse()
         .ok()
+}
+
+impl Drop for Collection {
+    /// Retracts this collection's share of the global buffer/tombstone
+    /// gauges, so dropped collections (tests, closed shards) don't
+    /// leave phantom rows behind.
+    fn drop(&mut self) {
+        let m = crate::obs::state_metrics();
+        m.buffer_rows
+            .sub(self.obs_buffer_rows.load(Ordering::Relaxed));
+        m.tombstones
+            .sub(self.obs_tombstones.load(Ordering::Relaxed));
+    }
 }
 
 impl VectorIndex for Collection {

@@ -95,6 +95,7 @@ use std::io;
 mod buffer;
 mod collection;
 mod manifest;
+pub mod obs;
 mod segment;
 mod sharded;
 mod snapshot;

@@ -1,0 +1,135 @@
+//! Store-side observability: WAL, maintenance and buffer families in
+//! the process-global [`Registry`].
+//!
+//! Handles resolve once through `OnceLock` and record with relaxed
+//! atomics, so the write path pays a few nanoseconds per operation.
+//! All families are process-global — a process serving several
+//! collections reports their combined totals.
+
+use pdx_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::{Arc, OnceLock};
+
+/// Registry handles for the write-ahead-log family.
+pub(crate) struct WalMetrics {
+    /// Latency of one record append (serialize + write + flush).
+    pub append_us: Arc<Histogram>,
+    /// Latency of one durable sync (`fsync`).
+    pub fsync_us: Arc<Histogram>,
+    /// Records made durable per group-commit sync.
+    pub batch: Arc<Histogram>,
+}
+
+pub(crate) fn wal_metrics() -> &'static WalMetrics {
+    static METRICS: OnceLock<WalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        WalMetrics {
+            append_us: r.histogram(
+                "pdx_wal_append_us",
+                "WAL record append latency (write + flush), microseconds.",
+                &[],
+            ),
+            fsync_us: r.histogram("pdx_wal_fsync_us", "WAL fsync latency, microseconds.", &[]),
+            batch: r.histogram(
+                "pdx_wal_group_commit_batch",
+                "Records made durable per group-commit sync.",
+                &[],
+            ),
+        }
+    })
+}
+
+/// Registry handles for one maintenance phase (`seal` or `compact`).
+pub(crate) struct MaintMetrics {
+    /// Whole freeze→build→commit cycle duration.
+    pub duration_us: Arc<Histogram>,
+    /// Payload bytes rewritten into the new segment.
+    pub bytes_rewritten: Arc<Counter>,
+}
+
+fn maint_metrics(phase: &'static str) -> MaintMetrics {
+    let r = Registry::global();
+    let l = &[("phase", phase)][..];
+    MaintMetrics {
+        duration_us: r.histogram(
+            "pdx_store_maintenance_us",
+            "Seal / compaction cycle duration (freeze, build, commit), microseconds.",
+            l,
+        ),
+        bytes_rewritten: r.counter(
+            "pdx_store_maintenance_bytes_rewritten_total",
+            "Payload bytes rewritten into new segments by seals and compactions.",
+            l,
+        ),
+    }
+}
+
+pub(crate) fn seal_metrics() -> &'static MaintMetrics {
+    static METRICS: OnceLock<MaintMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| maint_metrics("seal"))
+}
+
+pub(crate) fn compact_metrics() -> &'static MaintMetrics {
+    static METRICS: OnceLock<MaintMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| maint_metrics("compact"))
+}
+
+/// Registry handles for the live collection-state gauges.
+pub(crate) struct StateMetrics {
+    /// Rows in write buffers (sealing sections included).
+    pub buffer_rows: Arc<Gauge>,
+    /// Live tombstones awaiting compaction.
+    pub tombstones: Arc<Gauge>,
+}
+
+pub(crate) fn state_metrics() -> &'static StateMetrics {
+    static METRICS: OnceLock<StateMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        StateMetrics {
+            buffer_rows: r.gauge(
+                "pdx_store_buffer_rows",
+                "Rows currently in write buffers (sealing sections included).",
+                &[],
+            ),
+            tombstones: r.gauge(
+                "pdx_store_tombstones",
+                "Tombstoned ids awaiting compaction.",
+                &[],
+            ),
+        }
+    })
+}
+
+/// Pre-registers every store family, so a scrape taken before the
+/// first write already exposes them (at zero).
+pub fn touch() {
+    let _ = wal_metrics();
+    let _ = seal_metrics();
+    let _ = compact_metrics();
+    let _ = state_metrics();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_registers_all_store_families() {
+        touch();
+        let out = Registry::global().render();
+        for family in [
+            "pdx_wal_append_us",
+            "pdx_wal_fsync_us",
+            "pdx_wal_group_commit_batch",
+            "pdx_store_maintenance_us",
+            "pdx_store_maintenance_bytes_rewritten_total",
+            "pdx_store_buffer_rows",
+            "pdx_store_tombstones",
+        ] {
+            assert!(out.contains(family), "missing {family} in:\n{out}");
+        }
+        assert!(out.contains("phase=\"seal\""));
+        assert!(out.contains("phase=\"compact\""));
+    }
+}

@@ -168,6 +168,7 @@ impl Wal {
     /// Panics if an insert record's vector length disagrees with the
     /// log's dimensionality (the collection validates before logging).
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        let t0 = std::time::Instant::now();
         let mut buf = Vec::with_capacity(1 + 8 + self.dims * 4 + 4);
         match record {
             WalRecord::Insert { id, vector } => {
@@ -188,6 +189,9 @@ impl Wal {
         self.file.write_all(&buf)?;
         self.file.flush()?;
         self.len += buf.len() as u64;
+        crate::obs::wal_metrics()
+            .append_us
+            .record(t0.elapsed().as_micros() as u64);
         Ok(())
     }
 
@@ -196,8 +200,12 @@ impl Wal {
     /// # Errors
     /// Propagates IO errors.
     pub fn sync(&mut self) -> io::Result<()> {
+        let t0 = std::time::Instant::now();
         self.file.sync_all()?;
         self.synced_len = self.len;
+        crate::obs::wal_metrics()
+            .fsync_us
+            .record(t0.elapsed().as_micros() as u64);
         Ok(())
     }
 
